@@ -1,0 +1,1 @@
+bench/util.ml: Buffer Config List Machine Metal_asm Metal_cpu Pipeline Printf Stats String

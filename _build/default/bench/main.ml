@@ -1,0 +1,1031 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   plus the quantitative claims its text makes.  See DESIGN.md for the
+   experiment index (E1..E12) and EXPERIMENTS.md for paper-vs-measured.
+
+   Run all sections:   dune exec bench/main.exe
+   Run some sections:  dune exec bench/main.exe -- table2 stm *)
+
+open Metal_cpu
+open Metal_progs
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* E1: Table 1 — the Metal instructions                                *)
+
+let table1 () =
+  section "E1. Table 1: New Metal instructions";
+  let rows =
+    [ ("menter <entry>", Instr.Metal (Instr.Menter { entry = 5 }),
+       "enter Metal mode, run mroutine <entry>; m31 <- return address");
+      ("mexit", Instr.Metal Instr.Mexit,
+       "exit Metal mode, resume at the address in m31");
+      ("rmr rd, mN", Instr.Metal (Instr.Rmr { rd = Reg.t0; mr = 31 }),
+       "read Metal register");
+      ("wmr mN, rs", Instr.Metal (Instr.Wmr { mr = 0; rs1 = Reg.t0 }),
+       "write Metal register");
+      ("mld rd, off(rs)",
+       Instr.Metal (Instr.Mld { rd = Reg.t0; rs1 = Reg.t1; offset = 8 }),
+       "load from the MRAM data segment");
+      ("mst rs2, off(rs)",
+       Instr.Metal (Instr.Mst { rs2 = Reg.t0; rs1 = Reg.t1; offset = 8 }),
+       "store to the MRAM data segment") ]
+  in
+  Printf.printf "%-18s %-10s %s\n" "instruction" "encoding" "description";
+  List.iter
+    (fun (name, instr, descr) ->
+       Printf.printf "%-18s %08x   %s\n" name (Encode.encode_exn instr) descr)
+    rows;
+  print_endline
+    "\nArchitectural features exposed to Metal mode only (Section 2.3):";
+  let features =
+    [ ("physld/physst", "direct physical memory access (paging bypass)");
+      ("tlbw/tlbflush/tlbprobe", "TLB modification (ASIDs, page keys)");
+      ("gprr/gprw", "indexed GPR file access (execution contexts)");
+      ("iceptset/iceptclr", "instruction interception control");
+      ("mcsrr/mcsrw", "machine control registers (incl. interrupt and \
+                       exception delivery)") ]
+  in
+  List.iter (fun (n, d) -> Printf.printf "  %-24s %s\n" n d) features
+
+(* ------------------------------------------------------------------ *)
+(* E2: Table 2 — hardware resources                                    *)
+
+let table2 () =
+  section "E2. Table 2: Hardware resources for adding Metal";
+  let t = Metal_synth.Report.table2 () in
+  print_string (Metal_synth.Report.to_string t);
+  Printf.printf
+    "\npaper:             %10d %10d      16.1%%   (wires)\n\
+     paper:             %10d %10d      14.3%%   (cells)\n"
+    170264 197705 180546 206384;
+  print_endline "\nWhere the Metal area goes:";
+  print_string (Metal_synth.Report.breakdown ())
+
+(* ------------------------------------------------------------------ *)
+(* E3: Figure 1 — boot/menter/mexit workflow                           *)
+
+let figure1 () =
+  section "E3. Figure 1: Metal workflow (boot -> menter -> mroutine -> mexit)";
+  let config = { Config.default with Config.trace = true } in
+  let m = machine ~config () in
+  load_mcode m
+    ".mentry 7, scale\n# custom instruction: a0 <- a0 * 10\nscale:\n\
+     slli t0, a0, 3\nslli t1, a0, 1\nadd a0, t0, t1\nmexit\n";
+  ignore (load m "li a0, 4\nmenter 7\nmv s0, a0\nebreak\n");
+  Machine.set_pc m 0;
+  run_to_ebreak m;
+  Printf.printf
+    "boot: mroutine 'scale' loaded at MRAM entry 7\n\
+     run : a0 = 4; menter 7 -> a0 = %d; %d cycles total\n\n"
+    (reg m Reg.s0) (cycles m);
+  print_endline "retirement trace (M = executed from MRAM in Metal mode):";
+  List.iter (fun l -> print_endline ("  " ^ l)) (Machine.trace_log m ~max:16)
+
+(* ------------------------------------------------------------------ *)
+(* E4: Figure 2 — kenter/kexit and system-call cost                    *)
+
+let null_kernel =
+  {|.org 0x2000
+syscall_table:
+    .word sys_null
+.org 0x3000
+sys_null:
+    menter 1
+.org 0x3F00
+fault_stub:
+    ebreak
+|}
+
+let priv_cfg =
+  { Privilege.syscall_table = 0x2000; nsyscalls = 1; kernel_pkeys = 0;
+    user_pkeys = 0; fault_entry = 0x3F00 }
+
+let syscall_cost config =
+  let n = 100 in
+  let setup m =
+    ignore (load m null_kernel);
+    match Privilege.install m priv_cfg with
+    | Ok () -> ()
+    | Error e -> fail "%s" e
+  in
+  per_op_cost ~config ~setup ~n
+    ~with_op:(repeat_lines n "li a0, 0\nmenter 0\n" ^ "ebreak\n")
+    ~without_op:(repeat_lines n "li a0, 0\nnop\n" ^ "ebreak\n")
+    ()
+
+let figure2 () =
+  section "E4. Figure 2: system-call entry/exit mroutines";
+  print_endline "assembled kenter/kexit (address / word / source):";
+  print_string (Privilege.figure2_listing ());
+  subsection "null system call round trip (user -> kernel -> user)";
+  Printf.printf "%-44s %6.1f cycles\n"
+    "Metal (fast decode-stage replacement)" (syscall_cost Config.default);
+  Printf.printf "%-44s %6.1f cycles\n" "Metal with trap-style transitions"
+    (syscall_cost { Config.default with Config.transition = Config.Trap_flush });
+  Printf.printf "%-44s %6.1f cycles\n" "PALcode-style (main-memory mroutines)"
+    (syscall_cost Config.palcode)
+
+(* ------------------------------------------------------------------ *)
+(* E5: mode-transition cost (Section 2.2 / Section 5)                  *)
+
+let noop_mroutine = ".mentry 0, f\nf: mexit\n"
+
+let transition_cost config =
+  let n = 200 in
+  per_op_cost ~config ~mcode:noop_mroutine ~n
+    ~with_op:(repeat_lines n "menter 0\n" ^ "ebreak\n")
+    ~without_op:(repeat_lines n "nop\n" ^ "ebreak\n")
+    ()
+
+let transition () =
+  section "E5. menter/mexit transition cost (no-op mroutine)";
+  let cases =
+    [ ("Metal: fast replacement + dedicated MRAM", Config.default);
+      ("fast replacement, mroutines in main memory",
+       { Config.default with
+         Config.mram_backing = Config.Main_memory { fetch_penalty = 3 } });
+      ("trap-style transitions + dedicated MRAM",
+       { Config.default with Config.transition = Config.Trap_flush });
+      ("PALcode: trap-style + main-memory mroutines", Config.palcode) ]
+  in
+  Printf.printf "%-46s %s\n" "configuration" "cycles/no-op call";
+  List.iter
+    (fun (label, config) ->
+       Printf.printf "%-46s %8.1f\n" label (transition_cost config))
+    cases;
+  print_endline
+    "\npaper: Metal achieves \"virtually zero overhead\" (Section 2.2);\n\
+     a no-op PALcode call takes ~18 cycles on the Alpha (Section 5).";
+  Printf.printf "measured PALcode/Metal ratio: %.1fx\n"
+    (transition_cost Config.palcode /. transition_cost Config.default)
+
+(* ------------------------------------------------------------------ *)
+(* E6: custom page tables (Section 3.2)                                *)
+
+let pt_workload ~pages ~accesses =
+  Printf.sprintf
+    {|start:
+    li s0, 0x400000
+    li s1, %d
+    li s2, 0
+    li s3, 0x5000
+    li s4, %d
+    li s5, 0
+loop:
+    add t0, s0, s2
+    lw t1, 0(t0)
+    add s5, s5, t1
+    add s2, s2, s3
+    bltu s2, s4, nowrap
+    sub s2, s2, s4
+nowrap:
+    addi s1, s1, -1
+    bnez s1, loop
+    ebreak
+|}
+    accesses (pages * 4096)
+
+type pt_mode = Pt_metal | Pt_hw | Pt_palcode
+
+let pt_run ~pages ~accesses mode =
+  let config =
+    match mode with
+    | Pt_palcode -> Config.palcode
+    | Pt_metal | Pt_hw -> Config.default
+  in
+  let m = machine ~config () in
+  (match Pagetable.install m { Pagetable.os_fault_entry = 0 } with
+   | Ok () -> ()
+   | Error e -> fail "%s" e);
+  let alloc =
+    Metal_kernel.Frame_alloc.create ~base:0x280000 ~limit:0x400000
+  in
+  let mem = Metal_hw.Bus.memory m.Machine.bus in
+  let pt = Metal_kernel.Page_table.create ~mem ~alloc in
+  let map ~vaddr ~paddr =
+    match
+      Metal_kernel.Page_table.map pt ~vaddr ~paddr Metal_kernel.Page_table.rwx
+    with
+    | Ok () -> ()
+    | Error e -> fail "%s" e
+  in
+  for i = 0 to 7 do
+    map ~vaddr:(i * 4096) ~paddr:(i * 4096)
+  done;
+  for i = 0 to pages - 1 do
+    map ~vaddr:(0x400000 + (i * 4096)) ~paddr:(0x80000 + (i * 4096))
+  done;
+  Pagetable.set_root m (Metal_kernel.Page_table.root pt);
+  Machine.ctrl_write m Csr.pt_root (Metal_kernel.Page_table.root pt);
+  (match mode with
+   | Pt_hw -> Machine.ctrl_write m Csr.hw_walker 1
+   | Pt_metal | Pt_palcode -> ());
+  Machine.ctrl_write m Csr.paging 1;
+  ignore (load m (pt_workload ~pages ~accesses));
+  Machine.set_pc m 0;
+  run_to_ebreak m;
+  m
+
+let pagetable () =
+  section "E6. Custom page tables: TLB-miss handling (32-entry TLB)";
+  let accesses = 3000 in
+  Printf.printf "%11s | %19s | %19s | %19s\n" "working set"
+    "Metal walker" "hardware walker" "OS-trap (PALcode)";
+  Printf.printf "%11s | %9s %9s | %9s %9s | %9s %9s\n" "(pages)" "cycles"
+    "misses" "cycles" "misses" "cycles" "misses";
+  List.iter
+    (fun pages ->
+       let r mode =
+         let m = pt_run ~pages ~accesses mode in
+         (cycles m, m.Machine.stats.Stats.tlb_misses)
+       in
+       let mc, mm = r Pt_metal in
+       let hc, hm = r Pt_hw in
+       let pc, pm = r Pt_palcode in
+       Printf.printf "%11d | %9d %9d | %9d %9d | %9d %9d\n" pages mc mm hc hm
+         pc pm)
+    [ 16; 24; 32; 48; 64; 96 ];
+  subsection "single TLB-refill cost";
+  let refill mode =
+    (* Touch 40 cold pages once each vs. the same loop over one hot
+       page: the difference per extra miss is the refill cost. *)
+    let cold = pt_run ~pages:40 ~accesses:40 mode in
+    let hot = pt_run ~pages:1 ~accesses:40 mode in
+    let misses =
+      cold.Machine.stats.Stats.tlb_misses - hot.Machine.stats.Stats.tlb_misses
+    in
+    float_of_int (cycles cold - cycles hot) /. float_of_int (max 1 misses)
+  in
+  Printf.printf "%-34s %6.1f cycles/refill\n" "Metal mroutine walker"
+    (refill Pt_metal);
+  Printf.printf "%-34s %6.1f cycles/refill\n" "hardware walker" (refill Pt_hw);
+  Printf.printf "%-34s %6.1f cycles/refill\n" "OS-trap walker (PALcode)"
+    (refill Pt_palcode);
+  print_endline
+    "\npaper: MRAM proximity \"greatly closes the performance gap between\n\
+     hardware and software managed TLBs\" (Section 3.2)."
+
+(* ------------------------------------------------------------------ *)
+(* E7: transactional memory (Section 3.3)                              *)
+
+(* A library STM: comparable bookkeeping to the interception handlers,
+   but invoked by calls compiled into the program. *)
+let stmlib_mcode =
+  {|.org 0x1C00
+.equ LIB_ACTIVE, 0x780
+.equ LIB_RCOUNT, 0x784
+.equ LIB_RSET, 0x790
+
+.mentry 60, stmlib_read
+.mentry 61, stmlib_write
+.mentry 62, stmlib_begin
+.mentry 63, stmlib_end
+
+stmlib_begin:
+    li t0, 1
+    mst t0, LIB_ACTIVE(zero)
+    mst zero, LIB_RCOUNT(zero)
+    mexit
+
+stmlib_end:
+    mst zero, LIB_ACTIVE(zero)
+    mexit
+
+# a0 = address -> a0 = value.  The instrumentation is compiled in, so
+# the active check runs even outside transactions.
+stmlib_read:
+    mld t0, LIB_ACTIVE(zero)
+    beqz t0, lib_read_raw
+    mld t1, LIB_RCOUNT(zero)
+    andi t2, t1, 7
+    slli t2, t2, 3
+    addi t2, t2, LIB_RSET
+    physld t3, 0(a0)
+    mst a0, 0(t2)
+    mst t3, 4(t2)
+    addi t1, t1, 1
+    mst t1, LIB_RCOUNT(zero)
+    mv a0, t3
+    mexit
+lib_read_raw:
+    physld a0, 0(a0)
+    mexit
+
+# a0 = address, a1 = value.
+stmlib_write:
+    mld t0, LIB_ACTIVE(zero)
+    beqz t0, lib_write_raw
+    mld t1, LIB_RCOUNT(zero)
+    addi t1, t1, 1
+    mst t1, LIB_RCOUNT(zero)
+lib_write_raw:
+    physst a1, 0(a0)
+    mexit
+|}
+
+let array_base = 0x8000
+let array_len = 64
+
+let plain_pass_body =
+  Printf.sprintf
+    {|    li t3, %d
+    li t4, %d
+pass_loopN:
+    lw t5, 0(t3)
+    add s5, s5, t5
+    addi t3, t3, 4
+    addi t4, t4, -1
+    bnez t4, pass_loopN
+|}
+    array_base array_len
+
+let lib_pass_body =
+  Printf.sprintf
+    {|    li s8, %d
+    li s9, %d
+lib_loopN:
+    mv a0, s8
+    menter 60
+    add s5, s5, a0
+    addi s8, s8, 4
+    addi s9, s9, -1
+    bnez s9, lib_loopN
+|}
+    array_base array_len
+
+let numbered body i =
+  replace_all ~needle:"N" ~by:(string_of_int i) body
+
+let stm () =
+  section "E7. Transactional memory by interception";
+  (* Phase experiment: one transactional pass + N plain passes.
+     Interception STM leaves the plain passes untouched; a library STM
+     pays its compiled-in instrumentation everywhere. *)
+  let plain_passes = 10 in
+  let metal_prog =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "start:\n    la a0, retry\nretry:\n";
+    Buffer.add_string buf (Printf.sprintf "    menter %d\n" Layout.tstart);
+    Buffer.add_string buf (numbered plain_pass_body 0);
+    Buffer.add_string buf (Printf.sprintf "    menter %d\n" Layout.tcommit);
+    for i = 1 to plain_passes do
+      Buffer.add_string buf (numbered plain_pass_body i)
+    done;
+    Buffer.add_string buf "    ebreak\n";
+    Buffer.contents buf
+  in
+  let lib_prog =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "start:\n    menter 62\n";
+    Buffer.add_string buf (numbered lib_pass_body 0);
+    Buffer.add_string buf "    menter 63\n";
+    for i = 1 to plain_passes do
+      Buffer.add_string buf (numbered lib_pass_body i)
+    done;
+    Buffer.add_string buf "    ebreak\n";
+    Buffer.contents buf
+  in
+  let raw_prog =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "start:\n";
+    for i = 0 to plain_passes do
+      Buffer.add_string buf (numbered plain_pass_body i)
+    done;
+    Buffer.add_string buf "    ebreak\n";
+    Buffer.contents buf
+  in
+  let setup m =
+    for i = 0 to array_len - 1 do
+      Machine.write_word m (array_base + (4 * i)) (i + 1)
+    done
+  in
+  let metal_m = exec ~mcode:(Stm.mcode ()) ~setup metal_prog in
+  let lib_m = exec ~mcode:stmlib_mcode ~setup lib_prog in
+  let raw_m = exec ~setup raw_prog in
+  let per_access total =
+    float_of_int total /. float_of_int (array_len * (plain_passes + 1))
+  in
+  Printf.printf
+    "workload: 1 transactional pass + %d plain passes over %d words\n\n"
+    plain_passes array_len;
+  Printf.printf "%-42s %9s %13s\n" "" "cycles" "cycles/access";
+  Printf.printf "%-42s %9d %13.1f\n" "no STM (upper bound)" (cycles raw_m)
+    (per_access (cycles raw_m));
+  Printf.printf "%-42s %9d %13.1f\n" "Metal STM (runtime interception)"
+    (cycles metal_m)
+    (per_access (cycles metal_m));
+  Printf.printf "%-42s %9d %13.1f\n" "library STM (compiled-in calls)"
+    (cycles lib_m)
+    (per_access (cycles lib_m));
+  (* The structural claim, isolated: the marginal cost of one *plain*
+     (non-transactional) pass under each regime, measured as the slope
+     between 10 and 4 plain passes. *)
+  let plain_pass_cost build mcode =
+    let prog n =
+      let buf = Buffer.create 1024 in
+      build buf n;
+      Buffer.contents buf
+    in
+    let hi = exec ?mcode ~setup (prog 10) in
+    let lo = exec ?mcode ~setup (prog 4) in
+    float_of_int (cycles hi - cycles lo) /. float_of_int (6 * array_len)
+  in
+  let metal_build buf n =
+    Buffer.add_string buf "start:\n    la a0, retry\nretry:\n";
+    Buffer.add_string buf (Printf.sprintf "    menter %d\n" Layout.tstart);
+    Buffer.add_string buf (numbered plain_pass_body 0);
+    Buffer.add_string buf (Printf.sprintf "    menter %d\n" Layout.tcommit);
+    for i = 1 to n do
+      Buffer.add_string buf (numbered plain_pass_body i)
+    done;
+    Buffer.add_string buf "    ebreak\n"
+  in
+  let lib_build buf n =
+    Buffer.add_string buf "start:\n    menter 62\n";
+    Buffer.add_string buf (numbered lib_pass_body 0);
+    Buffer.add_string buf "    menter 63\n";
+    for i = 1 to n do
+      Buffer.add_string buf (numbered lib_pass_body i)
+    done;
+    Buffer.add_string buf "    ebreak\n"
+  in
+  Printf.printf
+    "\nmarginal cost of a NON-transactional access (the paper's point):\n";
+  Printf.printf "  Metal STM   %5.1f cycles/access (interception is off)\n"
+    (plain_pass_cost metal_build (Some (Stm.mcode ())));
+  Printf.printf "  library STM %5.1f cycles/access (calls are compiled in)\n"
+    (plain_pass_cost lib_build (Some stmlib_mcode));
+  let c = Stm.counters metal_m in
+  Printf.printf "\nMetal STM counters: %d commits, %d aborts, %d tx reads\n"
+    c.Stm.commits c.Stm.aborts c.Stm.reads;
+  subsection "conflict injection (DMA agent standing in for a second core)";
+  Printf.printf "%-26s %9s %9s\n" "conflict period (cycles)" "commits" "aborts";
+  List.iter
+    (fun period ->
+       let m = machine () in
+       (match Stm.install m with Ok () -> () | Error e -> fail "%s" e);
+       setup m;
+       if period > 0 then begin
+         let mem = Metal_hw.Bus.memory m.Machine.bus in
+         let writes =
+           List.init 30 (fun i -> ((i + 1) * period, array_base, 1000 + i))
+         in
+         let dma = Metal_hw.Devices.Dma.create ~mem ~writes in
+         Metal_hw.Bus.attach m.Machine.bus (Metal_hw.Devices.Dma.device dma)
+       end;
+       ignore
+         (load m
+            (Printf.sprintf
+               {|start:
+    li s0, 20
+txn:
+    la a0, txn_retry
+txn_retry:
+    menter %d
+    li t3, %d
+    lw t4, 0(t3)
+    addi t4, t4, 1
+    sw t4, 4(t3)
+    menter %d
+    beqz a0, txn_retry
+    addi s0, s0, -1
+    bnez s0, txn
+    ebreak
+|}
+               Layout.tstart array_base Layout.tcommit));
+       Machine.set_pc m 0;
+       run_to_ebreak m;
+       let c = Stm.counters m in
+       Printf.printf "%-26s %9d %9d\n"
+         (if period = 0 then "none" else string_of_int period)
+         c.Stm.commits c.Stm.aborts)
+    [ 0; 2000; 800; 300 ];
+  print_endline
+    "\npaper: \"neither compilers nor developers need to replace loads and\n\
+     stores with calls into an STM library\" — the plain phases run at raw\n\
+     speed under interception STM and still pay the library tax under\n\
+     compiled-in instrumentation (Section 3.3)."
+
+(* ------------------------------------------------------------------ *)
+(* E8: user-level interrupts (Section 3.4)                             *)
+
+let nic_base = Metal_hw.Bus.mmio_base + 0x100
+let uintr_packets = 25
+
+let polling_prog =
+  Printf.sprintf
+    {|start:
+    li s2, %d
+    li s3, %d
+work:
+    addi s0, s0, 1
+    lw t0, 0(s2)
+    beqz t0, work
+    sw zero, 0xc(s2)
+    addi s1, s1, 1
+    bne s1, s3, work
+    ebreak
+|}
+    nic_base uintr_packets
+
+let uintr_prog ~kernel_mediated =
+  let handler_target = if kernel_mediated then "kstub" else "handler" in
+  Printf.sprintf
+    {|start:
+    la a0, %s
+    menter %d
+    li t0, 1
+    li t1, %d
+    sw t0, 0x10(t1)
+    li s3, %d
+work:
+    addi s0, s0, 1
+    bne s1, s3, work
+    ebreak
+
+# kernel mediation: dispatch bookkeeping before and after the user
+# handler (privilege checks, signal-frame setup, ...).
+kstub:
+    li t0, 0x7000
+    sw s0, 0(t0)
+    lw t1, 0(t0)
+    sw s1, 4(t0)
+    lw t1, 4(t0)
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    jal t1, handler_body
+    nop
+    nop
+    nop
+    nop
+    menter %d
+
+handler:
+    jal t1, handler_body
+    menter %d
+
+handler_body:
+    li t0, %d
+drain:
+    lw t2, 0(t0)
+    beqz t2, hdone
+    sw zero, 0xc(t0)
+    addi s1, s1, 1
+    j drain
+hdone:
+    jr t1
+|}
+    handler_target Layout.uintr_setup nic_base uintr_packets Layout.uintr_ret
+    Layout.uintr_ret nic_base
+
+let uintr_run ~period mode =
+  let schedule =
+    Metal_hw.Devices.Nic.Periodic { start = 100; period; count = uintr_packets }
+  in
+  let sys = Metal_core.System.create ~nic_schedule:schedule () in
+  let m = sys.Metal_core.System.machine in
+  let prog =
+    match mode with
+    | `Polling -> polling_prog
+    | `Uintr ->
+      (match Uintr.install m with Ok () -> () | Error e -> fail "%s" e);
+      uintr_prog ~kernel_mediated:false
+    | `Kernel ->
+      (match Uintr.install m with Ok () -> () | Error e -> fail "%s" e);
+      uintr_prog ~kernel_mediated:true
+  in
+  (match Metal_core.System.run_program sys ~max_cycles:10_000_000 prog with
+   | Ok _ -> ()
+   | Error e -> fail "%s" e);
+  let nic = Option.get sys.Metal_core.System.nic in
+  let lats = Metal_hw.Devices.Nic.latencies nic in
+  let mean =
+    if lats = [] then 0.0
+    else
+      float_of_int (List.fold_left ( + ) 0 lats)
+      /. float_of_int (List.length lats)
+  in
+  (reg m Reg.s0, mean)
+
+let uintr () =
+  section "E8. User-level interrupts: packet handling (DPDK scenario)";
+  Printf.printf "%d packets per run; work = loop iterations completed\n\n"
+    uintr_packets;
+  Printf.printf "%8s | %21s | %21s | %21s\n" "packet" "polling"
+    "user-level intr" "kernel-mediated";
+  Printf.printf "%8s | %10s %10s | %10s %10s | %10s %10s\n" "period" "work"
+    "latency" "work" "latency" "work" "latency";
+  List.iter
+    (fun period ->
+       let pw, pl = uintr_run ~period `Polling in
+       let uw, ul = uintr_run ~period `Uintr in
+       let kw, kl = uintr_run ~period `Kernel in
+       Printf.printf "%8d | %10d %10.1f | %10d %10.1f | %10d %10.1f\n" period
+         pw pl uw ul kw kl)
+    [ 250; 500; 1000; 2000 ];
+  print_endline
+    "\npaper: with user-level interrupts, applications \"only need to be\n\
+     notified via interrupts when data is available\" (Section 3.4);\n\
+     delivery without the kernel detour also beats mediated delivery."
+
+(* ------------------------------------------------------------------ *)
+(* E9: in-process isolation call cost (Section 3.1)                    *)
+
+let isolation () =
+  section "E9. In-process isolation: protected-call cost";
+  let n = 100 in
+  let plain =
+    per_op_cost ~n
+      ~with_op:("start:\n" ^ repeat_lines n "call f\n" ^ "ebreak\nf: ret\n")
+      ~without_op:("start:\n" ^ repeat_lines n "nop\n" ^ "ebreak\nf: ret\n")
+      ()
+  in
+  let gate =
+    let setup m =
+      match
+        Isolation.install m
+          { Isolation.gate_target = 0x800; open_perms = 0; closed_perms = 0 }
+      with
+      | Ok () -> ()
+      | Error e -> fail "%s" e
+    in
+    per_op_cost ~setup ~n
+      ~with_op:
+        (Printf.sprintf "start:\n%sebreak\n.org 0x800\ntrusted:\nmenter %d\n"
+           (repeat_lines n (Printf.sprintf "menter %d\n" Layout.dom_enter))
+           Layout.dom_exit)
+      ~without_op:
+        (Printf.sprintf "start:\n%sebreak\n.org 0x800\ntrusted:\nmenter %d\n"
+           (repeat_lines n "nop\n") Layout.dom_exit)
+      ()
+  in
+  let syscall = syscall_cost Config.default in
+  Printf.printf "%-44s %6.1f cycles\n" "plain function call + return" plain;
+  Printf.printf "%-44s %6.1f cycles\n" "Metal domain gate (dom_enter/dom_exit)"
+    gate;
+  Printf.printf "%-44s %6.1f cycles\n" "process-based isolation (null syscall)"
+    syscall;
+  print_endline
+    "\npaper: Metal \"enables developers to safely encapsulate the\n\
+     transition code without CFI\" (Section 3.1) — the gate costs a few\n\
+     cycles more than a call, far less than a kernel round trip."
+
+(* ------------------------------------------------------------------ *)
+(* E10: design ablation (Section 2.2)                                  *)
+
+let ablation () =
+  section "E10. Ablation: what the MRAM and fast transitions buy";
+  let configs =
+    [ ("fast + dedicated MRAM (Metal)", Config.default);
+      ("fast + main-memory penalty 1",
+       { Config.default with
+         Config.mram_backing = Config.Main_memory { fetch_penalty = 1 } });
+      ("fast + main-memory penalty 3",
+       { Config.default with
+         Config.mram_backing = Config.Main_memory { fetch_penalty = 3 } });
+      ("trap + dedicated MRAM",
+       { Config.default with Config.transition = Config.Trap_flush });
+      ("trap + main-memory penalty 3 (PALcode)", Config.palcode) ]
+  in
+  Printf.printf "%-42s %14s %14s\n" "configuration" "no-op call" "null syscall";
+  List.iter
+    (fun (label, config) ->
+       Printf.printf "%-42s %14.1f %14.1f\n" label (transition_cost config)
+         (syscall_cost config))
+    configs;
+  print_endline
+    "\nBoth design points of Section 2.2 matter: decode-stage replacement\n\
+     removes the flush cost, MRAM collocation removes the fetch cost, and\n\
+     only together do they reach microcode-level overhead."
+
+(* ------------------------------------------------------------------ *)
+(* E11: nested Metal (Section 3.5)                                     *)
+
+let nested () =
+  section "E11. Nested Metal: layered store interception";
+  let n = 100 in
+  let store_block = "li t3, 0x8000\nli t4, 7\n" ^ repeat_lines n "sw t4, 0(t3)\n" in
+  let nop_block = "li t3, 0x8000\nli t4, 7\n" ^ repeat_lines n "nop\n" in
+  let raw =
+    per_op_cost ~n ~with_op:(store_block ^ "ebreak\n")
+      ~without_op:(nop_block ^ "ebreak\n") ()
+  in
+  let one_layer_mcode =
+    {|.org 0x1C00
+.mentry 60, direct_store
+direct_store:
+    wmr m16, t0
+    wmr m17, t1
+    rmr t0, m28
+    rmr t1, m27
+    physst t1, 0(t0)
+    rmr t0, m31
+    addi t0, t0, 4
+    wmr m31, t0
+    rmr t0, m16
+    rmr t1, m17
+    mexit
+|}
+  in
+  let arm entry m =
+    Machine.ctrl_write m (Csr.icept_handler (Icept.code Icept.Store_class))
+      (entry + 1);
+    Machine.ctrl_write m Csr.icept_enable 1
+  in
+  let one =
+    per_op_cost ~mcode:one_layer_mcode ~setup:(arm 60) ~n
+      ~with_op:(store_block ^ "ebreak\n") ~without_op:(nop_block ^ "ebreak\n")
+      ()
+  in
+  let two =
+    let setup m =
+      (match Nested.install m ~remap_offset:0 with
+       | Ok () -> ()
+       | Error e -> fail "%s" e);
+      arm Layout.nest_store m
+    in
+    per_op_cost ~setup ~n ~with_op:(store_block ^ "ebreak\n")
+      ~without_op:(nop_block ^ "ebreak\n") ()
+  in
+  Printf.printf "%-42s %6.1f cycles/store\n" "no interception" raw;
+  Printf.printf "%-42s %6.1f cycles/store\n" "one layer (direct handler)" one;
+  Printf.printf "%-42s %6.1f cycles/store\n"
+    "two layers (app intercepts, VMM applies)" two;
+  print_endline
+    "\npaper: \"the intercept propagates downward through layers that\n\
+     intercept the same instruction\" (Section 3.5) — each layer adds a\n\
+     bounded, composable cost."
+
+(* ------------------------------------------------------------------ *)
+(* E12: control-flow protection (Section 3.5)                          *)
+
+let cfi () =
+  section "E12. Shadow-stack control-flow protection";
+  let calls = 60 in
+  let body enable =
+    Printf.sprintf
+      {|start:
+    li sp, 0x8000
+%s
+    li s1, %d
+loop:
+    li a0, 5
+    call work
+    addi s1, s1, -1
+    bnez s1, loop
+%s
+    ebreak
+
+work:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    call leaf
+    call leaf
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+leaf:
+    addi a0, a0, 1
+    ret
+|}
+      (if enable then Printf.sprintf "    menter %d" Layout.ss_enable else "")
+      calls
+      (if enable then Printf.sprintf "    menter %d" Layout.ss_disable else "")
+  in
+  let with_ss =
+    let m = machine () in
+    (match Shadowstack.install m with Ok () -> () | Error e -> fail "%s" e);
+    ignore (load m (body true));
+    Machine.set_pc m 0;
+    run_to_ebreak m;
+    m
+  in
+  let without = exec (body false) in
+  let pairs = calls * 3 in
+  Printf.printf "workload: %d call/return pairs\n\n" pairs;
+  Printf.printf "%-28s %9d cycles\n" "unprotected" (cycles without);
+  Printf.printf "%-28s %9d cycles\n" "with shadow stack" (cycles with_ss);
+  Printf.printf "overhead: %.1f cycles per call/return pair\n"
+    (float_of_int (cycles with_ss - cycles without) /. float_of_int pairs);
+  let c = Shadowstack.counters with_ss in
+  Printf.printf
+    "violations: %d (the corruption test in the suite halts the machine)\n"
+    c.Shadowstack.violations
+
+(* ------------------------------------------------------------------ *)
+(* E13: page keys accelerate batch permission changes (Section 2.3)    *)
+
+let pkeys () =
+  section "E13. Page keys: batch permission changes";
+  (* Revoke write access to N pages: with page keys, one mcsrw; the
+     classical way rewrites N PTEs and flushes the TLB. *)
+  let mcode =
+    {|.mentry 0, by_pkey
+# revoke writes under key 1 with a single register write
+by_pkey:
+    li t0, 0x8
+    mcsrw pkey_perms, t0
+    mexit
+
+.mentry 1, by_ptes
+# a0 = page-table L2 base, a1 = number of PTEs: clear each W bit
+by_ptes:
+    mv t0, a0
+    li t1, 0
+pte_loop:
+    physld t2, 0(t0)
+    li t3, 0xFFFFFFFB
+    and t2, t2, t3
+    physst t2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 1
+    bne t1, a1, pte_loop
+    li t4, -1
+    tlbflush t4
+    mexit
+|}
+  in
+  Printf.printf "%8s %18s %18s\n" "pages" "page keys (cy)" "PTE rewrite (cy)";
+  List.iter
+    (fun pages ->
+       let run entry extra_setup prog =
+         let m = machine () in
+         load_mcode m mcode;
+         extra_setup m;
+         ignore (load m prog);
+         Machine.set_pc m 0;
+         run_to_ebreak m;
+         ignore entry;
+         cycles m
+       in
+       (* Build an L2 table's worth of PTEs to rewrite. *)
+       let setup m =
+         for i = 0 to pages - 1 do
+           Machine.write_word m (0x40000 + (4 * i))
+             (((0x80 + i) lsl 12) lor 0x7)
+         done
+       in
+       let pkey_cy =
+         run 0 setup "menter 0\nebreak\n"
+         - run 0 setup "nop\nebreak\n"
+       in
+       let pte_cy =
+         run 1 setup
+           (Printf.sprintf "li a0, 0x40000\nli a1, %d\nmenter 1\nebreak\n"
+              pages)
+         - run 1 setup "li a0, 0x40000\nnop\nnop\nebreak\n"
+       in
+       Printf.printf "%8d %18d %18d\n" pages pkey_cy pte_cy)
+    [ 8; 32; 128; 512 ];
+  print_endline
+    "\npaper: page keys \"provide an extra level of indirection for page\n\
+     permissions to accelerate batch permission changes\" (Section 2.3) —\n\
+     constant-time revocation vs. cost linear in the mapping count."
+
+(* ------------------------------------------------------------------ *)
+(* E14: MRAM and cache side channels (Section 4)                       *)
+
+let sidechannel () =
+  section "E14. Side channels: MRAM bypasses the instruction cache";
+  (* A classic prime+probe attack on the I-cache: the attacker warms
+     the cache with its probe code, the victim mroutine executes a
+     secret-dependent path, and the attacker measures how much slower
+     its probe re-runs.  With MRAM collocated and uncached (the Metal
+     design), the victim leaves no footprint; with main-memory-resident
+     routines (the PALcode model), the execution path is visible. *)
+  let icache =
+    Some { Metal_hw.Cache.lines = 16; line_bytes = 16; miss_penalty = 10 }
+  in
+  let probe_src =
+    "probe:\n"
+    ^ String.concat "" (List.init 60 (fun _ -> "addi t1, t1, 1\n"))
+    ^ "ebreak\n"
+  in
+  let victim_mcode =
+    ".mentry 0, victim\nvictim:\nbeqz a0, vshort\n"
+    ^ String.concat "" (List.init 30 (fun _ -> "addi t2, t2, 1\n"))
+    ^ "vshort:\nmexit\n"
+  in
+  let leakage ~backing ~secret =
+    let config =
+      { Config.default with Config.icache; Config.mram_backing = backing }
+    in
+    let m = machine ~config () in
+    load_mcode m victim_mcode;
+    ignore (load m ~origin:0x100 probe_src);
+    ignore (load m ~origin:0x400 "trigger:\nmenter 0\nebreak\n");
+    let phase pc =
+      let before = cycles m in
+      Machine.set_pc m pc;
+      m.Machine.halted <- None;
+      run_to_ebreak m;
+      cycles m - before
+    in
+    ignore (phase 0x100);            (* prime *)
+    let warm = phase 0x100 in        (* warm baseline *)
+    Machine.set_reg m Reg.a0 secret;
+    ignore (phase 0x400);            (* victim runs with the secret *)
+    let probed = phase 0x100 in
+    probed - warm
+  in
+  Printf.printf "%-38s %14s %14s %10s\n" "configuration" "leak(secret=0)"
+    "leak(secret=1)" "signal";
+  List.iter
+    (fun (label, backing) ->
+       let l0 = leakage ~backing ~secret:0 in
+       let l1 = leakage ~backing ~secret:1 in
+       Printf.printf "%-38s %11d cy %11d cy %7d cy\n" label l0 l1
+         (abs (l1 - l0)))
+    [ ("Metal (dedicated, uncached MRAM)", Config.Dedicated);
+      ("PALcode (main-memory mroutines)",
+       Config.Main_memory { fetch_penalty = 10 }) ];
+  print_endline
+    "\npaper: \"Metal does not cache MReg. or MRAM\" (Section 4) — with the\n\
+     dedicated MRAM the attacker cannot distinguish the secret (signal 0);\n\
+     main-memory-resident vertical microcode leaks its execution path."
+
+(* ------------------------------------------------------------------ *)
+(* Host microbenchmarks (Bechamel)                                     *)
+
+let host () =
+  section "Host microbenchmarks (Bechamel: simulator throughput)";
+  let open Bechamel in
+  let make_machine () =
+    let m = machine () in
+    ignore
+      (load m "loop:\naddi t0, t0, 1\nslli t1, t0, 3\nxor t2, t1, t0\nj loop\n");
+    Machine.set_pc m 0;
+    m
+  in
+  let sim_m = make_machine () in
+  let step_test =
+    Test.make ~name:"pipeline-step"
+      (Staged.stage (fun () -> Pipeline.step sim_m))
+  in
+  let decode_test =
+    let w =
+      Encode.encode_exn (Instr.Op { op = Instr.Add; rd = 1; rs1 = 2; rs2 = 3 })
+    in
+    Test.make ~name:"decode" (Staged.stage (fun () -> ignore (Decode.decode w)))
+  in
+  let asm_test =
+    Test.make ~name:"assemble-20-lines"
+      (Staged.stage (fun () ->
+           ignore (Metal_asm.Asm.assemble (repeat_lines 20 "addi a0, a0, 1\n"))))
+  in
+  let synth_test =
+    Test.make ~name:"table2"
+      (Staged.stage (fun () -> ignore (Metal_synth.Report.table2 ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"metal"
+      [ step_test; decode_test; asm_test; synth_test ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+       match Analyze.OLS.estimates ols with
+       | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n" name est
+       | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("table1", table1); ("table2", table2); ("figure1", figure1);
+    ("figure2", figure2); ("transition", transition);
+    ("pagetable", pagetable); ("stm", stm); ("uintr", uintr);
+    ("isolation", isolation); ("ablation", ablation); ("nested", nested);
+    ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
+    ("host", host) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> picks
+    | _ -> List.map fst sections
+  in
+  print_endline
+    "Metal: An Open Architecture for Developing Processor Features\n\
+     benchmark harness - regenerates the paper's tables, figures and claims";
+  List.iter
+    (fun name ->
+       match List.assoc_opt name sections with
+       | Some f -> f ()
+       | None ->
+         Printf.eprintf "unknown section %S (known: %s)\n" name
+           (String.concat ", " (List.map fst sections));
+         exit 1)
+    requested

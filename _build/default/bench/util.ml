@@ -1,0 +1,94 @@
+(* Shared machinery for the benchmark harness. *)
+
+open Metal_cpu
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let machine ?(config = Config.default) () = Machine.create ~config ()
+
+let load m ?origin src =
+  match Metal_asm.Asm.assemble ?origin src with
+  | Error e -> fail "assembly: %s" (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    (match Machine.load_image m img with
+     | Ok () -> ()
+     | Error e -> fail "load: %s" e);
+    img
+
+let load_mcode m src =
+  match Metal_asm.Asm.assemble src with
+  | Error e -> fail "mcode assembly: %s" (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    (match Machine.load_mcode m img with
+     | Ok () -> ()
+     | Error e -> fail "mcode load: %s" e)
+
+let run_to_ebreak ?(max_cycles = 50_000_000) m =
+  match Pipeline.run m ~max_cycles with
+  | Some (Machine.Halt_ebreak _) -> ()
+  | Some h -> fail "unexpected halt: %s" (Machine.halted_to_string h)
+  | None -> fail "cycle budget exhausted"
+
+let cycles m = m.Machine.stats.Stats.cycles
+
+let reg m r = Machine.get_reg m r
+
+(* Run [src] (with optional mroutines) to its ebreak and return the
+   machine for inspection. *)
+let exec ?config ?mcode ?setup src =
+  let m = machine ?config () in
+  (match mcode with None -> () | Some s -> load_mcode m s);
+  (match setup with None -> () | Some f -> f m);
+  ignore (load m src);
+  Machine.set_pc m 0;
+  run_to_ebreak m;
+  m
+
+(* Per-invocation cost: run a program containing [n] occurrences of an
+   operation and the same program without them; the difference divided
+   by [n]. *)
+let per_op_cost ?config ?mcode ?setup ~n ~with_op ~without_op () =
+  let a = exec ?config ?mcode ?setup with_op in
+  let b = exec ?config ?mcode ?setup without_op in
+  float_of_int (cycles a - cycles b) /. float_of_int n
+
+(* Tables *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let row_format widths =
+  String.concat "  " (List.map (fun w -> Printf.sprintf "%%-%ds" w) widths)
+
+let print_row widths cells =
+  List.iteri
+    (fun i cell ->
+       let w = List.nth widths i in
+       Printf.printf "%-*s  " w cell)
+    cells;
+  print_newline ()
+
+let _ = row_format
+
+let repeat_lines n line = String.concat "" (List.init n (fun _ -> line))
+
+(* Replace every occurrence of [needle] in [haystack]. *)
+let replace_all ~needle ~by haystack =
+  let nlen = String.length needle in
+  let buf = Buffer.create (String.length haystack) in
+  let rec go i =
+    if i > String.length haystack - nlen then
+      Buffer.add_string buf (String.sub haystack i (String.length haystack - i))
+    else if String.sub haystack i nlen = needle then begin
+      Buffer.add_string buf by;
+      go (i + nlen)
+    end
+    else begin
+      Buffer.add_char buf haystack.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+bin/masm.ml: Arg Cmd Cmdliner Format Fun List Metal_asm Printf Term

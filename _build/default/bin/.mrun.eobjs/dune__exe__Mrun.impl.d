@@ -1,0 +1,1 @@
+bin/mrun.ml: Arg Cmd Cmdliner Format Fun List Metal_core Metal_cpu Metal_kernel Printf Reg Result Term Word

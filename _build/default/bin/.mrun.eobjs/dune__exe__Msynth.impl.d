@@ -1,0 +1,1 @@
+bin/msynth.ml: Arg Cmd Cmdliner Metal_synth Term

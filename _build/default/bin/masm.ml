@@ -1,0 +1,58 @@
+(* metal-asm: assemble Metal assembly and inspect the result. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run path origin show_disasm show_symbols show_entries =
+  let source = read_file path in
+  match Metal_asm.Asm.assemble ~origin source with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path (Metal_asm.Asm.error_to_string e);
+    1
+  | Ok img ->
+    if show_disasm then print_string (Metal_asm.Disasm.image img)
+    else Format.printf "%a" Metal_asm.Image.pp_listing img;
+    if show_symbols then begin
+      print_endline "symbols:";
+      List.iter
+        (fun (name, v) -> Printf.printf "  %-24s 0x%08x\n" name v)
+        (List.sort compare img.Metal_asm.Image.symbols)
+    end;
+    if show_entries && img.Metal_asm.Image.mentries <> [] then begin
+      print_endline "mroutine entries:";
+      List.iter
+        (fun (entry, addr) -> Printf.printf "  %2d -> 0x%04x\n" entry addr)
+        img.Metal_asm.Image.mentries
+    end;
+    0
+
+open Cmdliner
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Assembly source file.")
+
+let origin =
+  Arg.(value & opt int 0 & info [ "origin" ] ~docv:"ADDR"
+         ~doc:"Initial location counter.")
+
+let disasm =
+  Arg.(value & flag & info [ "d"; "disasm" ]
+         ~doc:"Disassemble the image instead of printing the listing.")
+
+let symbols =
+  Arg.(value & flag & info [ "s"; "symbols" ] ~doc:"Print the symbol table.")
+
+let entries =
+  Arg.(value & flag & info [ "e"; "entries" ]
+         ~doc:"Print the mroutine entry table.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "metal-asm" ~doc:"Assembler for the Metal ISA")
+    Term.(const run $ path $ origin $ disasm $ symbols $ entries)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,130 @@
+(* metal-run: execute an assembly program on the Metal machine. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_os path max_cycles =
+  match Metal_kernel.Kernel.boot () with
+  | Error e ->
+    Printf.eprintf "boot: %s\n" e;
+    1
+  | Ok k ->
+    begin match Metal_kernel.Kernel.spawn k ~source:(read_file path) with
+    | Error e ->
+      Printf.eprintf "spawn: %s\n" e;
+      1
+    | Ok _ ->
+      let outcome = Metal_kernel.Kernel.run k ~max_cycles in
+      let out = Metal_kernel.Kernel.console_output k in
+      if out <> "" then Printf.printf "console: %s\n" out;
+      List.iter
+        (fun p ->
+           Printf.printf "pid %d: %s\n" p.Metal_kernel.Process.pid
+             (Metal_kernel.Process.state_to_string
+                p.Metal_kernel.Process.state))
+        k.Metal_kernel.Kernel.procs;
+      begin match outcome with
+      | Metal_kernel.Kernel.All_done -> 0
+      | Metal_kernel.Kernel.Deadlocked ->
+        Printf.eprintf "deadlock: every process is blocked in recv\n";
+        1
+      | Metal_kernel.Kernel.Out_of_cycles ->
+        Printf.eprintf "out of cycles\n";
+        1
+      | Metal_kernel.Kernel.Machine_halted h ->
+        Printf.eprintf "machine halted: %s\n"
+          (Metal_cpu.Machine.halted_to_string h);
+        1
+      end
+    end
+
+let run_bare path mcode_path origin max_cycles palcode trace regs =
+  let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
+  let config = { base with Metal_cpu.Config.trace } in
+  let sys = Metal_core.System.create ~config () in
+  let ( let* ) = Result.bind in
+  let result =
+    let* () =
+      match mcode_path with
+      | None -> Ok ()
+      | Some p -> Metal_core.System.load_mcode sys (read_file p)
+    in
+    Metal_core.System.run_program sys ~origin ~max_cycles (read_file path)
+  in
+  match result with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok halt ->
+    Printf.printf "halt: %s\n" (Metal_cpu.Machine.halted_to_string halt);
+    let out = Metal_core.System.console_output sys in
+    if out <> "" then Printf.printf "console: %s\n" out;
+    if regs then begin
+      print_endline "registers:";
+      for r = 0 to 31 do
+        let v = Metal_cpu.Machine.get_reg sys.Metal_core.System.machine r in
+        if v <> 0 then
+          Printf.printf "  %-5s %s (%d)\n" (Reg.to_string r) (Word.to_hex v)
+            (Word.to_signed v)
+      done
+    end;
+    Format.printf "stats: %a@."
+      Metal_cpu.Stats.pp sys.Metal_core.System.machine.Metal_cpu.Machine.stats;
+    if trace then begin
+      print_endline "trace (last 40 events):";
+      List.iter
+        (fun l -> print_endline ("  " ^ l))
+        (Metal_cpu.Machine.trace_log sys.Metal_core.System.machine ~max:40)
+    end;
+    0
+
+let run path mcode_path origin max_cycles palcode trace regs os =
+  if os then run_os path max_cycles
+  else run_bare path mcode_path origin max_cycles palcode trace regs
+
+open Cmdliner
+
+let path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Program to run (assembly source).")
+
+let mcode =
+  Arg.(value & opt (some file) None & info [ "mcode" ] ~docv:"FILE"
+         ~doc:"mroutine source to load into MRAM first.")
+
+let origin =
+  Arg.(value & opt int 0 & info [ "origin" ] ~docv:"ADDR"
+         ~doc:"Load/assembly origin.")
+
+let max_cycles =
+  Arg.(value & opt int 10_000_000 & info [ "max-cycles" ] ~docv:"N"
+         ~doc:"Cycle budget.")
+
+let palcode =
+  Arg.(value & flag & info [ "palcode" ]
+         ~doc:"Run in the PALcode-like configuration (trap-style \
+               transitions, mroutines in main memory).")
+
+let trace =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Record and print a \
+                                             retirement trace.")
+
+let regs =
+  Arg.(value & flag & info [ "regs" ] ~doc:"Dump non-zero registers.")
+
+let os =
+  Arg.(value & flag & info [ "os" ]
+         ~doc:"Run the program as a user process on the Metal \
+               mini-kernel (syscalls via menter 0) instead of on the \
+               bare machine.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
+    Term.(const run $ path $ mcode $ origin $ max_cycles $ palcode $ trace
+          $ regs $ os)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,44 @@
+(* metal-synth: hardware resource estimates (the paper's Table 2). *)
+
+let run breakdown mram_code mram_data tlb_entries =
+  let config =
+    {
+      Metal_synth.Netlist.prototype with
+      Metal_synth.Netlist.mram_code_bytes = mram_code;
+      mram_data_bytes = mram_data;
+      tlb_entries;
+    }
+  in
+  let t = Metal_synth.Report.table2 ~config () in
+  print_string (Metal_synth.Report.to_string t);
+  if breakdown then begin
+    print_newline ();
+    print_string (Metal_synth.Report.breakdown ~config ())
+  end;
+  0
+
+open Cmdliner
+
+let breakdown =
+  Arg.(value & flag & info [ "b"; "breakdown" ]
+         ~doc:"Print the per-component cost breakdown.")
+
+let mram_code =
+  Arg.(value & opt int Metal_synth.Netlist.prototype.Metal_synth.Netlist.mram_code_bytes
+       & info [ "mram-code" ] ~docv:"BYTES" ~doc:"MRAM code segment size.")
+
+let mram_data =
+  Arg.(value & opt int Metal_synth.Netlist.prototype.Metal_synth.Netlist.mram_data_bytes
+       & info [ "mram-data" ] ~docv:"BYTES" ~doc:"MRAM data segment size.")
+
+let tlb_entries =
+  Arg.(value & opt int Metal_synth.Netlist.prototype.Metal_synth.Netlist.tlb_entries
+       & info [ "tlb" ] ~docv:"N" ~doc:"TLB entries.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "metal-synth"
+       ~doc:"Estimate hardware resources with and without Metal")
+    Term.(const run $ breakdown $ mram_code $ mram_data $ tlb_entries)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/custom_feature_hll.ml: List Metal_core Metal_cpu Metal_mgen Mgen Printf Word

@@ -1,0 +1,1 @@
+examples/custom_page_table.ml: Config Csr Frame_alloc Machine Metal_asm Metal_cpu Metal_hw Metal_kernel Metal_progs Page_table Pipeline Printf Stats

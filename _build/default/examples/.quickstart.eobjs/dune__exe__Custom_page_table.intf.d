@@ -1,0 +1,1 @@
+examples/custom_page_table.mli:

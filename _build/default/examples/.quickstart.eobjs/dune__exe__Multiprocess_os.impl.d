@@ -1,0 +1,1 @@
+examples/multiprocess_os.ml: Kernel List Metal_cpu Metal_kernel Printf Process String

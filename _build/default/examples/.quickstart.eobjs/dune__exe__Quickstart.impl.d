@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Metal_core Metal_cpu Printf

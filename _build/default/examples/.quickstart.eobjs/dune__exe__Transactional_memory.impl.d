@@ -1,0 +1,1 @@
+examples/transactional_memory.ml: Layout List Machine Metal_asm Metal_cpu Metal_hw Metal_progs Pipeline Printf Reg Stats Stm

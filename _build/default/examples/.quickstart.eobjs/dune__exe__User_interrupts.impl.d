@@ -1,0 +1,1 @@
+examples/user_interrupts.ml: Layout List Machine Metal_core Metal_cpu Metal_hw Metal_progs Option Printf Reg Stats Uintr

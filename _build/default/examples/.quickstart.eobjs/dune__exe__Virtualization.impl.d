@@ -1,0 +1,1 @@
+examples/virtualization.ml: Csr Machine Metal_asm Metal_cpu Metal_kernel Metal_progs Pipeline Printf Reg Vmm Word

@@ -1,0 +1,103 @@
+(* User-level interrupts (paper Section 3.4).
+
+   The DPDK scenario: a userspace process does useful work while
+   packets arrive on a NIC.  With polling it must check the device on
+   every loop iteration; with Metal user-level interrupts the NIC
+   interrupt is delivered straight to a userspace handler with no
+   privilege transition and no kernel.
+
+   We measure useful work units completed and per-packet delivery
+   latency at the same packet rate. *)
+
+open Metal_cpu
+open Metal_progs
+
+let packets = 20
+let period = 400
+
+let nic = Metal_hw.Bus.mmio_base + 0x100
+
+let polling_program =
+  Printf.sprintf
+    {|start:
+    li s2, %d            # NIC base
+    li s3, %d            # packets expected
+work:
+    addi s0, s0, 1       # useful work unit
+    lw t0, 0(s2)         # poll rx count
+    beqz t0, work
+    sw zero, 0xc(s2)     # pop
+    addi s1, s1, 1
+    bne s1, s3, work
+    ebreak
+|}
+    nic packets
+
+let uintr_program =
+  Printf.sprintf
+    {|start:
+    la a0, handler
+    menter %d            # register user handler
+    li t0, 1
+    li t1, %d
+    sw t0, 0x10(t1)      # enable NIC rx interrupt
+    li s3, %d
+work:
+    addi s0, s0, 1       # useful work unit, no device checks
+    bne s1, s3, work
+    ebreak
+
+handler:
+    li t0, %d
+drain:
+    lw t1, 0(t0)
+    beqz t1, done
+    sw zero, 0xc(t0)
+    addi s1, s1, 1
+    j drain
+done:
+    menter %d            # return to the interrupted work loop
+|}
+    Layout.uintr_setup nic packets nic Layout.uintr_ret
+
+let run ~use_uintr program =
+  let sys =
+    Metal_core.System.create
+      ~nic_schedule:
+        (Metal_hw.Devices.Nic.Periodic { start = 100; period; count = packets })
+      ()
+  in
+  if use_uintr then begin
+    match Uintr.install sys.Metal_core.System.machine with
+    | Ok () -> ()
+    | Error e -> failwith e
+  end;
+  (match Metal_core.System.run_program sys ~max_cycles:1_000_000 program with
+   | Ok _ -> ()
+   | Error e -> failwith e);
+  sys
+
+let mean xs =
+  if xs = [] then 0.0
+  else float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+
+let report label sys =
+  let m = sys.Metal_core.System.machine in
+  let nic = Option.get sys.Metal_core.System.nic in
+  Printf.printf
+    "%-22s %8d cycles  %7d work units  %6.1f avg packet latency\n" label
+    m.Machine.stats.Stats.cycles
+    (Machine.get_reg m Reg.s0)
+    (mean (Metal_hw.Devices.Nic.latencies nic))
+
+let () =
+  Printf.printf
+    "=== User-level interrupts: %d packets, one every %d cycles ===\n\n"
+    packets period;
+  report "polling (DPDK-style)" (run ~use_uintr:false polling_program);
+  report "user-level interrupts" (run ~use_uintr:true uintr_program);
+  print_endline
+    "\nPolling spends a device read on every single loop iteration;\n\
+     with user-level interrupts the work loop is untouched and packets\n\
+     still get handled promptly, with no kernel in the path\n\
+     (Section 3.4: reduced CPU occupancy for DPDK/SPDK-style apps)."

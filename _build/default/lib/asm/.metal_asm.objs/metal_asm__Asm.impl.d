@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Char Csr Encode Expr Hashtbl Image Instr Lex List Printf Reg Result String Word

@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Buffer Char Decode Image Instr List Printf String

@@ -1,0 +1,1 @@
+lib/asm/expr.ml: Lex Printf Result Word

@@ -1,0 +1,1 @@
+lib/asm/expr.mli: Lex

@@ -1,0 +1,1 @@
+lib/asm/image.ml: Buffer Char Format Hashtbl List Printf Result String Word

@@ -1,0 +1,1 @@
+lib/asm/lex.ml: Buffer Char List Printf String

@@ -1,0 +1,622 @@
+type error = { line : int; msg : string }
+
+let error_to_string { line; msg } = Printf.sprintf "line %d: %s" line msg
+
+exception Fail of error
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Fail { line; msg })) fmt
+
+type body =
+  | Directive of string * Lex.token list
+  | Insn of string * Lex.token list
+
+type stmt = {
+  line : int;
+  source : string;
+  labels : string list;
+  body : body option;
+  mutable addr : int;
+  mutable size : int;
+  mutable li_small : bool;  (** for [li]: single-instruction form. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (pass 0)                                                    *)
+
+let parse_line ~line source =
+  match Lex.tokenize source with
+  | Error msg -> raise (Fail { line; msg })
+  | Ok tokens ->
+    let rec take_labels acc = function
+      | Lex.Ident name :: Lex.Colon :: rest when name.[0] <> '.' ->
+        take_labels (name :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let labels, rest = take_labels [] tokens in
+    let body =
+      match rest with
+      | [] -> None
+      | Lex.Ident name :: operands when name.[0] = '.' ->
+        Some (Directive (name, operands))
+      | Lex.Ident name :: operands -> Some (Insn (name, operands))
+      | t :: _ ->
+        fail line "expected label, directive or instruction, found %S"
+          (Lex.token_to_string t)
+    in
+    { line; source = String.trim source; labels; body; addr = 0; size = 0;
+      li_small = false }
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  List.mapi (fun i l -> parse_line ~line:(i + 1) l) lines
+
+(* ------------------------------------------------------------------ *)
+(* Operand helpers                                                     *)
+
+(* Split a token list on commas (the grammar has no nested commas). *)
+let split_operands tokens =
+  let rec go current acc = function
+    | [] ->
+      let acc = if current = [] && acc = [] then [] else List.rev current :: acc in
+      List.rev acc
+    | Lex.Comma :: rest -> go [] (List.rev current :: acc) rest
+    | t :: rest -> go (t :: current) acc rest
+  in
+  go [] [] tokens
+
+let as_reg line = function
+  | [ Lex.Ident r ] ->
+    begin match Reg.of_string r with
+    | Some reg -> reg
+    | None -> fail line "unknown register %S" r
+    end
+  | toks ->
+    fail line "expected a register, found %S"
+      (String.concat " " (List.map Lex.token_to_string toks))
+
+let as_mreg line = function
+  | [ Lex.Ident r ] ->
+    begin match Reg.mreg_of_string r with
+    | Some m -> m
+    | None -> fail line "unknown metal register %S" r
+    end
+  | toks ->
+    fail line "expected a metal register (m0..m31), found %S"
+      (String.concat " " (List.map Lex.token_to_string toks))
+
+let parse_expr line toks =
+  match Expr.parse toks with
+  | Ok (e, []) -> e
+  | Ok (_, t :: _) ->
+    fail line "trailing tokens after expression: %S" (Lex.token_to_string t)
+  | Error msg -> fail line "%s" msg
+
+(* EXPR '(' REG ')' with an optional empty displacement: '(' REG ')'. *)
+let as_mem line toks =
+  let disp, rest =
+    match toks with
+    | Lex.Lparen :: _ -> (Expr.Num 0, toks)
+    | _ ->
+      begin match Expr.parse toks with
+      | Ok (e, rest) -> (e, rest)
+      | Error msg -> fail line "%s" msg
+      end
+  in
+  match rest with
+  | [ Lex.Lparen; Lex.Ident r; Lex.Rparen ] ->
+    begin match Reg.of_string r with
+    | Some reg -> (disp, reg)
+    | None -> fail line "unknown register %S" r
+    end
+  | _ -> fail line "expected displacement(register) operand"
+
+let as_csr line = function
+  | [ Lex.Ident name ] as toks ->
+    begin match Csr.of_name name with
+    | Some id -> Expr.Num id
+    | None -> parse_expr line toks
+    end
+  | toks -> parse_expr line toks
+
+(* ------------------------------------------------------------------ *)
+(* Instruction table                                                   *)
+
+let alu_imm_ops =
+  [ ("addi", Instr.Add); ("slti", Instr.Slt); ("sltiu", Instr.Sltu);
+    ("xori", Instr.Xor); ("ori", Instr.Or); ("andi", Instr.And);
+    ("slli", Instr.Sll); ("srli", Instr.Srl); ("srai", Instr.Sra) ]
+
+let alu_reg_ops =
+  [ ("add", Instr.Add); ("sub", Instr.Sub); ("sll", Instr.Sll);
+    ("slt", Instr.Slt); ("sltu", Instr.Sltu); ("xor", Instr.Xor);
+    ("srl", Instr.Srl); ("sra", Instr.Sra); ("or", Instr.Or);
+    ("and", Instr.And) ]
+
+let branches =
+  [ ("beq", Instr.Beq); ("bne", Instr.Bne); ("blt", Instr.Blt);
+    ("bge", Instr.Bge); ("bltu", Instr.Bltu); ("bgeu", Instr.Bgeu) ]
+
+let swapped_branches =
+  [ ("bgt", Instr.Blt); ("ble", Instr.Bge); ("bgtu", Instr.Bltu);
+    ("bleu", Instr.Bgeu) ]
+
+let zero_branches =
+  [ ("beqz", Instr.Beq); ("bnez", Instr.Bne); ("bltz", Instr.Blt);
+    ("bgez", Instr.Bge) ]
+
+let loads =
+  [ ("lb", (Instr.Byte, false)); ("lh", (Instr.Half, false));
+    ("lw", (Instr.Word, false)); ("lbu", (Instr.Byte, true));
+    ("lhu", (Instr.Half, true)) ]
+
+let stores = [ ("sb", Instr.Byte); ("sh", Instr.Half); ("sw", Instr.Word) ]
+
+let is_mnemonic name =
+  List.mem_assoc name alu_imm_ops || List.mem_assoc name alu_reg_ops
+  || List.mem_assoc name branches || List.mem_assoc name swapped_branches
+  || List.mem_assoc name zero_branches || List.mem_assoc name loads
+  || List.mem_assoc name stores
+  || List.mem name
+       [ "lui"; "auipc"; "jal"; "jalr"; "ecall"; "ebreak"; "fence";
+         "menter"; "mexit"; "rmr"; "wmr"; "mld"; "mst"; "physld"; "physst";
+         "tlbw"; "tlbflush"; "tlbprobe"; "gprr"; "gprw"; "iceptset";
+         "iceptclr"; "mcsrr"; "mcsrw"; "nop"; "li"; "la"; "mv"; "not";
+         "neg"; "seqz"; "snez"; "sltz"; "sgtz"; "j"; "jr"; "ret"; "call";
+         "tail"; "blez"; "bgtz" ]
+
+(* Number of bytes an instruction statement occupies.  [try_eval]
+   attempts evaluation against the pass-1 symbol table. *)
+let insn_size line ~try_eval name operands =
+  if not (is_mnemonic name) then fail line "unknown instruction %S" name;
+  match name with
+  | "la" -> (8, false)
+  | "li" ->
+    begin match split_operands operands with
+    | [ _; etoks ] ->
+      let e = parse_expr line etoks in
+      begin match try_eval e with
+      | Some v when Word.fits_signed ~width:12 v -> (4, true)
+      | Some _ | None -> (8, false)
+      end
+    | _ -> fail line "li expects: li rd, expr"
+    end
+  | _ -> (4, false)
+
+(* ------------------------------------------------------------------ *)
+(* Expansion (pass 2): statement -> concrete instructions              *)
+
+let li_parts v =
+  let v = Word.of_int v in
+  let hi = Word.bits ~hi:31 ~lo:12 (Word.add v 0x800) in
+  let lo = Word.sign_extend ~width:12 v in
+  (hi, lo)
+
+let expand line ~eval ~addr ~li_small name operands =
+  let ops = split_operands operands in
+  let reg = as_reg line in
+  let mreg = as_mreg line in
+  let expr toks = parse_expr line toks in
+  let value toks = eval (expr toks) in
+  let mem toks =
+    let disp, base = as_mem line toks in
+    (eval disp, base)
+  in
+  let target toks = eval (expr toks) - addr in
+  let arity n =
+    if List.length ops <> n then
+      fail line "%s expects %d operand(s), got %d" name n (List.length ops)
+  in
+  let branch cond rs1 rs2 t = Instr.Branch { cond; rs1; rs2; offset = t } in
+  match name with
+  | _ when List.mem_assoc name alu_imm_ops ->
+    arity 3;
+    let op = List.assoc name alu_imm_ops in
+    [ Instr.Op_imm { op; rd = reg (List.nth ops 0); rs1 = reg (List.nth ops 1);
+                     imm = value (List.nth ops 2) } ]
+  | _ when List.mem_assoc name alu_reg_ops ->
+    arity 3;
+    let op = List.assoc name alu_reg_ops in
+    [ Instr.Op { op; rd = reg (List.nth ops 0); rs1 = reg (List.nth ops 1);
+                 rs2 = reg (List.nth ops 2) } ]
+  | _ when List.mem_assoc name branches ->
+    arity 3;
+    let cond = List.assoc name branches in
+    [ branch cond (reg (List.nth ops 0)) (reg (List.nth ops 1))
+        (target (List.nth ops 2)) ]
+  | _ when List.mem_assoc name swapped_branches ->
+    arity 3;
+    let cond = List.assoc name swapped_branches in
+    [ branch cond (reg (List.nth ops 1)) (reg (List.nth ops 0))
+        (target (List.nth ops 2)) ]
+  | _ when List.mem_assoc name zero_branches ->
+    arity 2;
+    let cond = List.assoc name zero_branches in
+    [ branch cond (reg (List.nth ops 0)) Reg.zero (target (List.nth ops 1)) ]
+  | "blez" ->
+    arity 2;
+    [ branch Instr.Bge Reg.zero (reg (List.nth ops 0)) (target (List.nth ops 1)) ]
+  | "bgtz" ->
+    arity 2;
+    [ branch Instr.Blt Reg.zero (reg (List.nth ops 0)) (target (List.nth ops 1)) ]
+  | _ when List.mem_assoc name loads ->
+    arity 2;
+    let width, unsigned = List.assoc name loads in
+    let offset, rs1 = mem (List.nth ops 1) in
+    [ Instr.Load { width; unsigned; rd = reg (List.nth ops 0); rs1; offset } ]
+  | _ when List.mem_assoc name stores ->
+    arity 2;
+    let width = List.assoc name stores in
+    let offset, rs1 = mem (List.nth ops 1) in
+    [ Instr.Store { width; rs2 = reg (List.nth ops 0); rs1; offset } ]
+  | "lui" ->
+    arity 2;
+    [ Instr.Lui { rd = reg (List.nth ops 0); imm = value (List.nth ops 1) } ]
+  | "auipc" ->
+    arity 2;
+    [ Instr.Auipc { rd = reg (List.nth ops 0); imm = value (List.nth ops 1) } ]
+  | "jal" ->
+    begin match ops with
+    | [ t ] -> [ Instr.Jal { rd = Reg.ra; offset = target t } ]
+    | [ rd; t ] -> [ Instr.Jal { rd = reg rd; offset = target t } ]
+    | _ -> fail line "jal expects: jal [rd,] target"
+    end
+  | "jalr" ->
+    begin match ops with
+    | [ rs ] -> [ Instr.Jalr { rd = Reg.ra; rs1 = reg rs; offset = 0 } ]
+    | [ rd; m ] ->
+      let offset, rs1 = mem m in
+      [ Instr.Jalr { rd = reg rd; rs1; offset } ]
+    | _ -> fail line "jalr expects: jalr rs | jalr rd, off(rs)"
+    end
+  | "ecall" -> arity 0; [ Instr.Ecall ]
+  | "ebreak" -> arity 0; [ Instr.Ebreak ]
+  | "fence" -> arity 0; [ Instr.Fence ]
+  (* Metal instructions *)
+  | "menter" ->
+    arity 1;
+    [ Instr.Metal (Instr.Menter { entry = value (List.nth ops 0) }) ]
+  | "mexit" -> arity 0; [ Instr.Metal Instr.Mexit ]
+  | "rmr" ->
+    arity 2;
+    [ Instr.Metal (Instr.Rmr { rd = reg (List.nth ops 0);
+                               mr = mreg (List.nth ops 1) }) ]
+  | "wmr" ->
+    arity 2;
+    [ Instr.Metal (Instr.Wmr { mr = mreg (List.nth ops 0);
+                               rs1 = reg (List.nth ops 1) }) ]
+  | "mld" ->
+    arity 2;
+    let offset, rs1 = mem (List.nth ops 1) in
+    [ Instr.Metal (Instr.Mld { rd = reg (List.nth ops 0); rs1; offset }) ]
+  | "mst" ->
+    arity 2;
+    let offset, rs1 = mem (List.nth ops 1) in
+    [ Instr.Metal (Instr.Mst { rs2 = reg (List.nth ops 0); rs1; offset }) ]
+  | "physld" ->
+    arity 2;
+    let offset, rs1 = mem (List.nth ops 1) in
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Physld { rd = reg (List.nth ops 0); rs1; offset })) ]
+  | "physst" ->
+    arity 2;
+    let offset, rs1 = mem (List.nth ops 1) in
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Physst { rs2 = reg (List.nth ops 0); rs1; offset })) ]
+  | "tlbw" ->
+    arity 2;
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Tlbw { rs1 = reg (List.nth ops 0);
+                                   rs2 = reg (List.nth ops 1) })) ]
+  | "tlbflush" ->
+    arity 1;
+    [ Instr.Metal (Instr.Feature (Instr.Tlbflush { rs1 = reg (List.nth ops 0) })) ]
+  | "tlbprobe" ->
+    arity 2;
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Tlbprobe { rd = reg (List.nth ops 0);
+                                       rs1 = reg (List.nth ops 1) })) ]
+  | "gprr" ->
+    arity 2;
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Gprr { rd = reg (List.nth ops 0);
+                                   rs1 = reg (List.nth ops 1) })) ]
+  | "gprw" ->
+    arity 2;
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Gprw { rs1 = reg (List.nth ops 0);
+                                   rs2 = reg (List.nth ops 1) })) ]
+  | "iceptset" ->
+    arity 2;
+    [ Instr.Metal (Instr.Feature
+                     (Instr.Iceptset { rs1 = reg (List.nth ops 0);
+                                       rs2 = reg (List.nth ops 1) })) ]
+  | "iceptclr" ->
+    arity 1;
+    [ Instr.Metal (Instr.Feature (Instr.Iceptclr { rs1 = reg (List.nth ops 0) })) ]
+  | "mcsrr" ->
+    arity 2;
+    let csr = eval (as_csr line (List.nth ops 1)) in
+    [ Instr.Metal (Instr.Feature (Instr.Mcsrr { rd = reg (List.nth ops 0); csr })) ]
+  | "mcsrw" ->
+    arity 2;
+    let csr = eval (as_csr line (List.nth ops 0)) in
+    [ Instr.Metal (Instr.Feature (Instr.Mcsrw { csr; rs1 = reg (List.nth ops 1) })) ]
+  (* Pseudo-instructions *)
+  | "nop" -> arity 0; [ Instr.Op_imm { op = Instr.Add; rd = 0; rs1 = 0; imm = 0 } ]
+  | "li" ->
+    arity 2;
+    let rd = reg (List.nth ops 0) in
+    let v = value (List.nth ops 1) in
+    if li_small then [ Instr.Op_imm { op = Instr.Add; rd; rs1 = 0; imm = v } ]
+    else
+      let hi, lo = li_parts v in
+      [ Instr.Lui { rd; imm = hi };
+        Instr.Op_imm { op = Instr.Add; rd; rs1 = rd; imm = lo } ]
+  | "la" ->
+    arity 2;
+    let rd = reg (List.nth ops 0) in
+    let v = value (List.nth ops 1) in
+    let hi, lo = li_parts v in
+    [ Instr.Lui { rd; imm = hi };
+      Instr.Op_imm { op = Instr.Add; rd; rs1 = rd; imm = lo } ]
+  | "mv" ->
+    arity 2;
+    [ Instr.Op_imm { op = Instr.Add; rd = reg (List.nth ops 0);
+                     rs1 = reg (List.nth ops 1); imm = 0 } ]
+  | "not" ->
+    arity 2;
+    [ Instr.Op_imm { op = Instr.Xor; rd = reg (List.nth ops 0);
+                     rs1 = reg (List.nth ops 1); imm = -1 } ]
+  | "neg" ->
+    arity 2;
+    [ Instr.Op { op = Instr.Sub; rd = reg (List.nth ops 0); rs1 = 0;
+                 rs2 = reg (List.nth ops 1) } ]
+  | "seqz" ->
+    arity 2;
+    [ Instr.Op_imm { op = Instr.Sltu; rd = reg (List.nth ops 0);
+                     rs1 = reg (List.nth ops 1); imm = 1 } ]
+  | "snez" ->
+    arity 2;
+    [ Instr.Op { op = Instr.Sltu; rd = reg (List.nth ops 0); rs1 = 0;
+                 rs2 = reg (List.nth ops 1) } ]
+  | "sltz" ->
+    arity 2;
+    [ Instr.Op { op = Instr.Slt; rd = reg (List.nth ops 0);
+                 rs1 = reg (List.nth ops 1); rs2 = 0 } ]
+  | "sgtz" ->
+    arity 2;
+    [ Instr.Op { op = Instr.Slt; rd = reg (List.nth ops 0); rs1 = 0;
+                 rs2 = reg (List.nth ops 1) } ]
+  | "j" ->
+    arity 1;
+    [ Instr.Jal { rd = 0; offset = target (List.nth ops 0) } ]
+  | "jr" ->
+    arity 1;
+    [ Instr.Jalr { rd = 0; rs1 = reg (List.nth ops 0); offset = 0 } ]
+  | "ret" -> arity 0; [ Instr.Jalr { rd = 0; rs1 = Reg.ra; offset = 0 } ]
+  | "call" ->
+    arity 1;
+    [ Instr.Jal { rd = Reg.ra; offset = target (List.nth ops 0) } ]
+  | "tail" ->
+    arity 1;
+    [ Instr.Jal { rd = 0; offset = target (List.nth ops 0) } ]
+  | _ -> fail line "unknown instruction %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Directives                                                          *)
+
+let directive_known = function
+  | ".org" | ".align" | ".space" | ".word" | ".half" | ".byte" | ".ascii"
+  | ".asciiz" | ".equ" | ".mentry" | ".global" | ".text" | ".data" -> true
+  | _ -> false
+
+(* Size and layout effect of a directive during pass 1.  [define] adds
+   a symbol; [resolve] evaluates an expression or fails. *)
+let directive_pass1 line ~resolve ~define ~lc name operands =
+  let ops = split_operands operands in
+  match name with
+  | ".org" ->
+    begin match ops with
+    | [ toks ] -> (resolve (parse_expr line toks), 0)
+    | _ -> fail line ".org expects one expression"
+    end
+  | ".align" ->
+    begin match ops with
+    | [ toks ] ->
+      let n = resolve (parse_expr line toks) in
+      if n < 0 || n > 20 then fail line ".align %d out of range" n;
+      let align = 1 lsl n in
+      let aligned = (lc + align - 1) land lnot (align - 1) in
+      (aligned, 0)
+    | _ -> fail line ".align expects one expression"
+    end
+  | ".space" ->
+    begin match ops with
+    | [ toks ] ->
+      let n = resolve (parse_expr line toks) in
+      if n < 0 then fail line ".space with negative size";
+      (lc, n)
+    | _ -> fail line ".space expects one expression"
+    end
+  | ".word" -> (lc, 4 * List.length ops)
+  | ".half" -> (lc, 2 * List.length ops)
+  | ".byte" -> (lc, List.length ops)
+  | ".ascii" | ".asciiz" ->
+    begin match ops with
+    | [ [ Lex.Str s ] ] ->
+      (lc, String.length s + if name = ".asciiz" then 1 else 0)
+    | _ -> fail line "%s expects one string literal" name
+    end
+  | ".equ" ->
+    begin match ops with
+    | [ [ Lex.Ident sym ]; etoks ] ->
+      define sym (resolve (parse_expr line etoks));
+      (lc, 0)
+    | _ -> fail line ".equ expects: .equ name, expr"
+    end
+  | ".mentry" | ".global" | ".text" | ".data" -> (lc, 0)
+  | _ -> fail line "unknown directive %S" name
+
+let directive_pass2 line ~eval ~builder ~addr name operands =
+  let ops = split_operands operands in
+  let emit_scalar width v idx =
+    let base = addr + (width * idx) in
+    let rec put i =
+      if i < width then begin
+        begin match Image.Builder.emit_byte builder ~addr:(base + i)
+                      ((v lsr (8 * i)) land 0xFF) with
+        | Ok () -> ()
+        | Error msg -> fail line "%s" msg
+        end;
+        put (i + 1)
+      end
+    in
+    put 0
+  in
+  match name with
+  | ".word" | ".half" | ".byte" ->
+    let width =
+      match name with ".word" -> 4 | ".half" -> 2 | _ -> 1
+    in
+    List.iteri (fun i toks -> emit_scalar width (eval (parse_expr line toks)) i)
+      ops
+  | ".ascii" | ".asciiz" ->
+    begin match ops with
+    | [ [ Lex.Str s ] ] ->
+      String.iteri
+        (fun i c ->
+           match Image.Builder.emit_byte builder ~addr:(addr + i)
+                   (Char.code c) with
+           | Ok () -> ()
+           | Error msg -> fail line "%s" msg)
+        s;
+      if name = ".asciiz" then
+        begin match Image.Builder.emit_byte builder
+                      ~addr:(addr + String.length s) 0 with
+        | Ok () -> ()
+        | Error msg -> fail line "%s" msg
+        end
+    | _ -> fail line "%s expects one string literal" name
+    end
+  | ".mentry" ->
+    begin match ops with
+    | [ etoks; ltoks ] ->
+      let entry = eval (parse_expr line etoks) in
+      let target = eval (parse_expr line ltoks) in
+      begin match Image.Builder.add_mentry builder ~entry ~addr:target with
+      | Ok () -> ()
+      | Error msg -> fail line "%s" msg
+      end
+    | _ -> fail line ".mentry expects: .mentry entry, label"
+    end
+  | ".org" | ".align" | ".space" | ".equ" | ".global" | ".text" | ".data" -> ()
+  | _ -> fail line "unknown directive %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let assemble ?(origin = 0) source =
+  try
+    let stmts = parse source in
+    let symbols : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let define line name v =
+      match Hashtbl.find_opt symbols name with
+      | Some v' when v' <> v ->
+        fail line "symbol %S redefined (0x%x vs 0x%x)" name v' v
+      | Some _ | None -> Hashtbl.replace symbols name v
+    in
+    (* Pass 1: layout. *)
+    let lc = ref origin in
+    List.iter
+      (fun stmt ->
+         List.iter (fun l -> define stmt.line l !lc) stmt.labels;
+         stmt.addr <- !lc;
+         begin match stmt.body with
+         | None -> ()
+         | Some (Directive (name, operands)) ->
+           if not (directive_known name) then
+             fail stmt.line "unknown directive %S" name;
+           let resolve e =
+             let lookup s =
+               if s = "." then Some !lc else Hashtbl.find_opt symbols s
+             in
+             match Expr.eval ~lookup e with
+             | Ok v -> v
+             | Error msg -> fail stmt.line "%s" msg
+           in
+           let new_lc, size =
+             directive_pass1 stmt.line ~resolve
+               ~define:(fun s v -> define stmt.line s v) ~lc:!lc name operands
+           in
+           stmt.addr <- new_lc;
+           stmt.size <- size;
+           lc := new_lc + size
+         | Some (Insn (name, operands)) ->
+           let try_eval e =
+             let lookup s =
+               if s = "." then Some !lc else Hashtbl.find_opt symbols s
+             in
+             Result.to_option (Expr.eval ~lookup e)
+           in
+           let size, li_small = insn_size stmt.line ~try_eval name operands in
+           stmt.size <- size;
+           stmt.li_small <- li_small;
+           lc := !lc + size
+         end)
+      stmts;
+    (* Pass 2: emission. *)
+    let builder = Image.Builder.create () in
+    List.iter
+      (fun stmt ->
+         let lookup s =
+           if s = "." then Some stmt.addr else Hashtbl.find_opt symbols s
+         in
+         let eval e =
+           match Expr.eval ~lookup e with
+           | Ok v -> v
+           | Error msg -> fail stmt.line "%s" msg
+         in
+         match stmt.body with
+         | None -> ()
+         | Some (Directive (name, operands)) ->
+           directive_pass2 stmt.line ~eval ~builder ~addr:stmt.addr name
+             operands
+         | Some (Insn (name, operands)) ->
+           if stmt.addr land 3 <> 0 then
+             fail stmt.line "instruction at unaligned address 0x%08x" stmt.addr;
+           let instrs =
+             expand stmt.line ~eval ~addr:stmt.addr ~li_small:stmt.li_small
+               name operands
+           in
+           if 4 * List.length instrs <> stmt.size then
+             fail stmt.line "internal: pass-1/pass-2 size mismatch";
+           List.iteri
+             (fun i instr ->
+                let addr = stmt.addr + (4 * i) in
+                (* pc-relative pseudo parts were computed against
+                   stmt.addr; the only multi-instruction expansions are
+                   li/la, which are not pc-relative, so this is safe. *)
+                match Encode.encode instr with
+                | Error msg -> fail stmt.line "%s" msg
+                | Ok w ->
+                  begin match Image.Builder.emit_word builder ~addr w with
+                  | Ok () -> ()
+                  | Error msg -> fail stmt.line "%s" msg
+                  end;
+                  Image.Builder.add_listing builder ~addr w
+                    (Instr.to_string instr))
+             instrs)
+      stmts;
+    Hashtbl.iter
+      (fun name v ->
+         match Image.Builder.add_symbol builder name v with
+         | Ok () -> ()
+         | Error _ -> ())
+      symbols;
+    Ok (Image.Builder.finish builder)
+  with Fail e -> Error e
+
+let assemble_exn ?origin source =
+  match assemble ?origin source with
+  | Ok img -> img
+  | Error e -> invalid_arg ("Asm.assemble_exn: " ^ error_to_string e)

@@ -1,0 +1,37 @@
+(** Two-pass assembler for the Metal ISA.
+
+    Sources are line-oriented: optional labels ([name:]), then one
+    directive or instruction.  Comments start with [#], [;] or [//].
+
+    {2 Directives}
+    - [.org EXPR] — set the location counter (absolute).
+    - [.align N] — align to [2{^N}] bytes.
+    - [.space EXPR] — reserve bytes (not emitted).
+    - [.word E, ...], [.half E, ...], [.byte E, ...] — emit data.
+    - [.ascii "s"], [.asciiz "s"] — emit a string (the latter
+      NUL-terminated).
+    - [.equ NAME, EXPR] — define a constant (backward references only).
+    - [.mentry N, LABEL] — declare mroutine entry [N] at [LABEL]
+      (consumed by the MRAM loader).
+    - [.global NAME] — mark a symbol as exported (documentation only;
+      all symbols are visible in the image).
+
+    {2 Pseudo-instructions}
+    [nop], [li], [la], [mv], [not], [neg], [seqz], [snez], [sltz],
+    [sgtz], [j], [jr], [ret], [call], [tail], [beqz], [bnez], [blez],
+    [bgez], [bltz], [bgtz], [bgt], [ble], [bgtu], [bleu].
+
+    Branch and jump targets are absolute expressions (normally labels);
+    the assembler converts them to pc-relative offsets.  The symbol
+    [.]  evaluates to the current instruction's address. *)
+
+type error = { line : int; msg : string }
+
+val error_to_string : error -> string
+
+val assemble : ?origin:int -> string -> (Image.t, error) result
+(** [assemble ?origin source] assembles [source].  [origin] (default
+    0) is the initial location counter; [.org] overrides it. *)
+
+val assemble_exn : ?origin:int -> string -> Image.t
+(** @raise Invalid_argument with the formatted error. *)

@@ -1,0 +1,33 @@
+let word w =
+  match Decode.decode w with
+  | Ok i -> Instr.to_string i
+  | Error _ -> Printf.sprintf ".word 0x%08x" w
+
+let line addr w = Printf.sprintf "%08x: %08x  %s" addr w (word w)
+
+let image (img : Image.t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (start, data) ->
+       let words = String.length data / 4 in
+       for i = 0 to words - 1 do
+         let w =
+           Char.code data.[4 * i]
+           lor (Char.code data.[(4 * i) + 1] lsl 8)
+           lor (Char.code data.[(4 * i) + 2] lsl 16)
+           lor (Char.code data.[(4 * i) + 3] lsl 24)
+         in
+         Buffer.add_string buf (line (start + (4 * i)) w);
+         Buffer.add_char buf '\n'
+       done)
+    img.Image.chunks;
+  Buffer.contents buf
+
+let range ~read ~start ~count =
+  let buf = Buffer.create 256 in
+  for i = 0 to count - 1 do
+    let addr = start + (4 * i) in
+    Buffer.add_string buf (line addr (read addr));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

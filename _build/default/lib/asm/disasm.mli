@@ -1,0 +1,13 @@
+(** Disassembler. *)
+
+val word : Word.t -> string
+(** [word w] is the assembly rendering of [w], or [".word 0x..."] for
+    undecodable words. *)
+
+val image : Image.t -> string
+(** Disassemble every 4-byte-aligned word of every chunk of an image,
+    one ["addr: word  text"] line each. *)
+
+val range : read:(int -> Word.t) -> start:int -> count:int -> string
+(** Disassemble [count] words starting at [start], reading through
+    [read]. *)

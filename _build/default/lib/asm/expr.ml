@@ -1,0 +1,128 @@
+type t =
+  | Num of int
+  | Sym of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Hi of t
+  | Lo of t
+
+let ( let* ) = Result.bind
+
+(* Grammar:
+     expr   ::= term (('+' | '-') term)*
+     term   ::= factor (('*' | '/') factor)*
+     factor ::= INT | IDENT | '-' factor | '(' expr ')'
+              | '%' ('hi'|'lo') '(' expr ')' *)
+let rec parse tokens = parse_sum tokens
+
+and parse_sum tokens =
+  let* lhs, rest = parse_term tokens in
+  let rec loop lhs rest =
+    match rest with
+    | Lex.Plus :: more ->
+      let* rhs, rest = parse_term more in
+      loop (Add (lhs, rhs)) rest
+    | Lex.Minus :: more ->
+      let* rhs, rest = parse_term more in
+      loop (Sub (lhs, rhs)) rest
+    | _ -> Ok (lhs, rest)
+  in
+  loop lhs rest
+
+and parse_term tokens =
+  let* lhs, rest = parse_factor tokens in
+  let rec loop lhs rest =
+    match rest with
+    | Lex.Star :: more ->
+      let* rhs, rest = parse_factor more in
+      loop (Mul (lhs, rhs)) rest
+    | Lex.Slash :: more ->
+      let* rhs, rest = parse_factor more in
+      loop (Div (lhs, rhs)) rest
+    | _ -> Ok (lhs, rest)
+  in
+  loop lhs rest
+
+and parse_factor tokens =
+  match tokens with
+  | Lex.Int v :: rest -> Ok (Num v, rest)
+  | Lex.Ident s :: rest -> Ok (Sym s, rest)
+  | Lex.Minus :: rest ->
+    let* e, rest = parse_factor rest in
+    Ok (Neg e, rest)
+  | Lex.Lparen :: rest ->
+    let* e, rest = parse_sum rest in
+    begin match rest with
+    | Lex.Rparen :: rest -> Ok (e, rest)
+    | _ -> Error "expected ')'"
+    end
+  | Lex.Percent :: Lex.Ident kind :: Lex.Lparen :: rest ->
+    let* e, rest = parse_sum rest in
+    begin match rest with
+    | Lex.Rparen :: rest ->
+      begin match kind with
+      | "hi" -> Ok (Hi e, rest)
+      | "lo" -> Ok (Lo e, rest)
+      | _ -> Error (Printf.sprintf "unknown relocation %%%s" kind)
+      end
+    | _ -> Error "expected ')' after relocation"
+    end
+  | t :: _ ->
+    Error (Printf.sprintf "expected expression, found %S" (Lex.token_to_string t))
+  | [] -> Error "expected expression, found end of line"
+
+let rec eval ~lookup e =
+  match e with
+  | Num v -> Ok v
+  | Sym s ->
+    begin match lookup s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "undefined symbol %S" s)
+    end
+  | Neg e ->
+    let* v = eval ~lookup e in
+    Ok (-v)
+  | Add (a, b) ->
+    let* a = eval ~lookup a in
+    let* b = eval ~lookup b in
+    Ok (a + b)
+  | Sub (a, b) ->
+    let* a = eval ~lookup a in
+    let* b = eval ~lookup b in
+    Ok (a - b)
+  | Mul (a, b) ->
+    let* a = eval ~lookup a in
+    let* b = eval ~lookup b in
+    Ok (a * b)
+  | Div (a, b) ->
+    let* a = eval ~lookup a in
+    let* b = eval ~lookup b in
+    if b = 0 then Error "division by zero in expression" else Ok (a / b)
+  | Hi e ->
+    let* v = eval ~lookup e in
+    let v = Word.of_int v in
+    (* Round up when the low half is negative as a 12-bit value. *)
+    Ok (Word.bits ~hi:31 ~lo:12 (Word.add v 0x800))
+  | Lo e ->
+    let* v = eval ~lookup e in
+    Ok (Word.sign_extend ~width:12 (Word.of_int v))
+
+let rec symbols = function
+  | Num _ -> []
+  | Sym s -> [ s ]
+  | Neg e | Hi e | Lo e -> symbols e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> symbols a @ symbols b
+
+let rec to_string = function
+  | Num v -> string_of_int v
+  | Sym s -> s
+  | Neg e -> "-" ^ to_string e
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_string a) (to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (to_string a) (to_string b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_string a) (to_string b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (to_string a) (to_string b)
+  | Hi e -> Printf.sprintf "%%hi(%s)" (to_string e)
+  | Lo e -> Printf.sprintf "%%lo(%s)" (to_string e)

@@ -1,0 +1,30 @@
+(** Constant expressions in assembler operands.
+
+    Supports integers, symbols, [+ - * /], unary minus, parentheses and
+    the relocation helpers [%hi(e)]/[%lo(e)] used by [lui]/[addi]
+    pairs.  [%hi] rounds so that [%hi(e) << 12 + sign-extend(%lo(e))]
+    reconstructs [e]. *)
+
+type t =
+  | Num of int
+  | Sym of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Hi of t
+  | Lo of t
+
+val parse : Lex.token list -> (t * Lex.token list, string) result
+(** [parse tokens] parses the longest expression prefix, returning the
+    rest of the tokens. *)
+
+val eval : lookup:(string -> int option) -> t -> (int, string) result
+(** [eval ~lookup e] evaluates [e]; [lookup] resolves symbols.  Fails
+    on undefined symbols or division by zero. *)
+
+val symbols : t -> string list
+(** All symbols referenced by [e]. *)
+
+val to_string : t -> string

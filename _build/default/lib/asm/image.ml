@@ -1,0 +1,132 @@
+type t = {
+  chunks : (int * string) list;
+  symbols : (string * int) list;
+  mentries : (int * int) list;
+  listing : (int * Word.t * string) list;
+}
+
+module Builder = struct
+  type image = t
+
+  type t = {
+    bytes : (int, int) Hashtbl.t;
+    mutable symbols : (string * int) list;
+    mutable mentries : (int * int) list;
+    mutable listing : (int * Word.t * string) list;
+  }
+
+  let create () =
+    { bytes = Hashtbl.create 1024; symbols = []; mentries = []; listing = [] }
+
+  let emit_byte b ~addr v =
+    if Hashtbl.mem b.bytes addr then
+      Error (Printf.sprintf "overlapping emission at address 0x%08x" addr)
+    else begin
+      Hashtbl.add b.bytes addr (v land 0xFF);
+      Ok ()
+    end
+
+  let ( let* ) = Result.bind
+
+  let emit_word b ~addr w =
+    let* () = emit_byte b ~addr (w land 0xFF) in
+    let* () = emit_byte b ~addr:(addr + 1) ((w lsr 8) land 0xFF) in
+    let* () = emit_byte b ~addr:(addr + 2) ((w lsr 16) land 0xFF) in
+    emit_byte b ~addr:(addr + 3) ((w lsr 24) land 0xFF)
+
+  let add_symbol b name v =
+    match List.assoc_opt name b.symbols with
+    | Some v' when v' <> v ->
+      Error (Printf.sprintf "symbol %S redefined (0x%x vs 0x%x)" name v' v)
+    | Some _ -> Ok ()
+    | None ->
+      b.symbols <- (name, v) :: b.symbols;
+      Ok ()
+
+  let add_mentry b ~entry ~addr =
+    if List.mem_assoc entry b.mentries then
+      Error (Printf.sprintf "duplicate .mentry %d" entry)
+    else begin
+      b.mentries <- (entry, addr) :: b.mentries;
+      Ok ()
+    end
+
+  let add_listing b ~addr w src = b.listing <- (addr, w, src) :: b.listing
+
+  let finish b =
+    let addrs = Hashtbl.fold (fun a _ acc -> a :: acc) b.bytes [] in
+    let addrs = List.sort compare addrs in
+    let chunks =
+      let rec build acc current = function
+        | [] ->
+          let acc =
+            match current with
+            | None -> acc
+            | Some (start, buf) -> (start, Buffer.contents buf) :: acc
+          in
+          List.rev acc
+        | a :: rest ->
+          let byte = Hashtbl.find b.bytes a in
+          begin match current with
+          | Some (start, buf) when start + Buffer.length buf = a ->
+            Buffer.add_char buf (Char.chr byte);
+            build acc (Some (start, buf)) rest
+          | Some (start, buf) ->
+            let buf' = Buffer.create 64 in
+            Buffer.add_char buf' (Char.chr byte);
+            build ((start, Buffer.contents buf) :: acc) (Some (a, buf')) rest
+          | None ->
+            let buf = Buffer.create 64 in
+            Buffer.add_char buf (Char.chr byte);
+            build acc (Some (a, buf)) rest
+          end
+      in
+      build [] None addrs
+    in
+    {
+      chunks;
+      symbols = List.rev b.symbols;
+      mentries = List.sort compare b.mentries;
+      listing = List.rev b.listing;
+    }
+end
+
+let empty = { chunks = []; symbols = []; mentries = []; listing = [] }
+
+let find_symbol img name = List.assoc_opt name img.symbols
+
+let byte_at img addr =
+  List.find_map
+    (fun (start, data) ->
+       if addr >= start && addr < start + String.length data then
+         Some (Char.code data.[addr - start])
+       else None)
+    img.chunks
+
+let word_at img addr =
+  match
+    (byte_at img addr, byte_at img (addr + 1), byte_at img (addr + 2),
+     byte_at img (addr + 3))
+  with
+  | Some b0, Some b1, Some b2, Some b3 ->
+    Some (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+  | _ -> None
+
+let size img =
+  List.fold_left (fun acc (_, data) -> acc + String.length data) 0 img.chunks
+
+let bounds img =
+  match img.chunks with
+  | [] -> None
+  | chunks ->
+    let lo = List.fold_left (fun acc (a, _) -> min acc a) max_int chunks in
+    let hi =
+      List.fold_left (fun acc (a, d) -> max acc (a + String.length d)) 0 chunks
+    in
+    Some (lo, hi)
+
+let pp_listing fmt img =
+  List.iter
+    (fun (addr, w, src) ->
+       Format.fprintf fmt "%08x: %08x  %s@." addr w src)
+    img.listing

@@ -1,0 +1,60 @@
+(** Assembled program images.
+
+    An image is a set of byte chunks at absolute addresses plus the
+    symbol table, the mroutine entry table (from [.mentry] directives)
+    and a listing used for disassembly and debugging. *)
+
+type t = {
+  chunks : (int * string) list;
+      (** Coalesced, address-sorted, non-overlapping (address, bytes). *)
+  symbols : (string * int) list;  (** label/[.equ] name -> value. *)
+  mentries : (int * int) list;
+      (** mroutine entry number -> address within the image. *)
+  listing : (int * Word.t * string) list;
+      (** (address, instruction word, source text) per emitted
+          instruction, in emission order. *)
+}
+
+module Builder : sig
+  type image = t
+
+  type t
+
+  val create : unit -> t
+
+  val emit_byte : t -> addr:int -> int -> (unit, string) result
+  (** Fails on overlapping emission. *)
+
+  val emit_word : t -> addr:int -> Word.t -> (unit, string) result
+  (** Little-endian. *)
+
+  val add_symbol : t -> string -> int -> (unit, string) result
+  (** Fails on redefinition with a different value. *)
+
+  val add_mentry : t -> entry:int -> addr:int -> (unit, string) result
+  (** Fails on duplicate entry numbers. *)
+
+  val add_listing : t -> addr:int -> Word.t -> string -> unit
+
+  val finish : t -> image
+end
+
+val empty : t
+
+val find_symbol : t -> string -> int option
+
+val byte_at : t -> int -> int option
+(** [byte_at img addr] reads one byte, or [None] outside all chunks. *)
+
+val word_at : t -> int -> Word.t option
+(** Little-endian 32-bit read; [None] if any byte is missing. *)
+
+val size : t -> int
+(** Total number of emitted bytes. *)
+
+val bounds : t -> (int * int) option
+(** [(lowest, highest + 1)] address range covered, or [None] when
+    empty. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Address / word / source listing, one instruction per line. *)

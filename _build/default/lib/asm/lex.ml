@@ -1,0 +1,175 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+
+let equal_token (a : token) (b : token) = a = b
+
+let token_to_string = function
+  | Ident s -> s
+  | Int n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Colon -> ":"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Strip comments: '#' and ';' always start a comment; "//" does too. *)
+let strip_comments line =
+  let n = String.length line in
+  let rec scan i in_string =
+    if i >= n then n
+    else
+      match line.[i] with
+      | '"' -> scan (i + 1) (not in_string)
+      | '\\' when in_string && i + 1 < n -> scan (i + 2) in_string
+      | ('#' | ';') when not in_string -> i
+      | '/' when (not in_string) && i + 1 < n && line.[i + 1] = '/' -> i
+      | _ -> scan (i + 1) in_string
+  in
+  String.sub line 0 (scan 0 false)
+
+let lex_string line start =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= n then Error "unterminated string literal"
+    else
+      match line.[i] with
+      | '"' -> Ok (Buffer.contents buf, i + 1)
+      | '\\' ->
+        if i + 1 >= n then Error "dangling escape in string"
+        else begin
+          let c =
+            match line.[i + 1] with
+            | 'n' -> Ok '\n'
+            | 't' -> Ok '\t'
+            | 'r' -> Ok '\r'
+            | '0' -> Ok '\000'
+            | '\\' -> Ok '\\'
+            | '"' -> Ok '"'
+            | c -> Error (Printf.sprintf "unknown escape '\\%c'" c)
+          in
+          match c with
+          | Ok c ->
+            Buffer.add_char buf c;
+            go (i + 2)
+          | Error e -> Error e
+        end
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go start
+
+let lex_char line start =
+  let n = String.length line in
+  if start >= n then Error "unterminated character literal"
+  else
+    let value, next =
+      if line.[start] = '\\' && start + 1 < n then
+        let c =
+          match line.[start + 1] with
+          | 'n' -> Some '\n'
+          | 't' -> Some '\t'
+          | 'r' -> Some '\r'
+          | '0' -> Some '\000'
+          | '\\' -> Some '\\'
+          | '\'' -> Some '\''
+          | _ -> None
+        in
+        (c, start + 2)
+      else (Some line.[start], start + 1)
+    in
+    match value with
+    | None -> Error "unknown escape in character literal"
+    | Some c ->
+      if next < n && line.[next] = '\'' then Ok (Char.code c, next + 1)
+      else Error "unterminated character literal"
+
+let lex_number line start =
+  let n = String.length line in
+  let rec span i =
+    if i < n
+       && (is_ident_char line.[i] || line.[i] = 'x' || line.[i] = 'X')
+    then span (i + 1)
+    else i
+  in
+  let stop = span start in
+  let text = String.sub line start (stop - start) in
+  match int_of_string_opt text with
+  | Some v -> Ok (v, stop)
+  | None -> Error (Printf.sprintf "bad numeric literal %S" text)
+
+let tokenize line =
+  let line = strip_comments line in
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match line.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | ':' -> go (i + 1) (Colon :: acc)
+      | '+' -> go (i + 1) (Plus :: acc)
+      | '-' -> go (i + 1) (Minus :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      | '/' -> go (i + 1) (Slash :: acc)
+      | '%' -> go (i + 1) (Percent :: acc)
+      | '"' ->
+        begin match lex_string line (i + 1) with
+        | Ok (s, next) -> go next (Str s :: acc)
+        | Error e -> Error e
+        end
+      | '\'' ->
+        begin match lex_char line (i + 1) with
+        | Ok (v, next) -> go next (Int v :: acc)
+        | Error e -> Error e
+        end
+      | c when is_digit c ->
+        begin match lex_number line i with
+        | Ok (v, next) -> go next (Int v :: acc)
+        | Error e -> Error e
+        end
+      | c when is_ident_start c ->
+        let rec span j = if j < n && is_ident_char line.[j] then span (j + 1) else j in
+        let stop = span i in
+        (* Allow bracketed CSR names like exc_handler[ecall] as one ident. *)
+        let stop =
+          if stop < n && line.[stop] = '[' then begin
+            let rec close j =
+              if j >= n then stop
+              else if line.[j] = ']' then j + 1
+              else close (j + 1)
+            in
+            close (stop + 1)
+          end
+          else stop
+        in
+        go stop (Ident (String.sub line i (stop - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []

@@ -1,0 +1,27 @@
+(** Line lexer for the assembler.
+
+    Assembly sources are line-oriented: comments run from ['#'] or
+    [";"] (or ["//"]) to end of line; each line holds optional labels,
+    then at most one directive or instruction. *)
+
+type token =
+  | Ident of string  (** identifiers, mnemonics, directives like [".org"] *)
+  | Int of int       (** decimal, [0x..], [0b..], [0o..] or ['c'] literals *)
+  | Str of string    (** double-quoted, with escapes *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+
+val equal_token : token -> token -> bool
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token list, string) result
+(** [tokenize line] lexes one source line, comments stripped.  Returns
+    a descriptive error for bad literals or stray characters. *)

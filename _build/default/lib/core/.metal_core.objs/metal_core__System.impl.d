@@ -1,0 +1,1 @@
+lib/core/system.ml: Metal_asm Metal_cpu Metal_hw Reg

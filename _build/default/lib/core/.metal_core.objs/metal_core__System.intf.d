@@ -1,0 +1,1 @@
+lib/core/system.mli: Metal_asm Metal_cpu Metal_hw Word

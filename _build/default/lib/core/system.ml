@@ -1,0 +1,73 @@
+type t = {
+  machine : Metal_cpu.Machine.t;
+  console : Metal_hw.Devices.Console.t;
+  nic : Metal_hw.Devices.Nic.t option;
+}
+
+let nic_base = Metal_hw.Bus.mmio_base + 0x100
+
+let create ?(config = Metal_cpu.Config.default) ?nic_schedule () =
+  let machine = Metal_cpu.Machine.create ~config () in
+  let console =
+    Metal_hw.Devices.Console.create ~base:Metal_hw.Bus.mmio_base
+  in
+  Metal_hw.Bus.attach machine.Metal_cpu.Machine.bus
+    (Metal_hw.Devices.Console.device console);
+  let nic =
+    match nic_schedule with
+    | None -> None
+    | Some schedule ->
+      let nic =
+        Metal_hw.Devices.Nic.create ~base:nic_base
+          ~intc:machine.Metal_cpu.Machine.intc ~schedule
+      in
+      Metal_hw.Bus.attach machine.Metal_cpu.Machine.bus
+        (Metal_hw.Devices.Nic.device nic);
+      Some nic
+  in
+  { machine; console; nic }
+
+let load_program t ?origin source =
+  match Metal_asm.Asm.assemble ?origin source with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    begin match Metal_cpu.Machine.load_image t.machine img with
+    | Ok () -> Ok img
+    | Error e -> Error e
+    end
+
+let load_mcode t source =
+  match Metal_asm.Asm.assemble source with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img -> Metal_cpu.Machine.load_mcode t.machine img
+
+let start t ?(pc = 0) () = Metal_cpu.Machine.set_pc t.machine pc
+
+let run t ?(max_cycles = 10_000_000) () =
+  Metal_cpu.Pipeline.run_exn t.machine ~max_cycles
+
+let run_program t ?origin ?max_cycles source =
+  match load_program t ?origin source with
+  | Error _ as e -> e
+  | Ok img ->
+    let pc =
+      match Metal_asm.Image.find_symbol img "start" with
+      | Some a -> a
+      | None ->
+        (match Metal_asm.Image.bounds img with
+         | Some (lo, _) -> lo
+         | None -> 0)
+    in
+    start t ~pc ();
+    (try Ok (run t ?max_cycles ()) with Failure msg -> Error msg)
+
+let reg t name =
+  match Reg.of_string name with
+  | Some r -> Metal_cpu.Machine.get_reg t.machine r
+  | None -> invalid_arg ("System.reg: unknown register " ^ name)
+
+let cycles t = t.machine.Metal_cpu.Machine.stats.Metal_cpu.Stats.cycles
+
+let stats t = t.machine.Metal_cpu.Machine.stats
+
+let console_output t = Metal_hw.Devices.Console.output t.console

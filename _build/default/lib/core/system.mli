@@ -1,0 +1,52 @@
+(** High-level entry point: a Metal machine with devices, assembly
+    loading and run helpers.
+
+    This is the API the examples and benchmarks use; the underlying
+    layers ([Metal_isa], [Metal_asm], [Metal_hw], [Metal_cpu],
+    [Metal_progs], [Metal_kernel], [Metal_synth]) remain fully
+    accessible for anything this convenience layer does not cover. *)
+
+type t = {
+  machine : Metal_cpu.Machine.t;
+  console : Metal_hw.Devices.Console.t;
+  nic : Metal_hw.Devices.Nic.t option;
+}
+
+val create :
+  ?config:Metal_cpu.Config.t ->
+  ?nic_schedule:Metal_hw.Devices.Nic.schedule ->
+  unit ->
+  t
+(** A machine with a console at the MMIO base and, when a schedule is
+    given, a NIC at MMIO base + 0x100. *)
+
+val nic_base : int
+
+val load_program : t -> ?origin:int -> string -> (Metal_asm.Image.t, string) result
+(** Assemble and load into physical memory. *)
+
+val load_mcode : t -> string -> (unit, string) result
+(** Assemble and load into MRAM (registers [.mentry] entries). *)
+
+val start : t -> ?pc:int -> unit -> unit
+(** Reset the pipeline at [pc] (default 0) in normal mode. *)
+
+val run : t -> ?max_cycles:int -> unit -> Metal_cpu.Machine.halt
+(** Run to a halt.  @raise Failure when the budget (default 10M
+    cycles) is exhausted. *)
+
+val run_program :
+  t -> ?origin:int -> ?max_cycles:int -> string ->
+  (Metal_cpu.Machine.halt, string) result
+(** Assemble, load, reset at the image start (symbol [start] if
+    defined, else the lowest address) and run to a halt. *)
+
+val reg : t -> string -> Word.t
+(** Read a GPR by name ("a0", "x10", ...).
+    @raise Invalid_argument on unknown names. *)
+
+val cycles : t -> int
+
+val stats : t -> Metal_cpu.Stats.t
+
+val console_output : t -> string

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Cause Config Csr Icept Instr List Metal_hw Option Printf Queue Reg Stats Word

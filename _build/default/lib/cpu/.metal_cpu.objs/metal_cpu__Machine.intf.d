@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Cause Config Csr Icept Instr Metal_asm Metal_hw Queue Reg Stats Word

@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Array Bus Cause Config Csr Decode Icept Instr List Machine Metal_hw Printf Reg Stats Tlb Word

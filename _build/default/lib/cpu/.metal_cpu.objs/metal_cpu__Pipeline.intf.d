@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Machine

@@ -1,0 +1,1 @@
+lib/cpu/reference.ml: Array Bytes Char Decode Instr List Metal_asm Printf String Word

@@ -1,0 +1,1 @@
+lib/cpu/reference.mli: Bytes Metal_asm Reg Word

@@ -1,0 +1,39 @@
+type transition = Fast_replacement | Trap_flush
+
+type mram_backing = Dedicated | Main_memory of { fetch_penalty : int }
+
+type t = {
+  mem_size : int;
+  mram_code_words : int;
+  mram_data_bytes : int;
+  tlb_entries : int;
+  transition : transition;
+  mram_backing : mram_backing;
+  mem_latency : int;
+  walker_latency : int;
+  icache : Metal_hw.Cache.config option;
+  dcache : Metal_hw.Cache.config option;
+  trace : bool;
+}
+
+let default =
+  {
+    mem_size = 4 * 1024 * 1024;
+    mram_code_words = 4096;
+    mram_data_bytes = 8192;
+    tlb_entries = 32;
+    transition = Fast_replacement;
+    mram_backing = Dedicated;
+    mem_latency = 0;
+    walker_latency = 2;
+    icache = None;
+    dcache = None;
+    trace = false;
+  }
+
+let palcode =
+  {
+    default with
+    transition = Trap_flush;
+    mram_backing = Main_memory { fetch_penalty = 3 };
+  }

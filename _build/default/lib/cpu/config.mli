@@ -1,0 +1,57 @@
+(** Machine configuration.
+
+    The configuration points double as the paper's design ablations:
+    {!transition} toggles the fast decode-stage replacement of
+    [menter]/[mexit] (Section 2.2) against a conventional trap-style
+    flush, and {!mram_backing} toggles the MRAM collocated with the
+    fetch unit against PALcode-style main-memory-resident routines
+    (Section 5). *)
+
+type transition =
+  | Fast_replacement
+      (** [menter]/[mexit] are replaced during decode; entering costs
+          one pipeline slot and returning costs one bubble. *)
+  | Trap_flush
+      (** Transitions drain the pipeline like an exception. *)
+
+type mram_backing =
+  | Dedicated
+      (** mroutines fetch from the collocated MRAM at full speed. *)
+  | Main_memory of { fetch_penalty : int }
+      (** PALcode-style: every Metal-mode fetch stalls the pipeline
+          [fetch_penalty] extra cycles. *)
+
+type t = {
+  mem_size : int;  (** bytes of physical RAM. *)
+  mram_code_words : int;
+  mram_data_bytes : int;
+  tlb_entries : int;
+  transition : transition;
+  mram_backing : mram_backing;
+  mem_latency : int;
+      (** extra stall cycles per data-memory access (0 = single-cycle
+          memory). *)
+  walker_latency : int;
+      (** extra stall cycles per level of a hardware page-table walk. *)
+  icache : Metal_hw.Cache.config option;
+      (** optional instruction-cache timing model.  Normal-mode
+          fetches go through it; Metal-mode fetches bypass it with
+          [Dedicated] MRAM ("accesses to the RAM do not alter
+          processor caches", Section 2) but are cached — and pollute
+          it — with [Main_memory] backing, where a miss costs that
+          backing's [fetch_penalty]. *)
+  dcache : Metal_hw.Cache.config option;
+      (** optional data-cache timing model for cached loads/stores;
+          [mld]/[mst] and [physld]/[physst] bypass it. *)
+  trace : bool;  (** record a per-retirement trace (bounded). *)
+}
+
+val default : t
+(** 4 MiB RAM, 4096-word MRAM code / 8 KiB data, 32 TLB entries, fast
+    transitions, dedicated MRAM, single-cycle memory, walker latency 2,
+    no trace. *)
+
+val palcode : t
+(** [default] with trap-style transitions and main-memory mroutines
+    (fetch penalty 3): the Alpha-PALcode-like configuration the paper
+    compares against. *)

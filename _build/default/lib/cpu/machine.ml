@@ -1,0 +1,172 @@
+type event_kind =
+  | Event_menter of int
+  | Event_intercept of Icept.t
+
+type uop =
+  | U_instr of Instr.t
+  | U_event of { kind : event_kind; writes : (Reg.mreg * Word.t) list }
+  | U_poison of { cause : Cause.t; tval : Word.t }
+
+type fetched = {
+  fpc : int;
+  fmetal : bool;
+  word : Word.t;
+  ffault : Cause.t option;
+}
+
+type decoded = {
+  dpc : int;
+  dmetal : bool;
+  duop : uop;
+  rs1 : int;
+  rs2 : int;
+  rv1 : Word.t;
+  rv2 : Word.t;
+}
+
+type executed = {
+  xpc : int;
+  xmetal : bool;
+  xuop : uop;
+  alu : Word.t;
+  sval : Word.t;
+}
+
+type writeback = { wrd : Reg.t; wvalue : Word.t }
+
+type halt =
+  | Halt_ebreak of { pc : int; metal : bool }
+  | Halt_fault of { cause : Cause.t; pc : int; info : Word.t }
+  | Halt_metal_fault of { cause : Cause.t; pc : int; info : Word.t }
+
+type t = {
+  config : Config.t;
+  bus : Metal_hw.Bus.t;
+  tlb : Metal_hw.Tlb.t;
+  mram : Metal_hw.Mram.t;
+  mregs : Metal_hw.Mregs.t;
+  intc : Metal_hw.Intc.t;
+  icache : Metal_hw.Cache.t option;
+  dcache : Metal_hw.Cache.t option;
+  ctrl : Word.t array;
+  regs : Word.t array;
+  stats : Stats.t;
+  mutable fetch_pc : int;
+  mutable fetch_metal : bool;
+  mutable fetch_frozen : bool;
+  mutable if_id : fetched option;
+  mutable id_ex : decoded option;
+  mutable ex_mem : executed option;
+  mutable mem_wb : writeback option;
+  mutable stall_cycles : int;
+  mutable halted : halt option;
+  mutable fault_vaddr : Word.t;
+  mutable fault_cause : Word.t;
+  trace : (int * string) Queue.t;
+}
+
+let create ?(config = Config.default) () =
+  let mem = Metal_hw.Phys_mem.create ~size:config.Config.mem_size in
+  {
+    config;
+    bus = Metal_hw.Bus.create ~mem;
+    tlb = Metal_hw.Tlb.create ~entries:config.Config.tlb_entries;
+    mram =
+      Metal_hw.Mram.create ~code_words:config.Config.mram_code_words
+        ~data_bytes:config.Config.mram_data_bytes;
+    mregs = Metal_hw.Mregs.create ();
+    intc = Metal_hw.Intc.create ();
+    icache = Option.map Metal_hw.Cache.create config.Config.icache;
+    dcache = Option.map Metal_hw.Cache.create config.Config.dcache;
+    ctrl = Array.make Csr.count 0;
+    regs = Array.make 32 0;
+    stats = Stats.create ();
+    fetch_pc = 0;
+    fetch_metal = false;
+    fetch_frozen = false;
+    if_id = None;
+    id_ex = None;
+    ex_mem = None;
+    mem_wb = None;
+    stall_cycles = 0;
+    halted = None;
+    fault_vaddr = 0;
+    fault_cause = 0;
+    trace = Queue.create ();
+  }
+
+let get_reg t r =
+  assert (Reg.is_valid r);
+  t.regs.(r)
+
+let set_reg t r v =
+  assert (Reg.is_valid r);
+  if r <> 0 then t.regs.(r) <- Word.of_int v
+
+let get_mreg t m = Metal_hw.Mregs.read t.mregs m
+
+let set_mreg t m v = Metal_hw.Mregs.write t.mregs m v
+
+let ctrl_read t id =
+  if id = Csr.cycle then Word.of_int t.stats.Stats.cycles
+  else if id = Csr.instret then Word.of_int t.stats.Stats.instructions
+  else if id = Csr.int_pending then Metal_hw.Intc.pending t.intc
+  else if id = Csr.fault_vaddr then t.fault_vaddr
+  else if id = Csr.fault_cause then t.fault_cause
+  else if Csr.is_valid id then t.ctrl.(id)
+  else 0
+
+let ctrl_write t id v =
+  if Csr.is_read_only id then ()
+  else if id = Csr.int_pending then Metal_hw.Intc.clear t.intc ~mask:v
+  else if Csr.is_valid id then t.ctrl.(id) <- Word.of_int v
+
+let set_pc t pc =
+  t.fetch_pc <- Word.of_int pc;
+  t.fetch_metal <- false;
+  t.fetch_frozen <- false;
+  t.if_id <- None;
+  t.id_ex <- None;
+  t.ex_mem <- None;
+  t.mem_wb <- None
+
+let read_word t addr = Metal_hw.Phys_mem.read32 (Metal_hw.Bus.memory t.bus) addr
+
+let write_word t addr v =
+  Metal_hw.Phys_mem.write32 (Metal_hw.Bus.memory t.bus) addr v
+
+let load_image t img =
+  Metal_hw.Phys_mem.load_image (Metal_hw.Bus.memory t.bus) img
+
+let load_mcode t img = Metal_hw.Mram.load_image t.mram img
+
+let install_handler t cause ~entry =
+  ctrl_write t (Csr.exc_handler cause) (entry + 1)
+
+let install_interrupt_handler t ~irq ~entry =
+  ctrl_write t (Csr.int_handler irq) (entry + 1)
+
+let halted_to_string = function
+  | Halt_ebreak { pc; metal } ->
+    Printf.sprintf "ebreak at %s%s" (Word.to_hex pc)
+      (if metal then " (metal mode)" else "")
+  | Halt_fault { cause; pc; info } ->
+    Printf.sprintf "unhandled %s at %s (info %s)" (Cause.to_string cause)
+      (Word.to_hex pc) (Word.to_hex info)
+  | Halt_metal_fault { cause; pc; info } ->
+    Printf.sprintf "fatal mroutine %s at metal pc %s (info %s)"
+      (Cause.to_string cause) (Word.to_hex pc) (Word.to_hex info)
+
+let trace_capacity = 100_000
+
+let add_trace t ~cycle msg =
+  if Queue.length t.trace >= trace_capacity then ignore (Queue.pop t.trace);
+  Queue.add (cycle, msg) t.trace
+
+let trace_log t ~max =
+  let all = Queue.fold (fun acc (c, m) -> Printf.sprintf "[%7d] %s" c m :: acc) [] t.trace in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  List.rev (take max all)

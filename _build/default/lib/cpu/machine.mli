@@ -1,0 +1,128 @@
+(** Machine state: the 5-stage pipelined RISC processor with the Metal
+    extension.
+
+    This module owns the architectural and microarchitectural state;
+    {!Pipeline} advances it cycle by cycle. *)
+
+(** Event kinds carried by pipeline micro-ops created at decode. *)
+type event_kind =
+  | Event_menter of int  (** mroutine entry number *)
+  | Event_intercept of Icept.t
+
+(** Micro-ops flowing down the pipe. *)
+type uop =
+  | U_instr of Instr.t
+  | U_event of { kind : event_kind; writes : (Reg.mreg * Word.t) list }
+      (** Metal-mode entry slot: commits its Metal-register writes at
+          the MEM stage (decode-stage replacement, Section 2.2). *)
+  | U_poison of { cause : Cause.t; tval : Word.t }
+      (** A fetch or decode fault carried to MEM for precise delivery;
+          [tval] is the faulting address or instruction word. *)
+
+type fetched = {
+  fpc : int;
+  fmetal : bool;  (** fetched in Metal mode (from MRAM) *)
+  word : Word.t;
+  ffault : Cause.t option;
+}
+
+type decoded = {
+  dpc : int;
+  dmetal : bool;
+  duop : uop;
+  rs1 : int;
+  rs2 : int;  (** source register indices (0 when unused) *)
+  rv1 : Word.t;
+  rv2 : Word.t;  (** register values read at decode *)
+}
+
+type executed = {
+  xpc : int;
+  xmetal : bool;
+  xuop : uop;
+  alu : Word.t;  (** ALU result / effective address / first operand *)
+  sval : Word.t;  (** store data / second operand (forwarded) *)
+}
+
+type writeback = { wrd : Reg.t; wvalue : Word.t }
+
+type halt =
+  | Halt_ebreak of { pc : int; metal : bool }
+  | Halt_fault of { cause : Cause.t; pc : int; info : Word.t }
+      (** Unhandled exception in normal mode. *)
+  | Halt_metal_fault of { cause : Cause.t; pc : int; info : Word.t }
+      (** Fault inside an mroutine: always fatal (Section 2.1). *)
+
+type t = {
+  config : Config.t;
+  bus : Metal_hw.Bus.t;
+  tlb : Metal_hw.Tlb.t;
+  mram : Metal_hw.Mram.t;
+  mregs : Metal_hw.Mregs.t;
+  intc : Metal_hw.Intc.t;
+  icache : Metal_hw.Cache.t option;  (** optional timing model *)
+  dcache : Metal_hw.Cache.t option;
+  ctrl : Word.t array;  (** control registers; see {!Metal_isa.Csr} *)
+  regs : Word.t array;  (** GPR file; x0 kept at zero *)
+  stats : Stats.t;
+  mutable fetch_pc : int;
+  mutable fetch_metal : bool;
+  mutable fetch_frozen : bool;
+      (** set after a fetch fault until the next redirect *)
+  mutable if_id : fetched option;
+  mutable id_ex : decoded option;
+  mutable ex_mem : executed option;
+  mutable mem_wb : writeback option;
+  mutable stall_cycles : int;
+  mutable halted : halt option;
+  mutable fault_vaddr : Word.t;
+  mutable fault_cause : Word.t;
+  trace : (int * string) Queue.t;  (** bounded (cycle, message) log *)
+}
+
+val create : ?config:Config.t -> unit -> t
+
+(** {2 Architectural accessors} *)
+
+val get_reg : t -> Reg.t -> Word.t
+val set_reg : t -> Reg.t -> Word.t -> unit
+
+val get_mreg : t -> Reg.mreg -> Word.t
+val set_mreg : t -> Reg.mreg -> Word.t -> unit
+
+val ctrl_read : t -> Csr.t -> Word.t
+(** Control-register read with live counters ([cycle], [instret],
+    [int_pending], fault registers). *)
+
+val ctrl_write : t -> Csr.t -> Word.t -> unit
+(** Control-register write; read-only registers are ignored; writing
+    [int_pending] clears the written bits. *)
+
+val set_pc : t -> int -> unit
+(** Reset the fetch unit to a normal-mode address and clear the
+    pipeline latches. *)
+
+val read_word : t -> int -> Word.t
+(** Physical word read (tests and harnesses). *)
+
+val write_word : t -> int -> Word.t -> unit
+
+val load_image : t -> Metal_asm.Image.t -> (unit, string) result
+(** Load an assembled image into physical memory. *)
+
+val load_mcode : t -> Metal_asm.Image.t -> (unit, string) result
+(** Load an assembled mcode image into MRAM and register its
+    [.mentry] table. *)
+
+val install_handler : t -> Cause.t -> entry:int -> unit
+(** Point the exception handler control register at an mroutine. *)
+
+val install_interrupt_handler : t -> irq:int -> entry:int -> unit
+
+val halted_to_string : halt -> string
+
+val trace_log : t -> max:int -> string list
+(** The most recent [max] trace lines (oldest first). *)
+
+val add_trace : t -> cycle:int -> string -> unit
+(** Append to the bounded trace (used by the pipeline). *)

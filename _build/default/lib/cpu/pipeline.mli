@@ -1,0 +1,29 @@
+(** The 5-stage pipeline: IF, ID, EX, MEM, WB.
+
+    Classic in-order RISC pipeline with full forwarding, one-cycle
+    load-use stalls, JAL resolved at decode (one bubble) and
+    branches/JALR resolved at execute (two bubbles).
+
+    Metal specifics (Section 2.2 of the paper):
+    - With {!Config.Fast_replacement}, [menter] is consumed at decode:
+      its slot becomes the Metal-entry micro-op and fetch is redirected
+      to the mroutine in the same cycle (MRAM is collocated with the
+      fetch unit), so entry costs zero bubbles.  [mexit] is likewise
+      consumed at decode and the return-path instruction is fetched in
+      the same cycle, costing one bubble.
+    - With {!Config.Trap_flush}, both drain the pipeline like a trap.
+    - Exceptions and interrupts are delivered to mroutines, precisely,
+      at the MEM stage / at instruction boundaries.
+    - Instruction interception (Section 2.3) rewrites the intercepted
+      instruction into an entry micro-op at decode, after an operand
+      interlock, and publishes the decoded operands in m26–m29. *)
+
+val step : Machine.t -> unit
+(** Advance one cycle (no-op when halted). *)
+
+val run : Machine.t -> max_cycles:int -> Machine.halt option
+(** Step until the machine halts; [None] when the cycle budget is
+    exhausted first. *)
+
+val run_exn : Machine.t -> max_cycles:int -> Machine.halt
+(** @raise Failure when the cycle budget is exhausted. *)

@@ -1,0 +1,164 @@
+type t = {
+  regs : Word.t array;
+  mem : Bytes.t;
+  mutable pc : Word.t;
+  mutable retired : int;
+}
+
+type stop =
+  | Stop_ebreak of int
+  | Stop_limit
+  | Stop_fault of string
+
+let create ~mem_size =
+  { regs = Array.make 32 0; mem = Bytes.make mem_size '\000'; pc = 0;
+    retired = 0 }
+
+let load_image t (img : Metal_asm.Image.t) =
+  List.fold_left
+    (fun acc (addr, data) ->
+       match acc with
+       | Error _ as e -> e
+       | Ok () ->
+         if addr < 0 || addr + String.length data > Bytes.length t.mem then
+           Error "image outside reference memory"
+         else begin
+           Bytes.blit_string data 0 t.mem addr (String.length data);
+           Ok ()
+         end)
+    (Ok ()) img.Metal_asm.Image.chunks
+
+let get_reg t r = t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- Word.of_int v
+
+let in_range t addr width = addr >= 0 && addr + width <= Bytes.length t.mem
+
+let read8 t addr = Char.code (Bytes.get t.mem addr)
+
+let read_word t addr =
+  read8 t addr
+  lor (read8 t (addr + 1) lsl 8)
+  lor (read8 t (addr + 2) lsl 16)
+  lor (read8 t (addr + 3) lsl 24)
+
+let write8 t addr v = Bytes.set t.mem addr (Char.chr (v land 0xFF))
+
+exception Fault of string
+
+let load t ~width ~unsigned addr =
+  let bytes = match width with Instr.Byte -> 1 | Instr.Half -> 2 | Instr.Word -> 4 in
+  if addr land (bytes - 1) <> 0 then
+    raise (Fault (Printf.sprintf "misaligned load at %s" (Word.to_hex addr)));
+  if not (in_range t addr bytes) then
+    raise (Fault (Printf.sprintf "load outside memory at %s" (Word.to_hex addr)));
+  let raw =
+    match width with
+    | Instr.Byte -> read8 t addr
+    | Instr.Half -> read8 t addr lor (read8 t (addr + 1) lsl 8)
+    | Instr.Word -> read_word t addr
+  in
+  match (width, unsigned) with
+  | Instr.Byte, false -> Word.of_int (Word.sign_extend ~width:8 raw)
+  | Instr.Half, false -> Word.of_int (Word.sign_extend ~width:16 raw)
+  | (Instr.Byte | Instr.Half), true | Instr.Word, _ -> raw
+
+let store t ~width addr v =
+  let bytes = match width with Instr.Byte -> 1 | Instr.Half -> 2 | Instr.Word -> 4 in
+  if addr land (bytes - 1) <> 0 then
+    raise (Fault (Printf.sprintf "misaligned store at %s" (Word.to_hex addr)));
+  if not (in_range t addr bytes) then
+    raise (Fault (Printf.sprintf "store outside memory at %s" (Word.to_hex addr)));
+  for i = 0 to bytes - 1 do
+    write8 t (addr + i) ((v lsr (8 * i)) land 0xFF)
+  done
+
+let alu op a b =
+  match op with
+  | Instr.Add -> Word.add a b
+  | Instr.Sub -> Word.sub a b
+  | Instr.Sll -> Word.shift_left a b
+  | Instr.Slt -> if Word.lt_signed a b then 1 else 0
+  | Instr.Sltu -> if Word.lt_unsigned a b then 1 else 0
+  | Instr.Xor -> Word.logxor a b
+  | Instr.Srl -> Word.shift_right_logical a b
+  | Instr.Sra -> Word.shift_right_arith a b
+  | Instr.Or -> Word.logor a b
+  | Instr.And -> Word.logand a b
+
+let taken cond a b =
+  match cond with
+  | Instr.Beq -> a = b
+  | Instr.Bne -> a <> b
+  | Instr.Blt -> Word.lt_signed a b
+  | Instr.Bge -> Word.ge_signed a b
+  | Instr.Bltu -> Word.lt_unsigned a b
+  | Instr.Bgeu -> Word.ge_unsigned a b
+
+(* Execute one instruction; Some pc = ebreak hit. *)
+let step t =
+  let pc = t.pc in
+  if pc land 3 <> 0 || not (in_range t pc 4) then
+    raise (Fault (Printf.sprintf "bad fetch at %s" (Word.to_hex pc)));
+  let word = read_word t pc in
+  match Decode.decode word with
+  | Error e -> raise (Fault (Printf.sprintf "illegal at %s: %s" (Word.to_hex pc) e))
+  | Ok instr ->
+    t.retired <- t.retired + 1;
+    let next = Word.add pc 4 in
+    begin match instr with
+    | Instr.Lui { rd; imm } ->
+      set_reg t rd (imm lsl 12);
+      t.pc <- next;
+      None
+    | Instr.Auipc { rd; imm } ->
+      set_reg t rd (Word.add pc (imm lsl 12));
+      t.pc <- next;
+      None
+    | Instr.Jal { rd; offset } ->
+      set_reg t rd next;
+      t.pc <- Word.add pc offset;
+      None
+    | Instr.Jalr { rd; rs1; offset } ->
+      let target = Word.logand (Word.add t.regs.(rs1) offset) (Word.lognot 1) in
+      set_reg t rd next;
+      t.pc <- target;
+      None
+    | Instr.Branch { cond; rs1; rs2; offset } ->
+      t.pc <- (if taken cond t.regs.(rs1) t.regs.(rs2) then Word.add pc offset
+               else next);
+      None
+    | Instr.Load { width; unsigned; rd; rs1; offset } ->
+      set_reg t rd (load t ~width ~unsigned (Word.add t.regs.(rs1) offset));
+      t.pc <- next;
+      None
+    | Instr.Store { width; rs2; rs1; offset } ->
+      store t ~width (Word.add t.regs.(rs1) offset) t.regs.(rs2);
+      t.pc <- next;
+      None
+    | Instr.Op_imm { op; rd; rs1; imm } ->
+      set_reg t rd (alu op t.regs.(rs1) (Word.of_int imm));
+      t.pc <- next;
+      None
+    | Instr.Op { op; rd; rs1; rs2 } ->
+      set_reg t rd (alu op t.regs.(rs1) t.regs.(rs2));
+      t.pc <- next;
+      None
+    | Instr.Fence ->
+      t.pc <- next;
+      None
+    | Instr.Ebreak -> Some pc
+    | Instr.Ecall -> raise (Fault "ecall in reference model")
+    | Instr.Metal _ -> raise (Fault "metal instruction in reference model")
+    end
+
+let run t ~max_instructions =
+  let rec go n =
+    if n = 0 then Stop_limit
+    else
+      match step t with
+      | Some pc -> Stop_ebreak pc
+      | None -> go (n - 1)
+      | exception Fault msg -> Stop_fault msg
+  in
+  go max_instructions

@@ -1,0 +1,30 @@
+(** Golden-model interpreter for the base ISA.
+
+    An independent, instruction-at-a-time implementation of RV32I used
+    to cross-check the pipelined machine: whatever forwarding, hazard
+    and flush logic the pipeline applies, the architectural outcome of
+    a program must match this model exactly.  Metal instructions,
+    paging and devices are out of scope (the differential tests run
+    base-ISA programs with paging off). *)
+
+type t = {
+  regs : Word.t array;  (** 32 GPRs, x0 pinned to zero *)
+  mem : Bytes.t;
+  mutable pc : Word.t;
+  mutable retired : int;
+}
+
+type stop =
+  | Stop_ebreak of int  (** pc of the ebreak *)
+  | Stop_limit
+  | Stop_fault of string
+
+val create : mem_size:int -> t
+
+val load_image : t -> Metal_asm.Image.t -> (unit, string) result
+
+val run : t -> max_instructions:int -> stop
+
+val get_reg : t -> Reg.t -> Word.t
+
+val read_word : t -> int -> Word.t

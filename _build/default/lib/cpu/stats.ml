@@ -1,0 +1,97 @@
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;
+  mutable metal_instructions : int;
+  mutable bubbles : int;
+  mutable load_use_stalls : int;
+  mutable interlock_stalls : int;
+  mutable flushes : int;
+  mutable menters : int;
+  mutable mexits : int;
+  mutable exceptions : int;
+  mutable interrupts : int;
+  mutable intercepts : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable hw_walks : int;
+  mutable mem_stall_cycles : int;
+  mutable fetch_stall_cycles : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    instructions = 0;
+    metal_instructions = 0;
+    bubbles = 0;
+    load_use_stalls = 0;
+    interlock_stalls = 0;
+    flushes = 0;
+    menters = 0;
+    mexits = 0;
+    exceptions = 0;
+    interrupts = 0;
+    intercepts = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    hw_walks = 0;
+    mem_stall_cycles = 0;
+    fetch_stall_cycles = 0;
+  }
+
+let reset t =
+  t.cycles <- 0;
+  t.instructions <- 0;
+  t.metal_instructions <- 0;
+  t.bubbles <- 0;
+  t.load_use_stalls <- 0;
+  t.interlock_stalls <- 0;
+  t.flushes <- 0;
+  t.menters <- 0;
+  t.mexits <- 0;
+  t.exceptions <- 0;
+  t.interrupts <- 0;
+  t.intercepts <- 0;
+  t.tlb_hits <- 0;
+  t.tlb_misses <- 0;
+  t.hw_walks <- 0;
+  t.mem_stall_cycles <- 0;
+  t.fetch_stall_cycles <- 0
+
+let copy t = { t with cycles = t.cycles }
+
+let diff ~after ~before =
+  {
+    cycles = after.cycles - before.cycles;
+    instructions = after.instructions - before.instructions;
+    metal_instructions = after.metal_instructions - before.metal_instructions;
+    bubbles = after.bubbles - before.bubbles;
+    load_use_stalls = after.load_use_stalls - before.load_use_stalls;
+    interlock_stalls = after.interlock_stalls - before.interlock_stalls;
+    flushes = after.flushes - before.flushes;
+    menters = after.menters - before.menters;
+    mexits = after.mexits - before.mexits;
+    exceptions = after.exceptions - before.exceptions;
+    interrupts = after.interrupts - before.interrupts;
+    intercepts = after.intercepts - before.intercepts;
+    tlb_hits = after.tlb_hits - before.tlb_hits;
+    tlb_misses = after.tlb_misses - before.tlb_misses;
+    hw_walks = after.hw_walks - before.hw_walks;
+    mem_stall_cycles = after.mem_stall_cycles - before.mem_stall_cycles;
+    fetch_stall_cycles = after.fetch_stall_cycles - before.fetch_stall_cycles;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cycles=%d instructions=%d (metal=%d) ipc=%.2f@,\
+     bubbles=%d load-use=%d interlocks=%d flushes=%d@,\
+     menter=%d mexit=%d exceptions=%d interrupts=%d intercepts=%d@,\
+     tlb hit/miss=%d/%d hw-walks=%d mem-stalls=%d fetch-stalls=%d@]"
+    t.cycles t.instructions t.metal_instructions
+    (if t.cycles = 0 then 0.0
+     else float_of_int t.instructions /. float_of_int t.cycles)
+    t.bubbles t.load_use_stalls t.interlock_stalls t.flushes t.menters
+    t.mexits t.exceptions t.interrupts t.intercepts t.tlb_hits t.tlb_misses
+    t.hw_walks t.mem_stall_cycles t.fetch_stall_cycles
+
+let to_string t = Format.asprintf "%a" pp t

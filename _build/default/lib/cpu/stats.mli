@@ -1,0 +1,34 @@
+(** Execution statistics accumulated by the pipeline. *)
+
+type t = {
+  mutable cycles : int;
+  mutable instructions : int;  (** retired instructions (incl. events) *)
+  mutable metal_instructions : int;  (** retired while in Metal mode *)
+  mutable bubbles : int;  (** empty slots retiring from MEM *)
+  mutable load_use_stalls : int;
+  mutable interlock_stalls : int;  (** mexit/intercept operand interlocks *)
+  mutable flushes : int;  (** pipeline flushes (branches, traps) *)
+  mutable menters : int;
+  mutable mexits : int;
+  mutable exceptions : int;
+  mutable interrupts : int;
+  mutable intercepts : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable hw_walks : int;
+  mutable mem_stall_cycles : int;  (** cycles lost to memory latency *)
+  mutable fetch_stall_cycles : int;  (** cycles lost to Metal-code fetch *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val copy : t -> t
+
+val diff : after:t -> before:t -> t
+(** Field-wise subtraction: the cost of a measured region. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/hw/bus.ml: Cause Instr List Phys_mem Printf Word

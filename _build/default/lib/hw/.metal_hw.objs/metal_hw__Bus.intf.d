@@ -1,0 +1,1 @@
+lib/hw/bus.mli: Cause Instr Phys_mem Word

@@ -1,0 +1,1 @@
+lib/hw/devices.ml: Buffer Bus Char Intc List Phys_mem Queue Word

@@ -1,0 +1,1 @@
+lib/hw/devices.mli: Bus Intc Phys_mem Word

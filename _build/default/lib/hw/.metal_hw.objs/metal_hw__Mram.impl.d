@@ -1,0 +1,1 @@
+lib/hw/mram.ml: Array Bytes Char List Metal_asm Printf Result String Word

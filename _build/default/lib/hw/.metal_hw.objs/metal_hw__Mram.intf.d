@@ -1,0 +1,1 @@
+lib/hw/mram.mli: Metal_asm Word

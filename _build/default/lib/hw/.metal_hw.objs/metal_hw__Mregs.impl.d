@@ -1,0 +1,1 @@
+lib/hw/mregs.ml: Array Printf Reg Word

@@ -1,0 +1,1 @@
+lib/hw/mregs.mli: Reg Word

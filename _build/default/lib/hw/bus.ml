@@ -1,0 +1,69 @@
+type device = {
+  name : string;
+  base : int;
+  size : int;
+  read32 : int -> Word.t;
+  write32 : int -> Word.t -> unit;
+  tick : cycle:int -> unit;
+}
+
+type t = { mem : Phys_mem.t; mutable devices : device list }
+
+let mmio_base = 0xF000_0000
+
+let create ~mem = { mem; devices = [] }
+
+let memory t = t.mem
+
+let overlaps a_base a_size b_base b_size =
+  a_base < b_base + b_size && b_base < a_base + a_size
+
+let attach t d =
+  if d.size <= 0 || d.size land 3 <> 0 || d.base land 3 <> 0 then
+    invalid_arg "Bus.attach: window must be word-aligned";
+  if overlaps d.base d.size 0 (Phys_mem.size t.mem) then
+    invalid_arg (Printf.sprintf "Bus.attach: %s overlaps RAM" d.name);
+  List.iter
+    (fun d' ->
+       if overlaps d.base d.size d'.base d'.size then
+         invalid_arg
+           (Printf.sprintf "Bus.attach: %s overlaps %s" d.name d'.name))
+    t.devices;
+  t.devices <- d :: t.devices
+
+let find_device t addr =
+  List.find_opt (fun d -> addr >= d.base && addr < d.base + d.size) t.devices
+
+let width_bytes = function Instr.Byte -> 1 | Instr.Half -> 2 | Instr.Word -> 4
+
+let load t ~width ~addr =
+  let bytes = width_bytes width in
+  if Phys_mem.in_range t.mem ~addr ~width:bytes then
+    Ok
+      (match width with
+       | Instr.Byte -> Phys_mem.read8 t.mem addr
+       | Instr.Half -> Phys_mem.read16 t.mem addr
+       | Instr.Word -> Phys_mem.read32 t.mem addr)
+  else
+    match find_device t addr with
+    | Some d when width = Instr.Word -> Ok (d.read32 (addr - d.base))
+    | Some _ | None -> Error Cause.Access_fault
+
+let store t ~width ~addr v =
+  let bytes = width_bytes width in
+  if Phys_mem.in_range t.mem ~addr ~width:bytes then begin
+    begin match width with
+    | Instr.Byte -> Phys_mem.write8 t.mem addr v
+    | Instr.Half -> Phys_mem.write16 t.mem addr v
+    | Instr.Word -> Phys_mem.write32 t.mem addr v
+    end;
+    Ok ()
+  end
+  else
+    match find_device t addr with
+    | Some d when width = Instr.Word ->
+      d.write32 (addr - d.base) v;
+      Ok ()
+    | Some _ | None -> Error Cause.Access_fault
+
+let tick t ~cycle = List.iter (fun d -> d.tick ~cycle) t.devices

@@ -1,0 +1,37 @@
+(** Physical address bus: memory plus memory-mapped devices.
+
+    Devices occupy word-granular windows; only aligned 32-bit accesses
+    reach them (narrower MMIO accesses fault).  Everything below the
+    memory size is RAM. *)
+
+type device = {
+  name : string;
+  base : int;
+  size : int;  (** window size in bytes (multiple of 4) *)
+  read32 : int -> Word.t;  (** read at byte offset within the window *)
+  write32 : int -> Word.t -> unit;
+  tick : cycle:int -> unit;  (** called once per machine cycle *)
+}
+
+type t
+
+val create : mem:Phys_mem.t -> t
+
+val memory : t -> Phys_mem.t
+
+val attach : t -> device -> unit
+(** @raise Invalid_argument on overlap with RAM or another device. *)
+
+val load : t -> width:Instr.mem_width -> addr:int -> (Word.t, Cause.t) result
+(** Zero-extended read (the pipeline applies sign extension).
+    Alignment is the pipeline's responsibility; out-of-range accesses
+    return [Access_fault]. *)
+
+val store :
+  t -> width:Instr.mem_width -> addr:int -> Word.t -> (unit, Cause.t) result
+
+val tick : t -> cycle:int -> unit
+(** Advance every device by one cycle. *)
+
+val mmio_base : int
+(** Conventional start of the MMIO window (0xF000_0000). *)

@@ -1,0 +1,47 @@
+type config = { lines : int; line_bytes : int; miss_penalty : int }
+
+type t = {
+  cfg : config;
+  tags : int array;  (* -1 = invalid *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let create cfg =
+  if not (is_pow2 cfg.lines && is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: lines and line_bytes must be powers of two";
+  if cfg.miss_penalty < 0 then invalid_arg "Cache.create: negative penalty";
+  { cfg; tags = Array.make cfg.lines (-1); hit_count = 0; miss_count = 0 }
+
+let config t = t.cfg
+
+let split t addr =
+  let line = addr / t.cfg.line_bytes in
+  (line mod t.cfg.lines, line / t.cfg.lines)
+
+let access t ~addr =
+  let index, tag = split t addr in
+  if t.tags.(index) = tag then begin
+    t.hit_count <- t.hit_count + 1;
+    true
+  end
+  else begin
+    t.miss_count <- t.miss_count + 1;
+    t.tags.(index) <- tag;
+    false
+  end
+
+let probe t ~addr =
+  let index, tag = split t addr in
+  t.tags.(index) = tag
+
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count
+
+let resident_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags

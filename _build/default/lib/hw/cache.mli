@@ -1,0 +1,35 @@
+(** Direct-mapped cache timing model.
+
+    Tag-only (the simulator's memory is flat, so only hit/miss timing
+    matters).  Used for the optional instruction and data caches; the
+    MRAM deliberately bypasses it — "Accesses to the RAM do not alter
+    processor caches ... This also prevents side channels on the RAM"
+    (Section 2, Section 4). *)
+
+type config = {
+  lines : int;  (** power of two *)
+  line_bytes : int;  (** power of two *)
+  miss_penalty : int;  (** extra stall cycles per miss *)
+}
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+val access : t -> addr:int -> bool
+(** Look up [addr]; fills the line on a miss.  Returns [true] on a
+    hit.  Counters are updated. *)
+
+val probe : t -> addr:int -> bool
+(** Non-allocating lookup (no fill, no counters). *)
+
+val flush : t -> unit
+
+val hits : t -> int
+
+val misses : t -> int
+
+val resident_lines : t -> int
+(** Number of valid lines, for inspection. *)

@@ -1,0 +1,171 @@
+module Console = struct
+  type t = { base : int; buf : Buffer.t }
+
+  let reg_tx = 0x0
+  let reg_status = 0x4
+
+  let create ~base = { base; buf = Buffer.create 256 }
+
+  let output t = Buffer.contents t.buf
+
+  let clear t = Buffer.clear t.buf
+
+  let device t =
+    {
+      Bus.name = "console";
+      base = t.base;
+      size = 0x8;
+      read32 = (fun off -> if off = reg_status then 1 else 0);
+      write32 =
+        (fun off v ->
+           if off = reg_tx then Buffer.add_char t.buf (Char.chr (v land 0xFF)));
+      tick = (fun ~cycle:_ -> ());
+    }
+end
+
+module Nic = struct
+  type packet = { seq : int; mutable next_word : int; arrival : int }
+
+  type schedule =
+    | Periodic of { start : int; period : int; count : int }
+    | At of int list
+
+  type t = {
+    base : int;
+    intc : Intc.t;
+    mutable pending_arrivals : int list;  (** sorted arrival cycles *)
+    queue : packet Queue.t;
+    mutable seq : int;
+    mutable arrived : int;
+    mutable delivered : int;
+    mutable irq_enabled : bool;
+    mutable latencies_rev : int list;
+    mutable now : int;
+  }
+
+  let reg_rx_count = 0x0
+  let reg_rx_seq = 0x4
+  let reg_rx_word = 0x8
+  let reg_rx_pop = 0xc
+  let reg_irq_ctrl = 0x10
+
+  let expand_schedule = function
+    | At cycles -> List.sort compare cycles
+    | Periodic { start; period; count } ->
+      List.init count (fun i -> start + (i * period))
+
+  let create ~base ~intc ~schedule =
+    {
+      base;
+      intc;
+      pending_arrivals = expand_schedule schedule;
+      queue = Queue.create ();
+      seq = 0;
+      arrived = 0;
+      delivered = 0;
+      irq_enabled = false;
+      latencies_rev = [];
+      now = 0;
+    }
+
+  let arrived t = t.arrived
+
+  let delivered t = t.delivered
+
+  let queued t = Queue.length t.queue
+
+  let latencies t = List.rev t.latencies_rev
+
+  let done_sending t = t.pending_arrivals = [] && Queue.is_empty t.queue
+
+  (* Payload words are a simple function of the sequence number so
+     guest code can checksum them. *)
+  let payload_word seq i = Word.of_int ((seq * 0x9E3779B9) + i)
+
+  let read32 t off =
+    if off = reg_rx_count then Queue.length t.queue
+    else if off = reg_rx_seq then
+      (match Queue.peek_opt t.queue with Some p -> p.seq | None -> 0xFFFFFFFF)
+    else if off = reg_rx_word then
+      match Queue.peek_opt t.queue with
+      | Some p ->
+        let w = payload_word p.seq p.next_word in
+        p.next_word <- p.next_word + 1;
+        w
+      | None -> 0
+    else if off = reg_irq_ctrl then if t.irq_enabled then 1 else 0
+    else 0
+
+  let write32 t off v =
+    if off = reg_rx_pop then begin
+      match Queue.take_opt t.queue with
+      | Some p ->
+        t.delivered <- t.delivered + 1;
+        t.latencies_rev <- (t.now - p.arrival) :: t.latencies_rev
+      | None -> ()
+    end
+    else if off = reg_irq_ctrl then t.irq_enabled <- v land 1 = 1
+
+  let tick t ~cycle =
+    t.now <- cycle;
+    let rec deliver () =
+      match t.pending_arrivals with
+      | c :: rest when c <= cycle ->
+        t.pending_arrivals <- rest;
+        Queue.add { seq = t.seq; next_word = 0; arrival = cycle } t.queue;
+        t.seq <- t.seq + 1;
+        t.arrived <- t.arrived + 1;
+        if t.irq_enabled then Intc.raise_irq t.intc Intc.nic_irq;
+        deliver ()
+      | _ -> ()
+    in
+    deliver ()
+
+  let device t =
+    {
+      Bus.name = "nic";
+      base = t.base;
+      size = 0x20;
+      read32 = read32 t;
+      write32 = write32 t;
+      tick = tick t;
+    }
+end
+
+module Dma = struct
+  type t = {
+    mem : Phys_mem.t;
+    mutable writes : (int * int * Word.t) list;  (** sorted by cycle *)
+    mutable performed : int;
+  }
+
+  let create ~mem ~writes =
+    { mem;
+      writes = List.sort (fun (a, _, _) (b, _, _) -> compare a b) writes;
+      performed = 0 }
+
+  let performed t = t.performed
+
+  let tick t ~cycle =
+    let rec go () =
+      match t.writes with
+      | (c, addr, v) :: rest when c <= cycle ->
+        t.writes <- rest;
+        Phys_mem.write32 t.mem addr v;
+        t.performed <- t.performed + 1;
+        go ()
+      | _ -> ()
+    in
+    go ()
+
+  let device t =
+    {
+      Bus.name = "dma-agent";
+      (* Outside RAM and other windows; never actually addressed. *)
+      base = 0xFFFF_FF00;
+      size = 0x4;
+      read32 = (fun _ -> 0);
+      write32 = (fun _ _ -> ());
+      tick = tick t;
+    }
+end

@@ -1,0 +1,90 @@
+(** Memory-mapped devices and host-side agents.
+
+    These model the environment the paper's applications need: a
+    console for program output, a NIC-like packet source for the
+    user-level-interrupt experiments (Section 3.4, the DPDK/SPDK
+    motivation) and a DMA agent that mutates memory behind the
+    processor's back (used to inject conflicts into the transactional
+    memory experiments, standing in for a second core). *)
+
+(** {1 Console} *)
+
+module Console : sig
+  type t
+
+  val create : base:int -> t
+
+  val device : t -> Bus.device
+
+  val output : t -> string
+  (** Everything written to the TX register so far. *)
+
+  val clear : t -> unit
+
+  val reg_tx : int
+  (** Write: emit low byte.  Offset 0x0. *)
+
+  val reg_status : int
+  (** Read: always 1 (ready).  Offset 0x4. *)
+end
+
+(** {1 NIC packet source} *)
+
+module Nic : sig
+  type t
+
+  type schedule =
+    | Periodic of { start : int; period : int; count : int }
+        (** one packet every [period] cycles. *)
+    | At of int list  (** explicit arrival cycles. *)
+
+  val create : base:int -> intc:Intc.t -> schedule:schedule -> t
+
+  val device : t -> Bus.device
+
+  (** MMIO register offsets. *)
+
+  val reg_rx_count : int
+  (** Read: packets queued.  Offset 0x0. *)
+
+  val reg_rx_seq : int
+  (** Read: head packet sequence number.  Offset 0x4. *)
+
+  val reg_rx_word : int
+  (** Read: next payload word of the head packet.  Offset 0x8. *)
+
+  val reg_rx_pop : int
+  (** Write: retire the head packet.  Offset 0xc. *)
+
+  val reg_irq_ctrl : int
+  (** Read/write: bit 0 enables the rx interrupt.  Offset 0x10. *)
+
+  val arrived : t -> int
+  (** Packets that have arrived so far. *)
+
+  val delivered : t -> int
+  (** Packets retired via [reg_rx_pop]. *)
+
+  val queued : t -> int
+
+  val latencies : t -> int list
+  (** Per-retired-packet (pop cycle - arrival cycle), oldest first. *)
+
+  val done_sending : t -> bool
+  (** The schedule is exhausted and the queue is empty. *)
+end
+
+(** {1 DMA agent} *)
+
+module Dma : sig
+  type t
+
+  val create : mem:Phys_mem.t -> writes:(int * int * Word.t) list -> t
+  (** [writes] is a list of (cycle, physical address, value) word
+      stores performed behind the pipeline's back. *)
+
+  val device : t -> Bus.device
+  (** A tick-only device (no MMIO window is decoded: reads return 0). *)
+
+  val performed : t -> int
+end

@@ -1,0 +1,25 @@
+type t = { mutable pending : int }
+
+let lines = 16
+
+let timer_irq = 0
+let nic_irq = 1
+let console_irq = 2
+let ipi_irq = 3
+
+let create () = { pending = 0 }
+
+let raise_irq t irq =
+  assert (irq >= 0 && irq < lines);
+  t.pending <- t.pending lor (1 lsl irq)
+
+let clear t ~mask = t.pending <- t.pending land lnot mask
+
+let pending t = t.pending
+
+let highest_pending t ~enabled =
+  let live = t.pending land enabled in
+  if live = 0 then None
+  else
+    let rec find i = if live land (1 lsl i) <> 0 then Some i else find (i + 1) in
+    find 0

@@ -1,0 +1,34 @@
+(** Interrupt controller: a set of level/edge pending bits raised by
+    devices and consumed by the pipeline.  Line enabling and delivery
+    routing live in the machine control registers. *)
+
+type t
+
+val lines : int
+(** Number of interrupt lines (16). *)
+
+val timer_irq : int
+(** Line 0. *)
+
+val nic_irq : int
+(** Line 1. *)
+
+val console_irq : int
+(** Line 2. *)
+
+val ipi_irq : int
+(** Line 3: software-raised, for tests. *)
+
+val create : unit -> t
+
+val raise_irq : t -> int -> unit
+(** Set the pending bit for a line. *)
+
+val clear : t -> mask:int -> unit
+(** Clear every pending bit set in [mask]. *)
+
+val pending : t -> int
+(** Current pending bitmask. *)
+
+val highest_pending : t -> enabled:int -> int option
+(** Lowest-numbered pending line that is also set in [enabled]. *)

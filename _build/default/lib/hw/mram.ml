@@ -1,0 +1,104 @@
+type t = {
+  code : Word.t array;  (** one slot per instruction word *)
+  data : Bytes.t;
+  entry_table : int array;  (** -1 = unregistered *)
+}
+
+let max_entries = 64
+
+let create ~code_words ~data_bytes =
+  if code_words <= 0 then invalid_arg "Mram.create: code_words";
+  if data_bytes <= 0 || data_bytes land 3 <> 0 then
+    invalid_arg "Mram.create: data_bytes must be a positive multiple of 4";
+  {
+    code = Array.make code_words 0;
+    data = Bytes.make data_bytes '\000';
+    entry_table = Array.make max_entries (-1);
+  }
+
+let code_bytes t = 4 * Array.length t.code
+
+let data_bytes t = Bytes.length t.data
+
+let set_entry t ~entry ~addr =
+  if entry < 0 || entry >= max_entries then
+    Error (Printf.sprintf "mroutine entry %d out of range" entry)
+  else if addr < 0 || addr >= code_bytes t || addr land 3 <> 0 then
+    Error (Printf.sprintf "mroutine entry %d at invalid offset 0x%x" entry addr)
+  else if t.entry_table.(entry) >= 0 && t.entry_table.(entry) <> addr then
+    Error (Printf.sprintf "mroutine entry %d already registered" entry)
+  else begin
+    t.entry_table.(entry) <- addr;
+    Ok ()
+  end
+
+let entry_addr t entry =
+  if entry < 0 || entry >= max_entries then None
+  else
+    let a = t.entry_table.(entry) in
+    if a < 0 then None else Some a
+
+let entries t =
+  let acc = ref [] in
+  for e = max_entries - 1 downto 0 do
+    if t.entry_table.(e) >= 0 then acc := (e, t.entry_table.(e)) :: !acc
+  done;
+  !acc
+
+let load_image t (img : Metal_asm.Image.t) =
+  let ( let* ) = Result.bind in
+  let load_chunk (addr, data) =
+    if addr land 3 <> 0 || String.length data land 3 <> 0 then
+      Error (Printf.sprintf "mcode chunk at 0x%x not word-aligned" addr)
+    else if addr < 0 || addr + String.length data > code_bytes t then
+      Error
+        (Printf.sprintf "mcode chunk [0x%x, 0x%x) exceeds MRAM code segment"
+           addr
+           (addr + String.length data))
+    else begin
+      for i = 0 to (String.length data / 4) - 1 do
+        let w =
+          Char.code data.[4 * i]
+          lor (Char.code data.[(4 * i) + 1] lsl 8)
+          lor (Char.code data.[(4 * i) + 2] lsl 16)
+          lor (Char.code data.[(4 * i) + 3] lsl 24)
+        in
+        t.code.((addr / 4) + i) <- w
+      done;
+      Ok ()
+    end
+  in
+  let* () =
+    List.fold_left
+      (fun acc chunk -> Result.bind acc (fun () -> load_chunk chunk))
+      (Ok ()) img.Metal_asm.Image.chunks
+  in
+  List.fold_left
+    (fun acc (entry, addr) ->
+       Result.bind acc (fun () -> set_entry t ~entry ~addr))
+    (Ok ()) img.Metal_asm.Image.mentries
+
+let fetch t ~addr =
+  if addr < 0 || addr land 3 <> 0 || addr >= code_bytes t then None
+  else Some t.code.(addr / 4)
+
+let load_word t ~addr =
+  if addr < 0 || addr land 3 <> 0 || addr + 4 > Bytes.length t.data then None
+  else
+    Some
+      (Char.code (Bytes.get t.data addr)
+       lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+       lor (Char.code (Bytes.get t.data (addr + 2)) lsl 16)
+       lor (Char.code (Bytes.get t.data (addr + 3)) lsl 24))
+
+let store_word t ~addr v =
+  if addr < 0 || addr land 3 <> 0 || addr + 4 > Bytes.length t.data then false
+  else begin
+    Bytes.set t.data addr (Char.chr (v land 0xFF));
+    Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set t.data (addr + 2) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set t.data (addr + 3) (Char.chr ((v lsr 24) land 0xFF));
+    true
+  end
+
+let clear_data t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'

@@ -1,0 +1,47 @@
+(** MRAM: the RAM collocated with the instruction fetch unit that
+    stores mroutines (Section 2).
+
+    The RAM partitions code and data into separate segments.  The code
+    segment holds up to 64 mroutines addressed by a Metal-mode program
+    counter (byte offset into the segment); the data segment holds
+    mroutine private data accessed with [mld]/[mst].  MRAM contents are
+    never cached and are invisible to normal-mode code. *)
+
+type t
+
+val create : code_words:int -> data_bytes:int -> t
+(** [data_bytes] must be a multiple of 4. *)
+
+val code_bytes : t -> int
+val data_bytes : t -> int
+
+val max_entries : int
+(** 64 mroutine entries. *)
+
+val load_image : t -> Metal_asm.Image.t -> (unit, string) result
+(** Load an assembled mcode image: chunk addresses are byte offsets
+    into the code segment; every [.mentry] in the image is registered.
+    Loading is additive — several images may be loaded at disjoint
+    offsets (e.g. with [.org]) as long as entries do not collide. *)
+
+val set_entry : t -> entry:int -> addr:int -> (unit, string) result
+(** Register entry [entry] at code offset [addr] directly. *)
+
+val entry_addr : t -> int -> int option
+(** Code offset of an mroutine entry, if registered. *)
+
+val entries : t -> (int * int) list
+(** All registered (entry, offset) pairs, sorted. *)
+
+val fetch : t -> addr:int -> Word.t option
+(** Instruction fetch at a byte offset ([None] when out of segment or
+    unaligned). *)
+
+val load_word : t -> addr:int -> Word.t option
+(** [mld]: word read from the data segment. *)
+
+val store_word : t -> addr:int -> Word.t -> bool
+(** [mst]: word write to the data segment; false when out of range. *)
+
+val clear_data : t -> unit
+(** Zero the data segment (used between benchmark runs). *)

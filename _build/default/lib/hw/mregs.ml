@@ -1,0 +1,17 @@
+type t = { regs : Word.t array }
+
+let create () = { regs = Array.make Reg.mreg_count 0 }
+
+let check m =
+  if m < 0 || m >= Reg.mreg_count then
+    invalid_arg (Printf.sprintf "Mregs: invalid metal register %d" m)
+
+let read t m =
+  check m;
+  t.regs.(m)
+
+let write t m v =
+  check m;
+  t.regs.(m) <- Word.of_int v
+
+let dump t = Array.copy t.regs

@@ -1,0 +1,16 @@
+(** The Metal register file m0–m31 (Section 2).
+
+    Holds Metal's internal state across mroutine invocations.  Not
+    cached, invisible to normal mode.  See {!Metal_isa.Reg.Mconv} for
+    the register-use conventions. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> Reg.mreg -> Word.t
+
+val write : t -> Reg.mreg -> Word.t -> unit
+
+val dump : t -> Word.t array
+(** A copy of the register file, for inspection and tests. *)

@@ -1,0 +1,67 @@
+type t = { data : Bytes.t }
+
+let create ~size =
+  if size <= 0 || size land 3 <> 0 then
+    invalid_arg "Phys_mem.create: size must be a positive multiple of 4";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let in_range t ~addr ~width =
+  addr >= 0 && addr + width <= Bytes.length t.data
+
+let check t addr width =
+  if not (in_range t ~addr ~width) then
+    invalid_arg
+      (Printf.sprintf "Phys_mem: out-of-range access 0x%08x/%d" addr width)
+
+let read8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let read16 t addr =
+  check t addr 2;
+  Char.code (Bytes.get t.data addr)
+  lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+
+let read32 t addr =
+  check t addr 4;
+  Char.code (Bytes.get t.data addr)
+  lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.get t.data (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.get t.data (addr + 3)) lsl 24)
+
+let write8 t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let write16 t addr v =
+  check t addr 2;
+  Bytes.set t.data addr (Char.chr (v land 0xFF));
+  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let write32 t addr v =
+  check t addr 4;
+  Bytes.set t.data addr (Char.chr (v land 0xFF));
+  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set t.data (addr + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set t.data (addr + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let blit_string t ~addr s =
+  if not (in_range t ~addr ~width:(String.length s)) then
+    Error
+      (Printf.sprintf "image chunk [0x%08x, 0x%08x) outside physical memory"
+         addr
+         (addr + String.length s))
+  else begin
+    Bytes.blit_string s 0 t.data addr (String.length s);
+    Ok ()
+  end
+
+let load_image t (img : Metal_asm.Image.t) =
+  List.fold_left
+    (fun acc (addr, data) ->
+       match acc with
+       | Error _ as e -> e
+       | Ok () -> blit_string t ~addr data)
+    (Ok ()) img.Metal_asm.Image.chunks

@@ -1,0 +1,28 @@
+(** Byte-addressed physical memory (little-endian). *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] allocates [size] zeroed bytes.  [size] must be a
+    positive multiple of 4. *)
+
+val size : t -> int
+
+val in_range : t -> addr:int -> width:int -> bool
+
+val read8 : t -> int -> int
+val read16 : t -> int -> int
+val read32 : t -> int -> Word.t
+
+val write8 : t -> int -> int -> unit
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> Word.t -> unit
+
+(** All accessors assume the address is in range ([in_range] checked by
+    the bus); they raise [Invalid_argument] otherwise. *)
+
+val load_image : t -> Metal_asm.Image.t -> (unit, string) result
+(** Copy every chunk of an assembled image into memory at its absolute
+    address. *)
+
+val blit_string : t -> addr:int -> string -> (unit, string) result

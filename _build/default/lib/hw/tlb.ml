@@ -1,0 +1,84 @@
+type entry = {
+  asid : int;
+  global : bool;
+  vpn : int;
+  ppn : int;
+  r : bool;
+  w : bool;
+  x : bool;
+  pkey : int;
+}
+
+type t = { slots : entry option array; mutable victim : int }
+
+let page_shift = 12
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  { slots = Array.make entries None; victim = 0 }
+
+let capacity t = Array.length t.slots
+
+let matches ~asid ~vpn = function
+  | Some e -> e.vpn = vpn && (e.global || e.asid = asid)
+  | None -> false
+
+let lookup t ~asid ~vpn =
+  let n = Array.length t.slots in
+  let rec find i =
+    if i >= n then None
+    else if matches ~asid ~vpn t.slots.(i) then t.slots.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let insert t e =
+  let n = Array.length t.slots in
+  let rec find_tag i =
+    if i >= n then None
+    else
+      match t.slots.(i) with
+      | Some e' when e'.vpn = e.vpn && e'.asid = e.asid && e'.global = e.global
+        -> Some i
+      | Some _ | None -> find_tag (i + 1)
+  in
+  let rec find_free i =
+    if i >= n then None else if t.slots.(i) = None then Some i else find_free (i + 1)
+  in
+  let slot =
+    match find_tag 0 with
+    | Some i -> i
+    | None ->
+      begin match find_free 0 with
+      | Some i -> i
+      | None ->
+        let i = t.victim in
+        t.victim <- (t.victim + 1) mod n;
+        i
+      end
+  in
+  t.slots.(slot) <- Some e
+
+let insert_packed t ~tag ~data =
+  let vpn, asid, global = Instr.unpack_tlb_tag tag in
+  let ppn, pkey, r, w, x = Instr.unpack_tlb_data data in
+  insert t { asid; global; vpn; ppn; r; w; x; pkey }
+
+let probe_packed t ~asid ~vaddr =
+  let vpn = Word.bits ~hi:31 ~lo:12 vaddr in
+  match lookup t ~asid ~vpn with
+  | None -> 0
+  | Some e -> Instr.pack_tlb_data ~ppn:e.ppn ~pkey:e.pkey ~r:e.r ~w:e.w ~x:e.x
+
+let flush_all t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let flush_asid t ~asid =
+  Array.iteri
+    (fun i slot ->
+       match slot with
+       | Some e when (not e.global) && e.asid = asid -> t.slots.(i) <- None
+       | Some _ | None -> ())
+    t.slots
+
+let entries t =
+  Array.to_list t.slots |> List.filter_map (fun e -> e)

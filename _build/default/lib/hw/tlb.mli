@@ -1,0 +1,47 @@
+(** Software-managed translation lookaside buffer.
+
+    Fully associative with round-robin replacement.  Entries carry an
+    address-space identifier (or the global bit), R/W/X permissions and
+    a 4-bit page key (Section 2.3: "Page Keys and Address Space IDs").
+    4 KiB pages. *)
+
+type entry = {
+  asid : int;    (** 8-bit ASID; ignored when [global]. *)
+  global : bool;
+  vpn : int;     (** virtual page number (20 bits). *)
+  ppn : int;     (** physical page number (20 bits). *)
+  r : bool;
+  w : bool;
+  x : bool;
+  pkey : int;    (** 4-bit page key. *)
+}
+
+type t
+
+val page_shift : int  (** 12 *)
+
+val create : entries:int -> t
+
+val capacity : t -> int
+
+val lookup : t -> asid:int -> vpn:int -> entry option
+(** Match on [vpn] and ([global] or equal [asid]). *)
+
+val insert : t -> entry -> unit
+(** Replace an entry with the same tag if present, otherwise evict
+    round-robin. *)
+
+val insert_packed : t -> tag:Word.t -> data:Word.t -> unit
+(** Insert from the packed [tlbw] operands
+    ({!Instr.pack_tlb_tag}/{!Instr.pack_tlb_data}). *)
+
+val probe_packed : t -> asid:int -> vaddr:Word.t -> Word.t
+(** The packed data of the matching entry, or 0 on miss ([tlbprobe]). *)
+
+val flush_all : t -> unit
+
+val flush_asid : t -> asid:int -> unit
+(** Drop non-global entries of one address space. *)
+
+val entries : t -> entry list
+(** Live entries, for inspection and tests. *)

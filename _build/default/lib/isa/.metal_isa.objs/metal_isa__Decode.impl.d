@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Csr Instr Printf Reg Result Word

@@ -1,0 +1,1 @@
+lib/isa/icept.ml: Instr List

@@ -1,0 +1,1 @@
+lib/isa/icept.mli: Instr

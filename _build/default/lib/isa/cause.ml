@@ -1,0 +1,57 @@
+type t =
+  | Illegal_instruction
+  | Misaligned_fetch
+  | Misaligned_load
+  | Misaligned_store
+  | Page_fault_fetch
+  | Page_fault_load
+  | Page_fault_store
+  | Ecall
+  | Breakpoint
+  | Pkey_violation_load
+  | Pkey_violation_store
+  | Access_fault
+
+let all =
+  [ Illegal_instruction; Misaligned_fetch; Misaligned_load;
+    Misaligned_store; Page_fault_fetch; Page_fault_load;
+    Page_fault_store; Ecall; Breakpoint; Pkey_violation_load;
+    Pkey_violation_store; Access_fault ]
+
+let code = function
+  | Illegal_instruction -> 0
+  | Misaligned_fetch -> 1
+  | Misaligned_load -> 2
+  | Misaligned_store -> 3
+  | Page_fault_fetch -> 4
+  | Page_fault_load -> 5
+  | Page_fault_store -> 6
+  | Ecall -> 7
+  | Breakpoint -> 8
+  | Pkey_violation_load -> 9
+  | Pkey_violation_store -> 10
+  | Access_fault -> 11
+
+let of_code n = List.find_opt (fun c -> code c = n) all
+
+let to_string = function
+  | Illegal_instruction -> "illegal-instruction"
+  | Misaligned_fetch -> "misaligned-fetch"
+  | Misaligned_load -> "misaligned-load"
+  | Misaligned_store -> "misaligned-store"
+  | Page_fault_fetch -> "page-fault-fetch"
+  | Page_fault_load -> "page-fault-load"
+  | Page_fault_store -> "page-fault-store"
+  | Ecall -> "ecall"
+  | Breakpoint -> "breakpoint"
+  | Pkey_violation_load -> "pkey-violation-load"
+  | Pkey_violation_store -> "pkey-violation-store"
+  | Access_fault -> "access-fault"
+
+let interrupt_code irq = 0x100 lor irq
+
+let intercept_code cls = 0x200 lor cls
+
+let is_interrupt_code n = n land 0x100 <> 0
+
+let is_intercept_code n = n land 0x200 <> 0

@@ -1,0 +1,42 @@
+(** Exception, interrupt and interception event causes.
+
+    All event delivery in a Metal machine is delegated to mroutines
+    (Section 2.3 of the paper).  The hardware writes the event cause
+    code into Metal register [m30] on entry. *)
+
+type t =
+  | Illegal_instruction
+  | Misaligned_fetch
+  | Misaligned_load
+  | Misaligned_store
+  | Page_fault_fetch
+  | Page_fault_load
+  | Page_fault_store
+  | Ecall
+  | Breakpoint
+  | Pkey_violation_load
+  | Pkey_violation_store
+  | Access_fault
+      (** Physical access outside implemented memory. *)
+
+val code : t -> int
+(** [code c] is the numeric cause code written to [m30] for an
+    exception (in [0, 15]). *)
+
+val of_code : int -> t option
+
+val all : t list
+(** All exception causes, in code order. *)
+
+val to_string : t -> string
+
+val interrupt_code : int -> int
+(** [interrupt_code irq] is the [m30] code for interrupt line [irq]:
+    [0x100 lor irq]. *)
+
+val intercept_code : int -> int
+(** [intercept_code cls] is the [m30] code for an interception of
+    class [cls]: [0x200 lor cls]. *)
+
+val is_interrupt_code : int -> bool
+val is_intercept_code : int -> bool

@@ -1,0 +1,88 @@
+type t = int
+
+let paging = 0
+let asid = 1
+let pt_root = 2
+let pkey_perms = 3
+let int_enable = 4
+let int_pending = 5
+let cycle = 6
+let icept_enable = 7
+let timer_cmp = 8
+let hw_walker = 9
+let fault_vaddr = 10
+let fault_cause = 11
+let instret = 12
+
+let exc_handler c = 16 + Cause.code c
+
+let int_handler irq =
+  assert (irq >= 0 && irq < 16);
+  32 + irq
+
+let icept_handler cls =
+  assert (cls >= 0 && cls < 16);
+  48 + cls
+
+let count = 64
+
+let is_valid id = id >= 0 && id < count
+
+let is_read_only id =
+  id = cycle || id = fault_vaddr || id = fault_cause || id = instret
+
+let base_names =
+  [ (paging, "paging"); (asid, "asid"); (pt_root, "pt_root");
+    (pkey_perms, "pkey_perms"); (int_enable, "int_enable");
+    (int_pending, "int_pending"); (cycle, "cycle");
+    (icept_enable, "icept_enable"); (timer_cmp, "timer_cmp");
+    (hw_walker, "hw_walker"); (fault_vaddr, "fault_vaddr");
+    (fault_cause, "fault_cause"); (instret, "instret") ]
+
+let name id =
+  match List.assoc_opt id base_names with
+  | Some n -> n
+  | None ->
+    if id >= 16 && id < 32 then
+      begin match Cause.of_code (id - 16) with
+      | Some c -> Printf.sprintf "exc_handler[%s]" (Cause.to_string c)
+      | None -> Printf.sprintf "exc_handler[%d]" (id - 16)
+      end
+    else if id >= 32 && id < 48 then
+      Printf.sprintf "int_handler[%d]" (id - 32)
+    else if id >= 48 && id < 64 then
+      Printf.sprintf "icept_handler[%d]" (id - 48)
+    else Printf.sprintf "csr%d" id
+
+let of_name s =
+  let rev = List.map (fun (id, n) -> (n, id)) base_names in
+  match List.assoc_opt s rev with
+  | Some id -> Some id
+  | None ->
+    let indexed prefix base limit =
+      let plen = String.length prefix in
+      if String.length s > plen + 1
+         && String.sub s 0 plen = prefix
+         && s.[plen] = '['
+         && s.[String.length s - 1] = ']'
+      then
+        let inner = String.sub s (plen + 1) (String.length s - plen - 2) in
+        match int_of_string_opt inner with
+        | Some n when n >= 0 && n < limit -> Some (base + n)
+        | Some _ | None ->
+          (* Allow symbolic exception names: exc_handler[ecall]. *)
+          if prefix = "exc_handler" then
+            List.find_map
+              (fun c ->
+                 if Cause.to_string c = inner then Some (base + Cause.code c)
+                 else None)
+              Cause.all
+          else None
+      else None
+    in
+    match indexed "exc_handler" 16 16 with
+    | Some id -> Some id
+    | None ->
+      match indexed "int_handler" 32 16 with
+      | Some id -> Some id
+      | None -> indexed "icept_handler" 48 16

@@ -1,0 +1,83 @@
+(** Machine control registers.
+
+    The paper leaves the mechanism for exposing architectural features
+    to the processor; our implementation exposes them as control
+    registers readable and writable only in Metal mode via
+    [mcsrr]/[mcsrw] (Section 2.3).  Identifiers are stable small
+    integers used in the instruction immediate field. *)
+
+type t = int
+(** A control register identifier in [0, 4095]. *)
+
+val paging : t
+(** 0: paging enable (0 = identity physical addressing, 1 = TLB). *)
+
+val asid : t
+(** 1: current address-space identifier (8 bits). *)
+
+val pt_root : t
+(** 2: physical address of the page-table root used by the optional
+    hardware walker. *)
+
+val pkey_perms : t
+(** 3: page-key permission register; 2 bits per key for 16 keys.
+    Bit [2k] set disables reads under key [k]; bit [2k+1] set disables
+    writes. *)
+
+val int_enable : t
+(** 4: interrupt-enable bitmask, one bit per interrupt line. *)
+
+val int_pending : t
+(** 5: pending-interrupt bitmask.  Reads return the pending set;
+    writes clear the bits that are set in the written value. *)
+
+val cycle : t
+(** 6: read-only cycle counter. *)
+
+val icept_enable : t
+(** 7: global instruction-interception enable bit. *)
+
+val timer_cmp : t
+(** 8: timer compare value; the timer device raises its interrupt when
+    the cycle counter reaches it (0 disables). *)
+
+val hw_walker : t
+(** 9: hardware page-table walker enable (the baseline against Metal
+    page-fault mroutines). *)
+
+val fault_vaddr : t
+(** 10: read-only; virtual address of the last translation fault. *)
+
+val fault_cause : t
+(** 11: read-only; cause code of the last exception. *)
+
+val instret : t
+(** 12: read-only retired-instruction counter. *)
+
+val exc_handler : Cause.t -> t
+(** [exc_handler c] (16 + code c): mroutine entry number + 1 that
+    handles exception cause [c]; 0 means unhandled (machine fault). *)
+
+val int_handler : int -> t
+(** [int_handler irq] (32 + irq): mroutine entry number + 1 delivering
+    interrupt line [irq]; 0 means masked at delivery. *)
+
+val icept_handler : int -> t
+(** [icept_handler cls] (48 + cls): mroutine entry number + 1 that
+    intercepts instruction class [cls]; 0 means not intercepted.
+    Normally configured via [iceptset]/[iceptclr]. *)
+
+val count : int
+(** Size of the control-register file. *)
+
+val is_valid : t -> bool
+
+val is_read_only : t -> bool
+(** True for counters and fault-status registers the hardware owns. *)
+
+val name : t -> string
+(** [name id] is a symbolic name for diagnostics, e.g. ["paging"],
+    ["exc_handler[ecall]"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name} for the assembler's named CSR operands. *)

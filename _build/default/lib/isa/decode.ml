@@ -1,0 +1,201 @@
+let ( let* ) = Result.bind
+
+let bits = Word.bits
+
+let opcode w = bits ~hi:6 ~lo:0 w
+let rd w = bits ~hi:11 ~lo:7 w
+let funct3 w = bits ~hi:14 ~lo:12 w
+let rs1 w = bits ~hi:19 ~lo:15 w
+let rs2 w = bits ~hi:24 ~lo:20 w
+let funct7 w = bits ~hi:31 ~lo:25 w
+
+let i_imm w = Word.sign_extend ~width:12 (bits ~hi:31 ~lo:20 w)
+
+let i_uimm w = bits ~hi:31 ~lo:20 w
+
+let s_imm w =
+  Word.sign_extend ~width:12 ((funct7 w lsl 5) lor rd w)
+
+let b_imm w =
+  let v =
+    (Word.bit 31 w lsl 12)
+    lor (Word.bit 7 w lsl 11)
+    lor (bits ~hi:30 ~lo:25 w lsl 5)
+    lor (bits ~hi:11 ~lo:8 w lsl 1)
+  in
+  Word.sign_extend ~width:13 v
+
+let u_imm w = bits ~hi:31 ~lo:12 w
+
+let j_imm w =
+  let v =
+    (Word.bit 31 w lsl 20)
+    lor (bits ~hi:19 ~lo:12 w lsl 12)
+    lor (Word.bit 20 w lsl 11)
+    lor (bits ~hi:30 ~lo:21 w lsl 1)
+  in
+  Word.sign_extend ~width:21 v
+
+let alu_op_of ~funct3:f3 ~alt =
+  match (f3, alt) with
+  | 0, false -> Ok Instr.Add
+  | 0, true -> Ok Instr.Sub
+  | 1, false -> Ok Instr.Sll
+  | 2, false -> Ok Instr.Slt
+  | 3, false -> Ok Instr.Sltu
+  | 4, false -> Ok Instr.Xor
+  | 5, false -> Ok Instr.Srl
+  | 5, true -> Ok Instr.Sra
+  | 6, false -> Ok Instr.Or
+  | 7, false -> Ok Instr.And
+  | _ -> Error (Printf.sprintf "invalid ALU funct3/funct7: %d/alt=%b" f3 alt)
+
+let decode_branch w =
+  let cond =
+    match funct3 w with
+    | 0 -> Ok Instr.Beq
+    | 1 -> Ok Instr.Bne
+    | 4 -> Ok Instr.Blt
+    | 5 -> Ok Instr.Bge
+    | 6 -> Ok Instr.Bltu
+    | 7 -> Ok Instr.Bgeu
+    | f3 -> Error (Printf.sprintf "invalid branch funct3 %d" f3)
+  in
+  let* cond = cond in
+  Ok (Instr.Branch { cond; rs1 = rs1 w; rs2 = rs2 w; offset = b_imm w })
+
+let decode_load w =
+  let parts =
+    match funct3 w with
+    | 0 -> Ok (Instr.Byte, false)
+    | 1 -> Ok (Instr.Half, false)
+    | 2 -> Ok (Instr.Word, false)
+    | 4 -> Ok (Instr.Byte, true)
+    | 5 -> Ok (Instr.Half, true)
+    | f3 -> Error (Printf.sprintf "invalid load funct3 %d" f3)
+  in
+  let* width, unsigned = parts in
+  Ok (Instr.Load { width; unsigned; rd = rd w; rs1 = rs1 w; offset = i_imm w })
+
+let decode_store w =
+  let width =
+    match funct3 w with
+    | 0 -> Ok Instr.Byte
+    | 1 -> Ok Instr.Half
+    | 2 -> Ok Instr.Word
+    | f3 -> Error (Printf.sprintf "invalid store funct3 %d" f3)
+  in
+  let* width = width in
+  Ok (Instr.Store { width; rs2 = rs2 w; rs1 = rs1 w; offset = s_imm w })
+
+let decode_op_imm w =
+  let f3 = funct3 w in
+  match f3 with
+  | 1 | 5 ->
+    let alt = funct7 w = 0x20 in
+    if funct7 w <> 0 && funct7 w <> 0x20 then
+      Error (Printf.sprintf "invalid shift funct7 0x%x" (funct7 w))
+    else
+      let* op = alu_op_of ~funct3:f3 ~alt in
+      Ok (Instr.Op_imm { op; rd = rd w; rs1 = rs1 w; imm = rs2 w })
+  | _ ->
+    let* op = alu_op_of ~funct3:f3 ~alt:false in
+    Ok (Instr.Op_imm { op; rd = rd w; rs1 = rs1 w; imm = i_imm w })
+
+let decode_op w =
+  let alt =
+    match funct7 w with
+    | 0 -> Ok false
+    | 0x20 -> Ok true
+    | f7 -> Error (Printf.sprintf "invalid OP funct7 0x%x" f7)
+  in
+  let* alt = alt in
+  let* op = alu_op_of ~funct3:(funct3 w) ~alt in
+  begin match (op, alt) with
+  | (Instr.Sub | Instr.Sra), _ | _, false ->
+    Ok (Instr.Op { op; rd = rd w; rs1 = rs1 w; rs2 = rs2 w })
+  | _, true -> Error "invalid OP funct7 for this funct3"
+  end
+
+let decode_system w =
+  if funct3 w <> 0 || rd w <> 0 || rs1 w <> 0 then
+    Error "unsupported SYSTEM instruction"
+  else
+    match i_uimm w with
+    | 0 -> Ok Instr.Ecall
+    | 1 -> Ok Instr.Ebreak
+    | imm -> Error (Printf.sprintf "unsupported SYSTEM imm %d" imm)
+
+let decode_custom0 w =
+  match funct3 w with
+  | 0 ->
+    let entry = i_uimm w in
+    if entry < 64 then Ok (Instr.Metal (Instr.Menter { entry }))
+    else Error (Printf.sprintf "menter: entry %d out of range" entry)
+  | 1 -> Ok (Instr.Metal Instr.Mexit)
+  | 2 ->
+    let mr = i_uimm w in
+    if mr < Reg.mreg_count then Ok (Instr.Metal (Instr.Rmr { rd = rd w; mr }))
+    else Error (Printf.sprintf "rmr: metal register %d out of range" mr)
+  | 3 ->
+    let mr = i_uimm w in
+    if mr < Reg.mreg_count then Ok (Instr.Metal (Instr.Wmr { mr; rs1 = rs1 w }))
+    else Error (Printf.sprintf "wmr: metal register %d out of range" mr)
+  | 4 ->
+    Ok (Instr.Metal (Instr.Mld { rd = rd w; rs1 = rs1 w; offset = i_imm w }))
+  | 5 ->
+    Ok (Instr.Metal (Instr.Mst { rs2 = rs2 w; rs1 = rs1 w; offset = s_imm w }))
+  | f3 -> Error (Printf.sprintf "invalid custom-0 funct3 %d" f3)
+
+let decode_custom1 w =
+  let feature f = Ok (Instr.Metal (Instr.Feature f)) in
+  match funct3 w with
+  | 0 -> feature (Instr.Physld { rd = rd w; rs1 = rs1 w; offset = i_imm w })
+  | 1 -> feature (Instr.Physst { rs2 = rs2 w; rs1 = rs1 w; offset = s_imm w })
+  | 2 ->
+    begin match funct7 w with
+    | 0 -> feature (Instr.Tlbw { rs1 = rs1 w; rs2 = rs2 w })
+    | 1 -> feature (Instr.Tlbflush { rs1 = rs1 w })
+    | 2 -> feature (Instr.Tlbprobe { rd = rd w; rs1 = rs1 w })
+    | 3 -> feature (Instr.Gprr { rd = rd w; rs1 = rs1 w })
+    | 4 -> feature (Instr.Gprw { rs1 = rs1 w; rs2 = rs2 w })
+    | 5 -> feature (Instr.Iceptset { rs1 = rs1 w; rs2 = rs2 w })
+    | 6 -> feature (Instr.Iceptclr { rs1 = rs1 w })
+    | f7 -> Error (Printf.sprintf "invalid custom-1 funct7 %d" f7)
+    end
+  | 3 ->
+    let csr = i_uimm w in
+    if Csr.is_valid csr then feature (Instr.Mcsrr { rd = rd w; csr })
+    else Error (Printf.sprintf "mcsrr: invalid csr %d" csr)
+  | 4 ->
+    let csr = i_uimm w in
+    if Csr.is_valid csr then feature (Instr.Mcsrw { csr; rs1 = rs1 w })
+    else Error (Printf.sprintf "mcsrw: invalid csr %d" csr)
+  | f3 -> Error (Printf.sprintf "invalid custom-1 funct3 %d" f3)
+
+let decode w =
+  match opcode w with
+  | 0x37 -> Ok (Instr.Lui { rd = rd w; imm = u_imm w })
+  | 0x17 -> Ok (Instr.Auipc { rd = rd w; imm = u_imm w })
+  | 0x6F -> Ok (Instr.Jal { rd = rd w; offset = j_imm w })
+  | 0x67 ->
+    if funct3 w = 0 then
+      Ok (Instr.Jalr { rd = rd w; rs1 = rs1 w; offset = i_imm w })
+    else Error (Printf.sprintf "invalid jalr funct3 %d" (funct3 w))
+  | 0x63 -> decode_branch w
+  | 0x03 -> decode_load w
+  | 0x23 -> decode_store w
+  | 0x13 -> decode_op_imm w
+  | 0x33 -> decode_op w
+  | 0x73 -> decode_system w
+  | 0x0F -> Ok Instr.Fence
+  | 0x0B -> decode_custom0 w
+  | 0x2B -> decode_custom1 w
+  | op -> Error (Printf.sprintf "unknown opcode 0x%02x" op)
+
+let decode_exn w =
+  match decode w with
+  | Ok i -> i
+  | Error msg ->
+    invalid_arg
+      (Printf.sprintf "Decode.decode_exn: %s (%s)" msg (Word.to_hex w))

@@ -1,0 +1,11 @@
+(** Binary instruction decoder.
+
+    Inverse of {!Encode.encode}: decodes a 32-bit instruction word into
+    the structured instruction, or reports why the word is not a valid
+    encoding (the pipeline turns that into an illegal-instruction
+    exception). *)
+
+val decode : Word.t -> (Instr.t, string) result
+
+val decode_exn : Word.t -> Instr.t
+(** @raise Invalid_argument on undecodable words. *)

@@ -1,0 +1,258 @@
+let opcode_lui = 0x37
+let opcode_auipc = 0x17
+let opcode_jal = 0x6F
+let opcode_jalr = 0x67
+let opcode_branch = 0x63
+let opcode_load = 0x03
+let opcode_store = 0x23
+let opcode_op_imm = 0x13
+let opcode_op = 0x33
+let opcode_system = 0x73
+let opcode_misc_mem = 0x0F
+let opcode_custom0 = 0x0B
+let opcode_custom1 = 0x2B
+
+let ( let* ) = Result.bind
+
+let check_reg name r =
+  if Reg.is_valid r then Ok r
+  else Error (Printf.sprintf "%s: invalid register index %d" name r)
+
+let check_signed name width v =
+  if Word.fits_signed ~width v then Ok (Word.zero_extend ~width v)
+  else
+    Error
+      (Printf.sprintf "%s: immediate %d does not fit in %d signed bits" name
+         v width)
+
+let check_unsigned name width v =
+  if Word.fits_unsigned ~width v then Ok v
+  else
+    Error
+      (Printf.sprintf "%s: value %d does not fit in %d unsigned bits" name v
+         width)
+
+let check_even name v =
+  if v land 1 = 0 then Ok v
+  else Error (Printf.sprintf "%s: offset %d is not even" name v)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  Word.of_int
+    ((funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+     lor (rd lsl 7) lor opcode)
+
+let i_type ~imm12 ~rs1 ~funct3 ~rd ~opcode =
+  Word.of_int
+    ((imm12 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+     lor opcode)
+
+let s_type ~imm12 ~rs2 ~rs1 ~funct3 ~opcode =
+  let hi = (imm12 lsr 5) land 0x7F and lo = imm12 land 0x1F in
+  Word.of_int
+    ((hi lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+     lor (lo lsl 7) lor opcode)
+
+let b_type ~imm13 ~rs2 ~rs1 ~funct3 ~opcode =
+  (* imm13 is the zero-extended 13-bit branch offset (bit 0 = 0). *)
+  let b12 = (imm13 lsr 12) land 1
+  and b11 = (imm13 lsr 11) land 1
+  and b10_5 = (imm13 lsr 5) land 0x3F
+  and b4_1 = (imm13 lsr 1) land 0xF in
+  Word.of_int
+    ((b12 lsl 31) lor (b10_5 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15)
+     lor (funct3 lsl 12) lor (b4_1 lsl 8) lor (b11 lsl 7) lor opcode)
+
+let u_type ~imm20 ~rd ~opcode =
+  Word.of_int ((imm20 lsl 12) lor (rd lsl 7) lor opcode)
+
+let j_type ~imm21 ~rd ~opcode =
+  (* imm21 is the zero-extended 21-bit jump offset (bit 0 = 0). *)
+  let b20 = (imm21 lsr 20) land 1
+  and b19_12 = (imm21 lsr 12) land 0xFF
+  and b11 = (imm21 lsr 11) land 1
+  and b10_1 = (imm21 lsr 1) land 0x3FF in
+  Word.of_int
+    ((b20 lsl 31) lor (b10_1 lsl 21) lor (b11 lsl 20) lor (b19_12 lsl 12)
+     lor (rd lsl 7) lor opcode)
+
+let alu_funct3 = function
+  | Instr.Add | Instr.Sub -> 0
+  | Instr.Sll -> 1
+  | Instr.Slt -> 2
+  | Instr.Sltu -> 3
+  | Instr.Xor -> 4
+  | Instr.Srl | Instr.Sra -> 5
+  | Instr.Or -> 6
+  | Instr.And -> 7
+
+let alu_funct7 = function
+  | Instr.Sub | Instr.Sra -> 0x20
+  | Instr.Add | Instr.Sll | Instr.Slt | Instr.Sltu | Instr.Xor | Instr.Srl
+  | Instr.Or | Instr.And -> 0
+
+let branch_funct3 = function
+  | Instr.Beq -> 0
+  | Instr.Bne -> 1
+  | Instr.Blt -> 4
+  | Instr.Bge -> 5
+  | Instr.Bltu -> 6
+  | Instr.Bgeu -> 7
+
+let load_funct3 width unsigned =
+  match (width, unsigned) with
+  | Instr.Byte, false -> Ok 0
+  | Instr.Half, false -> Ok 1
+  | Instr.Word, false -> Ok 2
+  | Instr.Byte, true -> Ok 4
+  | Instr.Half, true -> Ok 5
+  | Instr.Word, true -> Error "lwu: unsigned word load is not encodable"
+
+let store_funct3 = function Instr.Byte -> 0 | Instr.Half -> 1 | Instr.Word -> 2
+
+let encode_feature f =
+  let open Instr in
+  match f with
+  | Physld { rd; rs1; offset } ->
+    let* rd = check_reg "physld" rd in
+    let* rs1 = check_reg "physld" rs1 in
+    let* imm12 = check_signed "physld" 12 offset in
+    Ok (i_type ~imm12 ~rs1 ~funct3:0 ~rd ~opcode:opcode_custom1)
+  | Physst { rs2; rs1; offset } ->
+    let* rs2 = check_reg "physst" rs2 in
+    let* rs1 = check_reg "physst" rs1 in
+    let* imm12 = check_signed "physst" 12 offset in
+    Ok (s_type ~imm12 ~rs2 ~rs1 ~funct3:1 ~opcode:opcode_custom1)
+  | Tlbw { rs1; rs2 } ->
+    let* rs1 = check_reg "tlbw" rs1 in
+    let* rs2 = check_reg "tlbw" rs2 in
+    Ok (r_type ~funct7:0 ~rs2 ~rs1 ~funct3:2 ~rd:0 ~opcode:opcode_custom1)
+  | Tlbflush { rs1 } ->
+    let* rs1 = check_reg "tlbflush" rs1 in
+    Ok (r_type ~funct7:1 ~rs2:0 ~rs1 ~funct3:2 ~rd:0 ~opcode:opcode_custom1)
+  | Tlbprobe { rd; rs1 } ->
+    let* rd = check_reg "tlbprobe" rd in
+    let* rs1 = check_reg "tlbprobe" rs1 in
+    Ok (r_type ~funct7:2 ~rs2:0 ~rs1 ~funct3:2 ~rd ~opcode:opcode_custom1)
+  | Gprr { rd; rs1 } ->
+    let* rd = check_reg "gprr" rd in
+    let* rs1 = check_reg "gprr" rs1 in
+    Ok (r_type ~funct7:3 ~rs2:0 ~rs1 ~funct3:2 ~rd ~opcode:opcode_custom1)
+  | Gprw { rs1; rs2 } ->
+    let* rs1 = check_reg "gprw" rs1 in
+    let* rs2 = check_reg "gprw" rs2 in
+    Ok (r_type ~funct7:4 ~rs2 ~rs1 ~funct3:2 ~rd:0 ~opcode:opcode_custom1)
+  | Iceptset { rs1; rs2 } ->
+    let* rs1 = check_reg "iceptset" rs1 in
+    let* rs2 = check_reg "iceptset" rs2 in
+    Ok (r_type ~funct7:5 ~rs2 ~rs1 ~funct3:2 ~rd:0 ~opcode:opcode_custom1)
+  | Iceptclr { rs1 } ->
+    let* rs1 = check_reg "iceptclr" rs1 in
+    Ok (r_type ~funct7:6 ~rs2:0 ~rs1 ~funct3:2 ~rd:0 ~opcode:opcode_custom1)
+  | Mcsrr { rd; csr } ->
+    let* rd = check_reg "mcsrr" rd in
+    let* imm12 = check_unsigned "mcsrr" 12 csr in
+    Ok (i_type ~imm12 ~rs1:0 ~funct3:3 ~rd ~opcode:opcode_custom1)
+  | Mcsrw { csr; rs1 } ->
+    let* rs1 = check_reg "mcsrw" rs1 in
+    let* imm12 = check_unsigned "mcsrw" 12 csr in
+    Ok (i_type ~imm12 ~rs1 ~funct3:4 ~rd:0 ~opcode:opcode_custom1)
+
+let encode_metal m =
+  let open Instr in
+  match m with
+  | Menter { entry } ->
+    let* imm12 = check_unsigned "menter" 6 entry in
+    Ok (i_type ~imm12 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_custom0)
+  | Mexit -> Ok (i_type ~imm12:0 ~rs1:0 ~funct3:1 ~rd:0 ~opcode:opcode_custom0)
+  | Rmr { rd; mr } ->
+    let* rd = check_reg "rmr" rd in
+    let* imm12 = check_unsigned "rmr" 5 mr in
+    Ok (i_type ~imm12 ~rs1:0 ~funct3:2 ~rd ~opcode:opcode_custom0)
+  | Wmr { mr; rs1 } ->
+    let* rs1 = check_reg "wmr" rs1 in
+    let* imm12 = check_unsigned "wmr" 5 mr in
+    Ok (i_type ~imm12 ~rs1 ~funct3:3 ~rd:0 ~opcode:opcode_custom0)
+  | Mld { rd; rs1; offset } ->
+    let* rd = check_reg "mld" rd in
+    let* rs1 = check_reg "mld" rs1 in
+    let* imm12 = check_signed "mld" 12 offset in
+    Ok (i_type ~imm12 ~rs1 ~funct3:4 ~rd ~opcode:opcode_custom0)
+  | Mst { rs2; rs1; offset } ->
+    let* rs2 = check_reg "mst" rs2 in
+    let* rs1 = check_reg "mst" rs1 in
+    let* imm12 = check_signed "mst" 12 offset in
+    Ok (s_type ~imm12 ~rs2 ~rs1 ~funct3:5 ~opcode:opcode_custom0)
+  | Feature f -> encode_feature f
+
+let encode i =
+  let open Instr in
+  match i with
+  | Lui { rd; imm } ->
+    let* rd = check_reg "lui" rd in
+    let* imm20 = check_unsigned "lui" 20 imm in
+    Ok (u_type ~imm20 ~rd ~opcode:opcode_lui)
+  | Auipc { rd; imm } ->
+    let* rd = check_reg "auipc" rd in
+    let* imm20 = check_unsigned "auipc" 20 imm in
+    Ok (u_type ~imm20 ~rd ~opcode:opcode_auipc)
+  | Jal { rd; offset } ->
+    let* rd = check_reg "jal" rd in
+    let* _ = check_even "jal" offset in
+    let* imm21 = check_signed "jal" 21 offset in
+    Ok (j_type ~imm21 ~rd ~opcode:opcode_jal)
+  | Jalr { rd; rs1; offset } ->
+    let* rd = check_reg "jalr" rd in
+    let* rs1 = check_reg "jalr" rs1 in
+    let* imm12 = check_signed "jalr" 12 offset in
+    Ok (i_type ~imm12 ~rs1 ~funct3:0 ~rd ~opcode:opcode_jalr)
+  | Branch { cond; rs1; rs2; offset } ->
+    let* rs1 = check_reg "branch" rs1 in
+    let* rs2 = check_reg "branch" rs2 in
+    let* _ = check_even "branch" offset in
+    let* imm13 = check_signed "branch" 13 offset in
+    Ok
+      (b_type ~imm13 ~rs2 ~rs1 ~funct3:(branch_funct3 cond)
+         ~opcode:opcode_branch)
+  | Load { width; unsigned; rd; rs1; offset } ->
+    let* rd = check_reg "load" rd in
+    let* rs1 = check_reg "load" rs1 in
+    let* funct3 = load_funct3 width unsigned in
+    let* imm12 = check_signed "load" 12 offset in
+    Ok (i_type ~imm12 ~rs1 ~funct3 ~rd ~opcode:opcode_load)
+  | Store { width; rs2; rs1; offset } ->
+    let* rs2 = check_reg "store" rs2 in
+    let* rs1 = check_reg "store" rs1 in
+    let* imm12 = check_signed "store" 12 offset in
+    Ok (s_type ~imm12 ~rs2 ~rs1 ~funct3:(store_funct3 width)
+          ~opcode:opcode_store)
+  | Op_imm { op; rd; rs1; imm } ->
+    let* rd = check_reg "op-imm" rd in
+    let* rs1 = check_reg "op-imm" rs1 in
+    begin match op with
+    | Sub -> Error "subi is not encodable; use addi with a negated immediate"
+    | Sll | Srl | Sra ->
+      let* shamt = check_unsigned (Instr.alu_op_name op ^ "i") 5 imm in
+      let imm12 = (alu_funct7 op lsl 5) lor shamt in
+      Ok (i_type ~imm12 ~rs1 ~funct3:(alu_funct3 op) ~rd ~opcode:opcode_op_imm)
+    | Add | Slt | Sltu | Xor | Or | And ->
+      let* imm12 = check_signed (Instr.alu_op_name op ^ "i") 12 imm in
+      Ok (i_type ~imm12 ~rs1 ~funct3:(alu_funct3 op) ~rd ~opcode:opcode_op_imm)
+    end
+  | Op { op; rd; rs1; rs2 } ->
+    let* rd = check_reg "op" rd in
+    let* rs1 = check_reg "op" rs1 in
+    let* rs2 = check_reg "op" rs2 in
+    Ok
+      (r_type ~funct7:(alu_funct7 op) ~rs2 ~rs1 ~funct3:(alu_funct3 op) ~rd
+         ~opcode:opcode_op)
+  | Ecall -> Ok (i_type ~imm12:0 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system)
+  | Ebreak -> Ok (i_type ~imm12:1 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_system)
+  | Fence -> Ok (i_type ~imm12:0 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:opcode_misc_mem)
+  | Metal m -> encode_metal m
+
+let encode_exn i =
+  match encode i with
+  | Ok w -> w
+  | Error msg ->
+    invalid_arg (Printf.sprintf "Encode.encode_exn: %s (%s)" msg
+                   (Instr.to_string i))

@@ -1,0 +1,18 @@
+(** Binary instruction encoder.
+
+    Produces standard RV32I encodings; the Metal extension uses the
+    custom-0 (0x0B) and custom-1 (0x2B) opcode spaces.  Encoding fails
+    with a descriptive message when an operand does not fit its field
+    (e.g. a branch offset out of range), which the assembler surfaces
+    as a source error. *)
+
+val encode : Instr.t -> (Word.t, string) result
+
+val encode_exn : Instr.t -> Word.t
+(** @raise Invalid_argument when {!encode} would return [Error]. *)
+
+val opcode_custom0 : int
+(** The Metal Table-1 opcode space (0x0B). *)
+
+val opcode_custom1 : int
+(** The Metal architectural-feature opcode space (0x2B). *)

@@ -1,0 +1,39 @@
+type t =
+  | Load_class
+  | Store_class
+  | Jal_class
+  | Jalr_class
+  | Branch_class
+  | System_class
+
+let all =
+  [ Load_class; Store_class; Jal_class; Jalr_class; Branch_class;
+    System_class ]
+
+let code = function
+  | Load_class -> 0
+  | Store_class -> 1
+  | Jal_class -> 2
+  | Jalr_class -> 3
+  | Branch_class -> 4
+  | System_class -> 5
+
+let of_code n = List.find_opt (fun c -> code c = n) all
+
+let to_string = function
+  | Load_class -> "load"
+  | Store_class -> "store"
+  | Jal_class -> "jal"
+  | Jalr_class -> "jalr"
+  | Branch_class -> "branch"
+  | System_class -> "system"
+
+let classify = function
+  | Instr.Load _ -> Some Load_class
+  | Instr.Store _ -> Some Store_class
+  | Instr.Jal _ -> Some Jal_class
+  | Instr.Jalr _ -> Some Jalr_class
+  | Instr.Branch _ -> Some Branch_class
+  | Instr.Ecall | Instr.Ebreak -> Some System_class
+  | Instr.Lui _ | Instr.Auipc _ | Instr.Op_imm _ | Instr.Op _
+  | Instr.Fence | Instr.Metal _ -> None

@@ -1,0 +1,30 @@
+(** Instruction-interception classes.
+
+    Metal "allows intercepting any instruction with an mroutine"
+    (Section 2.3).  Instructions are grouped into classes; an mroutine
+    is attached to a class with [iceptset].  Interception only applies
+    in normal mode, so intercept mroutines can freely reuse the
+    intercepted instructions (cf. nested Metal, Section 3.5). *)
+
+type t =
+  | Load_class
+  | Store_class
+  | Jal_class
+  | Jalr_class
+  | Branch_class
+  | System_class  (** ecall / ebreak *)
+
+val code : t -> int
+(** Class code in [0, 15], used with [iceptset]/[iceptclr] and in the
+    [m30] intercept cause ({!Cause.intercept_code}). *)
+
+val of_code : int -> t option
+
+val all : t list
+
+val to_string : t -> string
+
+val classify : Instr.t -> t option
+(** [classify i] is the interception class of [i], or [None] for
+    instructions that cannot be intercepted (ALU ops, [lui], [auipc],
+    [fence] and Metal instructions). *)

@@ -1,0 +1,219 @@
+type alu_op =
+  | Add
+  | Sub
+  | Sll
+  | Slt
+  | Sltu
+  | Xor
+  | Srl
+  | Sra
+  | Or
+  | And
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type mem_width = Byte | Half | Word
+
+type metal_feature =
+  | Physld of { rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Physst of { rs2 : Reg.t; rs1 : Reg.t; offset : int }
+  | Tlbw of { rs1 : Reg.t; rs2 : Reg.t }
+  | Tlbflush of { rs1 : Reg.t }
+  | Tlbprobe of { rd : Reg.t; rs1 : Reg.t }
+  | Gprr of { rd : Reg.t; rs1 : Reg.t }
+  | Gprw of { rs1 : Reg.t; rs2 : Reg.t }
+  | Iceptset of { rs1 : Reg.t; rs2 : Reg.t }
+  | Iceptclr of { rs1 : Reg.t }
+  | Mcsrr of { rd : Reg.t; csr : Csr.t }
+  | Mcsrw of { csr : Csr.t; rs1 : Reg.t }
+
+type metal_instr =
+  | Menter of { entry : int }
+  | Mexit
+  | Rmr of { rd : Reg.t; mr : Reg.mreg }
+  | Wmr of { mr : Reg.mreg; rs1 : Reg.t }
+  | Mld of { rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Mst of { rs2 : Reg.t; rs1 : Reg.t; offset : int }
+  | Feature of metal_feature
+
+type t =
+  | Lui of { rd : Reg.t; imm : int }
+  | Auipc of { rd : Reg.t; imm : int }
+  | Jal of { rd : Reg.t; offset : int }
+  | Jalr of { rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Branch of { cond : branch_cond; rs1 : Reg.t; rs2 : Reg.t; offset : int }
+  | Load of { width : mem_width; unsigned : bool; rd : Reg.t; rs1 : Reg.t;
+              offset : int }
+  | Store of { width : mem_width; rs2 : Reg.t; rs1 : Reg.t; offset : int }
+  | Op_imm of { op : alu_op; rd : Reg.t; rs1 : Reg.t; imm : int }
+  | Op of { op : alu_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Ecall
+  | Ebreak
+  | Fence
+  | Metal of metal_instr
+
+let pack_tlb_tag ~vpn ~asid ~global =
+  Word.of_int
+    ((vpn land 0xFFFFF) lsl 12
+     lor ((asid land 0xFF) lsl 4)
+     lor (if global then 1 else 0))
+
+let unpack_tlb_tag w =
+  (Word.bits ~hi:31 ~lo:12 w, Word.bits ~hi:11 ~lo:4 w, Word.bit 0 w = 1)
+
+let pack_tlb_data ~ppn ~pkey ~r ~w ~x =
+  Word.of_int
+    ((ppn land 0xFFFFF) lsl 12
+     lor ((pkey land 0xF) lsl 5)
+     lor (if x then 8 else 0)
+     lor (if w then 4 else 0)
+     lor (if r then 2 else 0))
+
+let unpack_tlb_data d =
+  ( Word.bits ~hi:31 ~lo:12 d,
+    Word.bits ~hi:8 ~lo:5 d,
+    Word.bit 1 d = 1,
+    Word.bit 2 d = 1,
+    Word.bit 3 d = 1 )
+
+let nonzero r = if r = 0 then None else Some r
+
+let writes_gpr = function
+  | Lui { rd; _ } | Auipc { rd; _ } | Jal { rd; _ } | Jalr { rd; _ }
+  | Load { rd; _ } | Op_imm { rd; _ } | Op { rd; _ } -> nonzero rd
+  | Metal m ->
+    begin match m with
+    | Rmr { rd; _ } | Mld { rd; _ } -> nonzero rd
+    | Feature f ->
+      begin match f with
+      | Physld { rd; _ } | Tlbprobe { rd; _ } | Gprr { rd; _ }
+      | Mcsrr { rd; _ } -> nonzero rd
+      | Physst _ | Tlbw _ | Tlbflush _ | Gprw _ | Iceptset _ | Iceptclr _
+      | Mcsrw _ -> None
+      end
+    | Menter _ | Mexit | Wmr _ | Mst _ -> None
+    end
+  | Branch _ | Store _ | Ecall | Ebreak | Fence -> None
+
+let reads_gprs i =
+  let srcs =
+    match i with
+    | Lui _ | Auipc _ | Jal _ | Ecall | Ebreak | Fence -> []
+    | Jalr { rs1; _ } | Load { rs1; _ } | Op_imm { rs1; _ } -> [ rs1 ]
+    | Branch { rs1; rs2; _ } | Op { rs1; rs2; _ } -> [ rs1; rs2 ]
+    | Store { rs1; rs2; _ } -> [ rs1; rs2 ]
+    | Metal m ->
+      begin match m with
+      | Menter _ | Mexit | Rmr _ -> []
+      | Wmr { rs1; _ } | Mld { rs1; _ } -> [ rs1 ]
+      | Mst { rs1; rs2; _ } -> [ rs1; rs2 ]
+      | Feature f ->
+        begin match f with
+        | Physld { rs1; _ } | Tlbflush { rs1; _ } | Tlbprobe { rs1; _ }
+        | Gprr { rs1; _ } | Iceptclr { rs1; _ } | Mcsrw { rs1; _ } -> [ rs1 ]
+        | Physst { rs1; rs2; _ } | Tlbw { rs1; rs2 } | Gprw { rs1; rs2 }
+        | Iceptset { rs1; rs2 } -> [ rs1; rs2 ]
+        | Mcsrr _ -> []
+        end
+      end
+  in
+  List.filter (fun r -> r <> 0) srcs
+
+let is_memory_access = function
+  | Load _ | Store _ -> true
+  | Metal (Mld _ | Mst _ | Feature (Physld _ | Physst _)) -> true
+  | Metal _ | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Op_imm _
+  | Op _ | Ecall | Ebreak | Fence -> false
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Sll -> "sll"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Xor -> "xor"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Or -> "or"
+  | And -> "and"
+
+let branch_name = function
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blt -> "blt"
+  | Bge -> "bge"
+  | Bltu -> "bltu"
+  | Bgeu -> "bgeu"
+
+let load_name width unsigned =
+  match (width, unsigned) with
+  | Byte, false -> "lb"
+  | Byte, true -> "lbu"
+  | Half, false -> "lh"
+  | Half, true -> "lhu"
+  | Word, _ -> "lw"
+
+let store_name = function Byte -> "sb" | Half -> "sh" | Word -> "sw"
+
+let r2s = Reg.to_string
+
+let feature_to_string = function
+  | Physld { rd; rs1; offset } ->
+    Printf.sprintf "physld %s, %d(%s)" (r2s rd) offset (r2s rs1)
+  | Physst { rs2; rs1; offset } ->
+    Printf.sprintf "physst %s, %d(%s)" (r2s rs2) offset (r2s rs1)
+  | Tlbw { rs1; rs2 } -> Printf.sprintf "tlbw %s, %s" (r2s rs1) (r2s rs2)
+  | Tlbflush { rs1 } -> Printf.sprintf "tlbflush %s" (r2s rs1)
+  | Tlbprobe { rd; rs1 } ->
+    Printf.sprintf "tlbprobe %s, %s" (r2s rd) (r2s rs1)
+  | Gprr { rd; rs1 } -> Printf.sprintf "gprr %s, %s" (r2s rd) (r2s rs1)
+  | Gprw { rs1; rs2 } -> Printf.sprintf "gprw %s, %s" (r2s rs1) (r2s rs2)
+  | Iceptset { rs1; rs2 } ->
+    Printf.sprintf "iceptset %s, %s" (r2s rs1) (r2s rs2)
+  | Iceptclr { rs1 } -> Printf.sprintf "iceptclr %s" (r2s rs1)
+  | Mcsrr { rd; csr } -> Printf.sprintf "mcsrr %s, %s" (r2s rd) (Csr.name csr)
+  | Mcsrw { csr; rs1 } -> Printf.sprintf "mcsrw %s, %s" (Csr.name csr) (r2s rs1)
+
+let metal_to_string = function
+  | Menter { entry } -> Printf.sprintf "menter %d" entry
+  | Mexit -> "mexit"
+  | Rmr { rd; mr } -> Printf.sprintf "rmr %s, %s" (r2s rd) (Reg.mreg_to_string mr)
+  | Wmr { mr; rs1 } -> Printf.sprintf "wmr %s, %s" (Reg.mreg_to_string mr) (r2s rs1)
+  | Mld { rd; rs1; offset } ->
+    Printf.sprintf "mld %s, %d(%s)" (r2s rd) offset (r2s rs1)
+  | Mst { rs2; rs1; offset } ->
+    Printf.sprintf "mst %s, %d(%s)" (r2s rs2) offset (r2s rs1)
+  | Feature f -> feature_to_string f
+
+let to_string = function
+  | Lui { rd; imm } -> Printf.sprintf "lui %s, 0x%x" (r2s rd) imm
+  | Auipc { rd; imm } -> Printf.sprintf "auipc %s, 0x%x" (r2s rd) imm
+  | Jal { rd; offset } -> Printf.sprintf "jal %s, %d" (r2s rd) offset
+  | Jalr { rd; rs1; offset } ->
+    Printf.sprintf "jalr %s, %d(%s)" (r2s rd) offset (r2s rs1)
+  | Branch { cond; rs1; rs2; offset } ->
+    Printf.sprintf "%s %s, %s, %d" (branch_name cond) (r2s rs1) (r2s rs2)
+      offset
+  | Load { width; unsigned; rd; rs1; offset } ->
+    Printf.sprintf "%s %s, %d(%s)" (load_name width unsigned) (r2s rd)
+      offset (r2s rs1)
+  | Store { width; rs2; rs1; offset } ->
+    Printf.sprintf "%s %s, %d(%s)" (store_name width) (r2s rs2) offset
+      (r2s rs1)
+  | Op_imm { op; rd; rs1; imm } ->
+    let name =
+      match op with
+      | Slt -> "slti"
+      | Sltu -> "sltiu"
+      | Add | Sub | Sll | Xor | Srl | Sra | Or | And -> alu_op_name op ^ "i"
+    in
+    Printf.sprintf "%s %s, %s, %d" name (r2s rd) (r2s rs1) imm
+  | Op { op; rd; rs1; rs2 } ->
+    Printf.sprintf "%s %s, %s, %s" (alu_op_name op) (r2s rd) (r2s rs1)
+      (r2s rs2)
+  | Ecall -> "ecall"
+  | Ebreak -> "ebreak"
+  | Fence -> "fence"
+  | Metal m -> metal_to_string m
+
+let pp fmt i = Format.fprintf fmt "%s" (to_string i)

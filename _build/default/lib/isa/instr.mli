@@ -1,0 +1,128 @@
+(** The instruction set: RV32I base plus the Metal extension.
+
+    Metal's programming interface is "the host processor's native
+    assembly plus several Metal specific instructions" (Section 2).
+    The base ISA is RV32I; the Metal extension (Table 1 of the paper
+    plus the architectural-feature instructions of Section 2.3) lives
+    in the custom-0 and custom-1 opcode spaces. *)
+
+type alu_op =
+  | Add
+  | Sub
+  | Sll
+  | Slt
+  | Sltu
+  | Xor
+  | Srl
+  | Sra
+  | Or
+  | And
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type mem_width = Byte | Half | Word
+
+(** Architectural-feature operations exposed to Metal mode only
+    (custom-1 opcode space).  Executing any of these in normal mode
+    raises an illegal-instruction exception. *)
+type metal_feature =
+  | Physld of { rd : Reg.t; rs1 : Reg.t; offset : int }
+      (** Direct physical-memory word load, bypassing paging. *)
+  | Physst of { rs2 : Reg.t; rs1 : Reg.t; offset : int }
+      (** Direct physical-memory word store, bypassing paging. *)
+  | Tlbw of { rs1 : Reg.t; rs2 : Reg.t }
+      (** Write a TLB entry.  [rs1] packs the virtual tag
+          ({!Instr.pack_tlb_tag}), [rs2] the physical data
+          ({!Instr.pack_tlb_data}). *)
+  | Tlbflush of { rs1 : Reg.t }
+      (** Flush TLB entries: value 0xFFFFFFFF flushes all, otherwise
+          flushes the ASID in the low 8 bits. *)
+  | Tlbprobe of { rd : Reg.t; rs1 : Reg.t }
+      (** [rd] gets the packed data of the entry matching the virtual
+          address in [rs1] under the current ASID, or 0 on miss. *)
+  | Gprr of { rd : Reg.t; rs1 : Reg.t }
+      (** Indexed GPR read: [rd <- GPR[value rs1 land 31]].  Used by
+          mroutines to manipulate arbitrary execution contexts. *)
+  | Gprw of { rs1 : Reg.t; rs2 : Reg.t }
+      (** Indexed GPR write: [GPR[value rs1 land 31] <- value rs2]. *)
+  | Iceptset of { rs1 : Reg.t; rs2 : Reg.t }
+      (** Intercept instruction class [value rs1] with mroutine entry
+          [value rs2]. *)
+  | Iceptclr of { rs1 : Reg.t }
+      (** Stop intercepting instruction class [value rs1]. *)
+  | Mcsrr of { rd : Reg.t; csr : Csr.t }
+      (** Read a machine control register. *)
+  | Mcsrw of { csr : Csr.t; rs1 : Reg.t }
+      (** Write a machine control register. *)
+
+(** The Metal instructions of Table 1 (custom-0 opcode space).
+    [Menter] is the only one legal in normal mode. *)
+type metal_instr =
+  | Menter of { entry : int }
+      (** Enter Metal mode, executing mroutine [entry] (0..63);
+          hardware stores the return address in [m31]. *)
+  | Mexit
+      (** Exit Metal mode, resuming at the address stored in [m31]. *)
+  | Rmr of { rd : Reg.t; mr : Reg.mreg }  (** [rd <- m<mr>]. *)
+  | Wmr of { mr : Reg.mreg; rs1 : Reg.t }  (** [m<mr> <- rs1]. *)
+  | Mld of { rd : Reg.t; rs1 : Reg.t; offset : int }
+      (** Word load from the MRAM data segment. *)
+  | Mst of { rs2 : Reg.t; rs1 : Reg.t; offset : int }
+      (** Word store to the MRAM data segment. *)
+  | Feature of metal_feature
+
+type t =
+  | Lui of { rd : Reg.t; imm : int }  (** [imm] is the raw 20-bit field. *)
+  | Auipc of { rd : Reg.t; imm : int }
+  | Jal of { rd : Reg.t; offset : int }
+  | Jalr of { rd : Reg.t; rs1 : Reg.t; offset : int }
+  | Branch of { cond : branch_cond; rs1 : Reg.t; rs2 : Reg.t; offset : int }
+  | Load of { width : mem_width; unsigned : bool; rd : Reg.t; rs1 : Reg.t;
+              offset : int }
+  | Store of { width : mem_width; rs2 : Reg.t; rs1 : Reg.t; offset : int }
+  | Op_imm of { op : alu_op; rd : Reg.t; rs1 : Reg.t; imm : int }
+      (** [Sub] is invalid here; shifts take a 5-bit shamt. *)
+  | Op of { op : alu_op; rd : Reg.t; rs1 : Reg.t; rs2 : Reg.t }
+  | Ecall
+  | Ebreak
+  | Fence
+  | Metal of metal_instr
+
+val pack_tlb_tag : vpn:int -> asid:int -> global:bool -> Word.t
+(** Pack the [tlbw] tag operand: vpn in bits 31:12, asid in 11:4,
+    global in bit 0. *)
+
+val unpack_tlb_tag : Word.t -> int * int * bool
+(** [unpack_tlb_tag w] is [(vpn, asid, global)]. *)
+
+val pack_tlb_data :
+  ppn:int -> pkey:int -> r:bool -> w:bool -> x:bool -> Word.t
+(** Pack the [tlbw] data operand: ppn in bits 31:12, pkey in 8:5,
+    X/W/R in bits 3:1 — deliberately the same positions as the
+    page-table-entry format used by the hardware walker, so an mcode
+    page-fault handler converts a leaf PTE to TLB data by masking the
+    V and G bits (Section 3.2: "In a few lines of assembly, we walk an
+    x86-style radix tree").  A packed value of 0 is never a valid
+    mapping (used by [tlbprobe] to signal a miss), because a valid
+    entry has at least one permission bit set. *)
+
+val unpack_tlb_data : Word.t -> int * int * bool * bool * bool
+(** [unpack_tlb_data w] is [(ppn, pkey, r, w, x)]. *)
+
+val writes_gpr : t -> Reg.t option
+(** [writes_gpr i] is the destination GPR of [i], if any ([x0] writes
+    are reported as [None]). *)
+
+val reads_gprs : t -> Reg.t list
+(** Source GPRs of [i] (never includes [x0]). *)
+
+val is_memory_access : t -> bool
+(** True for loads, stores, [mld]/[mst] and phys accesses. *)
+
+val alu_op_name : alu_op -> string
+(** Mnemonic stem of an ALU operation, e.g. ["add"]. *)
+
+val to_string : t -> string
+(** Assembly rendering, parseable by the assembler. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+type t = int
+
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let tp = 4
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let fp = 8
+let s0 = 8
+let s1 = 9
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let s8 = 24
+let s9 = 25
+let s10 = 26
+let s11 = 27
+let t3 = 28
+let t4 = 29
+let t5 = 30
+let t6 = 31
+
+let is_valid r = r >= 0 && r <= 31
+
+let abi_names =
+  [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2";
+     "s0"; "s1"; "a0"; "a1"; "a2"; "a3"; "a4"; "a5";
+     "a6"; "a7"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "s8"; "s9"; "s10"; "s11"; "t3"; "t4"; "t5"; "t6" |]
+
+let to_string r =
+  assert (is_valid r);
+  abi_names.(r)
+
+let to_xname r =
+  assert (is_valid r);
+  "x" ^ string_of_int r
+
+let parse_indexed ~prefix ~limit s =
+  let plen = String.length prefix in
+  let slen = String.length s in
+  if slen <= plen || not (String.sub s 0 plen = prefix) then None
+  else
+    match int_of_string_opt (String.sub s plen (slen - plen)) with
+    | Some n when n >= 0 && n < limit ->
+      (* Reject forms like "x007" or "x+1" that int_of_string accepts. *)
+      if String.sub s plen (slen - plen) = string_of_int n then Some n
+      else None
+    | Some _ | None -> None
+
+let of_string s =
+  match parse_indexed ~prefix:"x" ~limit:32 s with
+  | Some n -> Some n
+  | None ->
+    if s = "fp" then Some fp
+    else
+      let rec find i =
+        if i >= Array.length abi_names then None
+        else if abi_names.(i) = s then Some i
+        else find (i + 1)
+      in
+      find 0
+
+type mreg = int
+
+let mreg_count = 32
+
+let mreg_to_string m =
+  assert (m >= 0 && m < mreg_count);
+  "m" ^ string_of_int m
+
+let mreg_of_string s = parse_indexed ~prefix:"m" ~limit:mreg_count s
+
+module Mconv = struct
+  let return_address = 31
+  let event_cause = 30
+  let event_value = 29
+  let event_addr = 28
+  let event_store_value = 27
+  let event_rd = 26
+  let privilege = 0
+end

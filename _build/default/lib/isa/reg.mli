@@ -1,0 +1,97 @@
+(** General-purpose and Metal register names.
+
+    GPRs follow the RISC-V integer register file: [x0]..[x31] with the
+    standard ABI aliases ([zero], [ra], [sp], ...).  [x0] is hardwired
+    to zero.  Metal registers [m0]..[m31] form a separate file only
+    accessible in Metal mode via [rmr]/[wmr]. *)
+
+type t = int
+(** A GPR index in [0, 31]. *)
+
+val zero : t
+val ra : t
+val sp : t
+val gp : t
+val tp : t
+val t0 : t
+val t1 : t
+val t2 : t
+val fp : t
+val s0 : t
+val s1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val s8 : t
+val s9 : t
+val s10 : t
+val s11 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+
+val is_valid : t -> bool
+(** [is_valid r] is true when [0 <= r <= 31]. *)
+
+val to_string : t -> string
+(** [to_string r] is the ABI name ([a0], [sp], ...). *)
+
+val to_xname : t -> string
+(** [to_xname r] is the numeric name ([x10], ...). *)
+
+val of_string : string -> t option
+(** [of_string s] parses either an ABI name or a numeric [xN] name. *)
+
+type mreg = int
+(** A Metal register index in [0, 31]. *)
+
+val mreg_count : int
+(** Number of Metal registers (32). *)
+
+val mreg_to_string : mreg -> string
+(** [mreg_to_string m] is ["m<N>"]. *)
+
+val mreg_of_string : string -> mreg option
+(** [mreg_of_string s] parses ["m<N>"] for N in [0, 31]. *)
+
+(** Conventional Metal register roles used by the machine and the
+    standard mroutines (Section 2 and 3 of the paper). *)
+module Mconv : sig
+  val return_address : mreg
+  (** [m31]: resume address consumed by [mexit]; written by the
+      hardware on [menter] (pc+4), exception entry (faulting pc) and
+      interrupt entry (next pc). *)
+
+  val event_cause : mreg
+  (** [m30]: event cause code, written by hardware on exception,
+      interrupt and interception entry. *)
+
+  val event_value : mreg
+  (** [m29]: event value: faulting virtual address (page faults),
+      instruction word (illegal instruction, interception). *)
+
+  val event_addr : mreg
+  (** [m28]: effective address of an intercepted load/store. *)
+
+  val event_store_value : mreg
+  (** [m27]: store data of an intercepted store. *)
+
+  val event_rd : mreg
+  (** [m26]: destination GPR index of an intercepted load. *)
+
+  val privilege : mreg
+  (** [m0]: current privilege level, by convention of the privilege
+      mroutines (Figure 2). *)
+end

@@ -1,0 +1,55 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+
+let of_int v = v land mask
+
+let to_signed w =
+  if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+
+let of_signed = of_int
+
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = (a * b) land mask
+
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = a lxor mask
+
+let shift_left w n = (w lsl (n land 31)) land mask
+
+let shift_right_logical w n = w lsr (n land 31)
+
+let shift_right_arith w n =
+  let n = n land 31 in
+  (to_signed w asr n) land mask
+
+let lt_signed a b = to_signed a < to_signed b
+let lt_unsigned a b = a < b
+let ge_signed a b = to_signed a >= to_signed b
+let ge_unsigned a b = a >= b
+
+let bits ~hi ~lo w =
+  assert (hi >= lo && hi <= 31 && lo >= 0);
+  (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let bit i w = (w lsr i) land 1
+
+let sign_extend ~width v =
+  assert (width >= 1 && width <= 32);
+  let v = v land ((1 lsl width) - 1) in
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let zero_extend ~width v = v land ((1 lsl width) - 1)
+
+let fits_signed ~width v =
+  let half = 1 lsl (width - 1) in
+  v >= -half && v < half
+
+let fits_unsigned ~width v = v >= 0 && v < 1 lsl width
+
+let to_hex w = Printf.sprintf "0x%08x" w
+
+let pp fmt w = Format.fprintf fmt "%s" (to_hex w)

@@ -1,0 +1,74 @@
+(** 32-bit machine words.
+
+    Words are represented as OCaml [int] values in the range
+    [0, 2{^32}).  All operations keep results inside that range.  This
+    representation is exact on 64-bit hosts and avoids boxing. *)
+
+type t = int
+(** A 32-bit word, always in [0, 0xFFFF_FFFF]. *)
+
+val mask : int
+(** [mask] is [0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** [of_int v] truncates [v] to its low 32 bits. *)
+
+val to_signed : t -> int
+(** [to_signed w] interprets [w] as a two's-complement 32-bit value,
+    returning an OCaml int in [-2{^31}, 2{^31}). *)
+
+val of_signed : int -> t
+(** [of_signed v] is [of_int v]; named for call-site clarity when [v]
+    may be negative. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left w n] shifts by [n land 31]. *)
+
+val shift_right_logical : t -> int -> t
+(** [shift_right_logical w n] shifts by [n land 31], filling with zeros. *)
+
+val shift_right_arith : t -> int -> t
+(** [shift_right_arith w n] shifts by [n land 31], replicating the sign
+    bit. *)
+
+val lt_signed : t -> t -> bool
+val lt_unsigned : t -> t -> bool
+val ge_signed : t -> t -> bool
+val ge_unsigned : t -> t -> bool
+
+val bits : hi:int -> lo:int -> t -> int
+(** [bits ~hi ~lo w] extracts bits [hi..lo] inclusive, right-aligned.
+    Requires [31 >= hi >= lo >= 0]. *)
+
+val bit : int -> t -> int
+(** [bit i w] is bit [i] of [w] (0 or 1). *)
+
+val sign_extend : width:int -> int -> int
+(** [sign_extend ~width v] sign-extends the low [width] bits of [v] to
+    an OCaml int.  Requires [1 <= width <= 32]. *)
+
+val zero_extend : width:int -> int -> int
+(** [zero_extend ~width v] keeps only the low [width] bits of [v]. *)
+
+val fits_signed : width:int -> int -> bool
+(** [fits_signed ~width v] is true when [v] is representable as a
+    signed [width]-bit value. *)
+
+val fits_unsigned : width:int -> int -> bool
+(** [fits_unsigned ~width v] is true when [v] is representable as an
+    unsigned [width]-bit value. *)
+
+val to_hex : t -> string
+(** [to_hex w] renders [w] as ["0x%08x"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints in hexadecimal. *)

@@ -1,0 +1,1 @@
+lib/kernel/addr_space.ml: Csr Metal_cpu Metal_hw Metal_progs Page_table

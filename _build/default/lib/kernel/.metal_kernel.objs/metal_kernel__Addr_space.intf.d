@@ -1,0 +1,1 @@
+lib/kernel/addr_space.mli: Frame_alloc Metal_cpu Page_table

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Addr_space Array Cause Csr Frame_alloc List Loader Metal_asm Metal_cpu Metal_hw Metal_progs Page_table Printf Process Pte Queue Reg Result Word

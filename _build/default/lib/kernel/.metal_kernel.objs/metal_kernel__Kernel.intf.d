@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Frame_alloc Metal_cpu Metal_hw Process

@@ -1,0 +1,1 @@
+lib/kernel/loader.ml: Addr_space Char Frame_alloc List Metal_asm Metal_cpu Metal_hw Page_table Pte Result String

@@ -1,0 +1,1 @@
+lib/kernel/loader.mli: Addr_space Frame_alloc Metal_asm Metal_cpu Page_table

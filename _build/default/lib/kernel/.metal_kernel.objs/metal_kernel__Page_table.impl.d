@@ -1,0 +1,1 @@
+lib/kernel/page_table.ml: Frame_alloc Metal_hw Pte

@@ -1,0 +1,1 @@
+lib/kernel/page_table.mli: Frame_alloc Metal_hw Word

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Addr_space Array Csr Metal_cpu Printf Queue Reg Word

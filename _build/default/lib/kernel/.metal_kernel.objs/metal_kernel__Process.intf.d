@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Addr_space Metal_cpu Queue Word

@@ -1,0 +1,1 @@
+lib/kernel/pte.mli: Word

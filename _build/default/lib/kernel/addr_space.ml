@@ -1,0 +1,17 @@
+type t = { asid : int; pt : Page_table.t }
+
+let create m ~asid ~alloc =
+  if asid < 0 || asid > 0xFF then invalid_arg "Addr_space.create: asid";
+  let mem = Metal_hw.Bus.memory m.Metal_cpu.Machine.bus in
+  { asid; pt = Page_table.create ~mem ~alloc }
+
+let map t ~vaddr ~paddr ?pkey ?global perms =
+  Page_table.map t.pt ~vaddr ~paddr ?pkey ?global perms
+
+let map_range t ~vaddr ~paddr ~size ?pkey ?global perms =
+  Page_table.map_range t.pt ~vaddr ~paddr ~size ?pkey ?global perms
+
+let activate m t =
+  Metal_cpu.Machine.ctrl_write m Csr.asid t.asid;
+  Metal_cpu.Machine.ctrl_write m Csr.pt_root (Page_table.root t.pt);
+  Metal_progs.Pagetable.set_root m (Page_table.root t.pt)

@@ -1,0 +1,18 @@
+(** Address spaces: an ASID paired with a page table. *)
+
+type t = { asid : int; pt : Page_table.t }
+
+val create : Metal_cpu.Machine.t -> asid:int -> alloc:Frame_alloc.t -> t
+
+val map :
+  t -> vaddr:int -> paddr:int -> ?pkey:int -> ?global:bool ->
+  Page_table.perms -> (unit, string) result
+
+val map_range :
+  t -> vaddr:int -> paddr:int -> size:int -> ?pkey:int -> ?global:bool ->
+  Page_table.perms -> (unit, string) result
+
+val activate : Metal_cpu.Machine.t -> t -> unit
+(** Point both walkers at this space: sets the [asid] and [pt_root]
+    control registers and the mcode walker's root slot in MRAM.  ASIDs
+    make TLB flushes unnecessary on switch. *)

@@ -1,0 +1,23 @@
+type t = { base : int; limit : int; mutable next : int }
+
+let create ~base ~limit =
+  if base land 0xFFF <> 0 || limit land 0xFFF <> 0 || limit <= base then
+    invalid_arg "Frame_alloc.create: region must be page-aligned and non-empty";
+  { base; limit; next = base }
+
+let alloc t =
+  if t.next >= t.limit then None
+  else begin
+    let frame = t.next in
+    t.next <- t.next + Pte.page_size;
+    Some frame
+  end
+
+let alloc_exn t =
+  match alloc t with
+  | Some f -> f
+  | None -> failwith "Frame_alloc: out of physical frames"
+
+let allocated t = (t.next - t.base) / Pte.page_size
+
+let remaining t = (t.limit - t.next) / Pte.page_size

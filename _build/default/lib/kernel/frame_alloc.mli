@@ -1,0 +1,19 @@
+(** Physical frame allocator: a bump allocator over a region of
+    physical memory, handing out 4 KiB frames. *)
+
+type t
+
+val create : base:int -> limit:int -> t
+(** [create ~base ~limit] manages frames in [base, limit); both must
+    be page-aligned. *)
+
+val alloc : t -> int option
+(** The physical address of a fresh (zeroed-at-boot) frame. *)
+
+val alloc_exn : t -> int
+(** @raise Failure when out of frames. *)
+
+val allocated : t -> int
+(** Frames handed out so far. *)
+
+val remaining : t -> int

@@ -1,0 +1,337 @@
+type t = {
+  machine : Metal_cpu.Machine.t;
+  console : Metal_hw.Devices.Console.t;
+  alloc : Frame_alloc.t;
+  mutable procs : Process.t list;
+  yield_pc : int;
+  exit_pc : int;
+  fault_pc : int;
+  send_pc : int;
+  recv_pc : int;
+  user_entry : int;
+  mutable next_pid : int;
+}
+
+let syscall_putchar = 0
+let syscall_getpid = 1
+let syscall_yield = 2
+let syscall_exit = 3
+let syscall_puts = 4
+let syscall_send = 5
+let syscall_recv = 6
+let nsyscalls = 7
+let mailbox_capacity = 8
+
+let kernel_base = 0x4000
+let kernel_size = 0x2000  (* two pages: code + data *)
+let user_code_base = 0x10000
+let user_stack_top = 0x90000
+let user_stack_size = 4 * Pte.page_size
+let frame_region_base = 0x100000
+
+let kernel_pkey = 1
+let kernel_pkeys_view = 0
+let user_pkeys_view = 0xC  (* key 1: read+write disabled *)
+
+let mmio_page = Metal_hw.Bus.mmio_base
+
+let kernel_asm =
+  Printf.sprintf
+    {|# The Metal mini-kernel: syscall handlers and scheduler stubs.
+.org %d
+.equ CONSOLE, %d
+.equ KEXIT, %d
+
+syscall_table:
+    .word sys_putchar
+    .word sys_getpid
+    .word sys_yield
+    .word sys_exit
+    .word sys_puts
+    .word sys_send
+    .word sys_recv
+
+# Privilege violations and delegated exceptions land here (t5 = pc,
+# t6 = cause or vaddr); the host scheduler inspects and reacts.
+fault_entry:
+    ebreak
+
+sys_putchar:
+    li t0, CONSOLE
+    sw a1, 0(t0)
+    li a0, 0
+    menter KEXIT
+
+sys_getpid:
+    la t0, current_pid
+    lw a0, 0(t0)
+    menter KEXIT
+
+sys_yield:
+    ebreak                  # host scheduler switches processes here
+    li a0, 0
+    menter KEXIT
+
+sys_exit:
+    ebreak                  # host reaps the process (a1 = exit code)
+
+sys_puts:
+    mv t1, a1
+    mv t2, a2
+    li t0, CONSOLE
+puts_loop:
+    beqz t2, puts_done
+    lbu t3, 0(t1)
+    sw t3, 0(t0)
+    addi t1, t1, 1
+    addi t2, t2, -1
+    j puts_loop
+puts_done:
+    li a0, 0
+    menter KEXIT
+
+# IPC: a1 = destination pid, a2 = message.  The host deposits the
+# result in a0 at the ebreak.
+sys_send:
+    ebreak
+    menter KEXIT
+
+# IPC: blocks until a message arrives; a0 = message.
+sys_recv:
+    ebreak
+    menter KEXIT
+
+current_pid: .word 0
+|}
+    kernel_base Metal_hw.Bus.mmio_base Metal_progs.Layout.kexit
+
+let ( let* ) = Result.bind
+
+let boot ?(config = Metal_cpu.Config.default) () =
+  let m = Metal_cpu.Machine.create ~config () in
+  let console = Metal_hw.Devices.Console.create ~base:mmio_page in
+  Metal_hw.Bus.attach m.Metal_cpu.Machine.bus
+    (Metal_hw.Devices.Console.device console);
+  let* kimg =
+    Result.map_error Metal_asm.Asm.error_to_string
+      (Metal_asm.Asm.assemble kernel_asm)
+  in
+  let* () = Metal_cpu.Machine.load_image m kimg in
+  let sym name =
+    match Metal_asm.Image.find_symbol kimg name with
+    | Some a -> Ok a
+    | None -> Error ("kernel symbol missing: " ^ name)
+  in
+  let* table = sym "syscall_table" in
+  let* fault_pc = sym "fault_entry" in
+  let* yield_pc = sym "sys_yield" in
+  let* exit_pc = sym "sys_exit" in
+  let* send_pc = sym "sys_send" in
+  let* recv_pc = sym "sys_recv" in
+  let* () =
+    Metal_progs.Privilege.install m
+      {
+        Metal_progs.Privilege.syscall_table = table;
+        nsyscalls;
+        kernel_pkeys = kernel_pkeys_view;
+        user_pkeys = user_pkeys_view;
+        fault_entry = fault_pc;
+      }
+  in
+  let* () =
+    Metal_progs.Pagetable.install m
+      { Metal_progs.Pagetable.os_fault_entry = fault_pc }
+  in
+  (* Delegate synchronous exceptions (but not breakpoints: the kernel
+     stubs park the machine with ebreak). *)
+  List.iter
+    (fun cause ->
+       Metal_cpu.Machine.install_handler m cause
+         ~entry:Metal_progs.Layout.exc_trampoline)
+    [ Cause.Illegal_instruction; Cause.Misaligned_fetch;
+      Cause.Misaligned_load; Cause.Misaligned_store; Cause.Ecall;
+      Cause.Pkey_violation_load; Cause.Pkey_violation_store;
+      Cause.Access_fault ];
+  Metal_cpu.Machine.ctrl_write m Csr.paging 1;
+  let alloc =
+    Frame_alloc.create ~base:frame_region_base
+      ~limit:config.Metal_cpu.Config.mem_size
+  in
+  Ok
+    {
+      machine = m;
+      console;
+      alloc;
+      procs = [];
+      yield_pc;
+      exit_pc;
+      fault_pc;
+      send_pc;
+      recv_pc;
+      user_entry = user_code_base;
+      next_pid = 1;
+    }
+
+(* Mappings every address space shares: the kernel image (kernel page
+   key), and the MMIO page for the kernel's console driver. *)
+let map_globals space =
+  let* () =
+    Addr_space.map_range space ~vaddr:kernel_base ~paddr:kernel_base
+      ~size:kernel_size ~pkey:kernel_pkey ~global:true Page_table.rwx
+  in
+  Addr_space.map space ~vaddr:mmio_page ~paddr:mmio_page ~pkey:kernel_pkey
+    ~global:true Page_table.rw
+
+let spawn t ~source =
+  if t.next_pid > 0xFF then Error "out of ASIDs"
+  else
+    let* img =
+      Result.map_error Metal_asm.Asm.error_to_string
+        (Metal_asm.Asm.assemble ~origin:user_code_base source)
+    in
+    let pid = t.next_pid in
+    t.next_pid <- pid + 1;
+    let space = Addr_space.create t.machine ~asid:pid ~alloc:t.alloc in
+    let* () = map_globals space in
+    let* () = Loader.load t.machine ~space ~alloc:t.alloc img in
+    let* () =
+      Loader.map_fresh t.machine ~space ~alloc:t.alloc
+        ~vaddr:(user_stack_top - user_stack_size)
+        ~size:user_stack_size ()
+    in
+    let p =
+      Process.create ~pid ~space ~entry:user_code_base ~sp:user_stack_top
+        ~user_pkeys:user_pkeys_view
+    in
+    t.procs <- t.procs @ [ p ];
+    Ok p
+
+type outcome =
+  | All_done
+  | Deadlocked
+  | Out_of_cycles
+  | Machine_halted of Metal_cpu.Machine.halt
+
+let set_current_pid t pid =
+  (* current_pid is the last word of the kernel image. *)
+  match Metal_asm.Asm.assemble kernel_asm with
+  | Error _ -> ()
+  | Ok kimg ->
+    begin match Metal_asm.Image.find_symbol kimg "current_pid" with
+    | Some addr -> Metal_cpu.Machine.write_word t.machine addr pid
+    | None -> ()
+    end
+
+let next_ready t =
+  List.find_opt (fun p -> p.Process.state = Process.Ready) t.procs
+
+let rotate t p =
+  t.procs <- List.filter (fun q -> q != p) t.procs @ [ p ]
+
+let find_process t ~pid =
+  List.find_opt (fun p -> p.Process.pid = pid) t.procs
+
+let run t ~max_cycles =
+  let m = t.machine in
+  let deadline = m.Metal_cpu.Machine.stats.Metal_cpu.Stats.cycles + max_cycles in
+  let budget () =
+    deadline - m.Metal_cpu.Machine.stats.Metal_cpu.Stats.cycles
+  in
+  (* IPC send, handled at the sys_send ebreak: result goes to a0 and
+     the current process continues. *)
+  let do_send () =
+    let dest = Word.to_signed (Metal_cpu.Machine.get_reg m Reg.a1) in
+    let value = Metal_cpu.Machine.get_reg m Reg.a2 in
+    match find_process t ~pid:dest with
+    | None -> -1
+    | Some q ->
+      begin match q.Process.state with
+      | Process.Exited _ | Process.Faulted _ -> -1
+      | Process.Blocked ->
+        (* Direct hand-off to a parked receiver. *)
+        q.Process.regs.(Reg.a0) <- value;
+        q.Process.state <- Process.Ready;
+        0
+      | Process.Ready | Process.Running ->
+        if Queue.length q.Process.mailbox >= mailbox_capacity then -2
+        else begin
+          Queue.add value q.Process.mailbox;
+          0
+        end
+      end
+  in
+  let rec sched () =
+    match next_ready t with
+    | None ->
+      if List.exists (fun p -> p.Process.state = Process.Blocked) t.procs
+      then Deadlocked
+      else All_done
+    | Some p ->
+      if budget () <= 0 then Out_of_cycles
+      else begin
+        set_current_pid t p.Process.pid;
+        Process.restore m p;
+        resume p
+      end
+  (* Keep running [p] across in-process events (send, recv-with-data)
+     until it yields, exits, blocks or faults. *)
+  and resume p =
+    m.Metal_cpu.Machine.halted <- None;
+    if budget () <= 0 then begin
+      Process.save m p;
+      p.Process.state <- Process.Ready;
+      Out_of_cycles
+    end
+    else
+      match Metal_cpu.Pipeline.run m ~max_cycles:(budget ()) with
+      | None ->
+        Process.save m p;
+        p.Process.state <- Process.Ready;
+        Out_of_cycles
+      | Some (Metal_cpu.Machine.Halt_ebreak { pc; _ }) when pc = t.yield_pc ->
+        p.Process.pc <- pc + 4;
+        Process.save m p;
+        p.Process.state <- Process.Ready;
+        p.Process.yields <- p.Process.yields + 1;
+        rotate t p;
+        sched ()
+      | Some (Metal_cpu.Machine.Halt_ebreak { pc; _ }) when pc = t.exit_pc ->
+        p.Process.state <-
+          Process.Exited
+            (Word.to_signed (Metal_cpu.Machine.get_reg m Reg.a1));
+        sched ()
+      | Some (Metal_cpu.Machine.Halt_ebreak { pc; _ }) when pc = t.send_pc ->
+        Metal_cpu.Machine.set_reg m Reg.a0 (do_send ());
+        Metal_cpu.Machine.set_pc m (pc + 4);
+        resume p
+      | Some (Metal_cpu.Machine.Halt_ebreak { pc; _ }) when pc = t.recv_pc ->
+        if Queue.is_empty p.Process.mailbox then begin
+          (* Park after the ebreak; the sender deposits a0 directly. *)
+          p.Process.pc <- pc + 4;
+          Process.save m p;
+          p.Process.state <- Process.Blocked;
+          sched ()
+        end
+        else begin
+          Metal_cpu.Machine.set_reg m Reg.a0 (Queue.pop p.Process.mailbox);
+          Metal_cpu.Machine.set_pc m (pc + 4);
+          resume p
+        end
+      | Some (Metal_cpu.Machine.Halt_ebreak { pc; _ }) when pc = t.fault_pc ->
+        let epc = Metal_cpu.Machine.get_reg m Reg.t5 in
+        let info = Metal_cpu.Machine.get_reg m Reg.t6 in
+        p.Process.state <-
+          Process.Faulted
+            (Printf.sprintf "delegated fault at %s (info %s)"
+               (Word.to_hex epc) (Word.to_hex info));
+        sched ()
+      | Some (Metal_cpu.Machine.Halt_ebreak { pc; metal = false }) ->
+        p.Process.state <-
+          Process.Faulted
+            (Printf.sprintf "stray ebreak at %s" (Word.to_hex pc));
+        sched ()
+      | Some h -> Machine_halted h
+  in
+  sched ()
+
+let console_output t = Metal_hw.Devices.Console.output t.console

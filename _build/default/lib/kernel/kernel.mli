@@ -1,0 +1,79 @@
+(** A minimal operating system built on Metal's privilege mroutines.
+
+    Demonstrates the paper's thesis end to end: the kernel/user
+    boundary is implemented *entirely in mcode* (kenter/kexit,
+    Figure 2), page faults are handled by the custom page-table
+    mroutine, kernel memory is protected from user code with page
+    keys, and system calls dispatch through the table [kenter] reads.
+
+    The kernel's passive side (scheduler decisions, process table) is
+    host-driven: kernel stubs park the machine with [ebreak] at
+    well-known addresses and the host scheduler reacts — the
+    in-machine code paths (syscall entry/exit, privilege switching,
+    fault delivery, page-table walks) are all real guest/mcode
+    execution, which is what the experiments measure.
+
+    System calls (number in a0, via [menter kenter]; result in a0):
+    - 0 [putchar]: a1 = character.
+    - 1 [getpid].
+    - 2 [yield].
+    - 3 [exit]: a1 = exit code.
+    - 4 [puts]: a1 = string address, a2 = length.
+    - 5 [send]: a1 = destination pid, a2 = message word; a0 = 0, or
+      -1 for a bad destination, -2 when the mailbox is full.
+    - 6 [recv]: blocks until a message arrives; a0 = message. *)
+
+type t = {
+  machine : Metal_cpu.Machine.t;
+  console : Metal_hw.Devices.Console.t;
+  alloc : Frame_alloc.t;
+  mutable procs : Process.t list;  (** run queue, head runs next *)
+  yield_pc : int;
+  exit_pc : int;
+  fault_pc : int;
+  send_pc : int;
+  recv_pc : int;
+  user_entry : int;
+  mutable next_pid : int;
+}
+
+val syscall_putchar : int
+val syscall_getpid : int
+val syscall_yield : int
+val syscall_exit : int
+val syscall_puts : int
+val syscall_send : int
+val syscall_recv : int
+
+val nsyscalls : int
+
+val mailbox_capacity : int
+
+val kernel_base : int
+(** Physical/virtual base of the kernel image (identity-mapped). *)
+
+val user_code_base : int
+(** Virtual address user programs are assembled at (0x10000). *)
+
+val user_stack_top : int
+
+val boot : ?config:Metal_cpu.Config.t -> unit -> (t, string) result
+(** Create the machine, load the kernel image, install the privilege
+    and page-table mroutines, delegate exceptions, enable paging. *)
+
+val spawn : t -> source:string -> (Process.t, string) result
+(** Assemble [source] at {!user_code_base}, build an address space
+    (kernel globals + code + stack) and enqueue the process. *)
+
+type outcome =
+  | All_done  (** no runnable process left (inspect their states) *)
+  | Deadlocked  (** every remaining process is blocked in [recv] *)
+  | Out_of_cycles
+  | Machine_halted of Metal_cpu.Machine.halt  (** unexpected halt *)
+
+val run : t -> max_cycles:int -> outcome
+(** Round-robin schedule until every process exits or faults. *)
+
+val console_output : t -> string
+
+val find_process : t -> pid:int -> Process.t option

@@ -1,0 +1,65 @@
+let ( let* ) = Result.bind
+
+(* Frames already mapped for this space, by virtual page number.
+   Looked up through the page table itself so that repeated loads into
+   the same space reuse frames. *)
+let frame_for m ~space ~alloc ~pkey ~perms vpage =
+  let vaddr = vpage * Pte.page_size in
+  match Page_table.lookup space.Addr_space.pt ~vaddr with
+  | Some (pa, _) -> Ok (pa land 0xFFFFF000)
+  | None ->
+    begin match Frame_alloc.alloc alloc with
+    | None -> Error "loader: out of frames"
+    | Some frame ->
+      let* () = Addr_space.map space ~vaddr ~paddr:frame ~pkey perms in
+      ignore m;
+      Ok frame
+    end
+
+let load m ~space ~alloc ?(pkey = 0) ?(perms = Page_table.rwx)
+    (img : Metal_asm.Image.t) =
+  let mem = Metal_hw.Bus.memory m.Metal_cpu.Machine.bus in
+  let load_chunk (vaddr, data) =
+    let len = String.length data in
+    let rec copy i =
+      if i >= len then Ok ()
+      else begin
+        let va = vaddr + i in
+        let vpage = va / Pte.page_size in
+        let* frame = frame_for m ~space ~alloc ~pkey ~perms vpage in
+        (* Copy up to the end of this page. *)
+        let page_rem = Pte.page_size - (va land 0xFFF) in
+        let n = min page_rem (len - i) in
+        let pa = frame + (va land 0xFFF) in
+        if not (Metal_hw.Phys_mem.in_range mem ~addr:pa ~width:n) then
+          Error "loader: frame outside physical memory"
+        else begin
+          for k = 0 to n - 1 do
+            Metal_hw.Phys_mem.write8 mem (pa + k) (Char.code data.[i + k])
+          done;
+          copy (i + n)
+        end
+      end
+    in
+    copy 0
+  in
+  List.fold_left
+    (fun acc chunk -> Result.bind acc (fun () -> load_chunk chunk))
+    (Ok ()) img.Metal_asm.Image.chunks
+
+let map_fresh m ~space ~alloc ~vaddr ~size ?(pkey = 0)
+    ?(perms = Page_table.rw) () =
+  if vaddr land 0xFFF <> 0 then Error "map_fresh: unaligned vaddr"
+  else begin
+    let pages = (size + Pte.page_size - 1) / Pte.page_size in
+    let rec go i =
+      if i = pages then Ok ()
+      else
+        let* _frame =
+          frame_for m ~space ~alloc ~pkey ~perms
+            ((vaddr / Pte.page_size) + i)
+        in
+        go (i + 1)
+    in
+    go 0
+  end

@@ -1,0 +1,26 @@
+(** User-program loader: place an assembled image into a virtual
+    address space, allocating and mapping frames page by page. *)
+
+val load :
+  Metal_cpu.Machine.t ->
+  space:Addr_space.t ->
+  alloc:Frame_alloc.t ->
+  ?pkey:int ->
+  ?perms:Page_table.perms ->
+  Metal_asm.Image.t ->
+  (unit, string) result
+(** Image chunk addresses are interpreted as virtual addresses.
+    Defaults: pkey 0, rwx permissions. *)
+
+val map_fresh :
+  Metal_cpu.Machine.t ->
+  space:Addr_space.t ->
+  alloc:Frame_alloc.t ->
+  vaddr:int ->
+  size:int ->
+  ?pkey:int ->
+  ?perms:Page_table.perms ->
+  unit ->
+  (unit, string) result
+(** Map [size] bytes of fresh zeroed frames at [vaddr] (stacks,
+    heaps). *)

@@ -1,0 +1,108 @@
+type t = { mem : Metal_hw.Phys_mem.t; alloc : Frame_alloc.t; root : int }
+
+type perms = { r : bool; w : bool; x : bool }
+
+let rwx = { r = true; w = true; x = true }
+let rw = { r = true; w = true; x = false }
+let rx = { r = true; w = false; x = true }
+let ro = { r = true; w = false; x = false }
+
+let create ~mem ~alloc =
+  let root = Frame_alloc.alloc_exn alloc in
+  { mem; alloc; root }
+
+let root t = t.root
+
+let read_pte t pa = Metal_hw.Phys_mem.read32 t.mem pa
+
+let write_pte t pa v = Metal_hw.Phys_mem.write32 t.mem pa v
+
+(* Physical address of the leaf slot for [vaddr], allocating the
+   second-level table when [grow]. *)
+let leaf_slot t ~grow vaddr =
+  let l1_slot = t.root + (4 * Pte.l1_index vaddr) in
+  let pte1 = read_pte t l1_slot in
+  if Pte.is_leaf pte1 then Error "address covered by a superpage"
+  else if Pte.is_valid pte1 then
+    Ok (Some (Pte.pa_of pte1 + (4 * Pte.l2_index vaddr)))
+  else if not grow then Ok None
+  else
+    match Frame_alloc.alloc t.alloc with
+    | None -> Error "out of frames for page tables"
+    | Some table ->
+      write_pte t l1_slot (Pte.table ~pa:table);
+      Ok (Some (table + (4 * Pte.l2_index vaddr)))
+
+let map t ~vaddr ~paddr ?(pkey = 0) ?(global = false) perms =
+  if vaddr land 0xFFF <> 0 || paddr land 0xFFF <> 0 then
+    Error "map: addresses must be page-aligned"
+  else
+    match leaf_slot t ~grow:true vaddr with
+    | Error _ as e -> e
+    | Ok None -> Error "map: internal"
+    | Ok (Some slot) ->
+      write_pte t slot
+        (Pte.leaf ~pa:paddr ~pkey ~global ~r:perms.r ~w:perms.w ~x:perms.x ());
+      Ok ()
+
+let map_range t ~vaddr ~paddr ~size ?(pkey = 0) ?(global = false) perms =
+  if size <= 0 then Error "map_range: empty"
+  else begin
+    let pages = (size + Pte.page_size - 1) / Pte.page_size in
+    let rec go i =
+      if i = pages then Ok ()
+      else
+        match
+          map t
+            ~vaddr:(vaddr + (i * Pte.page_size))
+            ~paddr:(paddr + (i * Pte.page_size))
+            ~pkey ~global perms
+        with
+        | Ok () -> go (i + 1)
+        | Error _ as e -> e
+    in
+    go 0
+  end
+
+let map_superpage t ~vaddr ~paddr ?(pkey = 0) ?(global = false) perms =
+  let align = (1 lsl 22) - 1 in
+  if vaddr land align <> 0 || paddr land align <> 0 then
+    Error "map_superpage: addresses must be 4 MiB-aligned"
+  else begin
+    let l1_slot = t.root + (4 * Pte.l1_index vaddr) in
+    write_pte t l1_slot
+      (Pte.leaf ~pa:paddr ~pkey ~global ~r:perms.r ~w:perms.w ~x:perms.x ());
+    Ok ()
+  end
+
+let unmap t ~vaddr =
+  match leaf_slot t ~grow:false vaddr with
+  | Error _ ->
+    (* Superpage: invalidate the level-1 slot. *)
+    let l1_slot = t.root + (4 * Pte.l1_index vaddr) in
+    let pte1 = read_pte t l1_slot in
+    if Pte.is_leaf pte1 then begin
+      write_pte t l1_slot Pte.invalid;
+      true
+    end
+    else false
+  | Ok None -> false
+  | Ok (Some slot) ->
+    if Pte.is_valid (read_pte t slot) then begin
+      write_pte t slot Pte.invalid;
+      true
+    end
+    else false
+
+let lookup t ~vaddr =
+  let l1_slot = t.root + (4 * Pte.l1_index vaddr) in
+  let pte1 = read_pte t l1_slot in
+  if not (Pte.is_valid pte1) then None
+  else if Pte.is_leaf pte1 then
+    let base = Pte.pa_of pte1 lor ((vaddr lsr 12) land 0x3FF) lsl 12 in
+    Some (base lor (vaddr land 0xFFF), pte1)
+  else
+    let slot = Pte.pa_of pte1 + (4 * Pte.l2_index vaddr) in
+    let pte2 = read_pte t slot in
+    if Pte.is_leaf pte2 then Some (Pte.pa_of pte2 lor (vaddr land 0xFFF), pte2)
+    else None

@@ -1,0 +1,45 @@
+(** Two-level radix page tables in simulated physical memory.
+
+    Builds the structures both walkers consume: the optional hardware
+    walker and the Metal page-fault mroutine
+    ({!Metal_progs.Pagetable}). *)
+
+type t
+
+val create : mem:Metal_hw.Phys_mem.t -> alloc:Frame_alloc.t -> t
+(** Allocates the root table. *)
+
+val root : t -> int
+(** Physical address of the root table. *)
+
+type perms = { r : bool; w : bool; x : bool }
+
+val rwx : perms
+val rw : perms
+val rx : perms
+val ro : perms
+
+val map :
+  t -> vaddr:int -> paddr:int -> ?pkey:int -> ?global:bool -> perms ->
+  (unit, string) result
+(** Map one 4 KiB page; allocates the second-level table on demand.
+    Remapping an existing page overwrites the leaf. *)
+
+val map_range :
+  t -> vaddr:int -> paddr:int -> size:int -> ?pkey:int -> ?global:bool ->
+  perms -> (unit, string) result
+(** Map [size] bytes (rounded up to whole pages). *)
+
+val map_superpage :
+  t -> vaddr:int -> paddr:int -> ?pkey:int -> ?global:bool -> perms ->
+  (unit, string) result
+(** Map a 4 MiB superpage with a level-1 leaf (both addresses 4
+    MiB-aligned). *)
+
+val unmap : t -> vaddr:int -> bool
+(** Invalidate the leaf for [vaddr]; false when it was not mapped.
+    The caller is responsible for flushing the TLB. *)
+
+val lookup : t -> vaddr:int -> (int * Word.t) option
+(** [(physical address, leaf pte)] for [vaddr], walking in software —
+    used by tests to cross-check both walkers. *)

@@ -1,0 +1,54 @@
+type state =
+  | Ready
+  | Running
+  | Blocked  (* waiting in sys_recv *)
+  | Exited of int
+  | Faulted of string
+
+type t = {
+  pid : int;
+  space : Addr_space.t;
+  regs : Word.t array;
+  mutable pc : int;
+  mutable privilege : int;
+  mutable pkey_perms : Word.t;
+  mutable state : state;
+  mutable yields : int;
+  mailbox : Word.t Queue.t;
+}
+
+let create ~pid ~space ~entry ~sp ~user_pkeys =
+  let regs = Array.make 32 0 in
+  regs.(Reg.sp) <- Word.of_int sp;
+  {
+    pid;
+    space;
+    regs;
+    pc = entry;
+    privilege = 1;
+    pkey_perms = user_pkeys;
+    state = Ready;
+    yields = 0;
+    mailbox = Queue.create ();
+  }
+
+let save m t =
+  Array.blit m.Metal_cpu.Machine.regs 0 t.regs 0 32;
+  t.privilege <- Metal_cpu.Machine.get_mreg m Reg.Mconv.privilege;
+  t.pkey_perms <- Metal_cpu.Machine.ctrl_read m Csr.pkey_perms
+
+let restore m t =
+  Addr_space.activate m t.space;
+  Array.blit t.regs 0 m.Metal_cpu.Machine.regs 0 32;
+  m.Metal_cpu.Machine.regs.(0) <- 0;
+  Metal_cpu.Machine.set_mreg m Reg.Mconv.privilege t.privilege;
+  Metal_cpu.Machine.ctrl_write m Csr.pkey_perms t.pkey_perms;
+  Metal_cpu.Machine.set_pc m t.pc;
+  t.state <- Running
+
+let state_to_string = function
+  | Ready -> "ready"
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Exited code -> Printf.sprintf "exited(%d)" code
+  | Faulted msg -> Printf.sprintf "faulted(%s)" msg

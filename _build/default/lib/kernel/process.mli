@@ -1,0 +1,34 @@
+(** Processes: per-process architectural context and address space. *)
+
+type state =
+  | Ready
+  | Running
+  | Blocked  (** parked in [sys_recv] until a message arrives *)
+  | Exited of int  (** exit code *)
+  | Faulted of string
+
+type t = {
+  pid : int;
+  space : Addr_space.t;
+  regs : Word.t array;  (** 32 GPRs, saved while not running *)
+  mutable pc : int;
+  mutable privilege : int;  (** saved m0 (0 kernel / 1 user) *)
+  mutable pkey_perms : Word.t;  (** saved page-key view *)
+  mutable state : state;
+  mutable yields : int;
+  mailbox : Word.t Queue.t;  (** pending IPC messages (bounded) *)
+}
+
+val create :
+  pid:int -> space:Addr_space.t -> entry:int -> sp:int ->
+  user_pkeys:int -> t
+
+val save : Metal_cpu.Machine.t -> t -> unit
+(** Capture GPRs, pc (caller supplies via [t.pc] beforehand),
+    privilege and page-key state from the machine. *)
+
+val restore : Metal_cpu.Machine.t -> t -> unit
+(** Install the context: activate the address space, restore GPRs,
+    privilege, page keys, and reset the pipeline at [t.pc]. *)
+
+val state_to_string : state -> string

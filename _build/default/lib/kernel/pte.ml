@@ -1,0 +1,30 @@
+let page_size = 4096
+
+let entries_per_table = 1024
+
+let leaf ~pa ?(pkey = 0) ?(global = false) ~r ~w ~x () =
+  assert (pa land 0xFFF = 0);
+  Word.of_int
+    (pa
+     lor ((pkey land 0xF) lsl 5)
+     lor (if global then 0x10 else 0)
+     lor (if x then 0x8 else 0)
+     lor (if w then 0x4 else 0)
+     lor (if r then 0x2 else 0)
+     lor 0x1)
+
+let table ~pa =
+  assert (pa land 0xFFF = 0);
+  Word.of_int (pa lor 0x1)
+
+let invalid = 0
+
+let is_valid pte = pte land 1 = 1
+
+let is_leaf pte = is_valid pte && pte land 0xE <> 0
+
+let pa_of pte = pte land 0xFFFFF000
+
+let l1_index vaddr = (vaddr lsr 22) land 0x3FF
+
+let l2_index vaddr = (vaddr lsr 12) land 0x3FF

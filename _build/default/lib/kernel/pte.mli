@@ -1,0 +1,37 @@
+(** Page-table entries.
+
+    The format shared by the hardware walker ({!Metal_cpu.Pipeline})
+    and the mcode walker ({!Metal_progs.Pagetable}): physical page
+    base in bits 31:12, page key in bits 8:5, G bit 4, X bit 3, W bit
+    2, R bit 1, V bit 0.  A valid entry with X=W=R=0 points to the
+    next-level table; a level-1 leaf maps a 4 MiB superpage. *)
+
+val page_size : int
+(** 4096. *)
+
+val entries_per_table : int
+(** 1024 (two-level, 10+10+12 split). *)
+
+val leaf :
+  pa:int -> ?pkey:int -> ?global:bool -> r:bool -> w:bool -> x:bool ->
+  unit -> Word.t
+(** A leaf PTE mapping [pa] (page-aligned). *)
+
+val table : pa:int -> Word.t
+(** A non-leaf PTE pointing at the next-level table at [pa]. *)
+
+val invalid : Word.t
+
+val is_valid : Word.t -> bool
+
+val is_leaf : Word.t -> bool
+(** Valid and at least one of X/W/R set. *)
+
+val pa_of : Word.t -> int
+(** The physical base (bits 31:12). *)
+
+val l1_index : int -> int
+(** [l1_index vaddr] = bits 31:22. *)
+
+val l2_index : int -> int
+(** [l2_index vaddr] = bits 21:12. *)

@@ -1,0 +1,1 @@
+lib/mgen/mgen.ml: Buffer Csr List Metal_asm Metal_cpu Metal_hw Printf Reg Result Word

@@ -1,0 +1,1 @@
+lib/mgen/mgen.mli: Csr Metal_cpu Reg

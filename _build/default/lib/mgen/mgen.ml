@@ -1,0 +1,287 @@
+type binop =
+  | B_add | B_sub | B_and | B_or | B_xor | B_shl | B_shr | B_sar
+  | B_eq | B_ne | B_lt | B_ltu | B_ge | B_geu
+
+type expr =
+  | E_int of int
+  | E_var of string
+  | E_param of int
+  | E_mreg of Reg.mreg
+  | E_csr of Csr.t
+  | E_load of expr
+  | E_probe of expr
+  | E_bin of binop * expr * expr
+
+type stmt =
+  | S_let of string * expr
+  | S_set of string * expr
+  | S_set_param of int * expr
+  | S_set_mreg of Reg.mreg * expr
+  | S_set_csr of Csr.t * expr
+  | S_store of expr * expr
+  | S_tlbw of expr * expr
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_exit
+
+type routine = { name : string; entry : int; body : stmt list }
+
+(* Constructors *)
+
+let int v = E_int v
+let var name = E_var name
+let param n = E_param n
+let mreg m = E_mreg m
+let csr c = E_csr c
+let load e = E_load e
+let tlb_probe e = E_probe e
+
+let add a b = E_bin (B_add, a, b)
+let sub a b = E_bin (B_sub, a, b)
+let and_ a b = E_bin (B_and, a, b)
+let or_ a b = E_bin (B_or, a, b)
+let xor a b = E_bin (B_xor, a, b)
+let shl a b = E_bin (B_shl, a, b)
+let shr a b = E_bin (B_shr, a, b)
+let sar a b = E_bin (B_sar, a, b)
+let eq a b = E_bin (B_eq, a, b)
+let ne a b = E_bin (B_ne, a, b)
+let lt a b = E_bin (B_lt, a, b)
+let ltu a b = E_bin (B_ltu, a, b)
+let ge a b = E_bin (B_ge, a, b)
+let geu a b = E_bin (B_geu, a, b)
+
+let let_ name e = S_let (name, e)
+let set name e = S_set (name, e)
+let set_param n e = S_set_param (n, e)
+let set_mreg m e = S_set_mreg (m, e)
+let set_csr c e = S_set_csr (c, e)
+let store ~addr ~value = S_store (addr, value)
+let tlb_write ~tag ~data = S_tlbw (tag, data)
+let if_ c t e = S_if (c, t, e)
+let while_ c b = S_while (c, b)
+let exit = S_exit
+
+let routine ~name ~entry body = { name; entry; body }
+
+(* ------------------------------------------------------------------ *)
+(* Code generation                                                     *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* Scratch register pool, in allocation order. *)
+let scratch = [ "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6" ]
+
+let param_reg n =
+  if n < 0 || n > 7 then err "parameter index %d out of range (a0..a7)" n;
+  "a" ^ string_of_int n
+
+type state = {
+  buf : Buffer.t;
+  mutable label : int;
+  mutable slots : (string * int) list;  (** variable -> data offset *)
+  mutable next_slot : int;
+  data_limit : int;
+}
+
+let emit st fmt = Printf.ksprintf (fun s -> Buffer.add_string st.buf ("    " ^ s ^ "\n")) fmt
+
+let emit_label st l = Buffer.add_string st.buf (l ^ ":\n")
+
+let fresh_label st prefix =
+  st.label <- st.label + 1;
+  Printf.sprintf "Lmgen_%s_%d" prefix st.label
+
+let slot_of st name =
+  match List.assoc_opt name st.slots with
+  | Some off -> off
+  | None -> err "undefined variable %S" name
+
+let alloc_slot st name =
+  if List.mem_assoc name st.slots then err "variable %S redeclared" name;
+  let off = st.next_slot in
+  if off + 4 > st.data_limit then
+    err "too many variables (data region exhausted at %S)" name;
+  st.next_slot <- off + 4;
+  st.slots <- (name, off) :: st.slots;
+  off
+
+(* Evaluate [e] into register [dst] using [free] for subexpressions. *)
+let rec gen_expr st ~dst ~free e =
+  match e with
+  | E_int v -> emit st "li %s, %d" dst (Word.to_signed (Word.of_int v))
+  | E_var name -> emit st "mld %s, %d(zero)" dst (slot_of st name)
+  | E_param n -> emit st "mv %s, %s" dst (param_reg n)
+  | E_mreg m ->
+    if m < 0 || m >= Reg.mreg_count then err "bad metal register m%d" m;
+    emit st "rmr %s, m%d" dst m
+  | E_csr c ->
+    if not (Csr.is_valid c) then err "bad control register %d" c;
+    emit st "mcsrr %s, %s" dst (Csr.name c)
+  | E_load a ->
+    gen_expr st ~dst ~free a;
+    emit st "physld %s, 0(%s)" dst dst
+  | E_probe a ->
+    gen_expr st ~dst ~free a;
+    emit st "tlbprobe %s, %s" dst dst
+  | E_bin (op, a, b) ->
+    gen_expr st ~dst ~free a;
+    begin match free with
+    | [] -> err "expression too deep (scratch registers exhausted)"
+    | r :: rest ->
+      gen_expr st ~dst:r ~free:rest b;
+      begin match op with
+      | B_add -> emit st "add %s, %s, %s" dst dst r
+      | B_sub -> emit st "sub %s, %s, %s" dst dst r
+      | B_and -> emit st "and %s, %s, %s" dst dst r
+      | B_or -> emit st "or %s, %s, %s" dst dst r
+      | B_xor -> emit st "xor %s, %s, %s" dst dst r
+      | B_shl -> emit st "sll %s, %s, %s" dst dst r
+      | B_shr -> emit st "srl %s, %s, %s" dst dst r
+      | B_sar -> emit st "sra %s, %s, %s" dst dst r
+      | B_eq ->
+        emit st "sub %s, %s, %s" dst dst r;
+        emit st "seqz %s, %s" dst dst
+      | B_ne ->
+        emit st "sub %s, %s, %s" dst dst r;
+        emit st "snez %s, %s" dst dst
+      | B_lt -> emit st "slt %s, %s, %s" dst dst r
+      | B_ltu -> emit st "sltu %s, %s, %s" dst dst r
+      | B_ge ->
+        emit st "slt %s, %s, %s" dst dst r;
+        emit st "xori %s, %s, 1" dst dst
+      | B_geu ->
+        emit st "sltu %s, %s, %s" dst dst r;
+        emit st "xori %s, %s, 1" dst dst
+      end
+    end
+
+let rec gen_stmt st s =
+  match s with
+  | S_let (name, e) ->
+    (* Evaluate before the slot exists: let x = x is an error. *)
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free e
+     | [] -> assert false);
+    let off = alloc_slot st name in
+    emit st "mst t0, %d(zero)" off
+  | S_set (name, e) ->
+    let off = slot_of st name in
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free e
+     | [] -> assert false);
+    emit st "mst t0, %d(zero)" off
+  | S_set_param (n, e) ->
+    let reg = param_reg n in
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free e
+     | [] -> assert false);
+    emit st "mv %s, t0" reg
+  | S_set_mreg (m, e) ->
+    if m < 0 || m >= Reg.mreg_count then err "bad metal register m%d" m;
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free e
+     | [] -> assert false);
+    emit st "wmr m%d, t0" m
+  | S_set_csr (c, e) ->
+    if not (Csr.is_valid c) then err "bad control register %d" c;
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free e
+     | [] -> assert false);
+    emit st "mcsrw %s, t0" (Csr.name c)
+  | S_store (addr, value) ->
+    (match scratch with
+     | dst :: (r :: _ as free) ->
+       gen_expr st ~dst ~free addr;
+       (match free with
+        | v :: free' -> gen_expr st ~dst:v ~free:free' value
+        | [] -> assert false);
+       emit st "physst %s, 0(%s)" r dst
+     | _ -> assert false)
+  | S_tlbw (tag, data) ->
+    (match scratch with
+     | dst :: (r :: _ as free) ->
+       gen_expr st ~dst ~free tag;
+       (match free with
+        | v :: free' -> gen_expr st ~dst:v ~free:free' data
+        | [] -> assert false);
+       emit st "tlbw %s, %s" dst r
+     | _ -> assert false)
+  | S_if (c, then_, else_) ->
+    let l_else = fresh_label st "else" and l_end = fresh_label st "endif" in
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free c
+     | [] -> assert false);
+    emit st "beqz t0, %s" l_else;
+    List.iter (gen_stmt st) then_;
+    emit st "j %s" l_end;
+    emit_label st l_else;
+    List.iter (gen_stmt st) else_;
+    emit_label st l_end
+  | S_while (c, body) ->
+    let l_head = fresh_label st "while" and l_end = fresh_label st "endwhile" in
+    emit_label st l_head;
+    (match scratch with
+     | dst :: free -> gen_expr st ~dst ~free c
+     | [] -> assert false);
+    emit st "beqz t0, %s" l_end;
+    List.iter (gen_stmt st) body;
+    emit st "j %s" l_head;
+    emit_label st l_end
+  | S_exit -> emit st "mexit"
+
+let rec ends_with_exit = function
+  | [] -> false
+  | [ S_exit ] -> true
+  | [ S_if (_, t, e) ] -> ends_with_exit t && ends_with_exit e
+  | _ :: rest -> ends_with_exit rest
+
+let gen_routine st r =
+  if r.entry < 0 || r.entry >= Metal_hw.Mram.max_entries then
+    err "routine %S: entry %d out of range" r.name r.entry;
+  Buffer.add_string st.buf
+    (Printf.sprintf "\n# mgen routine %S (entry %d)\n" r.name r.entry);
+  emit_label st ("mgen_" ^ r.name);
+  List.iter (gen_stmt st) r.body;
+  if not (ends_with_exit r.body) then emit st "mexit"
+
+let compile ?(org = 0x2000) ?(data_base = 0xB8) routines =
+  try
+    if data_base land 3 <> 0 then err "data_base must be word-aligned";
+    let st =
+      { buf = Buffer.create 1024; label = 0; slots = []; next_slot = data_base;
+        data_limit = 0x7FC }
+    in
+    Buffer.add_string st.buf
+      (Printf.sprintf "# generated by Mgen\n.org %d\n" org);
+    List.iter
+      (fun r ->
+         Buffer.add_string st.buf
+           (Printf.sprintf ".mentry %d, mgen_%s\n" r.entry r.name))
+      routines;
+    let names = List.map (fun r -> r.name) routines in
+    let rec dup = function
+      | [] -> ()
+      | n :: rest ->
+        if List.mem n rest then err "duplicate routine name %S" n else dup rest
+    in
+    dup names;
+    List.iter (gen_routine st) routines;
+    Ok (Buffer.contents st.buf)
+  with Error msg -> Result.error ("mgen: " ^ msg)
+
+let compile_exn ?org ?data_base routines =
+  match compile ?org ?data_base routines with
+  | Ok s -> s
+  | Error e -> invalid_arg e
+
+let install m ?org ?data_base routines =
+  match compile ?org ?data_base routines with
+  | Error _ as e -> e
+  | Ok src ->
+    begin match Metal_asm.Asm.assemble src with
+    | Error e -> Error (Metal_asm.Asm.error_to_string e)
+    | Ok img -> Metal_cpu.Machine.load_mcode m img
+    end

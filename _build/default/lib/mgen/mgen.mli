@@ -1,0 +1,120 @@
+(** Mgen: a structured language for writing mroutines.
+
+    The paper closes with: "With compiler support, it can be practical
+    to write hardware features in high level languages such as C."
+    Mgen is that compiler support, scaled to mroutines: a small
+    expression/statement language embedded in OCaml that compiles to
+    mcode.  It enforces the Metal programming model by construction —
+    variables are statically allocated MRAM data slots (Section 2.1),
+    every routine ends in [mexit], and the Metal primitives (Metal
+    registers, physical memory, TLB and control-register access) are
+    first-class.
+
+    {2 Example: a popcount instruction}
+
+    {[
+      let popcount =
+        Mgen.routine ~name:"popcount" ~entry:0
+          [ let_ "bits" (param 0);
+            let_ "n" (int 0);
+            while_ (ne (var "bits") (int 0))
+              [ set "n" (add (var "n") (and_ (var "bits") (int 1)));
+                set "bits" (shr (var "bits") (int 1)) ];
+            set_param 0 (var "n") ]
+    ]}
+
+    Compiled with {!compile} and loaded like any hand-written mcode. *)
+
+(** {2 Expressions} *)
+
+type expr
+
+val int : int -> expr
+(** A 32-bit constant. *)
+
+val var : string -> expr
+(** A routine-local variable (an MRAM data slot). *)
+
+val param : int -> expr
+(** Argument register [a<n>] (n in 0..7). *)
+
+val mreg : Reg.mreg -> expr
+(** Read a Metal register ([rmr]). *)
+
+val csr : Csr.t -> expr
+(** Read a machine control register ([mcsrr]). *)
+
+val load : expr -> expr
+(** Physical word load ([physld]). *)
+
+val tlb_probe : expr -> expr
+
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val and_ : expr -> expr -> expr
+val or_ : expr -> expr -> expr
+val xor : expr -> expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+(** Logical right shift. *)
+
+val sar : expr -> expr -> expr
+(** Arithmetic right shift. *)
+
+val eq : expr -> expr -> expr
+val ne : expr -> expr -> expr
+val lt : expr -> expr -> expr
+(** Signed. *)
+
+val ltu : expr -> expr -> expr
+val ge : expr -> expr -> expr
+val geu : expr -> expr -> expr
+
+(** {2 Statements} *)
+
+type stmt
+
+val let_ : string -> expr -> stmt
+(** Declare and initialize a variable (static MRAM allocation). *)
+
+val set : string -> expr -> stmt
+
+val set_param : int -> expr -> stmt
+(** Write [a<n>] (results are returned in argument registers). *)
+
+val set_mreg : Reg.mreg -> expr -> stmt
+
+val set_csr : Csr.t -> expr -> stmt
+
+val store : addr:expr -> value:expr -> stmt
+(** Physical word store ([physst]). *)
+
+val tlb_write : tag:expr -> data:expr -> stmt
+
+val if_ : expr -> stmt list -> stmt list -> stmt
+
+val while_ : expr -> stmt list -> stmt
+
+val exit : stmt
+(** [mexit]; implicit at the end of every routine body. *)
+
+(** {2 Routines} *)
+
+type routine
+
+val routine : name:string -> entry:int -> stmt list -> routine
+
+val compile :
+  ?org:int -> ?data_base:int -> routine list -> (string, string) result
+(** Compile to mcode assembly.  [org] is the MRAM code offset (default
+    0x2000, clear of the standard library in {!Metal_progs.Layout});
+    [data_base] the first MRAM data slot for variables (default 0x7A0).
+    Fails on undefined variables, out-of-range parameters, expressions
+    deeper than the scratch register pool, or too many variables. *)
+
+val compile_exn : ?org:int -> ?data_base:int -> routine list -> string
+
+val install :
+  Metal_cpu.Machine.t -> ?org:int -> ?data_base:int -> routine list ->
+  (unit, string) result
+(** Compile, assemble and load into MRAM. *)

@@ -1,0 +1,1 @@
+lib/progs/capability.ml: Layout Metal_asm Metal_cpu Printf

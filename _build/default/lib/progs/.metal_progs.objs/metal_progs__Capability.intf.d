@@ -1,0 +1,1 @@
+lib/progs/capability.mli: Metal_cpu

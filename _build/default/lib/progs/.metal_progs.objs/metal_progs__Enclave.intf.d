@@ -1,0 +1,1 @@
+lib/progs/enclave.mli: Metal_cpu

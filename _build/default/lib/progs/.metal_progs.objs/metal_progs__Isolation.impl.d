@@ -1,0 +1,1 @@
+lib/progs/isolation.ml: Csr Layout Metal_asm Metal_cpu Metal_hw Printf

@@ -1,0 +1,1 @@
+lib/progs/isolation.mli: Metal_cpu

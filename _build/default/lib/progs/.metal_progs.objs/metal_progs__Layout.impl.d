@@ -1,0 +1,1 @@
+lib/progs/layout.ml:

@@ -1,0 +1,1 @@
+lib/progs/nested.ml: Layout Metal_asm Metal_cpu Metal_hw Printf

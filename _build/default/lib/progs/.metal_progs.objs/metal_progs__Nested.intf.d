@@ -1,0 +1,1 @@
+lib/progs/nested.mli: Metal_cpu

@@ -1,0 +1,1 @@
+lib/progs/pagetable.ml: Cause Layout List Metal_asm Metal_cpu Metal_hw Printf

@@ -1,0 +1,1 @@
+lib/progs/pagetable.mli: Metal_cpu

@@ -1,0 +1,1 @@
+lib/progs/privilege.ml: Format Layout Metal_asm Metal_cpu Printf

@@ -1,0 +1,1 @@
+lib/progs/privilege.mli: Metal_cpu

@@ -1,0 +1,1 @@
+lib/progs/shadowstack.mli: Metal_cpu

@@ -1,0 +1,1 @@
+lib/progs/stm.ml: Layout List Metal_asm Metal_cpu Metal_hw Printf

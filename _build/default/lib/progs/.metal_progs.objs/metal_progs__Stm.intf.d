@@ -1,0 +1,1 @@
+lib/progs/stm.mli: Metal_cpu

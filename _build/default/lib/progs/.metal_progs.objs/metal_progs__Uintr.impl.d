@@ -1,0 +1,1 @@
+lib/progs/uintr.ml: Csr Layout Metal_asm Metal_cpu Metal_hw Printf

@@ -1,0 +1,1 @@
+lib/progs/uintr.mli: Metal_cpu

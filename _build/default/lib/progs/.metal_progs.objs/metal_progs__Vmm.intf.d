@@ -1,0 +1,1 @@
+lib/progs/vmm.mli: Metal_cpu

@@ -1,0 +1,115 @@
+let capacity = 16
+
+let base = Layout.capability_data
+let off_count = base + 0x00
+let off_table = base + 0x10
+
+let mcode () =
+  Printf.sprintf
+    {|# Hardware capabilities in mcode (paper Section 3.5).
+.org %d
+.equ CAP_COUNT, %d
+.equ CAP_TABLE, %d
+.equ CAP_CAPACITY, %d
+
+.mentry %d, cap_create
+.mentry %d, cap_load
+.mentry %d, cap_store
+.mentry %d, cap_revoke
+
+# a0 = base, a1 = length, a2 = perms (bit0 read, bit1 write).
+# Returns the capability index in a0, or -1 when the table is full.
+cap_create:
+    mld t0, CAP_COUNT(zero)
+    li t1, CAP_CAPACITY
+    beq t0, t1, cap_full
+    slli t1, t0, 4
+    addi t1, t1, CAP_TABLE
+    mst a0, 0(t1)
+    mst a1, 4(t1)
+    mst a2, 8(t1)
+    li t2, 1
+    mst t2, 12(t1)
+    addi t2, t0, 1
+    mst t2, CAP_COUNT(zero)
+    mv a0, t0
+    mexit
+cap_full:
+    li a0, -1
+    mexit
+
+# a0 = index, a1 = offset -> a0 = value, a1 = 0.
+cap_load:
+    mld t0, CAP_COUNT(zero)
+    bgeu a0, t0, cap_err_bad
+    slli t1, a0, 4
+    addi t1, t1, CAP_TABLE
+    mld t2, 12(t1)
+    beqz t2, cap_err_revoked
+    mld t2, 4(t1)
+    addi t3, a1, 4
+    bgtu t3, t2, cap_err_bounds
+    mld t2, 8(t1)
+    andi t2, t2, 1
+    beqz t2, cap_err_perms
+    mld t0, 0(t1)
+    add t0, t0, a1
+    physld a0, 0(t0)
+    li a1, 0
+    mexit
+
+# a0 = index, a1 = offset, a2 = value -> a0 = 0.
+cap_store:
+    mld t0, CAP_COUNT(zero)
+    bgeu a0, t0, cap_err_bad
+    slli t1, a0, 4
+    addi t1, t1, CAP_TABLE
+    mld t2, 12(t1)
+    beqz t2, cap_err_revoked
+    mld t2, 4(t1)
+    addi t3, a1, 4
+    bgtu t3, t2, cap_err_bounds
+    mld t2, 8(t1)
+    andi t2, t2, 2
+    beqz t2, cap_err_perms
+    mld t0, 0(t1)
+    add t0, t0, a1
+    physst a2, 0(t0)
+    li a0, 0
+    li a1, 0
+    mexit
+
+cap_err_bad:
+    li a0, -1
+    li a1, 1
+    mexit
+cap_err_revoked:
+    li a0, -1
+    li a1, 2
+    mexit
+cap_err_bounds:
+    li a0, -1
+    li a1, 3
+    mexit
+cap_err_perms:
+    li a0, -1
+    li a1, 4
+    mexit
+
+# a0 = index.  Revocation is immediate for every holder of the index.
+cap_revoke:
+    mld t0, CAP_COUNT(zero)
+    bgeu a0, t0, cap_err_bad
+    slli t1, a0, 4
+    addi t1, t1, CAP_TABLE
+    mst zero, 12(t1)
+    li a0, 0
+    mexit
+|}
+    Layout.capability_org off_count off_table capacity Layout.cap_create
+    Layout.cap_load Layout.cap_store Layout.cap_revoke
+
+let install m =
+  match Metal_asm.Asm.assemble (mcode ()) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img -> Metal_cpu.Machine.load_mcode m img

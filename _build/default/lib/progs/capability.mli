@@ -1,0 +1,27 @@
+(** Hardware capabilities (Section 3.5).
+
+    A capability table in the MRAM data segment, in the tradition of
+    the IBM System/38 and Intel iAPX 432 microcode capability systems
+    the paper cites.  A capability names a memory region with read and
+    write permissions; loads and stores through a capability are
+    bounds- and permission-checked in mcode, and revocation is
+    immediate because the table is the single source of truth.
+
+    Guest ABI (all via [menter]):
+    - create: a0 = base, a1 = length (bytes), a2 = perms (bit 0 read,
+      bit 1 write) -> a0 = capability index, or -1 when full.
+    - load: a0 = index, a1 = byte offset -> a0 = value, a1 = 0; on
+      violation a0 = -1, a1 = error (1 bad cap, 2 revoked, 3 bounds,
+      4 perms).
+    - store: a0 = index, a1 = offset, a2 = value -> a0 = 0 / -1 with
+      a1 = error.
+    - revoke: a0 = index -> a0 = 0, or -1 for a bad index. *)
+
+val capacity : int
+(** Maximum live capabilities (16). *)
+
+val mcode : unit -> string
+(** Entries {!Layout.cap_create}, {!Layout.cap_load},
+    {!Layout.cap_store}, {!Layout.cap_revoke}. *)
+
+val install : Metal_cpu.Machine.t -> (unit, string) result

@@ -1,0 +1,126 @@
+type config = {
+  entry : int;
+  region_base : int;
+  region_size : int;
+  open_perms : int;
+  closed_perms : int;
+}
+
+let base = Layout.enclave_data
+let off_entry = base + 0x00
+let off_base = base + 0x04
+let off_size = base + 0x08
+let off_saved = base + 0x0C
+let off_open = base + 0x10
+let off_closed = base + 0x14
+let off_meas = base + 0x18
+let off_denied = base + 0x1C
+
+let mcode () =
+  Printf.sprintf
+    {|# Security enclaves (paper Section 3.5).
+.org %d
+.equ ENC_ENTRY, %d
+.equ ENC_BASE, %d
+.equ ENC_SIZE, %d
+.equ ENC_SAVED, %d
+.equ ENC_OPEN, %d
+.equ ENC_CLOSED, %d
+.equ ENC_MEAS, %d
+.equ ENC_DENIED, %d
+
+.mentry %d, enc_enter
+.mentry %d, enc_exit
+.mentry %d, enc_hash
+
+# Measure the enclave region: h = 5381; h = ((h << 5) + h) ^ word.
+# Internal subroutine; link register is t3.
+enc_hash_fn:
+    mld t0, ENC_BASE(zero)
+    mld t1, ENC_SIZE(zero)
+    add t1, t1, t0
+    li t2, 5381
+enc_hash_loop:
+    bgeu t0, t1, enc_hash_done
+    physld t4, 0(t0)
+    slli t5, t2, 5
+    add t2, t5, t2
+    xor t2, t2, t4
+    addi t0, t0, 4
+    j enc_hash_loop
+enc_hash_done:
+    jr t3
+
+# Attestation: a0 = current measurement.
+enc_hash:
+    jal t3, enc_hash_fn
+    mv a0, t2
+    mexit
+
+# Enter the enclave after verifying its measurement (code integrity);
+# a tampered enclave is refused with a0 = -1.
+enc_enter:
+    jal t3, enc_hash_fn
+    mld t4, ENC_MEAS(zero)
+    bne t2, t4, enc_denied
+    rmr t0, m31
+    mst t0, ENC_SAVED(zero)
+    mld t0, ENC_OPEN(zero)
+    mcsrw pkey_perms, t0
+    mld t0, ENC_ENTRY(zero)
+    wmr m31, t0
+    mexit
+enc_denied:
+    mld t0, ENC_DENIED(zero)
+    addi t0, t0, 1
+    mst t0, ENC_DENIED(zero)
+    li a0, -1
+    mexit
+
+# Leave the enclave: close the key, return to the original caller.
+enc_exit:
+    mld t0, ENC_CLOSED(zero)
+    mcsrw pkey_perms, t0
+    mld t0, ENC_SAVED(zero)
+    wmr m31, t0
+    mexit
+|}
+    Layout.enclave_org off_entry off_base off_size off_saved off_open
+    off_closed off_meas off_denied Layout.enc_enter Layout.enc_exit
+    Layout.enc_hash
+
+let host_hash m ~base:b ~size =
+  let rec go addr h =
+    if addr >= b + size then h
+    else
+      let w = Metal_cpu.Machine.read_word m addr in
+      let h = Word.logxor (Word.add (Word.shift_left h 5) h) w in
+      go (addr + 4) h
+  in
+  go b 5381
+
+let install m cfg =
+  if cfg.region_size land 3 <> 0 then Error "enclave size must be word-aligned"
+  else
+    match Metal_asm.Asm.assemble (mcode ()) with
+    | Error e -> Error (Metal_asm.Asm.error_to_string e)
+    | Ok img ->
+      begin match Metal_cpu.Machine.load_mcode m img with
+      | Error _ as e -> e
+      | Ok () ->
+        let mram = m.Metal_cpu.Machine.mram in
+        let put off v = ignore (Metal_hw.Mram.store_word mram ~addr:off v) in
+        put off_entry cfg.entry;
+        put off_base cfg.region_base;
+        put off_size cfg.region_size;
+        put off_open cfg.open_perms;
+        put off_closed cfg.closed_perms;
+        put off_meas (host_hash m ~base:cfg.region_base ~size:cfg.region_size);
+        Metal_cpu.Machine.ctrl_write m Csr.pkey_perms cfg.closed_perms;
+        Ok ()
+      end
+
+let measurement m =
+  match Metal_hw.Mram.load_word m.Metal_cpu.Machine.mram ~addr:off_meas with
+  | Some v -> v
+  | None -> 0

@@ -1,0 +1,34 @@
+(** Security enclaves (Section 3.5).
+
+    "Developers create a trusted execution layer that runs at a higher
+    privilege level than the host OS.  After Metal loads and verifies
+    an enclave, the enclave runs in the trusted execution layer which
+    the host OS cannot access."
+
+    An enclave here is a contiguous memory region whose pages carry a
+    dedicated page key.  [enc_enter] opens the key and transfers to
+    the enclave entry point ([m31] is parked so [enc_exit] returns to
+    the caller); [enc_hash] computes the enclave's measurement — a
+    multiplicative checksum over the region — for attestation, and
+    [enc_enter] refuses to run an enclave whose current measurement
+    differs from the one recorded at configuration time (code
+    integrity). *)
+
+type config = {
+  entry : int;  (** enclave entry point *)
+  region_base : int;
+  region_size : int;  (** bytes (multiple of 4) *)
+  open_perms : int;
+  closed_perms : int;
+}
+
+val mcode : unit -> string
+(** Entries {!Layout.enc_enter}, {!Layout.enc_exit},
+    {!Layout.enc_hash}. *)
+
+val install : Metal_cpu.Machine.t -> config -> (unit, string) result
+(** Load, configure and record the initial measurement (requires the
+    enclave contents to already be in memory). *)
+
+val measurement : Metal_cpu.Machine.t -> int
+(** The measurement recorded in MRAM. *)

@@ -1,0 +1,57 @@
+type config = { gate_target : int; open_perms : int; closed_perms : int }
+
+let base = Layout.isolation_data
+let off_saved_ra = base + 0x00
+let off_open = base + 0x04
+let off_closed = base + 0x08
+let off_target = base + 0x0C
+
+let mcode () =
+  Printf.sprintf
+    {|# In-process isolation gates (paper Section 3.1).
+.org %d
+.equ DOM_SAVED_RA, %d
+.equ DOM_OPEN, %d
+.equ DOM_CLOSED, %d
+.equ DOM_TARGET, %d
+
+.mentry %d, dom_enter
+.mentry %d, dom_exit
+
+# One-way gate into the trusted domain.  Opening the secret page key
+# and transferring control are inseparable.  t0 is caller-saved.
+dom_enter:
+    rmr t0, m31
+    mst t0, DOM_SAVED_RA(zero)
+    mld t0, DOM_OPEN(zero)
+    mcsrw pkey_perms, t0
+    mld t0, DOM_TARGET(zero)
+    wmr m31, t0
+    mexit
+
+# Leave the domain: close the key, return to the original caller.
+dom_exit:
+    mld t0, DOM_CLOSED(zero)
+    mcsrw pkey_perms, t0
+    mld t0, DOM_SAVED_RA(zero)
+    wmr m31, t0
+    mexit
+|}
+    Layout.isolation_org off_saved_ra off_open off_closed off_target
+    Layout.dom_enter Layout.dom_exit
+
+let install m cfg =
+  match Metal_asm.Asm.assemble (mcode ()) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    begin match Metal_cpu.Machine.load_mcode m img with
+    | Error _ as e -> e
+    | Ok () ->
+      let mram = m.Metal_cpu.Machine.mram in
+      let put off v = ignore (Metal_hw.Mram.store_word mram ~addr:off v) in
+      put off_open cfg.open_perms;
+      put off_closed cfg.closed_perms;
+      put off_target cfg.gate_target;
+      Metal_cpu.Machine.ctrl_write m Csr.pkey_perms cfg.closed_perms;
+      Ok ()
+    end

@@ -1,0 +1,29 @@
+(** In-process isolation (Section 3.1).
+
+    Protects sensitive data (e.g. cryptographic keys) from the rest of
+    the process: secret pages carry a dedicated page key that the
+    normal page-key permission register disables; the only way to
+    reach them is through the [dom_enter] gate mroutine, which opens
+    the key and transfers control to the registered trusted entry
+    point.  [dom_exit] closes the key and returns to the caller.
+
+    "Metal enables developers to safely encapsulate the transition
+    code without CFI" — the gate lives in MRAM, so no userspace code
+    path can open the key without also transferring control to the
+    trusted entry. *)
+
+type config = {
+  gate_target : int;
+      (** trusted-domain entry point (virtual address). *)
+  open_perms : int;
+      (** [pkey_perms] value inside the domain. *)
+  closed_perms : int;
+      (** [pkey_perms] value outside (secret key disabled). *)
+}
+
+val mcode : unit -> string
+(** Entries {!Layout.dom_enter} and {!Layout.dom_exit}. *)
+
+val install : Metal_cpu.Machine.t -> config -> (unit, string) result
+(** Load the mcode, store the configuration in the MRAM data segment
+    and set the machine's current [pkey_perms] to [closed_perms]. *)

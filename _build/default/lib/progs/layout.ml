@@ -1,0 +1,54 @@
+(* Entry numbers *)
+let kenter = 0
+let kexit = 1
+let ktlbw = 2
+let exc_trampoline = 3
+let pf_handler = 8
+let pf_set_root = 9
+let tstart = 16
+let tcommit = 17
+let tabort = 18
+let tread = 19
+let twrite = 20
+let uintr_deliver = 24
+let uintr_setup = 25
+let uintr_ret = 26
+let dom_enter = 28
+let dom_exit = 29
+let ss_call = 32
+let ss_ret = 33
+let ss_enable = 34
+let ss_disable = 35
+let cap_create = 40
+let cap_load = 41
+let cap_store = 42
+let cap_revoke = 43
+let enc_enter = 48
+let enc_exit = 49
+let enc_hash = 50
+let nest_store = 56
+let vmm_pf = 57
+
+(* Code-segment origins.  The default MRAM code segment is 16 KiB
+   (0x4000); regions are sized generously for each program. *)
+let privilege_org = 0x0000
+let pagetable_org = 0x0200
+let stm_org = 0x0400
+let uintr_org = 0x0900
+let isolation_org = 0x0B00
+let shadowstack_org = 0x0D00
+let capability_org = 0x1000
+let enclave_org = 0x1400
+let nested_org = 0x1700
+let vmm_org = 0x1800
+
+(* Data-segment regions (default data segment: 8 KiB). *)
+let pagetable_data = 0x0000
+let stm_data = 0x0100
+let uintr_data = 0x0020
+let isolation_data = 0x0040
+let shadowstack_data = 0x0540
+let capability_data = 0x0660
+let enclave_data = 0x0060
+let nested_data = 0x0080
+let vmm_data = 0x00A0

@@ -1,0 +1,127 @@
+(** Global MRAM layout for the standard mroutine library.
+
+    Developers "must statically allocate resources including Metal
+    registers used across invocations or the MRAM data segment"
+    (Section 2.1).  This module is that static allocation: every
+    mroutine program in [Metal_progs] gets a fixed entry-number range,
+    a code-segment region and a data-segment region, so any subset of
+    the programs can be co-resident in MRAM. *)
+
+(** {2 Entry numbers} *)
+
+val kenter : int
+(** 0 *)
+
+val kexit : int
+(** 1 *)
+
+val ktlbw : int
+(** 2: privileged TLB write with an m0 check *)
+
+val exc_trampoline : int
+(** 3: generic exception -> kernel delivery *)
+
+val pf_handler : int
+(** 8: custom page-table walker *)
+
+val pf_set_root : int
+(** 9 *)
+
+val tstart : int
+(** 16 *)
+
+val tcommit : int
+(** 17 *)
+
+val tabort : int
+(** 18 *)
+
+val tread : int
+(** 19: load interception *)
+
+val twrite : int
+(** 20: store interception *)
+
+val uintr_deliver : int
+(** 24 *)
+
+val uintr_setup : int
+(** 25 *)
+
+val uintr_ret : int
+(** 26 *)
+
+val dom_enter : int
+(** 28 *)
+
+val dom_exit : int
+(** 29 *)
+
+val ss_call : int
+(** 32: jal interception *)
+
+val ss_ret : int
+(** 33: jalr interception *)
+
+val ss_enable : int
+(** 34 *)
+
+val ss_disable : int
+(** 35 *)
+
+val cap_create : int
+(** 40 *)
+
+val cap_load : int
+(** 41 *)
+
+val cap_store : int
+(** 42 *)
+
+val cap_revoke : int
+(** 43 *)
+
+val enc_enter : int
+(** 48 *)
+
+val enc_exit : int
+(** 49 *)
+
+val enc_hash : int
+(** 50 *)
+
+val nest_store : int
+(** 56: layered store interception demo *)
+
+val vmm_pf : int
+(** 57: nested-translation page-fault walker (virtualization) *)
+
+
+(** {2 Code-segment origins (byte offsets into MRAM code)} *)
+
+val privilege_org : int
+val pagetable_org : int
+val stm_org : int
+val uintr_org : int
+val isolation_org : int
+val shadowstack_org : int
+val capability_org : int
+val enclave_org : int
+val nested_org : int
+val vmm_org : int
+
+(** {2 Data-segment regions (byte offsets into MRAM data)} *)
+
+val pagetable_data : int
+(** word: physical address of the page-table root. *)
+
+val stm_data : int
+(** STM block; see {!Stm} for the field layout. *)
+
+val uintr_data : int
+val isolation_data : int
+val shadowstack_data : int
+val capability_data : int
+val enclave_data : int
+val nested_data : int
+val vmm_data : int

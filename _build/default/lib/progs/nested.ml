@@ -1,0 +1,73 @@
+let base = Layout.nested_data
+let off_l1_count = base + 0x00
+let off_l0_count = base + 0x04
+let off_remap = base + 0x08
+
+let mcode () =
+  Printf.sprintf
+    {|# Nested Metal: layered store interception (paper Section 3.5).
+.org %d
+.equ NEST_L1, %d
+.equ NEST_L0, %d
+.equ NEST_REMAP, %d
+
+.mentry %d, nest_l1
+
+# Application layer (L1): intercepts the store first, records it and
+# propagates downward to the VMM layer.  t0-t2 and ra parked.
+nest_l1:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    wmr m23, ra
+    mld t2, NEST_L1(zero)
+    addi t2, t2, 1
+    mst t2, NEST_L1(zero)
+    rmr t0, m28            # address
+    rmr t1, m27            # value
+    jal nest_l0
+    rmr t0, m31
+    addi t0, t0, 4
+    wmr m31, t0
+    rmr ra, m23
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    mexit
+
+# VMM layer (L0): remaps the address (nested translation stand-in)
+# and performs the store.
+nest_l0:
+    mld t2, NEST_L0(zero)
+    addi t2, t2, 1
+    mst t2, NEST_L0(zero)
+    mld t2, NEST_REMAP(zero)
+    add t0, t0, t2
+    physst t1, 0(t0)
+    ret
+|}
+    Layout.nested_org off_l1_count off_l0_count off_remap Layout.nest_store
+
+let install m ~remap_offset =
+  match Metal_asm.Asm.assemble (mcode ()) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    begin match Metal_cpu.Machine.load_mcode m img with
+    | Error _ as e -> e
+    | Ok () ->
+      ignore
+        (Metal_hw.Mram.store_word m.Metal_cpu.Machine.mram ~addr:off_remap
+           remap_offset);
+      Ok ()
+    end
+
+type counters = { l1_intercepts : int; l0_stores : int }
+
+let read_slot m off =
+  match Metal_hw.Mram.load_word m.Metal_cpu.Machine.mram ~addr:off with
+  | Some v -> v
+  | None -> 0
+
+let counters m =
+  { l1_intercepts = read_slot m off_l1_count;
+    l0_stores = read_slot m off_l0_count }

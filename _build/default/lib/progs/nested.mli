@@ -1,0 +1,25 @@
+(** Nested Metal (Section 3.5).
+
+    Demonstrates the layered-mroutine composition the paper sketches:
+    "Instruction interception proceeds in reverse, with higher layers
+    intercepting the instruction first ... The intercept propagates
+    downward through layers that intercept the same instruction."
+
+    Stores are intercepted by the application-layer handler (L1),
+    which records the event and propagates the access down to the
+    VMM-layer handler (L0) — a subroutine in the same MRAM code
+    segment — which applies its own address remapping (standing in for
+    nested translation) before performing the store. *)
+
+val mcode : unit -> string
+(** Entry {!Layout.nest_store}; the L0 handler is internal. *)
+
+val install :
+  Metal_cpu.Machine.t -> remap_offset:int -> (unit, string) result
+(** Load and configure the L0 remapping offset; the caller still has
+    to arm interception of the store class at entry
+    {!Layout.nest_store}. *)
+
+type counters = { l1_intercepts : int; l0_stores : int }
+
+val counters : Metal_cpu.Machine.t -> counters

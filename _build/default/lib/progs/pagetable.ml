@@ -1,0 +1,136 @@
+type config = { os_fault_entry : int }
+
+let mcode cfg =
+  Printf.sprintf
+    {|# Custom page tables (paper Section 3.2): radix-tree walker.
+.org %d
+.equ PT_ROOT_OFF, %d
+.equ OS_FAULT_ENTRY, %d
+
+.mentry %d, pf_walk
+.mentry %d, pf_set_root
+
+# Page-fault handler.  m31 = faulting pc, m30 = cause, m29 = vaddr.
+# Parks t0-t6 in m16-m22 so the interrupted context is preserved.
+pf_walk:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    wmr m19, t3
+    wmr m20, t4
+    wmr m21, t5
+    wmr m22, t6
+    rmr t0, m29                # faulting virtual address
+    mld t1, PT_ROOT_OFF(zero)  # page-table root (physical)
+    srli t2, t0, 22
+    slli t2, t2, 2
+    add t2, t2, t1
+    physld t3, 0(t2)           # level-1 PTE
+    andi t4, t3, 1
+    beqz t4, pf_deliver        # invalid
+    andi t4, t3, 0xE
+    bnez t4, pf_super          # leaf at level 1: 4 MiB superpage
+    li t4, 0xFFFFF000
+    and t3, t3, t4             # next-level table base
+    srli t2, t0, 12
+    andi t2, t2, 0x3FF
+    slli t2, t2, 2
+    add t2, t2, t3
+    physld t3, 0(t2)           # leaf PTE
+    andi t4, t3, 1
+    beqz t4, pf_deliver
+    andi t4, t3, 0xE
+    beqz t4, pf_deliver        # non-leaf at level 2: malformed
+
+# Check the permission demanded by the cause code:
+# 4 = fetch (X, bit 3), 5 = load (R, bit 1), 6 = store (W, bit 2).
+pf_check:
+    rmr t4, m30
+    addi t4, t4, -4
+    li t5, 8                   # X
+    beqz t4, pf_perm
+    li t5, 2                   # R
+    addi t4, t4, -1
+    beqz t4, pf_perm
+    li t5, 4                   # W
+pf_perm:
+    and t6, t3, t5
+    beqz t6, pf_deliver
+
+# Refill the TLB.  tag = (vaddr & ~0xFFF) | (asid << 4) | G;
+# data = PTE with the V and G bits masked off (the formats line up).
+    li t4, 0xFFFFF000
+    and t6, t0, t4
+    mcsrr t5, asid
+    slli t5, t5, 4
+    or t6, t6, t5
+    srli t5, t3, 4
+    andi t5, t5, 1
+    or t6, t6, t5
+    li t4, 0xFFFFF1EE
+    and t3, t3, t4
+    tlbw t6, t3
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    rmr t5, m21
+    rmr t6, m22
+    mexit                      # retry the faulting instruction
+
+# Level-1 leaf: synthesize the effective 4 KiB frame inside the 4 MiB
+# superpage, keeping the pkey/G/XWR flags.
+pf_super:
+    li t4, 0xFFC00000
+    and t5, t3, t4             # superpage base
+    li t4, 0x003FF000
+    and t6, t0, t4             # offset bits from the vaddr
+    or t5, t5, t6
+    andi t4, t3, 0x1FE         # pkey | G | XWR
+    or t3, t5, t4
+    j pf_check
+
+# True fault: hand off to the OS (or stop a debug machine).
+pf_deliver:
+    li t4, OS_FAULT_ENTRY
+    bnez t4, pf_os
+    ebreak
+pf_os:
+    rmr t5, m31                # faulting pc
+    rmr t6, m29                # faulting vaddr
+    wmr m31, t4
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    mexit                      # enter the OS fault handler
+
+# a0 = physical address of the page-table root.
+pf_set_root:
+    mst a0, PT_ROOT_OFF(zero)
+    mexit
+|}
+    Layout.pagetable_org Layout.pagetable_data cfg.os_fault_entry
+    Layout.pf_handler Layout.pf_set_root
+
+let install m cfg =
+  match Metal_asm.Asm.assemble (mcode cfg) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    begin match Metal_cpu.Machine.load_mcode m img with
+    | Error _ as e -> e
+    | Ok () ->
+      List.iter
+        (fun cause ->
+           Metal_cpu.Machine.install_handler m cause ~entry:Layout.pf_handler)
+        [ Cause.Page_fault_fetch; Cause.Page_fault_load;
+          Cause.Page_fault_store ];
+      Ok ()
+    end
+
+let set_root m root =
+  let mram = m.Metal_cpu.Machine.mram in
+  if not (Metal_hw.Mram.store_word mram ~addr:Layout.pagetable_data root) then
+    invalid_arg "Pagetable.set_root: data slot out of range"

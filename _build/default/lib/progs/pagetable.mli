@@ -1,0 +1,40 @@
+(** Custom page tables in mcode (Section 3.2).
+
+    The page-fault mroutine walks an x86-style two-level radix tree in
+    physical memory (via [physld], bypassing paging), refills the TLB
+    with [tlbw], and retries the faulting instruction by returning to
+    the faulting pc.  Invalid or permission-violating accesses are
+    delivered to the OS fault entry.  The pointer to the page-table
+    root lives in the MRAM data segment — "the data segment holds
+    mroutine private data used for bookkeeping, e.g., the pointer to
+    the page table structure" (Section 2.1).
+
+    PTE format (shared with the optional hardware walker):
+    physical page base in bits 31:12, page key in 8:5, G bit 4,
+    X bit 3, W bit 2, R bit 1, V bit 0; a valid PTE with X=W=R=0
+    points to the next-level table; a level-1 leaf maps a 4 MiB
+    superpage.
+
+    The handler preserves the interrupted context: clobbered
+    temporaries are parked in m16–m22 for the duration of the walk
+    (statically allocated, per Section 2.1). *)
+
+type config = {
+  os_fault_entry : int;
+      (** address of the OS's fault handler for true page faults;
+          0 halts the machine on unhandled faults (debug setups).
+          The handler receives the faulting pc in t5 and the faulting
+          virtual address in t6. *)
+}
+
+val mcode : config -> string
+(** Entries {!Layout.pf_handler} and {!Layout.pf_set_root}. *)
+
+val install : Metal_cpu.Machine.t -> config -> (unit, string) result
+(** Load into MRAM and delegate all three page-fault causes to the
+    walker. *)
+
+val set_root : Metal_cpu.Machine.t -> int -> unit
+(** Host-side helper: write the page-table root pointer into the MRAM
+    data slot (guest code can do the same through entry
+    {!Layout.pf_set_root}). *)

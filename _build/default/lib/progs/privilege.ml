@@ -1,0 +1,93 @@
+type config = {
+  syscall_table : int;
+  nsyscalls : int;
+  kernel_pkeys : int;
+  user_pkeys : int;
+  fault_entry : int;
+}
+
+let mcode cfg =
+  Printf.sprintf
+    {|# User-defined privilege levels (paper Section 3.1, Figure 2).
+.org %d
+.equ SYSCALL_TABLE, %d
+.equ NSYSCALLS, %d
+.equ KERNEL_PKEYS, %d
+.equ USER_PKEYS, %d
+.equ FAULT_ENTRY, %d
+
+.mentry %d, kenter
+.mentry %d, kexit
+.mentry %d, ktlbw
+.mentry %d, exc_trampoline
+
+# System call entry (Figure 2).  a0 carries the syscall number; the
+# userspace return address is saved in ra per the ABI.
+kenter:
+    wmr m0, zero            # privilege := kernel
+    li t0, KERNEL_PKEYS
+    mcsrw pkey_perms, t0    # open kernel-keyed pages
+    rmr ra, m31             # save userspace return address
+    li t0, NSYSCALLS
+    bltu a0, t0, kenter_ok
+    li t0, FAULT_ENTRY      # bad syscall number: kernel fault entry
+    wmr m31, t0
+    mexit
+kenter_ok:
+    slli t0, a0, 2
+    li t1, SYSCALL_TABLE
+    add t0, t0, t1
+    physld t0, 0(t0)        # t0 = kernel entry point for this syscall
+    wmr m31, t0
+    mexit                   # jump into the kernel
+
+# System call exit (Figure 2): return to the address saved in ra.
+kexit:
+    li t0, 1
+    wmr m0, t0              # privilege := user
+    li t0, USER_PKEYS
+    mcsrw pkey_perms, t0    # close kernel-keyed pages
+    wmr m31, ra
+    mexit
+
+# Privileged TLB write: a0 = packed tag, a1 = packed data.  Only
+# privilege level 0 may modify the TLB.
+ktlbw:
+    rmr t0, m0
+    bnez t0, kpriv_violation
+    tlbw a0, a1
+    mexit
+kpriv_violation:
+    li t0, FAULT_ENTRY
+    wmr m31, t0
+    mexit
+
+# Delegated-exception trampoline: enter the kernel at FAULT_ENTRY with
+# kernel privilege; publish epc in t5 and the cause code in t6.
+exc_trampoline:
+    wmr m0, zero
+    li t0, KERNEL_PKEYS
+    mcsrw pkey_perms, t0
+    rmr t5, m31
+    rmr t6, m30
+    li t0, FAULT_ENTRY
+    wmr m31, t0
+    mexit
+|}
+    Layout.privilege_org cfg.syscall_table cfg.nsyscalls cfg.kernel_pkeys
+    cfg.user_pkeys cfg.fault_entry Layout.kenter Layout.kexit Layout.ktlbw
+    Layout.exc_trampoline
+
+let install m cfg =
+  match Metal_asm.Asm.assemble (mcode cfg) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img -> Metal_cpu.Machine.load_mcode m img
+
+let figure2_listing () =
+  let cfg =
+    { syscall_table = 0x2000; nsyscalls = 8; kernel_pkeys = 0;
+      user_pkeys = 0xC0000000; fault_entry = 0x1000 }
+  in
+  match Metal_asm.Asm.assemble (mcode cfg) with
+  | Error e -> "assembly error: " ^ Metal_asm.Asm.error_to_string e
+  | Ok img -> Format.asprintf "%a" Metal_asm.Image.pp_listing img

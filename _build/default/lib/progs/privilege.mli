@@ -1,0 +1,40 @@
+(** User-defined privilege levels (Section 3.1, Figure 2).
+
+    Implements the traditional kernel/user model in Metal: [m0] holds
+    the current privilege level (0 = kernel, 1 = user); [kenter] is
+    the system-call entry mroutine and [kexit] the exit mroutine.
+    Privilege is enforced with page keys: [kenter] switches the
+    page-key permission register to the kernel view, [kexit] back to
+    the user view, so kernel-keyed pages become inaccessible the
+    instant the machine returns to user code.
+
+    Privileged mroutines (here [ktlbw]) check the caller's privilege
+    level in [m0] and divert to the kernel fault entry on violation —
+    "developers can freely define custom privilege levels ... by
+    checking callers' privilege levels in mroutines" (Section 2). *)
+
+type config = {
+  syscall_table : int;
+      (** physical address of the table of syscall handler entry
+          points (one word each). *)
+  nsyscalls : int;
+  kernel_pkeys : int;
+      (** [pkey_perms] value while in the kernel (typically 0: no key
+          restrictions). *)
+  user_pkeys : int;
+      (** [pkey_perms] value in user mode (kernel keys disabled). *)
+  fault_entry : int;
+      (** address the kernel handles privilege violations and
+          delegated exceptions at. *)
+}
+
+val mcode : config -> string
+(** The mroutine assembly (entries {!Layout.kenter}, {!Layout.kexit},
+    {!Layout.ktlbw}, {!Layout.exc_trampoline}). *)
+
+val install : Metal_cpu.Machine.t -> config -> (unit, string) result
+(** Assemble and load into MRAM. *)
+
+val figure2_listing : unit -> string
+(** The kenter/kexit listing as in Figure 2 of the paper (assembly
+    plus encodings), for the benchmark harness. *)

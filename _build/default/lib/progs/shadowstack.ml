@@ -1,0 +1,135 @@
+let capacity = 64
+
+let base = Layout.shadowstack_data
+let off_count = base + 0x00
+let off_violations = base + 0x04
+let off_stack = base + 0x10
+
+let mcode () =
+  Printf.sprintf
+    {|# Shadow-stack control-flow protection (paper Section 3.5).
+.org %d
+.equ SS_COUNT, %d
+.equ SS_VIOLATIONS, %d
+.equ SS_STACK, %d
+.equ SS_CAP, %d
+
+.mentry %d, ss_call
+.mentry %d, ss_ret
+.mentry %d, ss_enable
+.mentry %d, ss_disable
+
+# jal-class interception: a call when it links (rd != x0), otherwise a
+# plain jump.  t0-t2 parked in m16-m18.
+ss_call:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    rmr t0, m26
+    bnez t0, ss_push_link
+    j ss_redirect
+
+# jalr-class interception: a return when rd = x0, otherwise an
+# indirect call.
+ss_ret:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    rmr t0, m26
+    bnez t0, ss_push_link
+    mld t1, SS_COUNT(zero)
+    beqz t1, ss_violation
+    addi t1, t1, -1
+    mst t1, SS_COUNT(zero)
+    slli t2, t1, 2
+    addi t2, t2, SS_STACK
+    mld t1, 0(t2)
+    rmr t0, m28
+    bne t1, t0, ss_violation
+    wmr m31, t0
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    mexit
+
+# Push the return address and write the link register, patching the
+# parked copy when the link register is a parked temp.
+ss_push_link:
+    mld t1, SS_COUNT(zero)
+    li t2, SS_CAP
+    beq t1, t2, ss_violation
+    slli t2, t1, 2
+    addi t2, t2, SS_STACK
+    rmr t0, m31
+    addi t0, t0, 4
+    mst t0, 0(t2)
+    addi t1, t1, 1
+    mst t1, SS_COUNT(zero)
+    rmr t1, m26
+    li t2, 5
+    beq t1, t2, ss_fix_t0
+    li t2, 6
+    beq t1, t2, ss_fix_t1
+    li t2, 7
+    beq t1, t2, ss_fix_t2
+    gprw t1, t0
+    j ss_redirect
+ss_fix_t0:
+    wmr m16, t0
+    j ss_redirect
+ss_fix_t1:
+    wmr m17, t0
+    j ss_redirect
+ss_fix_t2:
+    wmr m18, t0
+ss_redirect:
+    rmr t0, m28
+    wmr m31, t0
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    mexit
+
+# Control-flow violation: record it and stop the machine.
+ss_violation:
+    mld t0, SS_VIOLATIONS(zero)
+    addi t0, t0, 1
+    mst t0, SS_VIOLATIONS(zero)
+    ebreak
+
+ss_enable:
+    li t0, 2
+    li t1, %d
+    iceptset t0, t1
+    li t0, 3
+    li t1, %d
+    iceptset t0, t1
+    li t0, 1
+    mcsrw icept_enable, t0
+    mexit
+
+ss_disable:
+    li t0, 2
+    iceptclr t0
+    li t0, 3
+    iceptclr t0
+    mexit
+|}
+    Layout.shadowstack_org off_count off_violations off_stack capacity
+    Layout.ss_call Layout.ss_ret Layout.ss_enable Layout.ss_disable
+    Layout.ss_call Layout.ss_ret
+
+let install m =
+  match Metal_asm.Asm.assemble (mcode ()) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img -> Metal_cpu.Machine.load_mcode m img
+
+type counters = { depth : int; violations : int }
+
+let read_slot m off =
+  match Metal_hw.Mram.load_word m.Metal_cpu.Machine.mram ~addr:off with
+  | Some v -> v
+  | None -> 0
+
+let counters m =
+  { depth = read_slot m off_count; violations = read_slot m off_violations }

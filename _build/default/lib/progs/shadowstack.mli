@@ -1,0 +1,28 @@
+(** Shadow-stack control-flow protection (Section 3.5).
+
+    Intercepts calls and returns: [jal]-class instructions with a link
+    register push the return address onto a shadow stack in the MRAM
+    data segment (inaccessible to normal-mode code); [jalr]-class
+    instructions with [rd = x0] (returns) pop it and compare against
+    the actual target.  A mismatch or shadow-stack underflow stops the
+    machine and bumps the violation counter — a corrupted on-stack
+    return address cannot redirect control.
+
+    "Metal can offer similar application control flow protection as
+    existing techniques such as shadow stacks ... applications can
+    store cryptographic keys inside Metal registers or MRAM." *)
+
+val capacity : int
+(** Shadow-stack depth (call nesting), 64 frames.  Deeper nesting
+    trips the violation handler — a static-allocation limit in the
+    spirit of Section 2.1. *)
+
+val mcode : unit -> string
+(** Entries {!Layout.ss_call}, {!Layout.ss_ret}, {!Layout.ss_enable},
+    {!Layout.ss_disable}. *)
+
+val install : Metal_cpu.Machine.t -> (unit, string) result
+
+type counters = { depth : int; violations : int }
+
+val counters : Metal_cpu.Machine.t -> counters

@@ -1,0 +1,328 @@
+let capacity = 64
+
+(* MRAM data-segment field offsets (absolute). *)
+let base = Layout.stm_data
+let off_status = base + 0x00
+let off_abort_pc = base + 0x04
+let off_read_count = base + 0x08
+let off_write_count = base + 0x0C
+let off_commits = base + 0x10
+let off_aborts = base + 0x14
+let off_overflows = base + 0x18
+let off_reads_total = base + 0x1C
+let off_writes_total = base + 0x20
+let off_read_set = base + 0x40
+let off_write_log = base + 0x40 + (8 * capacity)
+
+let mcode () =
+  Printf.sprintf
+    {|# Software transactional memory via interception (paper Section 3.3).
+.org %d
+.equ STATUS, %d
+.equ ABORT_PC, %d
+.equ READ_COUNT, %d
+.equ WRITE_COUNT, %d
+.equ COMMITS, %d
+.equ ABORTS, %d
+.equ OVERFLOWS, %d
+.equ READS_TOTAL, %d
+.equ WRITES_TOTAL, %d
+.equ READ_SET, %d
+.equ WRITE_LOG, %d
+.equ CAPACITY, %d
+.equ LOAD_CLASS, 0
+.equ STORE_CLASS, 1
+
+.mentry %d, tstart
+.mentry %d, tcommit
+.mentry %d, tabort
+.mentry %d, tread
+.mentry %d, twrite
+
+# Begin a transaction.  a0 = restart address on abort.
+tstart:
+    mst a0, ABORT_PC(zero)
+    li t0, 1
+    mst t0, STATUS(zero)
+    mst zero, READ_COUNT(zero)
+    mst zero, WRITE_COUNT(zero)
+    li t0, LOAD_CLASS
+    li t1, %d
+    iceptset t0, t1
+    li t0, STORE_CLASS
+    li t1, %d
+    iceptset t0, t1
+    li t0, 1
+    mcsrw icept_enable, t0
+    mexit
+
+# Intercepted load.  m28 = address, m26 = destination register index,
+# m31 = pc of the load.  t0-t6 parked in m16-m22.
+tread:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    wmr m19, t3
+    wmr m20, t4
+    wmr m21, t5
+    wmr m22, t6
+    rmr t0, m28
+    mld t1, WRITE_COUNT(zero)
+    li t2, 0
+tread_scan:
+    beq t2, t1, tread_mem
+    slli t3, t2, 3
+    addi t3, t3, WRITE_LOG
+    mld t4, 0(t3)
+    beq t4, t0, tread_hit
+    addi t2, t2, 1
+    j tread_scan
+tread_hit:
+    # Satisfied from our own write log: not validated against memory,
+    # so it must not enter the read set (TL2/NOrec rule).
+    mld t5, 4(t3)
+    j tread_stats
+tread_mem:
+    physld t5, 0(t0)
+    mld t1, READ_COUNT(zero)
+    li t4, CAPACITY
+    beq t1, t4, stm_overflow
+    slli t3, t1, 3
+    addi t3, t3, READ_SET
+    mst t0, 0(t3)
+    mst t5, 4(t3)
+    addi t1, t1, 1
+    mst t1, READ_COUNT(zero)
+tread_stats:
+    mld t4, READS_TOTAL(zero)
+    addi t4, t4, 1
+    mst t4, READS_TOTAL(zero)
+    rmr t4, m26
+    # If the destination is a parked temp, patch the parked copy; the
+    # restore below then materializes the loaded value.
+    li t6, 5
+    beq t4, t6, tread_fix_t0
+    li t6, 6
+    beq t4, t6, tread_fix_t1
+    li t6, 7
+    beq t4, t6, tread_fix_t2
+    li t6, 28
+    beq t4, t6, tread_fix_t3
+    li t6, 29
+    beq t4, t6, tread_fix_t4
+    li t6, 30
+    beq t4, t6, tread_fix_t5
+    li t6, 31
+    beq t4, t6, tread_fix_t6
+    gprw t4, t5
+    j tread_done
+tread_fix_t0:
+    wmr m16, t5
+    j tread_done
+tread_fix_t1:
+    wmr m17, t5
+    j tread_done
+tread_fix_t2:
+    wmr m18, t5
+    j tread_done
+tread_fix_t3:
+    wmr m19, t5
+    j tread_done
+tread_fix_t4:
+    wmr m20, t5
+    j tread_done
+tread_fix_t5:
+    wmr m21, t5
+    j tread_done
+tread_fix_t6:
+    wmr m22, t5
+tread_done:
+    rmr t4, m31
+    addi t4, t4, 4
+    wmr m31, t4
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    rmr t5, m21
+    rmr t6, m22
+    mexit
+
+# Intercepted store.  m28 = address, m27 = value, m31 = pc.
+twrite:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    wmr m19, t3
+    wmr m20, t4
+    wmr m21, t5
+    wmr m22, t6
+    rmr t0, m28
+    rmr t5, m27
+    mld t1, WRITE_COUNT(zero)
+    li t2, 0
+twrite_scan:
+    beq t2, t1, twrite_append
+    slli t3, t2, 3
+    addi t3, t3, WRITE_LOG
+    mld t4, 0(t3)
+    beq t4, t0, twrite_update
+    addi t2, t2, 1
+    j twrite_scan
+twrite_update:
+    mst t5, 4(t3)
+    j twrite_skip
+twrite_append:
+    li t4, CAPACITY
+    beq t1, t4, stm_overflow
+    slli t3, t1, 3
+    addi t3, t3, WRITE_LOG
+    mst t0, 0(t3)
+    mst t5, 4(t3)
+    addi t1, t1, 1
+    mst t1, WRITE_COUNT(zero)
+twrite_skip:
+    mld t4, WRITES_TOTAL(zero)
+    addi t4, t4, 1
+    mst t4, WRITES_TOTAL(zero)
+    rmr t4, m31
+    addi t4, t4, 4
+    wmr m31, t4
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    rmr t5, m21
+    rmr t6, m22
+    mexit
+
+# Capacity exhausted inside tread/twrite: count it and restart the
+# transaction at the abort handler.
+stm_overflow:
+    mld t0, OVERFLOWS(zero)
+    addi t0, t0, 1
+    mst t0, OVERFLOWS(zero)
+    mld t0, ABORTS(zero)
+    addi t0, t0, 1
+    mst t0, ABORTS(zero)
+    li t0, LOAD_CLASS
+    iceptclr t0
+    li t0, STORE_CLASS
+    iceptclr t0
+    mst zero, STATUS(zero)
+    mld t0, ABORT_PC(zero)
+    wmr m31, t0
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    rmr t5, m21
+    rmr t6, m22
+    mexit
+
+# Commit: stop intercepting, validate the read set, apply the write
+# log.  a0 = 1 on success; on conflict the transaction restarts at the
+# abort handler with a0 = 0.  Invoked by menter, so temporaries follow
+# the function-call ABI (caller-saved).
+tcommit:
+    li t0, LOAD_CLASS
+    iceptclr t0
+    li t0, STORE_CLASS
+    iceptclr t0
+    mst zero, STATUS(zero)
+    mld t1, READ_COUNT(zero)
+    li t2, 0
+tcommit_validate:
+    beq t2, t1, tcommit_apply
+    slli t3, t2, 3
+    addi t3, t3, READ_SET
+    mld t4, 0(t3)
+    mld t5, 4(t3)
+    physld t6, 0(t4)
+    bne t6, t5, tcommit_fail
+    addi t2, t2, 1
+    j tcommit_validate
+tcommit_apply:
+    mld t1, WRITE_COUNT(zero)
+    li t2, 0
+tcommit_apply_loop:
+    beq t2, t1, tcommit_ok
+    slli t3, t2, 3
+    addi t3, t3, WRITE_LOG
+    mld t4, 0(t3)
+    mld t5, 4(t3)
+    physst t5, 0(t4)
+    addi t2, t2, 1
+    j tcommit_apply_loop
+tcommit_ok:
+    mld t0, COMMITS(zero)
+    addi t0, t0, 1
+    mst t0, COMMITS(zero)
+    li a0, 1
+    mexit
+tcommit_fail:
+    mld t0, ABORTS(zero)
+    addi t0, t0, 1
+    mst t0, ABORTS(zero)
+    li a0, 0
+    mld t0, ABORT_PC(zero)
+    wmr m31, t0
+    mexit
+
+# Explicit abort: discard buffered state and restart.
+tabort:
+    li t0, LOAD_CLASS
+    iceptclr t0
+    li t0, STORE_CLASS
+    iceptclr t0
+    mst zero, STATUS(zero)
+    mld t0, ABORTS(zero)
+    addi t0, t0, 1
+    mst t0, ABORTS(zero)
+    li a0, 0
+    mld t0, ABORT_PC(zero)
+    wmr m31, t0
+    mexit
+|}
+    Layout.stm_org off_status off_abort_pc off_read_count off_write_count
+    off_commits off_aborts off_overflows off_reads_total off_writes_total
+    off_read_set off_write_log capacity Layout.tstart Layout.tcommit
+    Layout.tabort Layout.tread Layout.twrite Layout.tread Layout.twrite
+
+let install m =
+  match Metal_asm.Asm.assemble (mcode ()) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img -> Metal_cpu.Machine.load_mcode m img
+
+type counters = {
+  commits : int;
+  aborts : int;
+  overflow_aborts : int;
+  reads : int;
+  writes : int;
+}
+
+let read_slot m off =
+  match Metal_hw.Mram.load_word m.Metal_cpu.Machine.mram ~addr:off with
+  | Some v -> v
+  | None -> 0
+
+let counters m =
+  {
+    commits = read_slot m off_commits;
+    aborts = read_slot m off_aborts;
+    overflow_aborts = read_slot m off_overflows;
+    reads = read_slot m off_reads_total;
+    writes = read_slot m off_writes_total;
+  }
+
+let reset_counters m =
+  List.iter
+    (fun off ->
+       ignore
+         (Metal_hw.Mram.store_word m.Metal_cpu.Machine.mram ~addr:off 0))
+    [ off_status; off_abort_pc; off_read_count; off_write_count; off_commits;
+      off_aborts; off_overflows; off_reads_total; off_writes_total ]

@@ -1,0 +1,51 @@
+(** Transactional memory via instruction interception (Section 3.3).
+
+    Word-granular software transactional memory in the style of
+    TL2/NOrec with value-based validation: [tstart] turns on
+    interception of loads and stores; every intercepted load ([tread])
+    is satisfied from the write log or memory and recorded in the read
+    set; every intercepted store ([twrite]) is buffered in the write
+    log; [tcommit] turns interception off, validates that every read
+    location still holds the value observed, and either applies the
+    write log or restarts the transaction at the abort handler.
+
+    "The benefit of using Metal is that neither compilers nor
+    developers need to replace loads and stores with calls into an STM
+    library.  Instead, Metal turns on and off interception of loads
+    and stores at runtime" (Section 3.3).
+
+    Guest protocol:
+    - [la a0, retry_point; menter tstart] — begin (a0 = restart pc).
+    - ordinary loads/stores — transparently instrumented.
+    - [menter tcommit] — a0 = 1 on commit; on conflict the transaction
+      restarts at the retry point with a0 = 0.
+    - [menter tabort] — explicit abort (restarts at the retry point).
+
+    The handlers park clobbered temporaries in m16–m22 and fix up the
+    parked copy when an intercepted load targets a parked register, so
+    instrumentation is fully transparent to the guest.  Transactions
+    assume physical addressing (paging off) since buffered accesses
+    replay through [physld]/[physst]. *)
+
+val capacity : int
+(** Maximum read-set/write-log entries per transaction (64);
+    overflowing transactions abort (counted separately). *)
+
+val mcode : unit -> string
+(** Entries {!Layout.tstart}, {!Layout.tcommit}, {!Layout.tabort},
+    {!Layout.tread}, {!Layout.twrite}. *)
+
+val install : Metal_cpu.Machine.t -> (unit, string) result
+
+type counters = {
+  commits : int;
+  aborts : int;
+  overflow_aborts : int;
+  reads : int;
+  writes : int;
+}
+
+val counters : Metal_cpu.Machine.t -> counters
+(** Read the statistics the mroutines keep in the MRAM data segment. *)
+
+val reset_counters : Metal_cpu.Machine.t -> unit

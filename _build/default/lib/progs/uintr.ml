@@ -1,0 +1,103 @@
+let irq = Metal_hw.Intc.nic_irq
+
+let base = Layout.uintr_data
+let off_handler = base + 0x00
+let off_saved_pc = base + 0x04
+let off_in_handler = base + 0x08
+let off_delivered = base + 0x0C
+let off_coalesced = base + 0x10
+let off_saved_t0 = base + 0x14
+let off_saved_t1 = base + 0x18
+
+let mcode () =
+  Printf.sprintf
+    {|# User-level interrupt delivery (paper Section 3.4).
+.org %d
+.equ HANDLER, %d
+.equ SAVED_PC, %d
+.equ IN_HANDLER, %d
+.equ DELIVERED, %d
+.equ COALESCED, %d
+.equ SAVED_T0, %d
+.equ SAVED_T1, %d
+.equ IRQ_MASK, %d
+
+.mentry %d, uintr_deliver
+.mentry %d, uintr_setup
+.mentry %d, uintr_ret
+
+# Interrupt delivery.  m31 = interrupted pc.  Redirects to the user
+# handler with t0/t1 freed up for it; everything else is untouched.
+uintr_deliver:
+    wmr m16, t0
+    mld t0, IN_HANDLER(zero)
+    bnez t0, uintr_coalesce
+    mld t0, HANDLER(zero)
+    beqz t0, uintr_coalesce      # no handler registered: drop
+    li t0, 1
+    mst t0, IN_HANDLER(zero)
+    rmr t0, m31
+    mst t0, SAVED_PC(zero)
+    mld t0, DELIVERED(zero)
+    addi t0, t0, 1
+    mst t0, DELIVERED(zero)
+    li t0, IRQ_MASK
+    mcsrw int_pending, t0        # acknowledge the line
+    rmr t0, m16
+    mst t0, SAVED_T0(zero)       # free t0/t1 for the user handler
+    mst t1, SAVED_T1(zero)
+    mld t0, HANDLER(zero)
+    wmr m31, t0
+    mexit
+uintr_coalesce:
+    li t0, IRQ_MASK
+    mcsrw int_pending, t0
+    mld t0, COALESCED(zero)
+    addi t0, t0, 1
+    mst t0, COALESCED(zero)
+    rmr t0, m16
+    mexit
+
+# Register the user handler: a0 = handler address.
+uintr_setup:
+    mst a0, HANDLER(zero)
+    mst zero, IN_HANDLER(zero)
+    mexit
+
+# Return from the user handler to the interrupted code.
+uintr_ret:
+    mst zero, IN_HANDLER(zero)
+    mld t0, SAVED_PC(zero)
+    wmr m31, t0
+    mld t0, SAVED_T0(zero)
+    mld t1, SAVED_T1(zero)
+    mexit
+|}
+    Layout.uintr_org off_handler off_saved_pc off_in_handler off_delivered
+    off_coalesced off_saved_t0 off_saved_t1 (1 lsl irq) Layout.uintr_deliver
+    Layout.uintr_setup Layout.uintr_ret
+
+let install m =
+  match Metal_asm.Asm.assemble (mcode ()) with
+  | Error e -> Error (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    begin match Metal_cpu.Machine.load_mcode m img with
+    | Error _ as e -> e
+    | Ok () ->
+      Metal_cpu.Machine.install_interrupt_handler m ~irq
+        ~entry:Layout.uintr_deliver;
+      let enabled = Metal_cpu.Machine.ctrl_read m Csr.int_enable in
+      Metal_cpu.Machine.ctrl_write m Csr.int_enable (enabled lor (1 lsl irq));
+      Ok ()
+    end
+
+type counters = { delivered : int; coalesced : int }
+
+let read_slot m off =
+  match Metal_hw.Mram.load_word m.Metal_cpu.Machine.mram ~addr:off with
+  | Some v -> v
+  | None -> 0
+
+let counters m =
+  { delivered = read_slot m off_delivered;
+    coalesced = read_slot m off_coalesced }

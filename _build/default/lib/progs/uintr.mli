@@ -1,0 +1,31 @@
+(** User-level interrupts (Section 3.4).
+
+    The NIC interrupt is delegated to {!Layout.uintr_deliver}, which
+    redirects execution to a handler registered by the (unprivileged)
+    user process — without any privilege-level change, as in the
+    DPDK/SPDK scenario the paper motivates: "such applications only
+    need to be notified via interrupts when data is available".
+
+    Delivery parks the interrupted pc and the two scratch registers
+    (t0, t1) the user handler may freely use; the handler returns with
+    [menter uintr_ret], which restores them and resumes the
+    interrupted code.  A delivery arriving while the handler runs is
+    coalesced (counted, pending bit cleared) — the handler is expected
+    to drain the device queue. *)
+
+val irq : int
+(** The interrupt line delivered to userspace (the NIC line). *)
+
+val mcode : unit -> string
+(** Entries {!Layout.uintr_deliver}, {!Layout.uintr_setup},
+    {!Layout.uintr_ret}. *)
+
+val install : Metal_cpu.Machine.t -> (unit, string) result
+(** Load the mcode, route the NIC line to the deliver mroutine and
+    enable it in the interrupt-enable mask.  The user process still
+    has to register its handler (entry {!Layout.uintr_setup} with the
+    handler address in a0). *)
+
+type counters = { delivered : int; coalesced : int }
+
+val counters : Metal_cpu.Machine.t -> counters

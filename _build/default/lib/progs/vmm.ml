@@ -1,0 +1,158 @@
+type config = { guest_base : int; guest_size : int; vmm_fault_entry : int }
+
+let base = Layout.vmm_data
+let off_gbase = base + 0x00
+let off_gsize = base + 0x04
+let off_groot = base + 0x08
+let off_walks = base + 0x0C
+let off_violations = base + 0x10
+
+let mcode cfg =
+  Printf.sprintf
+    {|# Virtualization: nested page tables (paper Section 3.5).
+.org %d
+.equ VGBASE, %d
+.equ VGSIZE, %d
+.equ VGROOT, %d
+.equ VWALKS, %d
+.equ VVIOL, %d
+.equ VMM_FAULT, %d
+
+.mentry %d, vmm_pf
+
+# Two-stage page-fault walker: guest-virtual -> guest-physical (guest
+# page table) -> host-physical (VMM window).  t0-t6 parked in m16-m22.
+vmm_pf:
+    wmr m16, t0
+    wmr m17, t1
+    wmr m18, t2
+    wmr m19, t3
+    wmr m20, t4
+    wmr m21, t5
+    wmr m22, t6
+    mld t4, VWALKS(zero)
+    addi t4, t4, 1
+    mst t4, VWALKS(zero)
+    rmr t0, m29                # guest virtual address
+    mld t1, VGROOT(zero)       # guest page-table root (guest-physical)
+    mld t6, VGSIZE(zero)
+    bgeu t1, t6, vmm_violation
+    mld t6, VGBASE(zero)
+    add t1, t1, t6             # host-physical root
+    srli t2, t0, 22
+    slli t2, t2, 2
+    add t2, t2, t1
+    physld t3, 0(t2)           # guest level-1 PTE
+    andi t4, t3, 1
+    beqz t4, vmm_deliver
+    andi t4, t3, 0xE
+    bnez t4, vmm_deliver       # no superpages under nesting
+    li t4, 0xFFFFF000
+    and t1, t3, t4             # level-2 table (guest-physical)
+    mld t6, VGSIZE(zero)
+    bgeu t1, t6, vmm_violation
+    mld t6, VGBASE(zero)
+    add t1, t1, t6
+    srli t2, t0, 12
+    andi t2, t2, 0x3FF
+    slli t2, t2, 2
+    add t2, t2, t1
+    physld t3, 0(t2)           # guest leaf PTE
+    andi t4, t3, 1
+    beqz t4, vmm_deliver
+    andi t4, t3, 0xE
+    beqz t4, vmm_deliver
+    rmr t4, m30                # demanded permission, by cause
+    addi t4, t4, -4
+    li t5, 8
+    beqz t4, vmm_perm
+    li t5, 2
+    addi t4, t4, -1
+    beqz t4, vmm_perm
+    li t5, 4
+vmm_perm:
+    and t6, t3, t5
+    beqz t6, vmm_deliver
+    li t4, 0xFFFFF000
+    and t1, t3, t4             # guest-physical frame
+    mld t6, VGSIZE(zero)
+    bgeu t1, t6, vmm_violation
+    mld t6, VGBASE(zero)
+    add t1, t1, t6             # host-physical frame
+    li t4, 0xFFFFF000
+    and t6, t0, t4
+    mcsrr t5, asid
+    slli t5, t5, 4
+    or t6, t6, t5              # TLB tag (never global under nesting)
+    andi t3, t3, 0x1EE         # pkey + XWR from the guest PTE
+    or t3, t3, t1
+    tlbw t6, t3
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    rmr t5, m21
+    rmr t6, m22
+    mexit
+
+# The guest escaped its window: count it and hand off to the VMM.
+vmm_violation:
+    mld t4, VVIOL(zero)
+    addi t4, t4, 1
+    mst t4, VVIOL(zero)
+
+# True guest fault or violation: deliver to the hypervisor.
+vmm_deliver:
+    li t4, VMM_FAULT
+    bnez t4, vmm_os
+    ebreak
+vmm_os:
+    rmr t5, m31
+    rmr t6, m29
+    wmr m31, t4
+    rmr t0, m16
+    rmr t1, m17
+    rmr t2, m18
+    rmr t3, m19
+    rmr t4, m20
+    mexit
+|}
+    Layout.vmm_org off_gbase off_gsize off_groot off_walks off_violations
+    cfg.vmm_fault_entry Layout.vmm_pf
+
+let install m cfg =
+  if cfg.guest_base land 0xFFF <> 0 || cfg.guest_size land 0xFFF <> 0 then
+    Error "vmm: guest window must be page-aligned"
+  else
+    match Metal_asm.Asm.assemble (mcode cfg) with
+    | Error e -> Error (Metal_asm.Asm.error_to_string e)
+    | Ok img ->
+      begin match Metal_cpu.Machine.load_mcode m img with
+      | Error _ as e -> e
+      | Ok () ->
+        let mram = m.Metal_cpu.Machine.mram in
+        let put off v = ignore (Metal_hw.Mram.store_word mram ~addr:off v) in
+        put off_gbase cfg.guest_base;
+        put off_gsize cfg.guest_size;
+        List.iter
+          (fun cause ->
+             Metal_cpu.Machine.install_handler m cause ~entry:Layout.vmm_pf)
+          [ Cause.Page_fault_fetch; Cause.Page_fault_load;
+            Cause.Page_fault_store ];
+        Ok ()
+      end
+
+let set_guest_root m root =
+  ignore (Metal_hw.Mram.store_word m.Metal_cpu.Machine.mram ~addr:off_groot root)
+
+type counters = { nested_walks : int; vmm_violations : int }
+
+let read_slot m off =
+  match Metal_hw.Mram.load_word m.Metal_cpu.Machine.mram ~addr:off with
+  | Some v -> v
+  | None -> 0
+
+let counters m =
+  { nested_walks = read_slot m off_walks;
+    vmm_violations = read_slot m off_violations }

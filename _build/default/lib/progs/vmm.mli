@@ -1,0 +1,40 @@
+(** Virtualization: nested page tables in mcode (Section 3.5).
+
+    "Developers can use Metal to implement virtualization.  For
+    example, Metal allows hypervisors to implement nested page
+    tables."
+
+    The guest OS manages an ordinary two-level page table whose
+    addresses are *guest-physical*; the VMM confines the guest to a
+    contiguous guest-physical window mapped at a host-physical base.
+    The page-fault mroutine performs the two-stage translation: it
+    walks the guest's table, translating every guest-physical access
+    (table reads and the final leaf) through the VMM's window, and
+    inserts the composed guest-virtual -> host-physical mapping into
+    the TLB.  A guest reference outside its window is a VMM violation
+    and is delivered to the hypervisor. *)
+
+type config = {
+  guest_base : int;
+      (** host-physical base of the guest's memory window. *)
+  guest_size : int;  (** window size in bytes (page-aligned). *)
+  vmm_fault_entry : int;
+      (** host address handling guest violations and true guest page
+          faults; 0 halts the machine (debug).  Receives the guest
+          pc in t5 and the offending address in t6. *)
+}
+
+val mcode : config -> string
+(** Entry {!Layout.vmm_pf}. *)
+
+val install : Metal_cpu.Machine.t -> config -> (unit, string) result
+(** Load the walker, configure the window and delegate the three
+    page-fault causes to it. *)
+
+val set_guest_root : Metal_cpu.Machine.t -> int -> unit
+(** Set the guest page-table root (a guest-physical address); the
+    guest would do this through a para-virtual call. *)
+
+type counters = { nested_walks : int; vmm_violations : int }
+
+val counters : Metal_cpu.Machine.t -> counters

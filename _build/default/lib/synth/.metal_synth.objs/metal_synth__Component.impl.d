@@ -1,0 +1,1 @@
+lib/synth/component.ml: Printf

@@ -1,0 +1,1 @@
+lib/synth/cost_model.mli: Component

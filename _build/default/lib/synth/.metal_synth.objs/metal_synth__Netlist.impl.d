@@ -1,0 +1,1 @@
+lib/synth/netlist.ml: Component

@@ -1,0 +1,1 @@
+lib/synth/report.ml: Buffer Component Cost_model Format List Netlist Printf

@@ -1,0 +1,40 @@
+type kind =
+  | Regfile of { entries : int; width : int; read_ports : int;
+                 write_ports : int }
+  | Sram of { bytes : int; ports : int }
+  | Cam of { entries : int; tag_bits : int; data_bits : int }
+  | Alu of { width : int }
+  | Adder of { width : int }
+  | Shifter of { width : int }
+  | Comparator of { width : int }
+  | Mux of { width : int; ways : int }
+  | Latch of { bits : int }
+  | Decoder of { in_bits : int; out_signals : int }
+  | Control of { states : int; signals : int }
+
+type t = { name : string; kind : kind; count : int }
+
+let make ?(count = 1) name kind = { name; kind; count }
+
+let describe t =
+  let k =
+    match t.kind with
+    | Regfile { entries; width; read_ports; write_ports } ->
+      Printf.sprintf "regfile %dx%d (%dr%dw)" entries width read_ports
+        write_ports
+    | Sram { bytes; ports } -> Printf.sprintf "sram %dB (%dp)" bytes ports
+    | Cam { entries; tag_bits; data_bits } ->
+      Printf.sprintf "cam %dx(%d+%d)" entries tag_bits data_bits
+    | Alu { width } -> Printf.sprintf "alu %d" width
+    | Adder { width } -> Printf.sprintf "adder %d" width
+    | Shifter { width } -> Printf.sprintf "shifter %d" width
+    | Comparator { width } -> Printf.sprintf "cmp %d" width
+    | Mux { width; ways } -> Printf.sprintf "mux %dx%d" ways width
+    | Latch { bits } -> Printf.sprintf "latch %db" bits
+    | Decoder { in_bits; out_signals } ->
+      Printf.sprintf "decoder %d->%d" in_bits out_signals
+    | Control { states; signals } ->
+      Printf.sprintf "control %ds/%dsig" states signals
+  in
+  if t.count = 1 then Printf.sprintf "%s: %s" t.name k
+  else Printf.sprintf "%s: %d x %s" t.name t.count k

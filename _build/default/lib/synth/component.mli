@@ -1,0 +1,32 @@
+(** Structural components of the processor netlist.
+
+    Substitute for the paper's Yosys + Synopsys synthesis flow
+    (Section 2.4): the processor is described as a list of parametric
+    components; {!Cost_model} assigns standard-cell and wire counts to
+    each.  Table 2 compares the totals of the baseline netlist against
+    the netlist with the Metal additions. *)
+
+type kind =
+  | Regfile of { entries : int; width : int; read_ports : int;
+                 write_ports : int }
+  | Sram of { bytes : int; ports : int }
+  | Cam of { entries : int; tag_bits : int; data_bits : int }
+      (** fully-associative match structure (the TLB, intercept table) *)
+  | Alu of { width : int }
+  | Adder of { width : int }
+  | Shifter of { width : int }
+  | Comparator of { width : int }
+  | Mux of { width : int; ways : int }
+  | Latch of { bits : int }  (** pipeline latch / registers *)
+  | Decoder of { in_bits : int; out_signals : int }
+  | Control of { states : int; signals : int }  (** FSM *)
+
+type t = {
+  name : string;
+  kind : kind;
+  count : int;  (** number of instances *)
+}
+
+val make : ?count:int -> string -> kind -> t
+
+val describe : t -> string

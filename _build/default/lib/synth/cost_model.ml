@@ -1,0 +1,83 @@
+type cost = { cells : int; wires : int }
+
+let zero = { cells = 0; wires = 0 }
+
+let add a b = { cells = a.cells + b.cells; wires = a.wires + b.wires }
+
+let scale n c = { cells = n * c.cells; wires = n * c.wires }
+
+(* Gate-equivalent building blocks (uncalibrated).  Sources: textbook
+   figures — D flip-flop ~6 gates, full adder ~9, 2:1 mux ~1.5/bit.
+   RAM bits map to memory macros, far denser than discrete flops. *)
+let ff_cells = 6.0
+let ram_bit_cells = 0.35
+let mux2_bit_cells = 1.5
+let adder_bit_cells = 9.0
+let cmp_bit_cells = 4.0
+let alu_bit_cells = 45.0
+let shifter_bit_cells = 8.0
+
+let c cells wires =
+  { cells = int_of_float cells; wires = int_of_float wires }
+
+let of_kind = function
+  | Component.Regfile { entries; width; read_ports; write_ports } ->
+    let storage = float_of_int (entries * width) *. ff_cells in
+    let read_net =
+      float_of_int (read_ports * (entries - 1) * width) *. mux2_bit_cells
+    in
+    let write_net = float_of_int (write_ports * entries * width) *. 0.5 in
+    let cells = storage +. read_net +. write_net in
+    (* Port routing makes register files wire-dense. *)
+    c cells (cells *. 1.25)
+  | Component.Sram { bytes; ports } ->
+    let bits = float_of_int (8 * bytes) in
+    let cells = (bits *. ram_bit_cells) +. float_of_int (ports * 150) in
+    c cells (cells *. 0.85)
+  | Component.Cam { entries; tag_bits; data_bits } ->
+    let store =
+      float_of_int entries
+      *. ((float_of_int tag_bits *. (ff_cells +. cmp_bit_cells))
+          +. (float_of_int data_bits *. ff_cells))
+    in
+    let priority = float_of_int (entries * 4) in
+    let cells = store +. priority in
+    c cells (cells *. 0.9)
+  | Component.Alu { width } ->
+    let cells = float_of_int width *. alu_bit_cells in
+    c cells (cells *. 0.85)
+  | Component.Adder { width } ->
+    let cells = float_of_int width *. adder_bit_cells in
+    c cells (cells *. 0.85)
+  | Component.Shifter { width } ->
+    let cells = float_of_int width *. shifter_bit_cells in
+    c cells (cells *. 0.9)
+  | Component.Comparator { width } ->
+    let cells = float_of_int width *. cmp_bit_cells in
+    c cells (cells *. 0.85)
+  | Component.Mux { width; ways } ->
+    let cells = float_of_int (width * (ways - 1)) *. mux2_bit_cells in
+    (* Select fan-out and through-routing dominate muxes. *)
+    c cells (cells *. 1.4)
+  | Component.Latch { bits } ->
+    let cells = float_of_int bits *. (ff_cells +. 1.0) in
+    c cells (cells *. 0.85)
+  | Component.Decoder { in_bits; out_signals } ->
+    let cells = float_of_int (in_bits * 3) +. float_of_int (out_signals * 4) in
+    c cells (cells *. 1.0)
+  | Component.Control { states; signals } ->
+    let cells =
+      (float_of_int states *. ff_cells) +. float_of_int (states * signals * 2)
+    in
+    c cells (cells *. 1.1)
+
+(* Chosen so the baseline netlist's totals land near the paper's
+   Table 2 baseline; see Netlist. *)
+let calibration = 1.298
+
+let of_component (t : Component.t) =
+  let one = of_kind t.kind in
+  let cal v = int_of_float (float_of_int v *. calibration) in
+  { cells = cal (t.count * one.cells); wires = cal (t.count * one.wires) }
+
+let total comps = List.fold_left (fun acc x -> add acc (of_component x)) zero comps

@@ -1,0 +1,29 @@
+(** Standard-cell and wire cost model.
+
+    Per-component costs are derived from textbook gate counts
+    (flip-flop ~6 gate-equivalents, full adder ~9, 2:1 mux ~1.5 per
+    bit, ...) and a global calibration factor chosen so the baseline
+    processor's totals land near the paper's Table 2 baseline
+    (180,546 cells / 170,264 wires).  The calibration affects both
+    configurations identically, so the relative cost of Metal — the
+    result Table 2 reports — comes entirely from the netlist
+    structure. *)
+
+type cost = { cells : int; wires : int }
+
+val zero : cost
+
+val add : cost -> cost -> cost
+
+val scale : int -> cost -> cost
+
+val of_kind : Component.kind -> cost
+(** Uncalibrated cost of one instance. *)
+
+val of_component : Component.t -> cost
+(** Calibrated cost of all instances of a component. *)
+
+val total : Component.t list -> cost
+
+val calibration : float
+(** The global factor applied by {!of_component}. *)

@@ -1,0 +1,81 @@
+type config = {
+  mram_code_bytes : int;
+  mram_data_bytes : int;
+  mreg_count : int;
+  tlb_entries : int;
+}
+
+let prototype =
+  { mram_code_bytes = 2048; mram_data_bytes = 512; mreg_count = 32;
+    tlb_entries = 64 }
+
+let mk = Component.make
+
+let baseline cfg =
+  [
+    (* Fetch *)
+    mk "pc" (Component.Latch { bits = 32 });
+    mk "fetch next-pc adder" (Component.Adder { width = 32 });
+    mk "fetch redirect mux" (Component.Mux { width = 32; ways = 3 });
+    mk "icache data" (Component.Sram { bytes = 8192; ports = 1 });
+    mk "icache tags" (Component.Cam { entries = 64; tag_bits = 20; data_bits = 2 });
+    (* Decode *)
+    mk "instruction decoder" (Component.Decoder { in_bits = 32; out_signals = 96 });
+    mk "immediate mux" (Component.Mux { width = 32; ways = 5 });
+    mk "register file"
+      (Component.Regfile { entries = 32; width = 32; read_ports = 2;
+                           write_ports = 1 });
+    mk "hazard unit" (Component.Control { states = 8; signals = 24 });
+    mk "jal target adder" (Component.Adder { width = 32 });
+    (* Execute *)
+    mk "alu" (Component.Alu { width = 32 });
+    mk "barrel shifter" (Component.Shifter { width = 32 });
+    mk "branch comparator" (Component.Comparator { width = 32 });
+    mk "branch target adder" (Component.Adder { width = 32 });
+    mk ~count:2 "forwarding mux" (Component.Mux { width = 32; ways = 3 });
+    (* Memory *)
+    mk "dcache data" (Component.Sram { bytes = 8192; ports = 1 });
+    mk "dcache tags" (Component.Cam { entries = 64; tag_bits = 20; data_bits = 2 });
+    mk "tlb"
+      (Component.Cam { entries = cfg.tlb_entries; tag_bits = 29;
+                       data_bits = 27 });
+    mk "page-table walker" (Component.Control { states = 12; signals = 30 });
+    mk "pkey permission check" (Component.Comparator { width = 32 });
+    mk "load align/extend" (Component.Mux { width = 32; ways = 5 });
+    mk "store align" (Component.Mux { width = 32; ways = 4 });
+    mk "bus interface" (Component.Control { states = 10; signals = 40 });
+    (* Writeback *)
+    mk "writeback mux" (Component.Mux { width = 32; ways = 3 });
+    (* System state *)
+    mk "csr file"
+      (Component.Regfile { entries = 64; width = 32; read_ports = 1;
+                           write_ports = 1 });
+    mk "interrupt controller" (Component.Control { states = 6; signals = 20 });
+    mk "irq pending" (Component.Latch { bits = 16 });
+    (* Pipeline latches *)
+    mk "if/id latch" (Component.Latch { bits = 72 });
+    mk "id/ex latch" (Component.Latch { bits = 180 });
+    mk "ex/mem latch" (Component.Latch { bits = 140 });
+    mk "mem/wb latch" (Component.Latch { bits = 72 });
+  ]
+
+let metal_additions cfg =
+  [
+    mk "mram code segment"
+      (Component.Sram { bytes = cfg.mram_code_bytes; ports = 1 });
+    mk "mram data segment"
+      (Component.Sram { bytes = cfg.mram_data_bytes; ports = 1 });
+    mk "mroutine entry table" (Component.Sram { bytes = 64 * 2; ports = 1 });
+    mk "metal register file"
+      (Component.Regfile { entries = cfg.mreg_count; width = 32;
+                           read_ports = 1; write_ports = 1 });
+    mk "metal mode control" (Component.Control { states = 10; signals = 36 });
+    mk "menter/mexit replacement mux" (Component.Mux { width = 32; ways = 3 });
+    mk "metal fetch path mux" (Component.Mux { width = 32; ways = 2 });
+    mk "intercept match table"
+      (Component.Cam { entries = 16; tag_bits = 8; data_bits = 8 });
+    mk "event register write path" (Component.Mux { width = 32; ways = 6 });
+    mk "mram address decode" (Component.Decoder { in_bits = 12; out_signals = 16 });
+  ]
+
+let metal cfg = baseline cfg @ metal_additions cfg

@@ -1,0 +1,30 @@
+(** Netlists of the proof-of-concept processor (Section 2.4).
+
+    [baseline] is the plain 5-stage pipelined RISC processor: fetch
+    with caches, decode, register file, ALU, memory stage with a
+    software-filled TLB (plus the hardware-walker option), CSRs,
+    forwarding/hazard logic and pipeline latches.
+
+    [metal_additions] is everything Metal adds: the MRAM (code and
+    data segments plus the 64-entry mroutine table), the Metal
+    register file m0–m31, the Metal-mode control FSM, the decode-stage
+    replacement muxes in the fetch path, the interception match table
+    and the event-register write paths. *)
+
+type config = {
+  mram_code_bytes : int;
+  mram_data_bytes : int;
+  mreg_count : int;
+  tlb_entries : int;
+}
+
+val prototype : config
+(** The paper-prototype scale: 2 KiB mroutine code, 512 B data, 32
+    Metal registers, 64-entry TLB. *)
+
+val baseline : config -> Component.t list
+
+val metal_additions : config -> Component.t list
+
+val metal : config -> Component.t list
+(** [baseline @ metal_additions]. *)

@@ -1,0 +1,49 @@
+type row = { label : string; baseline : int; metal : int; change_pct : float }
+
+type t = { wires : row; cells : row }
+
+let row label baseline metal =
+  let change_pct =
+    100.0 *. (float_of_int (metal - baseline) /. float_of_int baseline)
+  in
+  { label; baseline; metal; change_pct }
+
+let table2 ?(config = Netlist.prototype) () =
+  let b = Cost_model.total (Netlist.baseline config) in
+  let m = Cost_model.total (Netlist.metal config) in
+  {
+    wires = row "Number of Wires" b.Cost_model.wires m.Cost_model.wires;
+    cells = row "Number of Cells" b.Cost_model.cells m.Cost_model.cells;
+  }
+
+let pp fmt t =
+  let line r =
+    Format.fprintf fmt "%-18s %10d %10d %9.1f%%@." r.label r.baseline r.metal
+      r.change_pct
+  in
+  Format.fprintf fmt "%-18s %10s %10s %10s@." "" "Baseline" "Metal" "%Change";
+  line t.wires;
+  line t.cells
+
+let to_string t = Format.asprintf "%a" pp t
+
+let breakdown ?(config = Netlist.prototype) () =
+  let buf = Buffer.create 1024 in
+  let section title comps =
+    Buffer.add_string buf (title ^ "\n");
+    List.iter
+      (fun comp ->
+         let cost = Cost_model.of_component comp in
+         Buffer.add_string buf
+           (Printf.sprintf "  %-34s cells=%7d wires=%7d\n"
+              (Component.describe comp) cost.Cost_model.cells
+              cost.Cost_model.wires))
+      comps;
+    let t = Cost_model.total comps in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-34s cells=%7d wires=%7d\n" "TOTAL"
+         t.Cost_model.cells t.Cost_model.wires)
+  in
+  section "Baseline processor" (Netlist.baseline config);
+  section "Metal additions" (Netlist.metal_additions config);
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Table 2 report: hardware resources with and without Metal. *)
+
+type row = { label : string; baseline : int; metal : int; change_pct : float }
+
+type t = { wires : row; cells : row }
+
+val table2 : ?config:Netlist.config -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders the table in the paper's layout. *)
+
+val to_string : t -> string
+
+val breakdown : ?config:Netlist.config -> unit -> string
+(** Per-component cost listing for both configurations (the detail
+    behind Table 2). *)

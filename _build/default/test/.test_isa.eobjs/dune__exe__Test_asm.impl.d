@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Char Decode Disasm Encode Expr Image Instr Lex List Metal_asm Printf QCheck QCheck_alcotest Result String Tutil Word

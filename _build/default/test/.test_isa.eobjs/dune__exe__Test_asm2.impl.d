@@ -1,0 +1,1 @@
+test/test_asm2.ml: Alcotest Asm Decode Disasm Format Image Instr List Metal_asm Printf Result Tutil

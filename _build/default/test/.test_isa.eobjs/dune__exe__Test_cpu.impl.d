@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cause Config Csr Icept List Machine Metal_asm Metal_cpu Pipeline Printf Reg Stats String Word

@@ -1,0 +1,1 @@
+test/test_cpu2.ml: Alcotest Cause Config Csr Icept List Machine Metal_asm Metal_cpu Metal_hw Metal_kernel Metal_progs Option Pipeline Printf Reg Stats String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Bytes Char Config Encode Instr List Machine Metal_asm Metal_cpu Metal_hw Pipeline Printf QCheck QCheck_alcotest Reference Reg Stats String Word

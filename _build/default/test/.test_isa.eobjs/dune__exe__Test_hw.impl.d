@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bus Cache Cause Char Devices Encode Instr Intc List Metal_asm Metal_hw Mram Mregs Phys_mem Result Tlb

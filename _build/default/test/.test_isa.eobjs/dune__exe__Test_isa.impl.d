@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Cause Csr Decode Encode Gen Icept Instr List Printf QCheck QCheck_alcotest Reg Word

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Char Frame_alloc Kernel List Machine Metal_cpu Metal_hw Metal_kernel Page_table Printf Process Pte Result

@@ -1,0 +1,1 @@
+test/test_mgen.ml: Alcotest Csr Machine Metal_asm Metal_cpu Metal_hw Metal_mgen Mgen Pipeline Reg

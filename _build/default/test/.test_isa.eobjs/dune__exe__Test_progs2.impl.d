@@ -1,0 +1,1 @@
+test/test_progs2.ml: Alcotest Capability Csr Enclave Icept Layout List Machine Metal_asm Metal_cpu Metal_hw Metal_progs Nested Pipeline Printf Privilege Reg Shadowstack Stm Tutil Uintr

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Encode Instr List Machine Metal_asm Metal_cpu Metal_mgen Pipeline Printf QCheck QCheck_alcotest Reg String Word

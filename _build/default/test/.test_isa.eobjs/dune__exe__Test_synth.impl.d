@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Component Cost_model List Metal_synth Netlist Printf Report Tutil

@@ -1,0 +1,356 @@
+(* Assembler tests: lexing, expressions, directives, pseudo-instruction
+   expansion, label resolution, images and disassembly. *)
+
+open Metal_asm
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let ok_img ?origin src =
+  match Asm.assemble ?origin src with
+  | Ok img -> img
+  | Error e -> Alcotest.fail (Asm.error_to_string e)
+
+let err_line ?origin src =
+  match Asm.assemble ?origin src with
+  | Ok _ -> Alcotest.fail "expected assembly error"
+  | Error e -> e.Asm.line
+
+let word_of img addr =
+  match Image.word_at img addr with
+  | Some w -> w
+  | None -> Alcotest.fail (Printf.sprintf "no word at 0x%x" addr)
+
+let decode_at img addr = Decode.decode_exn (word_of img addr)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lex_basic () =
+  match Lex.tokenize "  addi a0, a1, 42  # comment" with
+  | Ok [ Lex.Ident "addi"; Lex.Ident "a0"; Lex.Comma; Lex.Ident "a1";
+         Lex.Comma; Lex.Int 42 ] -> ()
+  | Ok toks ->
+    Alcotest.fail
+      (String.concat " " (List.map Lex.token_to_string toks))
+  | Error e -> Alcotest.fail e
+
+let test_lex_literals () =
+  let num s =
+    match Lex.tokenize s with
+    | Ok [ Lex.Int v ] -> v
+    | Ok _ | Error _ -> Alcotest.fail ("lex " ^ s)
+  in
+  check_int "hex" 0xFF (num "0xFF");
+  check_int "binary" 5 (num "0b101");
+  check_int "octal" 8 (num "0o10");
+  check_int "char" 65 (num "'A'");
+  check_int "escaped char" 10 (num "'\\n'")
+
+let test_lex_strings () =
+  match Lex.tokenize {|.asciiz "hi\n\t\"x\""|} with
+  | Ok [ Lex.Ident ".asciiz"; Lex.Str s ] -> check_str "escapes" "hi\n\t\"x\"" s
+  | Ok _ -> Alcotest.fail "unexpected tokens"
+  | Error e -> Alcotest.fail e
+
+let test_lex_rejects () =
+  check_bool "stray char" true (Result.is_error (Lex.tokenize "addi a0, a1, @"));
+  check_bool "unterminated string" true
+    (Result.is_error (Lex.tokenize ".asciiz \"oops"));
+  check_bool "bad number" true (Result.is_error (Lex.tokenize "li a0, 0xZZ"))
+
+let test_lex_comments () =
+  let empty s =
+    match Lex.tokenize s with Ok [] -> true | Ok _ | Error _ -> false
+  in
+  check_bool "hash" true (empty "# hi");
+  check_bool "semicolon" true (empty "; hi");
+  check_bool "slashes" true (empty "// hi");
+  check_bool "hash in string kept" true
+    (match Lex.tokenize {|.ascii "#x"|} with
+     | Ok [ _; Lex.Str "#x" ] -> true
+     | Ok _ | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let eval_str s =
+  match Lex.tokenize s with
+  | Error e -> Alcotest.fail e
+  | Ok toks ->
+    begin match Expr.parse toks with
+    | Error e -> Alcotest.fail e
+    | Ok (e, []) ->
+      begin match Expr.eval ~lookup:(fun n -> if n = "sym" then Some 0x1000 else None) e with
+      | Ok v -> v
+      | Error e -> Alcotest.fail e
+      end
+    | Ok (_, _) -> Alcotest.fail "trailing tokens"
+    end
+
+let test_expr_arith () =
+  check_int "precedence" 14 (eval_str "2 + 3 * 4");
+  check_int "parens" 20 (eval_str "(2 + 3) * 4");
+  check_int "unary minus" (-6) (eval_str "-2 * 3");
+  check_int "division" 3 (eval_str "10 / 3");
+  check_int "symbol" 0x1004 (eval_str "sym + 4");
+  check_int "sub chain" 1 (eval_str "4 - 2 - 1")
+
+let test_expr_hi_lo () =
+  let v = 0x12345FFF in
+  let hi = eval_str (Printf.sprintf "%%hi(%d)" v) in
+  let lo = eval_str (Printf.sprintf "%%lo(%d)" v) in
+  check_int "hi/lo reconstruct" v (Word.of_int ((hi lsl 12) + lo));
+  (* %lo is sign-extended, so %hi must round up. *)
+  check_int "hi rounds" 0x12346 hi
+
+let test_expr_errors () =
+  let fails s =
+    match Lex.tokenize s with
+    | Error _ -> true
+    | Ok toks ->
+      begin match Expr.parse toks with
+      | Error _ -> true
+      | Ok (e, []) ->
+        Result.is_error (Expr.eval ~lookup:(fun _ -> None) e)
+      | Ok _ -> true
+      end
+  in
+  check_bool "undefined symbol" true (fails "nosuch + 1");
+  check_bool "div by zero" true (fails "1 / 0");
+  check_bool "dangling op" true (fails "1 +")
+
+(* ------------------------------------------------------------------ *)
+(* Assembly: instructions and labels *)
+
+let test_asm_simple () =
+  let img = ok_img "addi a0, zero, 42\nebreak\n" in
+  check_str "addi" "addi a0, zero, 42" (Instr.to_string (decode_at img 0));
+  check_str "ebreak" "ebreak" (Instr.to_string (decode_at img 4));
+  check_int "size" 8 (Image.size img)
+
+let test_asm_labels () =
+  let img = ok_img "start:\n  j end\n  nop\nend:\n  ebreak\n" in
+  (match decode_at img 0 with
+   | Instr.Jal { rd = 0; offset } -> check_int "jump offset" 8 offset
+   | i -> Alcotest.fail (Instr.to_string i));
+  Alcotest.(check (option int)) "start" (Some 0) (Image.find_symbol img "start");
+  Alcotest.(check (option int)) "end" (Some 8) (Image.find_symbol img "end")
+
+let test_asm_branch_backward () =
+  let img = ok_img "loop:\n  addi t0, t0, -1\n  bnez t0, loop\n  ebreak\n" in
+  match decode_at img 4 with
+  | Instr.Branch { cond = Instr.Bne; rs1 = 5; rs2 = 0; offset } ->
+    check_int "backward" (-4) offset
+  | i -> Alcotest.fail (Instr.to_string i)
+
+let test_asm_li_small_large () =
+  let img = ok_img "li a0, 42\nli a1, 0x12345678\nebreak\n" in
+  check_str "small li" "addi a0, zero, 42" (Instr.to_string (decode_at img 0));
+  (match decode_at img 4 with
+   | Instr.Lui { rd = 11; _ } -> ()
+   | i -> Alcotest.fail ("expected lui: " ^ Instr.to_string i));
+  (match decode_at img 8 with
+   | Instr.Op_imm { op = Instr.Add; rd = 11; rs1 = 11; _ } -> ()
+   | i -> Alcotest.fail ("expected addi: " ^ Instr.to_string i));
+  check_str "after" "ebreak" (Instr.to_string (decode_at img 12))
+
+let test_asm_li_negative () =
+  let img = ok_img "li a0, -1\nli a1, -0x80000000\n" in
+  check_str "li -1" "addi a0, zero, -1" (Instr.to_string (decode_at img 0));
+  match decode_at img 4 with
+  | Instr.Lui { rd = 11; imm = 0x80000 } -> ()
+  | i -> Alcotest.fail (Instr.to_string i)
+
+let test_asm_la () =
+  let img = ok_img ".org 0x1000\nla a0, data\nebreak\ndata: .word 7\n" in
+  (match decode_at img 0x1000 with
+   | Instr.Lui { rd = 10; imm } -> check_int "hi" 0x1 imm
+   | i -> Alcotest.fail (Instr.to_string i));
+  match decode_at img 0x1004 with
+  | Instr.Op_imm { op = Instr.Add; rd = 10; rs1 = 10; imm } ->
+    check_int "lo" 0xC imm
+  | i -> Alcotest.fail (Instr.to_string i)
+
+let test_asm_mem_operands () =
+  let img = ok_img "lw a0, 8(sp)\nsw a0, -4(s0)\nlb t0, (a1)\n" in
+  check_str "lw" "lw a0, 8(sp)" (Instr.to_string (decode_at img 0));
+  check_str "sw" "sw a0, -4(s0)" (Instr.to_string (decode_at img 4));
+  check_str "lb empty disp" "lb t0, 0(a1)" (Instr.to_string (decode_at img 8))
+
+let test_asm_pseudo () =
+  let img =
+    ok_img
+      "mv a0, a1\nnot a2, a3\nneg a4, a5\nseqz a6, a7\nsnez t0, t1\n\
+       ret\njr t2\ncall target\ntail target\ntarget:\nebreak\n"
+  in
+  check_str "mv" "addi a0, a1, 0" (Instr.to_string (decode_at img 0));
+  check_str "not" "xori a2, a3, -1" (Instr.to_string (decode_at img 4));
+  check_str "neg" "sub a4, zero, a5" (Instr.to_string (decode_at img 8));
+  check_str "seqz" "sltiu a6, a7, 1" (Instr.to_string (decode_at img 12));
+  check_str "snez" "sltu t0, zero, t1" (Instr.to_string (decode_at img 16));
+  check_str "ret" "jalr zero, 0(ra)" (Instr.to_string (decode_at img 20));
+  check_str "jr" "jalr zero, 0(t2)" (Instr.to_string (decode_at img 24));
+  (match decode_at img 28 with
+   | Instr.Jal { rd = 1; offset = 8 } -> ()
+   | i -> Alcotest.fail ("call: " ^ Instr.to_string i));
+  match decode_at img 32 with
+  | Instr.Jal { rd = 0; offset = 4 } -> ()
+  | i -> Alcotest.fail ("tail: " ^ Instr.to_string i)
+
+let test_asm_branch_pseudo () =
+  let img =
+    ok_img "x:\nbeqz a0, x\nblez a1, x\nbgtz a2, x\nbgt a3, a4, x\nble a5, a6, x\n"
+  in
+  check_str "beqz" "beq a0, zero, 0" (Instr.to_string (decode_at img 0));
+  check_str "blez" "bge zero, a1, -4" (Instr.to_string (decode_at img 4));
+  check_str "bgtz" "blt zero, a2, -8" (Instr.to_string (decode_at img 8));
+  check_str "bgt swaps" "blt a4, a3, -12" (Instr.to_string (decode_at img 12));
+  check_str "ble swaps" "bge a6, a5, -16" (Instr.to_string (decode_at img 16))
+
+let test_asm_metal_instrs () =
+  let img =
+    ok_img
+      "menter 5\nmexit\nrmr t0, m31\nwmr m0, t1\nmld a0, 8(t2)\n\
+       mst a0, 12(t3)\nphysld a1, (t4)\nphysst a1, 4(t5)\ntlbw t0, t1\n\
+       tlbflush t0\ntlbprobe a2, t6\ngprr a3, t0\ngprw t0, a4\n\
+       iceptset t0, t1\niceptclr t0\nmcsrr a5, cycle\nmcsrw paging, a6\n\
+       mcsrr a7, exc_handler[ecall]\n"
+  in
+  check_str "menter" "menter 5" (Instr.to_string (decode_at img 0));
+  check_str "mexit" "mexit" (Instr.to_string (decode_at img 4));
+  check_str "rmr" "rmr t0, m31" (Instr.to_string (decode_at img 8));
+  check_str "wmr" "wmr m0, t1" (Instr.to_string (decode_at img 12));
+  check_str "mld" "mld a0, 8(t2)" (Instr.to_string (decode_at img 16));
+  check_str "mcsrr named" "mcsrr a5, cycle" (Instr.to_string (decode_at img 60));
+  check_str "mcsrw named" "mcsrw paging, a6" (Instr.to_string (decode_at img 64));
+  check_str "mcsrr indexed" "mcsrr a7, exc_handler[ecall]"
+    (Instr.to_string (decode_at img 68))
+
+(* ------------------------------------------------------------------ *)
+(* Directives *)
+
+let test_asm_data_directives () =
+  let img =
+    ok_img
+      ".org 0x100\n.word 1, 2, 0xFFFFFFFF\n.half 0x1234\n.byte 1, 2\n\
+       .align 2\n.asciiz \"ok\"\n"
+  in
+  check_int "word0" 1 (word_of img 0x100);
+  check_int "word2" 0xFFFFFFFF (word_of img 0x108);
+  (match Image.byte_at img 0x10C with
+   | Some b -> check_int "half lo" 0x34 b
+   | None -> Alcotest.fail "missing half");
+  (match Image.byte_at img 0x110 with
+   | Some b -> check_int "aligned byte" (Char.code 'o') b
+   | None -> Alcotest.fail "missing string");
+  match Image.byte_at img 0x112 with
+  | Some b -> check_int "nul" 0 b
+  | None -> Alcotest.fail "missing nul"
+
+let test_asm_equ_space () =
+  let img =
+    ok_img ".equ BASE, 0x200\n.equ SIZE, 4 * 8\n.org BASE\n.space SIZE\nend:\n.word end\n"
+  in
+  check_int "end symbol after space" (0x200 + 32) (word_of img (0x200 + 32))
+
+let test_asm_mentry () =
+  let img =
+    ok_img
+      ".mentry 0, ma\n.mentry 7, mb\nma: mexit\nmb: mexit\n"
+  in
+  Alcotest.(check (list (pair int int))) "entries" [ (0, 0); (7, 4) ]
+    img.Image.mentries
+
+let test_asm_dot_symbol () =
+  let img = ok_img ".org 0x40\nhere: .word .\n" in
+  check_int "dot is current address" 0x40 (word_of img 0x40)
+
+(* ------------------------------------------------------------------ *)
+(* Errors *)
+
+let test_asm_errors () =
+  check_int "unknown instr" 1 (err_line "frobnicate a0\n");
+  check_int "unknown reg" 1 (err_line "addi q0, a0, 1\n");
+  check_int "imm too big" 1 (err_line "addi a0, a0, 5000\n");
+  check_int "dup label line" 3 (err_line "x:\nnop\nx:\n");
+  check_int "undef label" 1 (err_line "j nowhere\n");
+  check_int "overlap" 4 (err_line ".org 0\n.word 1\n.org 0\n.word 2\n");
+  check_int "menter range" 1 (err_line "menter 64\n");
+  check_int "bad directive" 1 (err_line ".bogus 1\n");
+  check_int "forward equ" 1 (err_line ".equ A, B\n.equ B, 1\n")
+
+(* ------------------------------------------------------------------ *)
+(* Disassembler *)
+
+let test_disasm_roundtrip () =
+  let src = "addi a0, zero, 1\nbeq a0, a1, 8\nlw t0, 4(sp)\nebreak\n" in
+  let img = ok_img src in
+  let dis = Disasm.image img in
+  check_bool "contains addi" true
+    (Tutil.contains dis "addi a0, zero, 1");
+  check_bool "contains lw" true (Tutil.contains dis "lw t0, 4(sp)")
+
+(* The property: assembling the rendered form of any encodable
+   instruction reproduces the same word. *)
+let prop_render_assemble =
+  QCheck.Test.make ~name:"render/assemble fixpoint" ~count:500
+    (QCheck.make ~print:Instr.to_string
+       QCheck.Gen.(
+         let reg = int_range 0 31 in
+         let imm12 = int_range (-2048) 2047 in
+         oneof
+           [ map3 (fun rd rs1 imm ->
+                 Instr.Op_imm { op = Instr.Add; rd; rs1; imm })
+               reg reg imm12;
+             map3 (fun rd rs1 offset -> Instr.Load
+                      { width = Instr.Word; unsigned = false; rd; rs1; offset })
+               reg reg imm12;
+             map3 (fun rs2 rs1 offset -> Instr.Store
+                      { width = Instr.Word; rs2; rs1; offset })
+               reg reg imm12;
+             map3 (fun rd rs1 rs2 -> Instr.Op
+                      { op = Instr.Xor; rd; rs1; rs2 })
+               reg reg reg ]))
+    (fun i ->
+       let src = Instr.to_string i ^ "\n" in
+       match Asm.assemble src with
+       | Error _ -> false
+       | Ok img ->
+         Image.word_at img 0 = Some (Encode.encode_exn i))
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "lexer",
+        [ Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "literals" `Quick test_lex_literals;
+          Alcotest.test_case "strings" `Quick test_lex_strings;
+          Alcotest.test_case "rejects" `Quick test_lex_rejects;
+          Alcotest.test_case "comments" `Quick test_lex_comments ] );
+      ( "expr",
+        [ Alcotest.test_case "arith" `Quick test_expr_arith;
+          Alcotest.test_case "hi/lo" `Quick test_expr_hi_lo;
+          Alcotest.test_case "errors" `Quick test_expr_errors ] );
+      ( "instructions",
+        [ Alcotest.test_case "simple" `Quick test_asm_simple;
+          Alcotest.test_case "labels" `Quick test_asm_labels;
+          Alcotest.test_case "backward branch" `Quick test_asm_branch_backward;
+          Alcotest.test_case "li sizes" `Quick test_asm_li_small_large;
+          Alcotest.test_case "li negative" `Quick test_asm_li_negative;
+          Alcotest.test_case "la" `Quick test_asm_la;
+          Alcotest.test_case "memory operands" `Quick test_asm_mem_operands;
+          Alcotest.test_case "pseudo" `Quick test_asm_pseudo;
+          Alcotest.test_case "branch pseudo" `Quick test_asm_branch_pseudo;
+          Alcotest.test_case "metal" `Quick test_asm_metal_instrs ] );
+      ( "directives",
+        [ Alcotest.test_case "data" `Quick test_asm_data_directives;
+          Alcotest.test_case "equ/space" `Quick test_asm_equ_space;
+          Alcotest.test_case "mentry" `Quick test_asm_mentry;
+          Alcotest.test_case "dot" `Quick test_asm_dot_symbol ] );
+      ( "errors", [ Alcotest.test_case "diagnostics" `Quick test_asm_errors ] );
+      ( "disasm",
+        Alcotest.test_case "roundtrip" `Quick test_disasm_roundtrip
+        :: List.map QCheck_alcotest.to_alcotest [ prop_render_assemble ] );
+    ]

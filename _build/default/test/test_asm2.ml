@@ -1,0 +1,157 @@
+(* Assembler edge cases: range limits, directive corners, expression
+   operands in unusual positions, and disassembler helpers. *)
+
+open Metal_asm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok src =
+  match Asm.assemble src with
+  | Ok img -> img
+  | Error e -> Alcotest.fail (Asm.error_to_string e)
+
+let fails src = Result.is_error (Asm.assemble src)
+
+let word_of img addr =
+  match Image.word_at img addr with
+  | Some w -> w
+  | None -> Alcotest.fail (Printf.sprintf "no word at 0x%x" addr)
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty_and_comment_only () =
+  let img = ok "" in
+  check_int "empty" 0 (Image.size img);
+  let img = ok "# nothing\n; here\n// either\n\n" in
+  check_int "comments only" 0 (Image.size img);
+  check_bool "no bounds" true (Image.bounds img = None)
+
+let test_branch_range_limits () =
+  (* B-type reaches +-4 KiB. *)
+  check_bool "in range" true
+    (not (fails (".org 0\nbeq a0, a1, . + 4094\n.org 8000\nnop\n")));
+  check_bool "beyond range" true (fails "beq a0, a1, . + 4096\n");
+  check_bool "odd target" true (fails "beq a0, a1, . + 3\n")
+
+let test_jal_range_limits () =
+  check_bool "in range" true (not (fails "jal . + 1048574\n"));
+  check_bool "beyond" true (fails "jal . + 1048576\n")
+
+let test_align_and_space_math () =
+  let img =
+    ok ".org 1\n.byte 1\n.align 3\naligned: .word 0xAA\n.space 12\n\
+        after: .word after\n"
+  in
+  Alcotest.(check (option int)) "aligned to 8" (Some 8)
+    (Image.find_symbol img "aligned");
+  Alcotest.(check (option int)) "after space" (Some 24)
+    (Image.find_symbol img "after");
+  check_int "after holds own address" 24 (word_of img 24)
+
+let test_equ_chains () =
+  let img =
+    ok ".equ A, 4\n.equ B, A * 3\n.equ C, B + A\n.word C\n"
+  in
+  check_int "chained equ" 16 (word_of img 0)
+
+let test_menter_expression_operand () =
+  let img = ok ".equ KENTER, 2\nmenter KENTER + 1\n" in
+  match Decode.decode_exn (word_of img 0) with
+  | Instr.Metal (Instr.Menter { entry }) -> check_int "entry" 3 entry
+  | i -> Alcotest.fail (Instr.to_string i)
+
+let test_store_negative_displacement_label_math () =
+  let img =
+    ok ".equ BUF, 0x100\nli t0, BUF + 16\nsw a0, BUF - 0x100 - 4(t0)\n"
+  in
+  (* BUF+16 fits a 12-bit immediate, so li is one instruction and the
+     store sits at 4. *)
+  match Decode.decode_exn (word_of img 4) with
+  | Instr.Store { offset = -4; _ } -> ()
+  | i -> Alcotest.fail (Instr.to_string i)
+
+let test_multiple_labels_one_line () =
+  let img = ok "a: b: c: nop\n" in
+  Alcotest.(check (option int)) "a" (Some 0) (Image.find_symbol img "a");
+  Alcotest.(check (option int)) "c" (Some 0) (Image.find_symbol img "c")
+
+let test_directive_errors () =
+  check_bool ".align huge" true (fails ".align 25\n");
+  check_bool ".space negative" true (fails ".space -4\n");
+  check_bool ".byte range silently masks" true
+    (not (fails ".byte 300\n"));
+  check_bool ".asciiz needs string" true (fails ".asciiz 42\n");
+  check_bool ".equ needs name" true (fails ".equ 1, 2\n");
+  check_bool ".mentry needs two" true (fails ".mentry 3\n");
+  check_bool "unaligned instruction" true (fails ".org 2\nnop\n")
+
+let test_operand_arity_errors () =
+  check_bool "add too few" true (fails "add a0, a1\n");
+  check_bool "add too many" true (fails "add a0, a1, a2, a3\n");
+  check_bool "lw not mem form" true (fails "lw a0, a1, 4\n");
+  check_bool "mexit takes none" true (fails "mexit a0\n");
+  check_bool "wmr wants mreg first" true (fails "wmr t0, m1\n")
+
+let test_mentry_duplicate_rejected () =
+  check_bool "dup entry" true
+    (fails ".mentry 0, a\n.mentry 0, b\na: mexit\nb: mexit\n")
+
+let test_case_sensitivity () =
+  (* Mnemonics and registers are lowercase-only, like most RISC
+     assemblers. *)
+  check_bool "upper mnemonic rejected" true (fails "ADDI a0, a0, 1\n");
+  check_bool "upper register rejected" true (fails "addi A0, a0, 1\n")
+
+let test_disasm_range () =
+  let img = ok "addi a0, zero, 1\nebreak\n" in
+  let read addr =
+    match Image.word_at img addr with Some w -> w | None -> 0
+  in
+  let text = Disasm.range ~read ~start:0 ~count:2 in
+  check_bool "first line" true (Tutil.contains text "addi a0, zero, 1");
+  check_bool "second line" true (Tutil.contains text "ebreak");
+  check_bool "undecodable rendered as .word" true
+    (Tutil.contains (Disasm.word 0xFFFFFFFF) ".word")
+
+let test_listing_format () =
+  let img = ok "li a0, 0x12345678\n" in
+  let text = Format.asprintf "%a" Image.pp_listing img in
+  check_bool "two entries for big li" true
+    (Tutil.contains text "lui" && Tutil.contains text "addi");
+  check_int "listing count" 2 (List.length img.Image.listing)
+
+let test_image_accessors () =
+  let img = ok ".org 0x10\n.word 1\n.org 0x20\n.word 2\n" in
+  check_int "two chunks" 2 (List.length img.Image.chunks);
+  check_int "size sums chunks" 8 (Image.size img);
+  Alcotest.(check (option (pair int int))) "bounds span" (Some (0x10, 0x24))
+    (Some (match Image.bounds img with Some b -> b | None -> (0, 0)));
+  check_bool "hole reads None" true (Image.word_at img 0x18 = None);
+  check_bool "byte in hole None" true (Image.byte_at img 0x19 = None)
+
+let () =
+  Alcotest.run "asm-edge"
+    [
+      ( "layout",
+        [ Alcotest.test_case "empty" `Quick test_empty_and_comment_only;
+          Alcotest.test_case "align/space" `Quick test_align_and_space_math;
+          Alcotest.test_case "equ chains" `Quick test_equ_chains;
+          Alcotest.test_case "multi labels" `Quick test_multiple_labels_one_line;
+          Alcotest.test_case "image accessors" `Quick test_image_accessors ] );
+      ( "ranges",
+        [ Alcotest.test_case "branch" `Quick test_branch_range_limits;
+          Alcotest.test_case "jal" `Quick test_jal_range_limits ] );
+      ( "operands",
+        [ Alcotest.test_case "menter expr" `Quick test_menter_expression_operand;
+          Alcotest.test_case "displacement math" `Quick
+            test_store_negative_displacement_label_math;
+          Alcotest.test_case "arity" `Quick test_operand_arity_errors;
+          Alcotest.test_case "case" `Quick test_case_sensitivity ] );
+      ( "directives",
+        [ Alcotest.test_case "errors" `Quick test_directive_errors;
+          Alcotest.test_case "mentry dup" `Quick test_mentry_duplicate_rejected ] );
+      ( "disasm",
+        [ Alcotest.test_case "range" `Quick test_disasm_range;
+          Alcotest.test_case "listing" `Quick test_listing_format ] );
+    ]

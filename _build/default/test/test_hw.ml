@@ -1,0 +1,382 @@
+(* Hardware substrate tests: physical memory, bus + MMIO, TLB, MRAM,
+   Metal registers, interrupt controller, devices. *)
+
+open Metal_hw
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem *)
+
+let test_mem_rw () =
+  let m = Phys_mem.create ~size:4096 in
+  Phys_mem.write32 m 0 0xDEADBEEF;
+  check_int "read32" 0xDEADBEEF (Phys_mem.read32 m 0);
+  check_int "little-endian byte 0" 0xEF (Phys_mem.read8 m 0);
+  check_int "little-endian byte 3" 0xDE (Phys_mem.read8 m 3);
+  Phys_mem.write16 m 100 0xABCD;
+  check_int "read16" 0xABCD (Phys_mem.read16 m 100);
+  Phys_mem.write8 m 200 0x1FF;
+  check_int "write8 masks" 0xFF (Phys_mem.read8 m 200)
+
+let test_mem_bounds () =
+  let m = Phys_mem.create ~size:4096 in
+  check_bool "in range" true (Phys_mem.in_range m ~addr:4092 ~width:4);
+  check_bool "out of range" false (Phys_mem.in_range m ~addr:4093 ~width:4);
+  check_bool "negative" false (Phys_mem.in_range m ~addr:(-1) ~width:1);
+  Alcotest.check_raises "oob raises"
+    (Invalid_argument "Phys_mem: out-of-range access 0x00001000/4")
+    (fun () -> ignore (Phys_mem.read32 m 4096))
+
+let test_mem_image () =
+  let img = Metal_asm.Asm.assemble_exn ".org 0x10\n.word 0xCAFEBABE\n" in
+  let m = Phys_mem.create ~size:4096 in
+  (match Phys_mem.load_image m img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  check_int "loaded" 0xCAFEBABE (Phys_mem.read32 m 0x10);
+  let img2 = Metal_asm.Asm.assemble_exn ".org 0x2000\n.word 1\n" in
+  check_bool "oob image rejected" true
+    (Result.is_error (Phys_mem.load_image m img2))
+
+(* ------------------------------------------------------------------ *)
+(* Bus *)
+
+let make_bus () =
+  let mem = Phys_mem.create ~size:4096 in
+  (Bus.create ~mem, mem)
+
+let test_bus_ram () =
+  let bus, _ = make_bus () in
+  (match Bus.store bus ~width:Instr.Word ~addr:16 0x12345678 with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "store");
+  (match Bus.load bus ~width:Instr.Half ~addr:16 with
+   | Ok v -> check_int "half" 0x5678 v
+   | Error _ -> Alcotest.fail "load");
+  match Bus.load bus ~width:Instr.Word ~addr:0x100000 with
+  | Error Cause.Access_fault -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected access fault"
+
+let test_bus_mmio () =
+  let bus, _ = make_bus () in
+  let last_write = ref (-1, -1) in
+  Bus.attach bus
+    {
+      Bus.name = "dev";
+      base = 0xF000_0000;
+      size = 0x10;
+      read32 = (fun off -> off + 0x100);
+      write32 = (fun off v -> last_write := (off, v));
+      tick = (fun ~cycle:_ -> ());
+    };
+  (match Bus.load bus ~width:Instr.Word ~addr:0xF000_0004 with
+   | Ok v -> check_int "mmio read" 0x104 v
+   | Error _ -> Alcotest.fail "mmio read");
+  (match Bus.store bus ~width:Instr.Word ~addr:0xF000_0008 77 with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "mmio write");
+  check_bool "write routed" true (!last_write = (8, 77));
+  (* Narrow MMIO access faults. *)
+  match Bus.load bus ~width:Instr.Byte ~addr:0xF000_0004 with
+  | Error Cause.Access_fault -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected fault on narrow MMIO"
+
+let test_bus_overlap_rejected () =
+  let bus, _ = make_bus () in
+  let dev base =
+    { Bus.name = "d"; base; size = 0x10; read32 = (fun _ -> 0);
+      write32 = (fun _ _ -> ()); tick = (fun ~cycle:_ -> ()) }
+  in
+  Alcotest.check_raises "overlaps RAM"
+    (Invalid_argument "Bus.attach: d overlaps RAM") (fun () ->
+      Bus.attach bus (dev 0));
+  Bus.attach bus (dev 0xF000_0000);
+  check_bool "overlapping device rejected" true
+    (try
+       Bus.attach bus (dev 0xF000_0008);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* TLB *)
+
+let entry ?(asid = 1) ?(global = false) ?(pkey = 0) ~vpn ~ppn ?(r = true)
+    ?(w = true) ?(x = false) () =
+  { Tlb.asid; global; vpn; ppn; r; w; x; pkey }
+
+let test_tlb_lookup () =
+  let t = Tlb.create ~entries:4 in
+  Tlb.insert t (entry ~vpn:0x10 ~ppn:0x20 ());
+  (match Tlb.lookup t ~asid:1 ~vpn:0x10 with
+   | Some e -> check_int "ppn" 0x20 e.Tlb.ppn
+   | None -> Alcotest.fail "hit expected");
+  check_bool "other asid misses" true (Tlb.lookup t ~asid:2 ~vpn:0x10 = None);
+  check_bool "other vpn misses" true (Tlb.lookup t ~asid:1 ~vpn:0x11 = None)
+
+let test_tlb_global () =
+  let t = Tlb.create ~entries:4 in
+  Tlb.insert t (entry ~global:true ~vpn:0x10 ~ppn:0x20 ());
+  check_bool "global hits any asid" true
+    (Tlb.lookup t ~asid:9 ~vpn:0x10 <> None);
+  Tlb.flush_asid t ~asid:9;
+  check_bool "global survives asid flush" true
+    (Tlb.lookup t ~asid:9 ~vpn:0x10 <> None);
+  Tlb.flush_all t;
+  check_bool "flush_all clears" true (Tlb.lookup t ~asid:9 ~vpn:0x10 = None)
+
+let test_tlb_replacement () =
+  let t = Tlb.create ~entries:2 in
+  Tlb.insert t (entry ~vpn:1 ~ppn:1 ());
+  Tlb.insert t (entry ~vpn:2 ~ppn:2 ());
+  Tlb.insert t (entry ~vpn:3 ~ppn:3 ());
+  check_int "capacity respected" 2 (List.length (Tlb.entries t));
+  (* Same tag replaces in place rather than evicting. *)
+  Tlb.insert t (entry ~vpn:3 ~ppn:9 ());
+  check_int "still 2" 2 (List.length (Tlb.entries t));
+  match Tlb.lookup t ~asid:1 ~vpn:3 with
+  | Some e -> check_int "updated" 9 e.Tlb.ppn
+  | None -> Alcotest.fail "tag update lost"
+
+let test_tlb_packed () =
+  let t = Tlb.create ~entries:4 in
+  let tag = Instr.pack_tlb_tag ~vpn:0x12345 ~asid:7 ~global:false in
+  let data = Instr.pack_tlb_data ~ppn:0x54321 ~pkey:3 ~r:true ~w:false ~x:true in
+  Tlb.insert_packed t ~tag ~data;
+  (match Tlb.lookup t ~asid:7 ~vpn:0x12345 with
+   | Some e ->
+     check_int "ppn" 0x54321 e.Tlb.ppn;
+     check_int "pkey" 3 e.Tlb.pkey;
+     check_bool "perms" true (e.Tlb.r && e.Tlb.x && not e.Tlb.w)
+   | None -> Alcotest.fail "miss");
+  check_int "probe hit returns data" data
+    (Tlb.probe_packed t ~asid:7 ~vaddr:(0x12345 lsl 12));
+  check_int "probe miss returns 0" 0
+    (Tlb.probe_packed t ~asid:7 ~vaddr:(0x99 lsl 12))
+
+(* ------------------------------------------------------------------ *)
+(* MRAM *)
+
+let test_mram_image () =
+  let mram = Mram.create ~code_words:64 ~data_bytes:64 in
+  let img =
+    Metal_asm.Asm.assemble_exn
+      ".mentry 0, a\n.mentry 5, b\na: mexit\nb: addi a0, a0, 1\n mexit\n"
+  in
+  (match Mram.load_image mram img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check (option int)) "entry 0" (Some 0) (Mram.entry_addr mram 0);
+  Alcotest.(check (option int)) "entry 5" (Some 4) (Mram.entry_addr mram 5);
+  Alcotest.(check (option int)) "entry 1 empty" None (Mram.entry_addr mram 1);
+  (match Mram.fetch mram ~addr:0 with
+   | Some w ->
+     check_int "mexit word" (Encode.encode_exn (Instr.Metal Instr.Mexit)) w
+   | None -> Alcotest.fail "fetch");
+  check_bool "unaligned fetch" true (Mram.fetch mram ~addr:2 = None);
+  check_bool "oob fetch" true (Mram.fetch mram ~addr:(64 * 4) = None)
+
+let test_mram_data () =
+  let mram = Mram.create ~code_words:16 ~data_bytes:32 in
+  check_bool "store ok" true (Mram.store_word mram ~addr:28 0xAA55AA55);
+  Alcotest.(check (option int)) "load back" (Some 0xAA55AA55)
+    (Mram.load_word mram ~addr:28);
+  check_bool "oob store" false (Mram.store_word mram ~addr:32 1);
+  check_bool "unaligned load" true (Mram.load_word mram ~addr:2 = None);
+  Mram.clear_data mram;
+  Alcotest.(check (option int)) "cleared" (Some 0) (Mram.load_word mram ~addr:28)
+
+let test_mram_entry_errors () =
+  let mram = Mram.create ~code_words:16 ~data_bytes:32 in
+  check_bool "entry oob" true (Result.is_error (Mram.set_entry mram ~entry:64 ~addr:0));
+  check_bool "offset oob" true
+    (Result.is_error (Mram.set_entry mram ~entry:0 ~addr:(16 * 4)));
+  (match Mram.set_entry mram ~entry:0 ~addr:4 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  check_bool "collision" true
+    (Result.is_error (Mram.set_entry mram ~entry:0 ~addr:8));
+  check_bool "idempotent re-register" true
+    (Result.is_ok (Mram.set_entry mram ~entry:0 ~addr:4))
+
+(* ------------------------------------------------------------------ *)
+(* Mregs / Intc *)
+
+let test_mregs () =
+  let r = Mregs.create () in
+  Mregs.write r 31 0x12345678;
+  check_int "rw" 0x12345678 (Mregs.read r 31);
+  Mregs.write r 0 (-1);
+  check_int "masked" 0xFFFFFFFF (Mregs.read r 0);
+  check_int "default zero" 0 (Mregs.read r 7)
+
+let test_intc () =
+  let i = Intc.create () in
+  check_bool "none pending" true (Intc.highest_pending i ~enabled:0xFFFF = None);
+  Intc.raise_irq i 3;
+  Intc.raise_irq i 1;
+  Alcotest.(check (option int)) "lowest first" (Some 1)
+    (Intc.highest_pending i ~enabled:0xFFFF);
+  Alcotest.(check (option int)) "masked" (Some 3)
+    (Intc.highest_pending i ~enabled:0x8);
+  Intc.clear i ~mask:0x2;
+  Alcotest.(check (option int)) "after clear" (Some 3)
+    (Intc.highest_pending i ~enabled:0xFFFF);
+  check_int "pending mask" 0x8 (Intc.pending i)
+
+(* ------------------------------------------------------------------ *)
+(* Devices *)
+
+let test_console () =
+  let c = Devices.Console.create ~base:0xF000_0000 in
+  let d = Devices.Console.device c in
+  d.Bus.write32 Devices.Console.reg_tx (Char.code 'h');
+  d.Bus.write32 Devices.Console.reg_tx (Char.code 'i');
+  Alcotest.(check string) "output" "hi" (Devices.Console.output c);
+  check_int "status ready" 1 (d.Bus.read32 Devices.Console.reg_status);
+  Devices.Console.clear c;
+  Alcotest.(check string) "cleared" "" (Devices.Console.output c)
+
+let test_nic_periodic () =
+  let intc = Intc.create () in
+  let nic =
+    Devices.Nic.create ~base:0xF000_0100 ~intc
+      ~schedule:(Devices.Nic.Periodic { start = 10; period = 5; count = 3 })
+  in
+  let d = Devices.Nic.device nic in
+  d.Bus.tick ~cycle:9;
+  check_int "nothing yet" 0 (Devices.Nic.queued nic);
+  d.Bus.tick ~cycle:10;
+  check_int "first" 1 (Devices.Nic.queued nic);
+  d.Bus.tick ~cycle:20;
+  check_int "catch up" 3 (Devices.Nic.queued nic);
+  check_int "arrived" 3 (Devices.Nic.arrived nic);
+  check_int "head seq" 0 (d.Bus.read32 Devices.Nic.reg_rx_seq);
+  d.Bus.write32 Devices.Nic.reg_rx_pop 1;
+  check_int "pop" 2 (Devices.Nic.queued nic);
+  check_int "next seq" 1 (d.Bus.read32 Devices.Nic.reg_rx_seq);
+  check_int "delivered" 1 (Devices.Nic.delivered nic);
+  check_int "latency of first" 10 (List.hd (Devices.Nic.latencies nic));
+  check_bool "not done" true (not (Devices.Nic.done_sending nic))
+
+let test_nic_interrupt () =
+  let intc = Intc.create () in
+  let nic =
+    Devices.Nic.create ~base:0xF000_0100 ~intc
+      ~schedule:(Devices.Nic.At [ 5 ])
+  in
+  let d = Devices.Nic.device nic in
+  d.Bus.tick ~cycle:5;
+  check_bool "no irq when disabled" true
+    (Intc.pending intc land (1 lsl Intc.nic_irq) = 0);
+  let nic2 =
+    Devices.Nic.create ~base:0xF000_0100 ~intc
+      ~schedule:(Devices.Nic.At [ 6 ])
+  in
+  let d2 = Devices.Nic.device nic2 in
+  d2.Bus.write32 Devices.Nic.reg_irq_ctrl 1;
+  d2.Bus.tick ~cycle:6;
+  check_bool "irq raised" true
+    (Intc.pending intc land (1 lsl Intc.nic_irq) <> 0)
+
+let test_nic_unsorted_schedule () =
+  let intc = Intc.create () in
+  let nic =
+    Devices.Nic.create ~base:0xF000_0100 ~intc
+      ~schedule:(Devices.Nic.At [ 30; 10; 20 ])
+  in
+  let d = Devices.Nic.device nic in
+  d.Bus.tick ~cycle:15;
+  check_int "sorted internally" 1 (Devices.Nic.queued nic);
+  d.Bus.tick ~cycle:35;
+  check_int "all arrived" 3 (Devices.Nic.arrived nic);
+  check_bool "schedule drained" true
+    (Devices.Nic.done_sending nic = false);
+  d.Bus.write32 Devices.Nic.reg_rx_pop 1;
+  d.Bus.write32 Devices.Nic.reg_rx_pop 1;
+  d.Bus.write32 Devices.Nic.reg_rx_pop 1;
+  check_bool "done after drain" true (Devices.Nic.done_sending nic)
+
+let test_dma () =
+  let mem = Phys_mem.create ~size:4096 in
+  let dma = Devices.Dma.create ~mem ~writes:[ (5, 0x100, 0xAB); (3, 0x104, 0xCD) ] in
+  let d = Devices.Dma.device dma in
+  d.Bus.tick ~cycle:4;
+  check_int "early write done" 0xCD (Phys_mem.read32 mem 0x104);
+  check_int "later not yet" 0 (Phys_mem.read32 mem 0x100);
+  d.Bus.tick ~cycle:5;
+  check_int "second write" 0xAB (Phys_mem.read32 mem 0x100);
+  check_int "count" 2 (Devices.Dma.performed dma)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_basic () =
+  let c = Cache.create { Cache.lines = 4; line_bytes = 16; miss_penalty = 10 } in
+  check_bool "cold miss" false (Cache.access c ~addr:0x100);
+  check_bool "warm hit" true (Cache.access c ~addr:0x100);
+  check_bool "same line hit" true (Cache.access c ~addr:0x10C);
+  check_bool "next line misses" false (Cache.access c ~addr:0x110);
+  check_int "hits" 2 (Cache.hits c);
+  check_int "misses" 2 (Cache.misses c)
+
+let test_cache_conflict_eviction () =
+  let c = Cache.create { Cache.lines = 4; line_bytes = 16; miss_penalty = 10 } in
+  ignore (Cache.access c ~addr:0x000);
+  (* 4 lines * 16 bytes = 64-byte period: 0x40 maps to the same set *)
+  ignore (Cache.access c ~addr:0x040);
+  check_bool "evicted by conflict" false (Cache.access c ~addr:0x000);
+  check_int "still bounded" 1 (Cache.resident_lines c)
+
+let test_cache_probe_flush () =
+  let c = Cache.create { Cache.lines = 4; line_bytes = 16; miss_penalty = 10 } in
+  check_bool "probe does not fill" false (Cache.probe c ~addr:0x200);
+  check_bool "still cold" false (Cache.access c ~addr:0x200);
+  check_bool "probe sees it now" true (Cache.probe c ~addr:0x200);
+  Cache.flush c;
+  check_bool "flushed" false (Cache.probe c ~addr:0x200);
+  check_int "counters survive flush" 1 (Cache.misses c)
+
+let test_cache_bad_config () =
+  check_bool "non-pow2 rejected" true
+    (try ignore (Cache.create { Cache.lines = 3; line_bytes = 16;
+                                miss_penalty = 1 });
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "phys_mem",
+        [ Alcotest.test_case "rw" `Quick test_mem_rw;
+          Alcotest.test_case "bounds" `Quick test_mem_bounds;
+          Alcotest.test_case "image" `Quick test_mem_image ] );
+      ( "bus",
+        [ Alcotest.test_case "ram" `Quick test_bus_ram;
+          Alcotest.test_case "mmio" `Quick test_bus_mmio;
+          Alcotest.test_case "overlap" `Quick test_bus_overlap_rejected ] );
+      ( "tlb",
+        [ Alcotest.test_case "lookup" `Quick test_tlb_lookup;
+          Alcotest.test_case "global" `Quick test_tlb_global;
+          Alcotest.test_case "replacement" `Quick test_tlb_replacement;
+          Alcotest.test_case "packed" `Quick test_tlb_packed ] );
+      ( "mram",
+        [ Alcotest.test_case "image" `Quick test_mram_image;
+          Alcotest.test_case "data" `Quick test_mram_data;
+          Alcotest.test_case "entries" `Quick test_mram_entry_errors ] );
+      ( "mregs-intc",
+        [ Alcotest.test_case "mregs" `Quick test_mregs;
+          Alcotest.test_case "intc" `Quick test_intc ] );
+      ( "cache",
+        [ Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "conflict" `Quick test_cache_conflict_eviction;
+          Alcotest.test_case "probe/flush" `Quick test_cache_probe_flush;
+          Alcotest.test_case "bad config" `Quick test_cache_bad_config ] );
+      ( "devices",
+        [ Alcotest.test_case "console" `Quick test_console;
+          Alcotest.test_case "nic periodic" `Quick test_nic_periodic;
+          Alcotest.test_case "nic irq" `Quick test_nic_interrupt;
+          Alcotest.test_case "nic unsorted" `Quick test_nic_unsorted_schedule;
+          Alcotest.test_case "dma" `Quick test_dma ] );
+    ]

@@ -1,0 +1,396 @@
+(* Integration tests: compositions of Metal extensions that must
+   coexist in one MRAM — the scenario the paper's Section 3.5 sketches
+   (many extensions resident, each in its static allocation). *)
+
+open Metal_cpu
+open Metal_progs
+open Metal_kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let expect_ok = function
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let reg m name =
+  match Reg.of_string name with
+  | Some r -> Machine.get_reg m r
+  | None -> Alcotest.fail ("bad reg " ^ name)
+
+let load m ?origin src =
+  match Metal_asm.Asm.assemble ?origin src with
+  | Error e -> Alcotest.fail (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    (match Machine.load_image m img with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e)
+
+let run_to_ebreak ?(max_cycles = 2_000_000) m =
+  match Pipeline.run m ~max_cycles with
+  | Some (Machine.Halt_ebreak { pc; _ }) -> pc
+  | Some h -> Alcotest.fail (Machine.halted_to_string h)
+  | None -> Alcotest.fail "cycle budget exhausted"
+
+(* ------------------------------------------------------------------ *)
+(* Every standard mroutine program loaded into one MRAM *)
+
+let install_everything m =
+  expect_ok
+    (Privilege.install m
+       { Privilege.syscall_table = 0x2000; nsyscalls = 1; kernel_pkeys = 0;
+         user_pkeys = 0; fault_entry = 0x3F00 });
+  expect_ok (Pagetable.install m { Pagetable.os_fault_entry = 0 });
+  expect_ok (Stm.install m);
+  expect_ok (Uintr.install m);
+  expect_ok
+    (Isolation.install m
+       { Isolation.gate_target = 0x900; open_perms = 0; closed_perms = 0 });
+  expect_ok (Shadowstack.install m);
+  expect_ok (Capability.install m);
+  expect_ok (Nested.install m ~remap_offset:0)
+
+let test_all_coresident () =
+  let m = Machine.create () in
+  install_everything m;
+  (* One program touching several resident extensions in sequence. *)
+  load m
+    (Printf.sprintf
+       {|start:
+    li sp, 0x7000
+    # capability round trip
+    li a0, 0x8000
+    li a1, 8
+    li a2, 3
+    menter %d
+    mv s0, a0              # index 0
+    li a1, 0
+    li a2, 1234
+    menter %d              # store through the capability
+    # isolation gate round trip
+    menter %d
+    # transaction
+    la a0, retry
+retry:
+    menter %d
+    li t0, 0x8000
+    lw t1, 0(t0)
+    addi t1, t1, 1
+    sw t1, 0(t0)
+    menter %d
+    mv s2, a0
+    li s4, 0x8000
+    lw s3, 0(s4)
+    ebreak
+.org 0x900
+trusted:
+    li s1, 55
+    menter %d
+|}
+       Layout.cap_create Layout.cap_store Layout.dom_enter Layout.tstart
+       Layout.tcommit Layout.dom_exit);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "capability index" 0 (reg m "s0");
+  check_int "gate ran trusted code" 55 (reg m "s1");
+  check_int "transaction committed" 1 (reg m "s2");
+  check_int "tx result visible" 1235 (reg m "s3");
+  check_int "cap store landed" 1235 (Machine.read_word m 0x8000)
+
+(* ------------------------------------------------------------------ *)
+(* STM and shadow stack composed: transactional code making protected
+   calls; both interception users active at once. *)
+
+let test_stm_with_shadowstack () =
+  let m = Machine.create () in
+  expect_ok (Stm.install m);
+  expect_ok (Shadowstack.install m);
+  Machine.write_word m 0x8000 10;
+  load m
+    (Printf.sprintf
+       {|start:
+    li sp, 0x7000
+    menter %d              # shadow stack on
+    la a0, retry
+retry:
+    menter %d              # transaction start
+    li s2, 0x8000
+    lw a0, 0(s2)
+    call bump              # protected call inside the transaction
+    sw a0, 0(s2)
+    menter %d              # commit
+    mv s0, a0
+    menter %d              # shadow stack off
+    lw s1, 0(s2)
+    ebreak
+
+bump:
+    addi a0, a0, 7
+    ret
+|}
+       Layout.ss_enable Layout.tstart Layout.tcommit Layout.ss_disable);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "committed" 1 (reg m "s0");
+  check_int "value through tx + call" 17 (reg m "s1");
+  let ss = Shadowstack.counters m in
+  check_int "no CFI violations" 0 ss.Shadowstack.violations;
+  let stm = Stm.counters m in
+  check_int "one commit" 1 stm.Stm.commits;
+  (* The transactional load/store still went through the write log. *)
+  check_bool "tx reads recorded" true (stm.Stm.reads >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* A timer interrupt arriving mid-transaction: the handler runs (it is
+   not interceptable — mroutines execute in Metal mode) and the
+   transaction still commits. *)
+
+let load_mcode_exn m src =
+  match Metal_asm.Asm.assemble src with
+  | Error e -> Alcotest.fail (Metal_asm.Asm.error_to_string e)
+  | Ok img ->
+    (match Machine.load_mcode m img with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e)
+
+let test_interrupt_during_transaction () =
+  let m = Machine.create () in
+  expect_ok (Stm.install m);
+  load_mcode_exn m
+    ".org 0x1E00\n.mentry 59, tick\ntick:\nwmr m15, t6\nli t6, 1\n\
+     mcsrw int_pending, t6\nrmr t6, m15\naddi s11, s11, 1\nmexit\n";
+  Machine.install_interrupt_handler m ~irq:0 ~entry:59;
+  Machine.ctrl_write m Csr.int_enable 1;
+  Machine.write_word m 0x8000 5;
+  load m
+    (Printf.sprintf
+       {|start:
+    la a0, retry
+retry:
+    menter %d
+    li s2, 0x8000
+    li s3, 40              # long transaction body (fits the read set)
+txloop:
+    lw t1, 0(s2)
+    addi t1, t1, 1
+    sw t1, 0(s2)
+    addi s3, s3, -1
+    bnez s3, txloop
+    menter %d
+    mv s0, a0
+    lw s1, 0(s2)
+    ebreak
+|}
+       Layout.tstart Layout.tcommit);
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.timer_cmp 500;
+  ignore (run_to_ebreak m);
+  check_int "timer handler ran" 1 (reg m "s11");
+  check_int "transaction still committed" 1 (reg m "s0");
+  check_int "all 40 increments applied" 45 (reg m "s1");
+  check_int "interrupt was taken" 1 m.Machine.stats.Stats.interrupts
+
+(* ------------------------------------------------------------------ *)
+(* Configuration invariance: the OS produces identical output under
+   fast, trap-style and PALcode configurations (only timing differs). *)
+
+let kernel_console_under config =
+  let k =
+    match Kernel.boot ~config () with
+    | Ok k -> k
+    | Error e -> Alcotest.fail e
+  in
+  let prog c =
+    Printf.sprintf
+      "li s0, 2\nloop:\nli a0, %d\nli a1, '%c'\nmenter 0\nli a0, %d\nmenter 0\n\
+       addi s0, s0, -1\nbnez s0, loop\nli a0, %d\nli a1, 0\nmenter 0\n"
+      Kernel.syscall_putchar c Kernel.syscall_yield Kernel.syscall_exit
+  in
+  (match Kernel.spawn k ~source:(prog 'x') with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  (match Kernel.spawn k ~source:(prog 'y') with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  (match Kernel.run k ~max_cycles:5_000_000 with
+   | Kernel.All_done -> ()
+   | Kernel.Deadlocked -> Alcotest.fail "deadlocked"
+   | Kernel.Out_of_cycles -> Alcotest.fail "cycles"
+   | Kernel.Machine_halted h -> Alcotest.fail (Machine.halted_to_string h));
+  (Kernel.console_output k, k.Kernel.machine.Machine.stats.Stats.cycles)
+
+let test_config_invariance () =
+  let fast, fast_cycles = kernel_console_under Config.default in
+  let trap, trap_cycles =
+    kernel_console_under
+      { Config.default with Config.transition = Config.Trap_flush }
+  in
+  let pal, pal_cycles = kernel_console_under Config.palcode in
+  check_str "fast output" "xyxy" fast;
+  check_str "trap output identical" fast trap;
+  check_str "palcode output identical" fast pal;
+  check_bool "trap slower than fast" true (trap_cycles > fast_cycles);
+  check_bool "palcode slower than trap" true (pal_cycles > trap_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* ASIDs: context switches do not flush the TLB, so a process's hot
+   mappings survive other processes running. *)
+
+let test_asid_tlb_persistence () =
+  let k =
+    match Kernel.boot () with Ok k -> k | Error e -> Alcotest.fail e
+  in
+  let prog =
+    Printf.sprintf
+      "li s0, 20\nloop:\nla s2, slot\nlw s3, 0(s2)\nli a0, %d\nmenter 0\n\
+       addi s0, s0, -1\nbnez s0, loop\nli a0, %d\nli a1, 0\nmenter 0\n\
+       slot: .word 7\n"
+      Kernel.syscall_yield Kernel.syscall_exit
+  in
+  (match Kernel.spawn k ~source:prog with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match Kernel.spawn k ~source:prog with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match Kernel.run k ~max_cycles:5_000_000 with
+   | Kernel.All_done -> ()
+   | Kernel.Deadlocked | Kernel.Out_of_cycles | Kernel.Machine_halted _ ->
+     Alcotest.fail "did not finish");
+  let misses = k.Kernel.machine.Machine.stats.Stats.tlb_misses in
+  (* 2 processes * 20 iterations: with ASIDs the data/code pages miss
+     only on first touch, not on every one of the 40 switches. *)
+  check_bool
+    (Printf.sprintf "TLB misses stay bounded (%d)" misses)
+    true (misses < 30)
+
+(* ------------------------------------------------------------------ *)
+(* Capabilities used from inside an enclave. *)
+
+let test_capability_inside_enclave () =
+  let m = Machine.create () in
+  expect_ok (Capability.install m);
+  let enclave_code =
+    Printf.sprintf
+      "enclave_entry:\n mv a1, a0\n li a0, 0\n menter %d\n mv s4, a0\n\
+       menter %d\n"
+      Layout.cap_load Layout.enc_exit
+  in
+  load m ~origin:0x6000 enclave_code;
+  expect_ok
+    (Enclave.install m
+       { Enclave.entry = 0x6000; region_base = 0x6000; region_size = 32;
+         open_perms = 0; closed_perms = 0 });
+  Machine.write_word m 0x8000 0xBEEF;
+  load m
+    (Printf.sprintf
+       "start:\nli a0, 0x8000\nli a1, 4\nli a2, 1\nmenter %d\n\
+        menter %d\nmv s5, s4\nebreak\n"
+       Layout.cap_create Layout.enc_enter);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "cap read inside enclave" 0xBEEF (reg m "s5")
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler stress: several processes, many yields, deterministic
+   round-robin output. *)
+
+let test_scheduler_stress () =
+  let k =
+    match Kernel.boot () with Ok k -> k | Error e -> Alcotest.fail e
+  in
+  let nprocs = 6 and rounds = 10 in
+  for i = 0 to nprocs - 1 do
+    let c = Char.chr (Char.code 'a' + i) in
+    let src =
+      Printf.sprintf
+        "li s0, %d\nloop:\nli a0, %d\nli a1, '%c'\nmenter 0\nli a0, %d\n\
+         menter 0\naddi s0, s0, -1\nbnez s0, loop\nli a0, %d\nli a1, %d\n\
+         menter 0\n"
+        rounds Kernel.syscall_putchar c Kernel.syscall_yield
+        Kernel.syscall_exit (i + 10)
+    in
+    match Kernel.spawn k ~source:src with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  (match Kernel.run k ~max_cycles:20_000_000 with
+   | Kernel.All_done -> ()
+   | Kernel.Deadlocked -> Alcotest.fail "deadlocked"
+   | Kernel.Out_of_cycles -> Alcotest.fail "cycles"
+   | Kernel.Machine_halted h -> Alcotest.fail (Machine.halted_to_string h));
+  let out = Kernel.console_output k in
+  check_int "every write arrived" (nprocs * rounds) (String.length out);
+  let expected =
+    String.concat ""
+      (List.init rounds (fun _ -> "abcdef"))
+  in
+  check_str "strict round-robin" expected out;
+  List.iter
+    (fun p ->
+       match p.Process.state with
+       | Process.Exited code -> check_int "exit code" (p.Process.pid + 9) code
+       | s -> Alcotest.fail (Process.state_to_string s))
+    k.Kernel.procs
+
+(* ------------------------------------------------------------------ *)
+(* The facade end to end. *)
+
+let test_system_facade () =
+  let sys = Metal_core.System.create () in
+  (match Metal_core.System.load_mcode sys
+           ".mentry 0, f\nf:\nslli a0, a0, 1\nmexit\n" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match
+     Metal_core.System.run_program sys
+       "start:\nli a0, 21\nmenter 0\nli t0, 0xF0000000\nli t1, '!'\n\
+        sw t1, 0(t0)\nebreak\n"
+   with
+   | Ok (Machine.Halt_ebreak _) -> ()
+   | Ok h -> Alcotest.fail (Machine.halted_to_string h)
+   | Error e -> Alcotest.fail e);
+  check_int "mroutine result" 42 (Metal_core.System.reg sys "a0");
+  check_str "console via MMIO" "!" (Metal_core.System.console_output sys);
+  check_bool "cycles counted" true (Metal_core.System.cycles sys > 0)
+
+(* The OS runs identically whether TLB refills come from the Metal
+   page-fault mroutine or the hardware walker (same page tables). *)
+let test_kernel_under_hw_walker () =
+  let k =
+    match Kernel.boot () with Ok k -> k | Error e -> Alcotest.fail e
+  in
+  Metal_cpu.Machine.ctrl_write k.Kernel.machine Csr.hw_walker 1;
+  (match Kernel.spawn k
+           ~source:(Printf.sprintf
+                      "la a1, msg\nli a2, 2\nli a0, %d\nmenter 0\n\
+                       li a0, %d\nli a1, 0\nmenter 0\nmsg: .asciiz \"ok\"\n"
+                      Kernel.syscall_puts Kernel.syscall_exit)
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail e);
+  (match Kernel.run k ~max_cycles:2_000_000 with
+   | Kernel.All_done -> ()
+   | Kernel.Deadlocked | Kernel.Out_of_cycles | Kernel.Machine_halted _ ->
+     Alcotest.fail "did not finish");
+  check_str "same output" "ok" (Kernel.console_output k);
+  check_bool "hardware walks happened" true
+    (k.Kernel.machine.Machine.stats.Stats.hw_walks > 0)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "composition",
+        [ Alcotest.test_case "all extensions coresident" `Quick
+            test_all_coresident;
+          Alcotest.test_case "stm + shadow stack" `Quick
+            test_stm_with_shadowstack;
+          Alcotest.test_case "interrupt mid-transaction" `Quick
+            test_interrupt_during_transaction;
+          Alcotest.test_case "capability in enclave" `Quick
+            test_capability_inside_enclave ] );
+      ( "os",
+        [ Alcotest.test_case "config invariance" `Quick test_config_invariance;
+          Alcotest.test_case "asid persistence" `Quick
+            test_asid_tlb_persistence;
+          Alcotest.test_case "scheduler stress" `Quick test_scheduler_stress;
+          Alcotest.test_case "hw walker" `Quick test_kernel_under_hw_walker ] );
+      ( "facade", [ Alcotest.test_case "system" `Quick test_system_facade ] );
+    ]

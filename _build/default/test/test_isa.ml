@@ -1,0 +1,329 @@
+(* ISA unit and property tests: word arithmetic, register naming,
+   encode/decode round trips over the whole instruction space. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Word *)
+
+let test_word_masking () =
+  check_int "of_int truncates" 0 (Word.of_int 0x1_0000_0000);
+  check_int "of_int keeps low bits" 0xDEADBEEF (Word.of_int 0xDEADBEEF);
+  check_int "negative wraps" 0xFFFFFFFF (Word.of_int (-1))
+
+let test_word_signed () =
+  check_int "to_signed positive" 5 (Word.to_signed 5);
+  check_int "to_signed negative" (-1) (Word.to_signed 0xFFFFFFFF);
+  check_int "to_signed min" (-0x80000000) (Word.to_signed 0x80000000)
+
+let test_word_arith () =
+  check_int "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  check_int "mul wraps" ((0x10001 * 0x10001) land 0xFFFFFFFF)
+    (Word.mul 0x10001 0x10001)
+
+let test_word_shifts () =
+  check_int "sll" 0x10 (Word.shift_left 1 4);
+  check_int "sll masks amount" 2 (Word.shift_left 1 33);
+  check_int "srl" 0x7FFFFFFF (Word.shift_right_logical 0xFFFFFFFE 1);
+  check_int "sra sign" 0xFFFFFFFF (Word.shift_right_arith 0x80000000 31);
+  check_int "sra positive" 0x20000000 (Word.shift_right_arith 0x40000000 1)
+
+let test_word_compare () =
+  check_bool "lt_signed" true (Word.lt_signed 0xFFFFFFFF 0);
+  check_bool "lt_unsigned" false (Word.lt_unsigned 0xFFFFFFFF 0);
+  check_bool "ge_signed" true (Word.ge_signed 0 0xFFFFFFFF);
+  check_bool "ge_unsigned eq" true (Word.ge_unsigned 7 7)
+
+let test_word_bits () =
+  check_int "bits" 0xAB (Word.bits ~hi:15 ~lo:8 0xCCABCC);
+  check_int "bit set" 1 (Word.bit 31 0x80000000);
+  check_int "bit clear" 0 (Word.bit 0 0x80000000);
+  check_int "sign_extend 12" (-1) (Word.sign_extend ~width:12 0xFFF);
+  check_int "sign_extend keeps positive" 5 (Word.sign_extend ~width:12 5);
+  check_bool "fits_signed edge" true (Word.fits_signed ~width:12 (-2048));
+  check_bool "fits_signed over" false (Word.fits_signed ~width:12 2048);
+  check_bool "fits_unsigned" true (Word.fits_unsigned ~width:5 31);
+  check_bool "fits_unsigned over" false (Word.fits_unsigned ~width:5 32)
+
+(* ------------------------------------------------------------------ *)
+(* Reg *)
+
+let test_reg_names () =
+  check_str "a0" "a0" (Reg.to_string Reg.a0);
+  check_str "x10" "x10" (Reg.to_xname Reg.a0);
+  Alcotest.(check (option int)) "parse abi" (Some 10) (Reg.of_string "a0");
+  Alcotest.(check (option int)) "parse xN" (Some 31) (Reg.of_string "x31");
+  Alcotest.(check (option int)) "fp alias" (Some 8) (Reg.of_string "fp");
+  Alcotest.(check (option int)) "reject x32" None (Reg.of_string "x32");
+  Alcotest.(check (option int)) "reject junk" None (Reg.of_string "q7");
+  Alcotest.(check (option int)) "reject x007" None (Reg.of_string "x007")
+
+let test_mreg_names () =
+  check_str "m31" "m31" (Reg.mreg_to_string 31);
+  Alcotest.(check (option int)) "parse m0" (Some 0) (Reg.mreg_of_string "m0");
+  Alcotest.(check (option int)) "reject m32" None (Reg.mreg_of_string "m32")
+
+(* ------------------------------------------------------------------ *)
+(* Cause / Csr / Icept *)
+
+let test_cause_codes () =
+  List.iter
+    (fun c ->
+       match Cause.of_code (Cause.code c) with
+       | Some c' -> check_bool (Cause.to_string c) true (c = c')
+       | None -> Alcotest.fail "of_code roundtrip")
+    Cause.all;
+  check_bool "interrupt code flagged" true
+    (Cause.is_interrupt_code (Cause.interrupt_code 3));
+  check_bool "intercept code flagged" true
+    (Cause.is_intercept_code (Cause.intercept_code 1));
+  check_bool "exception code unflagged" false
+    (Cause.is_interrupt_code (Cause.code Cause.Ecall))
+
+let test_csr_names () =
+  check_str "paging" "paging" (Csr.name Csr.paging);
+  Alcotest.(check (option int)) "of_name paging" (Some Csr.paging)
+    (Csr.of_name "paging");
+  Alcotest.(check (option int)) "of_name exc" (Some (Csr.exc_handler Cause.Ecall))
+    (Csr.of_name "exc_handler[ecall]");
+  Alcotest.(check (option int)) "of_name int" (Some (Csr.int_handler 3))
+    (Csr.of_name "int_handler[3]");
+  check_str "roundtrip exc name" "exc_handler[ecall]"
+    (Csr.name (Csr.exc_handler Cause.Ecall));
+  check_bool "cycle read-only" true (Csr.is_read_only Csr.cycle);
+  check_bool "paging writable" false (Csr.is_read_only Csr.paging)
+
+let test_icept_classify () =
+  let open Instr in
+  let is cls i =
+    match Icept.classify i with
+    | Some c -> c = cls
+    | None -> false
+  in
+  check_bool "load" true
+    (is Icept.Load_class (Load { width = Word; unsigned = false; rd = 1;
+                                 rs1 = 2; offset = 0 }));
+  check_bool "store" true
+    (is Icept.Store_class (Store { width = Word; rs2 = 1; rs1 = 2; offset = 0 }));
+  check_bool "ecall" true (is Icept.System_class Ecall);
+  check_bool "alu not interceptable" true
+    (Icept.classify (Op { op = Add; rd = 1; rs1 = 2; rs2 = 3 }) = None);
+  List.iter
+    (fun c ->
+       match Icept.of_code (Icept.code c) with
+       | Some c' -> check_bool "icept code roundtrip" true (c = c')
+       | None -> Alcotest.fail "icept of_code")
+    Icept.all
+
+(* ------------------------------------------------------------------ *)
+(* Encode / decode: directed cases *)
+
+let roundtrip i =
+  match Encode.encode i with
+  | Error e -> Alcotest.fail (Printf.sprintf "encode %s: %s" (Instr.to_string i) e)
+  | Ok w ->
+    begin match Decode.decode w with
+    | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "decode %s (%s): %s" (Word.to_hex w)
+           (Instr.to_string i) e)
+    | Ok i' ->
+      Alcotest.(check string) "roundtrip" (Instr.to_string i)
+        (Instr.to_string i')
+    end
+
+let test_encode_known_words () =
+  (* Cross-checked against the RISC-V spec: addi x1, x0, 1. *)
+  check_int "addi x1,x0,1" 0x00100093
+    (Encode.encode_exn (Instr.Op_imm { op = Instr.Add; rd = 1; rs1 = 0; imm = 1 }));
+  check_int "ecall" 0x00000073 (Encode.encode_exn Instr.Ecall);
+  check_int "ebreak" 0x00100073 (Encode.encode_exn Instr.Ebreak);
+  check_int "lui x5, 0x12345" 0x123452B7
+    (Encode.encode_exn (Instr.Lui { rd = 5; imm = 0x12345 }));
+  check_int "jal x0, 0" 0x0000006F
+    (Encode.encode_exn (Instr.Jal { rd = 0; offset = 0 }));
+  check_int "sw x2, 8(x1)" 0x0020A423
+    (Encode.encode_exn
+       (Instr.Store { width = Instr.Word; rs2 = 2; rs1 = 1; offset = 8 }))
+
+let test_roundtrip_directed () =
+  let open Instr in
+  List.iter roundtrip
+    [ Lui { rd = 1; imm = 0xFFFFF };
+      Auipc { rd = 31; imm = 0 };
+      Jal { rd = 1; offset = -2048 };
+      Jal { rd = 0; offset = 1048574 };
+      Jalr { rd = 1; rs1 = 2; offset = -1 };
+      Branch { cond = Beq; rs1 = 1; rs2 = 2; offset = -4096 };
+      Branch { cond = Bgeu; rs1 = 31; rs2 = 30; offset = 4094 };
+      Load { width = Byte; unsigned = true; rd = 7; rs1 = 8; offset = -2048 };
+      Load { width = Half; unsigned = false; rd = 7; rs1 = 8; offset = 2047 };
+      Store { width = Word; rs2 = 3; rs1 = 4; offset = -1 };
+      Op_imm { op = Add; rd = 1; rs1 = 1; imm = -2048 };
+      Op_imm { op = Sra; rd = 1; rs1 = 1; imm = 31 };
+      Op_imm { op = Sll; rd = 1; rs1 = 1; imm = 0 };
+      Op { op = Sub; rd = 1; rs1 = 2; rs2 = 3 };
+      Op { op = And; rd = 31; rs1 = 31; rs2 = 31 };
+      Ecall; Ebreak; Fence;
+      Metal (Menter { entry = 63 });
+      Metal Mexit;
+      Metal (Rmr { rd = 5; mr = 31 });
+      Metal (Wmr { mr = 0; rs1 = 6 });
+      Metal (Mld { rd = 2; rs1 = 3; offset = 16 });
+      Metal (Mst { rs2 = 2; rs1 = 3; offset = -4 });
+      Metal (Feature (Physld { rd = 1; rs1 = 2; offset = 0 }));
+      Metal (Feature (Physst { rs2 = 1; rs1 = 2; offset = 2047 }));
+      Metal (Feature (Tlbw { rs1 = 1; rs2 = 2 }));
+      Metal (Feature (Tlbflush { rs1 = 1 }));
+      Metal (Feature (Tlbprobe { rd = 1; rs1 = 2 }));
+      Metal (Feature (Gprr { rd = 1; rs1 = 2 }));
+      Metal (Feature (Gprw { rs1 = 1; rs2 = 2 }));
+      Metal (Feature (Iceptset { rs1 = 1; rs2 = 2 }));
+      Metal (Feature (Iceptclr { rs1 = 1 }));
+      Metal (Feature (Mcsrr { rd = 1; csr = Csr.cycle }));
+      Metal (Feature (Mcsrw { csr = Csr.paging; rs1 = 1 })) ]
+
+let test_encode_rejects () =
+  let rejects i =
+    match Encode.encode i with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should reject " ^ Instr.to_string i)
+  in
+  let open Instr in
+  rejects (Jal { rd = 0; offset = 3 });
+  rejects (Jal { rd = 0; offset = 1 lsl 21 });
+  rejects (Branch { cond = Beq; rs1 = 0; rs2 = 0; offset = 4097 });
+  rejects (Op_imm { op = Sub; rd = 1; rs1 = 1; imm = 0 });
+  rejects (Op_imm { op = Sll; rd = 1; rs1 = 1; imm = 32 });
+  rejects (Op_imm { op = Add; rd = 1; rs1 = 1; imm = 2048 });
+  rejects (Lui { rd = 1; imm = 0x100000 });
+  rejects (Metal (Menter { entry = 64 }));
+  rejects (Metal (Rmr { rd = 1; mr = 32 }));
+  rejects (Load { width = Word; unsigned = true; rd = 1; rs1 = 1; offset = 0 })
+
+let test_decode_rejects () =
+  let rejects w =
+    match Decode.decode w with
+    | Error _ -> ()
+    | Ok i -> Alcotest.fail ("should reject: " ^ Instr.to_string i)
+  in
+  rejects 0x0;                (* opcode 0 *)
+  rejects 0xFFFFFFFF;
+  rejects 0x00002073;         (* SYSTEM funct3=2: unsupported csr op *)
+  rejects 0x0000701B;         (* bogus opcode 0x1B *)
+  rejects 0x40001013          (* slli with funct7=0x20 *)
+
+(* ------------------------------------------------------------------ *)
+(* Property: encode/decode roundtrip on generated instructions *)
+
+let gen_reg = QCheck.Gen.int_range 0 31
+
+let gen_instr : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Instr in
+  let gen_alu_imm_op = oneofl [ Add; Slt; Sltu; Xor; Or; And ] in
+  let gen_alu_op = oneofl [ Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And ] in
+  let gen_shift_op = oneofl [ Sll; Srl; Sra ] in
+  let gen_cond = oneofl [ Beq; Bne; Blt; Bge; Bltu; Bgeu ] in
+  let gen_width = oneofl [ Byte; Half; Word ] in
+  let imm12 = int_range (-2048) 2047 in
+  let b_off = map (fun v -> v * 2) (int_range (-2048) 2047) in
+  let j_off = map (fun v -> v * 2) (int_range (-524288) 524287) in
+  oneof
+    [ map2 (fun rd imm -> Lui { rd; imm }) gen_reg (int_range 0 0xFFFFF);
+      map2 (fun rd imm -> Auipc { rd; imm }) gen_reg (int_range 0 0xFFFFF);
+      map2 (fun rd offset -> Jal { rd; offset }) gen_reg j_off;
+      map3 (fun rd rs1 offset -> Jalr { rd; rs1; offset }) gen_reg gen_reg imm12;
+      map3
+        (fun cond (rs1, rs2) offset -> Branch { cond; rs1; rs2; offset })
+        gen_cond (pair gen_reg gen_reg) b_off;
+      map3
+        (fun (width, unsigned) (rd, rs1) offset ->
+           let unsigned = if width = Word then false else unsigned in
+           Load { width; unsigned; rd; rs1; offset })
+        (pair gen_width bool) (pair gen_reg gen_reg) imm12;
+      map3
+        (fun width (rs2, rs1) offset -> Store { width; rs2; rs1; offset })
+        gen_width (pair gen_reg gen_reg) imm12;
+      map3 (fun op (rd, rs1) imm -> Op_imm { op; rd; rs1; imm }) gen_alu_imm_op
+        (pair gen_reg gen_reg) imm12;
+      map3 (fun op (rd, rs1) imm -> Op_imm { op; rd; rs1; imm }) gen_shift_op
+        (pair gen_reg gen_reg) (int_range 0 31);
+      map3 (fun op (rd, rs1) rs2 -> Op { op; rd; rs1; rs2 }) gen_alu_op
+        (pair gen_reg gen_reg) gen_reg;
+      oneofl [ Ecall; Ebreak; Fence ];
+      map (fun entry -> Metal (Menter { entry })) (int_range 0 63);
+      return (Metal Mexit);
+      map2 (fun rd mr -> Metal (Rmr { rd; mr })) gen_reg (int_range 0 31);
+      map2 (fun mr rs1 -> Metal (Wmr { mr; rs1 })) (int_range 0 31) gen_reg;
+      map3 (fun rd rs1 offset -> Metal (Mld { rd; rs1; offset })) gen_reg
+        gen_reg imm12;
+      map3 (fun rs2 rs1 offset -> Metal (Mst { rs2; rs1; offset })) gen_reg
+        gen_reg imm12;
+      map3
+        (fun rd rs1 offset -> Metal (Feature (Physld { rd; rs1; offset })))
+        gen_reg gen_reg imm12;
+      map2 (fun rs1 rs2 -> Metal (Feature (Tlbw { rs1; rs2 }))) gen_reg gen_reg;
+      map2 (fun rd csr -> Metal (Feature (Mcsrr { rd; csr }))) gen_reg
+        (int_range 0 (Csr.count - 1));
+    ]
+
+let arbitrary_instr =
+  QCheck.make ~print:Instr.to_string gen_instr
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:4000 arbitrary_instr
+    (fun i ->
+       match Encode.encode i with
+       | Error _ -> QCheck.Test.fail_report "generated unencodable instruction"
+       | Ok w ->
+         begin match Decode.decode w with
+         | Error e -> QCheck.Test.fail_report ("decode failed: " ^ e)
+         | Ok i' -> Instr.to_string i = Instr.to_string i'
+         end)
+
+let prop_reencode =
+  QCheck.Test.make ~name:"decode/encode fixpoint on valid words" ~count:2000
+    arbitrary_instr (fun i ->
+      let w = Encode.encode_exn i in
+      let i' = Decode.decode_exn w in
+      Encode.encode_exn i' = w)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode never raises" ~count:10000
+    QCheck.(make Gen.(map (fun x -> x land 0xFFFFFFFF) (int_bound max_int)))
+    (fun w ->
+       match Decode.decode w with
+       | Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "word",
+        [ Alcotest.test_case "masking" `Quick test_word_masking;
+          Alcotest.test_case "signed" `Quick test_word_signed;
+          Alcotest.test_case "arith" `Quick test_word_arith;
+          Alcotest.test_case "shifts" `Quick test_word_shifts;
+          Alcotest.test_case "compare" `Quick test_word_compare;
+          Alcotest.test_case "bits" `Quick test_word_bits ] );
+      ( "reg",
+        [ Alcotest.test_case "gpr names" `Quick test_reg_names;
+          Alcotest.test_case "mreg names" `Quick test_mreg_names ] );
+      ( "cause-csr-icept",
+        [ Alcotest.test_case "cause codes" `Quick test_cause_codes;
+          Alcotest.test_case "csr names" `Quick test_csr_names;
+          Alcotest.test_case "icept classify" `Quick test_icept_classify ] );
+      ( "encode",
+        [ Alcotest.test_case "known words" `Quick test_encode_known_words;
+          Alcotest.test_case "directed roundtrips" `Quick test_roundtrip_directed;
+          Alcotest.test_case "encode rejects" `Quick test_encode_rejects;
+          Alcotest.test_case "decode rejects" `Quick test_decode_rejects ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_reencode; prop_decode_total ] );
+    ]

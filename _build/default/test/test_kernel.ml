@@ -1,0 +1,400 @@
+(* Kernel-layer tests: PTEs, frame allocation, page-table building,
+   loading, and the full OS on Metal (syscalls through kenter/kexit,
+   scheduling, isolation between processes). *)
+
+open Metal_cpu
+open Metal_kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Pte *)
+
+let test_pte_roundtrip () =
+  let pte = Pte.leaf ~pa:0xABCDE000 ~pkey:5 ~global:true ~r:true ~w:false
+      ~x:true () in
+  check_bool "valid" true (Pte.is_valid pte);
+  check_bool "leaf" true (Pte.is_leaf pte);
+  check_int "pa" 0xABCDE000 (Pte.pa_of pte);
+  let t = Pte.table ~pa:0x1000 in
+  check_bool "table valid" true (Pte.is_valid t);
+  check_bool "table not leaf" false (Pte.is_leaf t);
+  check_bool "invalid" false (Pte.is_valid Pte.invalid)
+
+let test_pte_indices () =
+  check_int "l1" 0x3FF (Pte.l1_index 0xFFFFFFFF);
+  check_int "l2" 0x3FF (Pte.l2_index 0xFFFFFFFF);
+  check_int "l1 of 4M" 1 (Pte.l1_index 0x400000);
+  check_int "l2 of 4M" 0 (Pte.l2_index 0x400000);
+  check_int "l2 of page 1" 1 (Pte.l2_index 0x1000)
+
+(* ------------------------------------------------------------------ *)
+(* Frame_alloc *)
+
+let test_frame_alloc () =
+  let a = Frame_alloc.create ~base:0x10000 ~limit:0x13000 in
+  check_int "first" 0x10000 (Frame_alloc.alloc_exn a);
+  check_int "second" 0x11000 (Frame_alloc.alloc_exn a);
+  check_int "allocated" 2 (Frame_alloc.allocated a);
+  check_int "remaining" 1 (Frame_alloc.remaining a);
+  check_int "third" 0x12000 (Frame_alloc.alloc_exn a);
+  check_bool "exhausted" true (Frame_alloc.alloc a = None)
+
+(* ------------------------------------------------------------------ *)
+(* Page_table *)
+
+let fresh_pt () =
+  let mem = Metal_hw.Phys_mem.create ~size:(1024 * 1024) in
+  let alloc = Frame_alloc.create ~base:0x40000 ~limit:0x100000 in
+  (Page_table.create ~mem ~alloc, mem, alloc)
+
+let test_pt_map_lookup () =
+  let pt, _, _ = fresh_pt () in
+  (match Page_table.map pt ~vaddr:0x12345000 ~paddr:0x9000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Page_table.lookup pt ~vaddr:0x12345678 with
+   | Some (pa, pte) ->
+     check_int "translated" 0x9678 pa;
+     check_bool "leaf" true (Pte.is_leaf pte)
+   | None -> Alcotest.fail "lookup failed");
+  check_bool "unmapped misses" true
+    (Page_table.lookup pt ~vaddr:0x999000 = None)
+
+let test_pt_unmap () =
+  let pt, _, _ = fresh_pt () in
+  (match Page_table.map pt ~vaddr:0x5000 ~paddr:0x9000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  check_bool "unmap hits" true (Page_table.unmap pt ~vaddr:0x5000);
+  check_bool "gone" true (Page_table.lookup pt ~vaddr:0x5000 = None);
+  check_bool "double unmap misses" false (Page_table.unmap pt ~vaddr:0x5000)
+
+let test_pt_superpage () =
+  let pt, _, _ = fresh_pt () in
+  (match
+     Page_table.map_superpage pt ~vaddr:0x800000 ~paddr:0x400000
+       Page_table.rwx
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Page_table.lookup pt ~vaddr:0x823456 with
+   | Some (pa, _) -> check_int "superpage translation" 0x423456 pa
+   | None -> Alcotest.fail "superpage lookup");
+  check_bool "misaligned rejected" true
+    (Result.is_error
+       (Page_table.map_superpage pt ~vaddr:0x1000 ~paddr:0 Page_table.rwx))
+
+let test_pt_remap_overwrites () =
+  let pt, _, _ = fresh_pt () in
+  (match Page_table.map pt ~vaddr:0x5000 ~paddr:0x9000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Page_table.map pt ~vaddr:0x5000 ~paddr:0xA000 Page_table.ro with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match Page_table.lookup pt ~vaddr:0x5000 with
+  | Some (pa, _) -> check_int "remapped" 0xA000 pa
+  | None -> Alcotest.fail "lookup after remap"
+
+let test_pt_table_sharing () =
+  (* Two pages in the same 4 MiB region share one L2 table. *)
+  let pt, _, alloc = fresh_pt () in
+  let before = Frame_alloc.allocated alloc in
+  (match Page_table.map pt ~vaddr:0x1000 ~paddr:0x9000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Page_table.map pt ~vaddr:0x2000 ~paddr:0xA000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  check_int "one extra table" 1 (Frame_alloc.allocated alloc - before)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel: processes and syscalls *)
+
+let boot_exn () =
+  match Kernel.boot () with
+  | Ok k -> k
+  | Error e -> Alcotest.fail e
+
+let spawn_exn k src =
+  match Kernel.spawn k ~source:src with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let run_all k =
+  match Kernel.run k ~max_cycles:2_000_000 with
+  | Kernel.All_done -> ()
+  | Kernel.Deadlocked -> Alcotest.fail "deadlocked"
+  | Kernel.Out_of_cycles -> Alcotest.fail "out of cycles"
+  | Kernel.Machine_halted h -> Alcotest.fail (Machine.halted_to_string h)
+
+let exit_sys code =
+  Printf.sprintf "li a0, %d\nli a1, %d\nmenter 0\n" Kernel.syscall_exit code
+
+let test_hello_process () =
+  let k = boot_exn () in
+  let p =
+    spawn_exn k
+      (Printf.sprintf
+         "start:\nla a1, msg\nli a2, 5\nli a0, %d\nmenter 0\n%s\n\
+          msg: .asciiz \"hello\"\n"
+         Kernel.syscall_puts (exit_sys 0))
+  in
+  run_all k;
+  check_str "console" "hello" (Kernel.console_output k);
+  check_bool "exited cleanly" true (p.Process.state = Process.Exited 0)
+
+let test_putchar_and_exit_code () =
+  let k = boot_exn () in
+  let p =
+    spawn_exn k
+      (Printf.sprintf "li a0, %d\nli a1, 'X'\nmenter 0\n%s"
+         Kernel.syscall_putchar (exit_sys 42))
+  in
+  run_all k;
+  check_str "char" "X" (Kernel.console_output k);
+  check_bool "exit code" true (p.Process.state = Process.Exited 42)
+
+let test_getpid () =
+  let k = boot_exn () in
+  let src =
+    Printf.sprintf
+      "li a0, %d\nmenter 0\naddi a1, a0, '0'\nli a0, %d\nmenter 0\n%s"
+      Kernel.syscall_getpid Kernel.syscall_putchar (exit_sys 0)
+  in
+  ignore (spawn_exn k src);
+  ignore (spawn_exn k src);
+  run_all k;
+  check_str "pids printed" "12" (Kernel.console_output k)
+
+let test_yield_interleaving () =
+  let k = boot_exn () in
+  let prog c =
+    Printf.sprintf
+      {|li s0, 3
+loop:
+    li a0, %d
+    li a1, '%c'
+    menter 0
+    li a0, %d
+    menter 0
+    addi s0, s0, -1
+    bnez s0, loop
+%s|}
+      Kernel.syscall_putchar c Kernel.syscall_yield (exit_sys 0)
+  in
+  ignore (spawn_exn k (prog 'a'));
+  ignore (spawn_exn k (prog 'b'));
+  run_all k;
+  check_str "round-robin interleaving" "ababab" (Kernel.console_output k)
+
+let test_address_space_isolation () =
+  (* Both processes write different values at the same virtual
+     address; each must read back its own. *)
+  let k = boot_exn () in
+  let prog v =
+    Printf.sprintf
+      {|la s2, slot
+    li s3, %d
+    sw s3, 0(s2)
+    li a0, %d
+    menter 0
+    lw s4, 0(s2)
+    li a0, %d
+    mv a1, s4
+    menter 0
+slot: .word 0
+|}
+      v Kernel.syscall_yield Kernel.syscall_exit
+  in
+  let p1 = spawn_exn k (prog 111) in
+  let p2 = spawn_exn k (prog 222) in
+  run_all k;
+  check_bool "p1 sees its own data" true (p1.Process.state = Process.Exited 111);
+  check_bool "p2 sees its own data" true (p2.Process.state = Process.Exited 222)
+
+let test_kernel_memory_protected () =
+  (* User code reading a kernel-keyed page must fault. *)
+  let k = boot_exn () in
+  let p =
+    spawn_exn k
+      (Printf.sprintf "li t0, %d\nlw t1, 0(t0)\n%s" Kernel.kernel_base
+         (exit_sys 0))
+  in
+  run_all k;
+  (match p.Process.state with
+   | Process.Faulted _ -> ()
+   | s -> Alcotest.fail ("expected fault, got " ^ Process.state_to_string s))
+
+let test_unmapped_access_faults_process () =
+  let k = boot_exn () in
+  let p =
+    spawn_exn k (Printf.sprintf "li t0, 0x7F000000\nlw t1, 0(t0)\n%s"
+                   (exit_sys 0))
+  in
+  run_all k;
+  match p.Process.state with
+  | Process.Faulted _ -> ()
+  | s -> Alcotest.fail ("expected fault, got " ^ Process.state_to_string s)
+
+let test_stray_ebreak_faults_process () =
+  let k = boot_exn () in
+  let p = spawn_exn k "ebreak\n" in
+  run_all k;
+  match p.Process.state with
+  | Process.Faulted _ -> ()
+  | s -> Alcotest.fail ("expected fault, got " ^ Process.state_to_string s)
+
+let test_bad_syscall_faults_process () =
+  let k = boot_exn () in
+  let p = spawn_exn k "li a0, 99\nmenter 0\nebreak\n" in
+  run_all k;
+  match p.Process.state with
+  | Process.Faulted _ -> ()
+  | s -> Alcotest.fail ("expected fault, got " ^ Process.state_to_string s)
+
+let test_many_processes () =
+  let k = boot_exn () in
+  for i = 1 to 8 do
+    ignore
+      (spawn_exn k
+         (Printf.sprintf
+            "li a0, %d\nli a1, %d\nmenter 0\nli a0, %d\nli a1, %d\nmenter 0\n"
+            Kernel.syscall_putchar
+            (Char.code 'a' + i - 1)
+            Kernel.syscall_exit i))
+  done;
+  run_all k;
+  check_str "all ran" "abcdefgh" (Kernel.console_output k);
+  List.iter
+    (fun p ->
+       match p.Process.state with
+       | Process.Exited code -> check_int "exit code is pid" p.Process.pid code
+       | s -> Alcotest.fail (Process.state_to_string s))
+    k.Kernel.procs
+
+(* ------------------------------------------------------------------ *)
+(* IPC: send/recv with blocking receivers *)
+
+let sys n = Printf.sprintf "li a0, %d\nmenter 0\n" n
+
+let test_ipc_ping_pong () =
+  let k = boot_exn () in
+  (* pid 1: send 41 to pid 2, then block on the reply; exit with it. *)
+  let p1 =
+    spawn_exn k
+      (Printf.sprintf
+         "li a1, 2\nli a2, 41\n%s%s\nmv a1, a0\nli a0, %d\nmenter 0\n"
+         (sys Kernel.syscall_send) (sys Kernel.syscall_recv)
+         Kernel.syscall_exit)
+  in
+  (* pid 2: recv, add 1, send back to pid 1. *)
+  let p2 =
+    spawn_exn k
+      (Printf.sprintf
+         "%s\naddi a2, a0, 1\nli a1, 1\n%s%s"
+         (sys Kernel.syscall_recv) (sys Kernel.syscall_send) (exit_sys 0))
+  in
+  run_all k;
+  check_bool "p1 got the reply" true (p1.Process.state = Process.Exited 42);
+  check_bool "p2 exited" true (p2.Process.state = Process.Exited 0)
+
+let test_ipc_bad_destination () =
+  let k = boot_exn () in
+  let p =
+    spawn_exn k
+      (Printf.sprintf
+         "li a1, 99\nli a2, 1\n%s\nmv a1, a0\nli a0, %d\nmenter 0\n"
+         (sys Kernel.syscall_send) Kernel.syscall_exit)
+  in
+  run_all k;
+  check_bool "send to bad pid returns -1" true
+    (p.Process.state = Process.Exited (-1))
+
+let test_ipc_mailbox_full () =
+  let k = boot_exn () in
+  (* pid 1 sends capacity+1 messages to pid 2, which never receives;
+     the final status (last send) is the exit code. *)
+  let p1 =
+    spawn_exn k
+      (Printf.sprintf
+         "li s0, %d\nloop:\nli a1, 2\nli a2, 7\n%s\nmv s1, a0\n\
+          addi s0, s0, -1\nbnez s0, loop\nmv a1, s1\nli a0, %d\nmenter 0\n"
+         (Kernel.mailbox_capacity + 1)
+         (sys Kernel.syscall_send) Kernel.syscall_exit)
+  in
+  ignore
+    (spawn_exn k
+       (Printf.sprintf "li s0, 40\nspin:\n%s\naddi s0, s0, -1\n\
+                        bnez s0, spin\n%s"
+          (sys Kernel.syscall_yield) (exit_sys 0)));
+  run_all k;
+  check_bool "overflowing send returns -2" true
+    (p1.Process.state = Process.Exited (-2))
+
+let test_ipc_deadlock_detected () =
+  let k = boot_exn () in
+  ignore (spawn_exn k (sys Kernel.syscall_recv ^ exit_sys 0));
+  (match Kernel.run k ~max_cycles:1_000_000 with
+   | Kernel.Deadlocked -> ()
+   | Kernel.All_done -> Alcotest.fail "reported done with a blocked process"
+   | Kernel.Out_of_cycles -> Alcotest.fail "out of cycles"
+   | Kernel.Machine_halted h -> Alcotest.fail (Machine.halted_to_string h))
+
+let test_ipc_queued_messages_order () =
+  let k = boot_exn () in
+  (* pid 1 sends 3 messages then yields forever; pid 2 receives them in
+     order and prints them as digits. *)
+  ignore
+    (spawn_exn k
+       (Printf.sprintf
+          "li a1, 2\nli a2, 1\n%sli a1, 2\nli a2, 2\n%sli a1, 2\n\
+           li a2, 3\n%s%s"
+          (sys Kernel.syscall_send) (sys Kernel.syscall_send)
+          (sys Kernel.syscall_send) (exit_sys 0)));
+  ignore
+    (spawn_exn k
+       (Printf.sprintf
+          "li s0, 3\nloop:\n%s\naddi a1, a0, '0'\nli a0, %d\nmenter 0\n\
+           addi s0, s0, -1\nbnez s0, loop\n%s"
+          (sys Kernel.syscall_recv) Kernel.syscall_putchar (exit_sys 0)));
+  run_all k;
+  check_str "fifo order" "123" (Kernel.console_output k)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "pte",
+        [ Alcotest.test_case "roundtrip" `Quick test_pte_roundtrip;
+          Alcotest.test_case "indices" `Quick test_pte_indices ] );
+      ( "frames", [ Alcotest.test_case "bump" `Quick test_frame_alloc ] );
+      ( "page-table",
+        [ Alcotest.test_case "map/lookup" `Quick test_pt_map_lookup;
+          Alcotest.test_case "unmap" `Quick test_pt_unmap;
+          Alcotest.test_case "superpage" `Quick test_pt_superpage;
+          Alcotest.test_case "remap" `Quick test_pt_remap_overwrites;
+          Alcotest.test_case "table sharing" `Quick test_pt_table_sharing ] );
+      ( "os",
+        [ Alcotest.test_case "hello" `Quick test_hello_process;
+          Alcotest.test_case "putchar/exit" `Quick test_putchar_and_exit_code;
+          Alcotest.test_case "getpid" `Quick test_getpid;
+          Alcotest.test_case "yield" `Quick test_yield_interleaving;
+          Alcotest.test_case "isolation" `Quick test_address_space_isolation;
+          Alcotest.test_case "kernel protected" `Quick
+            test_kernel_memory_protected;
+          Alcotest.test_case "unmapped faults" `Quick
+            test_unmapped_access_faults_process;
+          Alcotest.test_case "stray ebreak" `Quick
+            test_stray_ebreak_faults_process;
+          Alcotest.test_case "bad syscall" `Quick test_bad_syscall_faults_process;
+          Alcotest.test_case "many processes" `Quick test_many_processes ] );
+      ( "ipc",
+        [ Alcotest.test_case "ping-pong" `Quick test_ipc_ping_pong;
+          Alcotest.test_case "bad destination" `Quick test_ipc_bad_destination;
+          Alcotest.test_case "mailbox full" `Quick test_ipc_mailbox_full;
+          Alcotest.test_case "deadlock" `Quick test_ipc_deadlock_detected;
+          Alcotest.test_case "fifo order" `Quick test_ipc_queued_messages_order ] );
+    ]

@@ -1,0 +1,195 @@
+(* Mgen tests: compiling structured mroutines to mcode and running
+   them on the machine. *)
+
+open Metal_cpu
+open Metal_mgen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot routines =
+  let m = Machine.create () in
+  (match Mgen.install m routines with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  m
+
+let run m src =
+  let img = Metal_asm.Asm.assemble_exn src in
+  (match Machine.load_image m img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Machine.set_pc m 0;
+  match Pipeline.run m ~max_cycles:1_000_000 with
+  | Some (Machine.Halt_ebreak _) -> ()
+  | Some h -> Alcotest.fail (Machine.halted_to_string h)
+  | None -> Alcotest.fail "cycle budget exhausted"
+
+let reg m name =
+  match Reg.of_string name with
+  | Some r -> Machine.get_reg m r
+  | None -> Alcotest.fail name
+
+(* ------------------------------------------------------------------ *)
+
+let popcount =
+  Mgen.(
+    routine ~name:"popcount" ~entry:0
+      [ let_ "bits" (param 0);
+        let_ "n" (int 0);
+        while_ (ne (var "bits") (int 0))
+          [ set "n" (add (var "n") (and_ (var "bits") (int 1)));
+            set "bits" (shr (var "bits") (int 1)) ];
+        set_param 0 (var "n") ])
+
+let test_popcount () =
+  let m = boot [ popcount ] in
+  run m "li a0, 0xF0F01234\nmenter 0\nmv s0, a0\nli a0, 0\nmenter 0\n\
+         mv s1, a0\nli a0, -1\nmenter 0\nmv s2, a0\nebreak\n";
+  check_int "popcount(0xF0F01234)" 13 (reg m "s0");
+  check_int "popcount(0)" 0 (reg m "s1");
+  check_int "popcount(-1)" 32 (reg m "s2")
+
+(* Euclid by repeated subtraction; Mgen variables are statically
+   allocated per compile (Section 2.1), so the swap uses xor instead of
+   a branch-local temporary. *)
+let gcd =
+  Mgen.(
+    routine ~name:"gcd" ~entry:1
+      [ let_ "a" (param 0);
+        let_ "b" (param 1);
+        while_ (ne (var "b") (int 0))
+          [ if_ (geu (var "a") (var "b"))
+              [ set "a" (sub (var "a") (var "b")) ]
+              [ (* swap *)
+                set "a" (xor (var "a") (var "b"));
+                set "b" (xor (var "a") (var "b"));
+                set "a" (xor (var "a") (var "b")) ] ];
+        set_param 0 (var "a") ])
+
+let test_gcd () =
+  let m = boot [ gcd ] in
+  run m "li a0, 252\nli a1, 105\nmenter 1\nmv s0, a0\n\
+         li a0, 17\nli a1, 5\nmenter 1\nmv s1, a0\nebreak\n";
+  check_int "gcd(252,105)" 21 (reg m "s0");
+  check_int "gcd(17,5)" 1 (reg m "s1")
+
+(* Memory access + store: checksum over a physical range, then write
+   it after the range (a custom "checksum instruction"). *)
+let checksum =
+  Mgen.(
+    routine ~name:"checksum" ~entry:2
+      [ let_ "p" (param 0);
+        let_ "end" (add (param 0) (param 1));
+        let_ "h" (int 0);
+        while_ (ltu (var "p") (var "end"))
+          [ set "h" (xor (add (shl (var "h") (int 1)) (var "h"))
+                       (load (var "p")));
+            set "p" (add (var "p") (int 4)) ];
+        store ~addr:(var "end") ~value:(var "h");
+        set_param 0 (var "h") ])
+
+let test_checksum () =
+  let m = boot [ checksum ] in
+  Machine.write_word m 0x8000 5;
+  Machine.write_word m 0x8004 7;
+  Machine.write_word m 0x8008 11;
+  run m "li a0, 0x8000\nli a1, 12\nmenter 2\nmv s0, a0\nebreak\n";
+  (* h0=0; h1=(0*3)^5=5; h2=(15)^7=8; h3=(24)^11=19 *)
+  check_int "checksum" 19 (reg m "s0");
+  check_int "stored after range" 19 (Machine.read_word m 0x800C)
+
+(* Metal primitives: a routine reading/writing Metal registers and
+   control registers. *)
+let cycle_probe =
+  Mgen.(
+    routine ~name:"cycle_probe" ~entry:3
+      [ set_mreg 9 (csr Csr.cycle);
+        set_param 0 (mreg 9);
+        set_param 1 (csr Csr.instret) ])
+
+let test_metal_primitives () =
+  let m = boot [ cycle_probe ] in
+  run m "menter 3\nmv s0, a0\nmv s1, a1\nebreak\n";
+  check_bool "cycle read" true (reg m "s0" > 0);
+  check_bool "mreg holds it" true
+    (Machine.get_mreg m 9 = reg m "s0");
+  check_bool "instret read" true (reg m "s1" > 0)
+
+(* A TLB-filling routine written in Mgen: identity-map the page of the
+   address in a0 with rwx, pkey 0 (a tiny software TLB refill). *)
+let identity_fill =
+  Mgen.(
+    routine ~name:"identity_fill" ~entry:4
+      [ let_ "page" (and_ (param 0) (int 0xFFFFF000));
+        (* tag: page | asid<<4, data: page | XWR *)
+        tlb_write
+          ~tag:(or_ (var "page") (shl (csr Csr.asid) (int 4)))
+          ~data:(or_ (var "page") (int 0xE)) ])
+
+let test_tlb_fill () =
+  let m = boot [ identity_fill ] in
+  run m "li a0, 0x5123\nmenter 4\nebreak\n";
+  match Metal_hw.Tlb.lookup m.Machine.tlb ~asid:0 ~vpn:5 with
+  | Some e ->
+    check_int "ppn" 5 e.Metal_hw.Tlb.ppn;
+    check_bool "perms" true (e.Metal_hw.Tlb.r && e.Metal_hw.Tlb.w && e.Metal_hw.Tlb.x)
+  | None -> Alcotest.fail "tlb entry missing"
+
+(* Several routines in one compile share the variable region without
+   collision. *)
+let test_multiple_routines () =
+  let m = boot [ popcount; gcd; checksum ] in
+  Machine.write_word m 0x8000 1;
+  run m "li a0, 7\nmenter 0\nmv s0, a0\nli a0, 12\nli a1, 8\nmenter 1\n\
+         mv s1, a0\nebreak\n";
+  check_int "popcount" 3 (reg m "s0");
+  check_int "gcd" 4 (reg m "s1")
+
+(* Compiler diagnostics. *)
+let test_errors () =
+  let fails routines =
+    match Mgen.compile routines with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  check_bool "undefined variable" true
+    (fails Mgen.[ routine ~name:"r" ~entry:0 [ set "x" (int 1) ] ]);
+  check_bool "redeclared variable" true
+    (fails Mgen.[ routine ~name:"r" ~entry:0
+                    [ let_ "x" (int 1); let_ "x" (int 2) ] ]);
+  check_bool "bad parameter" true
+    (fails Mgen.[ routine ~name:"r" ~entry:0 [ set_param 9 (int 1) ] ]);
+  check_bool "bad entry" true
+    (fails Mgen.[ routine ~name:"r" ~entry:64 [ Mgen.exit ] ]);
+  check_bool "duplicate names" true
+    (fails Mgen.[ routine ~name:"r" ~entry:0 [ Mgen.exit ];
+                  routine ~name:"r" ~entry:1 [ Mgen.exit ] ]);
+  (* deep expressions exhaust the scratch pool *)
+  let rec deep n = if n = 0 then Mgen.int 1 else Mgen.add (Mgen.int 1) (deep (n - 1)) in
+  check_bool "too deep" true
+    (fails Mgen.[ routine ~name:"r" ~entry:0 [ set_param 0 (deep 10) ] ]);
+  check_bool "shallow ok" false
+    (fails Mgen.[ routine ~name:"r" ~entry:0 [ set_param 0 (deep 3) ] ])
+
+(* The implicit mexit: a routine without explicit exit still returns. *)
+let test_implicit_exit () =
+  let m =
+    boot Mgen.[ routine ~name:"nopr" ~entry:5 [ set_param 0 (int 99) ] ]
+  in
+  run m "li a0, 0\nmenter 5\nmv s0, a0\nebreak\n";
+  check_int "returned" 99 (reg m "s0")
+
+let () =
+  Alcotest.run "mgen"
+    [
+      ( "programs",
+        [ Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "checksum" `Quick test_checksum;
+          Alcotest.test_case "metal primitives" `Quick test_metal_primitives;
+          Alcotest.test_case "tlb fill" `Quick test_tlb_fill;
+          Alcotest.test_case "multiple routines" `Quick test_multiple_routines;
+          Alcotest.test_case "implicit exit" `Quick test_implicit_exit ] );
+      ( "diagnostics", [ Alcotest.test_case "errors" `Quick test_errors ] );
+    ]

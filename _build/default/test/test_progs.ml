@@ -1,0 +1,855 @@
+(* Tests for the mroutine application library: privilege levels,
+   custom page tables, STM, user-level interrupts, isolation, shadow
+   stack, capabilities, enclaves and nested Metal. *)
+
+open Metal_cpu
+open Metal_progs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine ?(config = Config.default) () = Machine.create ~config ()
+
+let load_program m ?origin src =
+  let img = Metal_asm.Asm.assemble_exn ?origin src in
+  (match Machine.load_image m img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  img
+
+let run_to_ebreak ?(max_cycles = 1_000_000) m =
+  match Pipeline.run m ~max_cycles with
+  | Some (Machine.Halt_ebreak { pc; _ }) -> pc
+  | Some h -> Alcotest.fail (Machine.halted_to_string h)
+  | None -> Alcotest.fail "cycle budget exhausted"
+
+let reg m name =
+  match Reg.of_string name with
+  | Some r -> Machine.get_reg m r
+  | None -> Alcotest.fail ("bad register " ^ name)
+
+let expect_ok = function
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Privilege levels (Figure 2) *)
+
+(* A miniature kernel: syscall table at 0x2000, handlers at 0x3000,
+   fault entry at 0x3F00 (an ebreak the tests recognize). *)
+let fault_entry = 0x3F00
+
+let priv_config =
+  { Privilege.syscall_table = 0x2000; nsyscalls = 2; kernel_pkeys = 0;
+    user_pkeys = 0; fault_entry }
+
+let priv_kernel =
+  Printf.sprintf
+    {|.org 0x2000
+syscall_table:
+    .word sys_answer
+    .word sys_double
+.org 0x3000
+sys_answer:
+    li a0, 123
+    menter %d
+sys_double:
+    add a0, a1, a1
+    menter %d
+.org 0x3F00
+fault_stub:
+    ebreak
+|}
+    Layout.kexit Layout.kexit
+
+let priv_machine () =
+  let m = machine () in
+  ignore (load_program m priv_kernel);
+  expect_ok (Privilege.install m priv_config);
+  m
+
+let test_figure2_assembles () =
+  let listing = Privilege.figure2_listing () in
+  check_bool "has kenter words" true (String.length listing > 200)
+
+let test_syscall_roundtrip () =
+  let m = priv_machine () in
+  ignore
+    (load_program m
+       "li a0, 0\nmenter 0\nmv s0, a0\nli a0, 1\nli a1, 21\nmenter 0\n\
+        mv s1, a0\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.set_mreg m Reg.Mconv.privilege 1;
+  ignore (run_to_ebreak m);
+  check_int "syscall 0 result" 123 (reg m "s0");
+  check_int "syscall 1 result" 42 (reg m "s1");
+  check_int "back in user mode" 1 (Machine.get_mreg m Reg.Mconv.privilege)
+
+let test_privilege_level_during_syscall () =
+  (* While the kernel handler runs, m0 must be 0.  sys_double reads it
+     indirectly: give the kernel a handler that stores m0... the
+     kernel cannot read m0 (normal mode); instead verify via ktlbw:
+     calling it from the kernel succeeds, from user it faults. *)
+  let m = priv_machine () in
+  ignore
+    (load_program m ~origin:0x100
+       "# user: call ktlbw directly -> privilege violation\n\
+        li a0, 0x5014\nli a1, 0x6006\nmenter 2\nebreak\n");
+  Machine.set_pc m 0x100;
+  Machine.set_mreg m Reg.Mconv.privilege 1;
+  let pc = run_to_ebreak m in
+  check_int "diverted to fault entry" fault_entry pc;
+  check_bool "tlb untouched" true
+    (Metal_hw.Tlb.entries m.Machine.tlb = [])
+
+let test_ktlbw_from_kernel () =
+  let m = priv_machine () in
+  ignore
+    (load_program m ~origin:0x100
+       "li a0, 0x5014\nli a1, 0x6006\nmenter 2\nebreak\n");
+  Machine.set_pc m 0x100;
+  Machine.set_mreg m Reg.Mconv.privilege 0;
+  let pc = run_to_ebreak m in
+  check_bool "no violation" true (pc <> fault_entry);
+  check_int "tlb filled" 1 (List.length (Metal_hw.Tlb.entries m.Machine.tlb))
+
+let test_bad_syscall_number () =
+  let m = priv_machine () in
+  ignore (load_program m ~origin:0x100 "li a0, 99\nmenter 0\nebreak\n");
+  Machine.set_pc m 0x100;
+  let pc = run_to_ebreak m in
+  check_int "bad syscall diverted" fault_entry pc
+
+let test_exc_trampoline () =
+  let m = priv_machine () in
+  Machine.install_handler m Cause.Illegal_instruction
+    ~entry:Layout.exc_trampoline;
+  ignore (load_program m ~origin:0x100 ".word 0xFFFFFFFF\nebreak\n");
+  Machine.set_pc m 0x100;
+  let pc = run_to_ebreak m in
+  check_int "delivered to kernel" fault_entry pc;
+  check_int "epc published" 0x100 (reg m "t5");
+  check_int "cause published" (Cause.code Cause.Illegal_instruction)
+    (reg m "t6")
+
+(* ------------------------------------------------------------------ *)
+(* Custom page tables *)
+
+open Metal_kernel
+
+let pt_machine ?(os_fault_entry = 0) () =
+  let m = machine () in
+  expect_ok (Pagetable.install m { Pagetable.os_fault_entry });
+  let alloc = Frame_alloc.create ~base:0x100000 ~limit:0x200000 in
+  let mem = Metal_hw.Bus.memory m.Machine.bus in
+  let pt = Page_table.create ~mem ~alloc in
+  Pagetable.set_root m (Page_table.root pt);
+  Machine.ctrl_write m Csr.pt_root (Page_table.root pt);
+  (m, pt, alloc)
+
+let identity_map pt ~base ~pages perms =
+  for i = 0 to pages - 1 do
+    match
+      Page_table.map pt
+        ~vaddr:(base + (i * 4096))
+        ~paddr:(base + (i * 4096))
+        perms
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done
+
+let test_walker_basic () =
+  let m, pt, _ = pt_machine () in
+  identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+  (* A data page mapped at a non-identity address. *)
+  (match Page_table.map pt ~vaddr:0x40000 ~paddr:0x9000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Machine.write_word m 0x9010 777;
+  ignore
+    (load_program m
+       "li t0, 0x40000\nlw a0, 16(t0)\nli t1, 888\nsw t1, 20(t0)\n\
+        lw a1, 20(t0)\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  ignore (run_to_ebreak m);
+  check_int "read through mapping" 777 (reg m "a0");
+  check_int "write through mapping" 888 (reg m "a1");
+  check_int "physical backing updated" 888 (Machine.read_word m 0x9014);
+  check_bool "walker took misses" true
+    (m.Machine.stats.Stats.tlb_misses >= 2);
+  check_bool "mroutine walks, not hw" true (m.Machine.stats.Stats.hw_walks = 0)
+
+let test_walker_matches_hw_walker () =
+  (* The same page table must give identical translations through the
+     mcode walker and the hardware walker. *)
+  let run_with ~hw =
+    let m, pt, _ = pt_machine () in
+    identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+    (match Page_table.map pt ~vaddr:0x73000 ~paddr:0xA000 Page_table.rw with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e);
+    Machine.write_word m 0xA020 4242;
+    ignore (load_program m "li t0, 0x73000\nlw a0, 32(t0)\nebreak\n");
+    Machine.set_pc m 0;
+    if hw then Machine.ctrl_write m Csr.hw_walker 1;
+    Machine.ctrl_write m Csr.paging 1;
+    ignore (run_to_ebreak m);
+    (reg m "a0", m.Machine.stats.Stats.hw_walks)
+  in
+  let v_mcode, walks_mcode = run_with ~hw:false in
+  let v_hw, walks_hw = run_with ~hw:true in
+  check_int "same value via mcode" 4242 v_mcode;
+  check_int "same value via hw" 4242 v_hw;
+  check_int "no hw walks in mcode mode" 0 walks_mcode;
+  check_bool "hw walks in hw mode" true (walks_hw > 0)
+
+let test_walker_protection () =
+  let m, pt, _ = pt_machine () in
+  identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+  (match Page_table.map pt ~vaddr:0x50000 ~paddr:0xB000 Page_table.ro with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  ignore
+    (load_program m "li t0, 0x50000\nli t1, 1\nsw t1, 0(t0)\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  (* os_fault_entry = 0: walker stops the machine on a true fault. *)
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_ebreak { metal = true; _ }) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "no halt")
+
+let test_walker_delivers_to_os () =
+  let m, pt, _ = pt_machine ~os_fault_entry:0x700 () in
+  identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+  ignore
+    (load_program m ~origin:0
+       "li t0, 0x66000\nlw a0, 0(t0)\nebreak\n.org 0x700\nos_fault:\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  let pc = run_to_ebreak m in
+  check_int "landed in the OS handler" 0x700 pc;
+  check_int "vaddr published" 0x66000 (reg m "t6")
+
+let test_walker_superpage () =
+  let m, pt, _ = pt_machine () in
+  identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+  (match
+     Page_table.map_superpage pt ~vaddr:0x400000 ~paddr:0x000000
+       Page_table.rw
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Machine.write_word m 0x123000 31337;
+  ignore
+    (load_program m "li t0, 0x523000\nlw a0, 0(t0)\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  ignore (run_to_ebreak m);
+  check_int "superpage translation" 31337 (reg m "a0")
+
+let test_walker_preserves_context () =
+  (* The fault can hit in the middle of live t-register use; the
+     handler must not clobber anything. *)
+  let m, pt, _ = pt_machine () in
+  identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+  (match Page_table.map pt ~vaddr:0x40000 ~paddr:0x9000 Page_table.rw with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  ignore
+    (load_program m
+       "li t1, 11\nli t2, 22\nli t3, 33\nli t4, 44\nli t5, 55\nli t6, 66\n\
+        li t0, 0x40000\nsw t1, 0(t0)\nlw a0, 0(t0)\n\
+        add a1, t1, t2\nadd a2, t3, t4\nadd a3, t5, t6\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  ignore (run_to_ebreak m);
+  check_int "load after fill" 11 (reg m "a0");
+  check_int "t1+t2 preserved" 33 (reg m "a1");
+  check_int "t3+t4 preserved" 77 (reg m "a2");
+  check_int "t5+t6 preserved" 121 (reg m "a3")
+
+(* ------------------------------------------------------------------ *)
+(* STM *)
+
+let stm_machine () =
+  let m = machine () in
+  expect_ok (Stm.install m);
+  m
+
+(* A transaction that moves 100 from account A (0x8000) to B (0x8004). *)
+let stm_transfer =
+  Printf.sprintf
+    {|start:
+    li s0, 0x8000
+retry:
+    la a0, retry
+    menter %d          # tstart
+    lw t0, 0(s0)
+    addi t0, t0, -100
+    sw t0, 0(s0)
+    lw t1, 4(s0)
+    addi t1, t1, 100
+    sw t1, 4(s0)
+    menter %d          # tcommit
+    bnez a0, done
+    j retry
+done:
+    lw s1, 0(s0)
+    lw s2, 4(s0)
+    ebreak
+|}
+    Layout.tstart Layout.tcommit
+
+let test_stm_commit () =
+  let m = stm_machine () in
+  Machine.write_word m 0x8000 500;
+  Machine.write_word m 0x8004 300;
+  ignore (load_program m ~origin:0 stm_transfer);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "A debited" 400 (reg m "s1");
+  check_int "B credited" 400 (reg m "s2");
+  let c = Stm.counters m in
+  check_int "one commit" 1 c.Stm.commits;
+  check_int "no aborts" 0 c.Stm.aborts;
+  check_bool "reads recorded" true (c.Stm.reads >= 2);
+  check_bool "writes recorded" true (c.Stm.writes >= 2)
+
+let test_stm_buffering_invisible_until_commit () =
+  (* Uncommitted writes must not be visible in memory. *)
+  let m = stm_machine () in
+  Machine.write_word m 0x8000 1;
+  ignore
+    (load_program m
+       (Printf.sprintf
+          "la a0, retry\nretry:\nmenter %d\nli t0, 0x8000\nli t1, 9\n\
+           sw t1, 0(t0)\nlw s0, 0(t0)\nebreak\n"
+          Layout.tstart));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "read own write" 9 (reg m "s0");
+  check_int "memory untouched before commit" 1 (Machine.read_word m 0x8000)
+
+let test_stm_conflict_aborts_and_retries () =
+  (* A DMA agent (standing in for another core) bumps a read-set
+     address after the transaction reads it; the first commit must
+     fail, the retry must succeed. *)
+  let m = stm_machine () in
+  Machine.write_word m 0x8000 500;
+  Machine.write_word m 0x8004 300;
+  let mem = Metal_hw.Bus.memory m.Machine.bus in
+  let dma =
+    Metal_hw.Devices.Dma.create ~mem ~writes:[ (120, 0x8000, 501) ]
+  in
+  Metal_hw.Bus.attach m.Machine.bus (Metal_hw.Devices.Dma.device dma);
+  ignore (load_program m ~origin:0 stm_transfer);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  let c = Stm.counters m in
+  check_bool "at least one abort" true (c.Stm.aborts >= 1);
+  check_int "exactly one commit" 1 c.Stm.commits;
+  check_int "final A" 401 (reg m "s1");
+  check_int "final B" 400 (reg m "s2")
+
+let test_stm_explicit_abort () =
+  let m = stm_machine () in
+  Machine.write_word m 0x8000 7;
+  ignore
+    (load_program m
+       (Printf.sprintf
+          "li s0, 0x8000\nla a0, after\nmenter %d\nli t0, 0x8000\nli t1, 99\n\
+           sw t1, 0(t0)\nmenter %d\nafter:\nlw s1, 0(s0)\nebreak\n"
+          Layout.tstart Layout.tabort));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "write discarded" 7 (reg m "s1");
+  let c = Stm.counters m in
+  check_int "abort counted" 1 c.Stm.aborts;
+  check_int "no commit" 0 c.Stm.commits
+
+let test_stm_load_into_temp_register () =
+  (* The interception fixup path: a transactional load whose
+     destination is one of the handler's parked temporaries. *)
+  let m = stm_machine () in
+  Machine.write_word m 0x8000 1234;
+  ignore
+    (load_program m
+       (Printf.sprintf
+          "la a0, r\nr:\nmenter %d\nli s0, 0x8000\nlw t5, 0(s0)\n\
+           mv s1, t5\nmenter %d\nebreak\n"
+          Layout.tstart Layout.tcommit));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "load into t5 works" 1234 (reg m "s1")
+
+(* ------------------------------------------------------------------ *)
+(* User-level interrupts *)
+
+let test_uintr_delivery () =
+  let m = machine () in
+  let nic =
+    Metal_hw.Devices.Nic.create ~base:(Metal_hw.Bus.mmio_base + 0x100)
+      ~intc:m.Machine.intc
+      ~schedule:(Metal_hw.Devices.Nic.Periodic { start = 200; period = 150;
+                                                 count = 3 })
+  in
+  Metal_hw.Bus.attach m.Machine.bus (Metal_hw.Devices.Nic.device nic);
+  expect_ok (Uintr.install m);
+  ignore
+    (load_program m
+       (Printf.sprintf
+          {|start:
+    la a0, handler
+    menter %d             # register the handler
+    li t0, 1
+    li t1, %d
+    sw t0, 0x10(t1)       # enable the NIC rx interrupt
+loop:
+    addi s0, s0, 1        # background work
+    li t2, 3
+    bne s1, t2, loop
+    ebreak
+
+# User-level interrupt handler: drain the queue (t0/t1 are free).
+handler:
+    li t0, %d
+drain:
+    lw t1, 0(t0)          # rx count
+    beqz t1, hdone
+    sw zero, 0xc(t0)      # pop
+    addi s1, s1, 1        # packets handled
+    j drain
+hdone:
+    menter %d             # uintr return
+|}
+          Layout.uintr_setup
+          (Metal_hw.Bus.mmio_base + 0x100)
+          (Metal_hw.Bus.mmio_base + 0x100)
+          Layout.uintr_ret));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak ~max_cycles:100_000 m);
+  check_int "all packets handled in user mode" 3 (reg m "s1");
+  check_bool "background work continued" true (reg m "s0" > 50);
+  let c = Uintr.counters m in
+  check_bool "deliveries counted" true (c.Uintr.delivered >= 1);
+  check_int "all delivered by nic" 3 (Metal_hw.Devices.Nic.delivered nic)
+
+(* ------------------------------------------------------------------ *)
+(* In-process isolation *)
+
+let isolation_setup () =
+  let m = machine () in
+  let alloc = Frame_alloc.create ~base:0x100000 ~limit:0x200000 in
+  let mem = Metal_hw.Bus.memory m.Machine.bus in
+  let pt = Page_table.create ~mem ~alloc in
+  (* Identity-map code low pages (pkey 0) and a secret page with
+     pkey 2 at 0x50000 -> 0xC000. *)
+  identity_map pt ~base:0 ~pages:8 Page_table.rwx;
+  (match
+     Page_table.map pt ~vaddr:0x50000 ~paddr:0xC000 ~pkey:2 Page_table.rw
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  expect_ok (Pagetable.install m { Pagetable.os_fault_entry = 0 });
+  Pagetable.set_root m (Page_table.root pt);
+  Machine.ctrl_write m Csr.paging 1;
+  m
+
+(* pkey 2 read/write-disable bits: 2*2=4 (read), 5 (write). *)
+let closed_perms = 0x30
+let open_perms = 0
+
+let test_isolation_blocks_outside () =
+  let m = isolation_setup () in
+  expect_ok
+    (Isolation.install m
+       { Isolation.gate_target = 0x600; open_perms; closed_perms });
+  ignore
+    (load_program m "li t0, 0x50000\nlw a0, 0(t0)\nebreak\n");
+  Machine.set_pc m 0;
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_fault { cause = Cause.Pkey_violation_load; _ }) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "no halt")
+
+let test_isolation_gate_allows () =
+  let m = isolation_setup () in
+  expect_ok
+    (Isolation.install m
+       { Isolation.gate_target = 0x600; open_perms; closed_perms });
+  Machine.write_word m 0xC000 0x5EC12E7;
+  ignore
+    (load_program m
+       (Printf.sprintf
+          {|start:
+    menter %d              # enter the trusted domain
+    mv s0, a0              # secret read inside
+    li t0, 0x50000
+    lw s1, 0(t0)           # outside again: must fault
+    ebreak
+.org 0x600
+trusted:
+    li t0, 0x50000
+    lw a0, 0(t0)           # allowed inside the domain
+    menter %d              # leave
+|}
+          Layout.dom_enter Layout.dom_exit));
+  Machine.set_pc m 0;
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_fault { cause = Cause.Pkey_violation_load; _ }) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "no halt");
+  check_int "secret read inside the domain" 0x5EC12E7 (reg m "s0")
+
+(* ------------------------------------------------------------------ *)
+(* Shadow stack *)
+
+let ss_program body =
+  Printf.sprintf
+    {|start:
+    li sp, 0x8000
+    menter %d            # ss_enable
+%s
+    menter %d            # ss_disable
+    ebreak
+
+double:
+    add a0, a0, a0
+    ret
+
+apply_twice:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    call double
+    call double
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+|}
+    Layout.ss_enable body Layout.ss_disable
+
+let test_shadowstack_transparent () =
+  let m = machine () in
+  expect_ok (Shadowstack.install m);
+  ignore
+    (load_program m
+       (ss_program "    li a0, 3\n    call apply_twice\n    mv s0, a0\n"));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "nested calls still work" 12 (reg m "s0");
+  let c = Shadowstack.counters m in
+  check_int "no violations" 0 c.Shadowstack.violations;
+  check_int "balanced" 0 c.Shadowstack.depth
+
+let test_shadowstack_catches_corruption () =
+  let m = machine () in
+  expect_ok (Shadowstack.install m);
+  ignore
+    (load_program m
+       (Printf.sprintf
+          {|start:
+    li sp, 0x8000
+    menter %d            # ss_enable
+    li a0, 3
+    call victim
+    menter %d            # ss_disable
+    ebreak
+
+# victim overwrites its saved return address and returns through it.
+victim:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    la t3, evil
+    sw t3, 0(sp)
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+
+evil:
+    li s0, 666
+    ebreak
+|}
+          Layout.ss_enable Layout.ss_disable));
+  Machine.set_pc m 0;
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_ebreak { metal = true; _ }) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "no halt");
+  let c = Shadowstack.counters m in
+  check_int "violation recorded" 1 c.Shadowstack.violations;
+  check_bool "evil code never ran" true (reg m "s0" <> 666)
+
+(* ------------------------------------------------------------------ *)
+(* Capabilities *)
+
+let test_capabilities () =
+  let m = machine () in
+  expect_ok (Capability.install m);
+  Machine.write_word m 0x8000 11;
+  Machine.write_word m 0x8004 22;
+  ignore
+    (load_program m
+       (Printf.sprintf
+          {|start:
+    li a0, 0x8000
+    li a1, 8
+    li a2, 3
+    menter %d           # create rw capability over 8 bytes
+    mv s0, a0           # capability index
+    li a1, 4
+    menter %d           # load offset 4
+    mv s1, a0
+    mv a0, s0
+    li a1, 0
+    li a2, 99
+    menter %d           # store offset 0
+    mv s2, a0
+    mv a0, s0
+    li a1, 8
+    menter %d           # load offset 8: out of bounds
+    mv s3, a0
+    mv s4, a1
+    mv a0, s0
+    menter %d           # revoke
+    mv a0, s0
+    li a1, 0
+    menter %d           # load after revoke
+    mv s5, a0
+    mv s6, a1
+    ebreak
+|}
+          Layout.cap_create Layout.cap_load Layout.cap_store Layout.cap_load
+          Layout.cap_revoke Layout.cap_load));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "cap index" 0 (reg m "s0");
+  check_int "load via cap" 22 (reg m "s1");
+  check_int "store ok" 0 (reg m "s2");
+  check_int "stored value" 99 (Machine.read_word m 0x8000);
+  check_int "bounds error" 0xFFFFFFFF (reg m "s3");
+  check_int "bounds code" 3 (reg m "s4");
+  check_int "revoked error" 0xFFFFFFFF (reg m "s5");
+  check_int "revoked code" 2 (reg m "s6")
+
+let test_capability_perms () =
+  let m = machine () in
+  expect_ok (Capability.install m);
+  ignore
+    (load_program m
+       (Printf.sprintf
+          "li a0, 0x8000\nli a1, 4\nli a2, 1\nmenter %d\n\
+           li a1, 0\nli a2, 5\nmenter %d\nmv s0, a0\nmv s1, a1\nebreak\n"
+          Layout.cap_create Layout.cap_store));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "write denied on read-only cap" 0xFFFFFFFF (reg m "s0");
+  check_int "perm error code" 4 (reg m "s1")
+
+(* ------------------------------------------------------------------ *)
+(* Enclaves *)
+
+let enclave_region = 0x6000
+let enclave_code =
+  "enclave_entry:\n li t0, 0x7777\n mv a0, t0\n menter 49\n"
+
+let test_enclave_enter_exit () =
+  let m = machine () in
+  ignore (load_program m ~origin:enclave_region enclave_code);
+  expect_ok
+    (Enclave.install m
+       { Enclave.entry = enclave_region; region_base = enclave_region;
+         region_size = 16; open_perms = 0; closed_perms = 0 });
+  ignore
+    (load_program m
+       (Printf.sprintf "menter %d\nmv s0, a0\nebreak\n" Layout.enc_enter));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "enclave result" 0x7777 (reg m "s0")
+
+let test_enclave_attestation () =
+  let m = machine () in
+  ignore (load_program m ~origin:enclave_region enclave_code);
+  expect_ok
+    (Enclave.install m
+       { Enclave.entry = enclave_region; region_base = enclave_region;
+         region_size = 16; open_perms = 0; closed_perms = 0 });
+  (* Tamper with the enclave code after measurement. *)
+  Machine.write_word m enclave_region 0x0;
+  ignore
+    (load_program m
+       (Printf.sprintf "li s0, 0\nmenter %d\nmv s0, a0\nebreak\n"
+          Layout.enc_enter));
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "tampered enclave refused" 0xFFFFFFFF (reg m "s0")
+
+(* ------------------------------------------------------------------ *)
+(* Nested Metal *)
+
+let test_nested_interception () =
+  let m = machine () in
+  expect_ok (Nested.install m ~remap_offset:0x1000);
+  Machine.ctrl_write m
+    (Csr.icept_handler (Icept.code Icept.Store_class))
+    (Layout.nest_store + 1);
+  Machine.ctrl_write m Csr.icept_enable 1;
+  ignore
+    (load_program m
+       "li t3, 0x8000\nli t4, 55\nsw t4, 0(t3)\nsw t4, 4(t3)\nebreak\n");
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  let c = Nested.counters m in
+  check_int "L1 saw both stores" 2 c.Nested.l1_intercepts;
+  check_int "L0 performed both" 2 c.Nested.l0_stores;
+  check_int "store remapped" 55 (Machine.read_word m 0x9000);
+  check_int "second store remapped" 55 (Machine.read_word m 0x9004);
+  check_int "original address untouched" 0 (Machine.read_word m 0x8000)
+
+(* ------------------------------------------------------------------ *)
+(* Virtualization: nested page tables *)
+
+let guest_base = 0x100000
+let guest_size = 0x40000
+
+(* Build a guest page table by hand: tables live at guest-physical
+   addresses inside the window; their PTEs hold guest-physical
+   values. *)
+let build_guest_tables m =
+  let gw gpa v = Machine.write_word m (guest_base + gpa) v in
+  (* root at gpa 0x1000, one L2 table at gpa 0x2000 *)
+  gw 0x1000 (Pte.table ~pa:0x2000);
+  (* identity-map guest VA [0, 0x8000) to the same gpa, rwx *)
+  for i = 0 to 7 do
+    gw (0x2000 + (4 * i))
+      (Pte.leaf ~pa:(i * 0x1000) ~r:true ~w:true ~x:true ())
+  done;
+  (* guest VA 0x10000 -> gpa 0x3000, rw *)
+  gw (0x2000 + (4 * 0x10)) (Pte.leaf ~pa:0x3000 ~r:true ~w:true ~x:false ());
+  (* guest VA 0x11000 -> a gpa outside the window: a VMM violation *)
+  gw (0x2000 + (4 * 0x11))
+    (Pte.leaf ~pa:0x80000000 ~r:true ~w:true ~x:false ())
+
+let vmm_machine () =
+  let m = machine () in
+  expect_ok
+    (Vmm.install m
+       { Vmm.guest_base; guest_size; vmm_fault_entry = 0 });
+  Vmm.set_guest_root m 0x1000;
+  build_guest_tables m;
+  m
+
+let test_vmm_nested_translation () =
+  let m = vmm_machine () in
+  (* guest program at guest VA 0 = gpa 0 = host guest_base *)
+  ignore
+    (load_program m ~origin:guest_base
+       "li t0, 0x10000\nlw a0, 0(t0)\nli t1, 77\nsw t1, 4(t0)\n\
+        lw a1, 4(t0)\nebreak\n");
+  (* the secret cell at guest VA 0x10000 = gpa 0x3000 = host 0x103000 *)
+  Machine.write_word m (guest_base + 0x3000) 4321;
+  Machine.set_pc m guest_base;
+  (* Hmm: guest VA 0 must equal where we set pc; pc is virtual. *)
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  ignore (run_to_ebreak m);
+  check_int "nested read" 4321 (reg m "a0");
+  check_int "nested write visible to guest" 77 (reg m "a1");
+  check_int "landed in host memory" 77
+    (Machine.read_word m (guest_base + 0x3004));
+  let c = Vmm.counters m in
+  check_bool "walks counted" true (c.Vmm.nested_walks >= 2);
+  check_int "no violations" 0 c.Vmm.vmm_violations
+
+let test_vmm_violation () =
+  let m = vmm_machine () in
+  ignore
+    (load_program m ~origin:guest_base
+       "li t0, 0x11000\nlw a0, 0(t0)\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_ebreak { metal = true; _ }) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "no halt");
+  let c = Vmm.counters m in
+  check_int "violation recorded" 1 c.Vmm.vmm_violations
+
+let test_vmm_guest_fault_delivered () =
+  let m = machine () in
+  expect_ok
+    (Vmm.install m
+       { Vmm.guest_base; guest_size; vmm_fault_entry = 0x700 });
+  Vmm.set_guest_root m 0x1000;
+  build_guest_tables m;
+  ignore
+    (load_program m ~origin:guest_base
+       "li t0, 0x66000\nlw a0, 0(t0)\nebreak\n");
+  (* The hypervisor's entry must be reachable under the current
+     translation; inject it at guest VA 0x700 (identity-mapped to
+     gpa 0x700 = host guest_base + 0x700). *)
+  ignore
+    (load_program m ~origin:(guest_base + 0x700) "vmm_handler:\nebreak\n");
+  Machine.set_pc m 0;
+  Machine.ctrl_write m Csr.paging 1;
+  let pc = run_to_ebreak m in
+  check_int "delivered to the hypervisor" 0x700 pc;
+  check_int "guest vaddr published" 0x66000 (reg m "t6");
+  let c = Vmm.counters m in
+  check_int "not a window violation" 0 c.Vmm.vmm_violations
+
+let () =
+  Alcotest.run "progs"
+    [
+      ( "privilege",
+        [ Alcotest.test_case "figure2" `Quick test_figure2_assembles;
+          Alcotest.test_case "syscall roundtrip" `Quick test_syscall_roundtrip;
+          Alcotest.test_case "privileged mroutine check" `Quick
+            test_privilege_level_during_syscall;
+          Alcotest.test_case "ktlbw from kernel" `Quick test_ktlbw_from_kernel;
+          Alcotest.test_case "bad syscall" `Quick test_bad_syscall_number;
+          Alcotest.test_case "exception trampoline" `Quick test_exc_trampoline ] );
+      ( "pagetable",
+        [ Alcotest.test_case "walker basic" `Quick test_walker_basic;
+          Alcotest.test_case "matches hw walker" `Quick
+            test_walker_matches_hw_walker;
+          Alcotest.test_case "protection" `Quick test_walker_protection;
+          Alcotest.test_case "os delivery" `Quick test_walker_delivers_to_os;
+          Alcotest.test_case "superpage" `Quick test_walker_superpage;
+          Alcotest.test_case "context preserved" `Quick
+            test_walker_preserves_context ] );
+      ( "stm",
+        [ Alcotest.test_case "commit" `Quick test_stm_commit;
+          Alcotest.test_case "buffering" `Quick
+            test_stm_buffering_invisible_until_commit;
+          Alcotest.test_case "conflict/retry" `Quick
+            test_stm_conflict_aborts_and_retries;
+          Alcotest.test_case "explicit abort" `Quick test_stm_explicit_abort;
+          Alcotest.test_case "load into temp" `Quick
+            test_stm_load_into_temp_register ] );
+      ( "uintr", [ Alcotest.test_case "delivery" `Quick test_uintr_delivery ] );
+      ( "isolation",
+        [ Alcotest.test_case "blocked outside" `Quick
+            test_isolation_blocks_outside;
+          Alcotest.test_case "gate allows" `Quick test_isolation_gate_allows ] );
+      ( "shadowstack",
+        [ Alcotest.test_case "transparent" `Quick test_shadowstack_transparent;
+          Alcotest.test_case "catches corruption" `Quick
+            test_shadowstack_catches_corruption ] );
+      ( "capability",
+        [ Alcotest.test_case "lifecycle" `Quick test_capabilities;
+          Alcotest.test_case "perms" `Quick test_capability_perms ] );
+      ( "enclave",
+        [ Alcotest.test_case "enter/exit" `Quick test_enclave_enter_exit;
+          Alcotest.test_case "attestation" `Quick test_enclave_attestation ] );
+      ( "nested",
+        [ Alcotest.test_case "two layers" `Quick test_nested_interception ] );
+      ( "vmm",
+        [ Alcotest.test_case "nested translation" `Quick
+            test_vmm_nested_translation;
+          Alcotest.test_case "window violation" `Quick test_vmm_violation;
+          Alcotest.test_case "guest fault to hypervisor" `Quick
+            test_vmm_guest_fault_delivered ] );
+    ]

@@ -1,0 +1,304 @@
+(* Second batch of application tests: capacity limits, coalescing,
+   attestation entry points, and failure-handling paths. *)
+
+open Metal_cpu
+open Metal_progs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine () = Machine.create ()
+
+let load m ?origin src =
+  let img = Metal_asm.Asm.assemble_exn ?origin src in
+  match Machine.load_image m img with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let run_to_ebreak ?(max_cycles = 2_000_000) m =
+  match Pipeline.run m ~max_cycles with
+  | Some (Machine.Halt_ebreak { pc; _ }) -> pc
+  | Some h -> Alcotest.fail (Machine.halted_to_string h)
+  | None -> Alcotest.fail "cycle budget exhausted"
+
+let reg m name =
+  match Reg.of_string name with
+  | Some r -> Machine.get_reg m r
+  | None -> Alcotest.fail name
+
+let expect_ok = function Ok () -> () | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* STM: read-set overflow with a bounded retry policy in the guest *)
+
+let test_stm_overflow_detected_by_guest () =
+  let m = machine () in
+  expect_ok (Stm.install m);
+  (* The transaction reads more distinct words than the read set
+     holds; the guest retries at most twice, then takes a fallback. *)
+  load m
+    (Printf.sprintf
+       {|start:
+    li s11, 2              # retry budget
+retry:
+    bnez s11, go
+    li s0, 0xFA11          # fallback path (e.g. grab a lock)
+    ebreak
+go:
+    addi s11, s11, -1
+    la a0, retry
+    menter %d
+    li t3, 0x8000
+    li t4, %d
+scan:
+    lw t5, 0(t3)
+    addi t3, t3, 4
+    addi t4, t4, -1
+    bnez t4, scan
+    menter %d
+    li s0, 0xC0
+    ebreak
+|}
+       Layout.tstart
+       (Stm.capacity + 8)
+       Layout.tcommit);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "guest fell back" 0xFA11 (reg m "s0");
+  let c = Stm.counters m in
+  check_bool "overflow aborts counted" true (c.Stm.overflow_aborts >= 1);
+  check_int "no commit" 0 c.Stm.commits
+
+let test_stm_counters_reset () =
+  let m = machine () in
+  expect_ok (Stm.install m);
+  load m
+    (Printf.sprintf
+       "la a0, r\nr:\nmenter %d\nli t0, 0x8000\nlw t1, 0(t0)\nmenter %d\nebreak\n"
+       Layout.tstart Layout.tcommit);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "one commit" 1 (Stm.counters m).Stm.commits;
+  Stm.reset_counters m;
+  check_int "reset" 0 (Stm.counters m).Stm.commits
+
+(* ------------------------------------------------------------------ *)
+(* uintr: coalescing while the handler runs *)
+
+let test_uintr_coalescing () =
+  let m = machine () in
+  let nic =
+    Metal_hw.Devices.Nic.create ~base:(Metal_hw.Bus.mmio_base + 0x100)
+      ~intc:m.Machine.intc
+      (* Second packet lands while the (slow) handler for the first is
+         still running. *)
+      ~schedule:(Metal_hw.Devices.Nic.At [ 100; 130 ])
+  in
+  Metal_hw.Bus.attach m.Machine.bus (Metal_hw.Devices.Nic.device nic);
+  expect_ok (Uintr.install m);
+  load m
+    (Printf.sprintf
+       {|start:
+    la a0, handler
+    menter %d
+    li t0, 1
+    li t1, %d
+    sw t0, 0x10(t1)
+loop:
+    addi s0, s0, 1
+    li t2, 2
+    bne s1, t2, loop
+    ebreak
+
+handler:
+    li t0, 400             # slow handler: burn cycles first
+slow:
+    addi t0, t0, -1
+    bnez t0, slow
+    li t0, %d
+drain:
+    lw t1, 0(t0)
+    beqz t1, done
+    sw zero, 0xc(t0)
+    addi s1, s1, 1
+    j drain
+done:
+    menter %d
+|}
+       Layout.uintr_setup
+       (Metal_hw.Bus.mmio_base + 0x100)
+       (Metal_hw.Bus.mmio_base + 0x100)
+       Layout.uintr_ret);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak ~max_cycles:100_000 m);
+  check_int "both packets handled" 2 (reg m "s1");
+  let c = Uintr.counters m in
+  (* The second interrupt arrived while in-handler: coalesced, and the
+     drain loop picked its packet up. *)
+  check_int "one delivery" 1 c.Uintr.delivered;
+  check_int "one coalesced" 1 c.Uintr.coalesced
+
+(* ------------------------------------------------------------------ *)
+(* Capabilities: table exhaustion *)
+
+let test_capability_exhaustion () =
+  let m = machine () in
+  expect_ok (Capability.install m);
+  load m
+    (Printf.sprintf
+       {|start:
+    li s0, %d              # capacity + 1 creations
+loop:
+    li a0, 0x8000
+    li a1, 4
+    li a2, 3
+    menter %d
+    mv s1, a0              # last result
+    addi s0, s0, -1
+    bnez s0, loop
+    ebreak
+|}
+       (Capability.capacity + 1)
+       Layout.cap_create);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "table full" 0xFFFFFFFF (reg m "s1")
+
+(* ------------------------------------------------------------------ *)
+(* Enclave: explicit attestation entry *)
+
+let test_enclave_hash_entry () =
+  let m = machine () in
+  load m ~origin:0x6000 "enclave_entry:\n li a0, 1\n menter 49\n";
+  expect_ok
+    (Enclave.install m
+       { Enclave.entry = 0x6000; region_base = 0x6000; region_size = 12;
+         open_perms = 0; closed_perms = 0 });
+  load m (Printf.sprintf "menter %d\nmv s0, a0\nebreak\n" Layout.enc_hash);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "hash matches the recorded measurement" (Enclave.measurement m)
+    (reg m "s0");
+  check_bool "measurement nonzero" true (Enclave.measurement m <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow stack: depth overflow trips the violation handler *)
+
+let test_shadowstack_depth_overflow () =
+  let m = machine () in
+  expect_ok (Shadowstack.install m);
+  load m
+    (Printf.sprintf
+       {|start:
+    li sp, 0x8000
+    menter %d
+    li s0, %d
+    call recurse
+    menter %d
+    ebreak
+
+recurse:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    addi s0, s0, -1
+    beqz s0, unwind
+    call recurse
+unwind:
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+|}
+       Layout.ss_enable
+       (Shadowstack.capacity + 4)
+       Layout.ss_disable);
+  Machine.set_pc m 0;
+  (match Pipeline.run m ~max_cycles:200_000 with
+   | Some (Machine.Halt_ebreak { metal = true; _ }) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "no halt");
+  check_int "violation recorded" 1 (Shadowstack.counters m).Shadowstack.violations
+
+(* Nesting within capacity is fine. *)
+let test_shadowstack_deep_but_legal () =
+  let m = machine () in
+  expect_ok (Shadowstack.install m);
+  load m
+    (Printf.sprintf
+       {|start:
+    li sp, 0x8000
+    menter %d
+    li s0, %d
+    call recurse
+    menter %d
+    ebreak
+
+recurse:
+    addi sp, sp, -4
+    sw ra, 0(sp)
+    addi s0, s0, -1
+    beqz s0, unwind
+    call recurse
+unwind:
+    lw ra, 0(sp)
+    addi sp, sp, 4
+    ret
+|}
+       Layout.ss_enable
+       (Shadowstack.capacity - 4)
+       Layout.ss_disable);
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak ~max_cycles:200_000 m);
+  check_int "no violations" 0 (Shadowstack.counters m).Shadowstack.violations;
+  check_int "balanced" 0 (Shadowstack.counters m).Shadowstack.depth
+
+(* ------------------------------------------------------------------ *)
+(* Privilege: kenter listing structure (Figure 2 fidelity) *)
+
+let test_figure2_structure () =
+  let listing = Privilege.figure2_listing () in
+  (* The paper's structure: kenter saves the caller in ra, computes
+     the entry point via t0 and exits into the kernel; kexit returns
+     through ra. *)
+  List.iter
+    (fun needle ->
+       check_bool needle true (Tutil.contains listing needle))
+    [ "rmr ra, m31"; "slli t0, a0, 2"; "physld t0, 0(t0)";
+      "wmr m31, t0"; "wmr m31, ra"; "mexit" ]
+
+(* Nested: remap disabled (offset 0) behaves as a transparent layer. *)
+let test_nested_transparent_when_unmapped () =
+  let m = machine () in
+  expect_ok (Nested.install m ~remap_offset:0);
+  Machine.ctrl_write m
+    (Csr.icept_handler (Icept.code Icept.Store_class))
+    (Layout.nest_store + 1);
+  Machine.ctrl_write m Csr.icept_enable 1;
+  load m "li t3, 0x8000\nli t4, 9\nsw t4, 0(t3)\nlw s0, 0(t3)\nebreak\n";
+  Machine.set_pc m 0;
+  ignore (run_to_ebreak m);
+  check_int "store visible at original address" 9 (reg m "s0")
+
+let () =
+  Alcotest.run "progs2"
+    [
+      ( "stm",
+        [ Alcotest.test_case "overflow fallback" `Quick
+            test_stm_overflow_detected_by_guest;
+          Alcotest.test_case "counter reset" `Quick test_stm_counters_reset ] );
+      ( "uintr",
+        [ Alcotest.test_case "coalescing" `Quick test_uintr_coalescing ] );
+      ( "capability",
+        [ Alcotest.test_case "exhaustion" `Quick test_capability_exhaustion ] );
+      ( "enclave",
+        [ Alcotest.test_case "hash entry" `Quick test_enclave_hash_entry ] );
+      ( "shadowstack",
+        [ Alcotest.test_case "depth overflow" `Quick
+            test_shadowstack_depth_overflow;
+          Alcotest.test_case "deep but legal" `Quick
+            test_shadowstack_deep_but_legal ] );
+      ( "figure2",
+        [ Alcotest.test_case "structure" `Quick test_figure2_structure ] );
+      ( "nested",
+        [ Alcotest.test_case "transparent" `Quick
+            test_nested_transparent_when_unmapped ] );
+    ]

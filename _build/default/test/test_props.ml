@@ -1,0 +1,290 @@
+(* Property tests across the stack: word arithmetic laws, assembler
+   pseudo-instruction correctness (li/la materialize any 32-bit value),
+   disassembler fixpoints, and a differential check of the Mgen
+   compiler against a direct OCaml evaluator. *)
+
+open Metal_cpu
+
+let gen_word =
+  QCheck.Gen.(map (fun x -> x land 0xFFFFFFFF) (int_bound max_int))
+
+let arb_word = QCheck.make ~print:Word.to_hex gen_word
+
+(* ------------------------------------------------------------------ *)
+(* Word laws *)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:500
+    (QCheck.pair arb_word arb_word)
+    (fun (a, b) -> Word.add a b = Word.add b a)
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"sub inverts add" ~count:500
+    (QCheck.pair arb_word arb_word)
+    (fun (a, b) -> Word.sub (Word.add a b) b = a)
+
+let prop_neg_via_sub =
+  QCheck.Test.make ~name:"0 - (0 - a) = a" ~count:500 arb_word
+    (fun a -> Word.sub 0 (Word.sub 0 a) = a)
+
+let prop_signed_unsigned_agree =
+  QCheck.Test.make ~name:"signed order shifts by 2^31" ~count:500
+    (QCheck.pair arb_word arb_word)
+    (fun (a, b) ->
+       Word.lt_signed a b
+       = Word.lt_unsigned (Word.logxor a 0x80000000) (Word.logxor b 0x80000000))
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"left then logical right keeps low bits" ~count:500
+    (QCheck.pair arb_word (QCheck.make (QCheck.Gen.int_range 0 31)))
+    (fun (a, n) ->
+       let masked = Word.logand a ((1 lsl (32 - n)) - 1) in
+       Word.shift_right_logical (Word.shift_left masked n) n = masked)
+
+let prop_sign_extend_idempotent =
+  QCheck.Test.make ~name:"sign_extend idempotent through of_int" ~count:500
+    (QCheck.pair (QCheck.make (QCheck.Gen.int_range 1 32)) arb_word)
+    (fun (w, v) ->
+       let e = Word.sign_extend ~width:w v in
+       Word.sign_extend ~width:w (Word.of_int e) = e)
+
+let prop_to_signed_of_signed =
+  QCheck.Test.make ~name:"of_signed inverts to_signed" ~count:500 arb_word
+    (fun a -> Word.of_signed (Word.to_signed a) = a)
+
+(* ------------------------------------------------------------------ *)
+(* li / la materialize arbitrary constants *)
+
+let run_program src =
+  let m = Machine.create () in
+  let img = Metal_asm.Asm.assemble_exn src in
+  (match Machine.load_image m img with Ok () -> () | Error e -> failwith e);
+  Machine.set_pc m 0;
+  match Pipeline.run m ~max_cycles:1000 with
+  | Some (Machine.Halt_ebreak _) -> m
+  | Some h -> failwith (Machine.halted_to_string h)
+  | None -> failwith "timeout"
+
+let prop_li_any_value =
+  QCheck.Test.make ~name:"li materializes any 32-bit value" ~count:300
+    arb_word
+    (fun v ->
+       let m = run_program (Printf.sprintf "li a0, 0x%x\nebreak\n" v) in
+       Machine.get_reg m Reg.a0 = v)
+
+let prop_li_negative_notation =
+  QCheck.Test.make ~name:"li accepts signed notation" ~count:300
+    (QCheck.make (QCheck.Gen.int_range (-0x80000000) 0x7FFFFFFF))
+    (fun v ->
+       let m = run_program (Printf.sprintf "li a0, %d\nebreak\n" v) in
+       Machine.get_reg m Reg.a0 = Word.of_int v)
+
+let prop_hi_lo_reconstruct =
+  QCheck.Test.make ~name:"%hi/%lo reconstruct via lui+addi" ~count:300
+    arb_word
+    (fun v ->
+       let m =
+         run_program
+           (Printf.sprintf
+              ".equ V, 0x%x\nlui a0, %%hi(V)\naddi a0, a0, %%lo(V)\nebreak\n"
+              v)
+       in
+       Machine.get_reg m Reg.a0 = v)
+
+(* ------------------------------------------------------------------ *)
+(* Disassembler fixpoint on whole programs *)
+
+let gen_alu_program =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let instr =
+    oneof
+      [ map3 (fun rd rs1 rs2 -> Instr.Op { op = Instr.Add; rd; rs1; rs2 })
+          reg reg reg;
+        map3 (fun rd rs1 imm -> Instr.Op_imm { op = Instr.Xor; rd; rs1; imm })
+          reg reg (int_range (-2048) 2047);
+        map2 (fun rd imm -> Instr.Lui { rd; imm }) reg (int_range 0 0xFFFFF);
+        map3 (fun rd rs1 offset ->
+            Instr.Load { width = Instr.Word; unsigned = false; rd; rs1;
+                         offset })
+          reg reg (int_range (-2048) 2047) ]
+  in
+  list_size (int_range 1 30) instr
+
+let prop_disasm_fixpoint =
+  QCheck.Test.make ~name:"assemble(disasm(words)) = words" ~count:200
+    (QCheck.make
+       ~print:(fun is -> String.concat "\n" (List.map Instr.to_string is))
+       gen_alu_program)
+    (fun instrs ->
+       let text =
+         String.concat "\n" (List.map Instr.to_string instrs) ^ "\n"
+       in
+       match Metal_asm.Asm.assemble text with
+       | Error _ -> false
+       | Ok img ->
+         List.for_all
+           (fun (i, instr) ->
+              Metal_asm.Image.word_at img (4 * i)
+              = Some (Encode.encode_exn instr))
+           (List.mapi (fun i x -> (i, x)) instrs))
+
+(* ------------------------------------------------------------------ *)
+(* Mgen differential: compiled expressions match an OCaml evaluator *)
+
+type mexpr =
+  | P0
+  | P1
+  | K of int
+  | Bin of string * mexpr * mexpr
+
+let rec eval_mexpr ~a0 ~a1 = function
+  | P0 -> a0
+  | P1 -> a1
+  | K v -> Word.of_int v
+  | Bin (op, x, y) ->
+    let a = eval_mexpr ~a0 ~a1 x and b = eval_mexpr ~a0 ~a1 y in
+    begin match op with
+    | "add" -> Word.add a b
+    | "sub" -> Word.sub a b
+    | "and" -> Word.logand a b
+    | "or" -> Word.logor a b
+    | "xor" -> Word.logxor a b
+    | "shl" -> Word.shift_left a b
+    | "shr" -> Word.shift_right_logical a b
+    | "sar" -> Word.shift_right_arith a b
+    | "eq" -> if a = b then 1 else 0
+    | "ne" -> if a <> b then 1 else 0
+    | "lt" -> if Word.lt_signed a b then 1 else 0
+    | "ltu" -> if Word.lt_unsigned a b then 1 else 0
+    | "ge" -> if Word.ge_signed a b then 1 else 0
+    | "geu" -> if Word.ge_unsigned a b then 1 else 0
+    | _ -> assert false
+    end
+
+let rec to_mgen = function
+  | P0 -> Metal_mgen.Mgen.param 0
+  | P1 -> Metal_mgen.Mgen.param 1
+  | K v -> Metal_mgen.Mgen.int v
+  | Bin (op, x, y) ->
+    let a = to_mgen x and b = to_mgen y in
+    let f =
+      let open Metal_mgen.Mgen in
+      match op with
+      | "add" -> add
+      | "sub" -> sub
+      | "and" -> and_
+      | "or" -> or_
+      | "xor" -> xor
+      | "shl" -> shl
+      | "shr" -> shr
+      | "sar" -> sar
+      | "eq" -> eq
+      | "ne" -> ne
+      | "lt" -> lt
+      | "ltu" -> ltu
+      | "ge" -> ge
+      | "geu" -> geu
+      | _ -> assert false
+    in
+    f a b
+
+let rec print_mexpr = function
+  | P0 -> "a0"
+  | P1 -> "a1"
+  | K v -> string_of_int v
+  | Bin (op, x, y) ->
+    Printf.sprintf "(%s %s %s)" (print_mexpr x) op (print_mexpr y)
+
+let gen_mexpr =
+  let open QCheck.Gen in
+  let ops =
+    [ "add"; "sub"; "and"; "or"; "xor"; "shl"; "shr"; "sar"; "eq"; "ne";
+      "lt"; "ltu"; "ge"; "geu" ]
+  in
+  (* Shift amounts are masked to 0..31 by the hardware and the model
+     alike, so unrestricted operands are fine. *)
+  let rec expr n =
+    if n = 0 then
+      oneof [ return P0; return P1;
+              map (fun v -> K (v land 0xFFFF)) (int_bound 0xFFFF) ]
+    else
+      frequency
+        [ (1, return P0); (1, return P1);
+          (1, map (fun v -> K (v land 0xFFFF)) (int_bound 0xFFFF));
+          (4, map3 (fun op a b -> Bin (op, a, b)) (oneofl ops) (expr (n - 1))
+               (expr (n - 1))) ]
+  in
+  expr 3
+
+let prop_mgen_differential =
+  QCheck.Test.make ~name:"Mgen compilation matches direct evaluation"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (e, a0, a1) ->
+           Printf.sprintf "%s with a0=%s a1=%s" (print_mexpr e)
+             (Word.to_hex a0) (Word.to_hex a1))
+       QCheck.Gen.(triple gen_mexpr gen_word gen_word))
+    (fun (e, a0, a1) ->
+       let r =
+         Metal_mgen.Mgen.routine ~name:"p" ~entry:0
+           [ Metal_mgen.Mgen.set_param 0 (to_mgen e) ]
+       in
+       let m = Machine.create () in
+       match Metal_mgen.Mgen.install m [ r ] with
+       | Error e -> QCheck.Test.fail_report e
+       | Ok () ->
+         let img =
+           Metal_asm.Asm.assemble_exn
+             (Printf.sprintf "li a0, 0x%x\nli a1, 0x%x\nmenter 0\nebreak\n"
+                a0 a1)
+         in
+         (match Machine.load_image m img with
+          | Ok () -> ()
+          | Error e -> failwith e);
+         Machine.set_pc m 0;
+         begin match Pipeline.run m ~max_cycles:10_000 with
+         | Some (Machine.Halt_ebreak _) ->
+           let got = Machine.get_reg m Reg.a0 in
+           let want = eval_mexpr ~a0 ~a1 e in
+           if got = want then true
+           else
+             QCheck.Test.fail_report
+               (Printf.sprintf "got %s want %s" (Word.to_hex got)
+                  (Word.to_hex want))
+         | Some h -> QCheck.Test.fail_report (Machine.halted_to_string h)
+         | None -> QCheck.Test.fail_report "timeout"
+         end)
+
+(* ------------------------------------------------------------------ *)
+(* TLB pack/unpack roundtrips *)
+
+let prop_tlb_pack_roundtrip =
+  QCheck.Test.make ~name:"tlb tag/data pack-unpack roundtrip" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         tup6 (int_bound 0xFFFFF) (int_bound 0xFF) bool (int_bound 0xFFFFF)
+           (int_bound 0xF) (tup3 bool bool bool)))
+    (fun (vpn, asid, global, ppn, pkey, (r, w, x)) ->
+       let tag = Instr.pack_tlb_tag ~vpn ~asid ~global in
+       let data = Instr.pack_tlb_data ~ppn ~pkey ~r ~w ~x in
+       Instr.unpack_tlb_tag tag = (vpn, asid, global)
+       && Instr.unpack_tlb_data data = (ppn, pkey, r, w, x))
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "word",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_comm; prop_add_sub_inverse; prop_neg_via_sub;
+            prop_signed_unsigned_agree; prop_shift_roundtrip;
+            prop_sign_extend_idempotent; prop_to_signed_of_signed ] );
+      ( "assembler",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_li_any_value; prop_li_negative_notation;
+            prop_hi_lo_reconstruct; prop_disasm_fixpoint ] );
+      ( "mgen",
+        List.map QCheck_alcotest.to_alcotest [ prop_mgen_differential ] );
+      ( "isa",
+        List.map QCheck_alcotest.to_alcotest [ prop_tlb_pack_roundtrip ] );
+    ]

@@ -1,0 +1,118 @@
+(* Synthesis cost model tests: Table 2 shape and component algebra. *)
+
+open Metal_synth
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_cost_monotone_in_size () =
+  let cells k = (Cost_model.of_kind k).Cost_model.cells in
+  check_bool "bigger sram costs more" true
+    (cells (Component.Sram { bytes = 8192; ports = 1 })
+     > cells (Component.Sram { bytes = 4096; ports = 1 }));
+  check_bool "bigger regfile costs more" true
+    (cells (Component.Regfile { entries = 64; width = 32; read_ports = 2;
+                                write_ports = 1 })
+     > cells (Component.Regfile { entries = 32; width = 32; read_ports = 2;
+                                  write_ports = 1 }));
+  check_bool "more read ports cost more" true
+    (cells (Component.Regfile { entries = 32; width = 32; read_ports = 3;
+                                write_ports = 1 })
+     > cells (Component.Regfile { entries = 32; width = 32; read_ports = 1;
+                                  write_ports = 1 }));
+  check_bool "wider mux costs more" true
+    (cells (Component.Mux { width = 32; ways = 4 })
+     > cells (Component.Mux { width = 32; ways = 2 }))
+
+let test_cost_algebra () =
+  let a = { Cost_model.cells = 3; wires = 4 } in
+  let b = { Cost_model.cells = 10; wires = 20 } in
+  check_int "add cells" 13 (Cost_model.add a b).Cost_model.cells;
+  check_int "scale wires" 12 (Cost_model.scale 3 a).Cost_model.wires;
+  check_int "zero" 0 Cost_model.zero.Cost_model.cells;
+  let comp = Component.make ~count:2 "x" (Component.Latch { bits = 10 }) in
+  let one = Cost_model.of_kind (Component.Latch { bits = 10 }) in
+  let two = Cost_model.of_component comp in
+  check_bool "count multiplies (with calibration)" true
+    (two.Cost_model.cells
+     = int_of_float
+         (float_of_int (2 * one.Cost_model.cells) *. Cost_model.calibration))
+
+let test_table2_shape () =
+  let t = Report.table2 () in
+  (* The paper's Table 2: baseline 180,546 cells / 170,264 wires;
+     Metal +14.3% cells, +16.1% wires.  The model must land close. *)
+  let close ~pct target v =
+    let diff = abs (v - target) in
+    float_of_int diff /. float_of_int target < pct
+  in
+  check_bool
+    (Printf.sprintf "baseline cells ~ paper (%d)" t.Report.cells.Report.baseline)
+    true
+    (close ~pct:0.05 180546 t.Report.cells.Report.baseline);
+  check_bool
+    (Printf.sprintf "baseline wires ~ paper (%d)" t.Report.wires.Report.baseline)
+    true
+    (close ~pct:0.05 170264 t.Report.wires.Report.baseline);
+  check_bool
+    (Printf.sprintf "cell delta in band (%.1f%%)" t.Report.cells.Report.change_pct)
+    true
+    (t.Report.cells.Report.change_pct > 10.0
+     && t.Report.cells.Report.change_pct < 18.0);
+  check_bool
+    (Printf.sprintf "wire delta in band (%.1f%%)" t.Report.wires.Report.change_pct)
+    true
+    (t.Report.wires.Report.change_pct > 12.0
+     && t.Report.wires.Report.change_pct < 20.0);
+  check_bool "wires grow faster than cells (paper shape)" true
+    (t.Report.wires.Report.change_pct > t.Report.cells.Report.change_pct)
+
+let test_metal_additions_structure () =
+  let cfg = Netlist.prototype in
+  let base = Netlist.baseline cfg in
+  let metal = Netlist.metal cfg in
+  check_int "metal = baseline + additions"
+    (List.length base + List.length (Netlist.metal_additions cfg))
+    (List.length metal);
+  let names = List.map (fun c -> c.Component.name) (Netlist.metal_additions cfg) in
+  List.iter
+    (fun needle ->
+       check_bool needle true
+         (List.exists (fun n -> n = needle) names))
+    [ "mram code segment"; "mram data segment"; "metal register file";
+      "metal mode control"; "intercept match table" ]
+
+let test_bigger_mram_costs_more () =
+  let small = Report.table2 ~config:Netlist.prototype () in
+  let big =
+    Report.table2
+      ~config:{ Netlist.prototype with Netlist.mram_code_bytes = 8192 } ()
+  in
+  check_bool "larger MRAM raises the delta" true
+    (big.Report.cells.Report.change_pct > small.Report.cells.Report.change_pct);
+  check_int "baseline unchanged" small.Report.cells.Report.baseline
+    big.Report.cells.Report.baseline
+
+let test_report_rendering () =
+  let t = Report.table2 () in
+  let s = Report.to_string t in
+  check_bool "has header" true (Tutil.contains s "Baseline");
+  check_bool "has cells row" true (Tutil.contains s "Number of Cells");
+  check_bool "has wires row" true (Tutil.contains s "Number of Wires");
+  let b = Report.breakdown () in
+  check_bool "breakdown lists mram" true (Tutil.contains b "mram code segment");
+  check_bool "breakdown lists totals" true (Tutil.contains b "TOTAL")
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "cost-model",
+        [ Alcotest.test_case "monotonicity" `Quick test_cost_monotone_in_size;
+          Alcotest.test_case "algebra" `Quick test_cost_algebra ] );
+      ( "table2",
+        [ Alcotest.test_case "shape vs paper" `Quick test_table2_shape;
+          Alcotest.test_case "netlist structure" `Quick
+            test_metal_additions_structure;
+          Alcotest.test_case "mram scaling" `Quick test_bigger_mram_costs_more;
+          Alcotest.test_case "rendering" `Quick test_report_rendering ] );
+    ]

@@ -1,0 +1,13 @@
+(* Shared helpers for the test suites. *)
+
+(* Naive substring search; inputs are small test strings. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec go i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else go (i + 1)
+    in
+    go 0
