@@ -187,12 +187,14 @@ nowrap:
 
 type pt_mode = Pt_metal | Pt_hw | Pt_palcode
 
-let pt_run ~pages ~accesses mode =
+let pt_run ?(predecode = Config.default.Config.predecode) ~pages ~accesses
+    mode =
   let config =
     match mode with
     | Pt_palcode -> Config.palcode
     | Pt_metal | Pt_hw -> Config.default
   in
+  let config = { config with Config.predecode } in
   let m = machine ~config () in
   (match Pagetable.install m { Pagetable.os_fault_entry = 0 } with
    | Ok () -> ()
@@ -512,7 +514,7 @@ txn_retry:
 let nic_base = Metal_hw.Bus.mmio_base + 0x100
 let uintr_packets = 25
 
-let polling_prog =
+let polling_prog ~packets =
   Printf.sprintf
     {|start:
     li s2, %d
@@ -526,9 +528,9 @@ work:
     bne s1, s3, work
     ebreak
 |}
-    nic_base uintr_packets
+    nic_base packets
 
-let uintr_prog ~kernel_mediated =
+let uintr_prog ?(packets = uintr_packets) ~kernel_mediated () =
   let handler_target = if kernel_mediated then "kstub" else "handler" in
   Printf.sprintf
     {|start:
@@ -579,24 +581,26 @@ drain:
 hdone:
     jr t1
 |}
-    handler_target Layout.uintr_setup nic_base uintr_packets Layout.uintr_ret
+    handler_target Layout.uintr_setup nic_base packets Layout.uintr_ret
     Layout.uintr_ret nic_base
 
-let uintr_run ~period mode =
+let uintr_run ?(predecode = Config.default.Config.predecode)
+    ?(packets = uintr_packets) ~period mode =
   let schedule =
-    Metal_hw.Devices.Nic.Periodic { start = 100; period; count = uintr_packets }
+    Metal_hw.Devices.Nic.Periodic { start = 100; period; count = packets }
   in
-  let sys = Metal_core.System.create ~nic_schedule:schedule () in
+  let config = { Config.default with Config.predecode } in
+  let sys = Metal_core.System.create ~config ~nic_schedule:schedule () in
   let m = sys.Metal_core.System.machine in
   let prog =
     match mode with
-    | `Polling -> polling_prog
+    | `Polling -> polling_prog ~packets
     | `Uintr ->
       (match Uintr.install m with Ok () -> () | Error e -> fail "%s" e);
-      uintr_prog ~kernel_mediated:false
+      uintr_prog ~packets ~kernel_mediated:false ()
     | `Kernel ->
       (match Uintr.install m with Ok () -> () | Error e -> fail "%s" e);
-      uintr_prog ~kernel_mediated:true
+      uintr_prog ~packets ~kernel_mediated:true ()
   in
   (match Metal_core.System.run_program sys ~max_cycles:10_000_000 prog with
    | Ok _ -> ()
@@ -609,7 +613,7 @@ let uintr_run ~period mode =
       float_of_int (List.fold_left ( + ) 0 lats)
       /. float_of_int (List.length lats)
   in
-  (reg m Reg.s0, mean)
+  (m, mean)
 
 let uintr () =
   section "E8. User-level interrupts: packet handling (DPDK scenario)";
@@ -621,9 +625,10 @@ let uintr () =
     "latency" "work" "latency" "work" "latency";
   List.iter
     (fun period ->
-       let pw, pl = uintr_run ~period `Polling in
-       let uw, ul = uintr_run ~period `Uintr in
-       let kw, kl = uintr_run ~period `Kernel in
+       let work (m, lat) = (reg m Reg.s0, lat) in
+       let pw, pl = work (uintr_run ~period `Polling) in
+       let uw, ul = work (uintr_run ~period `Uintr) in
+       let kw, kl = work (uintr_run ~period `Kernel) in
        Printf.printf "%8d | %10d %10.1f | %10d %10.1f | %10d %10.1f\n" period
          pw pl uw ul kw kl)
     [ 250; 500; 1000; 2000 ];
@@ -950,6 +955,214 @@ let sidechannel () =
      main-memory-resident vertical microcode leaks its execution path."
 
 (* ------------------------------------------------------------------ *)
+(* Simulator throughput: simulated instructions per host second        *)
+
+(* Three long workloads, each run with the predecode cache on and off
+   (Config.predecode).  The off position is the ablation/correctness
+   oracle — the decode-every-fetch hot loop — so the ratio is the
+   speedup the predecode fast path buys.  With --json the results land
+   in BENCH_sim_throughput.json. *)
+
+let retired m = m.Machine.stats.Stats.instructions
+
+(* E6-shaped workload: the mcode TLB-miss walker sweep (paging on,
+   Metal-mode fetches, physld-heavy mroutines). *)
+let simperf_walker ~predecode () =
+  List.fold_left
+    (fun acc pages ->
+       let m = pt_run ~predecode ~pages ~accesses:6000 Pt_metal in
+       acc + retired m)
+    0
+    [ 16; 32; 64; 96 ]
+
+(* E8-shaped workload: the NIC packet sweep under user-level
+   interrupts (device ticks, interrupt delivery, handler drains). *)
+let simperf_nic ~predecode () =
+  List.fold_left
+    (fun acc period ->
+       let m, _ = uintr_run ~predecode ~packets:400 ~period `Uintr in
+       acc + retired m)
+    0
+    [ 250; 500; 1000; 2000 ]
+
+(* Differential-style random programs: straight-line ALU/memory/branch
+   bodies (the test_differential generator's shape) wrapped in a
+   counted loop so each program refetches its body thousands of
+   times. *)
+let simperf_random_programs =
+  lazy
+    (let seed = ref 0x2545F491 in
+     let rand bound =
+       seed := !seed lxor (!seed lsl 13);
+       seed := !seed lxor (!seed lsr 17);
+       seed := !seed lxor (!seed lsl 5);
+       (!seed land max_int) mod bound
+     in
+     let data_base = 0x1000 in
+     let base_reg = 28 and counter_reg = 29 in
+     let gen_body n =
+       let reg () = rand 16 in
+       let alu =
+         [| Instr.Add; Instr.Sub; Instr.Sll; Instr.Slt; Instr.Sltu;
+            Instr.Xor; Instr.Srl; Instr.Sra; Instr.Or; Instr.And |]
+       in
+       let cond =
+         [| Instr.Beq; Instr.Bne; Instr.Blt; Instr.Bge; Instr.Bltu;
+            Instr.Bgeu |]
+       in
+       List.init n (fun i ->
+           if i >= n - 2 then
+             (* Keep the last two slots fall-through so a skip never
+                jumps past the loop back-edge. *)
+             Instr.Op { op = alu.(rand 10); rd = reg (); rs1 = reg ();
+                        rs2 = reg () }
+           else
+             match rand 10 with
+             | 0 | 1 | 2 ->
+               Instr.Op { op = alu.(rand 10); rd = reg (); rs1 = reg ();
+                          rs2 = reg () }
+             | 3 | 4 ->
+               Instr.Op_imm { op = Instr.Add; rd = reg (); rs1 = reg ();
+                              imm = rand 4096 - 2048 }
+             | 5 ->
+               Instr.Load { width = Instr.Word; unsigned = false;
+                            rd = reg (); rs1 = base_reg;
+                            offset = 4 * rand 64 }
+             | 6 ->
+               Instr.Store { width = Instr.Word; rs2 = reg ();
+                             rs1 = base_reg; offset = 4 * rand 64 }
+             | 7 ->
+               Instr.Branch { cond = cond.(rand 6); rs1 = reg ();
+                              rs2 = reg (); offset = 8 }
+             | _ ->
+               Instr.Op_imm { op = Instr.Xor; rd = reg (); rs1 = reg ();
+                              imm = rand 2048 })
+     in
+     let image_of instrs =
+       let b = Metal_asm.Image.Builder.create () in
+       List.iteri
+         (fun i instr ->
+            match
+              Metal_asm.Image.Builder.emit_word b ~addr:(4 * i)
+                (Encode.encode_exn instr)
+            with
+            | Ok () -> ()
+            | Error e -> fail "%s" e)
+         instrs;
+       Metal_asm.Image.Builder.finish b
+     in
+     List.init 24 (fun _ ->
+         let body_len = 30 + rand 30 in
+         let body = gen_body body_len in
+         let iters = 2000 in
+         let prologue =
+           [ Instr.Lui { rd = base_reg; imm = data_base lsr 12 };
+             Instr.Op_imm { op = Instr.Add; rd = counter_reg; rs1 = 0;
+                            imm = iters } ]
+         in
+         let back_offset = -4 * (body_len + 1) in
+         let epilogue =
+           [ Instr.Op_imm { op = Instr.Add; rd = counter_reg;
+                            rs1 = counter_reg; imm = -1 };
+             Instr.Branch { cond = Instr.Bne; rs1 = counter_reg; rs2 = 0;
+                            offset = back_offset };
+             Instr.Ebreak ]
+         in
+         image_of (prologue @ body @ epilogue)))
+
+let simperf_random ~predecode () =
+  let config = { Config.default with Config.predecode } in
+  List.fold_left
+    (fun acc img ->
+       let m = machine ~config () in
+       (match Machine.load_image m img with
+        | Ok () -> ()
+        | Error e -> fail "%s" e);
+       Machine.set_pc m 0;
+       run_to_ebreak m;
+       acc + retired m)
+    0
+    (Lazy.force simperf_random_programs)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The workloads are deterministic, so the minimum over several rounds
+   is the least noise-contaminated estimate; interleaving the on/off
+   configurations keeps slow host-load drift from biasing the ratio. *)
+let timed_pair run =
+  let rounds = 3 in
+  let n_on = ref 0 and n_off = ref 0 in
+  let t_on = ref infinity and t_off = ref infinity in
+  for _ = 1 to rounds do
+    let n, t = time_once (run ~predecode:true) in
+    n_on := n;
+    if t < !t_on then t_on := t;
+    let n, t = time_once (run ~predecode:false) in
+    n_off := n;
+    if t < !t_off then t_off := t
+  done;
+  (!n_on, !t_on, !n_off, !t_off)
+
+let simperf_json = ref false
+
+let simperf () =
+  section "E15. Simulator throughput (simulated instructions / host second)";
+  let workloads =
+    [ ("e6_walker_sweep", simperf_walker);
+      ("e8_nic_sweep", simperf_nic);
+      ("random_programs", simperf_random) ]
+  in
+  (* Touch every code path once so timing excludes cold-start work. *)
+  ignore (pt_run ~predecode:true ~pages:4 ~accesses:50 Pt_metal);
+  ignore (pt_run ~predecode:false ~pages:4 ~accesses:50 Pt_metal);
+  Printf.printf "%-18s %12s %11s %11s %9s\n" "workload" "sim instrs"
+    "Minstr/s on" "Minstr/s off" "speedup";
+  let results =
+    List.map
+      (fun (name, run) ->
+         let n_on, t_on, n_off, t_off = timed_pair run in
+         if n_on <> n_off then
+           fail "%s: instruction counts diverge with predecode (%d vs %d)"
+             name n_on n_off;
+         let ips_on = float_of_int n_on /. t_on in
+         let ips_off = float_of_int n_off /. t_off in
+         let speedup = ips_on /. ips_off in
+         Printf.printf "%-18s %12d %11.2f %11.2f %8.2fx\n" name n_on
+           (ips_on /. 1e6) (ips_off /. 1e6) speedup;
+         (name, n_on, t_on, t_off, ips_on, ips_off, speedup))
+      workloads
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, _, _, _, s) -> a +. log s) 0.0 results
+       /. float_of_int (List.length results))
+  in
+  Printf.printf "\ngeometric-mean speedup from the predecode cache: %.2fx\n"
+    geomean;
+  if !simperf_json then begin
+    let oc = open_out "BENCH_sim_throughput.json" in
+    Printf.fprintf oc "{\n  \"benchmark\": \"sim_throughput\",\n";
+    Printf.fprintf oc "  \"unit\": \"simulated instructions per host second\",\n";
+    Printf.fprintf oc "  \"workloads\": [\n";
+    List.iteri
+      (fun i (name, n, t_on, t_off, ips_on, ips_off, speedup) ->
+         Printf.fprintf oc
+           "    {\"name\": %S, \"instructions\": %d,\n\
+           \     \"predecode_on\": {\"seconds\": %.6f, \"ips\": %.0f},\n\
+           \     \"predecode_off\": {\"seconds\": %.6f, \"ips\": %.0f},\n\
+           \     \"speedup\": %.3f}%s\n"
+           name n t_on ips_on t_off ips_off speedup
+           (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ],\n  \"geomean_speedup\": %.3f\n}\n" geomean;
+    close_out oc;
+    print_endline "wrote BENCH_sim_throughput.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1009,13 +1222,24 @@ let sections =
     ("pagetable", pagetable); ("stm", stm); ("uintr", uintr);
     ("isolation", isolation); ("ablation", ablation); ("nested", nested);
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
-    ("host", host) ]
+    ("simperf", simperf); ("host", host) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+         if a = "--json" then begin
+           simperf_json := true;
+           false
+         end
+         else true)
+      args
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picks) -> picks
-    | _ -> List.map fst sections
+    match args with
+    | _ :: _ as picks -> picks
+    | [] -> List.map fst sections
   in
   print_endline
     "Metal: An Open Architecture for Developing Processor Features\n\

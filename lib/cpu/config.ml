@@ -14,6 +14,8 @@ type t = {
   icache : Metal_hw.Cache.config option;
   dcache : Metal_hw.Cache.config option;
   trace : bool;
+  predecode : bool;
+  predecode_entries : int;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     icache = None;
     dcache = None;
     trace = false;
+    predecode = true;
+    predecode_entries = 4096;
   }
 
 let palcode =

@@ -44,6 +44,15 @@ type t = {
       (** optional data-cache timing model for cached loads/stores;
           [mld]/[mst] and [physld]/[physst] bypass it. *)
   trace : bool;  (** record a per-retirement trace (bounded). *)
+  predecode : bool;
+      (** cache decoded instructions by physical fetch address so the
+          hot loop skips [Decode.decode] on refetch.  Purely a host-side
+          speedup: simulated cycles, stats and architectural state are
+          identical with it off (the off position is the ablation /
+          correctness oracle). *)
+  predecode_entries : int;
+      (** direct-mapped predecode-cache size in entries (power of
+          two). *)
 }
 
 val default : t

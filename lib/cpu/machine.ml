@@ -7,32 +7,46 @@ type uop =
   | U_event of { kind : event_kind; writes : (Reg.mreg * Word.t) list }
   | U_poison of { cause : Cause.t; tval : Word.t }
 
+(* Latches are mutable records reused across cycles: the hot loop
+   never allocates in steady state.  A [*valid] flag plays the role the
+   former [option] wrapper did. *)
 type fetched = {
-  fpc : int;
-  fmetal : bool;
-  word : Word.t;
-  ffault : Cause.t option;
+  mutable fvalid : bool;
+  mutable fpc : int;
+  mutable fmetal : bool;
+  mutable word : Word.t;
+  mutable ffault : Cause.t option;
+  mutable fdec_valid : bool;
+  mutable flegal : bool;
+  mutable finstr : Instr.t;
+  mutable fuop : uop;
+  mutable frs1 : int;
+  mutable frs2 : int;
 }
 
 type decoded = {
-  dpc : int;
-  dmetal : bool;
-  duop : uop;
-  rs1 : int;
-  rs2 : int;
-  rv1 : Word.t;
-  rv2 : Word.t;
+  mutable dvalid : bool;
+  mutable dpc : int;
+  mutable dmetal : bool;
+  mutable duop : uop;
+  mutable rs1 : int;
+  mutable rs2 : int;
+  mutable rv1 : Word.t;
+  mutable rv2 : Word.t;
 }
 
 type executed = {
-  xpc : int;
-  xmetal : bool;
-  xuop : uop;
-  alu : Word.t;
-  sval : Word.t;
+  mutable xvalid : bool;
+  mutable xpc : int;
+  mutable xmetal : bool;
+  mutable xuop : uop;
+  mutable alu : Word.t;
+  mutable sval : Word.t;
 }
 
-type writeback = { wrd : Reg.t; wvalue : Word.t }
+let nop_instr = Instr.Fence
+
+let nop_uop = U_instr Instr.Fence
 
 type halt =
   | Halt_ebreak of { pc : int; metal : bool }
@@ -51,17 +65,21 @@ type t = {
   ctrl : Word.t array;
   regs : Word.t array;
   stats : Stats.t;
+  predecode : uop Predecode.t;
+  use_predecode : bool;
   mutable fetch_pc : int;
   mutable fetch_metal : bool;
   mutable fetch_frozen : bool;
-  mutable if_id : fetched option;
-  mutable id_ex : decoded option;
-  mutable ex_mem : executed option;
-  mutable mem_wb : writeback option;
+  if_id : fetched;
+  id_ex : decoded;
+  ex_mem : executed;
+  mutable wb_rd : int;
+  mutable wb_value : Word.t;
   mutable stall_cycles : int;
   mutable halted : halt option;
   mutable fault_vaddr : Word.t;
   mutable fault_cause : Word.t;
+  mutable xlate_cause : Cause.t;
   trace : (int * string) Queue.t;
 }
 
@@ -81,17 +99,48 @@ let create ?(config = Config.default) () =
     ctrl = Array.make Csr.count 0;
     regs = Array.make 32 0;
     stats = Stats.create ();
+    predecode =
+      Predecode.create ~entries:config.Config.predecode_entries
+        ~instr:nop_instr ~uop:nop_uop;
+    use_predecode = config.Config.predecode;
     fetch_pc = 0;
     fetch_metal = false;
     fetch_frozen = false;
-    if_id = None;
-    id_ex = None;
-    ex_mem = None;
-    mem_wb = None;
+    if_id =
+      {
+        fvalid = false;
+        fpc = 0;
+        fmetal = false;
+        word = 0;
+        ffault = None;
+        fdec_valid = false;
+        flegal = false;
+        finstr = nop_instr;
+        fuop = nop_uop;
+        frs1 = 0;
+        frs2 = 0;
+      };
+    id_ex =
+      {
+        dvalid = false;
+        dpc = 0;
+        dmetal = false;
+        duop = nop_uop;
+        rs1 = 0;
+        rs2 = 0;
+        rv1 = 0;
+        rv2 = 0;
+      };
+    ex_mem =
+      { xvalid = false; xpc = 0; xmetal = false; xuop = nop_uop; alu = 0;
+        sval = 0 };
+    wb_rd = 0;
+    wb_value = 0;
     stall_cycles = 0;
     halted = None;
     fault_vaddr = 0;
     fault_cause = 0;
+    xlate_cause = Cause.Access_fault;
     trace = Queue.create ();
   }
 
@@ -125,10 +174,10 @@ let set_pc t pc =
   t.fetch_pc <- Word.of_int pc;
   t.fetch_metal <- false;
   t.fetch_frozen <- false;
-  t.if_id <- None;
-  t.id_ex <- None;
-  t.ex_mem <- None;
-  t.mem_wb <- None
+  t.if_id.fvalid <- false;
+  t.id_ex.dvalid <- false;
+  t.ex_mem.xvalid <- false;
+  t.wb_rd <- 0
 
 let read_word t addr = Metal_hw.Phys_mem.read32 (Metal_hw.Bus.memory t.bus) addr
 

@@ -19,32 +19,49 @@ type uop =
       (** A fetch or decode fault carried to MEM for precise delivery;
           [tval] is the faulting address or instruction word. *)
 
+(** Pipeline latches are mutable records reused across cycles so the
+    steady-state hot loop never allocates; the [*valid] flag replaces
+    the former [option] wrapper. *)
+
 type fetched = {
-  fpc : int;
-  fmetal : bool;  (** fetched in Metal mode (from MRAM) *)
-  word : Word.t;
-  ffault : Cause.t option;
+  mutable fvalid : bool;
+  mutable fpc : int;
+  mutable fmetal : bool;  (** fetched in Metal mode (from MRAM) *)
+  mutable word : Word.t;
+  mutable ffault : Cause.t option;
+  mutable fdec_valid : bool;
+      (** the [fdec_*] predecode payload below is meaningful *)
+  mutable flegal : bool;
+  mutable finstr : Instr.t;
+  mutable fuop : uop;
+  mutable frs1 : int;
+  mutable frs2 : int;
 }
 
 type decoded = {
-  dpc : int;
-  dmetal : bool;
-  duop : uop;
-  rs1 : int;
-  rs2 : int;  (** source register indices (0 when unused) *)
-  rv1 : Word.t;
-  rv2 : Word.t;  (** register values read at decode *)
+  mutable dvalid : bool;
+  mutable dpc : int;
+  mutable dmetal : bool;
+  mutable duop : uop;
+  mutable rs1 : int;
+  mutable rs2 : int;  (** source register indices (0 when unused) *)
+  mutable rv1 : Word.t;
+  mutable rv2 : Word.t;  (** register values read at decode *)
 }
 
 type executed = {
-  xpc : int;
-  xmetal : bool;
-  xuop : uop;
-  alu : Word.t;  (** ALU result / effective address / first operand *)
-  sval : Word.t;  (** store data / second operand (forwarded) *)
+  mutable xvalid : bool;
+  mutable xpc : int;
+  mutable xmetal : bool;
+  mutable xuop : uop;
+  mutable alu : Word.t;  (** ALU result / effective address / first operand *)
+  mutable sval : Word.t;  (** store data / second operand (forwarded) *)
 }
 
-type writeback = { wrd : Reg.t; wvalue : Word.t }
+val nop_instr : Instr.t
+(** Placeholder filling invalid latch slots (never executed). *)
+
+val nop_uop : uop
 
 type halt =
   | Halt_ebreak of { pc : int; metal : bool }
@@ -65,18 +82,25 @@ type t = {
   ctrl : Word.t array;  (** control registers; see {!Metal_isa.Csr} *)
   regs : Word.t array;  (** GPR file; x0 kept at zero *)
   stats : Stats.t;
+  predecode : uop Predecode.t;
+      (** decoded-instruction cache keyed by physical fetch address;
+          consulted only when [use_predecode] *)
+  use_predecode : bool;  (** [Config.predecode] at creation *)
   mutable fetch_pc : int;
   mutable fetch_metal : bool;
   mutable fetch_frozen : bool;
       (** set after a fetch fault until the next redirect *)
-  mutable if_id : fetched option;
-  mutable id_ex : decoded option;
-  mutable ex_mem : executed option;
-  mutable mem_wb : writeback option;
+  if_id : fetched;
+  id_ex : decoded;
+  ex_mem : executed;
+  mutable wb_rd : int;  (** MEM/WB latch: destination (0 = bubble) *)
+  mutable wb_value : Word.t;
   mutable stall_cycles : int;
   mutable halted : halt option;
   mutable fault_vaddr : Word.t;
   mutable fault_cause : Word.t;
+  mutable xlate_cause : Cause.t;
+      (** fault cause of the last failed {!Pipeline.translate} *)
   trace : (int * string) Queue.t;  (** bounded (cycle, message) log *)
 }
 

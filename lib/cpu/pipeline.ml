@@ -1,4 +1,11 @@
 open Machine
+module P = Predecode
+
+(* The stage functions below mutate the machine's latch records in
+   place and return int-encoded outcomes instead of options/results:
+   together with the predecoded-instruction cache this makes [step]
+   allocation-free in steady state (allocation survives only on rare
+   paths — faults, events, traces, cache fills). *)
 
 (* ------------------------------------------------------------------ *)
 (* Classification helpers                                              *)
@@ -21,9 +28,30 @@ let produces_at_mem = function
   | Instr.Store _ | Instr.Op_imm _ | Instr.Op _ | Instr.Ecall | Instr.Ebreak
   | Instr.Fence -> false
 
-let uop_writes_gpr = function
-  | U_instr i -> Instr.writes_gpr i
-  | U_event _ | U_poison _ -> None
+(* Destination GPR, 0 when the instruction writes none (or targets x0,
+   which all consumers ignore).  Allocation-free counterpart of
+   [Instr.writes_gpr]. *)
+let instr_dst = function
+  | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ } | Instr.Jal { rd; _ }
+  | Instr.Jalr { rd; _ } | Instr.Load { rd; _ } | Instr.Op_imm { rd; _ }
+  | Instr.Op { rd; _ } -> rd
+  | Instr.Metal m ->
+    begin match m with
+    | Instr.Rmr { rd; _ } | Instr.Mld { rd; _ } -> rd
+    | Instr.Feature
+        ( Instr.Physld { rd; _ } | Instr.Tlbprobe { rd; _ }
+        | Instr.Gprr { rd; _ } | Instr.Mcsrr { rd; _ } ) -> rd
+    | Instr.Feature
+        ( Instr.Physst _ | Instr.Tlbw _ | Instr.Tlbflush _ | Instr.Gprw _
+        | Instr.Iceptset _ | Instr.Iceptclr _ | Instr.Mcsrw _ )
+    | Instr.Menter _ | Instr.Mexit | Instr.Wmr _ | Instr.Mst _ -> 0
+    end
+  | Instr.Branch _ | Instr.Store _ | Instr.Ecall | Instr.Ebreak
+  | Instr.Fence -> 0
+
+let uop_dst = function
+  | U_instr i -> instr_dst i
+  | U_event _ | U_poison _ -> 0
 
 let uop_produces_at_mem = function
   | U_instr i -> produces_at_mem i
@@ -90,49 +118,53 @@ let hw_walk m ~vpn ~asid =
         else Some (entry_of pte2 ~vpn ~ppn_extra:0)
     end
 
+let translate_fault m cause vaddr =
+  m.fault_vaddr <- Word.of_int vaddr;
+  m.xlate_cause <- cause;
+  -1
+
+let check_entry m ~access ~metal vaddr (e : Metal_hw.Tlb.entry) =
+  let open Metal_hw.Tlb in
+  let perm_ok =
+    match access with A_fetch -> e.x | A_load -> e.r | A_store -> e.w
+  in
+  if not perm_ok then translate_fault m (fault_of_access access) vaddr
+  else if not metal then begin
+    let perms = m.ctrl.(Csr.pkey_perms) in
+    let read_disabled = Word.bit (2 * e.pkey) perms = 1 in
+    let write_disabled = Word.bit ((2 * e.pkey) + 1) perms = 1 in
+    match access with
+    | A_load when read_disabled ->
+      translate_fault m Cause.Pkey_violation_load vaddr
+    | A_store when write_disabled ->
+      translate_fault m Cause.Pkey_violation_store vaddr
+    | A_fetch | A_load | A_store ->
+      (e.ppn lsl page_shift) lor (vaddr land 0xFFF)
+  end
+  else (e.ppn lsl page_shift) lor (vaddr land 0xFFF)
+
 (* Translate [vaddr] for [access] in the current address space.
-   Returns the physical address or the fault cause.  Metal mode skips
-   page-key checks (mroutines are fully privileged). *)
+   Returns the physical address, or -1 with the cause in
+   [m.xlate_cause] (and the address in [m.fault_vaddr]).  Metal mode
+   skips page-key checks (mroutines are fully privileged). *)
 let translate m ~access ~metal vaddr =
-  let open Metal_hw in
-  if m.ctrl.(Csr.paging) land 1 = 0 then Ok vaddr
+  if m.ctrl.(Csr.paging) land 1 = 0 then vaddr
   else begin
     let asid = m.ctrl.(Csr.asid) land 0xFF in
-    let vpn = vaddr lsr Tlb.page_shift in
-    let fault cause =
-      m.fault_vaddr <- Word.of_int vaddr;
-      Error cause
-    in
-    let check (e : Tlb.entry) =
-      let perm_ok =
-        match access with A_fetch -> e.x | A_load -> e.r | A_store -> e.w
-      in
-      if not perm_ok then fault (fault_of_access access)
-      else if not metal then begin
-        let perms = m.ctrl.(Csr.pkey_perms) in
-        let read_disabled = Word.bit (2 * e.pkey) perms = 1 in
-        let write_disabled = Word.bit ((2 * e.pkey) + 1) perms = 1 in
-        match access with
-        | A_load when read_disabled -> fault Cause.Pkey_violation_load
-        | A_store when write_disabled -> fault Cause.Pkey_violation_store
-        | A_fetch | A_load | A_store ->
-          Ok ((e.ppn lsl Tlb.page_shift) lor (vaddr land 0xFFF))
-      end
-      else Ok ((e.ppn lsl Tlb.page_shift) lor (vaddr land 0xFFF))
-    in
-    match Tlb.lookup m.tlb ~asid ~vpn with
+    let vpn = vaddr lsr Metal_hw.Tlb.page_shift in
+    match Metal_hw.Tlb.lookup m.tlb ~asid ~vpn with
     | Some e ->
       m.stats.Stats.tlb_hits <- m.stats.Stats.tlb_hits + 1;
-      check e
+      check_entry m ~access ~metal vaddr e
     | None ->
       m.stats.Stats.tlb_misses <- m.stats.Stats.tlb_misses + 1;
       if m.ctrl.(Csr.hw_walker) land 1 = 1 then
         match hw_walk m ~vpn ~asid with
         | Some e ->
-          Tlb.insert m.tlb e;
-          check e
-        | None -> fault (fault_of_access access)
-      else fault (fault_of_access access)
+          Metal_hw.Tlb.insert m.tlb e;
+          check_entry m ~access ~metal vaddr e
+        | None -> translate_fault m (fault_of_access access) vaddr
+      else translate_fault m (fault_of_access access) vaddr
   end
 
 (* Charge a cache access: a miss stalls the pipe for the cache's
@@ -155,9 +187,9 @@ let charge_cache m cache ~addr ~fetch =
 (* Event delivery                                                      *)
 
 let flush_all m =
-  m.if_id <- None;
-  m.id_ex <- None;
-  m.ex_mem <- None;
+  m.if_id.fvalid <- false;
+  m.id_ex.dvalid <- false;
+  m.ex_mem.xvalid <- false;
   m.stats.Stats.flushes <- m.stats.Stats.flushes + 1
 
 let redirect m ~target ~metal =
@@ -177,7 +209,7 @@ let deliver_to_mroutine m ~handler_value ~writes ~on_missing =
   | Some target ->
     List.iter (fun (mr, v) -> set_mreg m mr v) writes;
     flush_all m;
-    m.mem_wb <- None;
+    m.wb_rd <- 0;
     redirect m ~target ~metal:true;
     true
 
@@ -190,13 +222,13 @@ let raise_exception m ~cause ~epc ~tval ~metal =
          (Word.to_hex epc) (Word.to_hex tval));
   if metal then begin
     m.halted <- Some (Halt_metal_fault { cause; pc = epc; info = tval });
-    m.mem_wb <- None
+    m.wb_rd <- 0
   end
   else begin
     let handler_value = m.ctrl.(Csr.exc_handler cause) in
     if handler_value = 0 then begin
       m.halted <- Some (Halt_fault { cause; pc = epc; info = tval });
-      m.mem_wb <- None
+      m.wb_rd <- 0
     end
     else begin
       let writes =
@@ -222,144 +254,88 @@ let sign_extend_load ~width ~unsigned v =
   | Instr.Half, false -> Word.of_int (Word.sign_extend ~width:16 v)
   | (Instr.Byte | Instr.Half), true | Instr.Word, _ -> v
 
-(* Returns [true] when the cycle may continue through EX/ID/IF;
-   [false] when MEM flushed the pipe (exception or slow-path
-   transition) or halted the machine. *)
-let rec do_mem m ex_mem_old =
+let retire m =
+  let x = m.ex_mem in
   let stats = m.stats in
-  match ex_mem_old with
-  | None ->
-    stats.Stats.bubbles <- stats.Stats.bubbles + 1;
-    m.mem_wb <- None;
-    true
-  | Some x ->
-    let retire () =
-      stats.Stats.instructions <- stats.Stats.instructions + 1;
-      if x.xmetal then
-        stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
-      if m.config.Config.trace then
-        add_trace m ~cycle:stats.Stats.cycles
-          (Printf.sprintf "retire %s%s %s" (Word.to_hex x.xpc)
-             (if x.xmetal then " M" else "  ")
-             (match x.xuop with
-              | U_instr i -> Instr.to_string i
-              | U_event { kind = Event_menter e; _ } ->
-                Printf.sprintf "<menter %d>" e
-              | U_event { kind = Event_intercept c; _ } ->
-                Printf.sprintf "<intercept %s>" (Icept.to_string c)
-              | U_poison _ -> "<poison>"))
-    in
-    let writeback rd value =
-      m.mem_wb <- (if rd = 0 then None else Some { wrd = rd; wvalue = value });
-      retire ();
-      true
-    in
-    let no_writeback () =
-      m.mem_wb <- None;
-      retire ();
-      true
-    in
-    let except cause tval =
-      m.mem_wb <- None;
-      raise_exception m ~cause ~epc:x.xpc ~tval ~metal:x.xmetal;
-      false
-    in
-    let charge_mem_latency () =
-      let l = m.config.Config.mem_latency in
-      if l > 0 then begin
-        m.stall_cycles <- m.stall_cycles + l;
-        stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + l
-      end
-    in
-    begin match x.xuop with
-    | U_poison { cause; tval } ->
-      m.mem_wb <- None;
-      raise_exception m ~cause ~epc:x.xpc ~tval ~metal:x.xmetal;
-      false
-    | U_event { kind; writes } ->
-      List.iter (fun (mr, v) -> set_mreg m mr v) writes;
-      begin match kind with
-      | Event_menter _ -> stats.Stats.menters <- stats.Stats.menters + 1
-      | Event_intercept _ ->
-        stats.Stats.intercepts <- stats.Stats.intercepts + 1
-      end;
-      no_writeback ()
-    | U_instr instr ->
-      begin match instr with
-      | Instr.Load { width; unsigned; rd; _ } ->
-        let vaddr = x.alu in
-        if vaddr land width_alignment width <> 0 then
-          except Cause.Misaligned_load vaddr
-        else begin
-          match translate m ~access:A_load ~metal:x.xmetal vaddr with
-          | Error cause -> except cause vaddr
-          | Ok pa ->
-            charge_mem_latency ();
-            charge_cache m m.dcache ~addr:pa ~fetch:false;
-            begin match Metal_hw.Bus.load m.bus ~width ~addr:pa with
-            | Error cause -> except cause vaddr
-            | Ok v -> writeback rd (sign_extend_load ~width ~unsigned v)
-            end
-        end
-      | Instr.Store { width; _ } ->
-        let vaddr = x.alu in
-        if vaddr land width_alignment width <> 0 then
-          except Cause.Misaligned_store vaddr
-        else begin
-          match translate m ~access:A_store ~metal:x.xmetal vaddr with
-          | Error cause -> except cause vaddr
-          | Ok pa ->
-            charge_mem_latency ();
-            charge_cache m m.dcache ~addr:pa ~fetch:false;
-            begin match Metal_hw.Bus.store m.bus ~width ~addr:pa x.sval with
-            | Error cause -> except cause vaddr
-            | Ok () -> no_writeback ()
-            end
-        end
-      | Instr.Metal mi -> do_mem_metal m x mi ~writeback ~no_writeback ~except
-      | Instr.Ecall -> except Cause.Ecall 0
-      | Instr.Ebreak ->
-        if (not x.xmetal) && m.ctrl.(Csr.exc_handler Cause.Breakpoint) <> 0
-        then except Cause.Breakpoint 0
-        else begin
-          retire ();
-          m.mem_wb <- None;
-          m.halted <- Some (Halt_ebreak { pc = x.xpc; metal = x.xmetal });
-          false
-        end
-      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ } | Instr.Jal { rd; _ }
-      | Instr.Jalr { rd; _ } | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
-        writeback rd x.alu
-      | Instr.Branch _ | Instr.Fence -> no_writeback ()
-      end
-    end
+  stats.Stats.instructions <- stats.Stats.instructions + 1;
+  if x.xmetal then
+    stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+  if m.config.Config.trace then
+    add_trace m ~cycle:stats.Stats.cycles
+      (Printf.sprintf "retire %s%s %s" (Word.to_hex x.xpc)
+         (if x.xmetal then " M" else "  ")
+         (match x.xuop with
+          | U_instr i -> Instr.to_string i
+          | U_event { kind = Event_menter e; _ } ->
+            Printf.sprintf "<menter %d>" e
+          | U_event { kind = Event_intercept c; _ } ->
+            Printf.sprintf "<intercept %s>" (Icept.to_string c)
+          | U_poison _ -> "<poison>"))
 
-and do_mem_metal m x mi ~writeback ~no_writeback ~except =
+let mem_writeback m rd value =
+  if rd = 0 then m.wb_rd <- 0
+  else begin
+    m.wb_rd <- rd;
+    m.wb_value <- value
+  end;
+  retire m;
+  true
+
+let mem_no_writeback m =
+  m.wb_rd <- 0;
+  retire m;
+  true
+
+let mem_except m cause tval =
+  let x = m.ex_mem in
+  m.wb_rd <- 0;
+  raise_exception m ~cause ~epc:x.xpc ~tval ~metal:x.xmetal;
+  false
+
+let charge_mem_latency m =
+  let l = m.config.Config.mem_latency in
+  if l > 0 then begin
+    m.stall_cycles <- m.stall_cycles + l;
+    m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + l
+  end
+
+(* A pipeline store that landed in physical memory: tell the predecode
+   cache so it can invalidate precisely instead of flushing. *)
+let note_store m pa =
+  if m.use_predecode
+     && Metal_hw.Phys_mem.in_range (Metal_hw.Bus.memory m.bus) ~addr:pa
+          ~width:1
+  then P.note_phys_store m.predecode ~addr:pa
+
+let do_mem_metal m (x : executed) mi =
   let stats = m.stats in
   match mi with
   | Instr.Mld { rd; _ } ->
     begin match Metal_hw.Mram.load_word m.mram ~addr:x.alu with
-    | Some v -> writeback rd v
-    | None -> except Cause.Access_fault x.alu
+    | Some v -> mem_writeback m rd v
+    | None -> mem_except m Cause.Access_fault x.alu
     end
   | Instr.Mst _ ->
-    if Metal_hw.Mram.store_word m.mram ~addr:x.alu x.sval then no_writeback ()
-    else except Cause.Access_fault x.alu
-  | Instr.Rmr { rd; mr } -> writeback rd (get_mreg m mr)
+    if Metal_hw.Mram.store_word m.mram ~addr:x.alu x.sval then begin
+      if m.use_predecode then P.note_mram_store m.predecode;
+      mem_no_writeback m
+    end
+    else mem_except m Cause.Access_fault x.alu
+  | Instr.Rmr { rd; mr } -> mem_writeback m rd (get_mreg m mr)
   | Instr.Wmr { mr; _ } ->
     set_mreg m mr x.alu;
-    no_writeback ()
+    mem_no_writeback m
   | Instr.Menter { entry } ->
     (* Slow-path (trap-style) Metal entry; the fast path consumes
        menter at decode and never reaches here. *)
     begin match Metal_hw.Mram.entry_addr m.mram entry with
-    | None -> except Cause.Illegal_instruction 0
+    | None -> mem_except m Cause.Illegal_instruction 0
     | Some target ->
       set_mreg m Reg.Mconv.return_address (Word.add x.xpc 4);
       stats.Stats.menters <- stats.Stats.menters + 1;
       stats.Stats.instructions <- stats.Stats.instructions + 1;
       flush_all m;
-      m.mem_wb <- None;
+      m.wb_rd <- 0;
       redirect m ~target ~metal:true;
       false
     end
@@ -370,61 +346,130 @@ and do_mem_metal m x mi ~writeback ~no_writeback ~except =
     if x.xmetal then
       stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
     flush_all m;
-    m.mem_wb <- None;
+    m.wb_rd <- 0;
     redirect m ~target ~metal:false;
     false
   | Instr.Feature f ->
     begin match f with
     | Instr.Physld { rd; _ } ->
-      if x.alu land 3 <> 0 then except Cause.Misaligned_load x.alu
+      if x.alu land 3 <> 0 then mem_except m Cause.Misaligned_load x.alu
       else begin
-        let l = m.config.Config.mem_latency in
-        if l > 0 then begin
-          m.stall_cycles <- m.stall_cycles + l;
-          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + l
-        end;
+        charge_mem_latency m;
         match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:x.alu with
-        | Ok v -> writeback rd v
-        | Error cause -> except cause x.alu
+        | Ok v -> mem_writeback m rd v
+        | Error cause -> mem_except m cause x.alu
       end
     | Instr.Physst _ ->
-      if x.alu land 3 <> 0 then except Cause.Misaligned_store x.alu
+      if x.alu land 3 <> 0 then mem_except m Cause.Misaligned_store x.alu
       else begin
-        let l = m.config.Config.mem_latency in
-        if l > 0 then begin
-          m.stall_cycles <- m.stall_cycles + l;
-          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + l
-        end;
+        charge_mem_latency m;
         match Metal_hw.Bus.store m.bus ~width:Instr.Word ~addr:x.alu x.sval with
-        | Ok () -> no_writeback ()
-        | Error cause -> except cause x.alu
+        | Ok () ->
+          note_store m x.alu;
+          mem_no_writeback m
+        | Error cause -> mem_except m cause x.alu
       end
     | Instr.Tlbw _ ->
       Metal_hw.Tlb.insert_packed m.tlb ~tag:x.alu ~data:x.sval;
-      no_writeback ()
+      mem_no_writeback m
     | Instr.Tlbflush _ ->
       if x.alu = Word.mask then Metal_hw.Tlb.flush_all m.tlb
       else Metal_hw.Tlb.flush_asid m.tlb ~asid:(x.alu land 0xFF);
-      no_writeback ()
+      mem_no_writeback m
     | Instr.Tlbprobe { rd; _ } ->
       let asid = m.ctrl.(Csr.asid) land 0xFF in
-      writeback rd (Metal_hw.Tlb.probe_packed m.tlb ~asid ~vaddr:x.alu)
-    | Instr.Gprr { rd; _ } -> writeback rd m.regs.(x.alu land 31)
+      mem_writeback m rd (Metal_hw.Tlb.probe_packed m.tlb ~asid ~vaddr:x.alu)
+    | Instr.Gprr { rd; _ } -> mem_writeback m rd m.regs.(x.alu land 31)
     | Instr.Gprw _ ->
       let idx = x.alu land 31 in
       if idx <> 0 then m.regs.(idx) <- x.sval;
-      no_writeback ()
+      mem_no_writeback m
     | Instr.Iceptset _ ->
       ctrl_write m (Csr.icept_handler (x.alu land 15)) (x.sval + 1);
-      no_writeback ()
+      mem_no_writeback m
     | Instr.Iceptclr _ ->
       ctrl_write m (Csr.icept_handler (x.alu land 15)) 0;
-      no_writeback ()
-    | Instr.Mcsrr { rd; csr } -> writeback rd (ctrl_read m csr)
+      mem_no_writeback m
+    | Instr.Mcsrr { rd; csr } -> mem_writeback m rd (ctrl_read m csr)
     | Instr.Mcsrw { csr; _ } ->
       ctrl_write m csr x.alu;
-      no_writeback ()
+      mem_no_writeback m
     end
+
+(* Returns [true] when the cycle may continue through EX/ID/IF;
+   [false] when MEM flushed the pipe (exception or slow-path
+   transition) or halted the machine. *)
+let do_mem m =
+  let x = m.ex_mem in
+  if not x.xvalid then begin
+    m.stats.Stats.bubbles <- m.stats.Stats.bubbles + 1;
+    m.wb_rd <- 0;
+    true
+  end
+  else
+    match x.xuop with
+    | U_poison { cause; tval } ->
+      m.wb_rd <- 0;
+      raise_exception m ~cause ~epc:x.xpc ~tval ~metal:x.xmetal;
+      false
+    | U_event { kind; writes } ->
+      List.iter (fun (mr, v) -> set_mreg m mr v) writes;
+      begin match kind with
+      | Event_menter _ -> m.stats.Stats.menters <- m.stats.Stats.menters + 1
+      | Event_intercept _ ->
+        m.stats.Stats.intercepts <- m.stats.Stats.intercepts + 1
+      end;
+      mem_no_writeback m
+    | U_instr instr ->
+      begin match instr with
+      | Instr.Load { width; unsigned; rd; _ } ->
+        let vaddr = x.alu in
+        if vaddr land width_alignment width <> 0 then
+          mem_except m Cause.Misaligned_load vaddr
+        else begin
+          let pa = translate m ~access:A_load ~metal:x.xmetal vaddr in
+          if pa < 0 then mem_except m m.xlate_cause vaddr
+          else begin
+            charge_mem_latency m;
+            charge_cache m m.dcache ~addr:pa ~fetch:false;
+            match Metal_hw.Bus.load m.bus ~width ~addr:pa with
+            | Error cause -> mem_except m cause vaddr
+            | Ok v -> mem_writeback m rd (sign_extend_load ~width ~unsigned v)
+          end
+        end
+      | Instr.Store { width; _ } ->
+        let vaddr = x.alu in
+        if vaddr land width_alignment width <> 0 then
+          mem_except m Cause.Misaligned_store vaddr
+        else begin
+          let pa = translate m ~access:A_store ~metal:x.xmetal vaddr in
+          if pa < 0 then mem_except m m.xlate_cause vaddr
+          else begin
+            charge_mem_latency m;
+            charge_cache m m.dcache ~addr:pa ~fetch:false;
+            match Metal_hw.Bus.store m.bus ~width ~addr:pa x.sval with
+            | Error cause -> mem_except m cause vaddr
+            | Ok () ->
+              note_store m pa;
+              mem_no_writeback m
+          end
+        end
+      | Instr.Metal mi -> do_mem_metal m x mi
+      | Instr.Ecall -> mem_except m Cause.Ecall 0
+      | Instr.Ebreak ->
+        if (not x.xmetal) && m.ctrl.(Csr.exc_handler Cause.Breakpoint) <> 0
+        then mem_except m Cause.Breakpoint 0
+        else begin
+          retire m;
+          m.wb_rd <- 0;
+          m.halted <- Some (Halt_ebreak { pc = x.xpc; metal = x.xmetal });
+          false
+        end
+      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ } | Instr.Jal { rd; _ }
+      | Instr.Jalr { rd; _ } | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
+        mem_writeback m rd x.alu
+      | Instr.Branch _ | Instr.Fence -> mem_no_writeback m
+      end
 
 (* ------------------------------------------------------------------ *)
 (* EX stage                                                            *)
@@ -451,97 +496,103 @@ let branch_taken cond a b =
   | Instr.Bltu -> Word.lt_unsigned a b
   | Instr.Bgeu -> Word.ge_unsigned a b
 
-(* Process the EX stage.  Sets [m.ex_mem]; returns a taken-branch /
-   jalr redirect: [(target, metal_mode_of_branch)]. *)
-let do_ex m id_ex_old ~ex_mem_prev ~mem_wb_prev =
-  match id_ex_old with
-  | None ->
-    m.ex_mem <- None;
-    None
-  | Some d ->
+(* Process the EX stage, filling [m.ex_mem] in place from [m.id_ex].
+   Forwarding sources are passed as scalars snapshotted before MEM
+   overwrote the latches: [fw_rd]/[fw_val] from last cycle's EX/MEM,
+   [wb_rd]/[wb_val] from last cycle's MEM/WB.  Returns a taken-branch
+   or jalr redirect encoded as [(target lsl 1) lor metal], or -1. *)
+let do_ex m ~fw_rd ~fw_val ~wb_rd ~wb_val =
+  let d = m.id_ex in
+  let x = m.ex_mem in
+  if not d.dvalid then begin
+    x.xvalid <- false;
+    -1
+  end
+  else begin
     (* Forward from the EX/MEM and MEM/WB latches of the previous
        cycle.  A load-like producer in EX/MEM would be a missed
        load-use stall; the decode-stage interlock prevents it. *)
-    let forward idx v =
-      if idx = 0 then v
-      else
-        let from_ex_mem =
-          match ex_mem_prev with
-          | Some x when not (uop_produces_at_mem x.xuop) ->
-            begin match uop_writes_gpr x.xuop with
-            | Some rd when rd = idx -> Some x.alu
-            | Some _ | None -> None
-            end
-          | Some _ | None -> None
-        in
-        match from_ex_mem with
-        | Some value -> value
-        | None ->
-          begin match mem_wb_prev with
-          | Some { wrd; wvalue } when wrd = idx -> wvalue
-          | Some _ | None -> v
-          end
+    let rv1 =
+      if d.rs1 = 0 then d.rv1
+      else if fw_rd = d.rs1 then fw_val
+      else if wb_rd = d.rs1 then wb_val
+      else d.rv1
     in
-    let rv1 = forward d.rs1 d.rv1 in
-    let rv2 = forward d.rs2 d.rv2 in
-    let finish ?(alu = 0) ?(sval = 0) ?redirect () =
-      m.ex_mem <-
-        Some { xpc = d.dpc; xmetal = d.dmetal; xuop = d.duop; alu; sval };
-      redirect
+    let rv2 =
+      if d.rs2 = 0 then d.rv2
+      else if fw_rd = d.rs2 then fw_val
+      else if wb_rd = d.rs2 then wb_val
+      else d.rv2
     in
-    begin match d.duop with
-    | U_poison _ | U_event _ -> finish ()
+    x.xvalid <- true;
+    x.xpc <- d.dpc;
+    x.xmetal <- d.dmetal;
+    x.xuop <- d.duop;
+    x.alu <- 0;
+    x.sval <- 0;
+    match d.duop with
+    | U_poison _ | U_event _ -> -1
     | U_instr instr ->
       begin match instr with
-      | Instr.Lui { imm; _ } -> finish ~alu:(Word.of_int (imm lsl 12)) ()
+      | Instr.Lui { imm; _ } ->
+        x.alu <- Word.of_int (imm lsl 12);
+        -1
       | Instr.Auipc { imm; _ } ->
-        finish ~alu:(Word.add d.dpc (Word.of_int (imm lsl 12))) ()
-      | Instr.Jal _ -> finish ~alu:(Word.add d.dpc 4) ()
+        x.alu <- Word.add d.dpc (Word.of_int (imm lsl 12));
+        -1
+      | Instr.Jal _ ->
+        x.alu <- Word.add d.dpc 4;
+        -1
       | Instr.Jalr { offset; _ } ->
         let target = Word.logand (Word.add rv1 offset) (Word.lognot 1) in
-        finish ~alu:(Word.add d.dpc 4)
-          ~redirect:(target, d.dmetal) ()
+        x.alu <- Word.add d.dpc 4;
+        (target lsl 1) lor (if d.dmetal then 1 else 0)
       | Instr.Branch { cond; offset; _ } ->
         if branch_taken cond rv1 rv2 then
-          finish ~redirect:(Word.add d.dpc offset, d.dmetal) ()
-        else finish ()
-      | Instr.Load { offset; _ } -> finish ~alu:(Word.add rv1 offset) ()
+          (Word.add d.dpc offset lsl 1) lor (if d.dmetal then 1 else 0)
+        else -1
+      | Instr.Load { offset; _ } ->
+        x.alu <- Word.add rv1 offset;
+        -1
       | Instr.Store { offset; _ } ->
-        finish ~alu:(Word.add rv1 offset) ~sval:rv2 ()
+        x.alu <- Word.add rv1 offset;
+        x.sval <- rv2;
+        -1
       | Instr.Op_imm { op; imm; _ } ->
-        finish ~alu:(alu_compute op rv1 (Word.of_int imm)) ()
-      | Instr.Op { op; _ } -> finish ~alu:(alu_compute op rv1 rv2) ()
-      | Instr.Ecall | Instr.Ebreak | Instr.Fence -> finish ()
+        x.alu <- alu_compute op rv1 (Word.of_int imm);
+        -1
+      | Instr.Op { op; _ } ->
+        x.alu <- alu_compute op rv1 rv2;
+        -1
+      | Instr.Ecall | Instr.Ebreak | Instr.Fence -> -1
       | Instr.Metal mi ->
         begin match mi with
-        | Instr.Mld { offset; _ } -> finish ~alu:(Word.add rv1 offset) ()
+        | Instr.Mld { offset; _ } -> x.alu <- Word.add rv1 offset
         | Instr.Mst { offset; _ } ->
-          finish ~alu:(Word.add rv1 offset) ~sval:rv2 ()
-        | Instr.Menter _ | Instr.Mexit | Instr.Rmr _ -> finish ()
-        | Instr.Wmr _ -> finish ~alu:rv1 ()
+          x.alu <- Word.add rv1 offset;
+          x.sval <- rv2
+        | Instr.Menter _ | Instr.Mexit | Instr.Rmr _ -> ()
+        | Instr.Wmr _ -> x.alu <- rv1
         | Instr.Feature f ->
           begin match f with
-          | Instr.Physld { offset; _ } -> finish ~alu:(Word.add rv1 offset) ()
+          | Instr.Physld { offset; _ } -> x.alu <- Word.add rv1 offset
           | Instr.Physst { offset; _ } ->
-            finish ~alu:(Word.add rv1 offset) ~sval:rv2 ()
+            x.alu <- Word.add rv1 offset;
+            x.sval <- rv2
           | Instr.Tlbw _ | Instr.Gprw _ | Instr.Iceptset _ ->
-            finish ~alu:rv1 ~sval:rv2 ()
+            x.alu <- rv1;
+            x.sval <- rv2
           | Instr.Tlbflush _ | Instr.Tlbprobe _ | Instr.Gprr _
-          | Instr.Iceptclr _ | Instr.Mcsrw _ -> finish ~alu:rv1 ()
-          | Instr.Mcsrr _ -> finish ()
+          | Instr.Iceptclr _ | Instr.Mcsrw _ -> x.alu <- rv1
+          | Instr.Mcsrr _ -> ()
           end
-        end
+        end;
+        -1
       end
-    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* ID stage                                                            *)
-
-type id_redirect = { target : int; to_metal : bool; combinational : bool }
-
-type id_outcome =
-  | Id_stall
-  | Id_pass of decoded option * id_redirect option
 
 (* Interception is considered only for normal-mode instructions with a
    registered handler and the global enable bit set. *)
@@ -580,177 +631,258 @@ let sources_of instr =
   | Instr.Lui _ | Instr.Auipc _ | Instr.Jal _ | Instr.Ecall | Instr.Ebreak
   | Instr.Fence -> (0, 0)
 
-(* Does any in-flight producer target one of [srcs]?  Used by the
-   interception interlock, which needs operand values at decode. *)
-let inflight_writes_gpr ~id_ex_old ~ex_mem_old srcs =
-  let hits = function
-    | None -> false
-    | Some rd -> rd <> 0 && List.mem rd srcs
-  in
-  (match id_ex_old with
-   | Some d -> hits (uop_writes_gpr d.duop)
-   | None -> false)
-  || match ex_mem_old with
-  | Some x -> hits (uop_writes_gpr x.xuop)
-  | None -> false
+(* Decode [f.word] into the latch's predecode slots (the ablation path
+   when the predecode cache is off, and uncacheable fetches).  Also
+   folds in the mode-legality check: Metal instructions other than
+   menter require Metal mode; menter requires normal mode (no hardware
+   nesting). *)
+let decode_into (f : fetched) =
+  (match Decode.decode f.word with
+   | Error _ ->
+     f.flegal <- false;
+     f.finstr <- nop_instr;
+     f.fuop <- nop_uop;
+     f.frs1 <- 0;
+     f.frs2 <- 0
+   | Ok instr ->
+     let legal =
+       match instr with
+       | Instr.Metal (Instr.Menter _) -> not f.fmetal
+       | Instr.Metal _ -> f.fmetal
+       | _ -> true
+     in
+     let rs1, rs2 = sources_of instr in
+     f.flegal <- legal;
+     f.finstr <- instr;
+     f.fuop <- U_instr instr;
+     f.frs1 <- rs1;
+     f.frs2 <- rs2);
+  f.fdec_valid <- true
 
-let inflight_writes_mreg ~id_ex_old ~ex_mem_old =
-  (match id_ex_old with Some d -> uop_writes_mreg d.duop | None -> false)
-  || match ex_mem_old with Some x -> uop_writes_mreg x.xuop | None -> false
+let id_set_dec (d : decoded) (f : fetched) uop rs1 rs2 rv1 rv2 =
+  d.dvalid <- true;
+  d.dpc <- f.fpc;
+  d.dmetal <- f.fmetal;
+  d.duop <- uop;
+  d.rs1 <- rs1;
+  d.rs2 <- rs2;
+  d.rv1 <- rv1;
+  d.rv2 <- rv2
 
-let do_id m if_id_old ~id_ex_old ~ex_mem_old =
-  match if_id_old with
-  | None -> Id_pass (None, None)
-  | Some f ->
-    let poison cause tval =
-      Id_pass
-        (Some
-           { dpc = f.fpc; dmetal = f.fmetal;
-             duop = U_poison { cause; tval }; rs1 = 0; rs2 = 0; rv1 = 0;
-             rv2 = 0 },
-         None)
-    in
-    begin match f.ffault with
-    | Some cause -> poison cause f.fpc
+let id_set_poison (d : decoded) (f : fetched) cause tval =
+  d.dvalid <- true;
+  d.dpc <- f.fpc;
+  d.dmetal <- f.fmetal;
+  d.duop <- U_poison { cause; tval };
+  d.rs1 <- 0;
+  d.rs2 <- 0;
+  d.rv1 <- 0;
+  d.rv2 <- 0
+
+(* Outcome encoding: [id_stall] keeps IF/ID and inserts a bubble;
+   [id_pass] means the latch was filled (or left invalid) with no
+   redirect; any non-negative value is a decode-stage redirect
+   [(target lsl 2) lor (to_metal lsl 1) lor combinational]. *)
+let id_stall = -2
+let id_pass = -1
+
+let do_id m ~exm_wr_rd ~exm_wmreg =
+  let f = m.if_id in
+  let d = m.id_ex in
+  if not f.fvalid then begin
+    d.dvalid <- false;
+    id_pass
+  end
+  else begin
+    (* Interlock inputs from the decode now leaving ID (last cycle's
+       ID/EX latch, about to be overwritten in place). *)
+    let old_valid = d.dvalid in
+    let old_dst = if old_valid then uop_dst d.duop else 0 in
+    let old_at_mem = old_valid && uop_produces_at_mem d.duop in
+    let old_wmreg = old_valid && uop_writes_mreg d.duop in
+    match f.ffault with
+    | Some cause ->
+      id_set_poison d f cause f.fpc;
+      id_pass
     | None ->
-      begin match Decode.decode f.word with
-      | Error _ -> poison Cause.Illegal_instruction f.word
-      | Ok instr ->
-        (* Legality: Metal instructions other than menter require Metal
-           mode; menter requires normal mode (no hardware nesting). *)
-        let illegal =
-          match instr with
-          | Instr.Metal (Instr.Menter _) -> f.fmetal
-          | Instr.Metal _ -> not f.fmetal
-          | _ -> false
-        in
-        if illegal then poison Cause.Illegal_instruction f.word
+      if not f.fdec_valid then decode_into f;
+      if not f.flegal then begin
+        id_set_poison d f Cause.Illegal_instruction f.word;
+        id_pass
+      end
+      else begin
+        let instr = f.finstr in
+        let rs1 = f.frs1 and rs2 = f.frs2 in
+        let rv1 = m.regs.(rs1) and rv2 = m.regs.(rs2) in
+        (* Load-use interlock against the instruction now in EX. *)
+        if old_at_mem && old_dst <> 0 && (old_dst = rs1 || old_dst = rs2)
+        then begin
+          m.stats.Stats.load_use_stalls <-
+            m.stats.Stats.load_use_stalls + 1;
+          d.dvalid <- false;
+          id_stall
+        end
         else begin
-          let rs1, rs2 = sources_of instr in
-          let rv1 = m.regs.(rs1) and rv2 = m.regs.(rs2) in
-          let dec duop =
-            { dpc = f.fpc; dmetal = f.fmetal; duop; rs1; rs2; rv1; rv2 }
-          in
-          (* Load-use interlock against the instruction now in EX. *)
-          let load_use =
-            match id_ex_old with
-            | Some d when uop_produces_at_mem d.duop ->
-              begin match uop_writes_gpr d.duop with
-              | Some rd -> rd = rs1 || rd = rs2
-              | None -> false
+          match intercept_handler m instr with
+          | Some (cls, handler_value) when not f.fmetal ->
+            (* Interception needs fresh operand values at decode. *)
+            if (old_dst <> 0 && (old_dst = rs1 || old_dst = rs2))
+               || (exm_wr_rd <> 0 && (exm_wr_rd = rs1 || exm_wr_rd = rs2))
+            then begin
+              m.stats.Stats.interlock_stalls <-
+                m.stats.Stats.interlock_stalls + 1;
+              d.dvalid <- false;
+              id_stall
+            end
+            else begin
+              let entry = handler_value - 1 in
+              match Metal_hw.Mram.entry_addr m.mram entry with
+              | None ->
+                (* Mis-configured intercept: treat as illegal. *)
+                id_set_poison d f Cause.Illegal_instruction f.word;
+                id_pass
+              | Some target ->
+                let eff_addr, store_val, rd_idx =
+                  match instr with
+                  | Instr.Load { rs1 = _; offset; rd; _ } ->
+                    (Word.add rv1 offset, 0, rd)
+                  | Instr.Store { offset; _ } ->
+                    (Word.add rv1 offset, rv2, 0)
+                  | Instr.Jalr { offset; rd; _ } ->
+                    (Word.logand (Word.add rv1 offset) (Word.lognot 1),
+                     0, rd)
+                  | Instr.Jal { offset; rd } ->
+                    (Word.add f.fpc offset, 0, rd)
+                  | Instr.Branch { offset; _ } ->
+                    (Word.add f.fpc offset, 0, 0)
+                  | _ -> (0, 0, 0)
+                in
+                let writes =
+                  [ (Reg.Mconv.return_address, Word.of_int f.fpc);
+                    (Reg.Mconv.event_cause,
+                     Cause.intercept_code (Icept.code cls));
+                    (Reg.Mconv.event_value, f.word);
+                    (Reg.Mconv.event_addr, eff_addr);
+                    (Reg.Mconv.event_store_value, store_val);
+                    (Reg.Mconv.event_rd, rd_idx) ]
+                in
+                id_set_dec d f
+                  (U_event { kind = Event_intercept cls; writes })
+                  rs1 rs2 rv1 rv2;
+                (target lsl 2) lor 2 lor 1
+            end
+          | Some _ | None ->
+            begin match instr with
+            | Instr.Jal { offset; _ } ->
+              id_set_dec d f f.fuop rs1 rs2 rv1 rv2;
+              (Word.add f.fpc offset lsl 2) lor (if f.fmetal then 2 else 0)
+            | Instr.Metal (Instr.Menter { entry })
+              when m.config.Config.transition = Config.Fast_replacement ->
+              begin match Metal_hw.Mram.entry_addr m.mram entry with
+              | None ->
+                id_set_poison d f Cause.Illegal_instruction f.word;
+                id_pass
+              | Some target ->
+                let writes =
+                  [ (Reg.Mconv.return_address, Word.add f.fpc 4) ]
+                in
+                id_set_dec d f
+                  (U_event { kind = Event_menter entry; writes })
+                  rs1 rs2 rv1 rv2;
+                (target lsl 2) lor 2 lor 1
               end
-            | Some _ | None -> false
-          in
-          if load_use then begin
-            m.stats.Stats.load_use_stalls <-
-              m.stats.Stats.load_use_stalls + 1;
-            Id_stall
-          end
-          else begin
-            match intercept_handler m instr with
-            | Some (cls, handler_value) when not f.fmetal ->
-              (* Interception needs fresh operand values at decode. *)
-              if inflight_writes_gpr ~id_ex_old ~ex_mem_old [ rs1; rs2 ]
-              then begin
+            | Instr.Metal Instr.Mexit
+              when m.config.Config.transition = Config.Fast_replacement ->
+              if old_wmreg || exm_wmreg then begin
                 m.stats.Stats.interlock_stalls <-
                   m.stats.Stats.interlock_stalls + 1;
-                Id_stall
+                d.dvalid <- false;
+                id_stall
               end
               else begin
-                let entry = handler_value - 1 in
-                match Metal_hw.Mram.entry_addr m.mram entry with
-                | None ->
-                  (* Mis-configured intercept: treat as illegal. *)
-                  poison Cause.Illegal_instruction f.word
-                | Some target ->
-                  let eff_addr, store_val, rd_idx =
-                    match instr with
-                    | Instr.Load { rs1 = _; offset; rd; _ } ->
-                      (Word.add rv1 offset, 0, rd)
-                    | Instr.Store { offset; _ } ->
-                      (Word.add rv1 offset, rv2, 0)
-                    | Instr.Jalr { offset; rd; _ } ->
-                      (Word.logand (Word.add rv1 offset) (Word.lognot 1),
-                       0, rd)
-                    | Instr.Jal { offset; rd } ->
-                      (Word.add f.fpc offset, 0, rd)
-                    | Instr.Branch { offset; _ } ->
-                      (Word.add f.fpc offset, 0, 0)
-                    | _ -> (0, 0, 0)
-                  in
-                  let writes =
-                    [ (Reg.Mconv.return_address, Word.of_int f.fpc);
-                      (Reg.Mconv.event_cause,
-                       Cause.intercept_code (Icept.code cls));
-                      (Reg.Mconv.event_value, f.word);
-                      (Reg.Mconv.event_addr, eff_addr);
-                      (Reg.Mconv.event_store_value, store_val);
-                      (Reg.Mconv.event_rd, rd_idx) ]
-                  in
-                  Id_pass
-                    (Some
-                       (dec
-                          (U_event
-                             { kind = Event_intercept cls; writes })),
-                     Some
-                       { target; to_metal = true; combinational = true })
+                m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
+                d.dvalid <- false;
+                let target = get_mreg m Reg.Mconv.return_address in
+                (target lsl 2) lor 1
               end
-            | Some _ | None ->
-              begin match instr with
-              | Instr.Jal { offset; _ } ->
-                Id_pass
-                  (Some (dec (U_instr instr)),
-                   Some
-                     { target = Word.add f.fpc offset; to_metal = f.fmetal;
-                       combinational = false })
-              | Instr.Metal (Instr.Menter { entry })
-                when m.config.Config.transition = Config.Fast_replacement ->
-                begin match Metal_hw.Mram.entry_addr m.mram entry with
-                | None -> poison Cause.Illegal_instruction f.word
-                | Some target ->
-                  let writes =
-                    [ (Reg.Mconv.return_address, Word.add f.fpc 4) ]
-                  in
-                  Id_pass
-                    (Some
-                       (dec
-                          (U_event { kind = Event_menter entry; writes })),
-                     Some { target; to_metal = true; combinational = true })
-                end
-              | Instr.Metal Instr.Mexit
-                when m.config.Config.transition = Config.Fast_replacement ->
-                if inflight_writes_mreg ~id_ex_old ~ex_mem_old then begin
-                  m.stats.Stats.interlock_stalls <-
-                    m.stats.Stats.interlock_stalls + 1;
-                  Id_stall
-                end
-                else begin
-                  m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
-                  let target = get_mreg m Reg.Mconv.return_address in
-                  Id_pass
-                    (None,
-                     Some { target; to_metal = false; combinational = true })
-                end
-              | _ -> Id_pass (Some (dec (U_instr instr)), None)
-              end
-          end
+            | _ ->
+              id_set_dec d f f.fuop rs1 rs2 rv1 rv2;
+              id_pass
+            end
         end
       end
-    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* IF stage                                                            *)
 
+let if_set_ok m word =
+  let f = m.if_id in
+  let pc = m.fetch_pc in
+  m.fetch_pc <- Word.add pc 4;
+  f.fvalid <- true;
+  f.fpc <- pc;
+  f.fmetal <- m.fetch_metal;
+  f.word <- word;
+  f.ffault <- None;
+  f.fdec_valid <- false
+
+(* Fetch served from a (just filled or hit) predecode entry: the latch
+   carries the cached decode so ID skips [Decode.decode]. *)
+let if_set_pre m (e : uop P.entry) =
+  let f = m.if_id in
+  let pc = m.fetch_pc in
+  m.fetch_pc <- Word.add pc 4;
+  f.fvalid <- true;
+  f.fpc <- pc;
+  f.fmetal <- m.fetch_metal;
+  f.word <- e.P.word;
+  f.ffault <- None;
+  f.fdec_valid <- true;
+  f.flegal <- e.P.legal;
+  f.finstr <- e.P.instr;
+  f.fuop <- e.P.uop;
+  f.frs1 <- e.P.rs1;
+  f.frs2 <- e.P.rs2
+
+let if_set_fault m cause =
+  let f = m.if_id in
+  m.fetch_frozen <- true;
+  f.fvalid <- true;
+  f.fpc <- m.fetch_pc;
+  f.fmetal <- m.fetch_metal;
+  f.word <- 0;
+  f.ffault <- Some cause;
+  f.fdec_valid <- false
+
+let fill_entry (e : uop P.entry) ~tag ~metal word =
+  e.P.tag <- tag;
+  e.P.word <- word;
+  match Decode.decode word with
+  | Error _ ->
+    e.P.legal <- false;
+    e.P.instr <- nop_instr;
+    e.P.uop <- nop_uop;
+    e.P.rs1 <- 0;
+    e.P.rs2 <- 0
+  | Ok instr ->
+    let legal =
+      match instr with
+      | Instr.Metal (Instr.Menter _) -> not metal
+      | Instr.Metal _ -> metal
+      | _ -> true
+    in
+    let rs1, rs2 = sources_of instr in
+    e.P.legal <- legal;
+    e.P.instr <- instr;
+    e.P.uop <- U_instr instr;
+    e.P.rs1 <- rs1;
+    e.P.rs2 <- rs2
+
 let do_if m =
-  if m.fetch_frozen then None
+  if m.fetch_frozen then m.if_id.fvalid <- false
   else begin
     let pc = m.fetch_pc in
-    let fetched ?fault word =
-      (match fault with
-       | Some _ -> m.fetch_frozen <- true
-       | None -> m.fetch_pc <- Word.add pc 4);
-      Some { fpc = pc; fmetal = m.fetch_metal; word; ffault = fault }
-    in
     if m.fetch_metal then begin
       begin match m.config.Config.mram_backing with
       | Config.Main_memory { fetch_penalty } ->
@@ -774,43 +906,91 @@ let do_if m =
         end
       | Config.Dedicated -> ()
       end;
-      match Metal_hw.Mram.fetch m.mram ~addr:pc with
-      | Some word -> fetched word
-      | None -> fetched ~fault:Cause.Access_fault 0
-    end
-    else if pc land 3 <> 0 then fetched ~fault:Cause.Misaligned_fetch 0
-    else begin
-      match translate m ~access:A_fetch ~metal:false pc with
-      | Error cause -> fetched ~fault:cause 0
-      | Ok pa ->
-        charge_cache m m.icache ~addr:pa ~fetch:true;
-        begin match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:pa with
-        | Ok word -> fetched word
-        | Error cause -> fetched ~fault:cause 0
+      if m.use_predecode then begin
+        let p = m.predecode in
+        P.sync_mram p ~version:(Metal_hw.Mram.version m.mram);
+        let e = p.P.entries.((pc lsr 2) land p.P.mask) in
+        let tag = (pc lsl 1) lor 1 in
+        if e.P.tag = tag then begin
+          p.P.hits <- p.P.hits + 1;
+          if_set_pre m e
         end
+        else begin
+          match Metal_hw.Mram.fetch m.mram ~addr:pc with
+          | None -> if_set_fault m Cause.Access_fault
+          | Some word ->
+            p.P.fills <- p.P.fills + 1;
+            fill_entry e ~tag ~metal:true word;
+            if_set_pre m e
+        end
+      end
+      else begin
+        match Metal_hw.Mram.fetch m.mram ~addr:pc with
+        | Some word -> if_set_ok m word
+        | None -> if_set_fault m Cause.Access_fault
+      end
+    end
+    else if pc land 3 <> 0 then if_set_fault m Cause.Misaligned_fetch
+    else begin
+      let pa = translate m ~access:A_fetch ~metal:false pc in
+      if pa < 0 then if_set_fault m m.xlate_cause
+      else begin
+        charge_cache m m.icache ~addr:pa ~fetch:true;
+        if m.use_predecode then begin
+          let mem = Metal_hw.Bus.memory m.bus in
+          let p = m.predecode in
+          P.sync_phys p ~version:(Metal_hw.Phys_mem.version mem);
+          let e = p.P.entries.((pa lsr 2) land p.P.mask) in
+          let tag = pa lsl 1 in
+          if e.P.tag = tag then begin
+            p.P.hits <- p.P.hits + 1;
+            if_set_pre m e
+          end
+          else begin
+            match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:pa with
+            | Error cause -> if_set_fault m cause
+            | Ok word ->
+              if Metal_hw.Phys_mem.in_range mem ~addr:pa ~width:4 then begin
+                p.P.fills <- p.P.fills + 1;
+                fill_entry e ~tag ~metal:false word;
+                if_set_pre m e
+              end
+              else
+                (* Device-backed fetch: never cached; ID decodes. *)
+                if_set_ok m word
+          end
+        end
+        else begin
+          match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:pa with
+          | Ok word -> if_set_ok m word
+          | Error cause -> if_set_fault m cause
+        end
+      end
     end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Interrupt delivery                                                  *)
 
-let metal_in_flight ~if_id ~id_ex ~ex_mem =
-  (match if_id with Some f -> f.fmetal | None -> false)
-  || (match id_ex with Some d -> d.dmetal | None -> false)
-  || (match ex_mem with Some x -> x.xmetal | None -> false)
+let metal_in_flight m =
+  (m.if_id.fvalid && m.if_id.fmetal)
+  || (m.id_ex.dvalid && m.id_ex.dmetal)
+  || (m.ex_mem.xvalid && m.ex_mem.xmetal)
 
 (* mroutine-entry micro-ops must not be squashed mid-entry: their
    fetch redirect has already happened, so squashing them would lose
    the Metal-register writes the mroutine is about to read. *)
-let entry_in_flight ~id_ex ~ex_mem =
-  (match id_ex with Some { duop = U_event _; _ } -> true | _ -> false)
-  || match ex_mem with Some { xuop = U_event _; _ } -> true | _ -> false
+let entry_in_flight m =
+  (m.id_ex.dvalid
+   && match m.id_ex.duop with U_event _ -> true | U_instr _ | U_poison _ -> false)
+  || (m.ex_mem.xvalid
+      && match m.ex_mem.xuop with
+         | U_event _ -> true
+         | U_instr _ | U_poison _ -> false)
 
-let try_interrupt m ~if_id ~id_ex ~ex_mem =
+let try_interrupt m =
   let enabled = m.ctrl.(Csr.int_enable) in
-  if enabled = 0 || m.fetch_metal
-     || metal_in_flight ~if_id ~id_ex ~ex_mem
-     || entry_in_flight ~id_ex ~ex_mem
+  if enabled = 0 || m.fetch_metal || metal_in_flight m || entry_in_flight m
   then false
   else
     match Metal_hw.Intc.highest_pending m.intc ~enabled with
@@ -820,11 +1000,10 @@ let try_interrupt m ~if_id ~id_ex ~ex_mem =
       if handler_value = 0 then false
       else begin
         let epc =
-          match (ex_mem, id_ex, if_id) with
-          | Some x, _, _ -> x.xpc
-          | None, Some d, _ -> d.dpc
-          | None, None, Some f -> f.fpc
-          | None, None, None -> m.fetch_pc
+          if m.ex_mem.xvalid then m.ex_mem.xpc
+          else if m.id_ex.dvalid then m.id_ex.dpc
+          else if m.if_id.fvalid then m.if_id.fpc
+          else m.fetch_pc
         in
         let writes =
           [ (Reg.Mconv.return_address, Word.of_int epc);
@@ -851,7 +1030,7 @@ let timer_tick m =
     m.ctrl.(Csr.timer_cmp) <- 0
   end
 
-let step m =
+let step_fast m =
   match m.halted with
   | Some _ -> ()
   | None ->
@@ -860,41 +1039,46 @@ let step m =
     Metal_hw.Bus.tick m.bus ~cycle:m.stats.Stats.cycles;
     if m.stall_cycles > 0 then m.stall_cycles <- m.stall_cycles - 1
     else begin
-      let if_id = m.if_id
-      and id_ex = m.id_ex
-      and ex_mem = m.ex_mem
-      and mem_wb = m.mem_wb in
       (* WB: regfile writes happen in the first half of the cycle so
-         decode-stage reads observe them. *)
-      begin match mem_wb with
-      | Some { wrd; wvalue } -> if wrd <> 0 then m.regs.(wrd) <- wvalue
-      | None -> ()
-      end;
-      m.mem_wb <- None;
-      if try_interrupt m ~if_id ~id_ex ~ex_mem then ()
-      else if not (do_mem m ex_mem) then ()
+         decode-stage reads observe them.  The scalars later stages
+         need from last cycle's latches are snapshotted here, before
+         MEM/EX overwrite those latches in place. *)
+      let wb_rd = m.wb_rd in
+      let wb_val = m.wb_value in
+      if wb_rd <> 0 then m.regs.(wb_rd) <- wb_val;
+      m.wb_rd <- 0;
+      let x = m.ex_mem in
+      let x_dst = if x.xvalid then uop_dst x.xuop else 0 in
+      let x_at_mem = x.xvalid && uop_produces_at_mem x.xuop in
+      let fw_rd = if x_at_mem then 0 else x_dst in
+      let fw_val = x.alu in
+      let exm_wmreg = x.xvalid && uop_writes_mreg x.xuop in
+      if try_interrupt m then ()
+      else if not (do_mem m) then ()
       else begin
-        match do_ex m id_ex ~ex_mem_prev:ex_mem ~mem_wb_prev:mem_wb with
-        | Some (target, to_metal) ->
-          m.id_ex <- None;
-          m.if_id <- None;
+        let r = do_ex m ~fw_rd ~fw_val ~wb_rd ~wb_val in
+        if r >= 0 then begin
+          m.id_ex.dvalid <- false;
+          m.if_id.fvalid <- false;
           m.stats.Stats.flushes <- m.stats.Stats.flushes + 1;
-          redirect m ~target ~metal:to_metal
-        | None ->
-          begin match do_id m if_id ~id_ex_old:id_ex ~ex_mem_old:ex_mem with
-          | Id_stall -> m.id_ex <- None
-          | Id_pass (dec, redir) ->
-            m.id_ex <- dec;
-            begin match redir with
-            | None -> m.if_id <- do_if m
-            | Some { target; to_metal; combinational } ->
-              redirect m ~target ~metal:to_metal;
-              if combinational then m.if_id <- do_if m
-              else m.if_id <- None
-            end
+          redirect m ~target:(r lsr 1) ~metal:(r land 1 = 1)
+        end
+        else begin
+          let c = do_id m ~exm_wr_rd:x_dst ~exm_wmreg in
+          if c = id_pass then do_if m
+          else if c >= 0 then begin
+            redirect m ~target:(c lsr 2) ~metal:(c land 2 <> 0);
+            if c land 1 = 1 then do_if m else m.if_id.fvalid <- false
           end
+          (* c = id_stall: keep IF/ID, no fetch this cycle. *)
+        end
       end
     end
+
+(* With the predecode cache disabled the machine runs on the original
+   option-latch stepper, which doubles as the ablation baseline and as
+   an independent correctness oracle (see [Pipeline_slow]). *)
+let step m = if m.use_predecode then step_fast m else Pipeline_slow.step m
 
 let run m ~max_cycles =
   let deadline = m.stats.Stats.cycles + max_cycles in
@@ -914,6 +1098,17 @@ let run_exn m ~max_cycles =
   match run m ~max_cycles with
   | Some h -> h
   | None ->
+    let tail = Machine.trace_log m ~max:16 in
     failwith
-      (Printf.sprintf "Pipeline.run_exn: no halt within %d cycles (pc=%s)"
-         max_cycles (Word.to_hex m.fetch_pc))
+      (Printf.sprintf
+         "Pipeline.run_exn: no halt within %d cycles (pc=%s%s)\n\
+          --- stats ---\n%s%s"
+         max_cycles (Word.to_hex m.fetch_pc)
+         (if m.fetch_metal then ", metal mode" else "")
+         (Stats.to_string m.stats)
+         (match tail with
+          | [] ->
+            "\n(trace empty; run with Config.trace = true for a \
+             per-retirement log)"
+          | lines ->
+            "\n--- last trace entries ---\n" ^ String.concat "\n" lines))

@@ -1,0 +1,1011 @@
+(* The original (pre-predecode) pipeline stepper, kept verbatim as the
+   slow path behind [Config.predecode = false].
+
+   It serves two purposes:
+
+   - Ablation baseline: the simperf benchmark times this stepper
+     against the predecoded, allocation-free hot loop in [Pipeline] to
+     report the speedup the rewrite buys.
+   - Correctness oracle: it is a second, independently-structured
+     implementation of the same micro-architecture.  The differential
+     suite runs every workload under both steppers and requires
+     bit-identical architectural state and cycle-exact [Stats].
+
+   The stepper allocates freely (option latches, closures, tuple
+   returns, per-cycle decode in ID) exactly as the original did; do
+   not "optimise" it — its value is fidelity, not speed.  Latch state
+   is stored in the shared [Machine.t] latch records so the two
+   steppers agree on machine state; each cycle converts them to the
+   option form this code was written against. *)
+
+open Machine
+
+(* Seed-style latch values (immutable; reallocated every cycle). *)
+
+type fetched = {
+  fpc : int;
+  fmetal : bool;
+  word : Word.t;
+  ffault : Cause.t option;
+}
+
+type decoded = {
+  dpc : int;
+  dmetal : bool;
+  duop : uop;
+  rs1 : int;
+  rs2 : int;
+  rv1 : Word.t;
+  rv2 : Word.t;
+}
+
+type executed = {
+  xpc : int;
+  xmetal : bool;
+  xuop : uop;
+  alu : Word.t;
+  sval : Word.t;
+}
+
+type writeback = { wrd : Reg.t; wvalue : Word.t }
+
+type lat = {
+  mutable if_id : fetched option;
+  mutable id_ex : decoded option;
+  mutable ex_mem : executed option;
+  mutable mem_wb : writeback option;
+}
+
+let load_latches (m : Machine.t) =
+  let fi : Machine.fetched = m.if_id in
+  let di : Machine.decoded = m.id_ex in
+  let xi : Machine.executed = m.ex_mem in
+  {
+    if_id =
+      (if fi.Machine.fvalid then
+         Some
+           { fpc = fi.Machine.fpc; fmetal = fi.Machine.fmetal;
+             word = fi.Machine.word; ffault = fi.Machine.ffault }
+       else None);
+    id_ex =
+      (if di.Machine.dvalid then
+         Some
+           { dpc = di.Machine.dpc; dmetal = di.Machine.dmetal;
+             duop = di.Machine.duop; rs1 = di.Machine.rs1;
+             rs2 = di.Machine.rs2; rv1 = di.Machine.rv1;
+             rv2 = di.Machine.rv2 }
+       else None);
+    ex_mem =
+      (if xi.Machine.xvalid then
+         Some
+           { xpc = xi.Machine.xpc; xmetal = xi.Machine.xmetal;
+             xuop = xi.Machine.xuop; alu = xi.Machine.alu;
+             sval = xi.Machine.sval }
+       else None);
+    mem_wb =
+      (if m.wb_rd <> 0 then Some { wrd = m.wb_rd; wvalue = m.wb_value }
+       else None);
+  }
+
+let store_latches (m : Machine.t) l =
+  let fi : Machine.fetched = m.if_id in
+  let di : Machine.decoded = m.id_ex in
+  let xi : Machine.executed = m.ex_mem in
+  (match l.if_id with
+   | None -> fi.Machine.fvalid <- false
+   | Some f ->
+     fi.Machine.fvalid <- true;
+     fi.Machine.fpc <- f.fpc;
+     fi.Machine.fmetal <- f.fmetal;
+     fi.Machine.word <- f.word;
+     fi.Machine.ffault <- f.ffault;
+     (* The fast path memoizes decode results in this latch; anything
+        the slow path fetched must be (re-)decoded at ID. *)
+     fi.Machine.fdec_valid <- false);
+  (match l.id_ex with
+   | None -> di.Machine.dvalid <- false
+   | Some d ->
+     di.Machine.dvalid <- true;
+     di.Machine.dpc <- d.dpc;
+     di.Machine.dmetal <- d.dmetal;
+     di.Machine.duop <- d.duop;
+     di.Machine.rs1 <- d.rs1;
+     di.Machine.rs2 <- d.rs2;
+     di.Machine.rv1 <- d.rv1;
+     di.Machine.rv2 <- d.rv2);
+  (match l.ex_mem with
+   | None -> xi.Machine.xvalid <- false
+   | Some x ->
+     xi.Machine.xvalid <- true;
+     xi.Machine.xpc <- x.xpc;
+     xi.Machine.xmetal <- x.xmetal;
+     xi.Machine.xuop <- x.xuop;
+     xi.Machine.alu <- x.alu;
+     xi.Machine.sval <- x.sval);
+  match l.mem_wb with
+  | None -> m.wb_rd <- 0
+  | Some { wrd; wvalue } ->
+    m.wb_rd <- wrd;
+    m.wb_value <- wvalue
+
+(* ------------------------------------------------------------------ *)
+(* Classification helpers                                              *)
+
+(* Instructions whose GPR result is only available after the MEM
+   stage; a dependent instruction immediately behind them must stall
+   one cycle (load-use interlock). *)
+let produces_at_mem = function
+  | Instr.Load _ -> true
+  | Instr.Metal m ->
+    begin match m with
+    | Instr.Mld _ | Instr.Rmr _ -> true
+    | Instr.Feature
+        (Instr.Physld _ | Instr.Tlbprobe _ | Instr.Gprr _ | Instr.Mcsrr _) ->
+      true
+    | Instr.Menter _ | Instr.Mexit | Instr.Wmr _ | Instr.Mst _
+    | Instr.Feature _ -> false
+    end
+  | Instr.Lui _ | Instr.Auipc _ | Instr.Jal _ | Instr.Jalr _ | Instr.Branch _
+  | Instr.Store _ | Instr.Op_imm _ | Instr.Op _ | Instr.Ecall | Instr.Ebreak
+  | Instr.Fence -> false
+
+let uop_writes_gpr = function
+  | U_instr i -> Instr.writes_gpr i
+  | U_event _ | U_poison _ -> None
+
+let uop_produces_at_mem = function
+  | U_instr i -> produces_at_mem i
+  | U_event _ | U_poison _ -> false
+
+(* Instructions that modify Metal registers at MEM: [mexit] decodes
+   against m31, so it interlocks on these. *)
+let uop_writes_mreg = function
+  | U_instr (Instr.Metal (Instr.Wmr _ | Instr.Menter _)) -> true
+  | U_event _ -> true
+  | U_instr _ | U_poison _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Address translation                                                 *)
+
+type access = A_fetch | A_load | A_store
+
+let fault_of_access = function
+  | A_fetch -> Cause.Page_fault_fetch
+  | A_load -> Cause.Page_fault_load
+  | A_store -> Cause.Page_fault_store
+
+let hw_walk m ~vpn ~asid =
+  let open Metal_hw in
+  m.stats.Stats.hw_walks <- m.stats.Stats.hw_walks + 1;
+  let read_pte pa =
+    m.stall_cycles <- m.stall_cycles + m.config.Config.walker_latency;
+    match Bus.load m.bus ~width:Instr.Word ~addr:pa with
+    | Ok w -> Some w
+    | Error _ -> None
+  in
+  let root = m.ctrl.(Csr.pt_root) in
+  let entry_of pte ~vpn ~ppn_extra =
+    let r = Word.bit 1 pte = 1
+    and w = Word.bit 2 pte = 1
+    and x = Word.bit 3 pte = 1
+    and global = Word.bit 4 pte = 1
+    and pkey = Word.bits ~hi:8 ~lo:5 pte in
+    let ppn = Word.bits ~hi:31 ~lo:12 pte lor ppn_extra in
+    { Tlb.asid; global; vpn; ppn; r; w; x; pkey }
+  in
+  match read_pte (root + (4 * (vpn lsr 10))) with
+  | None -> None
+  | Some pte1 ->
+    if Word.bit 0 pte1 = 0 then None
+    else if Word.bits ~hi:3 ~lo:1 pte1 <> 0 then
+      (* 4 MiB superpage leaf at level 1. *)
+      Some (entry_of pte1 ~vpn ~ppn_extra:(vpn land 0x3FF))
+    else begin
+      let table = pte1 land 0xFFFFF000 in
+      match read_pte (table + (4 * (vpn land 0x3FF))) with
+      | None -> None
+      | Some pte2 ->
+        if Word.bit 0 pte2 = 0 || Word.bits ~hi:3 ~lo:1 pte2 = 0 then None
+        else Some (entry_of pte2 ~vpn ~ppn_extra:0)
+    end
+
+let translate m ~access ~metal vaddr =
+  let open Metal_hw in
+  if m.ctrl.(Csr.paging) land 1 = 0 then Ok vaddr
+  else begin
+    let asid = m.ctrl.(Csr.asid) land 0xFF in
+    let vpn = vaddr lsr Tlb.page_shift in
+    let fault cause =
+      m.fault_vaddr <- Word.of_int vaddr;
+      Error cause
+    in
+    let check (e : Tlb.entry) =
+      let perm_ok =
+        match access with A_fetch -> e.x | A_load -> e.r | A_store -> e.w
+      in
+      if not perm_ok then fault (fault_of_access access)
+      else if not metal then begin
+        let perms = m.ctrl.(Csr.pkey_perms) in
+        let read_disabled = Word.bit (2 * e.pkey) perms = 1 in
+        let write_disabled = Word.bit ((2 * e.pkey) + 1) perms = 1 in
+        match access with
+        | A_load when read_disabled -> fault Cause.Pkey_violation_load
+        | A_store when write_disabled -> fault Cause.Pkey_violation_store
+        | A_fetch | A_load | A_store ->
+          Ok ((e.ppn lsl Tlb.page_shift) lor (vaddr land 0xFFF))
+      end
+      else Ok ((e.ppn lsl Tlb.page_shift) lor (vaddr land 0xFFF))
+    in
+    match Tlb.lookup m.tlb ~asid ~vpn with
+    | Some e ->
+      m.stats.Stats.tlb_hits <- m.stats.Stats.tlb_hits + 1;
+      check e
+    | None ->
+      m.stats.Stats.tlb_misses <- m.stats.Stats.tlb_misses + 1;
+      if m.ctrl.(Csr.hw_walker) land 1 = 1 then
+        match hw_walk m ~vpn ~asid with
+        | Some e ->
+          Tlb.insert m.tlb e;
+          check e
+        | None -> fault (fault_of_access access)
+      else fault (fault_of_access access)
+  end
+
+let charge_cache m cache ~addr ~fetch =
+  match cache with
+  | None -> ()
+  | Some c ->
+    if not (Metal_hw.Cache.access c ~addr) then begin
+      let p = (Metal_hw.Cache.config c).Metal_hw.Cache.miss_penalty in
+      m.stall_cycles <- m.stall_cycles + p;
+      if fetch then
+        m.stats.Stats.fetch_stall_cycles <-
+          m.stats.Stats.fetch_stall_cycles + p
+      else
+        m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + p
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Event delivery                                                      *)
+
+let flush_all m l =
+  l.if_id <- None;
+  l.id_ex <- None;
+  l.ex_mem <- None;
+  m.stats.Stats.flushes <- m.stats.Stats.flushes + 1
+
+let redirect m ~target ~metal =
+  m.fetch_pc <- Word.of_int target;
+  m.fetch_metal <- metal;
+  m.fetch_frozen <- false
+
+let deliver_to_mroutine m l ~handler_value ~writes ~on_missing =
+  let entry = handler_value - 1 in
+  match Metal_hw.Mram.entry_addr m.mram entry with
+  | None ->
+    m.halted <- Some on_missing;
+    false
+  | Some target ->
+    List.iter (fun (mr, v) -> set_mreg m mr v) writes;
+    flush_all m l;
+    l.mem_wb <- None;
+    redirect m ~target ~metal:true;
+    true
+
+let raise_exception m l ~cause ~epc ~tval ~metal =
+  m.stats.Stats.exceptions <- m.stats.Stats.exceptions + 1;
+  m.fault_cause <- Cause.code cause;
+  if m.config.Config.trace then
+    add_trace m ~cycle:m.stats.Stats.cycles
+      (Printf.sprintf "exception %s at %s tval=%s" (Cause.to_string cause)
+         (Word.to_hex epc) (Word.to_hex tval));
+  if metal then begin
+    m.halted <- Some (Halt_metal_fault { cause; pc = epc; info = tval });
+    l.mem_wb <- None
+  end
+  else begin
+    let handler_value = m.ctrl.(Csr.exc_handler cause) in
+    if handler_value = 0 then begin
+      m.halted <- Some (Halt_fault { cause; pc = epc; info = tval });
+      l.mem_wb <- None
+    end
+    else begin
+      let writes =
+        [ (Reg.Mconv.return_address, Word.of_int epc);
+          (Reg.Mconv.event_cause, Cause.code cause);
+          (Reg.Mconv.event_value, tval) ]
+      in
+      ignore
+        (deliver_to_mroutine m l ~handler_value ~writes
+           ~on_missing:
+             (Halt_fault { cause; pc = epc; info = tval }))
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* MEM stage                                                           *)
+
+let width_alignment = function Instr.Byte -> 0 | Instr.Half -> 1 | Instr.Word -> 3
+
+let sign_extend_load ~width ~unsigned v =
+  match (width, unsigned) with
+  | Instr.Byte, false -> Word.of_int (Word.sign_extend ~width:8 v)
+  | Instr.Half, false -> Word.of_int (Word.sign_extend ~width:16 v)
+  | (Instr.Byte | Instr.Half), true | Instr.Word, _ -> v
+
+(* Returns [true] when the cycle may continue through EX/ID/IF;
+   [false] when MEM flushed the pipe (exception or slow-path
+   transition) or halted the machine. *)
+let rec do_mem m l ex_mem_old =
+  let stats = m.stats in
+  match ex_mem_old with
+  | None ->
+    stats.Stats.bubbles <- stats.Stats.bubbles + 1;
+    l.mem_wb <- None;
+    true
+  | Some x ->
+    let retire () =
+      stats.Stats.instructions <- stats.Stats.instructions + 1;
+      if x.xmetal then
+        stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+      if m.config.Config.trace then
+        add_trace m ~cycle:stats.Stats.cycles
+          (Printf.sprintf "retire %s%s %s" (Word.to_hex x.xpc)
+             (if x.xmetal then " M" else "  ")
+             (match x.xuop with
+              | U_instr i -> Instr.to_string i
+              | U_event { kind = Event_menter e; _ } ->
+                Printf.sprintf "<menter %d>" e
+              | U_event { kind = Event_intercept c; _ } ->
+                Printf.sprintf "<intercept %s>" (Icept.to_string c)
+              | U_poison _ -> "<poison>"))
+    in
+    let writeback rd value =
+      l.mem_wb <- (if rd = 0 then None else Some { wrd = rd; wvalue = value });
+      retire ();
+      true
+    in
+    let no_writeback () =
+      l.mem_wb <- None;
+      retire ();
+      true
+    in
+    let except cause tval =
+      l.mem_wb <- None;
+      raise_exception m l ~cause ~epc:x.xpc ~tval ~metal:x.xmetal;
+      false
+    in
+    let charge_mem_latency () =
+      let lat = m.config.Config.mem_latency in
+      if lat > 0 then begin
+        m.stall_cycles <- m.stall_cycles + lat;
+        stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat
+      end
+    in
+    begin match x.xuop with
+    | U_poison { cause; tval } ->
+      l.mem_wb <- None;
+      raise_exception m l ~cause ~epc:x.xpc ~tval ~metal:x.xmetal;
+      false
+    | U_event { kind; writes } ->
+      List.iter (fun (mr, v) -> set_mreg m mr v) writes;
+      begin match kind with
+      | Event_menter _ -> stats.Stats.menters <- stats.Stats.menters + 1
+      | Event_intercept _ ->
+        stats.Stats.intercepts <- stats.Stats.intercepts + 1
+      end;
+      no_writeback ()
+    | U_instr instr ->
+      begin match instr with
+      | Instr.Load { width; unsigned; rd; _ } ->
+        let vaddr = x.alu in
+        if vaddr land width_alignment width <> 0 then
+          except Cause.Misaligned_load vaddr
+        else begin
+          match translate m ~access:A_load ~metal:x.xmetal vaddr with
+          | Error cause -> except cause vaddr
+          | Ok pa ->
+            charge_mem_latency ();
+            charge_cache m m.dcache ~addr:pa ~fetch:false;
+            begin match Metal_hw.Bus.load m.bus ~width ~addr:pa with
+            | Error cause -> except cause vaddr
+            | Ok v -> writeback rd (sign_extend_load ~width ~unsigned v)
+            end
+        end
+      | Instr.Store { width; _ } ->
+        let vaddr = x.alu in
+        if vaddr land width_alignment width <> 0 then
+          except Cause.Misaligned_store vaddr
+        else begin
+          match translate m ~access:A_store ~metal:x.xmetal vaddr with
+          | Error cause -> except cause vaddr
+          | Ok pa ->
+            charge_mem_latency ();
+            charge_cache m m.dcache ~addr:pa ~fetch:false;
+            begin match Metal_hw.Bus.store m.bus ~width ~addr:pa x.sval with
+            | Error cause -> except cause vaddr
+            | Ok () -> no_writeback ()
+            end
+        end
+      | Instr.Metal mi ->
+        do_mem_metal m l x mi ~writeback ~no_writeback ~except
+      | Instr.Ecall -> except Cause.Ecall 0
+      | Instr.Ebreak ->
+        if (not x.xmetal) && m.ctrl.(Csr.exc_handler Cause.Breakpoint) <> 0
+        then except Cause.Breakpoint 0
+        else begin
+          retire ();
+          l.mem_wb <- None;
+          m.halted <- Some (Halt_ebreak { pc = x.xpc; metal = x.xmetal });
+          false
+        end
+      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ } | Instr.Jal { rd; _ }
+      | Instr.Jalr { rd; _ } | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
+        writeback rd x.alu
+      | Instr.Branch _ | Instr.Fence -> no_writeback ()
+      end
+    end
+
+and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
+  let stats = m.stats in
+  match mi with
+  | Instr.Mld { rd; _ } ->
+    begin match Metal_hw.Mram.load_word m.mram ~addr:x.alu with
+    | Some v -> writeback rd v
+    | None -> except Cause.Access_fault x.alu
+    end
+  | Instr.Mst _ ->
+    if Metal_hw.Mram.store_word m.mram ~addr:x.alu x.sval then no_writeback ()
+    else except Cause.Access_fault x.alu
+  | Instr.Rmr { rd; mr } -> writeback rd (get_mreg m mr)
+  | Instr.Wmr { mr; _ } ->
+    set_mreg m mr x.alu;
+    no_writeback ()
+  | Instr.Menter { entry } ->
+    (* Slow-path (trap-style) Metal entry; the fast path consumes
+       menter at decode and never reaches here. *)
+    begin match Metal_hw.Mram.entry_addr m.mram entry with
+    | None -> except Cause.Illegal_instruction 0
+    | Some target ->
+      set_mreg m Reg.Mconv.return_address (Word.add x.xpc 4);
+      stats.Stats.menters <- stats.Stats.menters + 1;
+      stats.Stats.instructions <- stats.Stats.instructions + 1;
+      flush_all m l;
+      l.mem_wb <- None;
+      redirect m ~target ~metal:true;
+      false
+    end
+  | Instr.Mexit ->
+    let target = get_mreg m Reg.Mconv.return_address in
+    stats.Stats.mexits <- stats.Stats.mexits + 1;
+    stats.Stats.instructions <- stats.Stats.instructions + 1;
+    if x.xmetal then
+      stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+    flush_all m l;
+    l.mem_wb <- None;
+    redirect m ~target ~metal:false;
+    false
+  | Instr.Feature f ->
+    begin match f with
+    | Instr.Physld { rd; _ } ->
+      if x.alu land 3 <> 0 then except Cause.Misaligned_load x.alu
+      else begin
+        let lat = m.config.Config.mem_latency in
+        if lat > 0 then begin
+          m.stall_cycles <- m.stall_cycles + lat;
+          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat
+        end;
+        match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:x.alu with
+        | Ok v -> writeback rd v
+        | Error cause -> except cause x.alu
+      end
+    | Instr.Physst _ ->
+      if x.alu land 3 <> 0 then except Cause.Misaligned_store x.alu
+      else begin
+        let lat = m.config.Config.mem_latency in
+        if lat > 0 then begin
+          m.stall_cycles <- m.stall_cycles + lat;
+          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat
+        end;
+        match Metal_hw.Bus.store m.bus ~width:Instr.Word ~addr:x.alu x.sval with
+        | Ok () -> no_writeback ()
+        | Error cause -> except cause x.alu
+      end
+    | Instr.Tlbw _ ->
+      Metal_hw.Tlb.insert_packed m.tlb ~tag:x.alu ~data:x.sval;
+      no_writeback ()
+    | Instr.Tlbflush _ ->
+      if x.alu = Word.mask then Metal_hw.Tlb.flush_all m.tlb
+      else Metal_hw.Tlb.flush_asid m.tlb ~asid:(x.alu land 0xFF);
+      no_writeback ()
+    | Instr.Tlbprobe { rd; _ } ->
+      let asid = m.ctrl.(Csr.asid) land 0xFF in
+      writeback rd (Metal_hw.Tlb.probe_packed m.tlb ~asid ~vaddr:x.alu)
+    | Instr.Gprr { rd; _ } -> writeback rd m.regs.(x.alu land 31)
+    | Instr.Gprw _ ->
+      let idx = x.alu land 31 in
+      if idx <> 0 then m.regs.(idx) <- x.sval;
+      no_writeback ()
+    | Instr.Iceptset _ ->
+      ctrl_write m (Csr.icept_handler (x.alu land 15)) (x.sval + 1);
+      no_writeback ()
+    | Instr.Iceptclr _ ->
+      ctrl_write m (Csr.icept_handler (x.alu land 15)) 0;
+      no_writeback ()
+    | Instr.Mcsrr { rd; csr } -> writeback rd (ctrl_read m csr)
+    | Instr.Mcsrw { csr; _ } ->
+      ctrl_write m csr x.alu;
+      no_writeback ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* EX stage                                                            *)
+
+let alu_compute op a b =
+  match op with
+  | Instr.Add -> Word.add a b
+  | Instr.Sub -> Word.sub a b
+  | Instr.Sll -> Word.shift_left a b
+  | Instr.Slt -> if Word.lt_signed a b then 1 else 0
+  | Instr.Sltu -> if Word.lt_unsigned a b then 1 else 0
+  | Instr.Xor -> Word.logxor a b
+  | Instr.Srl -> Word.shift_right_logical a b
+  | Instr.Sra -> Word.shift_right_arith a b
+  | Instr.Or -> Word.logor a b
+  | Instr.And -> Word.logand a b
+
+let branch_taken cond a b =
+  match cond with
+  | Instr.Beq -> a = b
+  | Instr.Bne -> a <> b
+  | Instr.Blt -> Word.lt_signed a b
+  | Instr.Bge -> Word.ge_signed a b
+  | Instr.Bltu -> Word.lt_unsigned a b
+  | Instr.Bgeu -> Word.ge_unsigned a b
+
+(* Process the EX stage.  Sets [l.ex_mem]; returns a taken-branch /
+   jalr redirect: [(target, metal_mode_of_branch)]. *)
+let do_ex l id_ex_old ~ex_mem_prev ~mem_wb_prev =
+  match id_ex_old with
+  | None ->
+    l.ex_mem <- None;
+    None
+  | Some d ->
+    (* Forward from the EX/MEM and MEM/WB latches of the previous
+       cycle.  A load-like producer in EX/MEM would be a missed
+       load-use stall; the decode-stage interlock prevents it. *)
+    let forward idx v =
+      if idx = 0 then v
+      else
+        let from_ex_mem =
+          match ex_mem_prev with
+          | Some x when not (uop_produces_at_mem x.xuop) ->
+            begin match uop_writes_gpr x.xuop with
+            | Some rd when rd = idx -> Some x.alu
+            | Some _ | None -> None
+            end
+          | Some _ | None -> None
+        in
+        match from_ex_mem with
+        | Some value -> value
+        | None ->
+          begin match mem_wb_prev with
+          | Some { wrd; wvalue } when wrd = idx -> wvalue
+          | Some _ | None -> v
+          end
+    in
+    let rv1 = forward d.rs1 d.rv1 in
+    let rv2 = forward d.rs2 d.rv2 in
+    let finish ?(alu = 0) ?(sval = 0) ?redirect () =
+      l.ex_mem <-
+        Some { xpc = d.dpc; xmetal = d.dmetal; xuop = d.duop; alu; sval };
+      redirect
+    in
+    begin match d.duop with
+    | U_poison _ | U_event _ -> finish ()
+    | U_instr instr ->
+      begin match instr with
+      | Instr.Lui { imm; _ } -> finish ~alu:(Word.of_int (imm lsl 12)) ()
+      | Instr.Auipc { imm; _ } ->
+        finish ~alu:(Word.add d.dpc (Word.of_int (imm lsl 12))) ()
+      | Instr.Jal _ -> finish ~alu:(Word.add d.dpc 4) ()
+      | Instr.Jalr { offset; _ } ->
+        let target = Word.logand (Word.add rv1 offset) (Word.lognot 1) in
+        finish ~alu:(Word.add d.dpc 4)
+          ~redirect:(target, d.dmetal) ()
+      | Instr.Branch { cond; offset; _ } ->
+        if branch_taken cond rv1 rv2 then
+          finish ~redirect:(Word.add d.dpc offset, d.dmetal) ()
+        else finish ()
+      | Instr.Load { offset; _ } -> finish ~alu:(Word.add rv1 offset) ()
+      | Instr.Store { offset; _ } ->
+        finish ~alu:(Word.add rv1 offset) ~sval:rv2 ()
+      | Instr.Op_imm { op; imm; _ } ->
+        finish ~alu:(alu_compute op rv1 (Word.of_int imm)) ()
+      | Instr.Op { op; _ } -> finish ~alu:(alu_compute op rv1 rv2) ()
+      | Instr.Ecall | Instr.Ebreak | Instr.Fence -> finish ()
+      | Instr.Metal mi ->
+        begin match mi with
+        | Instr.Mld { offset; _ } -> finish ~alu:(Word.add rv1 offset) ()
+        | Instr.Mst { offset; _ } ->
+          finish ~alu:(Word.add rv1 offset) ~sval:rv2 ()
+        | Instr.Menter _ | Instr.Mexit | Instr.Rmr _ -> finish ()
+        | Instr.Wmr _ -> finish ~alu:rv1 ()
+        | Instr.Feature f ->
+          begin match f with
+          | Instr.Physld { offset; _ } -> finish ~alu:(Word.add rv1 offset) ()
+          | Instr.Physst { offset; _ } ->
+            finish ~alu:(Word.add rv1 offset) ~sval:rv2 ()
+          | Instr.Tlbw _ | Instr.Gprw _ | Instr.Iceptset _ ->
+            finish ~alu:rv1 ~sval:rv2 ()
+          | Instr.Tlbflush _ | Instr.Tlbprobe _ | Instr.Gprr _
+          | Instr.Iceptclr _ | Instr.Mcsrw _ -> finish ~alu:rv1 ()
+          | Instr.Mcsrr _ -> finish ()
+          end
+        end
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* ID stage                                                            *)
+
+type id_redirect = { target : int; to_metal : bool; combinational : bool }
+
+type id_outcome =
+  | Id_stall
+  | Id_pass of decoded option * id_redirect option
+
+(* Interception is considered only for normal-mode instructions with a
+   registered handler and the global enable bit set. *)
+let intercept_handler m instr =
+  if m.ctrl.(Csr.icept_enable) land 1 = 0 then None
+  else
+    match Icept.classify instr with
+    | None -> None
+    | Some cls ->
+      let v = m.ctrl.(Csr.icept_handler (Icept.code cls)) in
+      if v = 0 then None else Some (cls, v)
+
+(* Source registers by encoding position (x0 allowed): forwarding and
+   the interception interlock need rs1/rs2 positionally. *)
+let sources_of instr =
+  match instr with
+  | Instr.Jalr { rs1; _ } | Instr.Load { rs1; _ } | Instr.Op_imm { rs1; _ } ->
+    (rs1, 0)
+  | Instr.Branch { rs1; rs2; _ } | Instr.Op { rs1; rs2; _ }
+  | Instr.Store { rs1; rs2; _ } -> (rs1, rs2)
+  | Instr.Metal m ->
+    begin match m with
+    | Instr.Wmr { rs1; _ } | Instr.Mld { rs1; _ } -> (rs1, 0)
+    | Instr.Mst { rs1; rs2; _ } -> (rs1, rs2)
+    | Instr.Menter _ | Instr.Mexit | Instr.Rmr _ -> (0, 0)
+    | Instr.Feature f ->
+      begin match f with
+      | Instr.Physld { rs1; _ } | Instr.Tlbflush { rs1 }
+      | Instr.Tlbprobe { rs1; _ } | Instr.Gprr { rs1; _ }
+      | Instr.Iceptclr { rs1 } | Instr.Mcsrw { rs1; _ } -> (rs1, 0)
+      | Instr.Physst { rs1; rs2; _ } | Instr.Tlbw { rs1; rs2 }
+      | Instr.Gprw { rs1; rs2 } | Instr.Iceptset { rs1; rs2 } -> (rs1, rs2)
+      | Instr.Mcsrr _ -> (0, 0)
+      end
+    end
+  | Instr.Lui _ | Instr.Auipc _ | Instr.Jal _ | Instr.Ecall | Instr.Ebreak
+  | Instr.Fence -> (0, 0)
+
+(* Does any in-flight producer target one of [srcs]?  Used by the
+   interception interlock, which needs operand values at decode. *)
+let inflight_writes_gpr ~id_ex_old ~ex_mem_old srcs =
+  let hits = function
+    | None -> false
+    | Some rd -> rd <> 0 && List.mem rd srcs
+  in
+  (match id_ex_old with
+   | Some d -> hits (uop_writes_gpr d.duop)
+   | None -> false)
+  || match ex_mem_old with
+  | Some x -> hits (uop_writes_gpr x.xuop)
+  | None -> false
+
+let inflight_writes_mreg ~id_ex_old ~ex_mem_old =
+  (match id_ex_old with Some d -> uop_writes_mreg d.duop | None -> false)
+  || match ex_mem_old with Some x -> uop_writes_mreg x.xuop | None -> false
+
+let do_id m if_id_old ~id_ex_old ~ex_mem_old =
+  match if_id_old with
+  | None -> Id_pass (None, None)
+  | Some f ->
+    let poison cause tval =
+      Id_pass
+        (Some
+           { dpc = f.fpc; dmetal = f.fmetal;
+             duop = U_poison { cause; tval }; rs1 = 0; rs2 = 0; rv1 = 0;
+             rv2 = 0 },
+         None)
+    in
+    begin match f.ffault with
+    | Some cause -> poison cause f.fpc
+    | None ->
+      begin match Decode.decode f.word with
+      | Error _ -> poison Cause.Illegal_instruction f.word
+      | Ok instr ->
+        (* Legality: Metal instructions other than menter require Metal
+           mode; menter requires normal mode (no hardware nesting). *)
+        let illegal =
+          match instr with
+          | Instr.Metal (Instr.Menter _) -> f.fmetal
+          | Instr.Metal _ -> not f.fmetal
+          | _ -> false
+        in
+        if illegal then poison Cause.Illegal_instruction f.word
+        else begin
+          let rs1, rs2 = sources_of instr in
+          let rv1 = m.regs.(rs1) and rv2 = m.regs.(rs2) in
+          let dec duop =
+            { dpc = f.fpc; dmetal = f.fmetal; duop; rs1; rs2; rv1; rv2 }
+          in
+          (* Load-use interlock against the instruction now in EX. *)
+          let load_use =
+            match id_ex_old with
+            | Some d when uop_produces_at_mem d.duop ->
+              begin match uop_writes_gpr d.duop with
+              | Some rd -> rd = rs1 || rd = rs2
+              | None -> false
+              end
+            | Some _ | None -> false
+          in
+          if load_use then begin
+            m.stats.Stats.load_use_stalls <-
+              m.stats.Stats.load_use_stalls + 1;
+            Id_stall
+          end
+          else begin
+            match intercept_handler m instr with
+            | Some (cls, handler_value) when not f.fmetal ->
+              (* Interception needs fresh operand values at decode. *)
+              if inflight_writes_gpr ~id_ex_old ~ex_mem_old [ rs1; rs2 ]
+              then begin
+                m.stats.Stats.interlock_stalls <-
+                  m.stats.Stats.interlock_stalls + 1;
+                Id_stall
+              end
+              else begin
+                let entry = handler_value - 1 in
+                match Metal_hw.Mram.entry_addr m.mram entry with
+                | None ->
+                  (* Mis-configured intercept: treat as illegal. *)
+                  poison Cause.Illegal_instruction f.word
+                | Some target ->
+                  let eff_addr, store_val, rd_idx =
+                    match instr with
+                    | Instr.Load { rs1 = _; offset; rd; _ } ->
+                      (Word.add rv1 offset, 0, rd)
+                    | Instr.Store { offset; _ } ->
+                      (Word.add rv1 offset, rv2, 0)
+                    | Instr.Jalr { offset; rd; _ } ->
+                      (Word.logand (Word.add rv1 offset) (Word.lognot 1),
+                       0, rd)
+                    | Instr.Jal { offset; rd } ->
+                      (Word.add f.fpc offset, 0, rd)
+                    | Instr.Branch { offset; _ } ->
+                      (Word.add f.fpc offset, 0, 0)
+                    | _ -> (0, 0, 0)
+                  in
+                  let writes =
+                    [ (Reg.Mconv.return_address, Word.of_int f.fpc);
+                      (Reg.Mconv.event_cause,
+                       Cause.intercept_code (Icept.code cls));
+                      (Reg.Mconv.event_value, f.word);
+                      (Reg.Mconv.event_addr, eff_addr);
+                      (Reg.Mconv.event_store_value, store_val);
+                      (Reg.Mconv.event_rd, rd_idx) ]
+                  in
+                  Id_pass
+                    (Some
+                       (dec
+                          (U_event
+                             { kind = Event_intercept cls; writes })),
+                     Some
+                       { target; to_metal = true; combinational = true })
+              end
+            | Some _ | None ->
+              begin match instr with
+              | Instr.Jal { offset; _ } ->
+                Id_pass
+                  (Some (dec (U_instr instr)),
+                   Some
+                     { target = Word.add f.fpc offset; to_metal = f.fmetal;
+                       combinational = false })
+              | Instr.Metal (Instr.Menter { entry })
+                when m.config.Config.transition = Config.Fast_replacement ->
+                begin match Metal_hw.Mram.entry_addr m.mram entry with
+                | None -> poison Cause.Illegal_instruction f.word
+                | Some target ->
+                  let writes =
+                    [ (Reg.Mconv.return_address, Word.add f.fpc 4) ]
+                  in
+                  Id_pass
+                    (Some
+                       (dec
+                          (U_event { kind = Event_menter entry; writes })),
+                     Some { target; to_metal = true; combinational = true })
+                end
+              | Instr.Metal Instr.Mexit
+                when m.config.Config.transition = Config.Fast_replacement ->
+                if inflight_writes_mreg ~id_ex_old ~ex_mem_old then begin
+                  m.stats.Stats.interlock_stalls <-
+                    m.stats.Stats.interlock_stalls + 1;
+                  Id_stall
+                end
+                else begin
+                  m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
+                  let target = get_mreg m Reg.Mconv.return_address in
+                  Id_pass
+                    (None,
+                     Some { target; to_metal = false; combinational = true })
+                end
+              | _ -> Id_pass (Some (dec (U_instr instr)), None)
+              end
+          end
+        end
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* IF stage                                                            *)
+
+let do_if m =
+  if m.fetch_frozen then None
+  else begin
+    let pc = m.fetch_pc in
+    let fetched ?fault word =
+      (match fault with
+       | Some _ -> m.fetch_frozen <- true
+       | None -> m.fetch_pc <- Word.add pc 4);
+      Some { fpc = pc; fmetal = m.fetch_metal; word; ffault = fault }
+    in
+    if m.fetch_metal then begin
+      begin match m.config.Config.mram_backing with
+      | Config.Main_memory { fetch_penalty } ->
+        (* Main-memory-resident mroutines (the PALcode model) fetch
+           through the instruction cache — filling, and polluting, it.
+           Dedicated MRAM below bypasses the cache entirely. *)
+        begin match m.icache with
+        | Some c ->
+          if not (Metal_hw.Cache.access c ~addr:(0x4000_0000 lor pc))
+          then begin
+            m.stall_cycles <- m.stall_cycles + fetch_penalty;
+            m.stats.Stats.fetch_stall_cycles <-
+              m.stats.Stats.fetch_stall_cycles + fetch_penalty
+          end
+        | None ->
+          if fetch_penalty > 0 then begin
+            m.stall_cycles <- m.stall_cycles + fetch_penalty;
+            m.stats.Stats.fetch_stall_cycles <-
+              m.stats.Stats.fetch_stall_cycles + fetch_penalty
+          end
+        end
+      | Config.Dedicated -> ()
+      end;
+      match Metal_hw.Mram.fetch m.mram ~addr:pc with
+      | Some word -> fetched word
+      | None -> fetched ~fault:Cause.Access_fault 0
+    end
+    else if pc land 3 <> 0 then fetched ~fault:Cause.Misaligned_fetch 0
+    else begin
+      match translate m ~access:A_fetch ~metal:false pc with
+      | Error cause -> fetched ~fault:cause 0
+      | Ok pa ->
+        charge_cache m m.icache ~addr:pa ~fetch:true;
+        begin match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:pa with
+        | Ok word -> fetched word
+        | Error cause -> fetched ~fault:cause 0
+        end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt delivery                                                  *)
+
+let metal_in_flight ~if_id ~id_ex ~ex_mem =
+  (match if_id with Some f -> f.fmetal | None -> false)
+  || (match id_ex with Some d -> d.dmetal | None -> false)
+  || (match ex_mem with Some x -> x.xmetal | None -> false)
+
+(* mroutine-entry micro-ops must not be squashed mid-entry: their
+   fetch redirect has already happened, so squashing them would lose
+   the Metal-register writes the mroutine is about to read. *)
+let entry_in_flight ~id_ex ~ex_mem =
+  (match id_ex with Some { duop = U_event _; _ } -> true | _ -> false)
+  || match ex_mem with Some { xuop = U_event _; _ } -> true | _ -> false
+
+let try_interrupt m l ~if_id ~id_ex ~ex_mem =
+  let enabled = m.ctrl.(Csr.int_enable) in
+  if enabled = 0 || m.fetch_metal
+     || metal_in_flight ~if_id ~id_ex ~ex_mem
+     || entry_in_flight ~id_ex ~ex_mem
+  then false
+  else
+    match Metal_hw.Intc.highest_pending m.intc ~enabled with
+    | None -> false
+    | Some irq ->
+      let handler_value = m.ctrl.(Csr.int_handler irq) in
+      if handler_value = 0 then false
+      else begin
+        let epc =
+          match (ex_mem, id_ex, if_id) with
+          | Some x, _, _ -> x.xpc
+          | None, Some d, _ -> d.dpc
+          | None, None, Some f -> f.fpc
+          | None, None, None -> m.fetch_pc
+        in
+        let writes =
+          [ (Reg.Mconv.return_address, Word.of_int epc);
+            (Reg.Mconv.event_cause, Cause.interrupt_code irq) ]
+        in
+        m.stats.Stats.interrupts <- m.stats.Stats.interrupts + 1;
+        if m.config.Config.trace then
+          add_trace m ~cycle:m.stats.Stats.cycles
+            (Printf.sprintf "interrupt %d delivered, resume %s" irq
+               (Word.to_hex epc));
+        deliver_to_mroutine m l ~handler_value ~writes
+          ~on_missing:
+            (Halt_fault
+               { cause = Cause.Access_fault; pc = epc; info = irq })
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Cycle driver                                                        *)
+
+let timer_tick m =
+  let cmp = m.ctrl.(Csr.timer_cmp) in
+  if cmp <> 0 && m.stats.Stats.cycles >= cmp then begin
+    Metal_hw.Intc.raise_irq m.intc Metal_hw.Intc.timer_irq;
+    m.ctrl.(Csr.timer_cmp) <- 0
+  end
+
+let step m =
+  match m.halted with
+  | Some _ -> ()
+  | None ->
+    m.stats.Stats.cycles <- m.stats.Stats.cycles + 1;
+    timer_tick m;
+    Metal_hw.Bus.tick m.bus ~cycle:m.stats.Stats.cycles;
+    if m.stall_cycles > 0 then m.stall_cycles <- m.stall_cycles - 1
+    else begin
+      let l = load_latches m in
+      let if_id = l.if_id
+      and id_ex = l.id_ex
+      and ex_mem = l.ex_mem
+      and mem_wb = l.mem_wb in
+      (* WB: regfile writes happen in the first half of the cycle so
+         decode-stage reads observe them. *)
+      begin match mem_wb with
+      | Some { wrd; wvalue } -> if wrd <> 0 then m.regs.(wrd) <- wvalue
+      | None -> ()
+      end;
+      l.mem_wb <- None;
+      (if try_interrupt m l ~if_id ~id_ex ~ex_mem then ()
+       else if not (do_mem m l ex_mem) then ()
+       else begin
+         match do_ex l id_ex ~ex_mem_prev:ex_mem ~mem_wb_prev:mem_wb with
+         | Some (target, to_metal) ->
+           l.id_ex <- None;
+           l.if_id <- None;
+           m.stats.Stats.flushes <- m.stats.Stats.flushes + 1;
+           redirect m ~target ~metal:to_metal
+         | None ->
+           begin match do_id m if_id ~id_ex_old:id_ex ~ex_mem_old:ex_mem with
+           | Id_stall -> l.id_ex <- None
+           | Id_pass (dec, redir) ->
+             l.id_ex <- dec;
+             begin match redir with
+             | None -> l.if_id <- do_if m
+             | Some { target; to_metal; combinational } ->
+               redirect m ~target ~metal:to_metal;
+               if combinational then l.if_id <- do_if m
+               else l.if_id <- None
+             end
+           end
+       end);
+      store_latches m l
+    end

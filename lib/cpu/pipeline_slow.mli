@@ -1,0 +1,12 @@
+(** The original option-latch pipeline stepper, preserved as the slow
+    path behind [Config.predecode = false].
+
+    [Pipeline.step] dispatches here when the predecode cache is
+    disabled.  The stepper is cycle-exact with the fast path — the
+    differential suite requires identical registers, memory and
+    [Stats] under both — but allocates per cycle and decodes at ID
+    every time, so it doubles as the ablation baseline the simperf
+    benchmark measures the fast path against. *)
+
+val step : Machine.t -> unit
+(** Advance the machine one cycle (no-op once halted). *)

@@ -1,0 +1,69 @@
+type 'u entry = {
+  mutable tag : int;
+  mutable word : Word.t;
+  mutable instr : Instr.t;
+  mutable uop : 'u;
+  mutable rs1 : int;
+  mutable rs2 : int;
+  mutable legal : bool;
+}
+
+type 'u t = {
+  entries : 'u entry array;
+  mask : int;
+  mutable phys_synced : int;
+  mutable mram_synced : int;
+  mutable hits : int;
+  mutable fills : int;
+  mutable flushes : int;
+}
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let create ~entries ~instr ~uop =
+  if not (is_pow2 entries) then
+    invalid_arg "Predecode.create: entries must be a power of two";
+  {
+    entries =
+      Array.init entries (fun _ ->
+          { tag = -1; word = 0; instr; uop; rs1 = 0; rs2 = 0; legal = false });
+    mask = entries - 1;
+    phys_synced = 0;
+    mram_synced = 0;
+    hits = 0;
+    fills = 0;
+    flushes = 0;
+  }
+
+let slot t ~addr = t.entries.((addr lsr 2) land t.mask)
+
+let flush t =
+  Array.iter (fun e -> e.tag <- -1) t.entries;
+  t.flushes <- t.flushes + 1
+
+(* A write we were not told about (DMA, a host poke, an image load)
+   may have rewritten any cached word: drop everything and trust the
+   new version.  Pipeline stores are reported through [note_phys_store]
+   and keep the cache warm. *)
+let sync_phys t ~version =
+  if t.phys_synced <> version then begin
+    flush t;
+    t.phys_synced <- version
+  end
+
+let sync_mram t ~version =
+  if t.mram_synced <> version then begin
+    flush t;
+    t.mram_synced <- version
+  end
+
+(* A pipeline store to physical memory: the only cached decode it can
+   invalidate is the direct-mapped slot of the word it wrote (stores
+   are alignment-checked, so a store never straddles words). *)
+let note_phys_store t ~addr =
+  (slot t ~addr).tag <- -1;
+  t.phys_synced <- t.phys_synced + 1
+
+(* [mst] writes the MRAM data segment, which is never fetched, so no
+   entry can go stale — only the version bookkeeping must keep up. *)
+let note_mram_store t = t.mram_synced <- t.mram_synced + 1

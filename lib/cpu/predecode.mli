@@ -1,0 +1,70 @@
+(** Predecoded-instruction cache: a direct-mapped array of decoded
+    instructions keyed by physical fetch address, so the steady-state
+    hot loop skips both the bus access and {!Metal_isa.Decode.decode}
+    on refetch.
+
+    Purely a host-side accelerator — simulated cycles, statistics and
+    architectural state are bit-identical with the cache disabled
+    ({!Config.t.predecode}).  Correctness against self-modifying code
+    rests on two invalidation mechanisms:
+
+    - every mutation of {!Metal_hw.Phys_mem} / {!Metal_hw.Mram} bumps a
+      version counter; [sync_phys]/[sync_mram] flush the whole cache
+      when a version moved without the pipeline's knowledge (DMA, host
+      pokes, image loads, MRAM reconfiguration);
+    - the pipeline reports its own stores via [note_phys_store] /
+      [note_mram_store], which invalidate precisely and keep the cache
+      warm across store-heavy loops.
+
+    The cache is generic in the micro-op payload ['u] so {!Machine} can
+    store prebuilt [uop] values without a dependency cycle. *)
+
+type 'u entry = {
+  mutable tag : int;
+      (** [(addr lsl 1) lor metal_bit]; [-1] = invalid.  [addr] is a
+          physical address for normal-mode fetches and an MRAM code
+          offset for Metal-mode fetches. *)
+  mutable word : Word.t;  (** the instruction word that was decoded *)
+  mutable instr : Instr.t;
+  mutable uop : 'u;  (** prebuilt micro-op, shared across refetches *)
+  mutable rs1 : int;
+  mutable rs2 : int;  (** positional source registers *)
+  mutable legal : bool;
+      (** decodable and legal in the tag's mode; [false] means the ID
+          stage poisons with [Illegal_instruction] without redecoding *)
+}
+
+type 'u t = {
+  entries : 'u entry array;
+  mask : int;
+  mutable phys_synced : int;  (** {!Metal_hw.Phys_mem.version} we trust *)
+  mutable mram_synced : int;  (** {!Metal_hw.Mram.version} we trust *)
+  mutable hits : int;
+  mutable fills : int;
+  mutable flushes : int;
+}
+
+val create : entries:int -> instr:Instr.t -> uop:'u -> 'u t
+(** [entries] must be a power of two; [instr]/[uop] seed the invalid
+    slots (never decoded from). *)
+
+val slot : 'u t -> addr:int -> 'u entry
+(** The direct-mapped slot for a (word-aligned) fetch address. *)
+
+val flush : 'u t -> unit
+
+val sync_phys : 'u t -> version:int -> unit
+(** Flush unless the cache is current with physical memory at
+    [version].  Call before every normal-mode lookup. *)
+
+val sync_mram : 'u t -> version:int -> unit
+(** Flush unless current with the MRAM at [version].  Call before
+    every Metal-mode lookup. *)
+
+val note_phys_store : 'u t -> addr:int -> unit
+(** The pipeline stored to physical [addr]: invalidate that word's
+    slot and absorb the version bump without flushing. *)
+
+val note_mram_store : 'u t -> unit
+(** The pipeline executed [mst] (MRAM data segment — unfetchable):
+    absorb the version bump. *)

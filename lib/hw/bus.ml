@@ -66,4 +66,13 @@ let store t ~width ~addr v =
       Ok ()
     | Some _ | None -> Error Cause.Access_fault
 
-let tick t ~cycle = List.iter (fun d -> d.tick ~cycle) t.devices
+(* Called every simulated cycle; a top-level loop avoids the closure
+   [List.iter] would allocate per call. *)
+let rec tick_devices devices ~cycle =
+  match devices with
+  | [] -> ()
+  | d :: rest ->
+    d.tick ~cycle;
+    tick_devices rest ~cycle
+
+let tick t ~cycle = tick_devices t.devices ~cycle

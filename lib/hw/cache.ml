@@ -2,6 +2,9 @@ type config = { lines : int; line_bytes : int; miss_penalty : int }
 
 type t = {
   cfg : config;
+  line_shift : int;  (* log2 line_bytes *)
+  index_shift : int;  (* log2 lines *)
+  index_mask : int;  (* lines - 1 *)
   tags : int array;  (* -1 = invalid *)
   mutable hit_count : int;
   mutable miss_count : int;
@@ -9,17 +12,31 @@ type t = {
 
 let is_pow2 v = v > 0 && v land (v - 1) = 0
 
+let log2 v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
 let create cfg =
   if not (is_pow2 cfg.lines && is_pow2 cfg.line_bytes) then
     invalid_arg "Cache.create: lines and line_bytes must be powers of two";
   if cfg.miss_penalty < 0 then invalid_arg "Cache.create: negative penalty";
-  { cfg; tags = Array.make cfg.lines (-1); hit_count = 0; miss_count = 0 }
+  {
+    cfg;
+    line_shift = log2 cfg.line_bytes;
+    index_shift = log2 cfg.lines;
+    index_mask = cfg.lines - 1;
+    tags = Array.make cfg.lines (-1);
+    hit_count = 0;
+    miss_count = 0;
+  }
 
 let config t = t.cfg
 
+(* Hot path: [create] guarantees pow2 geometry, so the line/index/tag
+   split is pure shift-and-mask (addresses are non-negative). *)
 let split t addr =
-  let line = addr / t.cfg.line_bytes in
-  (line mod t.cfg.lines, line / t.cfg.lines)
+  let line = addr lsr t.line_shift in
+  (line land t.index_mask, line lsr t.index_shift)
 
 let access t ~addr =
   let index, tag = split t addr in

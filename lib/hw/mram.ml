@@ -2,6 +2,7 @@ type t = {
   code : Word.t array;  (** one slot per instruction word *)
   data : Bytes.t;
   entry_table : int array;  (** -1 = unregistered *)
+  mutable version : int;  (** bumped on any reconfiguration or write *)
 }
 
 let max_entries = 64
@@ -14,7 +15,10 @@ let create ~code_words ~data_bytes =
     code = Array.make code_words 0;
     data = Bytes.make data_bytes '\000';
     entry_table = Array.make max_entries (-1);
+    version = 0;
   }
+
+let version t = t.version
 
 let code_bytes t = 4 * Array.length t.code
 
@@ -28,6 +32,7 @@ let set_entry t ~entry ~addr =
   else if t.entry_table.(entry) >= 0 && t.entry_table.(entry) <> addr then
     Error (Printf.sprintf "mroutine entry %d already registered" entry)
   else begin
+    t.version <- t.version + 1;
     t.entry_table.(entry) <- addr;
     Ok ()
   end
@@ -56,6 +61,7 @@ let load_image t (img : Metal_asm.Image.t) =
            addr
            (addr + String.length data))
     else begin
+      t.version <- t.version + 1;
       for i = 0 to (String.length data / 4) - 1 do
         let w =
           Char.code data.[4 * i]
@@ -94,6 +100,7 @@ let load_word t ~addr =
 let store_word t ~addr v =
   if addr < 0 || addr land 3 <> 0 || addr + 4 > Bytes.length t.data then false
   else begin
+    t.version <- t.version + 1;
     Bytes.set t.data addr (Char.chr (v land 0xFF));
     Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF));
     Bytes.set t.data (addr + 2) (Char.chr ((v lsr 16) land 0xFF));

@@ -15,6 +15,12 @@ val create : code_words:int -> data_bytes:int -> t
 val code_bytes : t -> int
 val data_bytes : t -> int
 
+val version : t -> int
+(** Reconfiguration counter: incremented on [load_image], [set_entry]
+    and [store_word].  The CPU's predecoded-instruction cache compares
+    this against the value captured at fill time to invalidate stale
+    Metal-mode entries. *)
+
 val max_entries : int
 (** 64 mroutine entries. *)
 

@@ -1,11 +1,13 @@
-type t = { data : Bytes.t }
+type t = { data : Bytes.t; mutable version : int }
 
 let create ~size =
   if size <= 0 || size land 3 <> 0 then
     invalid_arg "Phys_mem.create: size must be a positive multiple of 4";
-  { data = Bytes.make size '\000' }
+  { data = Bytes.make size '\000'; version = 0 }
 
 let size t = Bytes.length t.data
+
+let version t = t.version
 
 let in_range t ~addr ~width =
   addr >= 0 && addr + width <= Bytes.length t.data
@@ -33,15 +35,18 @@ let read32 t addr =
 
 let write8 t addr v =
   check t addr 1;
+  t.version <- t.version + 1;
   Bytes.set t.data addr (Char.chr (v land 0xFF))
 
 let write16 t addr v =
   check t addr 2;
+  t.version <- t.version + 1;
   Bytes.set t.data addr (Char.chr (v land 0xFF));
   Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
 
 let write32 t addr v =
   check t addr 4;
+  t.version <- t.version + 1;
   Bytes.set t.data addr (Char.chr (v land 0xFF));
   Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF));
   Bytes.set t.data (addr + 2) (Char.chr ((v lsr 16) land 0xFF));
@@ -54,6 +59,7 @@ let blit_string t ~addr s =
          addr
          (addr + String.length s))
   else begin
+    t.version <- t.version + 1;
     Bytes.blit_string s 0 t.data addr (String.length s);
     Ok ()
   end

@@ -8,6 +8,14 @@ val create : size:int -> t
 
 val size : t -> int
 
+val version : t -> int
+(** Write-version counter: incremented on every mutation ([write8],
+    [write16], [write32], [blit_string]/[load_image], including DMA
+    writes that go through these accessors).  Consumers that cache
+    derived views of memory — e.g. the CPU's predecoded-instruction
+    cache — compare the version they captured at fill time against the
+    current one to detect (possibly irrelevant) intervening writes. *)
+
 val in_range : t -> addr:int -> width:int -> bool
 
 val read8 : t -> int -> int

@@ -9,13 +9,35 @@ type entry = {
   pkey : int;
 }
 
-type t = { slots : entry option array; mutable victim : int }
+(* [lookup] is on the simulator's per-cycle fetch path, so the linear
+   scan is fronted by a small direct-mapped memo of recent (asid, vpn)
+   results.  The memo is purely a host-side cache of the scan's answer:
+   any mutation bumps [gen], which invalidates every memo slot in O(1),
+   so modelled behaviour (hits, misses, replacement) is unchanged. *)
+
+let memo_size = 256
+let memo_mask = memo_size - 1
+
+type t = {
+  slots : entry option array;
+  mutable victim : int;
+  memo_key : int array;
+  memo_val : entry option array;
+  memo_gen : int array;
+  mutable gen : int;
+}
 
 let page_shift = 12
 
 let create ~entries =
   if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
-  { slots = Array.make entries None; victim = 0 }
+  { slots = Array.make entries None;
+    victim = 0;
+    memo_key = Array.make memo_size (-1);
+    memo_val = Array.make memo_size None;
+    memo_gen = Array.make memo_size 0;
+    gen = 1;
+  }
 
 let capacity t = Array.length t.slots
 
@@ -24,15 +46,25 @@ let matches ~asid ~vpn = function
   | None -> false
 
 let lookup t ~asid ~vpn =
-  let n = Array.length t.slots in
-  let rec find i =
-    if i >= n then None
-    else if matches ~asid ~vpn t.slots.(i) then t.slots.(i)
-    else find (i + 1)
-  in
-  find 0
+  let key = (asid lsl 20) lor vpn in
+  let idx = key land memo_mask in
+  if t.memo_gen.(idx) = t.gen && t.memo_key.(idx) = key then t.memo_val.(idx)
+  else begin
+    let n = Array.length t.slots in
+    let rec find i =
+      if i >= n then None
+      else if matches ~asid ~vpn t.slots.(i) then t.slots.(i)
+      else find (i + 1)
+    in
+    let r = find 0 in
+    t.memo_key.(idx) <- key;
+    t.memo_val.(idx) <- r;
+    t.memo_gen.(idx) <- t.gen;
+    r
+  end
 
 let insert t e =
+  t.gen <- t.gen + 1;
   let n = Array.length t.slots in
   let rec find_tag i =
     if i >= n then None
@@ -70,9 +102,12 @@ let probe_packed t ~asid ~vaddr =
   | None -> 0
   | Some e -> Instr.pack_tlb_data ~ppn:e.ppn ~pkey:e.pkey ~r:e.r ~w:e.w ~x:e.x
 
-let flush_all t = Array.fill t.slots 0 (Array.length t.slots) None
+let flush_all t =
+  t.gen <- t.gen + 1;
+  Array.fill t.slots 0 (Array.length t.slots) None
 
 let flush_asid t ~asid =
+  t.gen <- t.gen + 1;
   Array.iteri
     (fun i slot ->
        match slot with

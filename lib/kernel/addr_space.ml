@@ -3,7 +3,13 @@ type t = { asid : int; pt : Page_table.t }
 let create m ~asid ~alloc =
   if asid < 0 || asid > 0xFF then invalid_arg "Addr_space.create: asid";
   let mem = Metal_hw.Bus.memory m.Metal_cpu.Machine.bus in
-  { asid; pt = Page_table.create ~mem ~alloc }
+  match Page_table.create ~mem ~alloc with
+  | pt -> Ok { asid; pt }
+  | exception Frame_alloc.Out_of_frames { allocated; total } ->
+    Error
+      (Printf.sprintf
+         "addr_space: no frame for page-table root (%d/%d allocated)"
+         allocated total)
 
 let map t ~vaddr ~paddr ?pkey ?global perms =
   Page_table.map t.pt ~vaddr ~paddr ?pkey ?global perms

@@ -2,7 +2,11 @@
 
 type t = { asid : int; pt : Page_table.t }
 
-val create : Metal_cpu.Machine.t -> asid:int -> alloc:Frame_alloc.t -> t
+val create :
+  Metal_cpu.Machine.t -> asid:int -> alloc:Frame_alloc.t ->
+  (t, string) result
+(** Allocates the page-table root from [alloc]; reports exhaustion as
+    an error (with occupancy) rather than raising. *)
 
 val map :
   t -> vaddr:int -> paddr:int -> ?pkey:int -> ?global:bool ->

@@ -1,9 +1,26 @@
 type t = { base : int; limit : int; mutable next : int }
 
+exception Out_of_frames of { allocated : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Out_of_frames { allocated; total } ->
+      Some
+        (Printf.sprintf
+           "Frame_alloc.Out_of_frames: all %d frames allocated (%d total)"
+           allocated total)
+    | _ -> None)
+
 let create ~base ~limit =
   if base land 0xFFF <> 0 || limit land 0xFFF <> 0 || limit <= base then
     invalid_arg "Frame_alloc.create: region must be page-aligned and non-empty";
   { base; limit; next = base }
+
+let total t = (t.limit - t.base) / Pte.page_size
+
+let allocated t = (t.next - t.base) / Pte.page_size
+
+let remaining t = (t.limit - t.next) / Pte.page_size
 
 let alloc t =
   if t.next >= t.limit then None
@@ -16,8 +33,4 @@ let alloc t =
 let alloc_exn t =
   match alloc t with
   | Some f -> f
-  | None -> failwith "Frame_alloc: out of physical frames"
-
-let allocated t = (t.next - t.base) / Pte.page_size
-
-let remaining t = (t.limit - t.next) / Pte.page_size
+  | None -> raise (Out_of_frames { allocated = allocated t; total = total t })

@@ -3,6 +3,11 @@
 
 type t
 
+exception Out_of_frames of { allocated : int; total : int }
+(** Raised by {!alloc_exn} when the region is exhausted, carrying the
+    occupancy at the point of failure ([allocated = total]).  A printer
+    is registered, so uncaught it still renders readably. *)
+
 val create : base:int -> limit:int -> t
 (** [create ~base ~limit] manages frames in [base, limit); both must
     be page-aligned. *)
@@ -11,7 +16,10 @@ val alloc : t -> int option
 (** The physical address of a fresh (zeroed-at-boot) frame. *)
 
 val alloc_exn : t -> int
-(** @raise Failure when out of frames. *)
+(** @raise Out_of_frames when out of frames. *)
+
+val total : t -> int
+(** Capacity of the region in frames. *)
 
 val allocated : t -> int
 (** Frames handed out so far. *)

@@ -191,7 +191,7 @@ let spawn t ~source =
     in
     let pid = t.next_pid in
     t.next_pid <- pid + 1;
-    let space = Addr_space.create t.machine ~asid:pid ~alloc:t.alloc in
+    let* space = Addr_space.create t.machine ~asid:pid ~alloc:t.alloc in
     let* () = map_globals space in
     let* () = Loader.load t.machine ~space ~alloc:t.alloc img in
     let* () =

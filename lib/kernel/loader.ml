@@ -9,7 +9,10 @@ let frame_for m ~space ~alloc ~pkey ~perms vpage =
   | Some (pa, _) -> Ok (pa land 0xFFFFF000)
   | None ->
     begin match Frame_alloc.alloc alloc with
-    | None -> Error "loader: out of frames"
+    | None ->
+      Error
+        (Printf.sprintf "loader: out of frames (%d/%d allocated)"
+           (Frame_alloc.allocated alloc) (Frame_alloc.total alloc))
     | Some frame ->
       let* () = Addr_space.map space ~vaddr ~paddr:frame ~pkey perms in
       ignore m;

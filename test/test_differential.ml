@@ -223,6 +223,104 @@ let prop_config_invariance =
            rest
        | _ -> QCheck.Test.fail_report "baseline failed")
 
+(* The predecode cache is purely a host-side accelerator: disabling it
+   must reproduce identical architectural state AND identical simulated
+   timing (cycles and every other statistic). *)
+
+let run_with_predecode ~predecode img =
+  let config = { Config.default with Config.mem_size; Config.predecode } in
+  run_pipeline_with config img
+
+let prop_predecode_invariance =
+  QCheck.Test.make ~name:"predecode cache is timing-invisible" ~count:300
+    (QCheck.make ~print:print_program gen_program)
+    (fun instrs ->
+       let img = image_of instrs in
+       match
+         (run_with_predecode ~predecode:true img,
+          run_with_predecode ~predecode:false img)
+       with
+       | Ok a, Ok b ->
+         if not (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs) then
+           QCheck.Test.fail_report "register files differ"
+         else if a.Machine.stats <> b.Machine.stats then
+           QCheck.Test.fail_report
+             (Printf.sprintf "stats differ:\nwith:    %s\nwithout: %s"
+                (Stats.to_string a.Machine.stats)
+                (Stats.to_string b.Machine.stats))
+         else begin
+           let same = ref true in
+           for i = 0 to data_words - 1 do
+             let addr = data_base + (4 * i) in
+             if Machine.read_word a addr <> Machine.read_word b addr then
+               same := false
+           done;
+           !same
+         end
+       | Error e, _ | _, Error e -> QCheck.Test.fail_report e)
+
+(* Self-modifying code: stores into the instruction stream must be
+   observed by later fetches, i.e. they must invalidate any predecoded
+   entry for the overwritten word.  The patched slot sits several
+   instructions past the store so the new word is architecturally
+   guaranteed to be fetched after the store's MEM stage. *)
+
+let word_of i = Word.to_hex (Encode.encode_exn i)
+
+(* Straight-line patch: overwrite a nop ahead with addi a0, a0, 64. *)
+let smc_patch_ahead =
+  Printf.sprintf
+    "li a0, 1\nla t1, patch\nli t0, %s\nsw t0, 0(t1)\nnop\nnop\nnop\n\
+     patch:\nnop\nebreak\n"
+    (word_of (Instr.Op_imm { op = Instr.Add; rd = 10; rs1 = 10; imm = 64 }))
+
+(* Patch the same slot twice and re-execute it via a backward jump:
+   the second store must evict the decode cached while executing the
+   first patched version. *)
+let smc_patch_loop =
+  Printf.sprintf
+    "li a0, 0\nli t2, 0\nla t1, patch\nli t0, %s\nsw t0, 0(t1)\n\
+     nop\nnop\nnop\npatch:\nnop\naddi t2, t2, 1\nli t0, %s\nsw t0, 0(t1)\n\
+     li t4, 2\nblt t2, t4, back\nebreak\nback:\nj patch\n"
+    (word_of (Instr.Op_imm { op = Instr.Add; rd = 10; rs1 = 10; imm = 5 }))
+    (word_of (Instr.Op_imm { op = Instr.Add; rd = 10; rs1 = 10; imm = 7 }))
+
+(* Every self-modifying source is checked three ways: against the
+   golden model, for the expected result, and for predecode-on/off
+   stats equality. *)
+let smc_case name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let img = Metal_asm.Asm.assemble_exn src in
+      (match (run_pipeline img, run_reference img) with
+       | Ok m, Ok r ->
+         (match compare_states m r with
+          | [] -> ()
+          | diffs -> Alcotest.fail (String.concat "\n" diffs));
+         List.iter
+           (fun (rname, v) ->
+              match Reg.of_string rname with
+              | Some reg -> Alcotest.(check int) rname v (Machine.get_reg m reg)
+              | None -> Alcotest.fail rname)
+           expected
+       | Error e, _ | _, Error e -> Alcotest.fail e);
+      match
+        (run_with_predecode ~predecode:true img,
+         run_with_predecode ~predecode:false img)
+      with
+      | Ok a, Ok b ->
+        Alcotest.(check bool)
+          "regs equal" true
+          (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs);
+        Alcotest.(check string)
+          "stats equal"
+          (Stats.to_string b.Machine.stats)
+          (Stats.to_string a.Machine.stats)
+      | Error e, _ | _, Error e -> Alcotest.fail e)
+
+let smc_cases =
+  [ smc_case "patch-ahead" smc_patch_ahead [ ("a0", 65) ];
+    smc_case "patch-loop-twice" smc_patch_loop [ ("a0", 12); ("t2", 2) ] ]
+
 (* Directed regressions for classic pipeline traps. *)
 
 let directed name src expected =
@@ -284,8 +382,9 @@ let () =
   Alcotest.run "differential"
     [
       ("directed", directed_cases);
+      ("self-modifying", smc_cases);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_differential; prop_retired_count;
-            prop_config_invariance ] );
+            prop_config_invariance; prop_predecode_invariance ] );
     ]

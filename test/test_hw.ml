@@ -338,6 +338,41 @@ let test_cache_probe_flush () =
   check_bool "flushed" false (Cache.probe c ~addr:0x200);
   check_int "counters survive flush" 1 (Cache.misses c)
 
+(* The index/tag split uses shifts and masks; replay address streams
+   against a div/mod model of a direct-mapped cache and require
+   identical hit/miss accounting for several geometries. *)
+let test_cache_split_shift () =
+  let geometries =
+    [ (1, 4); (4, 16); (8, 16); (16, 64); (64, 32); (2, 128) ]
+  in
+  List.iter
+    (fun (lines, line_bytes) ->
+       let c = Cache.create { Cache.lines; line_bytes; miss_penalty = 1 } in
+       let model = Array.make lines (-1) in
+       let model_hits = ref 0 and model_misses = ref 0 in
+       let seed = ref 123456789 in
+       for _ = 1 to 2000 do
+         (* xorshift; addresses spread over 1 MiB *)
+         seed := !seed lxor (!seed lsl 13);
+         seed := !seed lxor (!seed lsr 17);
+         seed := !seed lxor (!seed lsl 5);
+         let addr = !seed land 0xFFFFF in
+         let line = addr / line_bytes in
+         let index = line mod lines and tag = line / lines in
+         if model.(index) = tag then incr model_hits
+         else begin
+           model.(index) <- tag;
+           incr model_misses
+         end;
+         ignore (Cache.access c ~addr)
+       done;
+       let name fmt =
+         Printf.sprintf "%dx%dB %s" lines line_bytes fmt
+       in
+       check_int (name "hits") !model_hits (Cache.hits c);
+       check_int (name "misses") !model_misses (Cache.misses c))
+    geometries
+
 let test_cache_bad_config () =
   check_bool "non-pow2 rejected" true
     (try ignore (Cache.create { Cache.lines = 3; line_bytes = 16;
@@ -372,6 +407,7 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_cache_basic;
           Alcotest.test_case "conflict" `Quick test_cache_conflict_eviction;
           Alcotest.test_case "probe/flush" `Quick test_cache_probe_flush;
+          Alcotest.test_case "split via shifts" `Quick test_cache_split_shift;
           Alcotest.test_case "bad config" `Quick test_cache_bad_config ] );
       ( "devices",
         [ Alcotest.test_case "console" `Quick test_console;

@@ -257,6 +257,72 @@ let prop_mgen_differential =
          end)
 
 (* ------------------------------------------------------------------ *)
+(* Encode/decode roundtrip over the Metal custom-0/custom-1 space *)
+
+let gen_metal_instr =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let off = int_range (-2048) 2047 in
+  let csr = int_range 0 (Csr.count - 1) in
+  let mr = int_range 0 (Reg.mreg_count - 1) in
+  oneof
+    [ (* custom-0 *)
+      map (fun entry -> Instr.Menter { entry }) (int_range 0 63);
+      return Instr.Mexit;
+      map2 (fun rd mr -> Instr.Rmr { rd; mr }) reg mr;
+      map2 (fun mr rs1 -> Instr.Wmr { mr; rs1 }) mr reg;
+      map3 (fun rd rs1 offset -> Instr.Mld { rd; rs1; offset }) reg reg off;
+      map3 (fun rs2 rs1 offset -> Instr.Mst { rs2; rs1; offset }) reg reg off;
+      (* custom-1 *)
+      map3 (fun rd rs1 offset ->
+          Instr.Feature (Instr.Physld { rd; rs1; offset }))
+        reg reg off;
+      map3 (fun rs2 rs1 offset ->
+          Instr.Feature (Instr.Physst { rs2; rs1; offset }))
+        reg reg off;
+      map2 (fun rs1 rs2 -> Instr.Feature (Instr.Tlbw { rs1; rs2 })) reg reg;
+      map (fun rs1 -> Instr.Feature (Instr.Tlbflush { rs1 })) reg;
+      map2 (fun rd rs1 -> Instr.Feature (Instr.Tlbprobe { rd; rs1 })) reg reg;
+      map2 (fun rd rs1 -> Instr.Feature (Instr.Gprr { rd; rs1 })) reg reg;
+      map2 (fun rs1 rs2 -> Instr.Feature (Instr.Gprw { rs1; rs2 })) reg reg;
+      map2 (fun rs1 rs2 -> Instr.Feature (Instr.Iceptset { rs1; rs2 })) reg
+        reg;
+      map (fun rs1 -> Instr.Feature (Instr.Iceptclr { rs1 })) reg;
+      map2 (fun rd csr -> Instr.Feature (Instr.Mcsrr { rd; csr })) reg csr;
+      map2 (fun csr rs1 -> Instr.Feature (Instr.Mcsrw { csr; rs1 })) csr reg ]
+
+let prop_metal_encode_roundtrip =
+  QCheck.Test.make ~name:"metal custom-0/1 encode-decode roundtrip"
+    ~count:1000
+    (QCheck.make
+       ~print:(fun mi -> Instr.to_string (Instr.Metal mi))
+       gen_metal_instr)
+    (fun mi ->
+       let i = Instr.Metal mi in
+       match Encode.encode i with
+       | Error e -> QCheck.Test.fail_report ("encode failed: " ^ e)
+       | Ok w ->
+         (* The two custom opcode spaces must stay disjoint from the
+            base ISA and from each other. *)
+         let opc = w land 0x7F in
+         (match mi with
+          | Instr.Feature _ ->
+            if opc <> 0x2B then
+              QCheck.Test.fail_report "feature not on custom-1"
+          | _ ->
+            if opc <> 0x0B then
+              QCheck.Test.fail_report "core metal op not on custom-0");
+         begin match Decode.decode w with
+         | Ok i' ->
+           if i' = i then true
+           else
+             QCheck.Test.fail_report
+               (Printf.sprintf "decoded %s from %s" (Instr.to_string i')
+                  (Word.to_hex w))
+         | Error e -> QCheck.Test.fail_report ("decode failed: " ^ e)
+         end)
+
+(* ------------------------------------------------------------------ *)
 (* TLB pack/unpack roundtrips *)
 
 let prop_tlb_pack_roundtrip =
@@ -286,5 +352,6 @@ let () =
       ( "mgen",
         List.map QCheck_alcotest.to_alcotest [ prop_mgen_differential ] );
       ( "isa",
-        List.map QCheck_alcotest.to_alcotest [ prop_tlb_pack_roundtrip ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_metal_encode_roundtrip; prop_tlb_pack_roundtrip ] );
     ]
