@@ -118,12 +118,16 @@ let figure2 () =
   print_endline "assembled kenter/kexit (address / word / source):";
   print_string (Privilege.figure2_listing ());
   subsection "null system call round trip (user -> kernel -> user)";
-  Printf.printf "%-44s %6.1f cycles\n"
-    "Metal (fast decode-stage replacement)" (syscall_cost Config.default);
-  Printf.printf "%-44s %6.1f cycles\n" "Metal with trap-style transitions"
-    (syscall_cost { Config.default with Config.transition = Config.Trap_flush });
-  Printf.printf "%-44s %6.1f cycles\n" "PALcode-style (main-memory mroutines)"
-    (syscall_cost Config.palcode)
+  let cases =
+    [ ("Metal (fast decode-stage replacement)", Config.default);
+      ("Metal with trap-style transitions",
+       { Config.default with Config.transition = Config.Trap_flush });
+      ("PALcode-style (main-memory mroutines)", Config.palcode) ]
+  in
+  let costs = fleet_map (fun (_, config) -> syscall_cost config) cases in
+  List.iteri
+    (fun i (label, _) -> Printf.printf "%-44s %6.1f cycles\n" label costs.(i))
+    cases
 
 (* ------------------------------------------------------------------ *)
 (* E5: mode-transition cost (Section 2.2 / Section 5)                  *)
@@ -149,9 +153,9 @@ let transition () =
       ("PALcode: trap-style + main-memory mroutines", Config.palcode) ]
   in
   Printf.printf "%-46s %s\n" "configuration" "cycles/no-op call";
-  List.iter
-    (fun (label, config) ->
-       Printf.printf "%-46s %8.1f\n" label (transition_cost config))
+  let costs = fleet_map (fun (_, config) -> transition_cost config) cases in
+  List.iteri
+    (fun i (label, _) -> Printf.printf "%-46s %8.1f\n" label costs.(i))
     cases;
   print_endline
     "\npaper: Metal achieves \"virtually zero overhead\" (Section 2.2);\n\
@@ -235,28 +239,42 @@ let pagetable () =
     "Metal walker" "hardware walker" "OS-trap (PALcode)";
   Printf.printf "%11s | %9s %9s | %9s %9s | %9s %9s\n" "(pages)" "cycles"
     "misses" "cycles" "misses" "cycles" "misses";
+  let pages_list = [ 16; 24; 32; 48; 64; 96 ] in
+  let modes = [ Pt_metal; Pt_hw; Pt_palcode ] in
+  (* The whole sweep (pages x walker mode) runs on the fleet; rows are
+     printed from the keyed results afterwards. *)
+  let sweep =
+    fleet_assoc
+      (fun (pages, mode) ->
+         let m = pt_run ~pages ~accesses mode in
+         (cycles m, m.Machine.stats.Stats.tlb_misses))
+      (List.concat_map
+         (fun pages -> List.map (fun mode -> (pages, mode)) modes)
+         pages_list)
+  in
   List.iter
     (fun pages ->
-       let r mode =
-         let m = pt_run ~pages ~accesses mode in
-         (cycles m, m.Machine.stats.Stats.tlb_misses)
-       in
-       let mc, mm = r Pt_metal in
-       let hc, hm = r Pt_hw in
-       let pc, pm = r Pt_palcode in
+       let mc, mm = sweep (pages, Pt_metal) in
+       let hc, hm = sweep (pages, Pt_hw) in
+       let pc, pm = sweep (pages, Pt_palcode) in
        Printf.printf "%11d | %9d %9d | %9d %9d | %9d %9d\n" pages mc mm hc hm
          pc pm)
-    [ 16; 24; 32; 48; 64; 96 ];
+    pages_list;
   subsection "single TLB-refill cost";
+  (* Touch 40 cold pages once each vs. the same loop over one hot
+     page: the difference per extra miss is the refill cost. *)
+  let refills =
+    fleet_assoc
+      (fun (pages, mode) ->
+         let m = pt_run ~pages ~accesses:40 mode in
+         (cycles m, m.Machine.stats.Stats.tlb_misses))
+      (List.concat_map (fun mode -> [ (40, mode); (1, mode) ]) modes)
+  in
   let refill mode =
-    (* Touch 40 cold pages once each vs. the same loop over one hot
-       page: the difference per extra miss is the refill cost. *)
-    let cold = pt_run ~pages:40 ~accesses:40 mode in
-    let hot = pt_run ~pages:1 ~accesses:40 mode in
-    let misses =
-      cold.Machine.stats.Stats.tlb_misses - hot.Machine.stats.Stats.tlb_misses
-    in
-    float_of_int (cycles cold - cycles hot) /. float_of_int (max 1 misses)
+    let cold_cycles, cold_misses = refills (40, mode) in
+    let hot_cycles, hot_misses = refills (1, mode) in
+    float_of_int (cold_cycles - hot_cycles)
+    /. float_of_int (max 1 (cold_misses - hot_misses))
   in
   Printf.printf "%-34s %6.1f cycles/refill\n" "Metal mroutine walker"
     (refill Pt_metal);
@@ -623,15 +641,25 @@ let uintr () =
     "user-level intr" "kernel-mediated";
   Printf.printf "%8s | %10s %10s | %10s %10s | %10s %10s\n" "period" "work"
     "latency" "work" "latency" "work" "latency";
+  let periods = [ 250; 500; 1000; 2000 ] in
+  let sweep =
+    fleet_assoc
+      (fun (period, mode) ->
+         let m, lat = uintr_run ~period mode in
+         (reg m Reg.s0, lat))
+      (List.concat_map
+         (fun period ->
+            List.map (fun mode -> (period, mode)) [ `Polling; `Uintr; `Kernel ])
+         periods)
+  in
   List.iter
     (fun period ->
-       let work (m, lat) = (reg m Reg.s0, lat) in
-       let pw, pl = work (uintr_run ~period `Polling) in
-       let uw, ul = work (uintr_run ~period `Uintr) in
-       let kw, kl = work (uintr_run ~period `Kernel) in
+       let pw, pl = sweep (period, `Polling) in
+       let uw, ul = sweep (period, `Uintr) in
+       let kw, kl = sweep (period, `Kernel) in
        Printf.printf "%8d | %10d %10.1f | %10d %10.1f | %10d %10.1f\n" period
          pw pl uw ul kw kl)
-    [ 250; 500; 1000; 2000 ];
+    periods;
   print_endline
     "\npaper: with user-level interrupts, applications \"only need to be\n\
      notified via interrupts when data is available\" (Section 3.4);\n\
@@ -697,10 +725,15 @@ let ablation () =
       ("trap + main-memory penalty 3 (PALcode)", Config.palcode) ]
   in
   Printf.printf "%-42s %14s %14s\n" "configuration" "no-op call" "null syscall";
-  List.iter
-    (fun (label, config) ->
-       Printf.printf "%-42s %14.1f %14.1f\n" label (transition_cost config)
-         (syscall_cost config))
+  let costs =
+    fleet_map
+      (fun (_, config) -> (transition_cost config, syscall_cost config))
+      configs
+  in
+  List.iteri
+    (fun i (label, _) ->
+       let t, s = costs.(i) in
+       Printf.printf "%-42s %14.1f %14.1f\n" label t s)
     configs;
   print_endline
     "\nBoth design points of Section 2.2 matter: decode-stage replacement\n\
@@ -1163,6 +1196,127 @@ let simperf () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E16: fleet throughput — batch simulation across domain counts       *)
+
+(* The batch runner from lib/fleet executing the three simperf
+   workload families as one mixed 32-job batch, swept over domain
+   counts.  Per-job results must be bit-identical at every domain
+   count (the work-stealing schedule may differ; the simulations may
+   not) — the sweep aborts if they are not.  Aggregate throughput is
+   simulated instructions per host second across the whole batch. *)
+
+type fleet_work =
+  | W_walker of int  (* E6 page-table walker, pages *)
+  | W_nic of int  (* E8 user-interrupt NIC, packet period *)
+  | W_random of int  (* random-program corpus index *)
+
+let fleet_work_label = function
+  | W_walker pages -> Printf.sprintf "e6_walker_p%d" pages
+  | W_nic period -> Printf.sprintf "e8_nic_t%d" period
+  | W_random i -> Printf.sprintf "random_%02d" i
+
+let fleet_json = ref false
+
+let fleet () =
+  section "E16. Fleet throughput (work-stealing batch runner on domains)";
+  let images = Array.of_list (Lazy.force simperf_random_programs) in
+  let works =
+    List.map (fun p -> W_walker p) [ 16; 32; 64; 96 ]
+    @ List.map (fun p -> W_nic p) [ 250; 500; 1000; 2000 ]
+    @ List.init (Array.length images) (fun i -> W_random i)
+  in
+  let run_work w =
+    let snapshot m = (retired m, Stats.copy m.Machine.stats) in
+    match w with
+    | W_walker pages -> snapshot (pt_run ~pages ~accesses:3000 Pt_metal)
+    | W_nic period -> snapshot (fst (uintr_run ~packets:200 ~period `Uintr))
+    | W_random i ->
+      let m = machine () in
+      (match Machine.load_image m images.(i) with
+       | Ok () -> ()
+       | Error e -> fail "%s" e);
+      Machine.set_pc m 0;
+      run_to_ebreak m;
+      snapshot m
+  in
+  (* Warm every code path once so the sweep times steady-state work. *)
+  ignore (run_work (W_walker 4));
+  ignore (run_work (W_nic 2000));
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let rounds = 2 in
+  let baseline = ref [||] in
+  Printf.printf "%d jobs (E6 walker / E8 NIC / random programs); host cores: %d\n\n"
+    (List.length works)
+    (Domain.recommended_domain_count ());
+  Printf.printf "%8s %10s %12s %10s %11s\n" "domains" "seconds" "sim instrs"
+    "Minstr/s" "speedup";
+  let rows =
+    List.map
+      (fun domains ->
+         let best_t = ref infinity and results = ref [||] in
+         for _ = 1 to rounds do
+           let r, t = time_once (fun () -> fleet_map ~domains run_work works) in
+           results := r;
+           if t < !best_t then best_t := t
+         done;
+         if domains = 1 then baseline := !results
+         else begin
+           (* bit-identical per-job results regardless of domain count *)
+           Array.iteri
+             (fun i (n, stats) ->
+                let n0, stats0 = !baseline.(i) in
+                if n <> n0 || stats <> stats0 then
+                  fail
+                    "fleet: job %s diverges at %d domains\n  1 domain: %s\n  %d domains: %s"
+                    (fleet_work_label (List.nth works i))
+                    domains
+                    (Stats.to_string stats0)
+                    domains (Stats.to_string stats))
+             !results
+         end;
+         let instrs = Array.fold_left (fun a (n, _) -> a + n) 0 !results in
+         let ips = float_of_int instrs /. !best_t in
+         (domains, !best_t, instrs, ips))
+      domain_counts
+  in
+  let _, _, _, ips1 = List.hd rows in
+  List.iter
+    (fun (domains, t, instrs, ips) ->
+       Printf.printf "%8d %10.3f %12d %10.2f %10.2fx\n" domains t instrs
+         (ips /. 1e6) (ips /. ips1))
+    rows;
+  print_endline
+    "\nper-job Stats are bit-identical across all domain counts (verified\n\
+     above; the determinism property in test_fleet enforces the same for\n\
+     randomized batches).  Speedup tracks the host's core count: with a\n\
+     single-core host the sweep degenerates to scheduling overhead.";
+  if !fleet_json then begin
+    let oc = open_out "BENCH_fleet_throughput.json" in
+    Printf.fprintf oc "{\n  \"benchmark\": \"fleet_throughput\",\n";
+    Printf.fprintf oc
+      "  \"unit\": \"aggregate simulated instructions per host second\",\n";
+    Printf.fprintf oc "  \"host_cores\": %d,\n"
+      (Domain.recommended_domain_count ());
+    Printf.fprintf oc "  \"jobs\": %d,\n" (List.length works);
+    Printf.fprintf oc
+      "  \"workloads\": [\"e6_walker_sweep\", \"e8_nic_sweep\", \
+       \"random_programs\"],\n";
+    Printf.fprintf oc "  \"deterministic_across_domain_counts\": true,\n";
+    Printf.fprintf oc "  \"domain_sweep\": [\n";
+    List.iteri
+      (fun i (domains, t, instrs, ips) ->
+         Printf.fprintf oc
+           "    {\"domains\": %d, \"seconds\": %.6f, \"instructions\": %d, \
+            \"ips\": %.0f, \"speedup_vs_1\": %.3f}%s\n"
+           domains t instrs ips (ips /. ips1)
+           (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_fleet_throughput.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1222,7 +1376,7 @@ let sections =
     ("pagetable", pagetable); ("stm", stm); ("uintr", uintr);
     ("isolation", isolation); ("ablation", ablation); ("nested", nested);
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
-    ("simperf", simperf); ("host", host) ]
+    ("simperf", simperf); ("fleet", fleet); ("host", host) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1231,6 +1385,7 @@ let () =
       (fun a ->
          if a = "--json" then begin
            simperf_json := true;
+           fleet_json := true;
            false
          end
          else true)

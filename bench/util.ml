@@ -74,6 +74,27 @@ let _ = row_format
 
 let repeat_lines n line = String.concat "" (List.init n (fun _ -> line))
 
+(* Fleet helpers: run a sweep's work items in parallel and unwrap.  A
+   failed item aborts the section — the bench tables have no place for
+   partial rows. *)
+
+module Fleet = Metal_fleet.Fleet
+
+let fleet_map ?domains f items =
+  Array.map
+    (function Ok v -> v | Error e -> fail "fleet job failed: %s" e)
+    (Fleet.map ?domains f (Array.of_list items))
+
+(* [fleet_assoc f items] keyed variant: returns a lookup function so
+   call sites read like the sequential code they replace. *)
+let fleet_assoc ?domains f items =
+  let results = fleet_map ?domains f items in
+  let table = List.mapi (fun i item -> (item, results.(i))) items in
+  fun item ->
+    match List.assoc_opt item table with
+    | Some r -> r
+    | None -> fail "fleet_assoc: unknown item"
+
 (* Replace every occurrence of [needle] in [haystack]. *)
 let replace_all ~needle ~by haystack =
   let nlen = String.length needle in

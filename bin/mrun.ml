@@ -1,5 +1,7 @@
 (* metal-run: execute an assembly program on the Metal machine. *)
 
+module Fleet = Metal_fleet.Fleet
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -81,15 +83,67 @@ let run_bare path mcode_path origin max_cycles palcode trace regs =
     end;
     0
 
-let run path mcode_path origin max_cycles palcode trace regs os =
-  if os then run_os path max_cycles
-  else run_bare path mcode_path origin max_cycles palcode trace regs
+(* Batch mode: several programs run as fleet jobs across domains.
+   One line per program; a failing job never takes down the batch. *)
+let run_batch paths mcode_path origin max_cycles palcode jobs =
+  let base =
+    if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
+  in
+  let mcode = Option.map read_file mcode_path in
+  let batch =
+    Array.of_list
+      (List.map
+         (fun path ->
+            Fleet.job ~label:path ~config:base ~fuel:max_cycles
+              (Fleet.Asm { src = read_file path; origin; mcode }))
+         paths)
+  in
+  let domains = if jobs > 0 then jobs else Fleet.default_domains () in
+  let outcomes = Fleet.run ~domains batch in
+  let failures = ref 0 in
+  Array.iter
+    (fun o ->
+       (match o.Fleet.result with
+        | Ok ok ->
+          Printf.printf "%-32s %-40s %10d cycles %10d instrs\n"
+            o.Fleet.job.Fleet.label
+            (Metal_cpu.Machine.halted_to_string ok.Fleet.halt)
+            ok.Fleet.stats.Metal_cpu.Stats.cycles
+            ok.Fleet.stats.Metal_cpu.Stats.instructions;
+          if ok.Fleet.console <> "" then
+            Printf.printf "%-32s console: %s\n" "" ok.Fleet.console
+        | Error e ->
+          incr failures;
+          Printf.printf "%-32s FAILED: %s\n" o.Fleet.job.Fleet.label
+            (Fleet.fail_to_string e)))
+    outcomes;
+  Printf.printf "%d/%d ok (%d domains)\n"
+    (Array.length outcomes - !failures)
+    (Array.length outcomes) domains;
+  if !failures = 0 then 0 else 1
+
+let run paths mcode_path origin max_cycles palcode trace regs os jobs =
+  match paths with
+  | [] ->
+    prerr_endline "metal-run: no program given";
+    1
+  | [ path ] when jobs = 0 ->
+    if os then run_os path max_cycles
+    else run_bare path mcode_path origin max_cycles palcode trace regs
+  | paths ->
+    if os then begin
+      prerr_endline "metal-run: --os does not combine with batch mode";
+      1
+    end
+    else run_batch paths mcode_path origin max_cycles palcode jobs
 
 open Cmdliner
 
-let path =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"Program to run (assembly source).")
+let paths =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Program(s) to run (assembly source).  With several \
+               files, or with $(b,--jobs), the programs run as a batch \
+               on the parallel simulation fleet.")
 
 let mcode =
   Arg.(value & opt (some file) None & info [ "mcode" ] ~docv:"FILE"
@@ -121,10 +175,17 @@ let os =
                mini-kernel (syscalls via menter 0) instead of on the \
                bare machine.")
 
+let jobs =
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Batch the given programs over $(docv) simulation \
+               domains on the fleet runner (0 = single-program mode \
+               for one file, else one domain per core, capped at 8).  \
+               Per-program results are independent of $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
-    Term.(const run $ path $ mcode $ origin $ max_cycles $ palcode $ trace
-          $ regs $ os)
+    Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ trace
+          $ regs $ os $ jobs)
 
 let () = exit (Cmd.eval' cmd)

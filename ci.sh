@@ -1,0 +1,34 @@
+#!/bin/sh
+# CI entry point: full build, full test run, and sandbox hygiene.
+#
+# Fails if:
+#   - the build or any test suite fails;
+#   - build artifacts (_build/) are tracked in git;
+#   - the working tree is dirty after the tests (a test or the build
+#     wrote into the source tree).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== checking for tracked build artifacts =="
+if git ls-files | grep -q '^_build/'; then
+  echo "error: _build/ artifacts are tracked:" >&2
+  git ls-files | grep '^_build/' >&2
+  exit 1
+fi
+
+echo "== checking the sandbox is clean =="
+status=$(git status --porcelain)
+if [ -n "$status" ]; then
+  echo "error: working tree dirty after tests:" >&2
+  echo "$status" >&2
+  exit 1
+fi
+
+echo "ci: OK"

@@ -1,0 +1,232 @@
+(* Work-stealing batch runner on OCaml 5 domains.
+
+   The scheduling core is [run_indexed]: indices 0..n-1 are dealt
+   round-robin into one bounded queue per worker (a plain array of
+   indices with an atomic head — the bound is the deal, no queue ever
+   grows), each worker drains its own queue and then steals from the
+   others' heads.  [Atomic.fetch_and_add] hands each index to exactly
+   one worker whether it arrives as owner or thief.  Workers collect
+   [(index, result)] pairs in a private buffer and the caller merges
+   the buffers after [Domain.join], so the only cross-domain
+   communication is the atomic heads and the join itself; results are
+   therefore independent of the domain count and of which worker ran
+   what. *)
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* [f] must not raise: both public layers wrap their payload in a
+   catch-all before it reaches the engine, because an exception
+   escaping a worker would take the whole domain (and the join) down
+   with it. *)
+let run_indexed ~domains f n =
+  let d = max 1 (min domains n) in
+  if d = 1 then begin
+    (* inline on the calling domain, left to right, no spawns *)
+    let results = Array.make n None in
+    for i = 0 to n - 1 do
+      results.(i) <- Some (f ~worker:0 i)
+    done;
+    Array.map
+      (function Some r -> r | None -> invalid_arg "Fleet: lost job")
+      results
+  end
+  else begin
+    let queues =
+      Array.init d (fun w ->
+          Array.init ((n - w + d - 1) / d) (fun k -> w + (k * d)))
+    in
+    let heads = Array.init d (fun _ -> Atomic.make 0) in
+    let buffers = Array.make d [] in
+    let worker w () =
+      let buf = ref [] in
+      let rec drain v =
+        let q = queues.(v) in
+        let i = Atomic.fetch_and_add heads.(v) 1 in
+        if i < Array.length q then begin
+          let idx = q.(i) in
+          buf := (idx, f ~worker:w idx) :: !buf;
+          drain v
+        end
+      in
+      drain w;
+      for k = 1 to d - 1 do
+        drain ((w + k) mod d)
+      done;
+      buffers.(w) <- !buf
+    in
+    let thieves =
+      Array.init (d - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join thieves;
+    let results = Array.make n None in
+    Array.iter
+      (fun buf -> List.iter (fun (i, r) -> results.(i) <- Some r) buf)
+      buffers;
+    Array.map
+      (function Some r -> r | None -> invalid_arg "Fleet: lost job")
+      results
+  end
+
+let exn_text e =
+  let bt = Printexc.get_backtrace () in
+  if bt = "" then Printexc.to_string e
+  else Printexc.to_string e ^ "\n" ^ bt
+
+let map ?domains f jobs =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  run_indexed ~domains
+    (fun ~worker:_ i ->
+       match f jobs.(i) with r -> Ok r | exception e -> Error (exn_text e))
+    (Array.length jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Typed simulation jobs                                               *)
+
+type source =
+  | Asm of { src : string; origin : int; mcode : string option }
+  | Image of Metal_asm.Image.t
+
+type job = {
+  label : string;
+  config : Metal_cpu.Config.t;
+  source : source;
+  fuel : int;
+  seed : int;
+}
+
+let job ?(label = "") ?(config = Metal_cpu.Config.default)
+    ?(fuel = 10_000_000) ?(seed = 0) source =
+  { label; config; source; fuel; seed }
+
+type ok = {
+  halt : Metal_cpu.Machine.halt;
+  stats : Metal_cpu.Stats.t;
+  regs : Word.t array;
+  console : string;
+}
+
+type fail =
+  | Assemble_error of string
+  | Load_error of string
+  | Fuel_exhausted of { fuel : int }
+  | Crashed of string
+
+let fail_to_string = function
+  | Assemble_error e -> "assembly: " ^ e
+  | Load_error e -> "load: " ^ e
+  | Fuel_exhausted { fuel } -> Printf.sprintf "fuel exhausted (%d cycles)" fuel
+  | Crashed e -> "crashed: " ^ e
+
+type outcome = {
+  index : int;
+  job : job;
+  domain : int;
+  result : (ok, fail) result;
+}
+
+let start_pc img =
+  match Metal_asm.Image.find_symbol img "start" with
+  | Some a -> a
+  | None ->
+    (match Metal_asm.Image.bounds img with Some (lo, _) -> lo | None -> 0)
+
+let run_job j =
+  try
+    let sys = Metal_core.System.create ~config:j.config () in
+    let m = sys.Metal_core.System.machine in
+    let ( let* ) = Result.bind in
+    let* img =
+      match j.source with
+      | Image img ->
+        (match Metal_cpu.Machine.load_image m img with
+         | Ok () -> Ok img
+         | Error e -> Error (Load_error e))
+      | Asm { src; origin; mcode } ->
+        let* () =
+          match mcode with
+          | None -> Ok ()
+          | Some msrc ->
+            (match Metal_asm.Asm.assemble msrc with
+             | Error e ->
+               Error (Assemble_error (Metal_asm.Asm.error_to_string e))
+             | Ok mimg ->
+               (match Metal_cpu.Machine.load_mcode m mimg with
+                | Ok () -> Ok ()
+                | Error e -> Error (Load_error e)))
+        in
+        (match Metal_asm.Asm.assemble ~origin src with
+         | Error e -> Error (Assemble_error (Metal_asm.Asm.error_to_string e))
+         | Ok img ->
+           (match Metal_cpu.Machine.load_image m img with
+            | Ok () -> Ok img
+            | Error e -> Error (Load_error e)))
+    in
+    Metal_cpu.Machine.set_pc m (start_pc img);
+    match Metal_cpu.Pipeline.run m ~max_cycles:j.fuel with
+    | None -> Error (Fuel_exhausted { fuel = j.fuel })
+    | Some halt ->
+      Ok
+        {
+          halt;
+          stats = Metal_cpu.Stats.copy m.Metal_cpu.Machine.stats;
+          regs = Array.copy m.Metal_cpu.Machine.regs;
+          console = Metal_core.System.console_output sys;
+        }
+  with e -> Error (Crashed (exn_text e))
+
+let run ?domains jobs =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  run_indexed ~domains
+    (fun ~worker i ->
+       { index = i; job = jobs.(i); domain = worker; result = run_job jobs.(i) })
+    (Array.length jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism check                                                   *)
+
+let identical a b =
+  if Array.length a <> Array.length b then
+    Error
+      (Printf.sprintf "batch sizes differ: %d vs %d" (Array.length a)
+         (Array.length b))
+  else begin
+    let divergence = ref None in
+    Array.iteri
+      (fun i oa ->
+         if !divergence = None then begin
+           let ob = b.(i) in
+           let where what =
+             divergence :=
+               Some
+                 (Printf.sprintf "job %d (%S): %s differs" i oa.job.label what)
+           in
+           match (oa.result, ob.result) with
+           | Ok ra, Ok rb ->
+             if ra.halt <> rb.halt then where "halt"
+             else if ra.stats <> rb.stats then
+               divergence :=
+                 Some
+                   (Printf.sprintf
+                      "job %d (%S): stats differ\n  a: %s\n  b: %s" i
+                      oa.job.label
+                      (Metal_cpu.Stats.to_string ra.stats)
+                      (Metal_cpu.Stats.to_string rb.stats))
+             else if ra.regs <> rb.regs then where "registers"
+             else if ra.console <> rb.console then where "console output"
+           | Error ea, Error eb ->
+             if ea <> eb then where "error"
+           | Ok _, Error e ->
+             where (Printf.sprintf "outcome kind (b failed: %s)"
+                      (fail_to_string e))
+           | Error e, Ok _ ->
+             where (Printf.sprintf "outcome kind (a failed: %s)"
+                      (fail_to_string e))
+         end)
+      a;
+    match !divergence with None -> Ok () | Some msg -> Error msg
+  end

@@ -1,0 +1,114 @@
+(** Fleet: a work-stealing batch runner for Metal simulations on
+    OCaml 5 domains.
+
+    Architecture evaluation is a batch workload — calibration sweeps,
+    design-space walks, differential corpora — and every simulation in
+    such a batch is independent: a {!Metal_cpu.Machine.t} owns all of
+    its state, so N machines can advance on N domains without sharing
+    anything.  The fleet turns an array of jobs into an array of
+    results with three guarantees:
+
+    - {b Determinism.}  Results are keyed by job index, every job
+      builds its machine inside the worker, and nothing is shared
+      between jobs, so per-job results ({!Metal_cpu.Stats.t} included)
+      are bit-identical regardless of the domain count or which domain
+      ran which job.  The determinism property in [test_fleet]
+      enforces this (64 jobs, 1 domain vs 8).
+    - {b Isolation.}  A crashing job (assembly error, load error,
+      exhausted fuel, escaped exception) yields a typed error result;
+      it never kills the fleet or poisons its neighbours.
+    - {b Utilisation.}  Jobs are dealt round-robin into per-domain
+      bounded queues; a worker that drains its own queue steals from
+      the others, so one long job does not leave the remaining domains
+      idle behind it.
+
+    Scheduling layer: {!map} runs an arbitrary pure-per-element
+    function over an array.  Job layer: {!run} executes typed
+    simulation jobs ({!job}: program + config + fuel + seed) and is
+    what [mrun --jobs] and the [bench fleet] section use. *)
+
+(** {1 Generic parallel map} *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8. *)
+
+val map :
+  ?domains:int -> ('a -> 'b) -> 'a array -> ('b, string) result array
+(** [map ~domains f jobs] applies [f] to every element, distributing
+    the work over [domains] domains (default {!default_domains}; [<= 1]
+    runs everything inline on the calling domain, spawning nothing).
+    Result [i] is [f jobs.(i)], or [Error] carrying the exception text
+    if [f] raised on that element.  Element order is preserved; [f]
+    must not touch state shared with other elements. *)
+
+(** {1 Typed simulation jobs} *)
+
+type source =
+  | Asm of { src : string; origin : int; mcode : string option }
+      (** Assembly text (and optional mroutine source loaded into MRAM
+          first), loaded at [origin]; execution starts at the [start]
+          symbol when defined, else at the image's lowest address. *)
+  | Image of Metal_asm.Image.t
+      (** A pre-assembled image, started the same way.  Sharing one
+          image between jobs is safe: loading copies it into the
+          machine's memory. *)
+
+type job = {
+  label : string;  (** for reports; not interpreted *)
+  config : Metal_cpu.Config.t;
+  source : source;
+  fuel : int;  (** cycle budget; exhausting it is a typed error *)
+  seed : int;
+      (** identifies the corpus element that produced this job
+          (generators record it here so failures are reproducible);
+          not interpreted by the runner *)
+}
+
+val job :
+  ?label:string ->
+  ?config:Metal_cpu.Config.t ->
+  ?fuel:int ->
+  ?seed:int ->
+  source ->
+  job
+(** Defaults: label [""], {!Metal_cpu.Config.default}, fuel 10M,
+    seed 0. *)
+
+type ok = {
+  halt : Metal_cpu.Machine.halt;
+  stats : Metal_cpu.Stats.t;  (** private snapshot of the machine's counters *)
+  regs : Word.t array;  (** GPR file at halt (32 words) *)
+  console : string;  (** console device output *)
+}
+
+type fail =
+  | Assemble_error of string
+  | Load_error of string
+  | Fuel_exhausted of { fuel : int }
+  | Crashed of string
+      (** an exception escaped the simulator; the text includes the
+          exception and, when available, a backtrace *)
+
+val fail_to_string : fail -> string
+
+type outcome = {
+  index : int;  (** position of the job in the input array *)
+  job : job;
+  domain : int;
+      (** which worker executed it — informational only; every other
+          field is independent of it *)
+  result : (ok, fail) result;
+}
+
+val run_job : job -> (ok, fail) result
+(** Run one job inline on the calling domain. *)
+
+val run : ?domains:int -> job array -> outcome array
+(** Run a batch on the fleet.  [run ~domains:1 jobs] and
+    [run ~domains:8 jobs] differ only in each outcome's [domain]
+    field. *)
+
+val identical : outcome array -> outcome array -> (unit, string) result
+(** Check two runs of the same batch for bit-identical per-job results
+    (halt, stats, registers, console, error); [Error] names the first
+    diverging job.  The [domain] field is ignored. *)

@@ -536,6 +536,132 @@ let test_dcache_hit_miss () =
   check_int "rest hit" 19 (Metal_hw.Cache.hits c);
   check_int "stall accounting" 7 m.Machine.stats.Stats.mem_stall_cycles
 
+(* ------------------------------------------------------------------ *)
+(* Edge-case regressions: segment-boundary mexit, interception under a
+   load-use stall, and MRAM reconfiguration racing the predecode
+   cache. *)
+
+(* [mexit] as the very last instruction of the MRAM code segment.  The
+   fetch unit walks sequentially past the routine before the mexit
+   redirect resolves; that speculative fetch lands outside the segment
+   and must be squashed, not turned into a fetch fault.  Exercised
+   under both transition styles and both steppers. *)
+let test_mexit_at_mram_segment_end () =
+  let code_bytes = Config.default.Config.mram_code_words * 4 in
+  let tail_org = code_bytes - 8 in
+  let mcode =
+    Printf.sprintf ".org %d\n.mentry 1, tail\ntail:\naddi s5, s5, 1\nmexit\n"
+      tail_org
+  in
+  let run ~transition ~predecode =
+    let config = { Config.default with Config.transition; predecode } in
+    let m = boot ~config ~mcode "menter 1\nmenter 1\nebreak\n" in
+    ignore (run_to_ebreak m);
+    check_int "routine ran twice" 2 (reg m "s5");
+    m.Machine.stats.Stats.cycles
+  in
+  List.iter
+    (fun transition ->
+       let fast = run ~transition ~predecode:true in
+       let slow = run ~transition ~predecode:false in
+       check_int "predecode timing-invariant at segment end" slow fast)
+    [ Config.Fast_replacement; Config.Trap_flush ]
+
+(* An intercepted store whose value operand is produced by the load
+   directly before it.  Operand capture (m27/m28) happens at decode, so
+   the interception interlock must hold the store until the load writes
+   back — a stale capture would hand the handler the old register
+   value. *)
+let test_intercept_during_load_use_stall () =
+  let mcode =
+    ".mentry 6, onst\nonst:\naddi s10, s10, 1\nwmr m16, t0\nwmr m17, t1\n\
+     rmr t0, m28\nrmr t1, m27\nphysst t1, 0(t0)\n\
+     rmr t0, m31\naddi t0, t0, 4\nwmr m31, t0\n\
+     rmr t0, m16\nrmr t1, m17\nmexit\n"
+  in
+  let src =
+    "li t3, 0x1000\nli t0, 0xBEE\nsw t0, 0(t3)\nlw t1, 0(t3)\n\
+     sw t1, 4(t3)\nlw s0, 4(t3)\nebreak\n"
+  in
+  let run ~predecode =
+    let config = { Config.default with Config.predecode } in
+    let m = boot ~config ~mcode src in
+    icept_arm m Icept.Store_class 6;
+    ignore (run_to_ebreak m);
+    check_int "loaded value captured, not stale" 0xBEE (reg m "s0");
+    check_int "both stores intercepted" 2 (reg m "s10");
+    check_bool "interception interlock engaged" true
+      (m.Machine.stats.Stats.interlock_stalls >= 1);
+    m.Machine.stats.Stats.cycles
+  in
+  check_int "predecode timing-invariant under interlock"
+    (run ~predecode:false) (run ~predecode:true)
+
+(* Host-side MRAM reconfiguration between runs: the predecode cache
+   holds Metal-mode entries keyed by the MRAM version, so new code at
+   an already-executed offset must be picked up, never served stale.
+   Covers both reconfiguration paths ([load_image] overwrite and
+   [set_entry] retarget). *)
+let test_mram_reconfig_vs_cached_fetch () =
+  let resume m =
+    m.Machine.halted <- None;
+    Machine.set_pc m 0;
+    ignore (run_to_ebreak m)
+  in
+  let overwrite predecode =
+    let config = { Config.default with Config.predecode } in
+    let m =
+      boot ~config ~mcode:".mentry 0, f\nf:\nli s0, 111\nmexit\n"
+        "menter 0\nebreak\n"
+    in
+    ignore (run_to_ebreak m);
+    check_int "original routine ran" 111 (reg m "s0");
+    let v0 = Metal_hw.Mram.version m.Machine.mram in
+    let patch = Metal_asm.Asm.assemble_exn "li s0, 222\nmexit\n" in
+    (match Metal_hw.Mram.load_image m.Machine.mram patch with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e);
+    check_bool "load_image bumps version" true
+      (Metal_hw.Mram.version m.Machine.mram > v0);
+    resume m;
+    reg m "s0"
+  in
+  check_int "overwritten code executes (fast)" 222 (overwrite true);
+  check_int "overwritten code executes (oracle)" 222 (overwrite false);
+  (* Additive path: registering a new entry bumps the version too, so
+     the already-predecoded entry-0 code must refill (and still run
+     right) and the fresh entry must be reachable. *)
+  let extend predecode =
+    let config = { Config.default with Config.predecode } in
+    let m =
+      boot ~config ~mcode:".mentry 0, f\nf:\nli s0, 111\nmexit\n"
+        "menter 0\nebreak\n"
+    in
+    ignore (run_to_ebreak m);
+    check_int "entry 0 ran" 111 (reg m "s0");
+    let v0 = Metal_hw.Mram.version m.Machine.mram in
+    let extra =
+      Metal_asm.Asm.assemble_exn
+        ".org 0x100\n.mentry 1, g\ng:\naddi s0, s0, 1\nmexit\n"
+    in
+    (match Metal_hw.Mram.load_image m.Machine.mram extra with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e);
+    check_bool "additive load_image bumps version" true
+      (Metal_hw.Mram.version m.Machine.mram > v0);
+    let prog2 = Metal_asm.Asm.assemble_exn ~origin:0x200
+        "menter 0\nmenter 1\nebreak\n" in
+    (match Machine.load_image m prog2 with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e);
+    m.Machine.halted <- None;
+    Machine.set_pc m 0x200;
+    ignore (run_to_ebreak m);
+    reg m "s0"
+  in
+  check_int "old entry refills, new entry runs (fast)" 112 (extend true);
+  check_int "old entry refills, new entry runs (oracle)" 112 (extend false)
+
 let () =
   Alcotest.run "cpu-edge"
     [
@@ -584,4 +710,11 @@ let () =
             test_branch_not_taken_is_free;
           Alcotest.test_case "counters" `Quick test_counter_invariants;
           Alcotest.test_case "pkey fetch" `Quick test_pkey_fetch_unaffected ] );
+      ( "edge-regressions",
+        [ Alcotest.test_case "mexit at MRAM segment end" `Quick
+            test_mexit_at_mram_segment_end;
+          Alcotest.test_case "intercept during load-use stall" `Quick
+            test_intercept_during_load_use_stall;
+          Alcotest.test_case "MRAM reconfig vs cached fetch" `Quick
+            test_mram_reconfig_vs_cached_fetch ] );
     ]

@@ -5,9 +5,18 @@
    branches are run on both implementations; the architectural outcome
    (all 32 registers plus the data region) must be identical.  This
    exercises forwarding, load-use interlocks, flush-on-branch and
-   store-data paths against an implementation that has none of them. *)
+   store-data paths against an implementation that has none of them.
+
+   Every property runs against BOTH steppers — [Pipeline]'s predecode
+   fast path and the [Pipeline_slow] option-latch oracle — and
+   failures are reported as a minimal trace: a greedy minimizer drops
+   instructions while the divergence (of the same kind) persists, so
+   the report shows the shortest program that still diverges.  The
+   300-program predecode-invariance corpus runs on the fleet batch
+   runner. *)
 
 open Metal_cpu
+module Fleet = Metal_fleet.Fleet
 
 let mem_size = 64 * 1024
 let data_base = 0x1000
@@ -99,8 +108,11 @@ let seed_data write =
     write (data_base + (4 * i)) (Word.of_int ((i * 0x01234567) + 0x89ABCDEF))
   done
 
-let run_pipeline img =
-  let config = { Config.default with Config.mem_size } in
+(* [predecode:true] exercises the fast stepper, [predecode:false] the
+   [Pipeline_slow] option-latch oracle — every property below runs
+   against both. *)
+let run_pipeline ?(predecode = Config.default.Config.predecode) img =
+  let config = { Config.default with Config.mem_size; Config.predecode } in
   let m = Machine.create ~config () in
   (match Machine.load_image m img with Ok () -> () | Error e -> failwith e);
   seed_data (Machine.write_word m);
@@ -109,6 +121,8 @@ let run_pipeline img =
   | Some (Machine.Halt_ebreak _) -> Ok m
   | Some h -> Error (Machine.halted_to_string h)
   | None -> Error "pipeline: no halt"
+
+let oracle_name predecode = if predecode then "fast" else "slow"
 
 let run_reference img =
   let r = Reference.create ~mem_size in
@@ -144,34 +158,119 @@ let compare_states m r =
   done;
   !diffs
 
-let prop_differential =
-  QCheck.Test.make ~name:"pipeline matches golden model" ~count:800
-    (QCheck.make ~print:print_program gen_program)
+(* ------------------------------------------------------------------ *)
+(* Minimal-trace reporting.
+
+   A divergence predicate classifies a program as [`State msg] (both
+   sides halted, architectural state differs) or [`Error msg] (one
+   side faulted / timed out).  The greedy minimizer drops instructions
+   one at a time — never the final [Ebreak] — keeping a candidate only
+   while a divergence of the SAME kind persists, so minimization
+   cannot wander from a state mismatch to some unrelated
+   removal-induced fault.  Failures therefore report the shortest
+   program known to still diverge. *)
+
+let kind_of = function `State _ -> `State | `Error _ -> `Error
+
+let describe = function `State msg | `Error msg -> msg
+
+let minimize ~diverges instrs =
+  let same_kind k cand =
+    match diverges cand with
+    | Some d when kind_of d = k -> Some cand
+    | Some _ | None -> None
+  in
+  match diverges instrs with
+  | None -> None
+  | Some d0 ->
+    let k = kind_of d0 in
+    let rec pass instrs =
+      let n = List.length instrs in
+      let rec try_drop i =
+        if i >= n - 1 then None (* keep the final ebreak *)
+        else
+          match same_kind k (List.filteri (fun j _ -> j <> i) instrs) with
+          | Some cand -> Some cand
+          | None -> try_drop (i + 1)
+      in
+      match try_drop 0 with Some cand -> pass cand | None -> instrs
+    in
+    Some (pass instrs, d0)
+
+let report_minimal ~diverges instrs =
+  match minimize ~diverges instrs with
+  | None -> "not a divergence (flaky run?)"
+  | Some (minimal, original) ->
+    let final =
+      match diverges minimal with Some d -> d | None -> original
+    in
+    Printf.sprintf
+      "minimal diverging program (%d instrs, shrunk from %d):\n%s\n--\n%s"
+      (List.length minimal) (List.length instrs) (print_program minimal)
+      (describe final)
+
+(* QCheck-level shrinking for the same generator: drop any single
+   instruction except the final ebreak (dropping that would turn every
+   failure into an uninteresting run-off-the-end fault). *)
+let shrink_program instrs yield =
+  let n = List.length instrs in
+  List.iteri
+    (fun i _ ->
+       if i < n - 1 then yield (List.filteri (fun j _ -> j <> i) instrs))
+    instrs
+
+let arb_program =
+  QCheck.make ~print:print_program ~shrink:shrink_program gen_program
+
+(* Pipeline (either stepper) vs. the golden model. *)
+let golden_divergence ~predecode instrs =
+  let img = image_of instrs in
+  match (run_pipeline ~predecode img, run_reference img) with
+  | Ok m, Ok r ->
+    (match compare_states m r with
+     | [] -> None
+     | diffs -> Some (`State (String.concat "\n" diffs)))
+  | Error e, Ok _ -> Some (`Error ("pipeline: " ^ e))
+  | Ok _, Error e -> Some (`Error e)
+  | Error ep, Error er ->
+    Some (`Error (Printf.sprintf "both failed: %s / %s" ep er))
+
+let prop_differential ~predecode =
+  let diverges = golden_divergence ~predecode in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "pipeline(%s) matches golden model"
+         (oracle_name predecode))
+    ~count:800 arb_program
     (fun instrs ->
-       let img = image_of instrs in
-       match (run_pipeline img, run_reference img) with
-       | Ok m, Ok r ->
-         begin match compare_states m r with
-         | [] -> true
-         | diffs ->
-           QCheck.Test.fail_report (String.concat "\n" diffs)
-         end
-       | Error e, _ | _, Error e -> QCheck.Test.fail_report e)
+       match diverges instrs with
+       | None -> true
+       | Some _ -> QCheck.Test.fail_report (report_minimal ~diverges instrs))
 
 (* Retired-instruction counts must also agree (the pipeline retires
    each architectural instruction exactly once despite stalls and
    flushes). *)
-let prop_retired_count =
-  QCheck.Test.make ~name:"retired instruction counts agree" ~count:200
-    (QCheck.make ~print:print_program gen_program)
+let retired_divergence ~predecode instrs =
+  let img = image_of instrs in
+  match (run_pipeline ~predecode img, run_reference img) with
+  | Ok m, Ok r ->
+    (* The pipeline does not count the halting ebreak's retirement the
+       same way; compare pre-ebreak counts. *)
+    let p = m.Machine.stats.Stats.instructions and g = r.Reference.retired in
+    if p = g then None
+    else Some (`State (Printf.sprintf "retired: pipeline=%d reference=%d" p g))
+  | Error e, _ | _, Error e -> Some (`Error e)
+
+let prop_retired_count ~predecode =
+  let diverges = retired_divergence ~predecode in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "retired counts agree (%s)" (oracle_name predecode))
+    ~count:200 arb_program
     (fun instrs ->
-       let img = image_of instrs in
-       match (run_pipeline img, run_reference img) with
-       | Ok m, Ok r ->
-         (* The pipeline does not count the halting ebreak's
-            retirement the same way; compare pre-ebreak counts. *)
-         m.Machine.stats.Stats.instructions = r.Reference.retired
-       | Error e, _ | _, Error e -> QCheck.Test.fail_report e)
+       match diverges instrs with
+       | None -> true
+       | Some _ -> QCheck.Test.fail_report (report_minimal ~diverges instrs))
 
 (* Timing configurations must not change architectural results. *)
 let run_pipeline_with config img =
@@ -186,13 +285,13 @@ let run_pipeline_with config img =
 
 let prop_config_invariance =
   QCheck.Test.make ~name:"timing configs preserve architectural state"
-    ~count:150
-    (QCheck.make ~print:print_program gen_program)
+    ~count:150 arb_program
     (fun instrs ->
        let img = image_of instrs in
        let base = { Config.default with Config.mem_size } in
        let configs =
          [ base;
+           { base with Config.predecode = false } (* Pipeline_slow oracle *);
            { base with Config.transition = Config.Trap_flush };
            { base with
              Config.mram_backing = Config.Main_memory { fetch_penalty = 2 };
@@ -231,33 +330,89 @@ let run_with_predecode ~predecode img =
   let config = { Config.default with Config.mem_size; Config.predecode } in
   run_pipeline_with config img
 
+let predecode_divergence instrs =
+  let img = image_of instrs in
+  match
+    (run_with_predecode ~predecode:true img,
+     run_with_predecode ~predecode:false img)
+  with
+  | Ok a, Ok b ->
+    if not (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs) then
+      Some (`State "register files differ")
+    else if a.Machine.stats <> b.Machine.stats then
+      Some
+        (`State
+           (Printf.sprintf "stats differ:\nwith:    %s\nwithout: %s"
+              (Stats.to_string a.Machine.stats)
+              (Stats.to_string b.Machine.stats)))
+    else begin
+      let diff = ref None in
+      for i = 0 to data_words - 1 do
+        let addr = data_base + (4 * i) in
+        if !diff = None && Machine.read_word a addr <> Machine.read_word b addr
+        then
+          diff :=
+            Some
+              (`State
+                 (Printf.sprintf "mem[%s]: with=%s without=%s"
+                    (Word.to_hex addr)
+                    (Word.to_hex (Machine.read_word a addr))
+                    (Word.to_hex (Machine.read_word b addr))))
+      done;
+      !diff
+    end
+  | Error e, Ok _ -> Some (`Error ("with predecode: " ^ e))
+  | Ok _, Error e -> Some (`Error ("without predecode: " ^ e))
+  | Error ea, Error eb ->
+    if ea = eb then None
+    else Some (`Error (Printf.sprintf "errors differ: %s / %s" ea eb))
+
 let prop_predecode_invariance =
-  QCheck.Test.make ~name:"predecode cache is timing-invisible" ~count:300
-    (QCheck.make ~print:print_program gen_program)
+  QCheck.Test.make ~name:"predecode cache is timing-invisible" ~count:100
+    arb_program
     (fun instrs ->
-       let img = image_of instrs in
-       match
-         (run_with_predecode ~predecode:true img,
-          run_with_predecode ~predecode:false img)
-       with
-       | Ok a, Ok b ->
-         if not (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs) then
-           QCheck.Test.fail_report "register files differ"
-         else if a.Machine.stats <> b.Machine.stats then
-           QCheck.Test.fail_report
-             (Printf.sprintf "stats differ:\nwith:    %s\nwithout: %s"
-                (Stats.to_string a.Machine.stats)
-                (Stats.to_string b.Machine.stats))
-         else begin
-           let same = ref true in
-           for i = 0 to data_words - 1 do
-             let addr = data_base + (4 * i) in
-             if Machine.read_word a addr <> Machine.read_word b addr then
-               same := false
-           done;
-           !same
-         end
-       | Error e, _ | _, Error e -> QCheck.Test.fail_report e)
+       match predecode_divergence instrs with
+       | None -> true
+       | Some _ ->
+         QCheck.Test.fail_report
+           (report_minimal ~diverges:predecode_divergence instrs))
+
+(* The 300-program predecode-invariance corpus, regenerated from a
+   fixed seed and checked on the fleet batch runner: one job per
+   program, every divergence minimized and reported.  This is the bulk
+   randomized coverage; the QCheck property above keeps a smaller
+   freshly-seeded stream with shrinking in the loop. *)
+let corpus_programs =
+  lazy
+    (let rand = Random.State.make [| 0x5EED; 300 |] in
+     Array.init 300 (fun _ -> QCheck.Gen.generate1 ~rand gen_program))
+
+let test_predecode_corpus_fleet () =
+  let progs = Lazy.force corpus_programs in
+  let checks =
+    Fleet.map
+      (fun instrs -> predecode_divergence instrs)
+      progs
+  in
+  let failures = ref [] in
+  Array.iteri
+    (fun i r ->
+       match r with
+       | Ok None -> ()
+       | Ok (Some _) ->
+         failures :=
+           Printf.sprintf "corpus[%d]: %s" i
+             (report_minimal ~diverges:predecode_divergence progs.(i))
+           :: !failures
+       | Error e -> failures := Printf.sprintf "corpus[%d] crashed: %s" i e :: !failures)
+    checks;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    Alcotest.fail
+      (Printf.sprintf "%d/%d corpus programs diverge:\n%s" (List.length fs)
+         (Array.length progs)
+         (String.concat "\n\n" (List.rev fs)))
 
 (* Self-modifying code: stores into the instruction stream must be
    observed by later fetches, i.e. they must invalidate any predecoded
@@ -320,6 +475,44 @@ let smc_case name src expected =
 let smc_cases =
   [ smc_case "patch-ahead" smc_patch_ahead [ ("a0", 65) ];
     smc_case "patch-loop-twice" smc_patch_loop [ ("a0", 12); ("t2", 2) ] ]
+
+(* The minimizer itself: with a synthetic divergence predicate ("any
+   store present"), a long program must shrink to store + ebreak, and
+   kind tracking must refuse to cross from `State to `Error. *)
+let test_minimizer_shrinks () =
+  let has_store cand =
+    if List.exists (function Instr.Store _ -> true | _ -> false) cand then
+      Some (`State "store present")
+    else None
+  in
+  let program =
+    [ Instr.Lui { rd = 28; imm = 1 };
+      Instr.Op { op = Instr.Add; rd = 1; rs1 = 2; rs2 = 3 };
+      Instr.Store { width = Instr.Word; rs2 = 4; rs1 = 28; offset = 0 };
+      Instr.Op { op = Instr.Xor; rd = 5; rs1 = 6; rs2 = 7 };
+      Instr.Op_imm { op = Instr.Add; rd = 8; rs1 = 8; imm = 1 };
+      Instr.Ebreak ]
+  in
+  (match minimize ~diverges:has_store program with
+   | Some (minimal, _) ->
+     Alcotest.(check int) "shrunk to store+ebreak" 2 (List.length minimal);
+     Alcotest.(check bool) "keeps the store" true
+       (List.exists (function Instr.Store _ -> true | _ -> false) minimal);
+     Alcotest.(check bool) "keeps the final ebreak" true
+       (List.nth minimal 1 = Instr.Ebreak)
+   | None -> Alcotest.fail "divergence not detected");
+  (* a predicate that changes kind under shrinking: candidates without
+     the store report `Error; the minimizer must ignore those *)
+  let kind_flips cand =
+    if List.exists (function Instr.Store _ -> true | _ -> false) cand then
+      if List.length cand > 4 then Some (`State "long with store") else None
+    else Some (`Error "store gone")
+  in
+  match minimize ~diverges:kind_flips program with
+  | Some (minimal, _) ->
+    Alcotest.(check bool) "never crossed into `Error" true
+      (List.exists (function Instr.Store _ -> true | _ -> false) minimal)
+  | None -> Alcotest.fail "divergence not detected"
 
 (* Directed regressions for classic pipeline traps. *)
 
@@ -385,6 +578,15 @@ let () =
       ("self-modifying", smc_cases);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_differential; prop_retired_count;
+          [ prop_differential ~predecode:true;
+            prop_differential ~predecode:false;
+            prop_retired_count ~predecode:true;
+            prop_retired_count ~predecode:false;
             prop_config_invariance; prop_predecode_invariance ] );
+      ( "fleet-corpus",
+        [ Alcotest.test_case "300-program predecode invariance" `Quick
+            test_predecode_corpus_fleet ] );
+      ( "minimizer",
+        [ Alcotest.test_case "greedy shrink keeps kind and witness" `Quick
+            test_minimizer_shrinks ] );
     ]
