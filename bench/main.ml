@@ -1317,6 +1317,106 @@ let fleet () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E17: observability — tracing overhead and trace-derived attribution *)
+
+(* Two claims to quantify: (a) the disabled probe is free enough that
+   the simperf numbers stand (one load-and-branch per would-be event);
+   (b) the event stream alone reconstructs the Figure-2 transition
+   costs — per-mroutine menter→mexit latency measured from the trace,
+   not from Stats. *)
+
+let trace_obs () =
+  section "E17. Observability: tracing overhead and cycle attribution";
+  let images = Lazy.force simperf_random_programs in
+  let run_corpus ~collect () =
+    List.fold_left
+      (fun acc img ->
+         let m = machine () in
+         (match Machine.load_image m img with
+          | Ok () -> ()
+          | Error e -> fail "%s" e);
+         Machine.set_pc m 0;
+         if collect then begin
+           let c = Metal_trace.Collector.create ~capacity:8192 () in
+           Machine.set_probe m (Metal_trace.Collector.probe c)
+         end;
+         run_to_ebreak m;
+         acc + retired m)
+      0 images
+  in
+  ignore (run_corpus ~collect:false ());
+  let rounds = 3 in
+  let t_off = ref infinity and t_on = ref infinity and n = ref 0 in
+  for _ = 1 to rounds do
+    let r, t = time_once (run_corpus ~collect:false) in
+    n := r;
+    if t < !t_off then t_off := t;
+    let _, t = time_once (run_corpus ~collect:true) in
+    if t < !t_on then t_on := t
+  done;
+  Printf.printf
+    "random corpus (%d sim instrs):\n\
+    \  probe disabled   %.3f s (%.2f Minstr/s)\n\
+    \  collector armed  %.3f s (%.2f Minstr/s)\n\
+    \  collection overhead: %.1f%%\n\n"
+    !n !t_off
+    (float_of_int !n /. !t_off /. 1e6)
+    !t_on
+    (float_of_int !n /. !t_on /. 1e6)
+    ((!t_on /. !t_off -. 1.0) *. 100.0);
+  (* Figure-2 view from the event stream: a ping workload crossing
+     into a 4-instruction mroutine, under fast decode-replacement
+     transitions and under trap-style flushes. *)
+  let ping config =
+    let m = machine ~config () in
+    load_mcode m
+      ".mentry 1, ping\n\
+       ping:\n\
+       wmr m11, t0\n\
+       rmr t0, m10\n\
+       addi t0, t0, 1\n\
+       wmr m10, t0\n\
+       rmr t0, m11\n\
+       mexit\n";
+    ignore
+      (load m
+         "start:\n\
+          li s0, 200\n\
+          loop:\n\
+          menter 1\n\
+          addi s0, s0, -1\n\
+          bne s0, zero, loop\n\
+          ebreak\n");
+    let c = Metal_trace.Collector.create () in
+    Machine.set_probe m (Metal_trace.Collector.probe c);
+    Machine.set_pc m 0;
+    run_to_ebreak m;
+    Metal_trace.Collector.metrics c
+  in
+  let report name config =
+    let mx = ping config in
+    List.iter
+      (fun r ->
+         Printf.printf
+           "%-24s entry %d: %4d crossings, %5.2f cycles/crossing \
+            (min %d, max %d)\n"
+           name r.Metal_trace.Metrics.entry r.Metal_trace.Metrics.count
+           (float_of_int r.Metal_trace.Metrics.total_cycles
+            /. float_of_int (max 1 r.Metal_trace.Metrics.count))
+           r.Metal_trace.Metrics.min_cycles r.Metal_trace.Metrics.max_cycles)
+      mx.Metal_trace.Metrics.mroutines
+  in
+  print_endline "transition cost measured from the event stream alone:";
+  report "fast replacement" Config.default;
+  report "trap-style flush"
+    { Config.default with Config.transition = Config.Trap_flush };
+  report "palcode (mem mroutines)" Config.palcode;
+  print_endline
+    "\nthe per-mroutine latency table above is derived purely from\n\
+     mode_enter/mode_exit events (Metal_trace.Collector), and matches\n\
+     the Stats-derived Figure 2 costs in the transition section."
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1376,7 +1476,8 @@ let sections =
     ("pagetable", pagetable); ("stm", stm); ("uintr", uintr);
     ("isolation", isolation); ("ablation", ablation); ("nested", nested);
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
-    ("simperf", simperf); ("fleet", fleet); ("host", host) ]
+    ("simperf", simperf); ("fleet", fleet); ("trace", trace_obs);
+    ("host", host) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -43,10 +43,26 @@ let run_os path max_cycles =
       end
     end
 
-let run_bare path mcode_path origin max_cycles palcode trace regs =
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
+    metrics_out =
   let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
   let config = { base with Metal_cpu.Config.trace } in
   let sys = Metal_core.System.create ~config () in
+  let collector =
+    if trace_out <> None || metrics_out <> None then begin
+      let c = Metal_trace.Collector.create () in
+      Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
+        (Metal_trace.Collector.probe c);
+      Some c
+    end
+    else None
+  in
   let ( let* ) = Result.bind in
   let result =
     let* () =
@@ -81,20 +97,41 @@ let run_bare path mcode_path origin max_cycles palcode trace regs =
         (fun l -> print_endline ("  " ^ l))
         (Metal_cpu.Machine.trace_log sys.Metal_core.System.machine ~max:40)
     end;
+    (match collector with
+     | None -> ()
+     | Some c ->
+       (match trace_out with
+        | Some f ->
+          Metal_trace.Chrome.write ~path:f (Metal_trace.Collector.ring c);
+          Printf.printf "trace: %s\n" f
+        | None -> ());
+       (match metrics_out with
+        | Some f ->
+          write_file f
+            (Metal_trace.Metrics.to_json (Metal_trace.Collector.metrics c));
+          Printf.printf "metrics: %s\n" f
+        | None -> ());
+       Format.printf "%a@." Metal_trace.Metrics.pp
+         (Metal_trace.Collector.metrics c));
     0
 
 (* Batch mode: several programs run as fleet jobs across domains.
-   One line per program; a failing job never takes down the batch. *)
-let run_batch paths mcode_path origin max_cycles palcode jobs =
+   One line per program; a failing job never takes down the batch.
+   Observability flags are threaded through: [--regs] dumps per-job
+   registers, [--trace-out F] writes one Chrome trace per job
+   (F.<index>), [--metrics-out F] writes the fleet-merged metrics. *)
+let run_batch paths mcode_path origin max_cycles palcode regs trace_out
+    metrics_out jobs =
   let base =
     if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
   in
   let mcode = Option.map read_file mcode_path in
+  let collect = trace_out <> None || metrics_out <> None in
   let batch =
     Array.of_list
       (List.map
          (fun path ->
-            Fleet.job ~label:path ~config:base ~fuel:max_cycles
+            Fleet.job ~label:path ~config:base ~fuel:max_cycles ~collect
               (Fleet.Asm { src = read_file path; origin; mcode }))
          paths)
   in
@@ -111,31 +148,66 @@ let run_batch paths mcode_path origin max_cycles palcode jobs =
             ok.Fleet.stats.Metal_cpu.Stats.cycles
             ok.Fleet.stats.Metal_cpu.Stats.instructions;
           if ok.Fleet.console <> "" then
-            Printf.printf "%-32s console: %s\n" "" ok.Fleet.console
+            Printf.printf "%-32s console: %s\n" "" ok.Fleet.console;
+          if regs then
+            for r = 1 to 31 do
+              let v = ok.Fleet.regs.(r) in
+              if v <> 0 then
+                Printf.printf "%-32s   %-5s %s (%d)\n" "" (Reg.to_string r)
+                  (Word.to_hex v) (Word.to_signed v)
+            done;
+          (match (trace_out, ok.Fleet.events) with
+           | Some f, Some ring ->
+             let per_job = Printf.sprintf "%s.%d" f o.Fleet.index in
+             Metal_trace.Chrome.write ~path:per_job ring;
+             Printf.printf "%-32s trace: %s\n" "" per_job
+           | _ -> ())
         | Error e ->
           incr failures;
           Printf.printf "%-32s FAILED: %s\n" o.Fleet.job.Fleet.label
             (Fleet.fail_to_string e)))
     outcomes;
+  (match metrics_out with
+   | Some f ->
+     write_file f (Metal_trace.Metrics.to_json (Fleet.merge_metrics outcomes));
+     Printf.printf "metrics: %s\n" f
+   | None -> ());
   Printf.printf "%d/%d ok (%d domains)\n"
     (Array.length outcomes - !failures)
     (Array.length outcomes) domains;
   if !failures = 0 then 0 else 1
 
-let run paths mcode_path origin max_cycles palcode trace regs os jobs =
+let run paths mcode_path origin max_cycles palcode trace regs os jobs
+    trace_out metrics_out =
   match paths with
   | [] ->
     prerr_endline "metal-run: no program given";
     1
+  | _ when os && (trace || regs || trace_out <> None || metrics_out <> None)
+    ->
+    prerr_endline
+      "metal-run: --os does not support --trace/--regs/--trace-out/\
+       --metrics-out (the kernel owns the machine)";
+    1
   | [ path ] when jobs = 0 ->
     if os then run_os path max_cycles
-    else run_bare path mcode_path origin max_cycles palcode trace regs
+    else
+      run_bare path mcode_path origin max_cycles palcode trace regs trace_out
+        metrics_out
   | paths ->
     if os then begin
       prerr_endline "metal-run: --os does not combine with batch mode";
       1
     end
-    else run_batch paths mcode_path origin max_cycles palcode jobs
+    else if trace then begin
+      prerr_endline
+        "metal-run: --trace is single-program only; use --trace-out FILE \
+         in batch mode (one Chrome trace per job, FILE.<index>)";
+      1
+    end
+    else
+      run_batch paths mcode_path origin max_cycles palcode regs trace_out
+        metrics_out jobs
 
 open Cmdliner
 
@@ -182,10 +254,22 @@ let jobs =
                for one file, else one domain per core, capped at 8).  \
                Per-program results are independent of $(docv).")
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON of the run to $(docv) \
+               (load it in chrome://tracing or Perfetto).  In batch \
+               mode each job writes $(docv).<index>.")
+
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write flat metrics JSON (mode split, event counts, \
+               stall attribution, per-mroutine latencies) to $(docv).  \
+               In batch mode the per-job metrics are merged.")
+
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
     Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ trace
-          $ regs $ os $ jobs)
+          $ regs $ os $ jobs $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

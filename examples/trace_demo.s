@@ -1,0 +1,17 @@
+# trace_demo.s — exercise Metal-mode transitions for the
+# observability demo:
+#
+#   metal-run examples/trace_demo.s --mcode examples/trace_demo.mcode \
+#     --trace-out /tmp/trace.json --metrics-out /tmp/metrics.json
+#
+# The loop crosses into the mroutine eight times; the emitted Chrome
+# trace shows eight mroutine spans on the mode track and the metrics
+# report their menter→mexit latency histogram.
+
+start:
+    li s0, 8
+loop:
+    menter 1
+    addi s0, s0, -1
+    bne s0, zero, loop
+    ebreak

@@ -14,6 +14,7 @@ type t = {
   icache : Metal_hw.Cache.config option;
   dcache : Metal_hw.Cache.config option;
   trace : bool;
+  timeout_trace_tail : int;
   predecode : bool;
   predecode_entries : int;
 }
@@ -31,6 +32,7 @@ let default =
     icache = None;
     dcache = None;
     trace = false;
+    timeout_trace_tail = 16;
     predecode = true;
     predecode_entries = 4096;
   }

@@ -44,6 +44,9 @@ type t = {
       (** optional data-cache timing model for cached loads/stores;
           [mld]/[mst] and [physld]/[physst] bypass it. *)
   trace : bool;  (** record a per-retirement trace (bounded). *)
+  timeout_trace_tail : int;
+      (** how many trace entries [Pipeline.run_exn] appends to its
+          fuel-exhaustion message (requires {!trace}; 0 disables). *)
   predecode : bool;
       (** cache decoded instructions by physical fetch address so the
           hot loop skips [Decode.decode] on refetch.  Purely a host-side

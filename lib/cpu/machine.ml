@@ -81,7 +81,14 @@ type t = {
   mutable fault_cause : Word.t;
   mutable xlate_cause : Cause.t;
   trace : (int * string) Queue.t;
+  (* Observability probe.  [probe_on] keeps the disabled hot path to a
+     single load-and-branch; the closure receives
+     [cycle kind a b] (see {!Metal_trace.Event}). *)
+  mutable probe_on : bool;
+  mutable probe : int -> int -> int -> int -> unit;
 }
+
+let no_probe (_ : int) (_ : int) (_ : int) (_ : int) = ()
 
 let create ?(config = Config.default) () =
   let mem = Metal_hw.Phys_mem.create ~size:config.Config.mem_size in
@@ -142,7 +149,20 @@ let create ?(config = Config.default) () =
     fault_cause = 0;
     xlate_cause = Cause.Access_fault;
     trace = Queue.create ();
+    probe_on = false;
+    probe = no_probe;
   }
+
+let set_probe t f =
+  t.probe <- f;
+  t.probe_on <- true
+
+let clear_probe t =
+  t.probe_on <- false;
+  t.probe <- no_probe
+
+let[@inline] emit t kind a b =
+  if t.probe_on then t.probe t.stats.Stats.cycles kind a b
 
 let get_reg t r =
   assert (Reg.is_valid r);

@@ -102,6 +102,12 @@ type t = {
   mutable xlate_cause : Cause.t;
       (** fault cause of the last failed {!Pipeline.translate} *)
   trace : (int * string) Queue.t;  (** bounded (cycle, message) log *)
+  mutable probe_on : bool;
+      (** observability probe armed; the disabled hot path pays one
+          load-and-branch per would-be event *)
+  mutable probe : int -> int -> int -> int -> unit;
+      (** [probe cycle kind a b]; event kinds and payload encodings
+          are defined by [Metal_trace.Event] *)
 }
 
 val create : ?config:Config.t -> unit -> t
@@ -150,3 +156,17 @@ val trace_log : t -> max:int -> string list
 
 val add_trace : t -> cycle:int -> string -> unit
 (** Append to the bounded trace (used by the pipeline). *)
+
+(** {2 Observability probe} *)
+
+val set_probe : t -> (int -> int -> int -> int -> unit) -> unit
+(** Arm the event probe: subsequent pipeline events call
+    [f cycle kind a b].  Typically [Metal_trace.Collector.probe]. *)
+
+val clear_probe : t -> unit
+(** Disarm the probe and restore the no-op closure. *)
+
+val emit : t -> int -> int -> int -> unit
+(** [emit t kind a b] forwards to the probe (with the current cycle)
+    when armed; a single load-and-branch otherwise.  Used by both
+    steppers. *)

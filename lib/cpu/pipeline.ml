@@ -1,5 +1,6 @@
 open Machine
 module P = Predecode
+module Ev = Metal_trace.Event
 
 (* The stage functions below mutate the machine's latch records in
    place and return int-encoded outcomes instead of options/results:
@@ -86,8 +87,15 @@ let fault_of_access = function
 let hw_walk m ~vpn ~asid =
   let open Metal_hw in
   m.stats.Stats.hw_walks <- m.stats.Stats.hw_walks + 1;
+  emit m Ev.hw_walk vpn 0;
   let read_pte pa =
-    m.stall_cycles <- m.stall_cycles + m.config.Config.walker_latency;
+    let lat = m.config.Config.walker_latency in
+    m.stall_cycles <- m.stall_cycles + lat;
+    if lat > 0 then begin
+      m.stats.Stats.walker_stall_cycles <-
+        m.stats.Stats.walker_stall_cycles + lat;
+      emit m Ev.stall_begin Ev.stall_walker lat
+    end;
     match Bus.load m.bus ~width:Instr.Word ~addr:pa with
     | Ok w -> Some w
     | Error _ -> None
@@ -158,6 +166,8 @@ let translate m ~access ~metal vaddr =
       check_entry m ~access ~metal vaddr e
     | None ->
       m.stats.Stats.tlb_misses <- m.stats.Stats.tlb_misses + 1;
+      emit m Ev.tlb_miss vaddr
+        (match access with A_fetch -> 0 | A_load -> 1 | A_store -> 2);
       if m.ctrl.(Csr.hw_walker) land 1 = 1 then
         match hw_walk m ~vpn ~asid with
         | Some e ->
@@ -176,11 +186,15 @@ let charge_cache m cache ~addr ~fetch =
     if not (Metal_hw.Cache.access c ~addr) then begin
       let p = (Metal_hw.Cache.config c).Metal_hw.Cache.miss_penalty in
       m.stall_cycles <- m.stall_cycles + p;
-      if fetch then
+      if fetch then begin
         m.stats.Stats.fetch_stall_cycles <-
-          m.stats.Stats.fetch_stall_cycles + p
-      else
-        m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + p
+          m.stats.Stats.fetch_stall_cycles + p;
+        emit m Ev.stall_begin Ev.stall_fetch_cache p
+      end
+      else begin
+        m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + p;
+        emit m Ev.stall_begin Ev.stall_data_cache p
+      end
     end
 
 (* ------------------------------------------------------------------ *)
@@ -190,7 +204,8 @@ let flush_all m =
   m.if_id.fvalid <- false;
   m.id_ex.dvalid <- false;
   m.ex_mem.xvalid <- false;
-  m.stats.Stats.flushes <- m.stats.Stats.flushes + 1
+  m.stats.Stats.flushes <- m.stats.Stats.flushes + 1;
+  emit m Ev.flush Ev.flush_event 0
 
 let redirect m ~target ~metal =
   m.fetch_pc <- Word.of_int target;
@@ -200,7 +215,7 @@ let redirect m ~target ~metal =
 (* Enter the mroutine registered as handler [handler_value] (stored as
    entry+1), writing [writes] into the Metal register file.  Fails the
    whole machine when the configuration is inconsistent. *)
-let deliver_to_mroutine m ~handler_value ~writes ~on_missing =
+let deliver_to_mroutine m ~handler_value ~writes ~reason ~on_missing =
   let entry = handler_value - 1 in
   match Metal_hw.Mram.entry_addr m.mram entry with
   | None ->
@@ -211,11 +226,13 @@ let deliver_to_mroutine m ~handler_value ~writes ~on_missing =
     flush_all m;
     m.wb_rd <- 0;
     redirect m ~target ~metal:true;
+    emit m Ev.mode_enter entry reason;
     true
 
 let raise_exception m ~cause ~epc ~tval ~metal =
   m.stats.Stats.exceptions <- m.stats.Stats.exceptions + 1;
   m.fault_cause <- Cause.code cause;
+  emit m Ev.exn (Cause.code cause) tval;
   if m.config.Config.trace then
     add_trace m ~cycle:m.stats.Stats.cycles
       (Printf.sprintf "exception %s at %s tval=%s" (Cause.to_string cause)
@@ -238,6 +255,7 @@ let raise_exception m ~cause ~epc ~tval ~metal =
       in
       ignore
         (deliver_to_mroutine m ~handler_value ~writes
+           ~reason:Ev.reason_exception
            ~on_missing:
              (Halt_fault { cause; pc = epc; info = tval }))
     end
@@ -260,6 +278,7 @@ let retire m =
   stats.Stats.instructions <- stats.Stats.instructions + 1;
   if x.xmetal then
     stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+  emit m Ev.retire x.xpc (if x.xmetal then 1 else 0);
   if m.config.Config.trace then
     add_trace m ~cycle:stats.Stats.cycles
       (Printf.sprintf "retire %s%s %s" (Word.to_hex x.xpc)
@@ -296,7 +315,8 @@ let charge_mem_latency m =
   let l = m.config.Config.mem_latency in
   if l > 0 then begin
     m.stall_cycles <- m.stall_cycles + l;
-    m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + l
+    m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + l;
+    emit m Ev.stall_begin Ev.stall_mem_latency l
   end
 
 (* A pipeline store that landed in physical memory: tell the predecode
@@ -334,9 +354,11 @@ let do_mem_metal m (x : executed) mi =
       set_mreg m Reg.Mconv.return_address (Word.add x.xpc 4);
       stats.Stats.menters <- stats.Stats.menters + 1;
       stats.Stats.instructions <- stats.Stats.instructions + 1;
+      emit m Ev.retire x.xpc (if x.xmetal then 1 else 0);
       flush_all m;
       m.wb_rd <- 0;
       redirect m ~target ~metal:true;
+      emit m Ev.mode_enter entry Ev.reason_menter_trap;
       false
     end
   | Instr.Mexit ->
@@ -345,9 +367,11 @@ let do_mem_metal m (x : executed) mi =
     stats.Stats.instructions <- stats.Stats.instructions + 1;
     if x.xmetal then
       stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+    emit m Ev.retire x.xpc (if x.xmetal then 1 else 0);
     flush_all m;
     m.wb_rd <- 0;
     redirect m ~target ~metal:false;
+    emit m Ev.mode_exit target 0;
     false
   | Instr.Feature f ->
     begin match f with
@@ -769,6 +793,8 @@ let do_id m ~exm_wr_rd ~exm_wmreg =
                 id_set_dec d f
                   (U_event { kind = Event_intercept cls; writes })
                   rs1 rs2 rv1 rv2;
+                emit m Ev.intercept (Icept.code cls) f.fpc;
+                emit m Ev.mode_enter entry Ev.reason_intercept;
                 (target lsl 2) lor 2 lor 1
             end
           | Some _ | None ->
@@ -789,6 +815,7 @@ let do_id m ~exm_wr_rd ~exm_wmreg =
                 id_set_dec d f
                   (U_event { kind = Event_menter entry; writes })
                   rs1 rs2 rv1 rv2;
+                emit m Ev.mode_enter entry Ev.reason_menter;
                 (target lsl 2) lor 2 lor 1
               end
             | Instr.Metal Instr.Mexit
@@ -803,6 +830,7 @@ let do_id m ~exm_wr_rd ~exm_wmreg =
                 m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
                 d.dvalid <- false;
                 let target = get_mreg m Reg.Mconv.return_address in
+                emit m Ev.mode_exit target 0;
                 (target lsl 2) lor 1
               end
             | _ ->
@@ -895,13 +923,15 @@ let do_if m =
           then begin
             m.stall_cycles <- m.stall_cycles + fetch_penalty;
             m.stats.Stats.fetch_stall_cycles <-
-              m.stats.Stats.fetch_stall_cycles + fetch_penalty
+              m.stats.Stats.fetch_stall_cycles + fetch_penalty;
+            emit m Ev.stall_begin Ev.stall_mram_fetch fetch_penalty
           end
         | None ->
           if fetch_penalty > 0 then begin
             m.stall_cycles <- m.stall_cycles + fetch_penalty;
             m.stats.Stats.fetch_stall_cycles <-
-              m.stats.Stats.fetch_stall_cycles + fetch_penalty
+              m.stats.Stats.fetch_stall_cycles + fetch_penalty;
+            emit m Ev.stall_begin Ev.stall_mram_fetch fetch_penalty
           end
         end
       | Config.Dedicated -> ()
@@ -1010,11 +1040,13 @@ let try_interrupt m =
             (Reg.Mconv.event_cause, Cause.interrupt_code irq) ]
         in
         m.stats.Stats.interrupts <- m.stats.Stats.interrupts + 1;
+        emit m Ev.interrupt irq epc;
         if m.config.Config.trace then
           add_trace m ~cycle:m.stats.Stats.cycles
             (Printf.sprintf "interrupt %d delivered, resume %s" irq
                (Word.to_hex epc));
         deliver_to_mroutine m ~handler_value ~writes
+          ~reason:Ev.reason_interrupt
           ~on_missing:
             (Halt_fault
                { cause = Cause.Access_fault; pc = epc; info = irq })
@@ -1037,7 +1069,10 @@ let step_fast m =
     m.stats.Stats.cycles <- m.stats.Stats.cycles + 1;
     timer_tick m;
     Metal_hw.Bus.tick m.bus ~cycle:m.stats.Stats.cycles;
-    if m.stall_cycles > 0 then m.stall_cycles <- m.stall_cycles - 1
+    if m.stall_cycles > 0 then begin
+      m.stall_cycles <- m.stall_cycles - 1;
+      if m.stall_cycles = 0 then emit m Ev.stall_end 0 0
+    end
     else begin
       (* WB: regfile writes happen in the first half of the cycle so
          decode-stage reads observe them.  The scalars later stages
@@ -1061,6 +1096,7 @@ let step_fast m =
           m.id_ex.dvalid <- false;
           m.if_id.fvalid <- false;
           m.stats.Stats.flushes <- m.stats.Stats.flushes + 1;
+          emit m Ev.flush Ev.flush_redirect 0;
           redirect m ~target:(r lsr 1) ~metal:(r land 1 = 1)
         end
         else begin
@@ -1098,7 +1134,7 @@ let run_exn m ~max_cycles =
   match run m ~max_cycles with
   | Some h -> h
   | None ->
-    let tail = Machine.trace_log m ~max:16 in
+    let tail = Machine.trace_log m ~max:m.config.Config.timeout_trace_tail in
     failwith
       (Printf.sprintf
          "Pipeline.run_exn: no halt within %d cycles (pc=%s%s)\n\

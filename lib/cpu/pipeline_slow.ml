@@ -19,6 +19,7 @@
    option form this code was written against. *)
 
 open Machine
+module Ev = Metal_trace.Event
 
 (* Seed-style latch values (immutable; reallocated every cycle). *)
 
@@ -177,8 +178,15 @@ let fault_of_access = function
 let hw_walk m ~vpn ~asid =
   let open Metal_hw in
   m.stats.Stats.hw_walks <- m.stats.Stats.hw_walks + 1;
+  emit m Ev.hw_walk vpn 0;
   let read_pte pa =
-    m.stall_cycles <- m.stall_cycles + m.config.Config.walker_latency;
+    let lat = m.config.Config.walker_latency in
+    m.stall_cycles <- m.stall_cycles + lat;
+    if lat > 0 then begin
+      m.stats.Stats.walker_stall_cycles <-
+        m.stats.Stats.walker_stall_cycles + lat;
+      emit m Ev.stall_begin Ev.stall_walker lat
+    end;
     match Bus.load m.bus ~width:Instr.Word ~addr:pa with
     | Ok w -> Some w
     | Error _ -> None
@@ -242,6 +250,8 @@ let translate m ~access ~metal vaddr =
       check e
     | None ->
       m.stats.Stats.tlb_misses <- m.stats.Stats.tlb_misses + 1;
+      emit m Ev.tlb_miss vaddr
+        (match access with A_fetch -> 0 | A_load -> 1 | A_store -> 2);
       if m.ctrl.(Csr.hw_walker) land 1 = 1 then
         match hw_walk m ~vpn ~asid with
         | Some e ->
@@ -258,11 +268,15 @@ let charge_cache m cache ~addr ~fetch =
     if not (Metal_hw.Cache.access c ~addr) then begin
       let p = (Metal_hw.Cache.config c).Metal_hw.Cache.miss_penalty in
       m.stall_cycles <- m.stall_cycles + p;
-      if fetch then
+      if fetch then begin
         m.stats.Stats.fetch_stall_cycles <-
-          m.stats.Stats.fetch_stall_cycles + p
-      else
-        m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + p
+          m.stats.Stats.fetch_stall_cycles + p;
+        emit m Ev.stall_begin Ev.stall_fetch_cache p
+      end
+      else begin
+        m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + p;
+        emit m Ev.stall_begin Ev.stall_data_cache p
+      end
     end
 
 (* ------------------------------------------------------------------ *)
@@ -272,14 +286,15 @@ let flush_all m l =
   l.if_id <- None;
   l.id_ex <- None;
   l.ex_mem <- None;
-  m.stats.Stats.flushes <- m.stats.Stats.flushes + 1
+  m.stats.Stats.flushes <- m.stats.Stats.flushes + 1;
+  emit m Ev.flush Ev.flush_event 0
 
 let redirect m ~target ~metal =
   m.fetch_pc <- Word.of_int target;
   m.fetch_metal <- metal;
   m.fetch_frozen <- false
 
-let deliver_to_mroutine m l ~handler_value ~writes ~on_missing =
+let deliver_to_mroutine m l ~handler_value ~writes ~reason ~on_missing =
   let entry = handler_value - 1 in
   match Metal_hw.Mram.entry_addr m.mram entry with
   | None ->
@@ -290,11 +305,13 @@ let deliver_to_mroutine m l ~handler_value ~writes ~on_missing =
     flush_all m l;
     l.mem_wb <- None;
     redirect m ~target ~metal:true;
+    emit m Ev.mode_enter entry reason;
     true
 
 let raise_exception m l ~cause ~epc ~tval ~metal =
   m.stats.Stats.exceptions <- m.stats.Stats.exceptions + 1;
   m.fault_cause <- Cause.code cause;
+  emit m Ev.exn (Cause.code cause) tval;
   if m.config.Config.trace then
     add_trace m ~cycle:m.stats.Stats.cycles
       (Printf.sprintf "exception %s at %s tval=%s" (Cause.to_string cause)
@@ -317,6 +334,7 @@ let raise_exception m l ~cause ~epc ~tval ~metal =
       in
       ignore
         (deliver_to_mroutine m l ~handler_value ~writes
+           ~reason:Ev.reason_exception
            ~on_missing:
              (Halt_fault { cause; pc = epc; info = tval }))
     end
@@ -348,6 +366,7 @@ let rec do_mem m l ex_mem_old =
       stats.Stats.instructions <- stats.Stats.instructions + 1;
       if x.xmetal then
         stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+      emit m Ev.retire x.xpc (if x.xmetal then 1 else 0);
       if m.config.Config.trace then
         add_trace m ~cycle:stats.Stats.cycles
           (Printf.sprintf "retire %s%s %s" (Word.to_hex x.xpc)
@@ -379,7 +398,8 @@ let rec do_mem m l ex_mem_old =
       let lat = m.config.Config.mem_latency in
       if lat > 0 then begin
         m.stall_cycles <- m.stall_cycles + lat;
-        stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat
+        stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat;
+        emit m Ev.stall_begin Ev.stall_mem_latency lat
       end
     in
     begin match x.xuop with
@@ -470,9 +490,11 @@ and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
       set_mreg m Reg.Mconv.return_address (Word.add x.xpc 4);
       stats.Stats.menters <- stats.Stats.menters + 1;
       stats.Stats.instructions <- stats.Stats.instructions + 1;
+      emit m Ev.retire x.xpc (if x.xmetal then 1 else 0);
       flush_all m l;
       l.mem_wb <- None;
       redirect m ~target ~metal:true;
+      emit m Ev.mode_enter entry Ev.reason_menter_trap;
       false
     end
   | Instr.Mexit ->
@@ -481,9 +503,11 @@ and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
     stats.Stats.instructions <- stats.Stats.instructions + 1;
     if x.xmetal then
       stats.Stats.metal_instructions <- stats.Stats.metal_instructions + 1;
+    emit m Ev.retire x.xpc (if x.xmetal then 1 else 0);
     flush_all m l;
     l.mem_wb <- None;
     redirect m ~target ~metal:false;
+    emit m Ev.mode_exit target 0;
     false
   | Instr.Feature f ->
     begin match f with
@@ -493,7 +517,8 @@ and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
         let lat = m.config.Config.mem_latency in
         if lat > 0 then begin
           m.stall_cycles <- m.stall_cycles + lat;
-          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat
+          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat;
+          emit m Ev.stall_begin Ev.stall_mem_latency lat
         end;
         match Metal_hw.Bus.load m.bus ~width:Instr.Word ~addr:x.alu with
         | Ok v -> writeback rd v
@@ -505,7 +530,8 @@ and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
         let lat = m.config.Config.mem_latency in
         if lat > 0 then begin
           m.stall_cycles <- m.stall_cycles + lat;
-          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat
+          stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + lat;
+          emit m Ev.stall_begin Ev.stall_mem_latency lat
         end;
         match Metal_hw.Bus.store m.bus ~width:Instr.Word ~addr:x.alu x.sval with
         | Ok () -> no_writeback ()
@@ -799,6 +825,8 @@ let do_id m if_id_old ~id_ex_old ~ex_mem_old =
                       (Reg.Mconv.event_store_value, store_val);
                       (Reg.Mconv.event_rd, rd_idx) ]
                   in
+                  emit m Ev.intercept (Icept.code cls) f.fpc;
+                  emit m Ev.mode_enter entry Ev.reason_intercept;
                   Id_pass
                     (Some
                        (dec
@@ -823,6 +851,7 @@ let do_id m if_id_old ~id_ex_old ~ex_mem_old =
                   let writes =
                     [ (Reg.Mconv.return_address, Word.add f.fpc 4) ]
                   in
+                  emit m Ev.mode_enter entry Ev.reason_menter;
                   Id_pass
                     (Some
                        (dec
@@ -839,6 +868,7 @@ let do_id m if_id_old ~id_ex_old ~ex_mem_old =
                 else begin
                   m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
                   let target = get_mreg m Reg.Mconv.return_address in
+                  emit m Ev.mode_exit target 0;
                   Id_pass
                     (None,
                      Some { target; to_metal = false; combinational = true })
@@ -875,13 +905,15 @@ let do_if m =
           then begin
             m.stall_cycles <- m.stall_cycles + fetch_penalty;
             m.stats.Stats.fetch_stall_cycles <-
-              m.stats.Stats.fetch_stall_cycles + fetch_penalty
+              m.stats.Stats.fetch_stall_cycles + fetch_penalty;
+            emit m Ev.stall_begin Ev.stall_mram_fetch fetch_penalty
           end
         | None ->
           if fetch_penalty > 0 then begin
             m.stall_cycles <- m.stall_cycles + fetch_penalty;
             m.stats.Stats.fetch_stall_cycles <-
-              m.stats.Stats.fetch_stall_cycles + fetch_penalty
+              m.stats.Stats.fetch_stall_cycles + fetch_penalty;
+            emit m Ev.stall_begin Ev.stall_mram_fetch fetch_penalty
           end
         end
       | Config.Dedicated -> ()
@@ -943,11 +975,13 @@ let try_interrupt m l ~if_id ~id_ex ~ex_mem =
             (Reg.Mconv.event_cause, Cause.interrupt_code irq) ]
         in
         m.stats.Stats.interrupts <- m.stats.Stats.interrupts + 1;
+        emit m Ev.interrupt irq epc;
         if m.config.Config.trace then
           add_trace m ~cycle:m.stats.Stats.cycles
             (Printf.sprintf "interrupt %d delivered, resume %s" irq
                (Word.to_hex epc));
         deliver_to_mroutine m l ~handler_value ~writes
+          ~reason:Ev.reason_interrupt
           ~on_missing:
             (Halt_fault
                { cause = Cause.Access_fault; pc = epc; info = irq })
@@ -970,7 +1004,10 @@ let step m =
     m.stats.Stats.cycles <- m.stats.Stats.cycles + 1;
     timer_tick m;
     Metal_hw.Bus.tick m.bus ~cycle:m.stats.Stats.cycles;
-    if m.stall_cycles > 0 then m.stall_cycles <- m.stall_cycles - 1
+    if m.stall_cycles > 0 then begin
+      m.stall_cycles <- m.stall_cycles - 1;
+      if m.stall_cycles = 0 then emit m Ev.stall_end 0 0
+    end
     else begin
       let l = load_latches m in
       let if_id = l.if_id
@@ -992,6 +1029,7 @@ let step m =
            l.id_ex <- None;
            l.if_id <- None;
            m.stats.Stats.flushes <- m.stats.Stats.flushes + 1;
+           emit m Ev.flush Ev.flush_redirect 0;
            redirect m ~target ~metal:to_metal
          | None ->
            begin match do_id m if_id ~id_ex_old:id_ex ~ex_mem_old:ex_mem with

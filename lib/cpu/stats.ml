@@ -16,6 +16,7 @@ type t = {
   mutable hw_walks : int;
   mutable mem_stall_cycles : int;
   mutable fetch_stall_cycles : int;
+  mutable walker_stall_cycles : int;
 }
 
 let create () =
@@ -37,6 +38,7 @@ let create () =
     hw_walks = 0;
     mem_stall_cycles = 0;
     fetch_stall_cycles = 0;
+    walker_stall_cycles = 0;
   }
 
 let reset t =
@@ -56,7 +58,8 @@ let reset t =
   t.tlb_misses <- 0;
   t.hw_walks <- 0;
   t.mem_stall_cycles <- 0;
-  t.fetch_stall_cycles <- 0
+  t.fetch_stall_cycles <- 0;
+  t.walker_stall_cycles <- 0
 
 let copy t = { t with cycles = t.cycles }
 
@@ -79,6 +82,8 @@ let diff ~after ~before =
     hw_walks = after.hw_walks - before.hw_walks;
     mem_stall_cycles = after.mem_stall_cycles - before.mem_stall_cycles;
     fetch_stall_cycles = after.fetch_stall_cycles - before.fetch_stall_cycles;
+    walker_stall_cycles =
+      after.walker_stall_cycles - before.walker_stall_cycles;
   }
 
 let pp fmt t =
@@ -86,12 +91,37 @@ let pp fmt t =
     "@[<v>cycles=%d instructions=%d (metal=%d) ipc=%.2f@,\
      bubbles=%d load-use=%d interlocks=%d flushes=%d@,\
      menter=%d mexit=%d exceptions=%d interrupts=%d intercepts=%d@,\
-     tlb hit/miss=%d/%d hw-walks=%d mem-stalls=%d fetch-stalls=%d@]"
+     tlb hit/miss=%d/%d hw-walks=%d mem-stalls=%d fetch-stalls=%d \
+     walker-stalls=%d@]"
     t.cycles t.instructions t.metal_instructions
     (if t.cycles = 0 then 0.0
      else float_of_int t.instructions /. float_of_int t.cycles)
     t.bubbles t.load_use_stalls t.interlock_stalls t.flushes t.menters
     t.mexits t.exceptions t.interrupts t.intercepts t.tlb_hits t.tlb_misses
     t.hw_walks t.mem_stall_cycles t.fetch_stall_cycles
+    t.walker_stall_cycles
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* Right-hand side of the cycle-accounting identity documented in the
+   interface: every cycle is a retirement, a bubble, a MEM-stage
+   exception, a delivered interrupt, or a consumed (attributed) stall
+   cycle. *)
+let accounted_cycles t ~pending_stall =
+  t.instructions + t.bubbles + t.exceptions + t.interrupts
+  + (t.fetch_stall_cycles + t.mem_stall_cycles + t.walker_stall_cycles
+     - pending_stall)
+
+let to_json t =
+  Printf.sprintf
+    "{\"cycles\": %d, \"instructions\": %d, \"metal_instructions\": %d, \
+     \"bubbles\": %d, \"load_use_stalls\": %d, \"interlock_stalls\": %d, \
+     \"flushes\": %d, \"menters\": %d, \"mexits\": %d, \
+     \"exceptions\": %d, \"interrupts\": %d, \"intercepts\": %d, \
+     \"tlb_hits\": %d, \"tlb_misses\": %d, \"hw_walks\": %d, \
+     \"mem_stall_cycles\": %d, \"fetch_stall_cycles\": %d, \
+     \"walker_stall_cycles\": %d}"
+    t.cycles t.instructions t.metal_instructions t.bubbles t.load_use_stalls
+    t.interlock_stalls t.flushes t.menters t.mexits t.exceptions t.interrupts
+    t.intercepts t.tlb_hits t.tlb_misses t.hw_walks t.mem_stall_cycles
+    t.fetch_stall_cycles t.walker_stall_cycles

@@ -18,7 +18,31 @@ type t = {
   mutable hw_walks : int;
   mutable mem_stall_cycles : int;  (** cycles lost to memory latency *)
   mutable fetch_stall_cycles : int;  (** cycles lost to Metal-code fetch *)
+  mutable walker_stall_cycles : int;
+      (** cycles lost to hardware page-table walker PTE reads *)
 }
+
+(** {2 Accounting invariant}
+
+    Both steppers maintain, at every cycle boundary:
+
+    {v cycles = instructions + bubbles + exceptions + interrupts
+            + (fetch_stall_cycles + mem_stall_cycles
+               + walker_stall_cycles - pending_stall) v}
+
+    where [pending_stall] is the machine's not-yet-consumed
+    [stall_cycles] counter.  Each simulated cycle is counted in exactly
+    one bucket: a stall consumption, a delivered interrupt, a MEM-stage
+    exception, a retired instruction, or a bubble — and each charged
+    stall cycle is attributed to exactly one of the three stall
+    categories (so no cycle is double-counted across categories).
+    [load_use_stalls] and [interlock_stalls] count decode-stage stall
+    {e events}, not cycles; the cycles they cost surface as [bubbles]
+    when the empty slot reaches MEM.  The differential suite encodes
+    this identity as a QCheck property over the seeded corpus. *)
+
+val accounted_cycles : t -> pending_stall:int -> int
+(** Right-hand side of the invariant above. *)
 
 val create : unit -> t
 
@@ -32,3 +56,6 @@ val diff : after:t -> before:t -> t
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+val to_json : t -> string
+(** Flat one-object JSON (for [--metrics-out] and fleet exports). *)

@@ -95,17 +95,22 @@ type job = {
   source : source;
   fuel : int;
   seed : int;
+  collect : bool;
+  trace_capacity : int;
 }
 
 let job ?(label = "") ?(config = Metal_cpu.Config.default)
-    ?(fuel = 10_000_000) ?(seed = 0) source =
-  { label; config; source; fuel; seed }
+    ?(fuel = 10_000_000) ?(seed = 0) ?(collect = false)
+    ?(trace_capacity = 65536) source =
+  { label; config; source; fuel; seed; collect; trace_capacity }
 
 type ok = {
   halt : Metal_cpu.Machine.halt;
   stats : Metal_cpu.Stats.t;
   regs : Word.t array;
   console : string;
+  metrics : Metal_trace.Metrics.t option;
+  events : Metal_trace.Ring.t option;
 }
 
 type fail =
@@ -165,6 +170,14 @@ let run_job j =
             | Error e -> Error (Load_error e)))
     in
     Metal_cpu.Machine.set_pc m (start_pc img);
+    let collector =
+      if j.collect then begin
+        let c = Metal_trace.Collector.create ~capacity:j.trace_capacity () in
+        Metal_cpu.Machine.set_probe m (Metal_trace.Collector.probe c);
+        Some c
+      end
+      else None
+    in
     match Metal_cpu.Pipeline.run m ~max_cycles:j.fuel with
     | None -> Error (Fuel_exhausted { fuel = j.fuel })
     | Some halt ->
@@ -174,6 +187,9 @@ let run_job j =
           stats = Metal_cpu.Stats.copy m.Metal_cpu.Machine.stats;
           regs = Array.copy m.Metal_cpu.Machine.regs;
           console = Metal_core.System.console_output sys;
+          metrics =
+            Option.map Metal_trace.Collector.metrics collector;
+          events = Option.map Metal_trace.Collector.ring collector;
         }
   with e -> Error (Crashed (exn_text e))
 
@@ -185,6 +201,17 @@ let run ?domains jobs =
     (fun ~worker i ->
        { index = i; job = jobs.(i); domain = worker; result = run_job jobs.(i) })
     (Array.length jobs)
+
+(* Merge per-job metrics in index order.  Jobs without collection
+   contribute nothing; the result is independent of the domain count
+   because outcomes are already index-keyed. *)
+let merge_metrics outcomes =
+  Array.fold_left
+    (fun acc o ->
+       match o.result with
+       | Ok { metrics = Some mx; _ } -> Metal_trace.Metrics.merge acc mx
+       | Ok { metrics = None; _ } | Error _ -> acc)
+    Metal_trace.Metrics.empty outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Determinism check                                                   *)
@@ -218,6 +245,11 @@ let identical a b =
                       (Metal_cpu.Stats.to_string rb.stats))
              else if ra.regs <> rb.regs then where "registers"
              else if ra.console <> rb.console then where "console output"
+             else if
+               Option.map Metal_trace.Ring.to_list ra.events
+               <> Option.map Metal_trace.Ring.to_list rb.events
+             then where "event streams"
+             else if ra.metrics <> rb.metrics then where "metrics"
            | Error ea, Error eb ->
              if ea <> eb then where "error"
            | Ok _, Error e ->

@@ -62,6 +62,10 @@ type job = {
       (** identifies the corpus element that produced this job
           (generators record it here so failures are reproducible);
           not interpreted by the runner *)
+  collect : bool;
+      (** attach a {!Metal_trace.Collector} probe to the job's machine
+          and return its metrics and event ring in the result *)
+  trace_capacity : int;  (** event-ring capacity when [collect] *)
 }
 
 val job :
@@ -69,16 +73,22 @@ val job :
   ?config:Metal_cpu.Config.t ->
   ?fuel:int ->
   ?seed:int ->
+  ?collect:bool ->
+  ?trace_capacity:int ->
   source ->
   job
 (** Defaults: label [""], {!Metal_cpu.Config.default}, fuel 10M,
-    seed 0. *)
+    seed 0, no collection, ring capacity 65536. *)
 
 type ok = {
   halt : Metal_cpu.Machine.halt;
   stats : Metal_cpu.Stats.t;  (** private snapshot of the machine's counters *)
   regs : Word.t array;  (** GPR file at halt (32 words) *)
   console : string;  (** console device output *)
+  metrics : Metal_trace.Metrics.t option;  (** when [job.collect] *)
+  events : Metal_trace.Ring.t option;
+      (** the job's event ring (when [job.collect]); feed it to
+          {!Metal_trace.Chrome.write} for a per-job trace file *)
 }
 
 type fail =
@@ -108,7 +118,13 @@ val run : ?domains:int -> job array -> outcome array
     [run ~domains:8 jobs] differ only in each outcome's [domain]
     field. *)
 
+val merge_metrics : outcome array -> Metal_trace.Metrics.t
+(** Fold the metrics of every successful collecting job, in index
+    order.  Deterministic across domain counts (outcomes are
+    index-keyed); jobs without collection contribute nothing. *)
+
 val identical : outcome array -> outcome array -> (unit, string) result
 (** Check two runs of the same batch for bit-identical per-job results
-    (halt, stats, registers, console, error); [Error] names the first
-    diverging job.  The [domain] field is ignored. *)
+    (halt, stats, registers, console, event streams, metrics, error);
+    [Error] names the first diverging job.  The [domain] field is
+    ignored. *)

@@ -1,0 +1,101 @@
+let tid_if = 1
+let tid_id = 2
+let tid_ex = 3
+let tid_mem = 4
+let tid_wb = 5
+let tid_mode = 6
+
+let stage_names =
+  [ (tid_if, "IF"); (tid_id, "ID"); (tid_ex, "EX"); (tid_mem, "MEM");
+    (tid_wb, "WB"); (tid_mode, "mode") ]
+
+let instant_tid ~kind ~a ~b =
+  if kind = Event.retire then tid_wb
+  else if kind = Event.intercept || kind = Event.interrupt then tid_id
+  else if kind = Event.exn || kind = Event.hw_walk then tid_mem
+  else if kind = Event.flush then tid_ex
+  else if kind = Event.tlb_miss then if b = 0 then tid_if else tid_mem
+  else if kind = Event.stall_begin then
+    if a = Event.stall_fetch_cache || a = Event.stall_mram_fetch then tid_if
+    else tid_mem
+  else if kind = Event.stall_end then tid_mem
+  else tid_mode
+
+let instant_args ~kind ~a ~b =
+  if kind = Event.retire then
+    Printf.sprintf "{\"pc\": %d, \"metal\": %b}" a (b = 1)
+  else if kind = Event.intercept then
+    Printf.sprintf "{\"class\": %d, \"pc\": %d}" a b
+  else if kind = Event.exn then
+    Printf.sprintf "{\"cause\": %d, \"tval\": %d}" a b
+  else if kind = Event.interrupt then
+    Printf.sprintf "{\"irq\": %d, \"resume_pc\": %d}" a b
+  else if kind = Event.tlb_miss then
+    Printf.sprintf "{\"vaddr\": %d, \"access\": %d}" a b
+  else if kind = Event.hw_walk then Printf.sprintf "{\"page\": %d}" a
+  else if kind = Event.flush then
+    Printf.sprintf "{\"redirect\": %b}" (a = Event.flush_redirect)
+  else if kind = Event.stall_begin then
+    Printf.sprintf "{\"cause\": %S, \"cycles\": %d}" (Event.stall_name a) b
+  else "{}"
+
+let to_buffer buf ring =
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun (tid, name) ->
+       emit
+         (Printf.sprintf
+            "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+             \"name\": \"thread_name\", \"args\": {\"name\": %S}}"
+            tid name))
+    stage_names;
+  (* Pending mode span: set at mode_enter, flushed at mode_exit (or at
+     end of stream for a trace that stops inside an mroutine). *)
+  let pending = ref None in
+  let last = ref 0 in
+  let span ~upto =
+    match !pending with
+    | None -> ()
+    | Some (entry, reason, since) ->
+      pending := None;
+      emit
+        (Printf.sprintf
+           "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %d, \
+            \"dur\": %d, \"name\": \"mroutine %d\", \
+            \"args\": {\"entry\": %d, \"reason\": %S}}"
+           tid_mode since (max 1 (upto - since)) entry entry
+           (Event.reason_name reason))
+  in
+  Ring.iter ring (fun ~cycle ~kind ~a ~b ->
+      last := cycle;
+      if kind = Event.mode_enter then pending := Some (a, b, cycle)
+      else if kind = Event.mode_exit then span ~upto:cycle
+      else
+        emit
+          (Printf.sprintf
+             "{\"ph\": \"i\", \"pid\": 1, \"tid\": %d, \"ts\": %d, \
+              \"s\": \"t\", \"name\": %S, \"args\": %s}"
+             (instant_tid ~kind ~a ~b) cycle (Event.name kind)
+             (instant_args ~kind ~a ~b)));
+  span ~upto:!last;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\", ";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"otherData\": {\"events_recorded\": %d, \"events_dropped\": %d}}\n"
+       (Ring.total ring) (Ring.dropped ring))
+
+let to_string ring =
+  let buf = Buffer.create 4096 in
+  to_buffer buf ring;
+  Buffer.contents buf
+
+let write ~path ring =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ring))

@@ -1,0 +1,20 @@
+(** Chrome [trace_event] exporter.
+
+    Renders a ring as a JSON trace loadable by chrome://tracing and
+    Perfetto: one track (tid) per pipeline stage (IF/ID/EX/MEM/WB), a
+    sixth track for mode occupancy where each completed menter→mexit
+    span is a duration event, and instants for the remaining events.
+    One simulated cycle maps to one microsecond of trace time; events
+    are written in recording order, so timestamps are monotone per
+    track (the CI smoke checks this). *)
+
+val tid_if : int
+val tid_id : int
+val tid_ex : int
+val tid_mem : int
+val tid_wb : int
+val tid_mode : int
+
+val to_buffer : Buffer.t -> Ring.t -> unit
+val to_string : Ring.t -> string
+val write : path:string -> Ring.t -> unit

@@ -1,0 +1,133 @@
+type agg = {
+  mutable count : int;
+  mutable total : int;
+  mutable min : int;
+  mutable max : int;
+  buckets : (int, int) Hashtbl.t;
+}
+
+type t = {
+  ring : Ring.t;
+  kind_counts : int array;
+  stall_cycles : int array;
+  mutable user_instrs : int;
+  mutable metal_instrs : int;
+  mutable user_cycles : int;
+  mutable metal_cycles : int;
+  mutable in_metal : bool;
+  mutable mode_since : int;  (* cycle of the last mode transition *)
+  mutable cur_entry : int;  (* MRAM entry of the running mroutine, -1 *)
+  mutable enter_cycle : int;
+  mutable last_cycle : int;
+  hist : (int, agg) Hashtbl.t;  (* entry -> latency aggregate *)
+}
+
+let create ?(capacity = 65536) () =
+  {
+    ring = Ring.create ~capacity;
+    kind_counts = Array.make Event.count 0;
+    stall_cycles = Array.make Event.stall_count 0;
+    user_instrs = 0;
+    metal_instrs = 0;
+    user_cycles = 0;
+    metal_cycles = 0;
+    in_metal = false;
+    mode_since = 0;
+    cur_entry = -1;
+    enter_cycle = 0;
+    last_cycle = 0;
+    hist = Hashtbl.create 16;
+  }
+
+let ring t = t.ring
+
+let switch_mode t ~cycle ~metal =
+  let elapsed = cycle - t.mode_since in
+  if t.in_metal then t.metal_cycles <- t.metal_cycles + elapsed
+  else t.user_cycles <- t.user_cycles + elapsed;
+  t.mode_since <- cycle;
+  t.in_metal <- metal
+
+let record_latency t ~entry ~latency =
+  let agg =
+    match Hashtbl.find_opt t.hist entry with
+    | Some a -> a
+    | None ->
+      let a =
+        { count = 0; total = 0; min = max_int; max = 0;
+          buckets = Hashtbl.create 8 }
+      in
+      Hashtbl.replace t.hist entry a;
+      a
+  in
+  agg.count <- agg.count + 1;
+  agg.total <- agg.total + latency;
+  if latency < agg.min then agg.min <- latency;
+  if latency > agg.max then agg.max <- latency;
+  Hashtbl.replace agg.buckets latency
+    (1 + Option.value ~default:0 (Hashtbl.find_opt agg.buckets latency))
+
+let probe t cycle kind a b =
+  Ring.record t.ring ~cycle ~kind ~a ~b;
+  t.kind_counts.(kind) <- t.kind_counts.(kind) + 1;
+  t.last_cycle <- cycle;
+  if kind = Event.retire then begin
+    if b = 1 then t.metal_instrs <- t.metal_instrs + 1
+    else t.user_instrs <- t.user_instrs + 1
+  end
+  else if kind = Event.mode_enter then begin
+    switch_mode t ~cycle ~metal:true;
+    t.cur_entry <- a;
+    t.enter_cycle <- cycle
+  end
+  else if kind = Event.mode_exit then begin
+    switch_mode t ~cycle ~metal:false;
+    if t.cur_entry >= 0 then
+      record_latency t ~entry:t.cur_entry ~latency:(cycle - t.enter_cycle);
+    t.cur_entry <- -1
+  end
+  else if kind = Event.stall_begin then
+    t.stall_cycles.(a) <- t.stall_cycles.(a) + b
+
+let metrics t =
+  (* Attribute the tail [mode_since .. last_cycle] without mutating the
+     collector, so snapshots are repeatable. *)
+  let tail = t.last_cycle - t.mode_since in
+  let user_cycles, metal_cycles =
+    if t.in_metal then (t.user_cycles, t.metal_cycles + tail)
+    else (t.user_cycles + tail, t.metal_cycles)
+  in
+  let counts name arr =
+    Array.to_list (Array.mapi (fun k v -> (name k, v)) arr)
+  in
+  let mroutines =
+    List.sort
+      (fun (a : Metrics.mroutine) b -> compare a.entry b.entry)
+      (Hashtbl.fold
+         (fun entry agg acc ->
+            {
+              Metrics.entry;
+              count = agg.count;
+              total_cycles = agg.total;
+              min_cycles = (if agg.count = 0 then 0 else agg.min);
+              max_cycles = agg.max;
+              latencies =
+                List.sort compare
+                  (Hashtbl.fold
+                     (fun l n acc -> (l, n) :: acc)
+                     agg.buckets []);
+            }
+            :: acc)
+         t.hist [])
+  in
+  {
+    Metrics.user_cycles;
+    metal_cycles;
+    user_instructions = t.user_instrs;
+    metal_instructions = t.metal_instrs;
+    event_counts = counts Event.name t.kind_counts;
+    stall_cycles = counts Event.stall_name t.stall_cycles;
+    mroutines;
+    events_recorded = Ring.total t.ring;
+    events_dropped = Ring.dropped t.ring;
+  }

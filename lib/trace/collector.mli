@@ -1,0 +1,23 @@
+(** Live event collector: the probe target installed on a machine.
+
+    [probe] records every event into the ring and folds it into the
+    attribution counters (per-mode cycles/instructions, per-mroutine
+    menter→mexit latency histogram, per-cause stall cycles) as it
+    arrives, so the counters are exact even after the ring wraps.
+    Recording allocates only on mode transitions (hashtable updates on
+    a ≤64-entry key space), never per retired instruction. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the ring (default 65536 events). *)
+
+val probe : t -> int -> int -> int -> int -> unit
+(** [(probe c) cycle kind a b]: the function to install with
+    [Machine.set_probe]. *)
+
+val ring : t -> Ring.t
+
+val metrics : t -> Metrics.t
+(** Snapshot.  Cycles between the last mode transition and the last
+    recorded event are attributed to the mode active at that point. *)

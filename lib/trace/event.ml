@@ -1,0 +1,58 @@
+let retire = 0
+let mode_enter = 1
+let mode_exit = 2
+let intercept = 3
+let exn = 4
+let interrupt = 5
+let tlb_miss = 6
+let hw_walk = 7
+let flush = 8
+let stall_begin = 9
+let stall_end = 10
+let count = 11
+
+let name = function
+  | 0 -> "retire"
+  | 1 -> "mode_enter"
+  | 2 -> "mode_exit"
+  | 3 -> "intercept"
+  | 4 -> "exception"
+  | 5 -> "interrupt"
+  | 6 -> "tlb_miss"
+  | 7 -> "hw_walk"
+  | 8 -> "flush"
+  | 9 -> "stall_begin"
+  | 10 -> "stall_end"
+  | k -> "event_" ^ string_of_int k
+
+let reason_menter = 0
+let reason_menter_trap = 1
+let reason_intercept = 2
+let reason_exception = 3
+let reason_interrupt = 4
+
+let reason_name = function
+  | 0 -> "menter"
+  | 1 -> "menter_trap"
+  | 2 -> "intercept"
+  | 3 -> "exception"
+  | 4 -> "interrupt"
+  | r -> "reason_" ^ string_of_int r
+
+let flush_redirect = 0
+let flush_event = 1
+
+let stall_fetch_cache = 0
+let stall_data_cache = 1
+let stall_mem_latency = 2
+let stall_walker = 3
+let stall_mram_fetch = 4
+let stall_count = 5
+
+let stall_name = function
+  | 0 -> "fetch_cache"
+  | 1 -> "data_cache"
+  | 2 -> "mem_latency"
+  | 3 -> "walker"
+  | 4 -> "mram_fetch"
+  | c -> "stall_" ^ string_of_int c

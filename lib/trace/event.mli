@@ -1,0 +1,72 @@
+(** Typed event stream vocabulary.
+
+    Events are carried as four machine integers — [(cycle, kind, a, b)]
+    — so recording is allocation-free; this module gives the integers
+    names.  The pipeline emits them through the probe installed on
+    [Machine.t]; both steppers must emit identical streams (checked by
+    the differential suite). *)
+
+(** {2 Event kinds}
+
+    The [a]/[b] payload per kind:
+    - [retire]: [a] = pc, [b] = 1 in Metal mode else 0
+    - [mode_enter]: [a] = MRAM entry index, [b] = entry reason
+    - [mode_exit]: [a] = resume pc
+    - [intercept]: [a] = intercept class code, [b] = intercepted pc
+    - [exn]: [a] = cause code, [b] = tval
+    - [interrupt]: [a] = irq, [b] = resume pc
+    - [tlb_miss]: [a] = vaddr, [b] = access (0 fetch, 1 load, 2 store)
+    - [hw_walk]: [a] = faulting page base (vpn shifted)
+    - [flush]: [a] = flush reason
+    - [stall_begin]: [a] = stall cause, [b] = cycles charged
+    - [stall_end]: the stall counter drained to zero this cycle *)
+
+val retire : int
+val mode_enter : int
+val mode_exit : int
+val intercept : int
+val exn : int
+val interrupt : int
+val tlb_miss : int
+val hw_walk : int
+val flush : int
+val stall_begin : int
+val stall_end : int
+
+val count : int
+(** Number of event kinds; kinds are dense in [0, count). *)
+
+val name : int -> string
+(** Short stable name of a kind (used in metrics JSON keys). *)
+
+(** {2 Mode-entry reasons} ([b] of [mode_enter]) *)
+
+val reason_menter : int  (** decode-stage replacement entry *)
+
+val reason_menter_trap : int  (** trap-style (PALcode) entry at MEM *)
+
+val reason_intercept : int
+
+val reason_exception : int
+
+val reason_interrupt : int
+
+val reason_name : int -> string
+
+(** {2 Flush reasons} ([a] of [flush]) *)
+
+val flush_redirect : int  (** taken branch / jalr resolved at EX *)
+
+val flush_event : int  (** mode transition or event delivery *)
+
+(** {2 Stall causes} ([a] of [stall_begin]) *)
+
+val stall_fetch_cache : int
+val stall_data_cache : int
+val stall_mem_latency : int
+val stall_walker : int
+val stall_mram_fetch : int
+
+val stall_count : int
+
+val stall_name : int -> string

@@ -1,0 +1,174 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             if !pos + 4 >= n then fail "bad \\u escape";
+             let hex = String.sub s (!pos + 1) 4 in
+             (match int_of_string_opt ("0x" ^ hex) with
+              | None -> fail "bad \\u escape"
+              | Some cp ->
+                (* Replace non-ASCII code points; validation only. *)
+                if cp < 128 then Buffer.add_char buf (Char.chr cp)
+                else Buffer.add_char buf '?');
+             pos := !pos + 4
+           | _ -> fail "bad escape");
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (elements [])
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+    | _ -> fail "expected a JSON value"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+    Error (Printf.sprintf "JSON error at offset %d: %s" at msg)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error e -> Error e
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr l -> l | _ -> []
+let to_num = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None

@@ -1,0 +1,28 @@
+(** Minimal JSON reader.
+
+    Just enough to validate the artifacts this library writes (Chrome
+    traces, metrics and benchmark JSON) without external dependencies:
+    objects, arrays, strings with the common escapes, numbers, bools,
+    null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Errors carry a character offset. *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** [Arr] elements; [] for anything else. *)
+
+val to_num : t -> float option
+val to_string : t -> string option

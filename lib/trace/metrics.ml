@@ -1,0 +1,176 @@
+type mroutine = {
+  entry : int;
+  count : int;
+  total_cycles : int;
+  min_cycles : int;
+  max_cycles : int;
+  latencies : (int * int) list;
+}
+
+type t = {
+  user_cycles : int;
+  metal_cycles : int;
+  user_instructions : int;
+  metal_instructions : int;
+  event_counts : (string * int) list;
+  stall_cycles : (string * int) list;
+  mroutines : mroutine list;
+  events_recorded : int;
+  events_dropped : int;
+}
+
+let zero_counts count name = List.init count (fun k -> (name k, 0))
+
+let empty =
+  {
+    user_cycles = 0;
+    metal_cycles = 0;
+    user_instructions = 0;
+    metal_instructions = 0;
+    event_counts = zero_counts Event.count Event.name;
+    stall_cycles = zero_counts Event.stall_count Event.stall_name;
+    mroutines = [];
+    events_recorded = 0;
+    events_dropped = 0;
+  }
+
+(* Sum two assoc lists that share the same canonical key order (pad
+   with the other's entries when one side was built against an older
+   key set). *)
+let merge_counts a b =
+  let add acc (k, v) =
+    let v' = match List.assoc_opt k acc with Some w -> v + w | None -> v in
+    (k, v') :: List.remove_assoc k acc
+  in
+  let merged = List.fold_left add (List.fold_left add [] a) b in
+  (* canonical order: as they appear in [a] then leftovers from [b] *)
+  let order = List.map fst a @ List.filter (fun k -> not (List.mem_assoc k a)) (List.map fst b) in
+  List.map (fun k -> (k, List.assoc k merged)) order
+
+let merge_latencies a b =
+  let tbl = Hashtbl.create 16 in
+  let add (l, n) =
+    Hashtbl.replace tbl l (n + Option.value ~default:0 (Hashtbl.find_opt tbl l))
+  in
+  List.iter add a;
+  List.iter add b;
+  List.sort compare (Hashtbl.fold (fun l n acc -> (l, n) :: acc) tbl [])
+
+let merge_mroutine a b =
+  {
+    entry = a.entry;
+    count = a.count + b.count;
+    total_cycles = a.total_cycles + b.total_cycles;
+    min_cycles = min a.min_cycles b.min_cycles;
+    max_cycles = max a.max_cycles b.max_cycles;
+    latencies = merge_latencies a.latencies b.latencies;
+  }
+
+let merge_mroutines a b =
+  let tbl = Hashtbl.create 16 in
+  let add m =
+    match Hashtbl.find_opt tbl m.entry with
+    | None -> Hashtbl.replace tbl m.entry m
+    | Some m' -> Hashtbl.replace tbl m.entry (merge_mroutine m' m)
+  in
+  List.iter add a;
+  List.iter add b;
+  List.sort
+    (fun x y -> compare x.entry y.entry)
+    (Hashtbl.fold (fun _ m acc -> m :: acc) tbl [])
+
+let merge a b =
+  {
+    user_cycles = a.user_cycles + b.user_cycles;
+    metal_cycles = a.metal_cycles + b.metal_cycles;
+    user_instructions = a.user_instructions + b.user_instructions;
+    metal_instructions = a.metal_instructions + b.metal_instructions;
+    event_counts = merge_counts a.event_counts b.event_counts;
+    stall_cycles = merge_counts a.stall_cycles b.stall_cycles;
+    mroutines = merge_mroutines a.mroutines b.mroutines;
+    events_recorded = a.events_recorded + b.events_recorded;
+    events_dropped = a.events_dropped + b.events_dropped;
+  }
+
+let equal (a : t) (b : t) = a = b
+
+let buf_counts buf l =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_string buf ", ";
+       Buffer.add_string buf (Printf.sprintf "%S: %d" k v))
+    l;
+  Buffer.add_string buf "}"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"metal-metrics-v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"user_cycles\": %d,\n  \"metal_cycles\": %d,\n"
+       t.user_cycles t.metal_cycles);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"user_instructions\": %d,\n  \"metal_instructions\": %d,\n"
+       t.user_instructions t.metal_instructions);
+  Buffer.add_string buf "  \"events\": ";
+  buf_counts buf t.event_counts;
+  Buffer.add_string buf ",\n  \"stall_cycles\": ";
+  buf_counts buf t.stall_cycles;
+  Buffer.add_string buf ",\n  \"mroutines\": [";
+  List.iteri
+    (fun i m ->
+       if i > 0 then Buffer.add_string buf ",";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "\n    {\"entry\": %d, \"count\": %d, \"total_cycles\": %d, \
+             \"min\": %d, \"max\": %d, \"latencies\": [%s]}"
+            m.entry m.count m.total_cycles m.min_cycles m.max_cycles
+            (String.concat ", "
+               (List.map
+                  (fun (l, n) -> Printf.sprintf "[%d, %d]" l n)
+                  m.latencies))))
+    t.mroutines;
+  if t.mroutines <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"events_recorded\": %d,\n  \"events_dropped\": %d\n}\n"
+       t.events_recorded t.events_dropped);
+  Buffer.contents buf
+
+let pp fmt t =
+  let total_cycles = t.user_cycles + t.metal_cycles in
+  let pct n =
+    if total_cycles = 0 then 0.0
+    else 100.0 *. float_of_int n /. float_of_int total_cycles
+  in
+  Format.fprintf fmt
+    "@[<v>mode split: user %d cycles (%.1f%%), metal %d cycles (%.1f%%)@,\
+     instructions: user %d, metal %d@,"
+    t.user_cycles (pct t.user_cycles) t.metal_cycles (pct t.metal_cycles)
+    t.user_instructions t.metal_instructions;
+  Format.fprintf fmt "events:";
+  List.iter
+    (fun (k, v) -> if v > 0 then Format.fprintf fmt " %s=%d" k v)
+    t.event_counts;
+  Format.fprintf fmt "@,stall cycles:";
+  List.iter
+    (fun (k, v) -> if v > 0 then Format.fprintf fmt " %s=%d" k v)
+    t.stall_cycles;
+  if t.mroutines <> [] then begin
+    Format.fprintf fmt "@,%-8s %8s %8s %6s %6s %8s" "mroutine" "calls"
+      "cycles" "min" "max" "mean";
+    List.iter
+      (fun m ->
+         Format.fprintf fmt "@,%-8d %8d %8d %6d %6d %8.1f" m.entry m.count
+           m.total_cycles m.min_cycles m.max_cycles
+           (if m.count = 0 then 0.0
+            else float_of_int m.total_cycles /. float_of_int m.count))
+      t.mroutines
+  end;
+  if t.events_dropped > 0 then
+    Format.fprintf fmt "@,(%d events dropped by ring wraparound)"
+      t.events_dropped;
+  Format.fprintf fmt "@]"

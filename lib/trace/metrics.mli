@@ -1,0 +1,43 @@
+(** Flat, mergeable metrics snapshot derived from the event stream.
+
+    Values are immutable and structurally comparable, so the
+    differential suite can require the two steppers produce equal
+    metrics with [( = )], and [Fleet] can merge per-job metrics across
+    domains deterministically (merging is commutative and associative
+    over jobs, and every list field keeps a canonical order). *)
+
+type mroutine = {
+  entry : int;  (** MRAM entry index *)
+  count : int;  (** completed menter→mexit round trips *)
+  total_cycles : int;
+  min_cycles : int;
+  max_cycles : int;
+  latencies : (int * int) list;
+      (** latency histogram [(cycles, occurrences)], ascending cycles *)
+}
+
+type t = {
+  user_cycles : int;  (** cycles attributed to normal mode *)
+  metal_cycles : int;  (** cycles attributed to Metal mode *)
+  user_instructions : int;
+  metal_instructions : int;
+  event_counts : (string * int) list;  (** per-kind totals, kind order *)
+  stall_cycles : (string * int) list;  (** per-cause charged cycles *)
+  mroutines : mroutine list;  (** ascending entry index *)
+  events_recorded : int;
+  events_dropped : int;
+}
+
+val empty : t
+
+val merge : t -> t -> t
+(** Pointwise sum (min/max for the latency bounds); [empty] is the
+    identity. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Human summary: mode split, event totals, per-mroutine latency
+    table (the Figure-2 view of an arbitrary workload). *)

@@ -1,0 +1,52 @@
+type t = {
+  cap : int;
+  cycles : int array;
+  kinds : int array;
+  a : int array;
+  b : int array;
+  mutable head : int;  (* next write position *)
+  mutable total : int;
+}
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  {
+    cap;
+    cycles = Array.make cap 0;
+    kinds = Array.make cap 0;
+    a = Array.make cap 0;
+    b = Array.make cap 0;
+    head = 0;
+    total = 0;
+  }
+
+let capacity t = t.cap
+let length t = min t.total t.cap
+let total t = t.total
+let dropped t = t.total - length t
+
+let record t ~cycle ~kind ~a ~b =
+  let i = t.head in
+  t.cycles.(i) <- cycle;
+  t.kinds.(i) <- kind;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.head <- (if i + 1 = t.cap then 0 else i + 1);
+  t.total <- t.total + 1
+
+let iter t f =
+  let n = length t in
+  let start = if t.total > t.cap then t.head else 0 in
+  for k = 0 to n - 1 do
+    let i = (start + k) mod t.cap in
+    f ~cycle:t.cycles.(i) ~kind:t.kinds.(i) ~a:t.a.(i) ~b:t.b.(i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun ~cycle ~kind ~a ~b -> acc := (cycle, kind, a, b) :: !acc);
+  List.rev !acc
+
+let clear t =
+  t.head <- 0;
+  t.total <- 0

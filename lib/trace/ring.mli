@@ -1,0 +1,33 @@
+(** Fixed-size event ring buffer.
+
+    Four parallel [int] arrays, so recording an event is four stores
+    and two increments — no allocation on the hot path.  When the ring
+    is full the oldest events are overwritten; [total] keeps counting
+    so the drop count is recoverable. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently held (at most [capacity]). *)
+
+val total : t -> int
+(** Events ever recorded (monotone). *)
+
+val dropped : t -> int
+(** [total - length]: events overwritten by wraparound. *)
+
+val record : t -> cycle:int -> kind:int -> a:int -> b:int -> unit
+
+val iter : t -> (cycle:int -> kind:int -> a:int -> b:int -> unit) -> unit
+(** Oldest first. *)
+
+val to_list : t -> (int * int * int * int) list
+(** [(cycle, kind, a, b)], oldest first.  Bit-identical streams from
+    the two steppers compare equal here. *)
+
+val clear : t -> unit

@@ -1,0 +1,75 @@
+Observability CLI surface of metal-run.  The regression here: batch
+mode used to silently drop --trace/--regs and the OS/observability
+flag combinations; now every flag is either threaded through to the
+fleet jobs or rejected loudly.
+
+Single-program run with trace and metrics export:
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --trace-out t.json --metrics-out m.json
+  halt: ebreak at 0x00000010
+  stats: cycles=107 instructions=66 (metal=40) ipc=0.62
+         bubbles=41 load-use=8 interlocks=8 flushes=7
+         menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  trace: t.json
+  metrics: m.json
+  mode split: user 43 cycles (40.2%), metal 64 cycles (59.8%)
+  instructions: user 26, metal 40
+  events: retire=66 mode_enter=8 mode_exit=8 flush=7
+  stall cycles:
+  mroutine    calls   cycles    min    max     mean
+  1               8       64      8      8      8.0
+
+The artifacts are real files (the Chrome trace is validated in depth
+by test_trace and ci.sh):
+
+  $ head -c 15 t.json; echo
+  {"traceEvents":
+  $ grep -c '"schema": "metal-metrics-v1"' m.json
+  1
+
+Batch mode threads the flags: one Chrome trace per job (FILE.<index>),
+merged metrics, per-job register dumps.
+
+  $ cat > prog.s <<'EOF'
+  > start:
+  >     li a0, 42
+  >     ebreak
+  > EOF
+
+  $ ../bin/mrun.exe prog.s prog.s --jobs 2 --regs \
+  >   --trace-out batch.json --metrics-out batch-metrics.json
+  prog.s                           ebreak at 0x00000004                              5 cycles          2 instrs
+                                     a0    0x0000002a (42)
+                                   trace: batch.json.0
+  prog.s                           ebreak at 0x00000004                              5 cycles          2 instrs
+                                     a0    0x0000002a (42)
+                                   trace: batch.json.1
+  metrics: batch-metrics.json
+  2/2 ok (2 domains)
+
+  $ ls batch.json.0 batch.json.1
+  batch.json.0
+  batch.json.1
+
+Merged metrics cover both jobs (each retires the same instructions, so
+the merged user_instructions is even and positive):
+
+  $ grep -o '"user_instructions": [0-9]*' batch-metrics.json
+  "user_instructions": 4
+
+Flag combinations that cannot work fail loudly instead of silently
+dropping the flag:
+
+  $ ../bin/mrun.exe prog.s prog.s --trace
+  metal-run: --trace is single-program only; use --trace-out FILE in batch mode (one Chrome trace per job, FILE.<index>)
+  [1]
+
+  $ ../bin/mrun.exe prog.s --os --trace-out t2.json
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out (the kernel owns the machine)
+  [1]
+
+  $ ../bin/mrun.exe prog.s --os --regs
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out (the kernel owns the machine)
+  [1]

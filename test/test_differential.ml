@@ -387,13 +387,11 @@ let corpus_programs =
     (let rand = Random.State.make [| 0x5EED; 300 |] in
      Array.init 300 (fun _ -> QCheck.Gen.generate1 ~rand gen_program))
 
-let test_predecode_corpus_fleet () =
+(* Run a divergence predicate over the whole corpus on the fleet; any
+   diverging program is minimized before reporting. *)
+let corpus_fleet_check ~diverges () =
   let progs = Lazy.force corpus_programs in
-  let checks =
-    Fleet.map
-      (fun instrs -> predecode_divergence instrs)
-      progs
-  in
+  let checks = Fleet.map (fun instrs -> diverges instrs) progs in
   let failures = ref [] in
   Array.iteri
     (fun i r ->
@@ -402,7 +400,7 @@ let test_predecode_corpus_fleet () =
        | Ok (Some _) ->
          failures :=
            Printf.sprintf "corpus[%d]: %s" i
-             (report_minimal ~diverges:predecode_divergence progs.(i))
+             (report_minimal ~diverges progs.(i))
            :: !failures
        | Error e -> failures := Printf.sprintf "corpus[%d] crashed: %s" i e :: !failures)
     checks;
@@ -413,6 +411,112 @@ let test_predecode_corpus_fleet () =
       (Printf.sprintf "%d/%d corpus programs diverge:\n%s" (List.length fs)
          (Array.length progs)
          (String.concat "\n\n" (List.rev fs)))
+
+let test_predecode_corpus_fleet () =
+  corpus_fleet_check ~diverges:predecode_divergence ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability differential (see lib/trace).  The probe is a pure
+   observer, so both steppers must emit bit-identical event streams —
+   same events at the same cycles with the same payloads — and hence
+   equal derived metrics (per-mroutine latency histograms included).
+   Any asymmetry is an instrumentation bug in one stepper. *)
+
+module Trace = Metal_trace
+
+let run_collected ~predecode img =
+  let config = { Config.default with Config.mem_size; Config.predecode } in
+  let m = Machine.create ~config () in
+  (match Machine.load_image m img with Ok () -> () | Error e -> failwith e);
+  seed_data (Machine.write_word m);
+  Machine.set_pc m 0;
+  let c = Trace.Collector.create ~capacity:(1 lsl 16) () in
+  Machine.set_probe m (Trace.Collector.probe c);
+  match Pipeline.run m ~max_cycles:100_000 with
+  | Some (Machine.Halt_ebreak _) -> Ok (m, c)
+  | Some h -> Error (Machine.halted_to_string h)
+  | None -> Error "pipeline: no halt"
+
+let pp_event (c, k, a, b) =
+  Printf.sprintf "(cycle=%d %s a=%d b=%d)" c (Trace.Event.name k) a b
+
+let event_stream_divergence instrs =
+  let img = image_of instrs in
+  match
+    (run_collected ~predecode:true img, run_collected ~predecode:false img)
+  with
+  | Ok (_, ca), Ok (_, cb) ->
+    let ea = Trace.Ring.to_list (Trace.Collector.ring ca)
+    and eb = Trace.Ring.to_list (Trace.Collector.ring cb) in
+    if ea <> eb then begin
+      let rec first i xs ys =
+        match (xs, ys) with
+        | [], [] -> Printf.sprintf "streams compare <> yet zip equal (%d)" i
+        | x :: _, [] -> Printf.sprintf "event[%d]: fast extra %s" i (pp_event x)
+        | [], y :: _ -> Printf.sprintf "event[%d]: slow extra %s" i (pp_event y)
+        | x :: xs', y :: ys' ->
+          if x = y then first (i + 1) xs' ys'
+          else
+            Printf.sprintf "event[%d]: fast=%s slow=%s" i (pp_event x)
+              (pp_event y)
+      in
+      Some (`State ("event streams differ: " ^ first 0 ea eb))
+    end
+    else if
+      not
+        (Trace.Metrics.equal
+           (Trace.Collector.metrics ca)
+           (Trace.Collector.metrics cb))
+    then Some (`State "metrics differ despite equal event streams")
+    else None
+  | Error e, Ok _ -> Some (`Error ("fast: " ^ e))
+  | Ok _, Error e -> Some (`Error ("slow: " ^ e))
+  | Error ea, Error eb ->
+    if ea = eb then None
+    else Some (`Error (Printf.sprintf "errors differ: %s / %s" ea eb))
+
+let prop_event_stream_invariance =
+  QCheck.Test.make ~name:"steppers emit bit-identical event streams"
+    ~count:150 arb_program
+    (fun instrs ->
+       match event_stream_divergence instrs with
+       | None -> true
+       | Some _ ->
+         QCheck.Test.fail_report
+           (report_minimal ~diverges:event_stream_divergence instrs))
+
+(* Stall accounting: every simulated cycle is attributed exactly once —
+   instruction, bubble, event delivery, or one stall bucket (less the
+   stall still pending at the sample point).  [Stats.accounted_cycles]
+   spells the invariant out; a violation means a stepper double-charged
+   or dropped a stall cycle. *)
+
+let stall_invariant_divergence ~predecode instrs =
+  let img = image_of instrs in
+  match run_pipeline ~predecode img with
+  | Error e -> Some (`Error e)
+  | Ok m ->
+    let s = m.Machine.stats in
+    let accounted =
+      Stats.accounted_cycles s ~pending_stall:m.Machine.stall_cycles
+    in
+    if accounted = s.Stats.cycles then None
+    else
+      Some
+        (`State
+           (Printf.sprintf "accounted=%d cycles=%d pending=%d\n%s" accounted
+              s.Stats.cycles m.Machine.stall_cycles (Stats.to_string s)))
+
+let prop_stall_accounting ~predecode =
+  let diverges = stall_invariant_divergence ~predecode in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "stall accounting closes (%s)" (oracle_name predecode))
+    ~count:200 arb_program
+    (fun instrs ->
+       match diverges instrs with
+       | None -> true
+       | Some _ -> QCheck.Test.fail_report (report_minimal ~diverges instrs))
 
 (* Self-modifying code: stores into the instruction stream must be
    observed by later fetches, i.e. they must invalidate any predecoded
@@ -582,10 +686,21 @@ let () =
             prop_differential ~predecode:false;
             prop_retired_count ~predecode:true;
             prop_retired_count ~predecode:false;
-            prop_config_invariance; prop_predecode_invariance ] );
+            prop_config_invariance; prop_predecode_invariance;
+            prop_event_stream_invariance;
+            prop_stall_accounting ~predecode:true;
+            prop_stall_accounting ~predecode:false ] );
       ( "fleet-corpus",
         [ Alcotest.test_case "300-program predecode invariance" `Quick
-            test_predecode_corpus_fleet ] );
+            test_predecode_corpus_fleet;
+          Alcotest.test_case "300-program event-stream identity" `Quick
+            (corpus_fleet_check ~diverges:event_stream_divergence);
+          Alcotest.test_case "300-program stall accounting (fast)" `Quick
+            (corpus_fleet_check
+               ~diverges:(stall_invariant_divergence ~predecode:true));
+          Alcotest.test_case "300-program stall accounting (slow)" `Quick
+            (corpus_fleet_check
+               ~diverges:(stall_invariant_divergence ~predecode:false)) ] );
       ( "minimizer",
         [ Alcotest.test_case "greedy shrink keeps kind and witness" `Quick
             test_minimizer_shrinks ] );

@@ -1,0 +1,346 @@
+(* Unit tests for the observability layer (lib/trace): the event ring,
+   the live collector's cycle attribution, the Chrome trace_event
+   exporter (validated with the library's own JSON reader, including
+   per-track timestamp monotonicity), and the mergeable metrics
+   snapshot.  The cross-stepper stream-identity properties live in
+   test_differential. *)
+
+open Metal_cpu
+module Trace = Metal_trace
+
+(* (cycle, kind, a, b) events as an Alcotest testable *)
+let event_t : (int * int * int * int) Alcotest.testable =
+  Alcotest.testable
+    (fun fmt (c, k, a, b) -> Format.fprintf fmt "(%d, %d, %d, %d)" c k a b)
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Ring: fixed capacity, oldest-first iteration, wraparound keeps the
+   newest events and counts the drops. *)
+
+let test_ring_basic () =
+  let r = Trace.Ring.create ~capacity:8 in
+  Alcotest.(check int) "capacity" 8 (Trace.Ring.capacity r);
+  Alcotest.(check int) "empty length" 0 (Trace.Ring.length r);
+  Alcotest.(check (list event_t))
+    "empty list" []
+    (Trace.Ring.to_list r);
+  for i = 1 to 5 do
+    Trace.Ring.record r ~cycle:i ~kind:Trace.Event.retire ~a:(4 * i) ~b:0
+  done;
+  Alcotest.(check int) "length" 5 (Trace.Ring.length r);
+  Alcotest.(check int) "total" 5 (Trace.Ring.total r);
+  Alcotest.(check int) "dropped" 0 (Trace.Ring.dropped r);
+  (match Trace.Ring.to_list r with
+   | (c, k, a, b) :: _ ->
+     Alcotest.(check event_t)
+       "oldest first"
+       (1, Trace.Event.retire, 4, 0)
+       (c, k, a, b)
+   | [] -> Alcotest.fail "empty");
+  Trace.Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Trace.Ring.length r)
+
+let test_ring_wraparound () =
+  let cap = 8 in
+  let r = Trace.Ring.create ~capacity:cap in
+  let n = 20 in
+  for i = 0 to n - 1 do
+    Trace.Ring.record r ~cycle:i ~kind:(i mod Trace.Event.count) ~a:i ~b:(-i)
+  done;
+  Alcotest.(check int) "length capped" cap (Trace.Ring.length r);
+  Alcotest.(check int) "total keeps counting" n (Trace.Ring.total r);
+  Alcotest.(check int) "dropped" (n - cap) (Trace.Ring.dropped r);
+  let l = Trace.Ring.to_list r in
+  Alcotest.(check int) "list length" cap (List.length l);
+  List.iteri
+    (fun k (c, kind, a, b) ->
+       let i = n - cap + k in
+       Alcotest.(check event_t)
+         (Printf.sprintf "surviving event %d" k)
+         (i, i mod Trace.Event.count, i, -i)
+         (c, kind, a, b))
+    l;
+  (* iter agrees with to_list *)
+  let via_iter = ref [] in
+  Trace.Ring.iter r (fun ~cycle ~kind ~a ~b ->
+      via_iter := (cycle, kind, a, b) :: !via_iter);
+  Alcotest.(check (list event_t))
+    "iter = to_list" l
+    (List.rev !via_iter)
+
+(* ------------------------------------------------------------------ *)
+(* Collector attribution on a directed Metal workload: the trace_demo
+   loop crosses into mroutine 1 exactly eight times, each crossing
+   costing the same number of cycles, so the histogram is a single
+   bucket of mass eight and the attribution splits are exact. *)
+
+let demo_src =
+  "start:\nli s0, 8\nloop:\nmenter 1\naddi s0, s0, -1\n\
+   bne s0, zero, loop\nebreak\n"
+
+let demo_mcode =
+  ".mentry 1, bump\n\
+   bump:\nwmr m11, t0\nrmr t0, m10\naddi t0, t0, 1\nwmr m10, t0\n\
+   rmr t0, m11\nmexit\n"
+
+let assemble_exn src =
+  match Metal_asm.Asm.assemble src with
+  | Ok img -> img
+  | Error e -> failwith (Metal_asm.Asm.error_to_string e)
+
+let run_demo ?(collect = true) ?(capacity = 4096) () =
+  let m = Machine.create ~config:Config.default () in
+  (match Machine.load_mcode m (assemble_exn demo_mcode) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match Machine.load_image m (assemble_exn demo_src) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  Machine.set_pc m 0;
+  let c =
+    if collect then begin
+      let c = Trace.Collector.create ~capacity () in
+      Machine.set_probe m (Trace.Collector.probe c);
+      Some c
+    end
+    else None
+  in
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_ebreak _) -> ()
+   | Some h -> failwith (Machine.halted_to_string h)
+   | None -> failwith "no halt");
+  (m, c)
+
+let test_collector_attribution () =
+  let m, c = run_demo () in
+  let c = Option.get c in
+  let mx = Trace.Collector.metrics c in
+  let open Trace.Metrics in
+  (match mx.mroutines with
+   | [ mr ] ->
+     Alcotest.(check int) "entry index" 1 mr.entry;
+     Alcotest.(check int) "eight crossings" 8 mr.count;
+     Alcotest.(check bool)
+       "steady loop: min = max" true
+       (mr.min_cycles = mr.max_cycles);
+     Alcotest.(check int)
+       "total = count * latency" (8 * mr.min_cycles) mr.total_cycles;
+     Alcotest.(check (list (pair int int)))
+       "histogram: one bucket of mass 8"
+       [ (mr.min_cycles, 8) ]
+       mr.latencies
+   | l ->
+     Alcotest.fail (Printf.sprintf "expected 1 mroutine, got %d" (List.length l)));
+  Alcotest.(check int)
+    "instruction split covers the run" m.Machine.stats.Stats.instructions
+    (mx.user_instructions + mx.metal_instructions);
+  Alcotest.(check bool) "metal instructions seen" true (mx.metal_instructions > 0);
+  Alcotest.(check int)
+    "mode split covers the run" m.Machine.stats.Stats.cycles
+    (mx.user_cycles + mx.metal_cycles);
+  Alcotest.(check int)
+    "eight mode_enter events" 8
+    (List.assoc "mode_enter" mx.event_counts);
+  Alcotest.(check int)
+    "eight mode_exit events" 8
+    (List.assoc "mode_exit" mx.event_counts);
+  Alcotest.(check int) "no drops" 0 mx.events_dropped;
+  Alcotest.(check int)
+    "recorded = ring total"
+    (Trace.Ring.total (Trace.Collector.ring c))
+    mx.events_recorded
+
+(* A machine that never had a probe installed and one with the probe
+   cleared must behave identically — and identically to the traced run:
+   observation must not perturb the simulation. *)
+let test_observer_invisible () =
+  let traced, _ = run_demo ~collect:true () in
+  let bare, _ = run_demo ~collect:false () in
+  Alcotest.(check string)
+    "stats identical with and without probe"
+    (Stats.to_string bare.Machine.stats)
+    (Stats.to_string traced.Machine.stats);
+  Alcotest.(check bool)
+    "registers identical" true
+    (Array.for_all2 ( = ) bare.Machine.regs traced.Machine.regs)
+
+(* Ring overflow under a real workload: a tiny ring must keep the exact
+   counters (they live in the collector, not the ring) while reporting
+   the drops. *)
+let test_collector_small_ring () =
+  let _, c_small = run_demo ~capacity:4 () in
+  let _, c_big = run_demo ~capacity:4096 () in
+  let small = Trace.Collector.metrics (Option.get c_small) in
+  let big = Trace.Collector.metrics (Option.get c_big) in
+  let open Trace.Metrics in
+  Alcotest.(check bool) "events dropped" true (small.events_dropped > 0);
+  Alcotest.(check int) "no drops on big ring" 0 big.events_dropped;
+  Alcotest.(check int)
+    "same events recorded" big.events_recorded small.events_recorded;
+  (* drop count aside, the metrics are identical: counters do not
+     depend on ring capacity *)
+  Alcotest.(check bool)
+    "counters survive wraparound" true
+    (Trace.Metrics.equal big { small with events_dropped = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Chrome exporter: the emitted trace must parse with the library's
+   own JSON reader, carry one metadata record per track, keep
+   timestamps monotone per track, and render each completed
+   menter→mexit round trip as a duration span on the mode track. *)
+
+let num_field name j =
+  match Option.bind (Trace.Json.member name j) Trace.Json.to_num with
+  | Some f -> int_of_float f
+  | None -> Alcotest.fail (Printf.sprintf "missing numeric %S" name)
+
+let str_field name j =
+  match Option.bind (Trace.Json.member name j) Trace.Json.to_string with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "missing string %S" name)
+
+let test_chrome_export () =
+  let _, c = run_demo () in
+  let ring = Trace.Collector.ring (Option.get c) in
+  let s = Trace.Chrome.to_string ring in
+  match Trace.Json.parse s with
+  | Error e -> Alcotest.fail ("trace does not parse: " ^ e)
+  | Ok j ->
+    let events =
+      match Trace.Json.member "traceEvents" j with
+      | Some a -> Trace.Json.to_list a
+      | None -> Alcotest.fail "no traceEvents array"
+    in
+    Alcotest.(check bool) "trace non-empty" true (List.length events > 0);
+    let last_ts = Hashtbl.create 8 in
+    let mode_spans = ref 0 in
+    List.iter
+      (fun ev ->
+         match str_field "ph" ev with
+         | "M" -> ()  (* metadata carries no timestamp *)
+         | ph ->
+           let tid = num_field "tid" ev and ts = num_field "ts" ev in
+           (match Hashtbl.find_opt last_ts tid with
+            | Some prev ->
+              if ts < prev then
+                Alcotest.fail
+                  (Printf.sprintf "tid %d: ts %d after %d" tid ts prev)
+            | None -> ());
+           Hashtbl.replace last_ts tid ts;
+           if ph = "X" && tid = Trace.Chrome.tid_mode then begin
+             incr mode_spans;
+             Alcotest.(check bool)
+               "span has positive duration" true
+               (num_field "dur" ev >= 1)
+           end)
+      events;
+    Alcotest.(check int) "eight mroutine spans on the mode track" 8 !mode_spans;
+    let metadata =
+      List.filter (fun ev -> str_field "ph" ev = "M") events
+    in
+    Alcotest.(check int) "six thread_name records" 6 (List.length metadata)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics algebra: [empty] is the merge identity, merge sums counters
+   pointwise (min/max for the latency bounds), and the JSON rendering
+   round-trips through the reader. *)
+
+let test_metrics_merge () =
+  let _, c = run_demo () in
+  let mx = Trace.Collector.metrics (Option.get c) in
+  Alcotest.(check bool)
+    "empty is left identity" true
+    (Trace.Metrics.equal mx (Trace.Metrics.merge Trace.Metrics.empty mx));
+  Alcotest.(check bool)
+    "empty is right identity" true
+    (Trace.Metrics.equal mx (Trace.Metrics.merge mx Trace.Metrics.empty));
+  let d = Trace.Metrics.merge mx mx in
+  let open Trace.Metrics in
+  Alcotest.(check int) "cycles doubled" (2 * mx.user_cycles) d.user_cycles;
+  Alcotest.(check int)
+    "instructions doubled"
+    (2 * (mx.user_instructions + mx.metal_instructions))
+    (d.user_instructions + d.metal_instructions);
+  (match (mx.mroutines, d.mroutines) with
+   | [ a ], [ b ] ->
+     Alcotest.(check int) "calls doubled" (2 * a.count) b.count;
+     Alcotest.(check int) "min unchanged" a.min_cycles b.min_cycles;
+     Alcotest.(check int) "max unchanged" a.max_cycles b.max_cycles;
+     Alcotest.(check int)
+       "histogram mass doubled"
+       (2 * List.fold_left (fun acc (_, n) -> acc + n) 0 a.latencies)
+       (List.fold_left (fun acc (_, n) -> acc + n) 0 b.latencies)
+   | _ -> Alcotest.fail "expected exactly one mroutine on both sides");
+  List.iter2
+    (fun (k, v) (k', v') ->
+       Alcotest.(check string) "event key order stable" k k';
+       Alcotest.(check int) ("event " ^ k ^ " doubled") (2 * v) v')
+    mx.event_counts d.event_counts
+
+let test_metrics_json () =
+  let _, c = run_demo () in
+  let mx = Trace.Collector.metrics (Option.get c) in
+  match Trace.Json.parse (Trace.Metrics.to_json mx) with
+  | Error e -> Alcotest.fail ("metrics JSON does not parse: " ^ e)
+  | Ok j ->
+    Alcotest.(check string)
+      "schema tag" "metal-metrics-v1"
+      (str_field "schema" j);
+    let open Trace.Metrics in
+    Alcotest.(check int) "user_cycles" mx.user_cycles (num_field "user_cycles" j);
+    Alcotest.(check int)
+      "metal_cycles" mx.metal_cycles
+      (num_field "metal_cycles" j);
+    let mroutines =
+      match Trace.Json.member "mroutines" j with
+      | Some a -> Trace.Json.to_list a
+      | None -> Alcotest.fail "no mroutines array"
+    in
+    Alcotest.(check int)
+      "mroutine rows" (List.length mx.mroutines)
+      (List.length mroutines)
+
+(* ------------------------------------------------------------------ *)
+(* The JSON reader itself: escapes, nesting, and offset-carrying
+   errors. *)
+
+let test_json_reader () =
+  (match Trace.Json.parse {| {"a": [1, 2.5, -3], "s": "x\"\nA", "t": true, "n": null} |} with
+   | Error e -> Alcotest.fail e
+   | Ok j ->
+     Alcotest.(check int) "array len" 3
+       (List.length (Trace.Json.to_list (Option.get (Trace.Json.member "a" j))));
+     Alcotest.(check (option string))
+       "escapes" (Some "x\"\nA")
+       (Option.bind (Trace.Json.member "s" j) Trace.Json.to_string));
+  (match Trace.Json.parse "{\"a\": " with
+   | Ok _ -> Alcotest.fail "accepted truncated document"
+   | Error _ -> ());
+  match Trace.Json.parse "[1, 2,]" with
+  | Ok _ -> Alcotest.fail "accepted trailing comma"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [ Alcotest.test_case "record and iterate" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound keeps newest" `Quick
+            test_ring_wraparound ] );
+      ( "collector",
+        [ Alcotest.test_case "mroutine attribution" `Quick
+            test_collector_attribution;
+          Alcotest.test_case "observer is invisible" `Quick
+            test_observer_invisible;
+          Alcotest.test_case "counters survive ring overflow" `Quick
+            test_collector_small_ring ] );
+      ( "chrome",
+        [ Alcotest.test_case "valid JSON, monotone tracks, mode spans" `Quick
+            test_chrome_export ] );
+      ( "metrics",
+        [ Alcotest.test_case "merge algebra" `Quick test_metrics_merge;
+          Alcotest.test_case "JSON round-trip" `Quick test_metrics_json ] );
+      ( "json",
+        [ Alcotest.test_case "reader accepts/rejects" `Quick test_json_reader ] );
+    ]

@@ -1,0 +1,128 @@
+(* trace-check: CI validator for observability artifacts.
+
+   [trace_check chrome FILE]
+     FILE must be a Chrome trace_event JSON document: a top-level
+     object with a [traceEvents] array in which every non-metadata
+     event carries numeric [tid]/[ts] and timestamps are monotone per
+     track (the exporter writes events in recording order, so any
+     regression here is a sort bug, not a rendering choice).
+
+   [trace_check bench BASELINE FRESH [--tolerance PCT]]
+     Both files are [bench simperf --json] outputs
+     (BENCH_sim_throughput.json schema).  Every workload present in
+     BASELINE must also be in FRESH, and FRESH's tracing-disabled
+     throughput must not fall more than PCT percent (default 20) below
+     the committed baseline — the disabled probe is one load-and-branch
+     per would-be event, so a bigger drop means the instrumentation
+     leaked into the hot path.  Speedups always pass. *)
+
+module Json = Metal_trace.Json
+
+let failf fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let parse_file path =
+  match Json.parse_file path with
+  | Ok j -> j
+  | Error e -> failf "%s: %s" path e
+
+let str_field name j = Option.bind (Json.member name j) Json.to_string
+let num_field name j = Option.bind (Json.member name j) Json.to_num
+
+let check_chrome path =
+  let j = parse_file path in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some a ->
+      let l = Json.to_list a in
+      if l = [] then failf "%s: traceEvents is not a non-empty array" path;
+      l
+    | None -> failf "%s: no traceEvents field" path
+  in
+  let last = Hashtbl.create 8 in
+  let timed = ref 0 in
+  List.iteri
+    (fun i ev ->
+       match str_field "ph" ev with
+       | None -> failf "%s: event %d has no phase" path i
+       | Some "M" -> ()  (* metadata records carry no timestamp *)
+       | Some _ ->
+         incr timed;
+         let tid =
+           match num_field "tid" ev with
+           | Some t -> int_of_float t
+           | None -> failf "%s: event %d has no numeric tid" path i
+         and ts =
+           match num_field "ts" ev with
+           | Some t -> t
+           | None -> failf "%s: event %d has no numeric ts" path i
+         in
+         (match Hashtbl.find_opt last tid with
+          | Some prev when ts < prev ->
+            failf "%s: event %d: tid %d goes back in time (%.0f after %.0f)"
+              path i tid ts prev
+          | _ -> ());
+         Hashtbl.replace last tid ts)
+    events;
+  Printf.printf "%s: ok (%d events, %d tracks, timestamps monotone)\n" path
+    !timed (Hashtbl.length last)
+
+let workloads j =
+  match Json.member "workloads" j with
+  | Some a -> Json.to_list a
+  | None -> failf "bench JSON has no workloads array"
+
+let workload_ips j =
+  match
+    Option.bind (Json.member "predecode_on" j) (num_field "ips")
+  with
+  | Some ips -> ips
+  | None -> failf "bench workload has no predecode_on.ips"
+
+let check_bench baseline fresh tolerance =
+  let base = parse_file baseline and now = parse_file fresh in
+  let fresh_by_name =
+    List.filter_map
+      (fun w -> Option.map (fun n -> (n, w)) (str_field "name" w))
+      (workloads now)
+  in
+  let floor = 1.0 -. (tolerance /. 100.0) in
+  List.iter
+    (fun w ->
+       let name =
+         match str_field "name" w with
+         | Some n -> n
+         | None -> failf "%s: workload without a name" baseline
+       in
+       match List.assoc_opt name fresh_by_name with
+       | None -> failf "%s: workload %s missing from %s" baseline name fresh
+       | Some w' ->
+         let ratio = workload_ips w' /. workload_ips w in
+         Printf.printf "%-20s %6.2fx of committed throughput\n" name ratio;
+         if ratio < floor then
+           failf
+             "%s: %.1f%% below the committed baseline (tolerance %.0f%%) — \
+              the disabled probe is leaking into the hot path"
+             name
+             ((1.0 -. ratio) *. 100.0)
+             tolerance)
+    (workloads base)
+
+let usage () =
+  prerr_endline
+    "usage: trace_check chrome FILE\n\
+    \       trace_check bench BASELINE FRESH [--tolerance PCT]";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "chrome" :: files when files <> [] -> List.iter check_chrome files
+  | _ :: "bench" :: baseline :: fresh :: rest ->
+    let tolerance =
+      match rest with
+      | [] -> 20.0
+      | [ "--tolerance"; pct ] ->
+        (try float_of_string pct with Failure _ -> usage ())
+      | _ -> usage ()
+    in
+    check_bench baseline fresh tolerance
+  | _ -> usage ()
