@@ -1417,6 +1417,148 @@ let trace_obs () =
      the Stats-derived Figure 2 costs in the transition section."
 
 (* ------------------------------------------------------------------ *)
+(* E18: cycle-exact profiler — hot-spot attribution on the Figure-2
+   workloads                                                           *)
+
+(* Three claims: (a) the flat profile accounts for every simulated
+   cycle (total = Stats.accounted_cycles — the harness FAILS loudly on
+   any divergence, same policy as the stall-accounting property);
+   (b) the hot-spot ranking is a property of the program, not of the
+   simulator — both steppers produce the identical report; (c) the
+   fleet-merged profile is byte-identical for 1 domain and N. *)
+
+module Profile = Metal_profile.Profile
+
+let profile_json = ref false
+
+let profile_bench () =
+  section "E18. Cycle-exact profiler: hot spots of the Figure-2 workloads";
+  let mcode_src =
+    ".mentry 1, ping\n\
+     ping:\n\
+     wmr m11, t0\n\
+     rmr t0, m10\n\
+     addi t0, t0, 1\n\
+     wmr m10, t0\n\
+     rmr t0, m11\n\
+     mexit\n"
+  and guest_src =
+    "start:\n\
+     li s0, 200\n\
+     loop:\n\
+     menter 1\n\
+     addi s0, s0, -1\n\
+     bne s0, zero, loop\n\
+     ebreak\n"
+  in
+  let mimg =
+    match Metal_asm.Asm.assemble mcode_src with
+    | Ok img -> img
+    | Error e -> fail "mcode assembly: %s" (Metal_asm.Asm.error_to_string e)
+  in
+  (* One profiled run: returns the symbolized report and the machine's
+     own cycle accounting for the cross-check. *)
+  let profiled config =
+    let m = machine ~config () in
+    (match Machine.load_mcode m mimg with
+     | Ok () -> ()
+     | Error e -> fail "mcode load: %s" e);
+    let img = load m guest_src in
+    let p =
+      Profile.create
+        ~guest_words:(min 65536 (config.Config.mem_size / 4))
+        ~mram_words:config.Config.mram_code_words ()
+    in
+    Machine.set_probe m (Profile.probe p);
+    Machine.set_pc m 0;
+    run_to_ebreak m;
+    let s = m.Machine.stats in
+    let accounted =
+      Stats.accounted_cycles s ~pending_stall:m.Machine.stall_cycles
+    in
+    let symtab = Profile.Symtab.of_images ~guest:img ~mcode:mimg () in
+    (Profile.report ~symtab ~upto:s.Stats.cycles p, accounted)
+  in
+  let configs =
+    [ ("fast replacement", Config.default);
+      ("trap-style flush",
+       { Config.default with Config.transition = Config.Trap_flush });
+      ("palcode (mem mroutines)", Config.palcode) ]
+  in
+  let results =
+    List.map
+      (fun (name, config) ->
+         let r, accounted = profiled config in
+         if r.Profile.Report.total_cycles <> accounted then
+           fail
+             "%s: profile accounts for %d cycles, Stats.accounted_cycles \
+              says %d — the profiler lost or double-charged cycles"
+             name r.Profile.Report.total_cycles accounted;
+         (* (b): the ranking must survive swapping the stepper *)
+         let slow, _ =
+           profiled { config with Config.predecode = false }
+         in
+         if not (Profile.Report.equal r slow) then
+           fail "%s: fast and slow steppers produce different profiles" name;
+         (name, config, r))
+      configs
+  in
+  List.iter
+    (fun (name, _, r) ->
+       Printf.printf "--- %s (%d cycles, every one attributed) ---\n" name
+         r.Profile.Report.total_cycles;
+       Format.printf "%a@." (Profile.Report.pp ~top:5) r)
+    results;
+  (* (c): fleet merge determinism on a batch of the same workload *)
+  let jobs =
+    Array.init 8 (fun _ ->
+        Metal_fleet.Fleet.job ~profile:true
+          (Metal_fleet.Fleet.Asm
+             { src = guest_src; origin = 0; mcode = Some mcode_src }))
+  in
+  let merged domains =
+    Profile.Report.to_json
+      (Metal_fleet.Fleet.merge_profiles
+         (Metal_fleet.Fleet.run ~domains jobs))
+  in
+  let n_domains = max 2 (Metal_fleet.Fleet.default_domains ()) in
+  let j1 = merged 1 and jn = merged n_domains in
+  if j1 <> jn then
+    fail "fleet-merged profile differs between 1 domain and %d" n_domains;
+  Printf.printf
+    "fleet merge: 8 profiled jobs, merged report byte-identical on 1 vs %d \
+     domains\n"
+    n_domains;
+  if !profile_json then begin
+    let oc = open_out "BENCH_profile.json" in
+    Printf.fprintf oc "{\n  \"benchmark\": \"profile\",\n";
+    Printf.fprintf oc "  \"workloads\": [\n";
+    List.iteri
+      (fun i (name, _, (r : Profile.Report.t)) ->
+         let hottest =
+           match
+             List.sort
+               (fun (a : Profile.Report.flat_row) (b : Profile.Report.flat_row) ->
+                  compare (b.cycles, a.pc) (a.cycles, b.pc))
+               r.Profile.Report.flat
+           with
+           | h :: _ -> h
+           | [] -> fail "%s: empty flat profile" name
+         in
+         Printf.fprintf oc
+           "    {\"name\": %S, \"total_cycles\": %d, \"other_cycles\": %d,\n\
+           \     \"hottest\": {\"seg\": %d, \"pc\": %d, \"name\": %S, \
+            \"cycles\": %d}}%s\n"
+           name r.Profile.Report.total_cycles r.Profile.Report.other_cycles
+           hottest.seg hottest.pc hottest.name hottest.cycles
+           (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ],\n  \"fleet_merge_deterministic\": true\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_profile.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1477,7 +1619,7 @@ let sections =
     ("isolation", isolation); ("ablation", ablation); ("nested", nested);
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
     ("simperf", simperf); ("fleet", fleet); ("trace", trace_obs);
-    ("host", host) ]
+    ("profile", profile_bench); ("host", host) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1487,6 +1629,7 @@ let () =
          if a = "--json" then begin
            simperf_json := true;
            fleet_json := true;
+           profile_json := true;
            false
          end
          else true)

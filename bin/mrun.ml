@@ -50,33 +50,70 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
-    metrics_out =
+    metrics_out profile_out =
   let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
   let config = { base with Metal_cpu.Config.trace } in
   let sys = Metal_core.System.create ~config () in
   let collector =
-    if trace_out <> None || metrics_out <> None then begin
-      let c = Metal_trace.Collector.create () in
-      Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
-        (Metal_trace.Collector.probe c);
-      Some c
-    end
+    if trace_out <> None || metrics_out <> None then
+      Some (Metal_trace.Collector.create ())
+    else None
+  and profiler =
+    if profile_out <> None then
+      Some
+        (Metal_profile.Profile.create
+           ~guest_words:(min 65536 (config.Metal_cpu.Config.mem_size / 4))
+           ~mram_words:config.Metal_cpu.Config.mram_code_words ())
     else None
   in
+  (* The machine has one probe slot; fan out when both exporters are
+     requested so the flags compose instead of last-wins. *)
+  (match (collector, profiler) with
+   | None, None -> ()
+   | Some c, None ->
+     Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
+       (Metal_trace.Collector.probe c)
+   | None, Some p ->
+     Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
+       (Metal_profile.Profile.probe p)
+   | Some c, Some p ->
+     Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
+       (fun cycle kind a b ->
+          Metal_trace.Collector.probe c cycle kind a b;
+          Metal_profile.Profile.probe p cycle kind a b));
   let ( let* ) = Result.bind in
   let result =
-    let* () =
+    let* mimg =
       match mcode_path with
-      | None -> Ok ()
-      | Some p -> Metal_core.System.load_mcode sys (read_file p)
+      | None -> Ok None
+      | Some p ->
+        (match Metal_asm.Asm.assemble (read_file p) with
+         | Error e -> Error (Metal_asm.Asm.error_to_string e)
+         | Ok mimg ->
+           (match
+              Metal_cpu.Machine.load_mcode sys.Metal_core.System.machine mimg
+            with
+            | Ok () -> Ok (Some mimg)
+            | Error e -> Error e))
     in
-    Metal_core.System.run_program sys ~origin ~max_cycles (read_file path)
+    let* img = Metal_core.System.load_program sys ~origin (read_file path) in
+    let pc =
+      match Metal_asm.Image.find_symbol img "start" with
+      | Some a -> a
+      | None ->
+        (match Metal_asm.Image.bounds img with
+         | Some (lo, _) -> lo
+         | None -> 0)
+    in
+    Metal_core.System.start sys ~pc ();
+    (try Ok (Metal_core.System.run sys ~max_cycles (), img, mimg)
+     with Failure msg -> Error msg)
   in
   match result with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
     1
-  | Ok halt ->
+  | Ok (halt, img, mimg) ->
     Printf.printf "halt: %s\n" (Metal_cpu.Machine.halted_to_string halt);
     let out = Metal_core.System.console_output sys in
     if out <> "" then Printf.printf "console: %s\n" out;
@@ -113,6 +150,25 @@ let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
         | None -> ());
        Format.printf "%a@." Metal_trace.Metrics.pp
          (Metal_trace.Collector.metrics c));
+    (match (profiler, profile_out) with
+     | Some p, Some f ->
+       let symtab =
+         Metal_profile.Profile.Symtab.of_images ~guest:img ?mcode:mimg ()
+       in
+       let r =
+         Metal_profile.Profile.report ~symtab
+           ~upto:
+             sys.Metal_core.System.machine.Metal_cpu.Machine.stats
+               .Metal_cpu.Stats.cycles
+           p
+       in
+       write_file f (Metal_profile.Profile.Report.to_json r);
+       write_file (f ^ ".folded") (Metal_profile.Profile.Report.to_folded r);
+       Printf.printf "profile: %s (flamegraph: %s.folded)\n" f f;
+       Format.printf "%a@."
+         (fun fmt r -> Metal_profile.Profile.Report.pp fmt r)
+         r
+     | _ -> ());
     0
 
 (* Batch mode: several programs run as fleet jobs across domains.
@@ -121,17 +177,19 @@ let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
    registers, [--trace-out F] writes one Chrome trace per job
    (F.<index>), [--metrics-out F] writes the fleet-merged metrics. *)
 let run_batch paths mcode_path origin max_cycles palcode regs trace_out
-    metrics_out jobs =
+    metrics_out profile_out jobs =
   let base =
     if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
   in
   let mcode = Option.map read_file mcode_path in
   let collect = trace_out <> None || metrics_out <> None in
+  let profile = profile_out <> None in
   let batch =
     Array.of_list
       (List.map
          (fun path ->
             Fleet.job ~label:path ~config:base ~fuel:max_cycles ~collect
+              ~profile
               (Fleet.Asm { src = read_file path; origin; mcode }))
          paths)
   in
@@ -161,6 +219,12 @@ let run_batch paths mcode_path origin max_cycles palcode regs trace_out
              let per_job = Printf.sprintf "%s.%d" f o.Fleet.index in
              Metal_trace.Chrome.write ~path:per_job ring;
              Printf.printf "%-32s trace: %s\n" "" per_job
+           | _ -> ());
+          (match (profile_out, ok.Fleet.profile) with
+           | Some f, Some r ->
+             let per_job = Printf.sprintf "%s.%d" f o.Fleet.index in
+             write_file per_job (Metal_profile.Profile.Report.to_json r);
+             Printf.printf "%-32s profile: %s\n" "" per_job
            | _ -> ())
         | Error e ->
           incr failures;
@@ -172,28 +236,38 @@ let run_batch paths mcode_path origin max_cycles palcode regs trace_out
      write_file f (Metal_trace.Metrics.to_json (Fleet.merge_metrics outcomes));
      Printf.printf "metrics: %s\n" f
    | None -> ());
+  (match profile_out with
+   | Some f ->
+     let merged = Fleet.merge_profiles outcomes in
+     write_file f (Metal_profile.Profile.Report.to_json merged);
+     write_file (f ^ ".folded")
+       (Metal_profile.Profile.Report.to_folded merged);
+     Printf.printf "profile: %s (merged)\n" f
+   | None -> ());
   Printf.printf "%d/%d ok (%d domains)\n"
     (Array.length outcomes - !failures)
     (Array.length outcomes) domains;
   if !failures = 0 then 0 else 1
 
 let run paths mcode_path origin max_cycles palcode trace regs os jobs
-    trace_out metrics_out =
+    trace_out metrics_out profile_out =
   match paths with
   | [] ->
     prerr_endline "metal-run: no program given";
     1
-  | _ when os && (trace || regs || trace_out <> None || metrics_out <> None)
-    ->
+  | _
+    when os
+         && (trace || regs || trace_out <> None || metrics_out <> None
+             || profile_out <> None) ->
     prerr_endline
       "metal-run: --os does not support --trace/--regs/--trace-out/\
-       --metrics-out (the kernel owns the machine)";
+       --metrics-out/--profile-out (the kernel owns the machine)";
     1
   | [ path ] when jobs = 0 ->
     if os then run_os path max_cycles
     else
       run_bare path mcode_path origin max_cycles palcode trace regs trace_out
-        metrics_out
+        metrics_out profile_out
   | paths ->
     if os then begin
       prerr_endline "metal-run: --os does not combine with batch mode";
@@ -207,7 +281,7 @@ let run paths mcode_path origin max_cycles palcode trace regs os jobs
     end
     else
       run_batch paths mcode_path origin max_cycles palcode regs trace_out
-        metrics_out jobs
+        metrics_out profile_out jobs
 
 open Cmdliner
 
@@ -266,10 +340,19 @@ let metrics_out =
                stall attribution, per-mroutine latencies) to $(docv).  \
                In batch mode the per-job metrics are merged.")
 
+let profile_out =
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+         ~doc:"Write a cycle-exact profile JSON (per-PC histograms, \
+               call-graph stacks, symbolized) to $(docv) and a \
+               folded-stack flamegraph to $(docv).folded.  In batch \
+               mode each job writes $(docv).<index> and $(docv) gets \
+               the fleet-merged profile.  Composes with \
+               $(b,--trace-out)/$(b,--metrics-out).")
+
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
     Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ trace
-          $ regs $ os $ jobs $ trace_out $ metrics_out)
+          $ regs $ os $ jobs $ trace_out $ metrics_out $ profile_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -489,8 +489,26 @@ let do_mem m =
           m.halted <- Some (Halt_ebreak { pc = x.xpc; metal = x.xmetal });
           false
         end
-      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ } | Instr.Jal { rd; _ }
-      | Instr.Jalr { rd; _ } | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
+      | Instr.Jal { rd; offset } ->
+        let ok = mem_writeback m rd x.alu in
+        (* Call/return hints for the profiler, per the RISC-V calling
+           convention: linking through ra/t0 marks a call; jalr x0 via
+           ra/t0 marks a return.  Classified at retire (past any
+           squash) so both steppers emit identical streams; gated on
+           [probe_on] so the disabled path stays one load-and-branch. *)
+        if m.probe_on && (rd = 1 || rd = 5) then
+          emit m Ev.call (Word.add x.xpc offset) x.xpc;
+        ok
+      | Instr.Jalr { rd; rs1; _ } ->
+        let ok = mem_writeback m rd x.alu in
+        if m.probe_on then begin
+          if rd = 1 || rd = 5 then emit m Ev.call x.sval x.xpc
+          else if rd = 0 && (rs1 = 1 || rs1 = 5) then
+            emit m Ev.ret x.sval x.xpc
+        end;
+        ok
+      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ }
+      | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
         mem_writeback m rd x.alu
       | Instr.Branch _ | Instr.Fence -> mem_no_writeback m
       end
@@ -570,6 +588,9 @@ let do_ex m ~fw_rd ~fw_val ~wb_rd ~wb_val =
       | Instr.Jalr { offset; _ } ->
         let target = Word.logand (Word.add rv1 offset) (Word.lognot 1) in
         x.alu <- Word.add d.dpc 4;
+        (* The target is dead for writeback but the profiler needs it
+           at retire; sval is otherwise unused by jalr. *)
+        x.sval <- target;
         (target lsl 1) lor (if d.dmetal then 1 else 0)
       | Instr.Branch { cond; offset; _ } ->
         if branch_taken cond rv1 rv2 then

@@ -459,8 +459,23 @@ let rec do_mem m l ex_mem_old =
           m.halted <- Some (Halt_ebreak { pc = x.xpc; metal = x.xmetal });
           false
         end
-      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ } | Instr.Jal { rd; _ }
-      | Instr.Jalr { rd; _ } | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
+      | Instr.Jal { rd; offset } ->
+        let ok = writeback rd x.alu in
+        (* Call/return hints for the profiler; must match the fast
+           stepper's emission bit for bit (differential suite). *)
+        if m.probe_on && (rd = 1 || rd = 5) then
+          emit m Ev.call (Word.add x.xpc offset) x.xpc;
+        ok
+      | Instr.Jalr { rd; rs1; _ } ->
+        let ok = writeback rd x.alu in
+        if m.probe_on then begin
+          if rd = 1 || rd = 5 then emit m Ev.call x.sval x.xpc
+          else if rd = 0 && (rs1 = 1 || rs1 = 5) then
+            emit m Ev.ret x.sval x.xpc
+        end;
+        ok
+      | Instr.Lui { rd; _ } | Instr.Auipc { rd; _ }
+      | Instr.Op_imm { rd; _ } | Instr.Op { rd; _ } ->
         writeback rd x.alu
       | Instr.Branch _ | Instr.Fence -> no_writeback ()
       end
@@ -637,7 +652,9 @@ let do_ex l id_ex_old ~ex_mem_prev ~mem_wb_prev =
       | Instr.Jal _ -> finish ~alu:(Word.add d.dpc 4) ()
       | Instr.Jalr { offset; _ } ->
         let target = Word.logand (Word.add rv1 offset) (Word.lognot 1) in
-        finish ~alu:(Word.add d.dpc 4)
+        (* Mirror the fast path: stash the target in sval so retire
+           can emit the call/ret hint. *)
+        finish ~alu:(Word.add d.dpc 4) ~sval:target
           ~redirect:(target, d.dmetal) ()
       | Instr.Branch { cond; offset; _ } ->
         if branch_taken cond rv1 rv2 then

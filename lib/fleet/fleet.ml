@@ -97,12 +97,13 @@ type job = {
   seed : int;
   collect : bool;
   trace_capacity : int;
+  profile : bool;
 }
 
 let job ?(label = "") ?(config = Metal_cpu.Config.default)
     ?(fuel = 10_000_000) ?(seed = 0) ?(collect = false)
-    ?(trace_capacity = 65536) source =
-  { label; config; source; fuel; seed; collect; trace_capacity }
+    ?(trace_capacity = 65536) ?(profile = false) source =
+  { label; config; source; fuel; seed; collect; trace_capacity; profile }
 
 type ok = {
   halt : Metal_cpu.Machine.halt;
@@ -111,6 +112,7 @@ type ok = {
   console : string;
   metrics : Metal_trace.Metrics.t option;
   events : Metal_trace.Ring.t option;
+  profile : Metal_profile.Profile.Report.t option;
 }
 
 type fail =
@@ -143,53 +145,80 @@ let run_job j =
     let sys = Metal_core.System.create ~config:j.config () in
     let m = sys.Metal_core.System.machine in
     let ( let* ) = Result.bind in
-    let* img =
+    let* img, mimg =
       match j.source with
       | Image img ->
         (match Metal_cpu.Machine.load_image m img with
-         | Ok () -> Ok img
+         | Ok () -> Ok (img, None)
          | Error e -> Error (Load_error e))
       | Asm { src; origin; mcode } ->
-        let* () =
+        let* mimg =
           match mcode with
-          | None -> Ok ()
+          | None -> Ok None
           | Some msrc ->
             (match Metal_asm.Asm.assemble msrc with
              | Error e ->
                Error (Assemble_error (Metal_asm.Asm.error_to_string e))
              | Ok mimg ->
                (match Metal_cpu.Machine.load_mcode m mimg with
-                | Ok () -> Ok ()
+                | Ok () -> Ok (Some mimg)
                 | Error e -> Error (Load_error e)))
         in
         (match Metal_asm.Asm.assemble ~origin src with
          | Error e -> Error (Assemble_error (Metal_asm.Asm.error_to_string e))
          | Ok img ->
            (match Metal_cpu.Machine.load_image m img with
-            | Ok () -> Ok img
+            | Ok () -> Ok (img, mimg)
             | Error e -> Error (Load_error e)))
     in
     Metal_cpu.Machine.set_pc m (start_pc img);
     let collector =
-      if j.collect then begin
-        let c = Metal_trace.Collector.create ~capacity:j.trace_capacity () in
-        Metal_cpu.Machine.set_probe m (Metal_trace.Collector.probe c);
-        Some c
-      end
+      if j.collect then
+        Some (Metal_trace.Collector.create ~capacity:j.trace_capacity ())
+      else None
+    and profiler =
+      if j.profile then
+        Some
+          (Metal_profile.Profile.create
+             ~guest_words:
+               (min 65536 (j.config.Metal_cpu.Config.mem_size / 4))
+             ~mram_words:j.config.Metal_cpu.Config.mram_code_words ())
       else None
     in
+    (* One probe slot on the machine: fan out when both are wanted. *)
+    (match (collector, profiler) with
+     | None, None -> ()
+     | Some c, None ->
+       Metal_cpu.Machine.set_probe m (Metal_trace.Collector.probe c)
+     | None, Some p ->
+       Metal_cpu.Machine.set_probe m (Metal_profile.Profile.probe p)
+     | Some c, Some p ->
+       Metal_cpu.Machine.set_probe m (fun cycle kind a b ->
+           Metal_trace.Collector.probe c cycle kind a b;
+           Metal_profile.Profile.probe p cycle kind a b));
     match Metal_cpu.Pipeline.run m ~max_cycles:j.fuel with
     | None -> Error (Fuel_exhausted { fuel = j.fuel })
     | Some halt ->
+      let stats = Metal_cpu.Stats.copy m.Metal_cpu.Machine.stats in
       Ok
         {
           halt;
-          stats = Metal_cpu.Stats.copy m.Metal_cpu.Machine.stats;
+          stats;
           regs = Array.copy m.Metal_cpu.Machine.regs;
           console = Metal_core.System.console_output sys;
           metrics =
             Option.map Metal_trace.Collector.metrics collector;
           events = Option.map Metal_trace.Collector.ring collector;
+          profile =
+            Option.map
+              (fun p ->
+                 let symtab =
+                   Metal_profile.Profile.Symtab.of_images ~guest:img
+                     ?mcode:mimg ()
+                 in
+                 Metal_profile.Profile.report ~symtab
+                   ~upto:stats.Metal_cpu.Stats.cycles p)
+              profiler;
         }
   with e -> Error (Crashed (exn_text e))
 
@@ -212,6 +241,17 @@ let merge_metrics outcomes =
        | Ok { metrics = Some mx; _ } -> Metal_trace.Metrics.merge acc mx
        | Ok { metrics = None; _ } | Error _ -> acc)
     Metal_trace.Metrics.empty outcomes
+
+(* Same index-order fold for profiles: the merged report is
+   bit-identical for any domain count. *)
+let merge_profiles outcomes =
+  Array.fold_left
+    (fun acc o ->
+       match o.result with
+       | Ok { profile = Some p; _ } ->
+         Metal_profile.Profile.Report.merge acc p
+       | Ok { profile = None; _ } | Error _ -> acc)
+    Metal_profile.Profile.Report.empty outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Determinism check                                                   *)
@@ -250,6 +290,7 @@ let identical a b =
                <> Option.map Metal_trace.Ring.to_list rb.events
              then where "event streams"
              else if ra.metrics <> rb.metrics then where "metrics"
+             else if ra.profile <> rb.profile then where "profile"
            | Error ea, Error eb ->
              if ea <> eb then where "error"
            | Ok _, Error e ->

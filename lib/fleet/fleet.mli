@@ -66,6 +66,10 @@ type job = {
       (** attach a {!Metal_trace.Collector} probe to the job's machine
           and return its metrics and event ring in the result *)
   trace_capacity : int;  (** event-ring capacity when [collect] *)
+  profile : bool;
+      (** attach a {!Metal_profile.Profile} to the job's machine
+          (composes with [collect] through one fan-out probe) and
+          return its symbolized report in the result *)
 }
 
 val job :
@@ -75,10 +79,11 @@ val job :
   ?seed:int ->
   ?collect:bool ->
   ?trace_capacity:int ->
+  ?profile:bool ->
   source ->
   job
 (** Defaults: label [""], {!Metal_cpu.Config.default}, fuel 10M,
-    seed 0, no collection, ring capacity 65536. *)
+    seed 0, no collection, ring capacity 65536, no profiling. *)
 
 type ok = {
   halt : Metal_cpu.Machine.halt;
@@ -89,6 +94,9 @@ type ok = {
   events : Metal_trace.Ring.t option;
       (** the job's event ring (when [job.collect]); feed it to
           {!Metal_trace.Chrome.write} for a per-job trace file *)
+  profile : Metal_profile.Profile.Report.t option;
+      (** cycle-exact profile (when [job.profile]), symbolized against
+          the job's own images *)
 }
 
 type fail =
@@ -122,6 +130,10 @@ val merge_metrics : outcome array -> Metal_trace.Metrics.t
 (** Fold the metrics of every successful collecting job, in index
     order.  Deterministic across domain counts (outcomes are
     index-keyed); jobs without collection contribute nothing. *)
+
+val merge_profiles : outcome array -> Metal_profile.Profile.Report.t
+(** Fold the profiles of every successful profiling job, in index
+    order; bit-identical for any domain count. *)
 
 val identical : outcome array -> outcome array -> (unit, string) result
 (** Check two runs of the same batch for bit-identical per-job results

@@ -1,0 +1,631 @@
+module Event = Metal_trace.Event
+module Json = Metal_trace.Json
+
+(* Function keys: [addr lsl 2 lor kind]. *)
+let k_guest = 0
+let k_entry = 1
+let k_mram = 2
+let k_root = 3
+let root_key = k_root
+let key ~kind v = (v lsl 2) lor kind
+let key_kind k = k land 3
+let key_value k = k lsr 2
+
+(* ------------------------------------------------------------------ *)
+(* Symbolization                                                       *)
+
+module Symtab = struct
+  type t = {
+    guest : (int * string) array;  (* addr-sorted code labels *)
+    mram : (int * string) array;
+    entries : (int * string) list;  (* entry number -> label *)
+  }
+
+  let empty = { guest = [||]; mram = [||]; entries = [] }
+
+  (* Labels that point into the image's address range, sorted by
+     address (first name wins on aliases).  Filtering by bounds drops
+     [.equ] constants, which are values, not code. *)
+  let code_labels img =
+    match Metal_asm.Image.bounds img with
+    | None -> [||]
+    | Some (lo, hi) ->
+      let labels =
+        List.filter
+          (fun (_, v) -> v >= lo && v < hi)
+          img.Metal_asm.Image.symbols
+      in
+      let sorted =
+        List.sort_uniq
+          (fun (n1, v1) (n2, v2) -> compare (v1, n1) (v2, n2))
+          labels
+      in
+      let seen = Hashtbl.create 16 in
+      Array.of_list
+        (List.filter_map
+           (fun (n, v) ->
+              if Hashtbl.mem seen v then None
+              else begin
+                Hashtbl.add seen v ();
+                Some (v, n)
+              end)
+           sorted)
+
+  let of_images ?guest ?mcode () =
+    let arr = function None -> [||] | Some img -> code_labels img in
+    let mram = arr mcode in
+    let entries =
+      match mcode with
+      | None -> []
+      | Some img ->
+        List.filter_map
+          (fun (entry, addr) ->
+             let exact =
+               Array.fold_left
+                 (fun acc (a, n) -> if a = addr then Some n else acc)
+                 None mram
+             in
+             Option.map (fun n -> (entry, n)) exact)
+          img.Metal_asm.Image.mentries
+    in
+    { guest = arr guest; mram; entries }
+
+  let exact arr addr =
+    let rec go lo hi =
+      if lo > hi then None
+      else
+        let mid = (lo + hi) / 2 in
+        let a, n = arr.(mid) in
+        if a = addr then Some n
+        else if a < addr then go (mid + 1) hi
+        else go lo (mid - 1)
+    in
+    go 0 (Array.length arr - 1)
+
+  (* Nearest label at or below [addr]. *)
+  let nearest arr addr =
+    let rec go lo hi best =
+      if lo > hi then best
+      else
+        let mid = (lo + hi) / 2 in
+        let a, n = arr.(mid) in
+        if a <= addr then go (mid + 1) hi (Some n) else go lo (mid - 1) best
+    in
+    go 0 (Array.length arr - 1) None
+
+  let flat_name t ~seg pc =
+    let arr = if seg = 0 then t.guest else t.mram in
+    match nearest arr pc with None -> "" | Some n -> n
+
+  let name t k =
+    let v = key_value k in
+    match key_kind k with
+    | 0 ->
+      (match exact t.guest v with
+       | Some n -> n
+       | None -> Printf.sprintf "0x%x" v)
+    | 1 ->
+      (match List.assoc_opt v t.entries with
+       | Some n -> Printf.sprintf "m%d:%s" v n
+       | None -> Printf.sprintf "mroutine_%d" v)
+    | 2 ->
+      (match exact t.mram v with
+       | Some n -> "mram:" ^ n
+       | None -> Printf.sprintf "mram:0x%x" v)
+    | _ -> "root"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+module Report = struct
+  type flat_row = {
+    seg : int;
+    pc : int;
+    name : string;
+    cycles : int;
+    instrs : int;
+    stalls : int;
+  }
+
+  type stack_row = { stack : int list; calls : int; cycles : int; instrs : int }
+
+  type t = {
+    total_cycles : int;
+    other_cycles : int;
+    flat : flat_row list;
+    stacks : stack_row list;
+    names : (int * string) list;
+  }
+
+  let empty =
+    { total_cycles = 0; other_cycles = 0; flat = []; stacks = []; names = [] }
+
+  let merge a b =
+    let flat =
+      let tbl = Hashtbl.create 64 in
+      let add r =
+        match Hashtbl.find_opt tbl (r.seg, r.pc) with
+        | None -> Hashtbl.replace tbl (r.seg, r.pc) r
+        | Some r' ->
+          Hashtbl.replace tbl (r.seg, r.pc)
+            {
+              r' with
+              name = (if r'.name = "" then r.name else r'.name);
+              cycles = r'.cycles + r.cycles;
+              instrs = r'.instrs + r.instrs;
+              stalls = r'.stalls + r.stalls;
+            }
+      in
+      List.iter add a.flat;
+      List.iter add b.flat;
+      List.sort
+        (fun r1 r2 -> compare (r1.seg, r1.pc) (r2.seg, r2.pc))
+        (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])
+    and stacks =
+      let tbl = Hashtbl.create 64 in
+      let add r =
+        match Hashtbl.find_opt tbl r.stack with
+        | None -> Hashtbl.replace tbl r.stack r
+        | Some r' ->
+          Hashtbl.replace tbl r.stack
+            {
+              r' with
+              calls = r'.calls + r.calls;
+              cycles = r'.cycles + r.cycles;
+              instrs = r'.instrs + r.instrs;
+            }
+      in
+      List.iter add a.stacks;
+      List.iter add b.stacks;
+      List.sort
+        (fun r1 r2 -> compare r1.stack r2.stack)
+        (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])
+    and names =
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (k, n) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k n)
+        (a.names @ b.names);
+      List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+    in
+    {
+      total_cycles = a.total_cycles + b.total_cycles;
+      other_cycles = a.other_cycles + b.other_cycles;
+      flat;
+      stacks;
+      names;
+    }
+
+  let equal (a : t) (b : t) = a = b
+
+  let seg_name = function 0 -> "guest" | _ -> "mram"
+
+  let to_json t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n  \"schema\": \"metal-profile-v1\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"total_cycles\": %d,\n  \"other_cycles\": %d,\n"
+         t.total_cycles t.other_cycles);
+    Buffer.add_string buf "  \"flat\": [";
+    List.iteri
+      (fun i r ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_string buf
+           (Printf.sprintf
+              "\n    {\"seg\": %S, \"pc\": %d, \"name\": %S, \
+               \"cycles\": %d, \"instrs\": %d, \"stalls\": %d}"
+              (seg_name r.seg) r.pc r.name r.cycles r.instrs r.stalls))
+      t.flat;
+    if t.flat <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf "],\n  \"stacks\": [";
+    List.iteri
+      (fun i r ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_string buf
+           (Printf.sprintf
+              "\n    {\"stack\": [%s], \"calls\": %d, \"cycles\": %d, \
+               \"instrs\": %d}"
+              (String.concat ", " (List.map string_of_int r.stack))
+              r.calls r.cycles r.instrs))
+      t.stacks;
+    if t.stacks <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf "],\n  \"names\": {";
+    List.iteri
+      (fun i (k, n) ->
+         if i > 0 then Buffer.add_string buf ", ";
+         Buffer.add_string buf (Printf.sprintf "\"%d\": %S" k n))
+      t.names;
+    Buffer.add_string buf "}\n}\n";
+    Buffer.contents buf
+
+  let of_json j =
+    let ( let* ) = Result.bind in
+    let int_field name obj =
+      match Option.bind (Json.member name obj) Json.to_num with
+      | Some f -> Ok (int_of_float f)
+      | None -> Error (Printf.sprintf "missing numeric field %S" name)
+    in
+    let str_field name obj =
+      match Option.bind (Json.member name obj) Json.to_string with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "missing string field %S" name)
+    in
+    let* schema = str_field "schema" j in
+    if schema <> "metal-profile-v1" then
+      Error (Printf.sprintf "unexpected schema %S" schema)
+    else
+      let* total_cycles = int_field "total_cycles" j in
+      let* other_cycles = int_field "other_cycles" j in
+      let rec map_m f = function
+        | [] -> Ok []
+        | x :: rest ->
+          let* y = f x in
+          let* ys = map_m f rest in
+          Ok (y :: ys)
+      in
+      let* flat =
+        match Json.member "flat" j with
+        | None -> Error "missing flat array"
+        | Some a ->
+          map_m
+            (fun r ->
+               let* seg = str_field "seg" r in
+               let* pc = int_field "pc" r in
+               let* name = str_field "name" r in
+               let* cycles = int_field "cycles" r in
+               let* instrs = int_field "instrs" r in
+               let* stalls = int_field "stalls" r in
+               Ok
+                 {
+                   seg = (if seg = "guest" then 0 else 1);
+                   pc;
+                   name;
+                   cycles;
+                   instrs;
+                   stalls;
+                 })
+            (Json.to_list a)
+      in
+      let* stacks =
+        match Json.member "stacks" j with
+        | None -> Error "missing stacks array"
+        | Some a ->
+          map_m
+            (fun r ->
+               let* stack =
+                 match Json.member "stack" r with
+                 | None -> Error "stack row without a stack"
+                 | Some s ->
+                   map_m
+                     (fun k ->
+                        match Json.to_num k with
+                        | Some f -> Ok (int_of_float f)
+                        | None -> Error "non-numeric stack key")
+                     (Json.to_list s)
+               in
+               let* calls = int_field "calls" r in
+               let* cycles = int_field "cycles" r in
+               let* instrs = int_field "instrs" r in
+               Ok { stack; calls; cycles; instrs })
+            (Json.to_list a)
+      in
+      let* names =
+        match Json.member "names" j with
+        | Some (Json.Obj fields) ->
+          map_m
+            (fun (k, v) ->
+               match (int_of_string_opt k, Json.to_string v) with
+               | Some k, Some n -> Ok (k, n)
+               | _ -> Error "bad names entry")
+            fields
+        | _ -> Error "missing names object"
+      in
+      Ok { total_cycles; other_cycles; flat; stacks; names }
+
+  let key_name t k =
+    match List.assoc_opt k t.names with
+    | Some n -> n
+    | None -> Printf.sprintf "key_%d" k
+
+  let to_folded t =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun r ->
+         if r.cycles > 0 then
+           Buffer.add_string buf
+             (Printf.sprintf "%s %d\n"
+                (String.concat ";" (List.map (key_name t) r.stack))
+                r.cycles))
+      t.stacks;
+    Buffer.contents buf
+
+  let pp ?(top = 10) fmt t =
+    let flat_total =
+      List.fold_left (fun acc (r : flat_row) -> acc + r.cycles) 0 t.flat
+    in
+    Format.fprintf fmt
+      "@[<v>profile: %d cycles (%d attributed to code, %d other)@,"
+      t.total_cycles flat_total t.other_cycles;
+    let hot =
+      List.filteri
+        (fun i _ -> i < top)
+        (List.sort
+           (fun (a : flat_row) (b : flat_row) ->
+              compare (b.cycles, a.seg, a.pc) (a.cycles, b.seg, b.pc))
+           (List.filter (fun (r : flat_row) -> r.cycles > 0) t.flat))
+    in
+    if hot <> [] then begin
+      Format.fprintf fmt "%-7s %-10s %-16s %8s %8s %8s" "seg" "pc" "symbol"
+        "cycles" "instrs" "stalls";
+      List.iter
+        (fun r ->
+           Format.fprintf fmt "@,%-7s 0x%08x %-16s %8d %8d %8d"
+             (seg_name r.seg) r.pc
+             (if r.name = "" then "-" else r.name)
+             r.cycles r.instrs r.stalls)
+        hot
+    end;
+    (* Self = leaf rows; cumulative counts each key once per row. *)
+    let self = Hashtbl.create 32
+    and cum = Hashtbl.create 32
+    and calls = Hashtbl.create 32 in
+    let bump tbl k v =
+      Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    in
+    List.iter
+      (fun r ->
+         (match List.rev r.stack with
+          | leaf :: _ ->
+            bump self leaf r.cycles;
+            bump calls leaf r.calls
+          | [] -> ());
+         List.iter
+           (fun k -> bump cum k r.cycles)
+           (List.sort_uniq compare r.stack))
+      t.stacks;
+    let funcs =
+      List.filteri
+        (fun i _ -> i < top)
+        (List.sort
+           (fun (k1, c1) (k2, c2) -> compare (-c1, k1) (-c2, k2))
+           (Hashtbl.fold
+              (fun k c acc -> if k = root_key then acc else (k, c) :: acc)
+              cum []))
+    in
+    if funcs <> [] then begin
+      Format.fprintf fmt "@,%-24s %8s %8s %8s" "function" "self" "cum" "calls";
+      List.iter
+        (fun (k, c) ->
+           Format.fprintf fmt "@,%-24s %8d %8d %8d" (key_name t k)
+             (Option.value ~default:0 (Hashtbl.find_opt self k))
+             c
+             (Option.value ~default:0 (Hashtbl.find_opt calls k)))
+        funcs
+    end;
+    Format.fprintf fmt "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Live profiler                                                       *)
+
+(* Calling-context tree node.  Children are keyed by function key;
+   nodes are allocated only on the first visit of a context, so the
+   steady-state hot path is hashtable lookups and integer stores. *)
+type node = {
+  nkey : int;
+  parent : node option;
+  mutable ncalls : int;
+  mutable self_cycles : int;
+  mutable self_instrs : int;
+  children : (int, node) Hashtbl.t;
+}
+
+type seg_flat = {
+  limit : int;
+  cycles : int array;
+  instrs : int array;
+  stalls : int array;
+  spill : (int, int array) Hashtbl.t;  (* word index -> [|c; i; s|] *)
+}
+
+type t = {
+  guest : seg_flat;
+  mram : seg_flat;
+  root : node;
+  mutable cur : node;
+  mutable last_mark : int;
+  mutable other_cycles : int;
+  mutable pending_stall : int;
+  mutable last_metal : bool;
+}
+
+let make_seg words =
+  {
+    limit = words;
+    cycles = Array.make words 0;
+    instrs = Array.make words 0;
+    stalls = Array.make words 0;
+    spill = Hashtbl.create 8;
+  }
+
+let create ?(guest_words = 65536) ?(mram_words = 4096) () =
+  let root =
+    {
+      nkey = root_key;
+      parent = None;
+      ncalls = 0;
+      self_cycles = 0;
+      self_instrs = 0;
+      children = Hashtbl.create 8;
+    }
+  in
+  {
+    guest = make_seg guest_words;
+    mram = make_seg mram_words;
+    root;
+    cur = root;
+    last_mark = 0;
+    other_cycles = 0;
+    pending_stall = 0;
+    last_metal = false;
+  }
+
+let flat_add seg ~pc ~delta ~stalls =
+  let idx = pc lsr 2 in
+  if idx >= 0 && idx < seg.limit then begin
+    seg.cycles.(idx) <- seg.cycles.(idx) + delta;
+    seg.instrs.(idx) <- seg.instrs.(idx) + 1;
+    seg.stalls.(idx) <- seg.stalls.(idx) + stalls
+  end
+  else begin
+    let cell =
+      match Hashtbl.find_opt seg.spill idx with
+      | Some c -> c
+      | None ->
+        let c = Array.make 3 0 in
+        Hashtbl.add seg.spill idx c;
+        c
+    in
+    cell.(0) <- cell.(0) + delta;
+    cell.(1) <- cell.(1) + 1;
+    cell.(2) <- cell.(2) + stalls
+  end
+
+let push t k =
+  let child =
+    match Hashtbl.find_opt t.cur.children k with
+    | Some n -> n
+    | None ->
+      let n =
+        {
+          nkey = k;
+          parent = Some t.cur;
+          ncalls = 0;
+          self_cycles = 0;
+          self_instrs = 0;
+          children = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.add t.cur.children k n;
+      n
+  in
+  child.ncalls <- child.ncalls + 1;
+  t.cur <- child
+
+let probe t cycle kind a b =
+  if kind = Event.retire then begin
+    let metal = b = 1 in
+    t.last_metal <- metal;
+    let delta = cycle - t.last_mark in
+    t.last_mark <- cycle;
+    let stalls = t.pending_stall in
+    t.pending_stall <- 0;
+    flat_add (if metal then t.mram else t.guest) ~pc:a ~delta ~stalls;
+    t.cur.self_cycles <- t.cur.self_cycles + delta;
+    t.cur.self_instrs <- t.cur.self_instrs + 1
+  end
+  else if kind = Event.call then
+    (* The hint follows its own retire, so [last_metal] is the mode of
+       the jal/jalr itself — and jumps never switch modes, so it is
+       also the callee's segment. *)
+    push t (key ~kind:(if t.last_metal then k_mram else k_guest) a)
+  else if kind = Event.ret then begin
+    (* Never pop a mode frame on a plain return: mroutines exit via
+       mexit, so an underflowing ret is stray control flow. *)
+    match t.cur.parent with
+    | Some p when key_kind t.cur.nkey <> k_entry -> t.cur <- p
+    | Some _ | None -> ()
+  end
+  else if kind = Event.mode_enter then push t (key ~kind:k_entry a)
+  else if kind = Event.mode_exit then begin
+    (* Unwind to just below the nearest mode frame; intervening call
+       frames belong to the mroutine and end with it.  Without an
+       open mode frame (stray exit) stay put. *)
+    let rec entry_depth n =
+      if key_kind n.nkey = k_entry then Some n
+      else match n.parent with None -> None | Some p -> entry_depth p
+    in
+    match entry_depth t.cur with
+    | Some frame ->
+      (match frame.parent with Some p -> t.cur <- p | None -> ())
+    | None -> ()
+  end
+  else if kind = Event.exn || kind = Event.interrupt then begin
+    (* Delivery cycles have no retiring pc; keep the accounting exact
+       in a separate bucket. *)
+    let delta = cycle - t.last_mark in
+    t.last_mark <- cycle;
+    t.other_cycles <- t.other_cycles + delta
+  end
+  else if kind = Event.stall_begin then
+    t.pending_stall <- t.pending_stall + b
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+
+let report ?(symtab = Symtab.empty) ~upto t =
+  let flat_rows seg_id seg =
+    let rows = ref [] in
+    let row idx c i s =
+      if c <> 0 || i <> 0 || s <> 0 then begin
+        let pc = idx lsl 2 in
+        rows :=
+          {
+            Report.seg = seg_id;
+            pc;
+            name = Symtab.flat_name symtab ~seg:seg_id pc;
+            cycles = c;
+            instrs = i;
+            stalls = s;
+          }
+          :: !rows
+      end
+    in
+    Array.iteri
+      (fun idx c -> row idx c seg.instrs.(idx) seg.stalls.(idx))
+      seg.cycles;
+    Hashtbl.iter (fun idx cell -> row idx cell.(0) cell.(1) cell.(2)) seg.spill;
+    !rows
+  in
+  let flat =
+    List.sort
+      (fun (r1 : Report.flat_row) r2 ->
+         compare (r1.seg, r1.pc) (r2.seg, r2.pc))
+      (flat_rows 0 t.guest @ flat_rows 1 t.mram)
+  in
+  let stacks = ref [] and keys = Hashtbl.create 32 in
+  let rec walk n rev_stack =
+    let rev_stack = n.nkey :: rev_stack in
+    if not (Hashtbl.mem keys n.nkey) then Hashtbl.add keys n.nkey ();
+    if n.self_cycles <> 0 || n.self_instrs <> 0 || n.ncalls <> 0 then
+      stacks :=
+        {
+          Report.stack = List.rev rev_stack;
+          calls = n.ncalls;
+          cycles = n.self_cycles;
+          instrs = n.self_instrs;
+        }
+        :: !stacks;
+    Hashtbl.iter (fun _ child -> walk child rev_stack) n.children
+  in
+  walk t.root [];
+  let stacks =
+    List.sort
+      (fun (r1 : Report.stack_row) r2 -> compare r1.stack r2.stack)
+      !stacks
+  in
+  let names =
+    List.sort compare
+      (Hashtbl.fold (fun k () acc -> (k, Symtab.name symtab k) :: acc) keys [])
+  in
+  let flat_total =
+    List.fold_left (fun acc (r : Report.flat_row) -> acc + r.cycles) 0 flat
+  in
+  let other = t.other_cycles + (upto - t.last_mark) in
+  {
+    Report.total_cycles = flat_total + other;
+    other_cycles = other;
+    flat;
+    stacks;
+    names;
+  }

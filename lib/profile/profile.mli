@@ -1,0 +1,100 @@
+(** Cycle-exact profiler over the probe event stream.
+
+    A [Profile.t] is installed through the same [Machine.set_probe]
+    hook as [Metal_trace.Collector] (compose them with a fan-out
+    closure when both are wanted).  It maintains:
+
+    - a flat per-PC histogram (cycles / instructions / attributed
+      stall cycles) in dense arrays per segment — guest code and MRAM
+      — with a hashtable spill for cold PCs beyond the dense window,
+      so the hot path never allocates;
+    - a calling-context tree reconstructed from the [call]/[ret]
+      retire hints and the [mode_enter]/[mode_exit] events, with the
+      mcode side keyed by MRAM entry.
+
+    Cycle attribution is delta-based: every cycle between two marks
+    (retire, exception, interrupt, end of run) is attributed to
+    exactly one bucket, so the report's [total_cycles] equals
+    [Stats.accounted_cycles] — the differential suite checks this
+    identity on both steppers. *)
+
+(** Symbolization against assembled images. *)
+module Symtab : sig
+  type t
+
+  val empty : t
+
+  val of_images :
+    ?guest:Metal_asm.Image.t -> ?mcode:Metal_asm.Image.t -> unit -> t
+  (** Code labels (symbols within the image bounds) from the guest
+      image name guest functions; the mcode image's labels and
+      [.mentry] table name MRAM functions and entries. *)
+end
+
+(** Immutable profile snapshots: mergeable, serializable, printable. *)
+module Report : sig
+  (** Function keys are integers: [addr lsl 2 lor kind] with kind 0 =
+      guest function, 1 = MRAM entry (value is the entry number), 2 =
+      MRAM function, 3 = the synthetic root. *)
+
+  type flat_row = {
+    seg : int;  (** 0 = guest, 1 = MRAM *)
+    pc : int;
+    name : string;  (** nearest label at/below [pc], or [""] *)
+    cycles : int;
+    instrs : int;
+    stalls : int;
+  }
+
+  type stack_row = {
+    stack : int list;  (** function keys, root first *)
+    calls : int;
+    cycles : int;  (** self cycles of the leaf frame *)
+    instrs : int;
+  }
+
+  type t = {
+    total_cycles : int;  (** [other_cycles] + sum of flat cycles *)
+    other_cycles : int;
+        (** exception/interrupt delivery and end-of-run tail *)
+    flat : flat_row list;  (** sorted by [(seg, pc)] *)
+    stacks : stack_row list;  (** sorted by [stack] *)
+    names : (int * string) list;  (** key -> symbolized name, sorted *)
+  }
+
+  val empty : t
+
+  val merge : t -> t -> t
+  (** Deterministic: merging per-job reports in index order yields the
+      same bytes for any domain count. *)
+
+  val equal : t -> t -> bool
+
+  val to_json : t -> string
+  (** Schema ["metal-profile-v1"]. *)
+
+  val of_json : Metal_trace.Json.t -> (t, string) result
+
+  val to_folded : t -> string
+  (** Folded-stack flamegraph text: one ["a;b;c cycles"] line per
+      stack with non-zero self cycles. *)
+
+  val pp : ?top:int -> Format.formatter -> t -> unit
+  (** Human hot-spot report: top-N PCs by cycles and top-N functions
+      by cumulative cycles. *)
+end
+
+type t
+
+val create : ?guest_words:int -> ?mram_words:int -> unit -> t
+(** [guest_words] bounds the dense flat window (default 65536 words =
+    256 KiB of code; colder PCs spill to a hashtable); [mram_words]
+    sizes the MRAM segment (default 4096, [Config.mram_code_words]). *)
+
+val probe : t -> int -> int -> int -> int -> unit
+(** [(cycle, kind, a, b)] — install via [Machine.set_probe]. *)
+
+val report : ?symtab:Symtab.t -> upto:int -> t -> Report.t
+(** Snapshot without mutating the profiler; [upto] is the final
+    [Stats.cycles] so the unmarked tail is attributed to
+    [other_cycles]. *)

@@ -19,6 +19,7 @@ let instant_tid ~kind ~a ~b =
     if a = Event.stall_fetch_cache || a = Event.stall_mram_fetch then tid_if
     else tid_mem
   else if kind = Event.stall_end then tid_mem
+  else if kind = Event.call || kind = Event.ret then tid_wb
   else tid_mode
 
 let instant_args ~kind ~a ~b =
@@ -37,6 +38,10 @@ let instant_args ~kind ~a ~b =
     Printf.sprintf "{\"redirect\": %b}" (a = Event.flush_redirect)
   else if kind = Event.stall_begin then
     Printf.sprintf "{\"cause\": %S, \"cycles\": %d}" (Event.stall_name a) b
+  else if kind = Event.call then
+    Printf.sprintf "{\"callee\": %d, \"site\": %d}" a b
+  else if kind = Event.ret then
+    Printf.sprintf "{\"target\": %d, \"site\": %d}" a b
   else "{}"
 
 let to_buffer buf ring =

@@ -6,6 +6,13 @@ type agg = {
   buckets : (int, int) Hashtbl.t;
 }
 
+(* Open mode_enter frames awaiting their mode_exit.  A single
+   cur_entry/enter_cycle pair mis-attributes latencies as soon as a
+   second mode_enter arrives before the exit — nested delivery, or an
+   entry squashed by an older instruction's fault re-entering through
+   the exception handler — so each open entry gets its own slot. *)
+let entry_stack_depth = 16
+
 type t = {
   ring : Ring.t;
   kind_counts : int array;
@@ -16,8 +23,9 @@ type t = {
   mutable metal_cycles : int;
   mutable in_metal : bool;
   mutable mode_since : int;  (* cycle of the last mode transition *)
-  mutable cur_entry : int;  (* MRAM entry of the running mroutine, -1 *)
-  mutable enter_cycle : int;
+  entry_stack : int array;  (* MRAM entries of open mode_enter frames *)
+  enter_cycles : int array;  (* cycle of each open enter *)
+  mutable entry_sp : int;
   mutable last_cycle : int;
   hist : (int, agg) Hashtbl.t;  (* entry -> latency aggregate *)
 }
@@ -33,8 +41,9 @@ let create ?(capacity = 65536) () =
     metal_cycles = 0;
     in_metal = false;
     mode_since = 0;
-    cur_entry = -1;
-    enter_cycle = 0;
+    entry_stack = Array.make entry_stack_depth 0;
+    enter_cycles = Array.make entry_stack_depth 0;
+    entry_sp = 0;
     last_cycle = 0;
     hist = Hashtbl.create 16;
   }
@@ -77,14 +86,25 @@ let probe t cycle kind a b =
   end
   else if kind = Event.mode_enter then begin
     switch_mode t ~cycle ~metal:true;
-    t.cur_entry <- a;
-    t.enter_cycle <- cycle
+    (* On overflow drop the oldest frame: it can only be squash junk —
+       the architecture forbids nesting that deep. *)
+    if t.entry_sp = entry_stack_depth then begin
+      Array.blit t.entry_stack 1 t.entry_stack 0 (entry_stack_depth - 1);
+      Array.blit t.enter_cycles 1 t.enter_cycles 0 (entry_stack_depth - 1);
+      t.entry_sp <- entry_stack_depth - 1
+    end;
+    t.entry_stack.(t.entry_sp) <- a;
+    t.enter_cycles.(t.entry_sp) <- cycle;
+    t.entry_sp <- t.entry_sp + 1
   end
   else if kind = Event.mode_exit then begin
     switch_mode t ~cycle ~metal:false;
-    if t.cur_entry >= 0 then
-      record_latency t ~entry:t.cur_entry ~latency:(cycle - t.enter_cycle);
-    t.cur_entry <- -1
+    (* Pair the exit with the most recent unmatched enter. *)
+    if t.entry_sp > 0 then begin
+      t.entry_sp <- t.entry_sp - 1;
+      record_latency t ~entry:t.entry_stack.(t.entry_sp)
+        ~latency:(cycle - t.enter_cycles.(t.entry_sp))
+    end
   end
   else if kind = Event.stall_begin then
     t.stall_cycles.(a) <- t.stall_cycles.(a) + b

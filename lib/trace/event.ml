@@ -9,7 +9,9 @@ let hw_walk = 7
 let flush = 8
 let stall_begin = 9
 let stall_end = 10
-let count = 11
+let call = 11
+let ret = 12
+let count = 13
 
 let name = function
   | 0 -> "retire"
@@ -23,6 +25,8 @@ let name = function
   | 8 -> "flush"
   | 9 -> "stall_begin"
   | 10 -> "stall_end"
+  | 11 -> "call"
+  | 12 -> "ret"
   | k -> "event_" ^ string_of_int k
 
 let reason_menter = 0

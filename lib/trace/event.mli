@@ -19,7 +19,12 @@
     - [hw_walk]: [a] = faulting page base (vpn shifted)
     - [flush]: [a] = flush reason
     - [stall_begin]: [a] = stall cause, [b] = cycles charged
-    - [stall_end]: the stall counter drained to zero this cycle *)
+    - [stall_end]: the stall counter drained to zero this cycle
+    - [call]: [a] = callee pc, [b] = call-site pc (retired jal/jalr
+      that links through ra/t0 — the RISC-V calling convention's
+      call hint)
+    - [ret]: [a] = return-target pc, [b] = site pc (retired
+      [jalr x0, ra/t0] — the convention's return hint) *)
 
 val retire : int
 val mode_enter : int
@@ -32,6 +37,8 @@ val hw_walk : int
 val flush : int
 val stall_begin : int
 val stall_end : int
+val call : int
+val ret : int
 
 val count : int
 (** Number of event kinds; kinds are dense in [0, count). *)

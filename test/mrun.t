@@ -29,6 +29,50 @@ by test_trace and ci.sh):
   $ grep -c '"schema": "metal-metrics-v1"' m.json
   1
 
+The profiler rides the same probe: --profile-out composes with
+--trace-out/--metrics-out and writes the profile JSON plus a
+folded-stack flamegraph, then prints the hot-spot report.
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --trace-out t3.json --metrics-out m3.json --profile-out p.json
+  halt: ebreak at 0x00000010
+  stats: cycles=107 instructions=66 (metal=40) ipc=0.62
+         bubbles=41 load-use=8 interlocks=8 flushes=7
+         menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  trace: t3.json
+  metrics: m3.json
+  mode split: user 43 cycles (40.2%), metal 64 cycles (59.8%)
+  instructions: user 26, metal 40
+  events: retire=66 mode_enter=8 mode_exit=8 flush=7
+  stall cycles:
+  mroutine    calls   cycles    min    max     mean
+  1               8       64      8      8      8.0
+  profile: p.json (flamegraph: p.json.folded)
+  profile: 107 cycles (107 attributed to code, 0 other)
+  seg     pc         symbol             cycles   instrs   stalls
+  guest   0x00000008 loop                   24        8        0
+  guest   0x00000004 loop                   22        8        0
+  mram    0x00000008 bump                   16        8        0
+  guest   0x0000000c loop                    8        8        0
+  mram    0x00000000 bump                    8        8        0
+  mram    0x00000004 bump                    8        8        0
+  mram    0x0000000c bump                    8        8        0
+  mram    0x00000010 bump                    8        8        0
+  guest   0x00000000 start                   4        1        0
+  guest   0x00000010 loop                    1        1        0
+  function                     self      cum    calls
+  m1:bump                        74       74        8
+
+  $ cat p.json.folded
+  root 33
+  root;m1:bump 74
+
+  $ ../tools/trace_check.exe metrics m3.json
+  m3.json: ok (13 event kinds, 1 mroutines)
+  $ ../tools/trace_check.exe profile p.json
+  p.json: ok (107 cycles, 10 hot PCs, 2 stacks)
+
 Batch mode threads the flags: one Chrome trace per job (FILE.<index>),
 merged metrics, per-job register dumps.
 
@@ -59,6 +103,25 @@ the merged user_instructions is even and positive):
   $ grep -o '"user_instructions": [0-9]*' batch-metrics.json
   "user_instructions": 4
 
+Batch mode writes one profile per job (FILE.<index>) plus the
+fleet-merged artifact at FILE, and composes with the other exporters:
+
+  $ ../bin/mrun.exe prog.s prog.s --jobs 2 \
+  >   --metrics-out bm.json --profile-out bp.json
+  prog.s                           ebreak at 0x00000004                              5 cycles          2 instrs
+                                   profile: bp.json.0
+  prog.s                           ebreak at 0x00000004                              5 cycles          2 instrs
+                                   profile: bp.json.1
+  metrics: bm.json
+  profile: bp.json (merged)
+  2/2 ok (2 domains)
+
+Merging the per-job profiles in index order reproduces the merged
+artifact byte-for-byte (the fleet merge is deterministic):
+
+  $ ../tools/trace_check.exe profile bp.json bp.json.0 bp.json.1
+  bp.json: ok (10 cycles, 2 hot PCs, 1 stacks, merge of 2 reproduced)
+
 Flag combinations that cannot work fail loudly instead of silently
 dropping the flag:
 
@@ -67,9 +130,13 @@ dropping the flag:
   [1]
 
   $ ../bin/mrun.exe prog.s --os --trace-out t2.json
-  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out (the kernel owns the machine)
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
   [1]
 
   $ ../bin/mrun.exe prog.s --os --regs
-  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out (the kernel owns the machine)
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
+  [1]
+
+  $ ../bin/mrun.exe prog.s --os --profile-out p2.json
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
   [1]

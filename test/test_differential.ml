@@ -518,6 +518,93 @@ let prop_stall_accounting ~predecode =
        | None -> true
        | Some _ -> QCheck.Test.fail_report (report_minimal ~diverges instrs))
 
+(* Profiler accounting: the flat per-PC histogram plus the [other]
+   bucket must account for every simulated cycle — the profiler's
+   delta attribution and [Stats.accounted_cycles] close over the same
+   set, so [Report.total_cycles] must equal both.  Checked on both
+   steppers; a violation means a stepper emitted marks the profiler
+   cannot reconcile (dropped retire, asymmetric call/ret hint). *)
+
+module Profile = Metal_profile.Profile
+
+let profile_accounting_divergence ~predecode instrs =
+  let img = image_of instrs in
+  let config = { Config.default with Config.mem_size; Config.predecode } in
+  let m = Machine.create ~config () in
+  (match Machine.load_image m img with Ok () -> () | Error e -> failwith e);
+  seed_data (Machine.write_word m);
+  Machine.set_pc m 0;
+  let p = Profile.create () in
+  Machine.set_probe m (Profile.probe p);
+  match Pipeline.run m ~max_cycles:100_000 with
+  | Some (Machine.Halt_ebreak _) ->
+    let s = m.Machine.stats in
+    let accounted =
+      Stats.accounted_cycles s ~pending_stall:m.Machine.stall_cycles
+    in
+    let r = Profile.report ~upto:s.Stats.cycles p in
+    let flat =
+      List.fold_left
+        (fun acc (f : Profile.Report.flat_row) -> acc + f.cycles)
+        0 r.Profile.Report.flat
+    in
+    if
+      r.Profile.Report.total_cycles = accounted
+      && r.Profile.Report.total_cycles = flat + r.Profile.Report.other_cycles
+    then None
+    else
+      Some
+        (`State
+           (Printf.sprintf
+              "profile total=%d (flat=%d other=%d) accounted=%d cycles=%d"
+              r.Profile.Report.total_cycles flat
+              r.Profile.Report.other_cycles accounted s.Stats.cycles))
+  | Some h -> Some (`Error (Machine.halted_to_string h))
+  | None -> Some (`Error "pipeline: no halt")
+
+let prop_profile_accounting ~predecode =
+  let diverges = profile_accounting_divergence ~predecode in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "profile accounting closes (%s)" (oracle_name predecode))
+    ~count:150 arb_program
+    (fun instrs ->
+       match diverges instrs with
+       | None -> true
+       | Some _ -> QCheck.Test.fail_report (report_minimal ~diverges instrs))
+
+(* Fleet-merged profiles: the same 300 profiling jobs on 1 domain and
+   on 8 must yield bit-identical per-job reports and a byte-identical
+   merged artifact, and every job's report must account for exactly
+   its machine's cycles. *)
+let test_profile_corpus_fleet_merge () =
+  let progs = Lazy.force corpus_programs in
+  let config = { Config.default with Config.mem_size } in
+  let jobs =
+    Array.map
+      (fun instrs ->
+         Fleet.job ~config ~fuel:100_000 ~profile:true
+           (Fleet.Image (image_of instrs)))
+      progs
+  in
+  let a = Fleet.run ~domains:1 jobs and b = Fleet.run ~domains:8 jobs in
+  (match Fleet.identical a b with Ok () -> () | Error e -> Alcotest.fail e);
+  let ja = Profile.Report.to_json (Fleet.merge_profiles a)
+  and jb = Profile.Report.to_json (Fleet.merge_profiles b) in
+  Alcotest.(check bool) "merged profile bytes identical" true (ja = jb);
+  Array.iter
+    (fun (o : Fleet.outcome) ->
+       match o.Fleet.result with
+       | Ok ok ->
+         (match ok.Fleet.profile with
+          | Some r ->
+            Alcotest.(check int)
+              (Printf.sprintf "corpus[%d] profile total" o.Fleet.index)
+              ok.Fleet.stats.Stats.cycles r.Profile.Report.total_cycles
+          | None -> Alcotest.fail "profiling job returned no profile")
+       | Error e -> Alcotest.fail (Fleet.fail_to_string e))
+    a
+
 (* Self-modifying code: stores into the instruction stream must be
    observed by later fetches, i.e. they must invalidate any predecoded
    entry for the overwritten word.  The patched slot sits several
@@ -689,7 +776,9 @@ let () =
             prop_config_invariance; prop_predecode_invariance;
             prop_event_stream_invariance;
             prop_stall_accounting ~predecode:true;
-            prop_stall_accounting ~predecode:false ] );
+            prop_stall_accounting ~predecode:false;
+            prop_profile_accounting ~predecode:true;
+            prop_profile_accounting ~predecode:false ] );
       ( "fleet-corpus",
         [ Alcotest.test_case "300-program predecode invariance" `Quick
             test_predecode_corpus_fleet;
@@ -700,7 +789,15 @@ let () =
                ~diverges:(stall_invariant_divergence ~predecode:true));
           Alcotest.test_case "300-program stall accounting (slow)" `Quick
             (corpus_fleet_check
-               ~diverges:(stall_invariant_divergence ~predecode:false)) ] );
+               ~diverges:(stall_invariant_divergence ~predecode:false));
+          Alcotest.test_case "300-program profile accounting (fast)" `Quick
+            (corpus_fleet_check
+               ~diverges:(profile_accounting_divergence ~predecode:true));
+          Alcotest.test_case "300-program profile accounting (slow)" `Quick
+            (corpus_fleet_check
+               ~diverges:(profile_accounting_divergence ~predecode:false));
+          Alcotest.test_case "300-program fleet profile merge determinism"
+            `Quick test_profile_corpus_fleet_merge ] );
       ( "minimizer",
         [ Alcotest.test_case "greedy shrink keeps kind and witness" `Quick
             test_minimizer_shrinks ] );

@@ -1,0 +1,244 @@
+(* Unit tests for lib/profile and for the Collector's re-entrant
+   mode_enter handling.
+
+   The profiler is driven two ways: synthetically, by feeding the
+   probe a hand-written event stream (which pins the delta-attribution
+   and calling-context rules precisely), and end-to-end through a real
+   assembled program (which pins symbolization).  The Report algebra
+   (merge / equal / JSON round-trip / folded export) is checked on the
+   resulting snapshots. *)
+
+module Trace = Metal_trace
+module Ev = Metal_trace.Event
+module Profile = Metal_profile.Profile
+module Report = Profile.Report
+
+(* ------------------------------------------------------------------ *)
+(* Collector re-entrancy: a second mode_enter before the first exit —
+   nested delivery, or an entry squashed by an older instruction's
+   fault — must not corrupt the latency histogram.  The old
+   single-slot implementation charged BOTH exits to the inner entry
+   (and the outer one with the wrong start cycle). *)
+
+let mroutine entry (m : Trace.Metrics.t) =
+  match
+    List.find_opt
+      (fun (r : Trace.Metrics.mroutine) -> r.entry = entry)
+      m.Trace.Metrics.mroutines
+  with
+  | Some r -> r
+  | None -> Alcotest.fail (Printf.sprintf "no mroutine row for entry %d" entry)
+
+let test_collector_nested () =
+  let c = Trace.Collector.create ~capacity:64 () in
+  let ev cycle kind a = Trace.Collector.probe c cycle kind a 0 in
+  ev 10 Ev.mode_enter 1;
+  ev 15 Ev.mode_enter 2;
+  (* inner exits first: latency 5 belongs to entry 2 *)
+  ev 20 Ev.mode_exit 2;
+  ev 30 Ev.mode_exit 1;
+  let m = Trace.Collector.metrics c in
+  let inner = mroutine 2 m and outer = mroutine 1 m in
+  Alcotest.(check int) "inner count" 1 inner.count;
+  Alcotest.(check int) "inner latency" 5 inner.total_cycles;
+  Alcotest.(check int) "outer count" 1 outer.count;
+  Alcotest.(check int) "outer latency" 20 outer.total_cycles
+
+let test_collector_stack_overflow () =
+  let c = Trace.Collector.create ~capacity:1024 () in
+  let ev cycle kind a = Trace.Collector.probe c cycle kind a 0 in
+  (* 20 opens overflow the 16-slot stack (oldest frames dropped), then
+     20 exits drain it; the 4 extra exits must be ignored, not crash. *)
+  for i = 0 to 19 do
+    ev (10 * i) Ev.mode_enter i
+  done;
+  for i = 0 to 19 do
+    ev (200 + (10 * i)) Ev.mode_exit 0
+  done;
+  let m = Trace.Collector.metrics c in
+  let total =
+    List.fold_left
+      (fun acc (r : Trace.Metrics.mroutine) -> acc + r.count)
+      0 m.Trace.Metrics.mroutines
+  in
+  Alcotest.(check int) "16 paired round trips" 16 total
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic probe stream: pins delta attribution, the spill path
+   (guest window of 16 words, pc 0x100 is outside it), call/ret stack
+   discipline, and the other-cycles bucket. *)
+
+let synthetic_profile () =
+  let p = Profile.create ~guest_words:16 ~mram_words:16 () in
+  let ev cycle kind a b = Profile.probe p cycle kind a b in
+  ev 1 Ev.retire 0 0;
+  ev 2 Ev.retire 4 0;
+  ev 2 Ev.call 0x100 4;          (* jal into the spill region *)
+  ev 3 Ev.retire 0x100 0;
+  ev 4 Ev.retire 0x104 0;
+  ev 4 Ev.ret 8 0x104;
+  ev 6 Ev.retire 8 0;            (* 2-cycle delta: one bubble *)
+  ev 7 Ev.exn 0 0;               (* delivery cycle -> other *)
+  Profile.report ~upto:9 p       (* 2-cycle unmarked tail -> other *)
+
+let flat_total (r : Report.t) =
+  List.fold_left (fun acc (f : Report.flat_row) -> acc + f.cycles) 0 r.flat
+
+let test_profile_attribution () =
+  let r = synthetic_profile () in
+  Alcotest.(check int) "total" 9 r.total_cycles;
+  Alcotest.(check int) "other (exn + tail)" 3 r.other_cycles;
+  Alcotest.(check int) "flat sum" 6 (flat_total r);
+  let row pc =
+    match
+      List.find_opt (fun (f : Report.flat_row) -> f.pc = pc && f.seg = 0) r.flat
+    with
+    | Some f -> f
+    | None -> Alcotest.fail (Printf.sprintf "no flat row for pc 0x%x" pc)
+  in
+  Alcotest.(check int) "bubble charged to pc 8" 2 (row 8).cycles;
+  Alcotest.(check int) "spill pc counted" 1 (row 0x100).cycles;
+  (* call graph: root plus one callee frame (guest key of 0x100) *)
+  Alcotest.(check int) "two stacks" 2 (List.length r.stacks);
+  let callee =
+    match
+      List.find_opt
+        (fun (s : Report.stack_row) -> List.length s.stack = 2)
+        r.stacks
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no callee stack"
+  in
+  Alcotest.(check int) "callee calls" 1 callee.calls;
+  Alcotest.(check int) "callee self cycles" 2 callee.cycles;
+  Alcotest.(check int) "callee self instrs" 2 callee.instrs
+
+(* A stray ret (no matching call) must not unwind past a mode_enter
+   frame, and mode_exit must unwind everything the mroutine opened,
+   even when its rets went missing. *)
+let test_profile_guards () =
+  let p = Profile.create ~guest_words:16 ~mram_words:16 () in
+  let ev cycle kind a b = Profile.probe p cycle kind a b in
+  ev 1 Ev.retire 0 0;
+  ev 2 Ev.mode_enter 3 0;
+  ev 3 Ev.retire 0 1;
+  ev 3 Ev.ret 0 0;               (* stray: must stay in the entry frame *)
+  ev 4 Ev.retire 4 1;
+  ev 4 Ev.call 0x20 4;           (* mcode-internal call, never returns *)
+  ev 5 Ev.retire 0x20 1;
+  ev 6 Ev.mode_exit 3 0;         (* unwinds the call AND the entry *)
+  ev 7 Ev.retire 4 0;
+  let r = Profile.report ~upto:7 p in
+  let depths =
+    List.sort compare
+      (List.map (fun (s : Report.stack_row) -> List.length s.stack) r.stacks)
+  in
+  (* root, root;entry, root;entry;callee — and the post-exit retire
+     lands back in root, so no deeper frame exists. *)
+  Alcotest.(check (list int)) "stack depths" [ 1; 2; 3 ] depths;
+  let root =
+    List.find (fun (s : Report.stack_row) -> List.length s.stack = 1) r.stacks
+  in
+  Alcotest.(check int) "root instrs (before enter + after exit)" 2 root.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Report algebra *)
+
+let test_report_roundtrip () =
+  let r = synthetic_profile () in
+  let json = Report.to_json r in
+  match Trace.Json.parse json with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    (match Report.of_json j with
+     | Error e -> Alcotest.fail e
+     | Ok r' ->
+       Alcotest.(check bool) "round-trips" true (Report.equal r r');
+       Alcotest.(check string) "bytes stable" json (Report.to_json r'))
+
+let test_report_merge () =
+  let r = synthetic_profile () in
+  Alcotest.(check bool) "empty is left identity" true
+    (Report.equal r (Report.merge Report.empty r));
+  Alcotest.(check bool) "empty is right identity" true
+    (Report.equal r (Report.merge r Report.empty));
+  let d = Report.merge r r in
+  Alcotest.(check int) "doubled total" (2 * r.total_cycles) d.total_cycles;
+  Alcotest.(check int) "doubled other" (2 * r.other_cycles) d.other_cycles;
+  Alcotest.(check int) "doubled flat" (2 * flat_total r) (flat_total d);
+  Alcotest.(check int) "same rows" (List.length r.flat) (List.length d.flat)
+
+let test_folded () =
+  let r = synthetic_profile () in
+  let lines = String.split_on_char '\n' (String.trim (Report.to_folded r)) in
+  Alcotest.(check int) "one line per hot stack" 2 (List.length lines);
+  List.iter
+    (fun l ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%S starts at root" l)
+         true
+         (String.length l > 4 && String.sub l 0 4 = "root"))
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a real program through the pipeline, symbolized against
+   its own image. *)
+
+let test_end_to_end_symbols () =
+  let src =
+    "start:\n    li a0, 3\n    jal ra, func\n    ebreak\n\
+     func:\n    addi a0, a0, 1\n    ret\n"
+  in
+  let img = Metal_asm.Asm.assemble_exn src in
+  let m = Metal_cpu.Machine.create () in
+  (match Metal_cpu.Machine.load_image m img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Metal_cpu.Machine.set_pc m 0;
+  let p = Profile.create () in
+  Metal_cpu.Machine.set_probe m (Profile.probe p);
+  (match Metal_cpu.Pipeline.run m ~max_cycles:10_000 with
+   | Some (Metal_cpu.Machine.Halt_ebreak _) -> ()
+   | _ -> Alcotest.fail "program did not reach ebreak");
+  let stats = m.Metal_cpu.Machine.stats in
+  let symtab = Profile.Symtab.of_images ~guest:img () in
+  let r = Profile.report ~symtab ~upto:stats.Metal_cpu.Stats.cycles p in
+  Alcotest.(check int) "accounts every cycle" stats.Metal_cpu.Stats.cycles
+    r.total_cycles;
+  Alcotest.(check bool) "func symbolized in call graph" true
+    (List.exists (fun (_, n) -> n = "func") r.names);
+  let func_rows =
+    List.filter (fun (f : Report.flat_row) -> f.name = "func") r.flat
+  in
+  Alcotest.(check bool) "func has flat rows" true (func_rows <> []);
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "folded mentions func" true
+    (contains (Report.to_folded r) "func")
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "collector",
+        [ Alcotest.test_case "nested mode_enter latencies" `Quick
+            test_collector_nested;
+          Alcotest.test_case "entry-stack overflow" `Quick
+            test_collector_stack_overflow ] );
+      ( "attribution",
+        [ Alcotest.test_case "delta attribution + spill" `Quick
+            test_profile_attribution;
+          Alcotest.test_case "ret/mode_exit guards" `Quick
+            test_profile_guards ] );
+      ( "report",
+        [ Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "merge algebra" `Quick test_report_merge;
+          Alcotest.test_case "folded export" `Quick test_folded ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "symbolized real run" `Quick
+            test_end_to_end_symbols ] );
+    ]

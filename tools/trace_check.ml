@@ -7,6 +7,21 @@
      track (the exporter writes events in recording order, so any
      regression here is a sort bug, not a rendering choice).
 
+   [trace_check metrics FILE]
+     FILE must be a [--metrics-out] document (schema
+     [metal-metrics-v1]): numeric mode-split counters, event and stall
+     count objects, and a well-formed mroutine latency table whose
+     per-entry histogram sums match the entry's call count.
+
+   [trace_check profile MERGED FILE...]
+     All files are [--profile-out] documents (schema
+     [metal-profile-v1]).  Each must be internally consistent:
+     [total_cycles = other_cycles + sum of flat cycles], and the
+     call-graph rows must account for the same cycles as the flat
+     histogram.  When per-job FILEs are given, merging them in
+     argument order must reproduce MERGED byte-for-byte — the fleet
+     merge is deterministic, so any divergence is a merge bug.
+
    [trace_check bench BASELINE FRESH [--tolerance PCT]]
      Both files are [bench simperf --json] outputs
      (BENCH_sim_throughput.json schema).  Every workload present in
@@ -66,6 +81,132 @@ let check_chrome path =
   Printf.printf "%s: ok (%d events, %d tracks, timestamps monotone)\n" path
     !timed (Hashtbl.length last)
 
+(* ------------------------------------------------------------------ *)
+(* Metrics JSON                                                        *)
+
+let require_schema path tag j =
+  match str_field "schema" j with
+  | Some s when s = tag -> ()
+  | Some s -> failf "%s: schema %S, expected %S" path s tag
+  | None -> failf "%s: no schema field" path
+
+let int_field path name j =
+  match num_field name j with
+  | Some n -> int_of_float n
+  | None -> failf "%s: no numeric %s field" path name
+
+let count_object path name j =
+  match Json.member name j with
+  | Some (Json.Obj kvs) ->
+    List.map
+      (fun (k, v) ->
+         match Json.to_num v with
+         | Some n -> (k, int_of_float n)
+         | None -> failf "%s: %s.%s is not a number" path name k)
+      kvs
+  | Some _ -> failf "%s: %s is not an object" path name
+  | None -> failf "%s: no %s field" path name
+
+let check_metrics path =
+  let j = parse_file path in
+  require_schema path "metal-metrics-v1" j;
+  List.iter
+    (fun f -> ignore (int_field path f j))
+    [ "user_cycles"; "metal_cycles"; "user_instructions";
+      "metal_instructions"; "events_recorded"; "events_dropped" ];
+  let events = count_object path "events" j in
+  ignore (count_object path "stall_cycles" j);
+  let mroutines =
+    match Json.member "mroutines" j with
+    | Some a -> Json.to_list a
+    | None -> failf "%s: no mroutines array" path
+  in
+  List.iter
+    (fun m ->
+       let entry = int_field path "entry" m in
+       let count = int_field path "count" m in
+       let lats =
+         match Json.member "latencies" m with
+         | Some a -> Json.to_list a
+         | None -> failf "%s: mroutine %d has no latencies" path entry
+       in
+       let histogram_total =
+         List.fold_left
+           (fun acc pair ->
+              match List.map Json.to_num (Json.to_list pair) with
+              | [ Some _; Some n ] -> acc + int_of_float n
+              | _ -> failf "%s: mroutine %d: malformed latency pair" path entry)
+           0 lats
+       in
+       if histogram_total <> count then
+         failf "%s: mroutine %d: latency histogram sums to %d, count is %d"
+           path entry histogram_total count)
+    mroutines;
+  Printf.printf "%s: ok (%d event kinds, %d mroutines)\n" path
+    (List.length events) (List.length mroutines)
+
+(* ------------------------------------------------------------------ *)
+(* Profile JSON                                                        *)
+
+module Report = Metal_profile.Profile.Report
+
+let read_raw path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_profile path =
+  let j = parse_file path in
+  require_schema path "metal-profile-v1" j;
+  match Report.of_json j with
+  | Ok r -> r
+  | Error e -> failf "%s: %s" path e
+
+let check_profile_consistent path (r : Report.t) =
+  let flat_cycles =
+    List.fold_left (fun acc (f : Report.flat_row) -> acc + f.cycles) 0 r.flat
+  and stack_cycles =
+    List.fold_left (fun acc (s : Report.stack_row) -> acc + s.cycles) 0
+      r.stacks
+  in
+  if r.total_cycles <> r.other_cycles + flat_cycles then
+    failf "%s: total_cycles %d <> other %d + flat %d" path r.total_cycles
+      r.other_cycles flat_cycles;
+  if stack_cycles <> flat_cycles then
+    failf "%s: call-graph accounts for %d cycles, flat histogram for %d"
+      path stack_cycles flat_cycles;
+  List.iter
+    (fun (s : Report.stack_row) ->
+       List.iter
+         (fun key ->
+            if not (List.mem_assoc key r.names) then
+              failf "%s: stack key %d has no symbolized name" path key)
+         s.stack)
+    r.stacks
+
+let check_profile merged parts =
+  let m = load_profile merged in
+  check_profile_consistent merged m;
+  let reports = List.map load_profile parts in
+  List.iter2 check_profile_consistent parts reports;
+  if parts <> [] then begin
+    let remerged =
+      List.fold_left Report.merge Report.empty reports
+    in
+    if Report.to_json remerged <> read_raw merged then
+      failf
+        "%s: merging %d per-job profiles in index order does not \
+         reproduce the merged artifact — fleet merge is non-deterministic"
+        merged (List.length parts)
+  end;
+  Printf.printf
+    "%s: ok (%d cycles, %d hot PCs, %d stacks%s)\n" merged m.total_cycles
+    (List.length m.flat) (List.length m.stacks)
+    (if parts = [] then ""
+     else Printf.sprintf ", merge of %d reproduced" (List.length parts))
+
 let workloads j =
   match Json.member "workloads" j with
   | Some a -> Json.to_list a
@@ -110,12 +251,16 @@ let check_bench baseline fresh tolerance =
 let usage () =
   prerr_endline
     "usage: trace_check chrome FILE\n\
+    \       trace_check metrics FILE\n\
+    \       trace_check profile MERGED [FILE...]\n\
     \       trace_check bench BASELINE FRESH [--tolerance PCT]";
   exit 2
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "chrome" :: files when files <> [] -> List.iter check_chrome files
+  | _ :: "metrics" :: files when files <> [] -> List.iter check_metrics files
+  | _ :: "profile" :: merged :: parts -> check_profile merged parts
   | _ :: "bench" :: baseline :: fresh :: rest ->
     let tolerance =
       match rest with
