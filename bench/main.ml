@@ -1559,6 +1559,97 @@ let profile_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E19: static WCET bounds vs measured mroutine latency                *)
+
+(* The mverify WCET pass claims: for every invocation of an mroutine
+   entry, measured mode_enter→mode_exit latency ≤ the static bound.
+   This section runs the Figure-2 null-syscall workload (kenter +
+   kexit round trips) under the three Figure-2 configurations, on both
+   steppers, measures per-entry worst latencies from the event stream
+   (Metal_trace.Metrics), and hard-fails on any bound violation or
+   stepper disagreement.  The table reports tightness =
+   measured / bound. *)
+
+module Mverify = Metal_mverify.Mverify
+
+let verify_bench () =
+  section "E19. Static WCET bounds vs measured mroutine latency (Figure 2)";
+  let mcode_src = Privilege.mcode priv_cfg in
+  let mimg =
+    match Metal_asm.Asm.assemble mcode_src with
+    | Ok img -> img
+    | Error e -> fail "mcode assembly: %s" (Metal_asm.Asm.error_to_string e)
+  in
+  let n = 100 in
+  let guest = repeat_lines n "li a0, 0\nmenter 0\n" ^ "ebreak\n" in
+  let measured config =
+    let m = machine ~config () in
+    ignore (load m null_kernel);
+    (match Privilege.install m priv_cfg with
+     | Ok () -> ()
+     | Error e -> fail "%s" e);
+    let c = Metal_trace.Collector.create () in
+    Machine.set_probe m (Metal_trace.Collector.probe c);
+    ignore (load m guest);
+    Machine.set_pc m 0;
+    run_to_ebreak m;
+    List.map
+      (fun r ->
+         ( r.Metal_trace.Metrics.entry,
+           (r.Metal_trace.Metrics.count, r.Metal_trace.Metrics.max_cycles) ))
+      (Metal_trace.Collector.metrics c).Metal_trace.Metrics.mroutines
+  in
+  let cases =
+    [ ("Metal (fast decode-stage replacement)", Config.default);
+      ("Metal with trap-style transitions",
+       { Config.default with Config.transition = Config.Trap_flush });
+      ("PALcode-style (main-memory mroutines)", Config.palcode) ]
+  in
+  Printf.printf "%-40s %-16s %9s %7s %10s\n" "configuration" "entry"
+    "measured" "bound" "tightness";
+  List.iter
+    (fun (label, config) ->
+       let report = Mverify.verify ~config mimg in
+       if not (Mverify.ok report) then
+         fail "%s: privilege mcode fails verification:\n%s" label
+           (String.concat "\n"
+              (List.map Mverify.finding_to_string (Mverify.errors report)));
+       let fast = measured config
+       and slow = measured { config with Config.predecode = false } in
+       if fast <> slow then
+         fail "%s: fast and slow steppers disagree on measured latencies"
+           label;
+       if fast = [] then fail "%s: no mroutine invocations measured" label;
+       List.iter
+         (fun (entry, (count, max_cycles)) ->
+            let bound =
+              match Mverify.wcet report ~entry with
+              | Some b -> b
+              | None -> fail "%s: no WCET bound for entry %d" label entry
+            in
+            if max_cycles > bound then
+              fail
+                "%s: entry %d measured %d cycles > static bound %d — the \
+                 WCET model is unsound"
+                label entry max_cycles bound;
+            let name =
+              List.find_map
+                (fun (e : Mverify.entry_report) ->
+                   if e.Mverify.entry = entry then e.Mverify.name else None)
+                report.Mverify.entries
+            in
+            Printf.printf "%-40s %2d %-13s %6d x%-3d %6d %9.2f\n" label entry
+              (match name with Some s -> s | None -> "")
+              max_cycles count bound
+              (float_of_int max_cycles /. float_of_int bound))
+         fast)
+    cases;
+  print_endline
+    "\nevery measured mode_enter->mode_exit span stayed within its static\n\
+     bound on both steppers; the largest per-entry bound is the documented\n\
+     interrupt-latency bound while the image is installed."
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1619,7 +1710,7 @@ let sections =
     ("isolation", isolation); ("ablation", ablation); ("nested", nested);
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
     ("simperf", simperf); ("fleet", fleet); ("trace", trace_obs);
-    ("profile", profile_bench); ("host", host) ]
+    ("profile", profile_bench); ("verify", verify_bench); ("host", host) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -49,8 +49,30 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
-    metrics_out profile_out =
+(* Static verification of --mcode before it reaches MRAM (on by
+   default; --no-verify is the escape hatch).  Quiet mode prints
+   findings to stderr and refuses the install on errors; --verify
+   additionally prints the per-entry WCET report to stdout. *)
+let verify_mcode ~config ~report img =
+  let r = Metal_mverify.Mverify.verify ~config img in
+  if report then print_string (Metal_mverify.Mverify.to_string r)
+  else
+    List.iter
+      (fun f ->
+         Printf.eprintf "mverify: %s\n"
+           (Metal_mverify.Mverify.finding_to_string f))
+      r.Metal_mverify.Mverify.findings;
+  if Metal_mverify.Mverify.ok r then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "mcode verification failed (%d errors%s); --no-verify forces the \
+          install"
+         (List.length (Metal_mverify.Mverify.errors r))
+         (if report then "" else ", listed above"))
+
+let run_bare path mcode_path origin max_cycles palcode verify report trace
+    regs trace_out metrics_out profile_out =
   let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
   let config = { base with Metal_cpu.Config.trace } in
   let sys = Metal_core.System.create ~config () in
@@ -90,6 +112,9 @@ let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
         (match Metal_asm.Asm.assemble (read_file p) with
          | Error e -> Error (Metal_asm.Asm.error_to_string e)
          | Ok mimg ->
+           let* () =
+             if verify then verify_mcode ~config ~report mimg else Ok ()
+           in
            (match
               Metal_cpu.Machine.load_mcode sys.Metal_core.System.machine mimg
             with
@@ -106,8 +131,12 @@ let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
          | None -> 0)
     in
     Metal_core.System.start sys ~pc ();
-    (try Ok (Metal_core.System.run sys ~max_cycles (), img, mimg)
-     with Failure msg -> Error msg)
+    (match Metal_core.System.run sys ~max_cycles () with
+     | Metal_cpu.Machine.Halt_out_of_cycles { budget; _ } ->
+       Error
+         (Metal_cpu.Pipeline.timeout_diagnostics
+            sys.Metal_core.System.machine ~budget)
+     | halt -> Ok (halt, img, mimg))
   in
   match result with
   | Error e ->
@@ -176,12 +205,26 @@ let run_bare path mcode_path origin max_cycles palcode trace regs trace_out
    Observability flags are threaded through: [--regs] dumps per-job
    registers, [--trace-out F] writes one Chrome trace per job
    (F.<index>), [--metrics-out F] writes the fleet-merged metrics. *)
-let run_batch paths mcode_path origin max_cycles palcode regs trace_out
-    metrics_out profile_out jobs =
+let run_batch paths mcode_path origin max_cycles palcode verify report regs
+    trace_out metrics_out profile_out jobs =
   let base =
     if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
   in
   let mcode = Option.map read_file mcode_path in
+  (* Verify the shared mcode once up front, not once per job. *)
+  let precheck =
+    match mcode with
+    | Some src when verify ->
+      (match Metal_asm.Asm.assemble src with
+       | Error e -> Error (Metal_asm.Asm.error_to_string e)
+       | Ok img -> verify_mcode ~config:base ~report img)
+    | _ -> Ok ()
+  in
+  match precheck with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok () ->
   let collect = trace_out <> None || metrics_out <> None in
   let profile = profile_out <> None in
   let batch =
@@ -249,11 +292,18 @@ let run_batch paths mcode_path origin max_cycles palcode regs trace_out
     (Array.length outcomes) domains;
   if !failures = 0 then 0 else 1
 
-let run paths mcode_path origin max_cycles palcode trace regs os jobs
-    trace_out metrics_out profile_out =
+let run paths mcode_path origin max_cycles palcode report no_verify trace
+    regs os jobs trace_out metrics_out profile_out =
+  let verify = not no_verify in
   match paths with
   | [] ->
     prerr_endline "metal-run: no program given";
+    1
+  | _ when report && no_verify ->
+    prerr_endline "metal-run: --verify and --no-verify are contradictory";
+    1
+  | _ when os && mcode_path <> None ->
+    prerr_endline "metal-run: --os installs its own mcode (drop --mcode)";
     1
   | _
     when os
@@ -266,8 +316,8 @@ let run paths mcode_path origin max_cycles palcode trace regs os jobs
   | [ path ] when jobs = 0 ->
     if os then run_os path max_cycles
     else
-      run_bare path mcode_path origin max_cycles palcode trace regs trace_out
-        metrics_out profile_out
+      run_bare path mcode_path origin max_cycles palcode verify report trace
+        regs trace_out metrics_out profile_out
   | paths ->
     if os then begin
       prerr_endline "metal-run: --os does not combine with batch mode";
@@ -280,8 +330,8 @@ let run paths mcode_path origin max_cycles palcode trace regs os jobs
       1
     end
     else
-      run_batch paths mcode_path origin max_cycles palcode regs trace_out
-        metrics_out profile_out jobs
+      run_batch paths mcode_path origin max_cycles palcode verify report regs
+        trace_out metrics_out profile_out jobs
 
 open Cmdliner
 
@@ -307,6 +357,20 @@ let palcode =
   Arg.(value & flag & info [ "palcode" ]
          ~doc:"Run in the PALcode-like configuration (trap-style \
                transitions, mroutines in main memory).")
+
+let verify_report =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Print the mcode verifier's full report (per-entry WCET \
+               bounds, interrupt-latency bound) for $(b,--mcode).  \
+               Verification itself is always on unless \
+               $(b,--no-verify): the report flag only controls the \
+               output.")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ]
+         ~doc:"Skip static verification of $(b,--mcode) (CFG safety \
+               checks and WCET bounds; on by default, and an mcode \
+               image with verification errors refuses to install).")
 
 let trace =
   Arg.(value & flag & info [ "trace" ] ~doc:"Record and print a \
@@ -352,7 +416,8 @@ let profile_out =
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
-    Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ trace
-          $ regs $ os $ jobs $ trace_out $ metrics_out $ profile_out)
+    Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode
+          $ verify_report $ no_verify $ trace $ regs $ os $ jobs $ trace_out
+          $ metrics_out $ profile_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -407,7 +407,8 @@ let expand line ~eval ~addr ~li_small name operands =
 
 let directive_known = function
   | ".org" | ".align" | ".space" | ".word" | ".half" | ".byte" | ".ascii"
-  | ".asciiz" | ".equ" | ".mentry" | ".global" | ".text" | ".data" -> true
+  | ".asciiz" | ".equ" | ".mentry" | ".mbound" | ".global" | ".text"
+  | ".data" -> true
   | _ -> false
 
 (* Size and layout effect of a directive during pass 1.  [define] adds
@@ -454,7 +455,7 @@ let directive_pass1 line ~resolve ~define ~lc name operands =
       (lc, 0)
     | _ -> fail line ".equ expects: .equ name, expr"
     end
-  | ".mentry" | ".global" | ".text" | ".data" -> (lc, 0)
+  | ".mentry" | ".mbound" | ".global" | ".text" | ".data" -> (lc, 0)
   | _ -> fail line "unknown directive %S" name
 
 let directive_pass2 line ~eval ~builder ~addr name operands =
@@ -508,6 +509,21 @@ let directive_pass2 line ~eval ~builder ~addr name operands =
       | Error msg -> fail line "%s" msg
       end
     | _ -> fail line ".mentry expects: .mentry entry, label"
+    end
+  | ".mbound" ->
+    (* Loop-bound annotation: the instruction assembled at the current
+       location counter executes at most BOUND times per mroutine
+       invocation.  Pure metadata (emits no bytes); the static
+       verifier's WCET pass consumes it. *)
+    begin match ops with
+    | [ btoks ] ->
+      let bound = eval (parse_expr line btoks) in
+      if bound < 1 then fail line ".mbound %d must be >= 1" bound;
+      begin match Image.Builder.add_mbound builder ~addr ~bound with
+      | Ok () -> ()
+      | Error msg -> fail line "%s" msg
+      end
+    | _ -> fail line ".mbound expects one expression"
     end
   | ".org" | ".align" | ".space" | ".equ" | ".global" | ".text" | ".data" -> ()
   | _ -> fail line "unknown directive %S" name

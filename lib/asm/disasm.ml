@@ -19,6 +19,14 @@ let image (img : Image.t) =
          in
          Buffer.add_string buf (line (start + (4 * i)) w);
          Buffer.add_char buf '\n'
+       done;
+       (* A chunk need not be word-sized: .byte/.ascii tails are real
+          bytes in the image and must not vanish from the listing. *)
+       for i = 4 * words to String.length data - 1 do
+         Buffer.add_string buf
+           (Printf.sprintf "%08x: %02x        .byte 0x%02x" (start + i)
+              (Char.code data.[i]) (Char.code data.[i]));
+         Buffer.add_char buf '\n'
        done)
     img.Image.chunks;
   Buffer.contents buf

@@ -2,6 +2,7 @@ type t = {
   chunks : (int * string) list;
   symbols : (string * int) list;
   mentries : (int * int) list;
+  mbounds : (int * int) list;
   listing : (int * Word.t * string) list;
 }
 
@@ -12,11 +13,13 @@ module Builder = struct
     bytes : (int, int) Hashtbl.t;
     mutable symbols : (string * int) list;
     mutable mentries : (int * int) list;
+    mutable mbounds : (int * int) list;
     mutable listing : (int * Word.t * string) list;
   }
 
   let create () =
-    { bytes = Hashtbl.create 1024; symbols = []; mentries = []; listing = [] }
+    { bytes = Hashtbl.create 1024; symbols = []; mentries = [];
+      mbounds = []; listing = [] }
 
   let emit_byte b ~addr v =
     if Hashtbl.mem b.bytes addr then
@@ -50,6 +53,17 @@ module Builder = struct
       b.mentries <- (entry, addr) :: b.mentries;
       Ok ()
     end
+
+  let add_mbound b ~addr ~bound =
+    match List.assoc_opt addr b.mbounds with
+    | Some b' when b' <> bound ->
+      Error
+        (Printf.sprintf "conflicting .mbound at 0x%08x (%d vs %d)" addr b'
+           bound)
+    | Some _ -> Ok ()
+    | None ->
+      b.mbounds <- (addr, bound) :: b.mbounds;
+      Ok ()
 
   let add_listing b ~addr w src = b.listing <- (addr, w, src) :: b.listing
 
@@ -87,11 +101,13 @@ module Builder = struct
       chunks;
       symbols = List.rev b.symbols;
       mentries = List.sort compare b.mentries;
+      mbounds = List.sort compare b.mbounds;
       listing = List.rev b.listing;
     }
 end
 
-let empty = { chunks = []; symbols = []; mentries = []; listing = [] }
+let empty =
+  { chunks = []; symbols = []; mentries = []; mbounds = []; listing = [] }
 
 let find_symbol img name = List.assoc_opt name img.symbols
 

@@ -10,6 +10,11 @@ type t = {
   symbols : (string * int) list;  (** label/[.equ] name -> value. *)
   mentries : (int * int) list;
       (** mroutine entry number -> address within the image. *)
+  mbounds : (int * int) list;
+      (** address -> execution bound (from [.mbound] directives): the
+          instruction at that address executes at most [bound] times
+          per mroutine invocation.  Consumed by the static verifier's
+          WCET pass; address-sorted. *)
   listing : (int * Word.t * string) list;
       (** (address, instruction word, source text) per emitted
           instruction, in emission order. *)
@@ -33,6 +38,10 @@ module Builder : sig
 
   val add_mentry : t -> entry:int -> addr:int -> (unit, string) result
   (** Fails on duplicate entry numbers. *)
+
+  val add_mbound : t -> addr:int -> bound:int -> (unit, string) result
+  (** Record a loop bound for the instruction at [addr]; fails on a
+      conflicting bound at the same address. *)
 
   val add_listing : t -> addr:int -> Word.t -> string -> unit
 

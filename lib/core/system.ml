@@ -59,7 +59,10 @@ let run_program t ?origin ?max_cycles source =
          | None -> 0)
     in
     start t ~pc ();
-    (try Ok (run t ?max_cycles ()) with Failure msg -> Error msg)
+    (match run t ?max_cycles () with
+     | Metal_cpu.Machine.Halt_out_of_cycles { budget; _ } ->
+       Error (Metal_cpu.Pipeline.timeout_diagnostics t.machine ~budget)
+     | halt -> Ok halt)
 
 let reg t name =
   match Reg.of_string name with

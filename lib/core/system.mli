@@ -32,14 +32,17 @@ val start : t -> ?pc:int -> unit -> unit
 (** Reset the pipeline at [pc] (default 0) in normal mode. *)
 
 val run : t -> ?max_cycles:int -> unit -> Metal_cpu.Machine.halt
-(** Run to a halt.  @raise Failure when the budget (default 10M
-    cycles) is exhausted. *)
+(** Run to a halt.  Budget exhaustion (default 10M cycles) is the
+    typed {!Metal_cpu.Machine.Halt_out_of_cycles}, not an
+    exception. *)
 
 val run_program :
   t -> ?origin:int -> ?max_cycles:int -> string ->
   (Metal_cpu.Machine.halt, string) result
 (** Assemble, load, reset at the image start (symbol [start] if
-    defined, else the lowest address) and run to a halt. *)
+    defined, else the lowest address) and run to a halt.  Budget
+    exhaustion maps to [Error] carrying
+    {!Metal_cpu.Pipeline.timeout_diagnostics}. *)
 
 val reg : t -> string -> Word.t
 (** Read a GPR by name ("a0", "x10", ...).

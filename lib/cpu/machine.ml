@@ -52,6 +52,7 @@ type halt =
   | Halt_ebreak of { pc : int; metal : bool }
   | Halt_fault of { cause : Cause.t; pc : int; info : Word.t }
   | Halt_metal_fault of { cause : Cause.t; pc : int; info : Word.t }
+  | Halt_out_of_cycles of { budget : int; pc : int; metal : bool }
 
 type t = {
   config : Config.t;
@@ -225,6 +226,10 @@ let halted_to_string = function
   | Halt_metal_fault { cause; pc; info } ->
     Printf.sprintf "fatal mroutine %s at metal pc %s (info %s)"
       (Cause.to_string cause) (Word.to_hex pc) (Word.to_hex info)
+  | Halt_out_of_cycles { budget; pc; metal } ->
+    Printf.sprintf "out of cycles: no halt within %d cycles (pc=%s%s)"
+      budget (Word.to_hex pc)
+      (if metal then ", metal mode" else "")
 
 let trace_capacity = 100_000
 

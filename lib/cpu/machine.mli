@@ -69,6 +69,11 @@ type halt =
       (** Unhandled exception in normal mode. *)
   | Halt_metal_fault of { cause : Cause.t; pc : int; info : Word.t }
       (** Fault inside an mroutine: always fatal (Section 2.1). *)
+  | Halt_out_of_cycles of { budget : int; pc : int; metal : bool }
+      (** Cycle-budget exhaustion reported by {!Pipeline.run_exn}; the
+          machine itself is {e not} halted (a kernel scheduler may
+          resume it), so this constructor never appears in
+          [Machine.halted]. *)
 
 type t = {
   config : Config.t;

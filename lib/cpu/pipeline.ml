@@ -1151,21 +1151,23 @@ let run m ~max_cycles =
   in
   loop ()
 
+let timeout_diagnostics m ~budget =
+  let tail = Machine.trace_log m ~max:m.config.Config.timeout_trace_tail in
+  Printf.sprintf
+    "no halt within %d cycles (pc=%s%s)\n--- stats ---\n%s%s"
+    budget (Word.to_hex m.fetch_pc)
+    (if m.fetch_metal then ", metal mode" else "")
+    (Stats.to_string m.stats)
+    (match tail with
+     | [] ->
+       "\n(trace empty; run with Config.trace = true for a \
+        per-retirement log)"
+     | lines ->
+       "\n--- last trace entries ---\n" ^ String.concat "\n" lines)
+
 let run_exn m ~max_cycles =
   match run m ~max_cycles with
   | Some h -> h
   | None ->
-    let tail = Machine.trace_log m ~max:m.config.Config.timeout_trace_tail in
-    failwith
-      (Printf.sprintf
-         "Pipeline.run_exn: no halt within %d cycles (pc=%s%s)\n\
-          --- stats ---\n%s%s"
-         max_cycles (Word.to_hex m.fetch_pc)
-         (if m.fetch_metal then ", metal mode" else "")
-         (Stats.to_string m.stats)
-         (match tail with
-          | [] ->
-            "\n(trace empty; run with Config.trace = true for a \
-             per-retirement log)"
-          | lines ->
-            "\n--- last trace entries ---\n" ^ String.concat "\n" lines))
+    Machine.Halt_out_of_cycles
+      { budget = max_cycles; pc = m.fetch_pc; metal = m.fetch_metal }

@@ -26,4 +26,11 @@ val run : Machine.t -> max_cycles:int -> Machine.halt option
     exhausted first. *)
 
 val run_exn : Machine.t -> max_cycles:int -> Machine.halt
-(** @raise Failure when the cycle budget is exhausted. *)
+(** Like {!run}, but budget exhaustion becomes the typed
+    {!Machine.Halt_out_of_cycles} instead of [None] (the machine is
+    left resumable, exactly as with {!run}). *)
+
+val timeout_diagnostics : Machine.t -> budget:int -> string
+(** Multi-line diagnostic block for a budget-exhausted run: final pc,
+    the stats counters, and the last trace entries (when tracing was
+    on).  Used by [System.run_program] and [mrun] error reports. *)

@@ -1,0 +1,87 @@
+(* Worst-case per-instruction cycle costs in Metal mode.
+
+   This is the static side of the Pipeline cost model: for every
+   instruction kind, the maximum number of cycles its retirement can
+   add to an mroutine invocation, assuming every data-dependent stall
+   fires (cache miss, TLB miss + full walk, load-use interlock) and
+   every redirect squashes the deepest possible wrong-path prefix.
+   The verifier's WCET pass (lib/mverify) sums these along the longest
+   CFG path; the soundness property — measured mroutine cycles never
+   exceed the summed bound — is checked over the program corpus by
+   test_mverify and by [bench verify].
+
+   The numbers mirror the charging sites in Pipeline/Pipeline_slow:
+   - EX-stage redirects (taken branch, jalr) squash IF/ID and ID/EX:
+     2 bubble cycles, plus up to 2 wrong-path MRAM fetches.
+   - jal redirects at decode with a non-combinational refetch: 1
+     bubble, 1 wrong-path fetch.
+   - mexit interlocks against an m-register write in EX or MEM (up to
+     2 stall cycles) and, under Trap_flush, drains like a trap.
+   - Producers that deliver at MEM (loads, rmr, tlbprobe, gprr,
+     mcsrr) can cost their consumer one load-use stall.
+   - Loads/stores pay [mem_latency], a d-cache miss, and — with
+     paging on and a TLB miss — a two-level hardware walk. *)
+
+let dcache_miss (c : Config.t) =
+  match c.dcache with
+  | Some cc -> cc.Metal_hw.Cache.miss_penalty
+  | None -> 0
+
+let icache_miss (c : Config.t) =
+  match c.icache with
+  | Some cc -> cc.Metal_hw.Cache.miss_penalty
+  | None -> 0
+
+let fetch (c : Config.t) =
+  match c.mram_backing with
+  | Config.Dedicated -> 0
+  | Config.Main_memory { fetch_penalty } -> fetch_penalty
+
+(* Worst-case memory-system stall of a virtual load/store: bus
+   latency, a d-cache miss, and a TLB miss served by a full two-level
+   walk (two PTE reads at walker latency each). *)
+let vmem_stall c =
+  c.Config.mem_latency + dcache_miss c + (2 * c.Config.walker_latency)
+
+let instr c (i : Instr.t) =
+  let f = fetch c in
+  let base = 1 + f in
+  base
+  + (match i with
+     | Instr.Branch _ | Instr.Jalr _ -> 2 + (2 * f)
+     | Instr.Jal _ -> 1 + f
+     | Instr.Load _ -> vmem_stall c + 1 (* + load-use on the consumer *)
+     | Instr.Store _ -> vmem_stall c
+     | Instr.Metal mi ->
+       (match mi with
+        | Instr.Mexit ->
+          (* Up to 2 interlock stalls against a wmr in EX/MEM; under
+             Trap_flush the drain squashes 2 fetched slots.  The
+             measured window closes at the mode_exit event, so the
+             post-exit refill is the guest's problem, not ours. *)
+          2 + (2 * f)
+        | Instr.Menter _ ->
+          (* Illegal inside an mroutine (the verifier rejects it);
+             costed like a trap-style entry for completeness. *)
+          3 + (2 * f)
+        | Instr.Mld _ | Instr.Rmr _ -> 1 (* produce at MEM: load-use *)
+        | Instr.Mst _ | Instr.Wmr _ -> 0
+        | Instr.Feature ft ->
+          (match ft with
+           | Instr.Physld _ -> c.Config.mem_latency + 1
+           | Instr.Physst _ -> c.Config.mem_latency
+           | Instr.Tlbprobe _ | Instr.Gprr _ | Instr.Mcsrr _ -> 1
+           | Instr.Tlbw _ | Instr.Tlbflush _ | Instr.Gprw _
+           | Instr.Iceptset _ | Instr.Iceptclr _ | Instr.Mcsrw _ -> 0))
+     | Instr.Lui _ | Instr.Auipc _ | Instr.Op _ | Instr.Op_imm _
+     | Instr.Fence | Instr.Ecall | Instr.Ebreak -> 0)
+
+(* Cycles between the mode_enter event and the point where the
+   per-instruction charges above take over: event delivery (flush +
+   redirect), refilling the 5-stage pipe, and — the subtle part — any
+   stall the *guest* charged in the entry cycle that has not drained
+   yet (a load retiring in MEM while menter sits in ID charges its
+   full memory stall inside the measured window). *)
+let entry_overhead c =
+  4 + c.Config.mem_latency + dcache_miss c + icache_miss c
+  + (2 * c.Config.walker_latency)

@@ -1,0 +1,24 @@
+(** Worst-case per-instruction cycle costs in Metal mode.
+
+    The static counterpart of the {!Pipeline} cost behaviour, consumed
+    by the mcode verifier's WCET pass ([lib/mverify]).  All numbers
+    are upper bounds: summing [instr] over the longest CFG path of an
+    mroutine, plus [entry_overhead], bounds the measured
+    mode_enter→mode_exit latency of any invocation under the same
+    {!Config.t} — and therefore the machine's interrupt latency while
+    that mroutine is installed (mroutines are non-interruptible). *)
+
+val fetch : Config.t -> int
+(** Worst-case fetch stall for one MRAM instruction fetch (0 with
+    dedicated MRAM; the fetch penalty with main-memory mroutines). *)
+
+val instr : Config.t -> Instr.t -> int
+(** Worst-case cycles one retired instruction adds to an mroutine
+    invocation: retirement itself, its fetch, redirect bubbles and
+    wrong-path refetches, the load-use stall it can inflict on its
+    consumer, and its worst memory-system stalls. *)
+
+val entry_overhead : Config.t -> int
+(** Fixed per-invocation overhead not attributable to any mroutine
+    instruction: event delivery, pipeline refill, and the worst
+    guest-side stall still draining inside the measured window. *)

@@ -125,6 +125,27 @@ let is_memory_access = function
   | Metal _ | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Op_imm _
   | Op _ | Ecall | Ebreak | Fence -> false
 
+let is_metal_only = function
+  | Metal (Menter _) -> false
+  | Metal _ -> true
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Load _ | Store _
+  | Op_imm _ | Op _ | Ecall | Ebreak | Fence -> false
+
+let writes_mreg = function
+  | Metal (Wmr { mr; _ }) -> Some mr
+  | _ -> None
+
+let reads_mreg = function
+  | Metal (Rmr { mr; _ }) -> Some mr
+  | _ -> None
+
+let static_successors ~pc = function
+  | Jal { offset; _ } -> [ pc + offset ]
+  | Branch { offset; _ } -> [ pc + 4; pc + offset ]
+  | Jalr _ | Metal (Menter _ | Mexit) | Ecall | Ebreak -> []
+  | Lui _ | Auipc _ | Load _ | Store _ | Op_imm _ | Op _ | Fence
+  | Metal _ -> [ pc + 4 ]
+
 let alu_op_name = function
   | Add -> "add"
   | Sub -> "sub"

@@ -119,6 +119,27 @@ val reads_gprs : t -> Reg.t list
 val is_memory_access : t -> bool
 (** True for loads, stores, [mld]/[mst] and phys accesses. *)
 
+val is_metal_only : t -> bool
+(** True for instructions that are legal only in Metal mode ([mexit],
+    [rmr]/[wmr], [mld]/[mst] and every architectural-feature
+    operation); [menter] is the one Metal instruction legal in normal
+    mode and reports [false]. *)
+
+val writes_mreg : t -> Reg.mreg option
+(** The Metal register written by [wmr], if any.  ([menter] and event
+    delivery also write m-registers, but as a hardware convention, not
+    an instruction operand.) *)
+
+val reads_mreg : t -> Reg.mreg option
+(** The Metal register read by [rmr], if any. *)
+
+val static_successors : pc:int -> t -> int list
+(** Statically-known fall-through / branch successors of the
+    instruction at [pc]: both arms of a branch, the target of [jal],
+    [pc + 4] for straight-line instructions, and [] for terminators
+    and indirect flow ([jalr], [menter]/[mexit], [ecall], [ebreak]) —
+    the mcode verifier resolves those separately. *)
+
 val alu_op_name : alu_op -> string
 (** Mnemonic stem of an ALU operation, e.g. ["add"]. *)
 

@@ -21,7 +21,9 @@ type stmt =
   | S_store of expr * expr
   | S_tlbw of expr * expr
   | S_if of expr * stmt list * stmt list
-  | S_while of expr * stmt list
+  | S_while of int option * expr * stmt list
+      (** Optional iteration bound, emitted as a [.mbound] annotation
+          on the loop head for the static verifier's WCET pass. *)
   | S_exit
 
 type routine = { name : string; entry : int; body : stmt list }
@@ -44,6 +46,7 @@ let xor a b = E_bin (B_xor, a, b)
 let shl a b = E_bin (B_shl, a, b)
 let shr a b = E_bin (B_shr, a, b)
 let sar a b = E_bin (B_sar, a, b)
+let asr_ = sar
 let eq a b = E_bin (B_eq, a, b)
 let ne a b = E_bin (B_ne, a, b)
 let lt a b = E_bin (B_lt, a, b)
@@ -59,7 +62,11 @@ let set_csr c e = S_set_csr (c, e)
 let store ~addr ~value = S_store (addr, value)
 let tlb_write ~tag ~data = S_tlbw (tag, data)
 let if_ c t e = S_if (c, t, e)
-let while_ c b = S_while (c, b)
+let while_ ?bound c b =
+  (match bound with
+   | Some k when k < 0 -> invalid_arg "Mgen.while_: negative bound"
+   | _ -> ());
+  S_while (bound, c, b)
 let exit = S_exit
 
 let routine ~name ~entry body = { name; entry; body }
@@ -220,8 +227,13 @@ let rec gen_stmt st s =
     emit_label st l_else;
     List.iter (gen_stmt st) else_;
     emit_label st l_end
-  | S_while (c, body) ->
+  | S_while (bound, c, body) ->
     let l_head = fresh_label st "while" and l_end = fresh_label st "endwhile" in
+    (* The head block runs once more than the body (the final, failing
+       condition test), hence bound + 1. *)
+    (match bound with
+     | Some k -> emit st ".mbound %d" (k + 1)
+     | None -> ());
     emit_label st l_head;
     (match scratch with
      | dst :: free -> gen_expr st ~dst ~free c

@@ -61,6 +61,10 @@ val shr : expr -> expr -> expr
 val sar : expr -> expr -> expr
 (** Arithmetic right shift. *)
 
+val asr_ : expr -> expr -> expr
+(** Alias for {!sar} under the RISC-style mnemonic ([asr] itself is an
+    OCaml keyword, hence the trailing underscore). *)
+
 val eq : expr -> expr -> expr
 val ne : expr -> expr -> expr
 val lt : expr -> expr -> expr
@@ -93,7 +97,12 @@ val tlb_write : tag:expr -> data:expr -> stmt
 
 val if_ : expr -> stmt list -> stmt list -> stmt
 
-val while_ : expr -> stmt list -> stmt
+val while_ : ?bound:int -> expr -> stmt list -> stmt
+(** [while_ ?bound cond body].  [bound] is the maximum number of body
+    iterations; when given, the generated loop head carries a
+    [.mbound] annotation so the static verifier ({!Metal_mverify})
+    can compute a WCET bound for the routine.  Unbounded loops are
+    rejected by the verifier. *)
 
 val exit : stmt
 (** [mexit]; implicit at the end of every routine body. *)

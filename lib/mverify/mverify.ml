@@ -1,0 +1,557 @@
+(* Static verifier for assembled mcode images.
+
+   Runs before an image is installed into MRAM: decodes every
+   mroutine entry into a CFG and checks the safety properties the
+   paper's story rests on (Sections 2.2 and 5) — control flow stays
+   inside the MRAM code segment, every path reaches mexit, static
+   mld/mst slots stay inside the data segment, no mode-illegal
+   instructions — and computes a per-entry WCET upper bound in
+   pipeline cycles from the Wcost table and the [.mbound] loop
+   annotations.  Since mroutines are non-interruptible, the largest
+   entry bound is the machine's interrupt-latency bound. *)
+
+module Image = Metal_asm.Image
+module Config = Metal_cpu.Config
+module Wcost = Metal_cpu.Wcost
+
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  entry : int option;  (** mroutine entry the finding belongs to *)
+  addr : int option;  (** MRAM code offset, when meaningful *)
+  check : string;  (** short check identifier, e.g. "segment" *)
+  message : string;
+}
+
+type entry_report = {
+  entry : int;
+  addr : int;
+  name : string option;  (** label at the entry address, if any *)
+  reachable : int;  (** reachable instruction count *)
+  wcet : int option;  (** None when an error defeats the bound *)
+}
+
+type t = {
+  entries : entry_report list;
+  findings : finding list;  (** image-level and per-entry, in order *)
+}
+
+let errors t = List.filter (fun f -> f.severity = Error) t.findings
+let warnings t = List.filter (fun f -> f.severity = Warning) t.findings
+let ok t = errors t = []
+
+let interrupt_latency_bound t =
+  List.fold_left
+    (fun acc (e : entry_report) ->
+       match (acc, e.wcet) with
+       | None, _ | _, None -> None
+       | Some a, Some w -> Some (max a w))
+    (Some 0) t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+
+let finding_to_string f =
+  Printf.sprintf "%s: %s%s%s: %s"
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    (match f.entry with
+     | Some e -> Printf.sprintf "entry %d" e
+     | None -> "image")
+    (match f.addr with
+     | Some a -> Printf.sprintf " @0x%04x" a
+     | None -> "")
+    (Printf.sprintf " [%s]" f.check)
+    f.message
+
+let pp ppf t =
+  List.iter
+    (fun (e : entry_report) ->
+       Format.fprintf ppf "entry %2d @0x%04x %-18s %4d instrs  %s@."
+         e.entry e.addr
+         (match e.name with Some n -> n | None -> "")
+         e.reachable
+         (match e.wcet with
+          | Some w -> Printf.sprintf "WCET %5d cycles" w
+          | None -> "WCET -- (errors)"))
+    t.entries;
+  List.iter (fun f -> Format.fprintf ppf "%s@." (finding_to_string f))
+    t.findings;
+  match interrupt_latency_bound t with
+  | Some b when t.entries <> [] ->
+    Format.fprintf ppf "interrupt-latency bound: %d cycles@." b
+  | _ -> ()
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* CFG construction                                                    *)
+
+(* Successor classification of one decoded instruction.  [jal] with a
+   link register is a call (the return address is keyed by the link
+   register); [jalr rd=x0, 0(r)] is the matching return and flows to
+   every recorded return address of [r] — a sound over-approximation
+   of the subroutine idiom the standard mroutines use (enclave links
+   through t3, nested through ra).  Any other [jalr] is statically
+   unanalyzable and rejected. *)
+type flow =
+  | Seq of int list  (** statically-known successors *)
+  | Call of { link : Reg.t; ret : int; target : int }
+  | Ret of Reg.t
+  | Stop  (** mexit / ebreak: a genuine terminator *)
+  | Bad of string  (** statically unanalyzable or mode-illegal *)
+
+let flow_of ~pc (i : Instr.t) =
+  match i with
+  | Instr.Jal { rd = 0; offset } -> Seq [ pc + offset ]
+  | Instr.Jal { rd; offset } ->
+    Call { link = rd; ret = pc + 4; target = pc + offset }
+  | Instr.Jalr { rd = 0; rs1; offset = 0 } -> Ret rs1
+  | Instr.Jalr _ ->
+    Bad "indirect jump (jalr) with no matching jal link is not \
+         statically analyzable"
+  | Instr.Metal Instr.Mexit -> Stop
+  | Instr.Ebreak -> Stop
+  | Instr.Ecall -> Bad "ecall inside an mroutine is a fatal metal fault"
+  | Instr.Metal (Instr.Menter _) ->
+    Bad "menter is illegal in Metal mode (mroutines do not nest)"
+  | _ -> Seq (Instr.static_successors ~pc i)
+
+(* Per-entry analysis state. *)
+type cfg = {
+  insns : (int, Instr.t) Hashtbl.t;  (** reachable, decoded *)
+  succs : (int, int list) Hashtbl.t;
+  mutable order : int list;  (** visit order, for deterministic output *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* WCET: longest path over the SCC condensation, loops weighted by
+   their [.mbound].                                                    *)
+
+(* [Unbounded h]: loop header [h] has no [.mbound].  [Irreducible h]:
+   a loop with several entry points, which the bound model cannot
+   weigh. *)
+exception Unbounded of int
+exception Irreducible of int
+
+let sccs nodes succs =
+  let index = Hashtbl.create 64
+  and low = Hashtbl.create 64
+  and onstack = Hashtbl.create 64 in
+  let stack = ref [] and counter = ref 0 and comps = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace onstack v ();
+    List.iter
+      (fun w ->
+         if not (Hashtbl.mem index w) then begin
+           strong w;
+           Hashtbl.replace low v
+             (min (Hashtbl.find low v) (Hashtbl.find low w))
+         end
+         else if Hashtbl.mem onstack w then
+           Hashtbl.replace low v
+             (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove onstack w;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) nodes;
+  (* Tarjan finishes sink components first; the prepends above leave
+     the list in topological order (sources first). *)
+  !comps
+
+(* Longest path through [nodes] (edges [succs] restricted to the
+   node set) starting from [entries].  A non-trivial SCC weighs its
+   header's [.mbound] times the longest header-to-header path inside
+   it; nested loops recurse. *)
+let rec subgraph_wcet ~cost ~mbound ~nodes ~succs ~entries =
+  let in_nodes v = Hashtbl.mem nodes v in
+  let succs_in v = List.filter in_nodes (succs v) in
+  let node_list = Hashtbl.fold (fun v () acc -> v :: acc) nodes [] in
+  let node_list = List.sort compare node_list in
+  let comps = sccs node_list succs_in in
+  let comp_of = Hashtbl.create 64 in
+  List.iteri
+    (fun ci comp -> List.iter (fun v -> Hashtbl.replace comp_of v ci) comp)
+    comps;
+  let is_loop = function
+    | [ v ] -> List.mem v (succs_in v)
+    | _ -> true
+  in
+  let weight comp =
+    match comp with
+    | [ v ] when not (is_loop comp) -> cost v
+    | _ ->
+      let in_comp v = List.mem v comp in
+      let headers =
+        List.filter
+          (fun v ->
+             List.mem v entries
+             || Hashtbl.fold
+                  (fun u () acc ->
+                     acc
+                     || ((not (in_comp u)) && List.mem v (succs_in u)))
+                  nodes false)
+          comp
+      in
+      (match headers with
+       | [ h ] ->
+         (match mbound h with
+          | None -> raise (Unbounded h)
+          | Some b ->
+            let body = Hashtbl.create 16 in
+            List.iter (fun v -> Hashtbl.replace body v ()) comp;
+            (* Cut the back edges into the header: the remaining body
+               is walked at most [b] times. *)
+            let body_succs v =
+              List.filter (fun w -> in_comp w && w <> h) (succs_in v)
+            in
+            let inner =
+              subgraph_wcet ~cost ~mbound ~nodes:body ~succs:body_succs
+                ~entries:[ h ]
+            in
+            b * inner)
+       | h :: _ -> raise (Irreducible h)
+       | [] -> assert false)
+  in
+  let n = List.length comps in
+  let comp_arr = Array.of_list comps in
+  let weights = Array.map weight comp_arr in
+  let longest = Array.make n min_int in
+  List.iter
+    (fun e ->
+       let ci = Hashtbl.find comp_of e in
+       longest.(ci) <- max longest.(ci) weights.(ci))
+    entries;
+  (* comps are in topological order already. *)
+  let best = ref 0 in
+  Array.iteri
+    (fun ci comp ->
+       if longest.(ci) > min_int then begin
+         best := max !best longest.(ci);
+         List.iter
+           (fun v ->
+              List.iter
+                (fun w ->
+                   let cj = Hashtbl.find comp_of w in
+                   if cj <> ci then
+                     longest.(cj) <-
+                       max longest.(cj) (longest.(ci) + weights.(cj)))
+                (succs_in v))
+           comp
+       end)
+    comp_arr;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Register conventions                                                *)
+
+let reg_name = Reg.to_string
+
+(* Registers the interrupted guest still owns and an mroutine must
+   not clobber: the callee-saved set plus the stack/global/thread
+   pointers and the return address.  [a*] is the mroutine's
+   argument/result interface and [t*] is scratch by the documented
+   Mconv, so neither is linted. *)
+let caller_visible r =
+  (r >= 8 && r <= 9) (* s0, s1 *)
+  || (r >= 18 && r <= 27) (* s2..s11 *)
+  || r = 1 (* ra *) || r = 2 (* sp *) || r = 3 (* gp *) || r = 4 (* tp *)
+
+(* m-registers hardware writes on entry/event delivery; reading them
+   uninitialized is the point. *)
+let mconv_written mr =
+  mr = Reg.Mconv.return_address || mr = Reg.Mconv.event_cause
+  || mr = Reg.Mconv.event_value || mr = Reg.Mconv.event_addr
+  || mr = Reg.Mconv.event_store_value || mr = Reg.Mconv.event_rd
+
+(* ------------------------------------------------------------------ *)
+(* The verifier                                                        *)
+
+let verify ?(config = Config.default) (img : Image.t) =
+  let code_bytes = 4 * config.Config.mram_code_words in
+  let data_bytes = config.Config.mram_data_bytes in
+  let findings = ref [] in
+  let add severity ?entry ?addr check fmt =
+    Printf.ksprintf
+      (fun message ->
+         findings := { severity; entry; addr; check; message } :: !findings)
+      fmt
+  in
+  (* ---- image-level checks ---- *)
+  List.iter
+    (fun (start, data) ->
+       if start < 0 || start + String.length data > code_bytes then
+         add Error ~addr:start "segment"
+           "chunk [0x%x, 0x%x) exceeds the MRAM code segment (%d bytes)"
+           start
+           (start + String.length data)
+           code_bytes
+       else if start land 3 <> 0 || String.length data land 3 <> 0 then
+         add Error ~addr:start "segment" "chunk at 0x%x is not word-aligned"
+           start)
+    img.Image.chunks;
+  List.iter
+    (fun (entry, addr) ->
+       if entry < 0 || entry >= Metal_hw.Mram.max_entries then
+         add Error ~entry "entry" "entry number %d out of range (max %d)"
+           entry
+           (Metal_hw.Mram.max_entries - 1)
+       else if addr < 0 || addr >= code_bytes || addr land 3 <> 0 then
+         add Error ~entry ~addr "entry"
+           "entry address 0x%x outside the MRAM code segment" addr)
+    img.Image.mentries;
+  (* m-registers written anywhere in the image (wmr), for the
+     uninitialized-read lint; entries of one image commonly share
+     persistent m-register state (stm's transaction status, the
+     privilege bit in m0). *)
+  let image_wmr = Hashtbl.create 8 in
+  List.iter
+    (fun (addr, _, _) ->
+       match Option.bind (Image.word_at img addr) (fun w ->
+           Result.to_option (Decode.decode w)) with
+       | Some i ->
+         (match Instr.writes_mreg i with
+          | Some mr -> Hashtbl.replace image_wmr mr ()
+          | None -> ())
+       | None -> ())
+    img.Image.listing;
+  (* ---- per-entry analysis ---- *)
+  let analyze (entry, entry_addr) =
+    let had_error = ref false in
+    let adde severity ?addr check fmt =
+      (match severity with Error -> had_error := true | Warning -> ());
+      add severity ~entry ?addr check fmt
+    in
+    let cfg =
+      { insns = Hashtbl.create 64; succs = Hashtbl.create 64; order = [] }
+    in
+    (* return addresses recorded per link register, and the jr sites
+       waiting on them *)
+    let links : (Reg.t, int list ref) Hashtbl.t = Hashtbl.create 4 in
+    let rets : (Reg.t, int list ref) Hashtbl.t = Hashtbl.create 4 in
+    let work = Queue.create () in
+    let enqueue ~from a =
+      if a < 0 || a >= code_bytes then
+        adde Error ?addr:from "segment"
+          "control flow leaves the MRAM code segment (target 0x%x)" a
+      else if a land 3 <> 0 then
+        adde Error ?addr:from "segment" "misaligned control-flow target 0x%x"
+          a
+      else if not (Hashtbl.mem cfg.insns a) then Queue.add a work
+    in
+    let connect a ss =
+      let old =
+        match Hashtbl.find_opt cfg.succs a with Some l -> l | None -> []
+      in
+      let fresh = List.filter (fun s -> not (List.mem s old)) ss in
+      if fresh <> [] then begin
+        Hashtbl.replace cfg.succs a (old @ fresh);
+        List.iter (enqueue ~from:(Some a)) fresh
+      end
+    in
+    let record_link link ret =
+      let l =
+        match Hashtbl.find_opt links link with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add links link l;
+          l
+      in
+      if not (List.mem ret !l) then begin
+        l := ret :: !l;
+        (* late-arriving return address: give it to jr sites already
+           visited *)
+        match Hashtbl.find_opt rets link with
+        | Some sites -> List.iter (fun site -> connect site [ ret ]) !sites
+        | None -> ()
+      end
+    in
+    let visit a =
+      if not (Hashtbl.mem cfg.insns a) then begin
+        match Image.word_at img a with
+        | None ->
+          adde Error ~addr:a "terminate"
+            "execution reaches 0x%x, which holds no code (falls off the \
+             assembled image before mexit)"
+            a
+        | Some w ->
+          (match Decode.decode w with
+           | Error _ ->
+             adde Error ~addr:a "decode"
+               "undecodable instruction word 0x%08x (fatal illegal \
+                instruction in Metal mode)"
+               w
+           | Ok i ->
+             Hashtbl.replace cfg.insns a i;
+             cfg.order <- a :: cfg.order;
+             (match flow_of ~pc:a i with
+              | Seq ss -> connect a ss
+              | Stop -> Hashtbl.replace cfg.succs a []
+              | Call { link; ret; target } ->
+                record_link link ret;
+                connect a [ target ]
+              | Ret r ->
+                let sites =
+                  match Hashtbl.find_opt rets r with
+                  | Some l -> l
+                  | None ->
+                    let l = ref [] in
+                    Hashtbl.add rets r l;
+                    l
+                in
+                sites := a :: !sites;
+                (match Hashtbl.find_opt links r with
+                 | Some l when !l <> [] -> connect a !l
+                 | _ -> ())
+              | Bad msg -> adde Error ~addr:a "forbidden" "%s" msg))
+      end
+    in
+    enqueue ~from:None entry_addr;
+    while not (Queue.is_empty work) do
+      visit (Queue.pop work)
+    done;
+    (* A jr that never received a return address from a matching jal
+       is a stray ret: control flow we cannot account for. *)
+    Hashtbl.iter
+      (fun r sites ->
+         List.iter
+           (fun site ->
+              match Hashtbl.find_opt cfg.succs site with
+              | Some (_ :: _) -> ()
+              | _ ->
+                adde Error ~addr:site "terminate"
+                  "return through %s with no recorded jal link (stray ret)"
+                  (reg_name r))
+           !sites)
+      rets;
+    let order = List.rev cfg.order in
+    (* ---- per-instruction checks over the reachable set ---- *)
+    List.iter
+      (fun a ->
+         let i = Hashtbl.find cfg.insns a in
+         (match i with
+          | Instr.Metal (Instr.Mld { rs1 = 0; offset; _ })
+          | Instr.Metal (Instr.Mst { rs1 = 0; offset; _ }) ->
+            if offset < 0 || offset + 4 > data_bytes then
+              adde Error ~addr:a "data"
+                "static mld/mst slot %d outside the MRAM data segment \
+                 (%d bytes)"
+                offset data_bytes
+            else if offset land 3 <> 0 then
+              adde Error ~addr:a "data" "misaligned mld/mst slot %d" offset
+          | Instr.Ebreak ->
+            adde Warning ~addr:a "forbidden"
+              "ebreak halts the machine (debug stop; acceptable as a \
+               deliberate terminator)"
+          | _ -> ());
+         (match Instr.reads_mreg i with
+          | Some mr
+            when (not (mconv_written mr)) && not (Hashtbl.mem image_wmr mr)
+            ->
+            adde Warning ~addr:a "mreg"
+              "reads %s, which no wmr in this image initializes"
+              (Reg.mreg_to_string mr)
+          | _ -> ());
+         match Instr.writes_gpr i with
+         | Some r when caller_visible r ->
+           (* Parked registers are saved to an m-register and restored
+              before mexit (wmr mK, r ... rmr r, mK): not a clobber. *)
+           let parked =
+             List.exists
+               (fun a' ->
+                  match Hashtbl.find_opt cfg.insns a' with
+                  | Some (Instr.Metal (Instr.Wmr { mr; rs1 })) ->
+                    rs1 = r
+                    && List.exists
+                         (fun a'' ->
+                            match Hashtbl.find_opt cfg.insns a'' with
+                            | Some (Instr.Metal (Instr.Rmr { rd; mr = mr' }))
+                              -> rd = r && mr' = mr
+                            | _ -> false)
+                         order
+                  | _ -> false)
+               order
+           in
+           if not parked then
+             adde Warning ~addr:a "regs"
+               "clobbers caller-visible register %s (not parked in an \
+                m-register)"
+               (reg_name r)
+         | _ -> ())
+      order;
+    (* ---- WCET ---- *)
+    let wcet =
+      if !had_error then None
+      else begin
+        let nodes = Hashtbl.create 64 in
+        List.iter (fun a -> Hashtbl.replace nodes a ()) order;
+        let succs a =
+          match Hashtbl.find_opt cfg.succs a with Some l -> l | None -> []
+        in
+        let cost a = Wcost.instr config (Hashtbl.find cfg.insns a) in
+        let mbound a = List.assoc_opt a img.Image.mbounds in
+        match
+          subgraph_wcet ~cost ~mbound ~nodes ~succs ~entries:[ entry_addr ]
+        with
+        | path -> Some (Wcost.entry_overhead config + path)
+        | exception Unbounded h ->
+          adde Error ~addr:h "wcet"
+            "loop through 0x%x has no .mbound annotation (unbounded \
+             worst-case execution time)"
+            h;
+          None
+        | exception Irreducible h ->
+          adde Error ~addr:h "wcet"
+            "irreducible loop through 0x%x (multiple entry points)" h;
+          None
+      end
+    in
+    let name =
+      (* Prefer label-looking symbols over .equ constants (ALL_CAPS),
+         which can share the entry's numeric value by coincidence. *)
+      let matches =
+        List.filter_map
+          (fun (n, v) -> if v = entry_addr then Some n else None)
+          img.Image.symbols
+      in
+      let is_const n = String.uppercase_ascii n = n in
+      match List.filter (fun n -> not (is_const n)) matches with
+      | n :: _ -> Some n
+      | [] -> (match matches with n :: _ -> Some n | [] -> None)
+    in
+    { entry; addr = entry_addr; name; reachable = List.length order; wcet }
+  in
+  let entries =
+    List.filter_map
+      (fun (entry, addr) ->
+         if
+           entry >= 0
+           && entry < Metal_hw.Mram.max_entries
+           && addr >= 0
+           && addr < code_bytes
+           && addr land 3 = 0
+         then Some (analyze (entry, addr))
+         else None)
+      img.Image.mentries
+  in
+  { entries; findings = List.rev !findings }
+
+let wcet t ~entry =
+  List.find_map
+    (fun (e : entry_report) -> if e.entry = entry then e.wcet else None)
+    t.entries

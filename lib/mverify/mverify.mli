@@ -1,0 +1,81 @@
+(** Static verifier for assembled mcode images.
+
+    [verify] runs over an {!Metal_asm.Image.t} before it is installed
+    into MRAM: each [.mentry] is decoded into a control-flow graph and
+    checked for the safety properties mroutines must uphold (the paper,
+    Sections 2.2 and 5):
+
+    - control flow (fetches, branch/jal targets, fall-through) stays
+      inside the MRAM code segment and never reaches a word the image
+      does not define;
+    - every path terminates in [mexit] (or a deliberate [ebreak] debug
+      stop — flagged as a warning), with no stray [ret] and no
+      statically unanalyzable [jalr];
+    - mode screening: no [ecall], no nested [menter], every word
+      decodes;
+    - static [mld]/[mst] slots (rs1 = x0) stay word-aligned inside the
+      MRAM data segment;
+    - register-convention lint: clobbers of guest-visible registers
+      (callee-saved, [sp]/[gp]/[tp]/[ra]) that are not parked in an
+      m-register, and reads of m-registers no [wmr] initializes;
+    - a worst-case execution time (WCET) upper bound per entry, in
+      pipeline cycles, from the {!Metal_cpu.Wcost} table and the
+      [.mbound] loop annotations.  Loops without a [.mbound] (or
+      irreducible loops) defeat the bound and are errors.
+
+    Because mroutines are non-interruptible, the maximum entry WCET is
+    the machine's interrupt-latency bound while the image is
+    installed. *)
+
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  entry : int option;  (** mroutine entry the finding belongs to;
+                           [None] for image-level findings *)
+  addr : int option;  (** MRAM code offset, when meaningful *)
+  check : string;  (** short check identifier: "segment", "terminate",
+                       "decode", "forbidden", "data", "mreg", "regs",
+                       "wcet", "entry" *)
+  message : string;
+}
+
+type entry_report = {
+  entry : int;  (** mroutine entry number *)
+  addr : int;  (** entry address in the MRAM code segment *)
+  name : string option;  (** label at the entry address, if any *)
+  reachable : int;  (** reachable instruction count *)
+  wcet : int option;
+      (** worst-case mode_enter→mode_exit latency in cycles, including
+          {!Metal_cpu.Wcost.entry_overhead}; [None] when an error
+          defeats the bound *)
+}
+
+type t = {
+  entries : entry_report list;  (** one per valid [.mentry] *)
+  findings : finding list;  (** image-level first, then per-entry *)
+}
+
+val verify : ?config:Metal_cpu.Config.t -> Metal_asm.Image.t -> t
+(** Verify every mroutine entry of [img] against [config] (default
+    {!Metal_cpu.Config.default}).  Never raises: all problems are
+    reported as findings. *)
+
+val ok : t -> bool
+(** True when no {!Error}-severity finding was produced.  Warnings do
+    not fail verification. *)
+
+val errors : t -> finding list
+val warnings : t -> finding list
+
+val wcet : t -> entry:int -> int option
+(** WCET bound of a specific entry, if it verified cleanly. *)
+
+val interrupt_latency_bound : t -> int option
+(** The maximum entry WCET: an upper bound on how long the machine can
+    stay non-interruptible in Metal mode.  [None] if any entry's bound
+    was defeated. *)
+
+val finding_to_string : finding -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -240,9 +240,16 @@ module Report = struct
 
   let of_json j =
     let ( let* ) = Result.bind in
+    (* Counts are exact integers; a fractional value means the file
+       was edited or produced by a broken writer, so reject it rather
+       than silently truncating. *)
+    let strict_int ~what f =
+      if Float.is_integer f then Ok (int_of_float f)
+      else Error (Printf.sprintf "%s: non-integral number %g" what f)
+    in
     let int_field name obj =
       match Option.bind (Json.member name obj) Json.to_num with
-      | Some f -> Ok (int_of_float f)
+      | Some f -> strict_int ~what:(Printf.sprintf "field %S" name) f
       | None -> Error (Printf.sprintf "missing numeric field %S" name)
     in
     let str_field name obj =
@@ -299,7 +306,7 @@ module Report = struct
                    map_m
                      (fun k ->
                         match Json.to_num k with
-                        | Some f -> Ok (int_of_float f)
+                        | Some f -> strict_int ~what:"stack key" f
                         | None -> Error "non-numeric stack key")
                      (Json.to_list s)
                in

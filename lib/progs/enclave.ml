@@ -16,6 +16,11 @@ let off_closed = base + 0x14
 let off_meas = base + 0x18
 let off_denied = base + 0x1C
 
+(* Upper bound on the measured region, in words: caps the hash loop so
+   the verifier's WCET pass has a static iteration bound ([.mbound]
+   in the mcode below); [install] enforces it. *)
+let max_words = 1024
+
 let mcode () =
   Printf.sprintf
     {|# Security enclaves (paper Section 3.5).
@@ -28,18 +33,22 @@ let mcode () =
 .equ ENC_CLOSED, %d
 .equ ENC_MEAS, %d
 .equ ENC_DENIED, %d
+.equ ENC_MAX_WORDS, %d
 
 .mentry %d, enc_enter
 .mentry %d, enc_exit
 .mentry %d, enc_hash
 
 # Measure the enclave region: h = 5381; h = ((h << 5) + h) ^ word.
-# Internal subroutine; link register is t3.
+# Internal subroutine; link register is t3.  The loop runs
+# region_size / 4 times; install rejects regions larger than
+# ENC_MAX_WORDS words, which justifies the static .mbound below.
 enc_hash_fn:
     mld t0, ENC_BASE(zero)
     mld t1, ENC_SIZE(zero)
     add t1, t1, t0
     li t2, 5381
+    .mbound ENC_MAX_WORDS + 1
 enc_hash_loop:
     bgeu t0, t1, enc_hash_done
     physld t4, 0(t0)
@@ -86,8 +95,8 @@ enc_exit:
     mexit
 |}
     Layout.enclave_org off_entry off_base off_size off_saved off_open
-    off_closed off_meas off_denied Layout.enc_enter Layout.enc_exit
-    Layout.enc_hash
+    off_closed off_meas off_denied max_words Layout.enc_enter
+    Layout.enc_exit Layout.enc_hash
 
 let host_hash m ~base:b ~size =
   let rec go addr h =
@@ -101,6 +110,12 @@ let host_hash m ~base:b ~size =
 
 let install m cfg =
   if cfg.region_size land 3 <> 0 then Error "enclave size must be word-aligned"
+  else if cfg.region_size > 4 * max_words then
+    Error
+      (Printf.sprintf
+         "enclave region too large: %d bytes (limit %d, the hash loop's \
+          static WCET bound)"
+         cfg.region_size (4 * max_words))
   else
     match Metal_asm.Asm.assemble (mcode ()) with
     | Error e -> Error (Metal_asm.Asm.error_to_string e)

@@ -22,6 +22,11 @@ type config = {
   closed_perms : int;
 }
 
+val max_words : int
+(** Largest measurable region in words; {!install} rejects bigger
+    regions.  This is the static [.mbound] of the hash loop, so the
+    verifier's WCET bound for the hashing entries stays finite. *)
+
 val mcode : unit -> string
 (** Entries {!Layout.enc_enter}, {!Layout.enc_exit},
     {!Layout.enc_hash}. *)

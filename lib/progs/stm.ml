@@ -69,6 +69,7 @@ tread:
     rmr t0, m28
     mld t1, WRITE_COUNT(zero)
     li t2, 0
+    .mbound CAPACITY + 1
 tread_scan:
     beq t2, t1, tread_mem
     slli t3, t2, 3
@@ -162,6 +163,7 @@ twrite:
     rmr t5, m27
     mld t1, WRITE_COUNT(zero)
     li t2, 0
+    .mbound CAPACITY + 1
 twrite_scan:
     beq t2, t1, twrite_append
     slli t3, t2, 3
@@ -235,6 +237,7 @@ tcommit:
     mst zero, STATUS(zero)
     mld t1, READ_COUNT(zero)
     li t2, 0
+    .mbound CAPACITY + 1
 tcommit_validate:
     beq t2, t1, tcommit_apply
     slli t3, t2, 3
@@ -248,6 +251,7 @@ tcommit_validate:
 tcommit_apply:
     mld t1, WRITE_COUNT(zero)
     li t2, 0
+    .mbound CAPACITY + 1
 tcommit_apply_loop:
     beq t2, t1, tcommit_ok
     slli t3, t2, 3

@@ -140,3 +140,46 @@ dropping the flag:
   $ ../bin/mrun.exe prog.s --os --profile-out p2.json
   metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
   [1]
+
+The mcode verifier gates --mcode installs.  --verify prints the WCET
+report; verification is on by default, so a broken image refuses to
+install without any flag; --no-verify is the escape hatch.
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --verify
+  entry  1 @0x0000 bump                  6 instrs  WCET    18 cycles
+  interrupt-latency bound: 18 cycles
+  halt: ebreak at 0x00000010
+  stats: cycles=107 instructions=66 (metal=40) ipc=0.62
+         bubbles=41 load-use=8 interlocks=8 flushes=7
+         menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+
+  $ cat > bad.mcode <<'EOF2'
+  > .mentry 1, f
+  > f:
+  >     addi t0, t0, 1
+  > EOF2
+
+  $ ../bin/mrun.exe prog.s --mcode bad.mcode
+  mverify: error: entry 1 @0x0004 [terminate]: execution reaches 0x4, which holds no code (falls off the assembled image before mexit)
+  error: mcode verification failed (1 errors, listed above); --no-verify forces the install
+  [1]
+
+  $ ../bin/mrun.exe prog.s --mcode bad.mcode --no-verify
+  halt: ebreak at 0x00000004
+  stats: cycles=5 instructions=2 (metal=0) ipc=0.40
+         bubbles=3 load-use=0 interlocks=0 flushes=0
+         menter=0 mexit=0 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+
+  $ ../bin/mrun.exe prog.s --mcode bad.mcode --verify --no-verify
+  metal-run: --verify and --no-verify are contradictory
+  [1]
+
+Batch mode verifies the shared mcode once up front:
+
+  $ ../bin/mrun.exe prog.s prog.s --jobs 2 --mcode bad.mcode
+  mverify: error: entry 1 @0x0004 [terminate]: execution reaches 0x4, which holds no code (falls off the assembled image before mexit)
+  error: mcode verification failed (1 errors, listed above); --no-verify forces the install
+  [1]

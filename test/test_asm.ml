@@ -267,6 +267,18 @@ let test_asm_dot_symbol () =
   let img = ok_img ".org 0x40\nhere: .word .\n" in
   check_int "dot is current address" 0x40 (word_of img 0x40)
 
+let test_asm_mbound () =
+  let img =
+    ok_img
+      ".equ N, 4\n.mentry 0, f\nf:\nli t0, 4\n.mbound N + 1\nhead:\n\
+       addi t0, t0, -1\nbne t0, zero, head\nmexit\n"
+  in
+  Alcotest.(check (list (pair int int))) "mbounds" [ (4, 5) ]
+    img.Image.mbounds;
+  (match Asm.assemble ".mbound 0\nnop\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail ".mbound 0 must be rejected")
+
 (* ------------------------------------------------------------------ *)
 (* Errors *)
 
@@ -291,6 +303,16 @@ let test_disasm_roundtrip () =
   check_bool "contains addi" true
     (Tutil.contains dis "addi a0, zero, 1");
   check_bool "contains lw" true (Tutil.contains dis "lw t0, 4(sp)")
+
+(* A chunk whose length is not a multiple of 4 used to lose its tail
+   bytes in the listing; they must come out as .byte lines. *)
+let test_disasm_tail () =
+  let img = ok_img "addi t0, t0, 1\n.byte 0xAA, 0xBB, 0xCC\n" in
+  let dis = Disasm.image img in
+  check_bool "word listed" true (Tutil.contains dis "addi t0, t0, 1");
+  check_bool "tail byte 1" true (Tutil.contains dis ".byte 0xaa");
+  check_bool "tail byte 2" true (Tutil.contains dis ".byte 0xbb");
+  check_bool "tail byte 3" true (Tutil.contains dis ".byte 0xcc")
 
 (* The property: assembling the rendered form of any encodable
    instruction reproduces the same word. *)
@@ -348,9 +370,11 @@ let () =
         [ Alcotest.test_case "data" `Quick test_asm_data_directives;
           Alcotest.test_case "equ/space" `Quick test_asm_equ_space;
           Alcotest.test_case "mentry" `Quick test_asm_mentry;
-          Alcotest.test_case "dot" `Quick test_asm_dot_symbol ] );
+          Alcotest.test_case "dot" `Quick test_asm_dot_symbol;
+          Alcotest.test_case "mbound" `Quick test_asm_mbound ] );
       ( "errors", [ Alcotest.test_case "diagnostics" `Quick test_asm_errors ] );
       ( "disasm",
         Alcotest.test_case "roundtrip" `Quick test_disasm_roundtrip
+        :: Alcotest.test_case "unaligned tail" `Quick test_disasm_tail
         :: List.map QCheck_alcotest.to_alcotest [ prop_render_assemble ] );
     ]

@@ -67,6 +67,32 @@ let gcd =
                 set "a" (xor (var "a") (var "b")) ] ];
         set_param 0 (var "a") ])
 
+(* asr_ (arithmetic shift right, keyword-mangled) and the .mbound
+   emission of bounded loops. *)
+let shifter =
+  Mgen.(
+    routine ~name:"shifter" ~entry:2
+      [ let_ "x" (asr_ (param 0) (int 4));
+        let_ "i" (int 3);
+        while_ ~bound:3 (ne (var "i") (int 0))
+          [ set "i" (sub (var "i") (int 1));
+            set "x" (asr_ (var "x") (int 1)) ];
+        set_param 0 (var "x") ])
+
+let test_asr_bounded () =
+  let src =
+    match Mgen.compile [ shifter ] with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "emits .mbound" true (Tutil.contains src ".mbound 4");
+  let img = Metal_asm.Asm.assemble_exn src in
+  check_int "one mbound annotation" 1 (List.length img.Metal_asm.Image.mbounds);
+  let m = boot [ shifter ] in
+  run m "li a0, -4096\nmenter 2\nmv s0, a0\nebreak\n";
+  (* -4096 asr 4 = -256, then asr 1 three times = -32 *)
+  check_int "asr chain" (-32) (Word.to_signed (reg m "s0"))
+
 let test_gcd () =
   let m = boot [ gcd ] in
   run m "li a0, 252\nli a1, 105\nmenter 1\nmv s0, a0\n\
@@ -190,6 +216,7 @@ let () =
           Alcotest.test_case "metal primitives" `Quick test_metal_primitives;
           Alcotest.test_case "tlb fill" `Quick test_tlb_fill;
           Alcotest.test_case "multiple routines" `Quick test_multiple_routines;
-          Alcotest.test_case "implicit exit" `Quick test_implicit_exit ] );
+          Alcotest.test_case "implicit exit" `Quick test_implicit_exit;
+          Alcotest.test_case "asr + bounded while" `Quick test_asr_bounded ] );
       ( "diagnostics", [ Alcotest.test_case "errors" `Quick test_errors ] );
     ]

@@ -1,0 +1,334 @@
+(* Tests for the static mcode verifier (lib/mverify): accept/reject
+   fixtures for each check, and the WCET soundness property — for a
+   fixed-seed corpus of random Mgen mroutines, the measured
+   mode_enter->mode_exit latency of every invocation stays within the
+   static bound, on both steppers. *)
+
+open Metal_cpu
+module V = Metal_mverify.Mverify
+module Mgen = Metal_mgen.Mgen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let verify ?config src =
+  V.verify ?config (Metal_asm.Asm.assemble_exn src)
+
+let has_error r check =
+  List.exists (fun (f : V.finding) -> f.V.check = check) (V.errors r)
+
+let has_warning r check =
+  List.exists (fun (f : V.finding) -> f.V.check = check) (V.warnings r)
+
+(* ------------------------------------------------------------------ *)
+(* Accept fixtures *)
+
+let test_accept_straight_line () =
+  let r = verify ".mentry 0, f\nf:\naddi t0, t0, 1\nslli t1, t0, 2\nmexit\n" in
+  check_bool "ok" true (V.ok r);
+  check_int "entries" 1 (List.length r.V.entries);
+  (match V.wcet r ~entry:0 with
+   | None -> Alcotest.fail "no WCET for a straight-line mroutine"
+   | Some w ->
+     (* 3 instructions + entry overhead; must be positive and small. *)
+     check_bool "bound is positive" true (w > 3);
+     check_bool "bound is tight-ish" true (w < 60));
+  match V.interrupt_latency_bound r with
+  | Some b -> check_int "latency bound = only entry's WCET" b
+                (Option.get (V.wcet r ~entry:0))
+  | None -> Alcotest.fail "no interrupt-latency bound"
+
+let bounded_loop n =
+  Printf.sprintf
+    ".mentry 3, f\nf:\nli t0, %d\n.mbound %d\nhead:\naddi t0, t0, -1\n\
+     bne t0, zero, head\nmexit\n"
+    n (n + 1)
+
+let test_accept_bounded_loop () =
+  let r4 = verify (bounded_loop 4) and r64 = verify (bounded_loop 64) in
+  check_bool "ok (4)" true (V.ok r4);
+  check_bool "ok (64)" true (V.ok r64);
+  let w4 = Option.get (V.wcet r4 ~entry:3)
+  and w64 = Option.get (V.wcet r64 ~entry:3) in
+  check_bool "bound scales with .mbound" true (w64 > w4 + 100)
+
+let test_accept_call_ret () =
+  let r =
+    verify
+      ".mentry 0, f\nf:\njal t3, sub\naddi t1, t1, 1\nmexit\n\
+       sub:\naddi t0, t0, 1\njr t3\n"
+  in
+  check_bool "ok" true (V.ok r);
+  check_bool "has WCET" true (V.wcet r ~entry:0 <> None)
+
+(* Clobbers parked in an m-register are not warned about. *)
+let test_accept_parked_clobber () =
+  let r =
+    verify
+      ".mentry 0, f\nf:\nwmr m20, s0\nli s0, 99\naddi s0, s0, 1\n\
+       rmr s0, m20\nmexit\n"
+  in
+  check_bool "ok" true (V.ok r);
+  check_bool "no clobber warning" false (has_warning r "regs")
+
+(* ------------------------------------------------------------------ *)
+(* Reject fixtures *)
+
+let test_reject_out_of_segment_branch () =
+  (* jal to beyond the 16 KiB code segment, and a backward branch to
+     a negative address *)
+  let r1 = verify ".mentry 0, f\nf:\njal zero, 20000\nmexit\n" in
+  check_bool "forward out" true (has_error r1 "segment");
+  let r2 = verify ".mentry 0, f\nf:\nbeq zero, zero, -8\nmexit\n" in
+  check_bool "backward out" true (has_error r2 "segment")
+
+let test_reject_missing_mexit () =
+  (* Falls off the end of the assembled image. *)
+  let r = verify ".mentry 0, f\nf:\naddi t0, t0, 1\n" in
+  check_bool "not ok" false (V.ok r);
+  check_bool "terminate error" true (has_error r "terminate");
+  check_bool "WCET defeated" true (V.wcet r ~entry:0 = None)
+
+let test_reject_stray_ret () =
+  let r = verify ".mentry 0, f\nf:\njalr zero, 0(t0)\n" in
+  check_bool "stray ret" true (has_error r "terminate")
+
+let test_reject_forbidden () =
+  let r = verify ".mentry 0, f\nf:\necall\nmexit\n" in
+  check_bool "ecall" true (has_error r "forbidden");
+  let r = verify ".mentry 0, f\nf:\nmenter 1\nmexit\n" in
+  check_bool "nested menter" true (has_error r "forbidden")
+
+let test_reject_undecodable () =
+  let r = verify ".mentry 0, f\nf:\n.word 0xFFFFFFFF\nmexit\n" in
+  check_bool "undecodable" true (has_error r "decode")
+
+let test_reject_bad_data_slot () =
+  let r = verify ".mentry 0, f\nf:\nmld t0, -4(zero)\nmexit\n" in
+  check_bool "negative slot" true (has_error r "data");
+  let r = verify ".mentry 0, f\nf:\nmst t0, 6(zero)\nmexit\n" in
+  check_bool "misaligned slot" true (has_error r "data")
+
+let test_reject_unbounded_loop () =
+  let r =
+    verify
+      ".mentry 0, f\nf:\nhead:\naddi t0, t0, -1\nbne t0, zero, head\nmexit\n"
+  in
+  check_bool "not ok" false (V.ok r);
+  check_bool "wcet error" true (has_error r "wcet");
+  check_bool "no bound" true (V.wcet r ~entry:0 = None)
+
+(* Clobbering a guest-visible register without parking it is reported
+   (as a warning: the standard library does it deliberately in one
+   place, so it must not fail verification). *)
+let test_warn_clobbered_reg () =
+  let r = verify ".mentry 0, f\nf:\nli s3, 7\nmexit\n" in
+  check_bool "still ok" true (V.ok r);
+  check_bool "clobber warning" true (has_warning r "regs")
+
+let test_warn_uninit_mreg () =
+  let r = verify ".mentry 0, f\nf:\nrmr t0, m5\nmexit\n" in
+  check_bool "still ok" true (V.ok r);
+  check_bool "uninit warning" true (has_warning r "mreg");
+  (* the hardware-written convention registers are fine *)
+  let r = verify ".mentry 0, f\nf:\nrmr t0, m30\nmexit\n" in
+  check_bool "mconv read ok" false (has_warning r "mreg")
+
+(* ------------------------------------------------------------------ *)
+(* WCET soundness: random Mgen mroutines, measured vs bound, both
+   steppers.  Same fixed-seed corpus pattern as the differential
+   suite. *)
+
+let corpus_size = 300
+
+let gen_routine rand ~entry =
+  let open Mgen in
+  let int_small () = int (Random.State.int rand 64) in
+  let bin a b =
+    match Random.State.int rand 6 with
+    | 0 -> add a b
+    | 1 -> sub a b
+    | 2 -> and_ a b
+    | 3 -> or_ a b
+    | 4 -> xor a b
+    | _ -> asr_ a (int (Random.State.int rand 8))
+  in
+  let rand_expr () =
+    let base = if Random.State.bool rand then param 0 else var "a" in
+    if Random.State.bool rand then bin base (int_small ()) else base
+  in
+  let iters = 1 + Random.State.int rand 6 in
+  let sets =
+    List.init
+      (Random.State.int rand 3)
+      (fun _ -> set "b" (bin (var "b") (rand_expr ())))
+  in
+  let branchy =
+    if Random.State.bool rand then
+      [ if_ (lt (var "a") (int 32))
+          [ set "a" (add (var "a") (int 1)) ]
+          [ set "a" (sub (var "a") (int 1)) ] ]
+    else []
+  in
+  routine ~name:(Printf.sprintf "r%d" entry) ~entry
+    ([ let_ "a" (param 0); let_ "b" (int_small ()); let_ "i" (int iters) ]
+     @ sets @ branchy
+     @ [ while_ ~bound:iters
+           (ne (var "i") (int 0))
+           [ set "i" (sub (var "i") (int 1));
+             set "a" (bin (var "a") (var "b")) ];
+         set_param 0 (var "a") ])
+
+let corpus =
+  lazy
+    (let rand = Random.State.make [| 0xACE; corpus_size |] in
+     List.init corpus_size (fun i ->
+         (i, gen_routine rand ~entry:(1 + (i mod 8)))))
+
+let measured_max ~predecode mcode_src entry =
+  let config =
+    { Config.default with Config.mem_size = 64 * 1024; Config.predecode }
+  in
+  let m = Machine.create ~config () in
+  (match Metal_asm.Asm.assemble mcode_src with
+   | Error e -> Alcotest.fail (Metal_asm.Asm.error_to_string e)
+   | Ok mimg ->
+     (match Machine.load_mcode m mimg with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e));
+  let c = Metal_trace.Collector.create () in
+  Machine.set_probe m (Metal_trace.Collector.probe c);
+  let guest =
+    Printf.sprintf "start:\nli a0, 0x1234\nmenter %d\nmv s0, a0\n\
+                    li a0, -7\nmenter %d\nebreak\n"
+      entry entry
+  in
+  let img = Metal_asm.Asm.assemble_exn guest in
+  (match Machine.load_image m img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Machine.set_pc m 0;
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_ebreak _) -> ()
+   | Some h -> Alcotest.fail (Machine.halted_to_string h)
+   | None -> Alcotest.fail "cycle budget exhausted");
+  match
+    List.find_opt
+      (fun r -> r.Metal_trace.Metrics.entry = entry)
+      (Metal_trace.Collector.metrics c).Metal_trace.Metrics.mroutines
+  with
+  | Some row -> row.Metal_trace.Metrics.max_cycles
+  | None -> Alcotest.fail "mroutine never invoked"
+
+let test_corpus_wcet_soundness () =
+  let failures = ref [] in
+  List.iter
+    (fun (i, r) ->
+       let entry = 1 + (i mod 8) in
+       let src =
+         match Mgen.compile [ r ] with
+         | Ok s -> s
+         | Error e -> Alcotest.fail (Printf.sprintf "corpus[%d]: %s" i e)
+       in
+       let report = verify src in
+       if not (V.ok report) then
+         failures :=
+           Printf.sprintf "corpus[%d] fails verification:\n%s" i
+             (String.concat "\n"
+                (List.map V.finding_to_string (V.errors report)))
+           :: !failures
+       else
+         let bound =
+           match V.wcet report ~entry with
+           | Some b -> b
+           | None ->
+             Alcotest.fail (Printf.sprintf "corpus[%d]: no bound" i)
+         in
+         List.iter
+           (fun predecode ->
+              let got = measured_max ~predecode src entry in
+              if got > bound then
+                failures :=
+                  Printf.sprintf
+                    "corpus[%d] (predecode=%b): measured %d > bound %d" i
+                    predecode got bound
+                  :: !failures)
+           [ true; false ])
+    (Lazy.force corpus);
+  match !failures with
+  | [] -> ()
+  | fs ->
+    Alcotest.fail
+      (Printf.sprintf "%d corpus WCET violations:\n%s" (List.length fs)
+         (String.concat "\n" (List.rev fs)))
+
+(* ------------------------------------------------------------------ *)
+(* The standard library must verify under both configurations (same
+   gate as ci.sh / tools/mverify --progs, kept here so dune runtest
+   alone catches a regression). *)
+
+let test_standard_progs () =
+  let open Metal_progs in
+  let images =
+    [ ("privilege",
+       Privilege.mcode
+         { Privilege.syscall_table = 0x2000; nsyscalls = 1; kernel_pkeys = 0;
+           user_pkeys = 0; fault_entry = 0x3F00 });
+      ("pagetable", Pagetable.mcode { Pagetable.os_fault_entry = 0 });
+      ("vmm",
+       Vmm.mcode
+         { Vmm.guest_base = 0x10000; guest_size = 0x8000;
+           vmm_fault_entry = 0x700 });
+      ("capability", Capability.mcode ());
+      ("enclave", Enclave.mcode ());
+      ("isolation", Isolation.mcode ());
+      ("nested", Nested.mcode ());
+      ("shadowstack", Shadowstack.mcode ());
+      ("stm", Stm.mcode ());
+      ("uintr", Uintr.mcode ()) ]
+  in
+  List.iter
+    (fun (name, src) ->
+       List.iter
+         (fun (cname, config) ->
+            let r = verify ~config src in
+            if not (V.ok r) then
+              Alcotest.fail
+                (Printf.sprintf "%s (%s):\n%s" name cname
+                   (String.concat "\n"
+                      (List.map V.finding_to_string (V.errors r)))))
+         [ ("default", Config.default); ("palcode", Config.palcode) ])
+    images
+
+let () =
+  Alcotest.run "mverify"
+    [
+      ( "accept",
+        [ Alcotest.test_case "straight line" `Quick test_accept_straight_line;
+          Alcotest.test_case "bounded loop" `Quick test_accept_bounded_loop;
+          Alcotest.test_case "call/ret" `Quick test_accept_call_ret;
+          Alcotest.test_case "parked clobber" `Quick
+            test_accept_parked_clobber ] );
+      ( "reject",
+        [ Alcotest.test_case "out-of-segment branch" `Quick
+            test_reject_out_of_segment_branch;
+          Alcotest.test_case "missing mexit" `Quick test_reject_missing_mexit;
+          Alcotest.test_case "stray ret" `Quick test_reject_stray_ret;
+          Alcotest.test_case "forbidden instructions" `Quick
+            test_reject_forbidden;
+          Alcotest.test_case "undecodable word" `Quick
+            test_reject_undecodable;
+          Alcotest.test_case "bad data slot" `Quick test_reject_bad_data_slot;
+          Alcotest.test_case "unbounded loop" `Quick
+            test_reject_unbounded_loop;
+          Alcotest.test_case "clobbered register" `Quick
+            test_warn_clobbered_reg;
+          Alcotest.test_case "uninitialized m-reg" `Quick
+            test_warn_uninit_mreg ] );
+      ( "wcet",
+        [ Alcotest.test_case "300-routine corpus soundness (both steppers)"
+            `Quick test_corpus_wcet_soundness ] );
+      ( "stdlib",
+        [ Alcotest.test_case "all standard progs verify" `Quick
+            test_standard_progs ] );
+    ]

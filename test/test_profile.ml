@@ -156,6 +156,36 @@ let test_report_roundtrip () =
        Alcotest.(check bool) "round-trips" true (Report.equal r r');
        Alcotest.(check string) "bytes stable" json (Report.to_json r'))
 
+(* JSON numbers that are not integral must be rejected, not silently
+   truncated by int_of_float. *)
+let test_report_rejects_non_integral () =
+  let r = synthetic_profile () in
+  let json = Report.to_json r in
+  (* Rewrite "total_cycles": N into N.5. *)
+  let doctored =
+    let marker = "\"total_cycles\": " in
+    match Tutil.find_sub json marker with
+    | None -> Alcotest.fail "total_cycles field missing"
+    | Some i ->
+      let stop = ref (i + String.length marker) in
+      while !stop < String.length json
+            && json.[!stop] >= '0' && json.[!stop] <= '9' do
+        incr stop
+      done;
+      String.sub json 0 !stop ^ ".5"
+      ^ String.sub json !stop (String.length json - !stop)
+  in
+  match Trace.Json.parse doctored with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    (match Report.of_json j with
+     | Ok _ -> Alcotest.fail "non-integral total_cycles must be rejected"
+     | Error e ->
+       Alcotest.(check bool)
+         (Printf.sprintf "error %S mentions non-integral" e)
+         true
+         (Tutil.contains e "non-integral"))
+
 let test_report_merge () =
   let r = synthetic_profile () in
   Alcotest.(check bool) "empty is left identity" true
@@ -236,6 +266,8 @@ let () =
             test_profile_guards ] );
       ( "report",
         [ Alcotest.test_case "JSON round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "rejects non-integral numbers" `Quick
+            test_report_rejects_non_integral;
           Alcotest.test_case "merge algebra" `Quick test_report_merge;
           Alcotest.test_case "folded export" `Quick test_folded ] );
       ( "end-to-end",

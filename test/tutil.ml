@@ -1,13 +1,15 @@
 (* Shared helpers for the test suites. *)
 
 (* Naive substring search; inputs are small test strings. *)
-let contains haystack needle =
+let find_sub haystack needle =
   let n = String.length needle and h = String.length haystack in
-  if n = 0 then true
+  if n = 0 then Some 0
   else
     let rec go i =
-      if i + n > h then false
-      else if String.sub haystack i n = needle then true
+      if i + n > h then None
+      else if String.sub haystack i n = needle then Some i
       else go (i + 1)
     in
     go 0
+
+let contains haystack needle = find_sub haystack needle <> None

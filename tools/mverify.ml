@@ -1,0 +1,90 @@
+(* mverify: run the static mcode verifier over assembly files, or over
+   every standard mroutine program with --progs (the CI gate).
+
+   Usage:
+     mverify [--palcode] [--quiet] FILE.s ...
+     mverify [--palcode] [--quiet] --progs
+
+   Exit status 0 when every image verifies with no errors (warnings
+   are reported but do not fail), 1 otherwise. *)
+
+module V = Metal_mverify.Mverify
+module P = Metal_progs
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The standard mroutine programs, under representative configs. *)
+let progs () =
+  [ ("privilege",
+     P.Privilege.mcode
+       { P.Privilege.syscall_table = 0x2000; nsyscalls = 1; kernel_pkeys = 0;
+         user_pkeys = 0; fault_entry = 0x3F00 });
+    ("pagetable", P.Pagetable.mcode { P.Pagetable.os_fault_entry = 0 });
+    ("vmm",
+     P.Vmm.mcode
+       { P.Vmm.guest_base = 0x10000; guest_size = 0x8000;
+         vmm_fault_entry = 0x700 });
+    ("capability", P.Capability.mcode ());
+    ("enclave", P.Enclave.mcode ());
+    ("isolation", P.Isolation.mcode ());
+    ("nested", P.Nested.mcode ());
+    ("shadowstack", P.Shadowstack.mcode ());
+    ("stm", P.Stm.mcode ());
+    ("uintr", P.Uintr.mcode ()) ]
+
+let check ~config ~quiet (name, src) =
+  match Metal_asm.Asm.assemble src with
+  | Error e ->
+    Printf.printf "%-12s ASSEMBLY FAILED: %s\n" name
+      (Metal_asm.Asm.error_to_string e);
+    false
+  | Ok img ->
+    let r = V.verify ~config img in
+    let errs = List.length (V.errors r)
+    and warns = List.length (V.warnings r) in
+    Printf.printf "%-12s %s (%d entries, %d errors, %d warnings%s)\n" name
+      (if V.ok r then "ok" else "FAILED")
+      (List.length r.V.entries) errs warns
+      (match V.interrupt_latency_bound r with
+       | Some b -> Printf.sprintf ", interrupt-latency bound %d cycles" b
+       | None -> "");
+    if not quiet then
+      List.iter
+        (fun f -> Printf.printf "  %s\n" (V.finding_to_string f))
+        r.V.findings;
+    V.ok r
+
+let () =
+  let palcode = ref false
+  and quiet = ref false
+  and use_progs = ref false
+  and files = ref [] in
+  Arg.parse
+    [ ("--palcode", Arg.Set palcode,
+       " verify against the PALcode-like configuration");
+      ("--quiet", Arg.Set quiet, " only print the per-image summary line");
+      ("--progs", Arg.Set use_progs,
+       " verify every standard mroutine program (lib/progs)") ]
+    (fun f -> files := f :: !files)
+    "mverify [--palcode] [--quiet] FILE.s ... | --progs";
+  let config =
+    if !palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
+  in
+  let images =
+    (if !use_progs then progs () else [])
+    @ List.rev_map (fun f -> (Filename.basename f, read_file f)) !files
+  in
+  if images = [] then begin
+    prerr_endline "mverify: nothing to verify (give FILE.s or --progs)";
+    exit 2
+  end;
+  let ok =
+    List.fold_left
+      (fun acc img -> check ~config ~quiet:!quiet img && acc)
+      true images
+  in
+  exit (if ok then 0 else 1)
