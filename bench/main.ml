@@ -1650,6 +1650,170 @@ let verify_bench () =
      interrupt-latency bound while the image is installed."
 
 (* ------------------------------------------------------------------ *)
+(* E20: fault-injection campaigns — verdict rates and detection gates  *)
+
+(* lib/inject's robustness semantics on the Figure-2 workloads: a
+   survey campaign over every fault class reports the masked /
+   detected / silent-corruption rates, then two hard gates run:
+
+   - curated zero-silent campaigns (MRAM code flips with user-mode
+     triggers and the integrity re-check armed; spurious/dropped
+     interrupts against a workload with no handlers) where every
+     possible outcome is Masked or Detected by construction — any
+     Silent_corruption fails the bench;
+   - verdict determinism: the survey campaigns re-run on 1 fleet
+     domain must be byte-identical to the max-domain run.
+
+   With --json the campaigns are written to BENCH_inject.json (schema
+   metal-inject-bench-v1, one metal-inject-v1 document per campaign)
+   for trace_check inject and the ci.sh diff against the committed
+   artifact. *)
+
+module Inject = Metal_inject.Inject
+
+let inject_json = ref false
+
+let inject_bench () =
+  section "E20. Fault-injection campaigns: robustness verdicts (lib/inject)";
+  let ping_mcode =
+    ".mentry 1, ping\n\
+     ping:\n\
+     wmr m11, t0\n\
+     rmr t0, m10\n\
+     addi t0, t0, 1\n\
+     wmr m10, t0\n\
+     rmr t0, m11\n\
+     mexit\n"
+  and ping_guest =
+    "start:\n\
+     li s0, 200\n\
+     loop:\n\
+     menter 1\n\
+     addi s0, s0, -1\n\
+     bne s0, zero, loop\n\
+     ebreak\n"
+  in
+  let prepare_ping sys =
+    let m = sys.Metal_core.System.machine in
+    load_mcode m ping_mcode;
+    ignore (load m ping_guest);
+    Machine.set_pc m 0
+  and prepare_null sys =
+    let m = sys.Metal_core.System.machine in
+    ignore (load m null_kernel);
+    (match Privilege.install m priv_cfg with
+     | Ok () -> ()
+     | Error e -> fail "%s" e);
+    ignore (load m (repeat_lines 40 "li a0, 0\nmenter 0\n" ^ "ebreak\n"));
+    Machine.set_pc m 0
+  in
+  let ping = Inject.workload ~label:"ping_loop" ~fuel:2_000_000 prepare_ping
+  and null =
+    Inject.workload ~label:"null_syscall" ~fuel:2_000_000 prepare_null
+  in
+  let campaign ?domains ~spec w =
+    match Inject.run_campaign ?domains ~spec w with
+    | Ok c -> c
+    | Error e -> fail "campaign %s: %s" w.Inject.label e
+  in
+  (* Survey: every fault class, verdict-rate table per workload. *)
+  let survey_spec = { Inject.default_spec with Inject.runs = 64 } in
+  let surveys =
+    List.map (fun w -> campaign ~spec:survey_spec w) [ ping; null ]
+  in
+  List.iter
+    (fun (c : Inject.campaign) ->
+       Printf.printf "\n%s: %d runs, oracle %d cycles\n" c.Inject.label
+         c.Inject.spec.Inject.runs c.Inject.oracle_cycles;
+       Printf.printf "%-14s %5s %7s %9s %7s\n" "class" "runs" "masked"
+         "detected" "silent";
+       let count cls p =
+         Array.fold_left
+           (fun acc (r : Inject.run_record) ->
+              if
+                (cls = None
+                 || cls = Some (Inject.fault_class r.Inject.injection.Inject.fault))
+                && p r.Inject.verdict
+              then acc + 1
+              else acc)
+           0 c.Inject.records
+       in
+       let row label cls =
+         Printf.printf "%-14s %5d %7d %9d %7d\n" label
+           (count cls (fun _ -> true))
+           (count cls (function Inject.Masked -> true | _ -> false))
+           (count cls (function Inject.Detected _ -> true | _ -> false))
+           (count cls (function Inject.Silent _ -> true | _ -> false))
+       in
+       List.iter
+         (fun cls -> row (Inject.class_to_string cls) (Some cls))
+         c.Inject.spec.Inject.classes;
+       row "total" None)
+    surveys;
+  (* Gate 1: curated zero-silent campaigns.  MRAM code flips from
+     user-mode boundaries with integrity armed are detected at the
+     next menter or never fetched again (masked); spurious/dropped
+     interrupts against ping (no handlers installed, interrupts
+     disabled) cannot change architectural state.  Any silent verdict
+     here is a detection hole. *)
+  let curated =
+    [ ( "mram-code+integrity",
+        { Inject.seed = 101; Inject.runs = 48;
+          Inject.classes = [ Inject.Mram_code_flip ];
+          Inject.integrity = true; Inject.user_only = true } );
+      ( "irq-without-handlers",
+        { Inject.seed = 102; Inject.runs = 32;
+          Inject.classes = [ Inject.Irq_spurious; Inject.Irq_drop ];
+          Inject.integrity = true; Inject.user_only = false } ) ]
+  in
+  let curated_campaigns =
+    List.map
+      (fun (name, spec) ->
+         let c = campaign ~spec ping in
+         let _, detected, silent = Inject.summary c in
+         if silent > 0 then
+           fail
+             "curated campaign %s: %d silent corruptions — a fault class \
+              that must be masked-or-detected slipped through"
+             name silent;
+         Printf.printf "curated %-22s %2d runs: 0 silent (%d detected)\n"
+           name c.Inject.spec.Inject.runs detected;
+         c)
+      curated
+  in
+  (* Gate 2: verdicts are a pure function of the spec — byte-identical
+     across fleet domain counts. *)
+  let n_domains = max 2 (Metal_fleet.Fleet.default_domains ()) in
+  List.iter
+    (fun w ->
+       let j1 = Inject.to_json (campaign ~domains:1 ~spec:survey_spec w)
+       and jn =
+         Inject.to_json (campaign ~domains:n_domains ~spec:survey_spec w)
+       in
+       if j1 <> jn then
+         fail "%s: verdicts differ between 1 domain and %d" w.Inject.label
+           n_domains)
+    [ ping; null ];
+  Printf.printf
+    "determinism: survey verdicts byte-identical on 1 vs %d domains\n"
+    n_domains;
+  if !inject_json then begin
+    let oc = open_out "BENCH_inject.json" in
+    Printf.fprintf oc
+      "{\n  \"schema\": \"metal-inject-bench-v1\",\n  \"campaigns\": [\n";
+    let all = surveys @ curated_campaigns in
+    List.iteri
+      (fun i c ->
+         let doc = String.trim (Inject.to_json c) in
+         Printf.fprintf oc "%s%s\n" doc
+           (if i = List.length all - 1 then "" else ","))
+      all;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    print_endline "wrote BENCH_inject.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1710,7 +1874,8 @@ let sections =
     ("isolation", isolation); ("ablation", ablation); ("nested", nested);
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
     ("simperf", simperf); ("fleet", fleet); ("trace", trace_obs);
-    ("profile", profile_bench); ("verify", verify_bench); ("host", host) ]
+    ("profile", profile_bench); ("verify", verify_bench);
+    ("inject", inject_bench); ("host", host) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1721,6 +1886,7 @@ let () =
            simperf_json := true;
            fleet_json := true;
            profile_json := true;
+           inject_json := true;
            false
          end
          else true)

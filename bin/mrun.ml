@@ -292,8 +292,84 @@ let run_batch paths mcode_path origin max_cycles palcode verify report regs
     (Array.length outcomes) domains;
   if !failures = 0 then 0 else 1
 
+(* Fault-injection campaigns: each program becomes a campaign workload
+   (oracle run + [runs] seeded injected runs on the fleet), with a
+   human verdict summary per program and optional verdict JSON. *)
+let run_inject paths mcode_path origin max_cycles palcode verify report
+    spec_str inject_out jobs =
+  match Metal_inject.Inject.spec_of_string spec_str with
+  | Error e ->
+    Printf.eprintf "metal-run: --inject %s\n" e;
+    1
+  | Ok spec ->
+    let base =
+      if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
+    in
+    let mcode = Option.map read_file mcode_path in
+    (* Verify the shared mcode once up front, not once per run. *)
+    let precheck =
+      match mcode with
+      | Some src when verify ->
+        (match Metal_asm.Asm.assemble src with
+         | Error e -> Error (Metal_asm.Asm.error_to_string e)
+         | Ok img -> verify_mcode ~config:base ~report img)
+      | _ -> Ok ()
+    in
+    (match precheck with
+     | Error e ->
+       Printf.eprintf "error: %s\n" e;
+       1
+     | Ok () ->
+       let prepare src sys =
+         (match mcode with
+          | None -> ()
+          | Some msrc ->
+            (match Metal_core.System.load_mcode sys msrc with
+             | Ok () -> ()
+             | Error e -> failwith e));
+         match Metal_core.System.load_program sys ~origin src with
+         | Error e -> failwith e
+         | Ok img ->
+           let pc =
+             match Metal_asm.Image.find_symbol img "start" with
+             | Some a -> a
+             | None ->
+               (match Metal_asm.Image.bounds img with
+                | Some (lo, _) -> lo
+                | None -> 0)
+           in
+           Metal_core.System.start sys ~pc ()
+       in
+       let domains = if jobs > 0 then Some jobs else None in
+       let failures = ref 0 in
+       List.iteri
+         (fun i path ->
+            let w =
+              Metal_inject.Inject.workload ~config:base ~fuel:max_cycles
+                ~label:path
+                (prepare (read_file path))
+            in
+            match Metal_inject.Inject.run_campaign ?domains ~spec w with
+            | Error e ->
+              incr failures;
+              Printf.printf "%s: FAILED: %s\n" path e
+            | Ok c ->
+              Format.printf "%a" Metal_inject.Inject.pp c;
+              Format.print_flush ();
+              (match inject_out with
+               | None -> ()
+               | Some f ->
+                 let f =
+                   if List.length paths = 1 then f
+                   else Printf.sprintf "%s.%d" f i
+                 in
+                 write_file f (Metal_inject.Inject.to_json c);
+                 Printf.printf "verdicts: %s\n" f))
+         paths;
+       if !failures = 0 then 0 else 1)
+
 let run paths mcode_path origin max_cycles palcode report no_verify trace
-    regs os jobs trace_out metrics_out profile_out =
+    regs os jobs trace_out metrics_out profile_out inject inject_out =
   let verify = not no_verify in
   match paths with
   | [] ->
@@ -305,6 +381,23 @@ let run paths mcode_path origin max_cycles palcode report no_verify trace
   | _ when os && mcode_path <> None ->
     prerr_endline "metal-run: --os installs its own mcode (drop --mcode)";
     1
+  | _ when inject <> None && os ->
+    prerr_endline
+      "metal-run: --inject drives the bare machine (campaigns need the \
+       fault-free oracle); it does not combine with --os";
+    1
+  | _
+    when inject <> None
+         && (trace || regs || trace_out <> None || metrics_out <> None
+             || profile_out <> None) ->
+    prerr_endline
+      "metal-run: --inject owns the probe and the run loop; it does not \
+       combine with --trace/--regs/--trace-out/--metrics-out/--profile-out \
+       (use --inject-out FILE for the verdict JSON)";
+    1
+  | _ when inject = None && inject_out <> None ->
+    prerr_endline "metal-run: --inject-out requires --inject";
+    1
   | _
     when os
          && (trace || regs || trace_out <> None || metrics_out <> None
@@ -313,6 +406,9 @@ let run paths mcode_path origin max_cycles palcode report no_verify trace
       "metal-run: --os does not support --trace/--regs/--trace-out/\
        --metrics-out/--profile-out (the kernel owns the machine)";
     1
+  | paths when inject <> None ->
+    run_inject paths mcode_path origin max_cycles palcode verify report
+      (Option.get inject) inject_out jobs
   | [ path ] when jobs = 0 ->
     if os then run_os path max_cycles
     else
@@ -413,11 +509,30 @@ let profile_out =
                the fleet-merged profile.  Composes with \
                $(b,--trace-out)/$(b,--metrics-out).")
 
+let inject =
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
+         ~doc:"Run a deterministic fault-injection campaign instead of a \
+               plain run: a fault-free oracle plus seeded injected runs \
+               of the program, each classified masked / detected / \
+               silent-corruption against the oracle.  $(docv) is \
+               comma-separated $(b,seed:N), $(b,runs:N), \
+               $(b,classes:NAME+NAME), $(b,integrity), \
+               $(b,no-integrity), $(b,user-only) over the defaults \
+               (seed 1, 16 runs, every class, integrity on).  Verdicts \
+               are reproducible from the spec alone, independent of \
+               $(b,--jobs).")
+
+let inject_out =
+  Arg.(value & opt (some string) None & info [ "inject-out" ] ~docv:"FILE"
+         ~doc:"Write the campaign verdict JSON (schema metal-inject-v1) \
+               to $(docv); with several programs each campaign writes \
+               $(docv).<index>.  Requires $(b,--inject).")
+
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
     Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode
           $ verify_report $ no_verify $ trace $ regs $ os $ jobs $ trace_out
-          $ metrics_out $ profile_out)
+          $ metrics_out $ profile_out $ inject $ inject_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -81,6 +81,7 @@ type t = {
   mutable fault_vaddr : Word.t;
   mutable fault_cause : Word.t;
   mutable xlate_cause : Cause.t;
+  mutable mram_hash : int;
   trace : (int * string) Queue.t;
   (* Observability probe.  [probe_on] keeps the disabled hot path to a
      single load-and-branch; the closure receives
@@ -149,6 +150,7 @@ let create ?(config = Config.default) () =
     fault_vaddr = 0;
     fault_cause = 0;
     xlate_cause = Cause.Access_fault;
+    mram_hash = -1;
     trace = Queue.create ();
     probe_on = false;
     probe = no_probe;
@@ -208,7 +210,15 @@ let write_word t addr v =
 let load_image t img =
   Metal_hw.Phys_mem.load_image (Metal_hw.Bus.memory t.bus) img
 
-let load_mcode t img = Metal_hw.Mram.load_image t.mram img
+let load_mcode t img =
+  match Metal_hw.Mram.load_image t.mram img with
+  | Ok () ->
+    t.mram_hash <- Metal_hw.Mram.checksum_code t.mram;
+    Ok ()
+  | Error _ as e -> e
+
+let mram_integrity_ok t =
+  t.mram_hash < 0 || Metal_hw.Mram.checksum_code t.mram = t.mram_hash
 
 let install_handler t cause ~entry =
   ctrl_write t (Csr.exc_handler cause) (entry + 1)

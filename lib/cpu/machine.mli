@@ -106,6 +106,10 @@ type t = {
   mutable fault_cause : Word.t;
   mutable xlate_cause : Cause.t;
       (** fault cause of the last failed {!Pipeline.translate} *)
+  mutable mram_hash : int;
+      (** MRAM code-segment checksum recorded by the most recent
+          [load_mcode] (-1 when no mcode was loaded); see
+          {!mram_integrity_ok} *)
   trace : (int * string) Queue.t;  (** bounded (cycle, message) log *)
   mutable probe_on : bool;
       (** observability probe armed; the disabled hot path pays one
@@ -147,7 +151,16 @@ val load_image : t -> Metal_asm.Image.t -> (unit, string) result
 
 val load_mcode : t -> Metal_asm.Image.t -> (unit, string) result
 (** Load an assembled mcode image into MRAM and register its
-    [.mentry] table. *)
+    [.mentry] table.  On success the code-segment checksum is recorded
+    for {!mram_integrity_ok}. *)
+
+val mram_integrity_ok : t -> bool
+(** Re-check the MRAM code segment against the checksum recorded at
+    the last [load_mcode] (the dynamic, mverify-style integrity check;
+    vacuously true when no mcode was ever loaded).  [mst] writes touch
+    only the data segment, so a mismatch means the installed mroutine
+    {e code} changed underneath the machine — the fault-injection
+    harness treats a mismatch on Metal-mode entry as [Detected]. *)
 
 val install_handler : t -> Cause.t -> entry:int -> unit
 (** Point the exception handler control register at an mroutine. *)

@@ -109,3 +109,30 @@ let store_word t ~addr v =
   end
 
 let clear_data t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+
+(* Fault injection (lib/inject): flip one bit of a stored word.  Both
+   mutators bump [version] exactly like a legitimate write would, so
+   the predecoded-instruction cache re-syncs instead of serving a
+   decode of the pre-fault word. *)
+
+let corrupt_code_bit t ~word ~bit =
+  if word < 0 || word >= Array.length t.code || bit < 0 || bit > 31 then false
+  else begin
+    t.version <- t.version + 1;
+    t.code.(word) <- t.code.(word) lxor (1 lsl bit);
+    true
+  end
+
+let corrupt_data_bit t ~addr ~bit =
+  if bit < 0 || bit > 31 then false
+  else
+    match load_word t ~addr with
+    | None -> false
+    | Some w -> store_word t ~addr (w lxor (1 lsl bit))
+
+let checksum_code t =
+  let h = ref 0x811c9dc5 in
+  Array.iter
+    (fun w -> h := (!h lxor w) * 0x01000193 land max_int)
+    t.code;
+  !h

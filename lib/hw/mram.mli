@@ -51,3 +51,25 @@ val store_word : t -> addr:int -> Word.t -> bool
 
 val clear_data : t -> unit
 (** Zero the data segment (used between benchmark runs). *)
+
+(** {2 Fault injection}
+
+    Narrow mutation surface for [lib/inject]: single-bit upsets in the
+    stored arrays.  Both mutators bump {!version}, so cached derived
+    state (the CPU's predecode cache) is invalidated exactly as for a
+    legitimate write — a flipped code word must be re-fetched and
+    re-decoded, never served from a stale predecode entry. *)
+
+val corrupt_code_bit : t -> word:int -> bit:int -> bool
+(** Flip bit [bit] of code-segment word index [word]; [false] (and no
+    change) when either is out of range. *)
+
+val corrupt_data_bit : t -> addr:int -> bit:int -> bool
+(** Flip bit [bit] of the data-segment word at byte offset [addr]
+    (word-aligned); [false] when out of range. *)
+
+val checksum_code : t -> int
+(** FNV-1a hash of the full code segment.  {!Metal_cpu.Machine} records
+    it at [load_mcode] time and re-checks it on Metal-mode entry when
+    integrity checking is enabled (the dynamic analogue of the static
+    mverify pass). *)

@@ -15,3 +15,10 @@ let write t m v =
   t.regs.(m) <- Word.of_int v
 
 let dump t = Array.copy t.regs
+
+(* Fault injection (lib/inject): single-bit upset of one Metal
+   register. *)
+let flip_bit t m ~bit =
+  check m;
+  if bit < 0 || bit > 31 then invalid_arg "Mregs.flip_bit: bit";
+  t.regs.(m) <- t.regs.(m) lxor (1 lsl bit)

@@ -14,3 +14,7 @@ val write : t -> Reg.mreg -> Word.t -> unit
 
 val dump : t -> Word.t array
 (** A copy of the register file, for inspection and tests. *)
+
+val flip_bit : t -> Reg.mreg -> bit:int -> unit
+(** Fault injection ([lib/inject]): flip bit [bit] (0–31) of register
+    [m].  Raises [Invalid_argument] on an invalid register or bit. *)

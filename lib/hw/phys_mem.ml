@@ -71,3 +71,22 @@ let load_image t (img : Metal_asm.Image.t) =
        | Error _ as e -> e
        | Ok () -> blit_string t ~addr data)
     (Ok ()) img.Metal_asm.Image.chunks
+
+(* Fault injection (lib/inject): single-bit upset of an aligned word.
+   Goes through read32/write32 so the version counter advances exactly
+   as for a legitimate store (the predecode cache must re-sync). *)
+let corrupt_bit t ~addr ~bit =
+  if bit < 0 || bit > 31 then invalid_arg "Phys_mem.corrupt_bit: bit";
+  let v = read32 t addr lxor (1 lsl bit) in
+  write32 t addr v;
+  v
+
+let hash t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length t.data then
+    invalid_arg "Phys_mem.hash: range";
+  let h = ref 0x811c9dc5 in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get t.data i)) * 0x01000193
+         land max_int
+  done;
+  !h

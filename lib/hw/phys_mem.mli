@@ -34,3 +34,13 @@ val load_image : t -> Metal_asm.Image.t -> (unit, string) result
     address. *)
 
 val blit_string : t -> addr:int -> string -> (unit, string) result
+
+val corrupt_bit : t -> addr:int -> bit:int -> Word.t
+(** Fault injection ([lib/inject]): flip bit [bit] (0–31) of the
+    aligned word at [addr] and return the resulting word.  Bumps
+    {!version} like any other write.  Raises [Invalid_argument] when
+    out of range. *)
+
+val hash : t -> pos:int -> len:int -> int
+(** FNV-1a hash of [len] bytes starting at [pos] (fault-injection
+    verdicts compare per-page hashes instead of copying memory). *)

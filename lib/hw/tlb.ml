@@ -117,3 +117,37 @@ let flush_asid t ~asid =
 
 let entries t =
   Array.to_list t.slots |> List.filter_map (fun e -> e)
+
+(* Fault injection (lib/inject): single-bit corruption of an entry's
+   packed (tag, data) representation, and spurious invalidation of one
+   slot.  Both bump [gen] so the lookup memo is flushed, exactly as
+   for a legitimate mutation. *)
+
+let corrupt_slot t ~slot ~bit =
+  if slot < 0 || slot >= Array.length t.slots || bit < 0 || bit > 63 then false
+  else
+    match t.slots.(slot) with
+    | None -> false
+    | Some e ->
+      let tag = Instr.pack_tlb_tag ~vpn:e.vpn ~asid:e.asid ~global:e.global
+      and data =
+        Instr.pack_tlb_data ~ppn:e.ppn ~pkey:e.pkey ~r:e.r ~w:e.w ~x:e.x
+      in
+      let tag, data =
+        if bit < 32 then (tag, data lxor (1 lsl bit))
+        else (tag lxor (1 lsl (bit - 32)), data)
+      in
+      let vpn, asid, global = Instr.unpack_tlb_tag (Word.of_int tag) in
+      let ppn, pkey, r, w, x = Instr.unpack_tlb_data (Word.of_int data) in
+      t.gen <- t.gen + 1;
+      t.slots.(slot) <- Some { asid; global; vpn; ppn; r; w; x; pkey };
+      true
+
+let drop_slot t ~slot =
+  if slot < 0 || slot >= Array.length t.slots || t.slots.(slot) = None then
+    false
+  else begin
+    t.gen <- t.gen + 1;
+    t.slots.(slot) <- None;
+    true
+  end

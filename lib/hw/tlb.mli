@@ -45,3 +45,21 @@ val flush_asid : t -> asid:int -> unit
 
 val entries : t -> entry list
 (** Live entries, for inspection and tests. *)
+
+(** {2 Fault injection}
+
+    Narrow mutation surface for [lib/inject].  Both mutators invalidate
+    the internal lookup memo, so modelled behaviour after the fault is
+    identical to a TLB that really holds the corrupted state. *)
+
+val corrupt_slot : t -> slot:int -> bit:int -> bool
+(** Flip one bit of the packed representation of the entry in [slot]:
+    bits 0–31 address the {!Instr.pack_tlb_data} word (permissions,
+    page key, PPN), bits 32–63 the {!Instr.pack_tlb_tag} word (global,
+    ASID, VPN).  [false] (no change) when the slot is empty or an index
+    is out of range.  Flipping a bit the packed layout does not use is
+    a silent no-op by construction. *)
+
+val drop_slot : t -> slot:int -> bool
+(** Spuriously invalidate the entry in [slot]; [false] when already
+    empty or out of range. *)

@@ -11,7 +11,8 @@ let stall_begin = 9
 let stall_end = 10
 let call = 11
 let ret = 12
-let count = 13
+let inject = 13
+let count = 14
 
 let name = function
   | 0 -> "retire"
@@ -27,6 +28,7 @@ let name = function
   | 10 -> "stall_end"
   | 11 -> "call"
   | 12 -> "ret"
+  | 13 -> "inject"
   | k -> "event_" ^ string_of_int k
 
 let reason_menter = 0

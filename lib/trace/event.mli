@@ -24,7 +24,10 @@
       that links through ra/t0 — the RISC-V calling convention's
       call hint)
     - [ret]: [a] = return-target pc, [b] = site pc (retired
-      [jalr x0, ra/t0] — the convention's return hint) *)
+      [jalr x0, ra/t0] — the convention's return hint)
+    - [inject]: a fault was injected this cycle ([Metal_inject]);
+      [a] = fault-class code ([Metal_inject.Inject.class_code]),
+      [b] = class-specific packed detail (location and bit) *)
 
 val retire : int
 val mode_enter : int
@@ -39,6 +42,7 @@ val stall_begin : int
 val stall_end : int
 val call : int
 val ret : int
+val inject : int
 
 val count : int
 (** Number of event kinds; kinds are dense in [0, count). *)

@@ -69,7 +69,7 @@ folded-stack flamegraph, then prints the hot-spot report.
   root;m1:bump 74
 
   $ ../tools/trace_check.exe metrics m3.json
-  m3.json: ok (13 event kinds, 1 mroutines)
+  m3.json: ok (14 event kinds, 1 mroutines)
   $ ../tools/trace_check.exe profile p.json
   p.json: ok (107 cycles, 10 hot PCs, 2 stacks)
 
@@ -182,4 +182,124 @@ Batch mode verifies the shared mcode once up front:
   $ ../bin/mrun.exe prog.s prog.s --jobs 2 --mcode bad.mcode
   mverify: error: entry 1 @0x0004 [terminate]: execution reaches 0x4, which holds no code (falls off the assembled image before mexit)
   error: mcode verification failed (1 errors, listed above); --no-verify forces the install
+  [1]
+
+Fault-injection campaigns: --inject runs a fault-free oracle plus
+seeded injected runs and classifies each against it.  The verdicts are
+a pure function of the spec (seed, runs, classes), so this output is
+deterministic, and --inject-out writes the machine-readable document
+that trace_check validates.
+
+  $ cat > loop.s <<'EOF3'
+  > start:
+  >     li s0, 40
+  > loop:
+  >     menter 1
+  >     addi s0, s0, -1
+  >     bne s0, zero, loop
+  >     ebreak
+  > EOF3
+
+  $ cat > ping.mcode <<'EOF4'
+  > .mentry 1, ping
+  > ping:
+  >     wmr m11, t0
+  >     rmr t0, m10
+  >     addi t0, t0, 1
+  >     wmr m10, t0
+  >     rmr t0, m11
+  >     mexit
+  > EOF4
+
+  $ ../bin/mrun.exe loop.s --mcode ping.mcode \
+  >   --inject seed:7,runs:6,classes:mram-code+irq-spurious,user-only \
+  >   --inject-out verdicts.json
+  campaign loop.s: seed:7,runs:6,classes:mram-code+irq-spurious,integrity,user-only
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  3   50.0%
+  detected                3   50.0%
+  silent corruption       0    0.0%
+    [0] mram-code word 2577 bit 18 @ user-cycle>=384 -> detected (mram integrity re-check failed on menter)
+    [2] mram-code word 693 bit 19 @ user-cycle>=284 -> detected (mram integrity re-check failed on menter)
+    [3] mram-code word 849 bit 16 @ user-cycle>=88 -> detected (mram integrity re-check failed on menter)
+  verdicts: verdicts.json
+
+  $ ../tools/trace_check.exe inject verdicts.json
+  verdicts.json: ok (1 campaigns, 6 runs: 3 masked, 3 detected, 0 silent)
+
+Campaign verdicts are independent of the fleet domain count:
+
+  $ ../bin/mrun.exe loop.s --mcode ping.mcode --inject seed:7,runs:6 \
+  >   --inject-out v1.json --jobs 1
+  campaign loop.s: seed:7,runs:6,classes:mram-code+mram-data+mreg+tlb+tlb-drop+irq-spurious+irq-drop+load,integrity
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  4   66.7%
+  detected                2   33.3%
+  silent corruption       0    0.0%
+    [2] mram-code word 693 bit 19 @ cycle>=284 -> detected (mram integrity re-check failed on menter)
+    [3] mram-code word 849 bit 16 @ cycle>=88 -> detected (mram integrity re-check failed on menter)
+  verdicts: v1.json
+  $ ../bin/mrun.exe loop.s --mcode ping.mcode --inject seed:7,runs:6 \
+  >   --inject-out v4.json --jobs 4
+  campaign loop.s: seed:7,runs:6,classes:mram-code+mram-data+mreg+tlb+tlb-drop+irq-spurious+irq-drop+load,integrity
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  4   66.7%
+  detected                2   33.3%
+  silent corruption       0    0.0%
+    [2] mram-code word 693 bit 19 @ cycle>=284 -> detected (mram integrity re-check failed on menter)
+    [3] mram-code word 849 bit 16 @ cycle>=88 -> detected (mram integrity re-check failed on menter)
+  verdicts: v4.json
+  $ cmp v1.json v4.json && echo identical
+  identical
+
+Batch campaigns write one verdict document per program:
+
+  $ ../bin/mrun.exe loop.s loop.s --mcode ping.mcode \
+  >   --inject seed:7,runs:4 --inject-out vb.json
+  campaign loop.s: seed:7,runs:4,classes:mram-code+mram-data+mreg+tlb+tlb-drop+irq-spurious+irq-drop+load,integrity
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  2   50.0%
+  detected                2   50.0%
+  silent corruption       0    0.0%
+    [2] mram-code word 693 bit 19 @ cycle>=284 -> detected (mram integrity re-check failed on menter)
+    [3] mram-code word 849 bit 16 @ cycle>=88 -> detected (mram integrity re-check failed on menter)
+  verdicts: vb.json.0
+  campaign loop.s: seed:7,runs:4,classes:mram-code+mram-data+mreg+tlb+tlb-drop+irq-spurious+irq-drop+load,integrity
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  2   50.0%
+  detected                2   50.0%
+  silent corruption       0    0.0%
+    [2] mram-code word 693 bit 19 @ cycle>=284 -> detected (mram integrity re-check failed on menter)
+    [3] mram-code word 849 bit 16 @ cycle>=88 -> detected (mram integrity re-check failed on menter)
+  verdicts: vb.json.1
+  $ ../tools/trace_check.exe inject vb.json.0 vb.json.1
+  vb.json.0: ok (1 campaigns, 4 runs: 2 masked, 2 detected, 0 silent)
+  vb.json.1: ok (1 campaigns, 4 runs: 2 masked, 2 detected, 0 silent)
+
+Invalid fault-class strings and spec keys are rejected loudly, as are
+the flag combinations that cannot work:
+
+  $ ../bin/mrun.exe loop.s --inject classes:cosmic-ray
+  metal-run: --inject unknown fault class "cosmic-ray" (valid: mram-code, mram-data, mreg, tlb, tlb-drop, irq-spurious, irq-drop, load)
+  [1]
+
+  $ ../bin/mrun.exe loop.s --inject speed:9
+  metal-run: --inject unknown --inject key "speed" (valid: seed:N, runs:N, classes:NAME+NAME, integrity, no-integrity, user-only)
+  [1]
+
+  $ ../bin/mrun.exe loop.s --inject seed:1 --os
+  metal-run: --inject drives the bare machine (campaigns need the fault-free oracle); it does not combine with --os
+  [1]
+
+  $ ../bin/mrun.exe loop.s --inject seed:1 --trace-out t9.json
+  metal-run: --inject owns the probe and the run loop; it does not combine with --trace/--regs/--trace-out/--metrics-out/--profile-out (use --inject-out FILE for the verdict JSON)
+  [1]
+
+  $ ../bin/mrun.exe loop.s --inject-out orphan.json
+  metal-run: --inject-out requires --inject
   [1]

@@ -13,3 +13,35 @@ let find_sub haystack needle =
     go 0
 
 let contains haystack needle = find_sub haystack needle <> None
+
+(* Differential fault-injection oracle: run [prepare]'s workload once
+   fault-free and once with [plan] injected, and classify the injected
+   run against the fault-free snapshot.  Returns the verdict plus the
+   raw pieces so tests can assert on individual components.  Shared by
+   test_inject and usable by any suite that wants a
+   corrupt-and-compare harness. *)
+let run_injected ?(config = Metal_cpu.Config.default) ?(integrity = false)
+    ~fuel ~plan prepare =
+  let module System = Metal_core.System in
+  let module Inject = Metal_inject.Inject in
+  let halt_of = function Inject.Halted h -> Some h | _ -> None in
+  let oracle_sys = System.create ~config () in
+  prepare oracle_sys;
+  let om = oracle_sys.System.machine in
+  let ostop, _ = Inject.run_plan om ~fuel ~plan:[] in
+  let oracle =
+    Inject.Snapshot.take om
+      ~console:(System.console_output oracle_sys)
+      ~halt:(halt_of ostop)
+  in
+  let sys = System.create ~config () in
+  prepare sys;
+  let m = sys.System.machine in
+  let stop, applied = Inject.run_plan ~integrity m ~fuel ~plan in
+  let snap =
+    Inject.Snapshot.take m
+      ~console:(System.console_output sys)
+      ~halt:(halt_of stop)
+  in
+  let verdict = Inject.classify ~oracle ~stop ~snap in
+  (verdict, applied, stop, oracle, snap)

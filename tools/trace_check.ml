@@ -29,7 +29,16 @@
      throughput must not fall more than PCT percent (default 20) below
      the committed baseline — the disabled probe is one load-and-branch
      per would-be event, so a bigger drop means the instrumentation
-     leaked into the hot path.  Speedups always pass. *)
+     leaked into the hot path.  Speedups always pass.
+
+   [trace_check inject FILE]
+     FILE is a fault-injection verdict document ([mrun --inject-out],
+     schema [metal-inject-v1]) or the bench wrapper
+     ([BENCH_inject.json], schema [metal-inject-bench-v1] with a
+     [campaigns] array).  Each campaign must have exactly [runs]
+     records, summary and per-class verdict counts that recount the
+     records, and [events = applied] on every record (each applied
+     fault appears exactly once in the probe's event stream). *)
 
 module Json = Metal_trace.Json
 
@@ -248,12 +257,136 @@ let check_bench baseline fresh tolerance =
              tolerance)
     (workloads base)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection verdict JSON                                        *)
+
+(* One campaign document ([mrun --inject-out] / one element of the
+   bench wrapper).  Beyond the schema, the cross-counts must hold: the
+   summary and per-class tables must recount the records exactly, and
+   every record must have observed exactly as many [inject] events as
+   faults it applied — an event without an application (or the
+   reverse) means the injector and the probe disagree about what
+   happened. *)
+let check_inject_campaign path j =
+  require_schema path "metal-inject-v1" j;
+  let label =
+    match str_field "label" j with
+    | Some l -> l
+    | None -> failf "%s: campaign has no label" path
+  in
+  let runs = int_field path "runs" j in
+  ignore (int_field path "seed" j);
+  ignore (int_field path "oracle_cycles" j);
+  let records =
+    match Json.member "records" j with
+    | Some a -> Json.to_list a
+    | None -> failf "%s: %s: no records array" path label
+  in
+  if List.length records <> runs then
+    failf "%s: %s: %d records for %d runs" path label (List.length records)
+      runs;
+  let tally = Hashtbl.create 8 in
+  let bump key = Hashtbl.replace tally key (
+    (match Hashtbl.find_opt tally key with Some n -> n | None -> 0) + 1)
+  in
+  List.iteri
+    (fun i r ->
+       let idx = int_field path "index" r in
+       if idx <> i then
+         failf "%s: %s: record %d carries index %d" path label i idx;
+       let applied = int_field path "applied" r in
+       let events = int_field path "events" r in
+       if events <> applied then
+         failf
+           "%s: %s: record %d observed %d inject events for %d applied \
+            faults"
+           path label i events applied;
+       ignore (int_field path "cycles" r);
+       let cls =
+         match str_field "class" r with
+         | Some c -> c
+         | None -> failf "%s: %s: record %d has no class" path label i
+       in
+       match str_field "verdict" r with
+       | Some
+           (("masked" | "detected" | "silent_corruption") as v) ->
+         bump ("" , v);
+         bump (cls, v)
+       | Some v -> failf "%s: %s: record %d: unknown verdict %S" path label i v
+       | None -> failf "%s: %s: record %d has no verdict" path label i)
+    records;
+  let recount scope v =
+    match Hashtbl.find_opt tally (scope, v) with Some n -> n | None -> 0
+  in
+  let check_counts scope obj =
+    List.iter
+      (fun (field, v) ->
+         let claimed = int_field path field obj in
+         let actual = recount scope v in
+         if claimed <> actual then
+           failf "%s: %s: %s%s claims %d, records say %d" path label
+             (if scope = "" then "summary " else "class " ^ scope ^ " ")
+             field claimed actual)
+      [ ("masked", "masked"); ("detected", "detected");
+        ("silent_corruption", "silent_corruption") ]
+  in
+  (match Json.member "summary" j with
+   | Some s -> check_counts "" s
+   | None -> failf "%s: %s: no summary object" path label);
+  let per_class =
+    match Json.member "per_class" j with
+    | Some a -> Json.to_list a
+    | None -> failf "%s: %s: no per_class array" path label
+  in
+  List.iter
+    (fun pc ->
+       let cls =
+         match str_field "class" pc with
+         | Some c -> c
+         | None -> failf "%s: %s: per_class row without class" path label
+       in
+       let claimed = int_field path "runs" pc in
+       let actual =
+         recount cls "masked" + recount cls "detected"
+         + recount cls "silent_corruption"
+       in
+       if claimed <> actual then
+         failf "%s: %s: class %s claims %d runs, records say %d" path label
+           cls claimed actual;
+       check_counts cls pc)
+    per_class;
+  (label, runs, recount "" "masked", recount "" "detected",
+   recount "" "silent_corruption")
+
+let check_inject path =
+  let j = parse_file path in
+  let campaigns =
+    match Json.member "campaigns" j with
+    | Some a ->
+      require_schema path "metal-inject-bench-v1" j;
+      Json.to_list a
+    | None -> [ j ]
+  in
+  if campaigns = [] then failf "%s: empty campaigns array" path;
+  let totals =
+    List.map (check_inject_campaign path) campaigns
+  in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 totals in
+  Printf.printf "%s: ok (%d campaigns, %d runs: %d masked, %d detected, %d \
+                 silent)\n"
+    path (List.length totals)
+    (sum (fun (_, r, _, _, _) -> r))
+    (sum (fun (_, _, m, _, _) -> m))
+    (sum (fun (_, _, _, d, _) -> d))
+    (sum (fun (_, _, _, _, s) -> s))
+
 let usage () =
   prerr_endline
     "usage: trace_check chrome FILE\n\
     \       trace_check metrics FILE\n\
     \       trace_check profile MERGED [FILE...]\n\
-    \       trace_check bench BASELINE FRESH [--tolerance PCT]";
+    \       trace_check bench BASELINE FRESH [--tolerance PCT]\n\
+    \       trace_check inject FILE";
   exit 2
 
 let () =
@@ -270,4 +403,5 @@ let () =
       | _ -> usage ()
     in
     check_bench baseline fresh tolerance
+  | _ :: "inject" :: files when files <> [] -> List.iter check_inject files
   | _ -> usage ()
