@@ -1654,14 +1654,19 @@ let verify_bench () =
 
 (* lib/inject's robustness semantics on the Figure-2 workloads: a
    survey campaign over every fault class reports the masked /
-   detected / silent-corruption rates, then two hard gates run:
+   corrected / detected / silent-corruption rates — once with ECC off
+   (the ablation showing mram-data/mreg upsets corrupting silently)
+   and once with the SECDED layer armed — then the hard gates run:
 
    - curated zero-silent campaigns (MRAM code flips with user-mode
      triggers and the integrity re-check armed; spurious/dropped
      interrupts against a workload with no handlers) where every
      possible outcome is Masked or Detected by construction — any
      Silent_corruption fails the bench;
-   - verdict determinism: the survey campaigns re-run on 1 fleet
+   - ECC zero-silent campaigns: mram-data/mreg single-bit flips with
+     the SECDED layer armed must never corrupt silently, and at least
+     one run per campaign must classify Corrected (the layer fired);
+   - verdict determinism: every survey campaign re-run on 1 fleet
      domain must be byte-identical to the max-domain run.
 
    With --json the campaigns are written to BENCH_inject.json (schema
@@ -1711,45 +1716,67 @@ let inject_bench () =
   and null =
     Inject.workload ~label:"null_syscall" ~fuel:2_000_000 prepare_null
   in
+  (* The same workloads with the SECDED layer armed: single-bit MRAM
+     data / m-register upsets are corrected at consumption instead of
+     corrupting silently. *)
+  let ecc_config = { Config.default with Config.ecc = true } in
+  let ping_ecc =
+    Inject.workload ~config:ecc_config ~label:"ping_loop+ecc"
+      ~fuel:2_000_000 prepare_ping
+  and null_ecc =
+    Inject.workload ~config:ecc_config ~label:"null_syscall+ecc"
+      ~fuel:2_000_000 prepare_null
+  in
   let campaign ?domains ~spec w =
     match Inject.run_campaign ?domains ~spec w with
     | Ok c -> c
     | Error e -> fail "campaign %s: %s" w.Inject.label e
   in
-  (* Survey: every fault class, verdict-rate table per workload. *)
+  (* Survey: every fault class, verdict-rate table per workload — once
+     without ECC (the ablation showing which classes corrupt silently)
+     and once with the SECDED layer armed. *)
+  let print_survey (c : Inject.campaign) =
+    Printf.printf "\n%s: %d runs, oracle %d cycles\n" c.Inject.label
+      c.Inject.spec.Inject.runs c.Inject.oracle_cycles;
+    Printf.printf "%-14s %5s %7s%s %9s %7s\n" "class" "runs" "masked"
+      (if c.Inject.ecc then "  corrected" else "")
+      "detected" "silent";
+    let count cls p =
+      Array.fold_left
+        (fun acc (r : Inject.run_record) ->
+           if
+             (cls = None
+              || cls = Some (Inject.fault_class r.Inject.injection.Inject.fault))
+             && p r.Inject.verdict
+           then acc + 1
+           else acc)
+        0 c.Inject.records
+    in
+    let row label cls =
+      Printf.printf "%-14s %5d %7d%s %9d %7d\n" label
+        (count cls (fun _ -> true))
+        (count cls (function Inject.Masked -> true | _ -> false))
+        (if c.Inject.ecc then
+           Printf.sprintf " %10d"
+             (count cls (function Inject.Corrected _ -> true | _ -> false))
+         else "")
+        (count cls (function Inject.Detected _ -> true | _ -> false))
+        (count cls (function Inject.Silent _ -> true | _ -> false))
+    in
+    List.iter
+      (fun cls -> row (Inject.class_to_string cls) (Some cls))
+      c.Inject.spec.Inject.classes;
+    row "total" None
+  in
   let survey_spec = { Inject.default_spec with Inject.runs = 64 } in
   let surveys =
     List.map (fun w -> campaign ~spec:survey_spec w) [ ping; null ]
   in
-  List.iter
-    (fun (c : Inject.campaign) ->
-       Printf.printf "\n%s: %d runs, oracle %d cycles\n" c.Inject.label
-         c.Inject.spec.Inject.runs c.Inject.oracle_cycles;
-       Printf.printf "%-14s %5s %7s %9s %7s\n" "class" "runs" "masked"
-         "detected" "silent";
-       let count cls p =
-         Array.fold_left
-           (fun acc (r : Inject.run_record) ->
-              if
-                (cls = None
-                 || cls = Some (Inject.fault_class r.Inject.injection.Inject.fault))
-                && p r.Inject.verdict
-              then acc + 1
-              else acc)
-           0 c.Inject.records
-       in
-       let row label cls =
-         Printf.printf "%-14s %5d %7d %9d %7d\n" label
-           (count cls (fun _ -> true))
-           (count cls (function Inject.Masked -> true | _ -> false))
-           (count cls (function Inject.Detected _ -> true | _ -> false))
-           (count cls (function Inject.Silent _ -> true | _ -> false))
-       in
-       List.iter
-         (fun cls -> row (Inject.class_to_string cls) (Some cls))
-         c.Inject.spec.Inject.classes;
-       row "total" None)
-    surveys;
+  List.iter print_survey surveys;
+  let ecc_surveys =
+    List.map (fun w -> campaign ~spec:survey_spec w) [ ping_ecc; null_ecc ]
+  in
+  List.iter print_survey ecc_surveys;
   (* Gate 1: curated zero-silent campaigns.  MRAM code flips from
      user-mode boundaries with integrity armed are detected at the
      next menter or never fetched again (masked); spurious/dropped
@@ -1770,7 +1797,7 @@ let inject_bench () =
     List.map
       (fun (name, spec) ->
          let c = campaign ~spec ping in
-         let _, detected, silent = Inject.summary c in
+         let _, _, detected, silent = Inject.summary c in
          if silent > 0 then
            fail
              "curated campaign %s: %d silent corruptions — a fault class \
@@ -1781,6 +1808,48 @@ let inject_bench () =
          c)
       curated
   in
+  (* Gate 1b: with the SECDED layer armed, the two classes that leak
+     silently through the ECC-off survey (MRAM data words and Metal
+     registers are unchecked state) must show zero silent corruptions:
+     every single-bit upset is either never consumed (masked under the
+     corrected read view) or repaired at its consumption point
+     (corrected).  A silent verdict here means a read path bypassed
+     the decoder. *)
+  let ecc_spec =
+    { Inject.seed = 103; Inject.runs = 48;
+      Inject.classes = [ Inject.Mram_data_flip; Inject.Mreg_flip ];
+      Inject.integrity = false; Inject.user_only = false }
+  in
+  let ecc_curated =
+    List.map
+      (fun w ->
+         let c = campaign ~spec:ecc_spec w in
+         let _, corrected, detected, silent = Inject.summary c in
+         if silent > 0 then
+           fail
+             "ecc campaign %s: %d silent corruptions — a single-bit \
+              mram-data/mreg upset slipped past the SECDED layer"
+             c.Inject.label silent;
+         Printf.printf
+           "ecc     %-22s %2d runs: 0 silent (%d corrected, %d detected)\n"
+           c.Inject.label c.Inject.spec.Inject.runs corrected detected;
+         c)
+      [ ping_ecc; null_ecc ]
+  in
+  (* Sanity: at least one run across the ECC campaigns must classify
+     Corrected — zero everywhere would mean the layer never fired and
+     the zero-silent gate proved nothing.  (Per-campaign this is too
+     strict: null_syscall's mroutines rewrite their m-registers on
+     every menter, so most upsets are overwritten before any read.) *)
+  let total_corrected =
+    List.fold_left
+      (fun acc c -> let _, co, _, _ = Inject.summary c in acc + co)
+      0 ecc_curated
+  in
+  if total_corrected = 0 then
+    fail
+      "ecc campaigns: no corrected runs anywhere — the SECDED layer \
+       never fired, the zero-silent gate is vacuous";
   (* Gate 2: verdicts are a pure function of the spec — byte-identical
      across fleet domain counts. *)
   let n_domains = max 2 (Metal_fleet.Fleet.default_domains ()) in
@@ -1793,7 +1862,7 @@ let inject_bench () =
        if j1 <> jn then
          fail "%s: verdicts differ between 1 domain and %d" w.Inject.label
            n_domains)
-    [ ping; null ];
+    [ ping; null; ping_ecc; null_ecc ];
   Printf.printf
     "determinism: survey verdicts byte-identical on 1 vs %d domains\n"
     n_domains;
@@ -1801,7 +1870,7 @@ let inject_bench () =
     let oc = open_out "BENCH_inject.json" in
     Printf.fprintf oc
       "{\n  \"schema\": \"metal-inject-bench-v1\",\n  \"campaigns\": [\n";
-    let all = surveys @ curated_campaigns in
+    let all = surveys @ curated_campaigns @ ecc_surveys @ ecc_curated in
     List.iteri
       (fun i c ->
          let doc = String.trim (Inject.to_json c) in

@@ -71,10 +71,10 @@ let verify_mcode ~config ~report img =
          (List.length (Metal_mverify.Mverify.errors r))
          (if report then "" else ", listed above"))
 
-let run_bare path mcode_path origin max_cycles palcode verify report trace
+let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
     regs trace_out metrics_out profile_out =
   let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
-  let config = { base with Metal_cpu.Config.trace } in
+  let config = { base with Metal_cpu.Config.trace; ecc } in
   let sys = Metal_core.System.create ~config () in
   let collector =
     if trace_out <> None || metrics_out <> None then
@@ -205,11 +205,12 @@ let run_bare path mcode_path origin max_cycles palcode verify report trace
    Observability flags are threaded through: [--regs] dumps per-job
    registers, [--trace-out F] writes one Chrome trace per job
    (F.<index>), [--metrics-out F] writes the fleet-merged metrics. *)
-let run_batch paths mcode_path origin max_cycles palcode verify report regs
+let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
     trace_out metrics_out profile_out jobs =
   let base =
     if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
   in
+  let base = { base with Metal_cpu.Config.ecc } in
   let mcode = Option.map read_file mcode_path in
   (* Verify the shared mcode once up front, not once per job. *)
   let precheck =
@@ -236,7 +237,9 @@ let run_batch paths mcode_path origin max_cycles palcode verify report regs
               (Fleet.Asm { src = read_file path; origin; mcode }))
          paths)
   in
-  let domains = if jobs > 0 then jobs else Fleet.default_domains () in
+  let domains =
+    match jobs with Some j -> j | None -> Fleet.default_domains ()
+  in
   let outcomes = Fleet.run ~domains batch in
   let failures = ref 0 in
   Array.iter
@@ -295,7 +298,7 @@ let run_batch paths mcode_path origin max_cycles palcode verify report regs
 (* Fault-injection campaigns: each program becomes a campaign workload
    (oracle run + [runs] seeded injected runs on the fleet), with a
    human verdict summary per program and optional verdict JSON. *)
-let run_inject paths mcode_path origin max_cycles palcode verify report
+let run_inject paths mcode_path origin max_cycles palcode ecc verify report
     spec_str inject_out jobs =
   match Metal_inject.Inject.spec_of_string spec_str with
   | Error e ->
@@ -305,6 +308,7 @@ let run_inject paths mcode_path origin max_cycles palcode verify report
     let base =
       if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
     in
+    let base = { base with Metal_cpu.Config.ecc } in
     let mcode = Option.map read_file mcode_path in
     (* Verify the shared mcode once up front, not once per run. *)
     let precheck =
@@ -340,7 +344,7 @@ let run_inject paths mcode_path origin max_cycles palcode verify report
            in
            Metal_core.System.start sys ~pc ()
        in
-       let domains = if jobs > 0 then Some jobs else None in
+       let domains = jobs in
        let failures = ref 0 in
        List.iteri
          (fun i path ->
@@ -368,15 +372,27 @@ let run_inject paths mcode_path origin max_cycles palcode verify report
          paths;
        if !failures = 0 then 0 else 1)
 
-let run paths mcode_path origin max_cycles palcode report no_verify trace
+let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
     regs os jobs trace_out metrics_out profile_out inject inject_out =
   let verify = not no_verify in
   match paths with
   | [] ->
     prerr_endline "metal-run: no program given";
     1
+  | _ when (match jobs with Some j -> j <= 0 | None -> false) ->
+    Printf.eprintf
+      "metal-run: --jobs %d: the domain count must be positive (omit \
+       --jobs to let the fleet pick one domain per core, capped at 8)\n"
+      (Option.get jobs);
+    1
   | _ when report && no_verify ->
     prerr_endline "metal-run: --verify and --no-verify are contradictory";
+    1
+  | _ when ecc && os ->
+    prerr_endline
+      "metal-run: --ecc configures the bare machine's MRAM/m-register \
+       SECDED layer; the mini-kernel owns its own machine config, so it \
+       does not combine with --os";
     1
   | _ when os && mcode_path <> None ->
     prerr_endline "metal-run: --os installs its own mcode (drop --mcode)";
@@ -407,13 +423,13 @@ let run paths mcode_path origin max_cycles palcode report no_verify trace
        --metrics-out/--profile-out (the kernel owns the machine)";
     1
   | paths when inject <> None ->
-    run_inject paths mcode_path origin max_cycles palcode verify report
+    run_inject paths mcode_path origin max_cycles palcode ecc verify report
       (Option.get inject) inject_out jobs
-  | [ path ] when jobs = 0 ->
+  | [ path ] when jobs = None ->
     if os then run_os path max_cycles
     else
-      run_bare path mcode_path origin max_cycles palcode verify report trace
-        regs trace_out metrics_out profile_out
+      run_bare path mcode_path origin max_cycles palcode ecc verify report
+        trace regs trace_out metrics_out profile_out
   | paths ->
     if os then begin
       prerr_endline "metal-run: --os does not combine with batch mode";
@@ -426,8 +442,8 @@ let run paths mcode_path origin max_cycles palcode report no_verify trace
       1
     end
     else
-      run_batch paths mcode_path origin max_cycles palcode verify report regs
-        trace_out metrics_out profile_out jobs
+      run_batch paths mcode_path origin max_cycles palcode ecc verify report
+        regs trace_out metrics_out profile_out jobs
 
 open Cmdliner
 
@@ -453,6 +469,16 @@ let palcode =
   Arg.(value & flag & info [ "palcode" ]
          ~doc:"Run in the PALcode-like configuration (trap-style \
                transitions, mroutines in main memory).")
+
+let ecc =
+  Arg.(value & flag & info [ "ecc" ]
+         ~doc:"Arm the SECDED ECC layer on the MRAM data segment and \
+               the Metal register file: single-bit upsets are \
+               corrected at consumption (emitting an ecc_correct \
+               event; MRAM data loads pay one extra check cycle), \
+               double-bit upsets raise an ecc-uncorrectable Metal \
+               fault.  Off by default; without faults an ECC run is \
+               architecturally identical to a plain one.")
 
 let verify_report =
   Arg.(value & flag & info [ "verify" ]
@@ -482,11 +508,12 @@ let os =
                bare machine.")
 
 let jobs =
-  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N"
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"Batch the given programs over $(docv) simulation \
-               domains on the fleet runner (0 = single-program mode \
-               for one file, else one domain per core, capped at 8).  \
-               Per-program results are independent of $(docv).")
+               domains on the fleet runner ($(docv) must be positive; \
+               omitted = single-program mode for one file, else one \
+               domain per core, capped at 8).  Per-program results \
+               are independent of $(docv).")
 
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -531,7 +558,7 @@ let inject_out =
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
-    Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode
+    Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ ecc
           $ verify_report $ no_verify $ trace $ regs $ os $ jobs $ trace_out
           $ metrics_out $ profile_out $ inject $ inject_out)
 

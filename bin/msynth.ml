@@ -1,16 +1,23 @@
 (* metal-synth: hardware resource estimates (the paper's Table 2). *)
 
-let run breakdown mram_code mram_data tlb_entries =
+let run breakdown mram_code mram_data tlb_entries ecc =
   let config =
     {
       Metal_synth.Netlist.prototype with
       Metal_synth.Netlist.mram_code_bytes = mram_code;
       mram_data_bytes = mram_data;
       tlb_entries;
+      ecc;
     }
   in
   let t = Metal_synth.Report.table2 ~config () in
   print_string (Metal_synth.Report.to_string t);
+  if ecc then begin
+    print_newline ();
+    print_string
+      (Metal_synth.Report.ecc_to_string
+         (Metal_synth.Report.ecc_table ~config ()))
+  end;
   if breakdown then begin
     print_newline ();
     print_string (Metal_synth.Report.breakdown ~config ())
@@ -35,10 +42,18 @@ let tlb_entries =
   Arg.(value & opt int Metal_synth.Netlist.prototype.Metal_synth.Netlist.tlb_entries
        & info [ "tlb" ] ~docv:"N" ~doc:"TLB entries.")
 
+let ecc =
+  Arg.(value & flag
+       & info [ "ecc" ]
+           ~doc:
+             "Include the SECDED ECC layer (MRAM data + m-register \
+              file) in the Metal netlist and print its per-structure \
+              area/latency delta.")
+
 let cmd =
   Cmd.v
     (Cmd.info "metal-synth"
        ~doc:"Estimate hardware resources with and without Metal")
-    Term.(const run $ breakdown $ mram_code $ mram_data $ tlb_entries)
+    Term.(const run $ breakdown $ mram_code $ mram_data $ tlb_entries $ ecc)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,7 @@ type t = {
   timeout_trace_tail : int;
   predecode : bool;
   predecode_entries : int;
+  ecc : bool;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     timeout_trace_tail = 16;
     predecode = true;
     predecode_entries = 4096;
+    ecc = false;
   }
 
 let palcode =

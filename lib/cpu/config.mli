@@ -56,6 +56,17 @@ type t = {
   predecode_entries : int;
       (** direct-mapped predecode-cache size in entries (power of
           two). *)
+  ecc : bool;
+      (** arm SECDED Hamming(39,32) ECC on the MRAM data segment and
+          the m-register file ({!Metal_hw.Ecc}).  Check bits are
+          regenerated on every write and verified at the pipeline
+          consumption points: a corrected single-bit upset emits an
+          [ecc_correct] probe event and continues; an uncorrectable
+          double-bit error raises the typed Metal fault
+          [Cause.Ecc_uncorrectable].  [mld] pays one extra stall cycle
+          for the in-line check ({!Wcost} accounts for it).  Off
+          (default) is bit-identical to a machine without the ECC
+          layer. *)
 }
 
 val default : t

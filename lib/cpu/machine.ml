@@ -99,9 +99,10 @@ let create ?(config = Config.default) () =
     bus = Metal_hw.Bus.create ~mem;
     tlb = Metal_hw.Tlb.create ~entries:config.Config.tlb_entries;
     mram =
-      Metal_hw.Mram.create ~code_words:config.Config.mram_code_words
-        ~data_bytes:config.Config.mram_data_bytes;
-    mregs = Metal_hw.Mregs.create ();
+      Metal_hw.Mram.create ~ecc:config.Config.ecc
+        ~code_words:config.Config.mram_code_words
+        ~data_bytes:config.Config.mram_data_bytes ();
+    mregs = Metal_hw.Mregs.create ~ecc:config.Config.ecc ();
     intc = Metal_hw.Intc.create ();
     icache = Option.map Metal_hw.Cache.create config.Config.icache;
     dcache = Option.map Metal_hw.Cache.create config.Config.dcache;
@@ -176,6 +177,8 @@ let set_reg t r v =
   if r <> 0 then t.regs.(r) <- Word.of_int v
 
 let get_mreg t m = Metal_hw.Mregs.read t.mregs m
+
+let get_mreg_checked t m = Metal_hw.Mregs.read_checked t.mregs m
 
 let set_mreg t m v = Metal_hw.Mregs.write t.mregs m v
 

@@ -127,6 +127,13 @@ val get_reg : t -> Reg.t -> Word.t
 val set_reg : t -> Reg.t -> Word.t -> unit
 
 val get_mreg : t -> Reg.mreg -> Word.t
+(** Corrected view when ECC is armed (see {!Metal_hw.Mregs.read}). *)
+
+val get_mreg_checked : t -> Reg.mreg -> Word.t * Metal_hw.Ecc.result
+(** Corrected view plus the SECDED decode status; [Ecc.Clean] when ECC
+    is off.  The pipeline consumption points use this to emit
+    [ecc_correct] events and raise [Cause.Ecc_uncorrectable]. *)
+
 val set_mreg : t -> Reg.mreg -> Word.t -> unit
 
 val ctrl_read : t -> Csr.t -> Word.t

@@ -319,6 +319,15 @@ let charge_mem_latency m =
     emit m Ev.stall_begin Ev.stall_mem_latency l
   end
 
+(* One extra stall cycle for the in-line SECDED verify on the MRAM
+   data read port ([mld] with Config.ecc armed); the m-register read
+   path is modeled combinational and charges nothing.  Mirrors
+   [charge_mem_latency], and Wcost.instr accounts for it. *)
+let charge_ecc_check m =
+  m.stall_cycles <- m.stall_cycles + 1;
+  m.stats.Stats.mem_stall_cycles <- m.stats.Stats.mem_stall_cycles + 1;
+  emit m Ev.stall_begin Ev.stall_ecc_check 1
+
 (* A pipeline store that landed in physical memory: tell the predecode
    cache so it can invalidate precisely instead of flushing. *)
 let note_store m pa =
@@ -331,7 +340,20 @@ let do_mem_metal m (x : executed) mi =
   let stats = m.stats in
   match mi with
   | Instr.Mld { rd; _ } ->
-    begin match Metal_hw.Mram.load_word m.mram ~addr:x.alu with
+    if m.config.Config.ecc then begin
+      match Metal_hw.Mram.load_word_checked m.mram ~addr:x.alu with
+      | None -> mem_except m Cause.Access_fault x.alu
+      | Some (v, st) ->
+        charge_ecc_check m;
+        (match st with
+         | Metal_hw.Ecc.Clean -> mem_writeback m rd v
+         | Metal_hw.Ecc.Corrected _ ->
+           emit m Ev.ecc_correct 0 x.alu;
+           mem_writeback m rd v
+         | Metal_hw.Ecc.Uncorrectable ->
+           mem_except m Cause.Ecc_uncorrectable x.alu)
+    end
+    else begin match Metal_hw.Mram.load_word m.mram ~addr:x.alu with
     | Some v -> mem_writeback m rd v
     | None -> mem_except m Cause.Access_fault x.alu
     end
@@ -341,7 +363,17 @@ let do_mem_metal m (x : executed) mi =
       mem_no_writeback m
     end
     else mem_except m Cause.Access_fault x.alu
-  | Instr.Rmr { rd; mr } -> mem_writeback m rd (get_mreg m mr)
+  | Instr.Rmr { rd; mr } ->
+    if m.config.Config.ecc then begin
+      match get_mreg_checked m mr with
+      | v, Metal_hw.Ecc.Clean -> mem_writeback m rd v
+      | v, Metal_hw.Ecc.Corrected _ ->
+        emit m Ev.ecc_correct 1 mr;
+        mem_writeback m rd v
+      | _, Metal_hw.Ecc.Uncorrectable ->
+        mem_except m Cause.Ecc_uncorrectable mr
+    end
+    else mem_writeback m rd (get_mreg m mr)
   | Instr.Wmr { mr; _ } ->
     set_mreg m mr x.alu;
     mem_no_writeback m
@@ -361,7 +393,18 @@ let do_mem_metal m (x : executed) mi =
       emit m Ev.mode_enter entry Ev.reason_menter_trap;
       false
     end
+  | Instr.Mexit when m.config.Config.ecc
+                     && (match get_mreg_checked m Reg.Mconv.return_address with
+                         | _, Metal_hw.Ecc.Uncorrectable -> true
+                         | _ -> false) ->
+    mem_except m Cause.Ecc_uncorrectable Reg.Mconv.return_address
   | Instr.Mexit ->
+    if m.config.Config.ecc then begin
+      match get_mreg_checked m Reg.Mconv.return_address with
+      | _, Metal_hw.Ecc.Corrected _ ->
+        emit m Ev.ecc_correct 1 Reg.Mconv.return_address
+      | _ -> ()
+    end;
     let target = get_mreg m Reg.Mconv.return_address in
     stats.Stats.mexits <- stats.Stats.mexits + 1;
     stats.Stats.instructions <- stats.Stats.instructions + 1;
@@ -848,11 +891,30 @@ let do_id m ~exm_wr_rd ~exm_wmreg =
                 id_stall
               end
               else begin
-                m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
-                d.dvalid <- false;
-                let target = get_mreg m Reg.Mconv.return_address in
-                emit m Ev.mode_exit target 0;
-                (target lsl 2) lor 1
+                let ecc_dead =
+                  m.config.Config.ecc
+                  &&
+                  match get_mreg_checked m Reg.Mconv.return_address with
+                  | _, Metal_hw.Ecc.Uncorrectable -> true
+                  | _, Metal_hw.Ecc.Corrected _ ->
+                    emit m Ev.ecc_correct 1 Reg.Mconv.return_address;
+                    false
+                  | _, Metal_hw.Ecc.Clean -> false
+                in
+                if ecc_dead then begin
+                  (* The return address is unrecoverable: route the
+                     typed fault to MEM like any other decode-stage
+                     poison instead of jumping to garbage. *)
+                  id_set_poison d f Cause.Ecc_uncorrectable f.word;
+                  id_pass
+                end
+                else begin
+                  m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
+                  d.dvalid <- false;
+                  let target = get_mreg m Reg.Mconv.return_address in
+                  emit m Ev.mode_exit target 0;
+                  (target lsl 2) lor 1
+                end
               end
             | _ ->
               id_set_dec d f f.fuop rs1 rs2 rv1 rv2;

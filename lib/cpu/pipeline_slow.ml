@@ -485,14 +485,40 @@ and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
   let stats = m.stats in
   match mi with
   | Instr.Mld { rd; _ } ->
-    begin match Metal_hw.Mram.load_word m.mram ~addr:x.alu with
+    if m.config.Config.ecc then begin
+      match Metal_hw.Mram.load_word_checked m.mram ~addr:x.alu with
+      | None -> except Cause.Access_fault x.alu
+      | Some (v, st) ->
+        (* One-cycle in-line SECDED verify; must charge and emit
+           exactly like the fast stepper's [charge_ecc_check]. *)
+        m.stall_cycles <- m.stall_cycles + 1;
+        stats.Stats.mem_stall_cycles <- stats.Stats.mem_stall_cycles + 1;
+        emit m Ev.stall_begin Ev.stall_ecc_check 1;
+        (match st with
+         | Metal_hw.Ecc.Clean -> writeback rd v
+         | Metal_hw.Ecc.Corrected _ ->
+           emit m Ev.ecc_correct 0 x.alu;
+           writeback rd v
+         | Metal_hw.Ecc.Uncorrectable ->
+           except Cause.Ecc_uncorrectable x.alu)
+    end
+    else begin match Metal_hw.Mram.load_word m.mram ~addr:x.alu with
     | Some v -> writeback rd v
     | None -> except Cause.Access_fault x.alu
     end
   | Instr.Mst _ ->
     if Metal_hw.Mram.store_word m.mram ~addr:x.alu x.sval then no_writeback ()
     else except Cause.Access_fault x.alu
-  | Instr.Rmr { rd; mr } -> writeback rd (get_mreg m mr)
+  | Instr.Rmr { rd; mr } ->
+    if m.config.Config.ecc then begin
+      match get_mreg_checked m mr with
+      | v, Metal_hw.Ecc.Clean -> writeback rd v
+      | v, Metal_hw.Ecc.Corrected _ ->
+        emit m Ev.ecc_correct 1 mr;
+        writeback rd v
+      | _, Metal_hw.Ecc.Uncorrectable -> except Cause.Ecc_uncorrectable mr
+    end
+    else writeback rd (get_mreg m mr)
   | Instr.Wmr { mr; _ } ->
     set_mreg m mr x.alu;
     no_writeback ()
@@ -512,7 +538,18 @@ and do_mem_metal m l x mi ~writeback ~no_writeback ~except =
       emit m Ev.mode_enter entry Ev.reason_menter_trap;
       false
     end
+  | Instr.Mexit when m.config.Config.ecc
+                     && (match get_mreg_checked m Reg.Mconv.return_address with
+                         | _, Metal_hw.Ecc.Uncorrectable -> true
+                         | _ -> false) ->
+    except Cause.Ecc_uncorrectable Reg.Mconv.return_address
   | Instr.Mexit ->
+    if m.config.Config.ecc then begin
+      match get_mreg_checked m Reg.Mconv.return_address with
+      | _, Metal_hw.Ecc.Corrected _ ->
+        emit m Ev.ecc_correct 1 Reg.Mconv.return_address
+      | _ -> ()
+    end;
     let target = get_mreg m Reg.Mconv.return_address in
     stats.Stats.mexits <- stats.Stats.mexits + 1;
     stats.Stats.instructions <- stats.Stats.instructions + 1;
@@ -883,12 +920,28 @@ let do_id m if_id_old ~id_ex_old ~ex_mem_old =
                   Id_stall
                 end
                 else begin
-                  m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
-                  let target = get_mreg m Reg.Mconv.return_address in
-                  emit m Ev.mode_exit target 0;
-                  Id_pass
-                    (None,
-                     Some { target; to_metal = false; combinational = true })
+                  let ecc_dead =
+                    m.config.Config.ecc
+                    &&
+                    match get_mreg_checked m Reg.Mconv.return_address with
+                    | _, Metal_hw.Ecc.Uncorrectable -> true
+                    | _, Metal_hw.Ecc.Corrected _ ->
+                      emit m Ev.ecc_correct 1 Reg.Mconv.return_address;
+                      false
+                    | _, Metal_hw.Ecc.Clean -> false
+                  in
+                  if ecc_dead then
+                    (* Unrecoverable return address: poison to MEM like
+                       the fast stepper. *)
+                    poison Cause.Ecc_uncorrectable f.word
+                  else begin
+                    m.stats.Stats.mexits <- m.stats.Stats.mexits + 1;
+                    let target = get_mreg m Reg.Mconv.return_address in
+                    emit m Ev.mode_exit target 0;
+                    Id_pass
+                      (None,
+                       Some { target; to_metal = false; combinational = true })
+                  end
                 end
               | _ -> Id_pass (Some (dec (U_instr instr)), None)
               end

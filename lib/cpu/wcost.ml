@@ -64,7 +64,12 @@ let instr c (i : Instr.t) =
           (* Illegal inside an mroutine (the verifier rejects it);
              costed like a trap-style entry for completeness. *)
           3 + (2 * f)
-        | Instr.Mld _ | Instr.Rmr _ -> 1 (* produce at MEM: load-use *)
+        | Instr.Mld _ ->
+          (* Produce at MEM: load-use; with ECC armed the MRAM data
+             read pays one extra cycle for the in-line SECDED check
+             (the regfile read path is modeled combinational). *)
+          1 + (if c.Config.ecc then 1 else 0)
+        | Instr.Rmr _ -> 1 (* produce at MEM: load-use *)
         | Instr.Mst _ | Instr.Wmr _ -> 0
         | Instr.Feature ft ->
           (match ft with

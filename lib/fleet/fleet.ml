@@ -19,6 +19,11 @@ let default_domains () = min 8 (Domain.recommended_domain_count ())
    escaping a worker would take the whole domain (and the join) down
    with it. *)
 let run_indexed ~domains f n =
+  (* Failure texts must be actionable: make sure backtraces are being
+     recorded before any job runs (the flag is global, but each
+     spawned domain gets its own backtrace buffer, so [exn_text]'s raw
+     capture at the catch site stays per-worker). *)
+  Printexc.record_backtrace true;
   let d = max 1 (min domains n) in
   if d = 1 then begin
     (* inline on the calling domain, left to right, no spawns *)
@@ -38,6 +43,7 @@ let run_indexed ~domains f n =
     let heads = Array.init d (fun _ -> Atomic.make 0) in
     let buffers = Array.make d [] in
     let worker w () =
+      Printexc.record_backtrace true;
       let buf = ref [] in
       let rec drain v =
         let q = queues.(v) in
@@ -68,8 +74,13 @@ let run_indexed ~domains f n =
       results
   end
 
-let exn_text e =
-  let bt = Printexc.get_backtrace () in
+(* [bt] must be captured with [Printexc.get_raw_backtrace] as the
+   *first* action of the handler: any intervening call (even
+   [Printexc.to_string]) can run handlers of its own and overwrite the
+   per-domain backtrace buffer, which is how this function used to
+   return an empty backtrace every time. *)
+let exn_text e bt =
+  let bt = Printexc.raw_backtrace_to_string bt in
   if bt = "" then Printexc.to_string e
   else Printexc.to_string e ^ "\n" ^ bt
 
@@ -79,7 +90,11 @@ let map ?domains f jobs =
   in
   run_indexed ~domains
     (fun ~worker:_ i ->
-       match f jobs.(i) with r -> Ok r | exception e -> Error (exn_text e))
+       match f jobs.(i) with
+       | r -> Ok r
+       | exception e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Error (exn_text e bt))
     (Array.length jobs)
 
 (* ------------------------------------------------------------------ *)
@@ -220,7 +235,9 @@ let run_job j =
                    ~upto:stats.Metal_cpu.Stats.cycles p)
               profiler;
         }
-  with e -> Error (Crashed (exn_text e))
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Error (Crashed (exn_text e bt))
 
 let run ?domains jobs =
   let domains =

@@ -1,0 +1,88 @@
+(* SECDED Hamming(39,32): 32 data bits, 6 Hamming check bits at the
+   power-of-two codeword positions 1,2,4,8,16,32 and one overall parity
+   bit.  Codeword positions run 1..38; the 32 non-power positions hold
+   the data bits in ascending order.  The overall parity bit makes the
+   whole 39-bit codeword even-parity, which is what upgrades plain
+   Hamming SEC to SECDED: a double flip leaves overall parity even but
+   a non-zero syndrome, so it is detected instead of miscorrected. *)
+
+let check_bits = 7
+let codeword_bits = 39
+
+(* Codeword position (1..38) of data bit i. *)
+let data_pos =
+  let a = Array.make 32 0 in
+  let i = ref 0 in
+  for p = 1 to 38 do
+    if p land (p - 1) <> 0 then begin
+      a.(!i) <- p;
+      incr i
+    end
+  done;
+  assert (!i = 32);
+  a
+
+(* Data bit index stored at codeword position p, or -1 for the check
+   positions. *)
+let pos_data =
+  let a = Array.make (codeword_bits + 1) (-1) in
+  Array.iteri (fun i p -> a.(p) <- i) data_pos;
+  a
+
+(* For Hamming check bit j (position 2^j): mask over the *data* word of
+   every data bit whose codeword position has bit j set. *)
+let masks =
+  let m = Array.make 6 0 in
+  Array.iteri
+    (fun i p ->
+       for j = 0 to 5 do
+         if (p lsr j) land 1 = 1 then m.(j) <- m.(j) lor (1 lsl i)
+       done)
+    data_pos;
+  m
+
+let parity x =
+  let x = x lxor (x lsr 16) in
+  let x = x lxor (x lsr 8) in
+  let x = x lxor (x lsr 4) in
+  let x = x lxor (x lsr 2) in
+  let x = x lxor (x lsr 1) in
+  x land 1
+
+let hamming data =
+  let c = ref 0 in
+  for j = 0 to 5 do
+    if parity (data land masks.(j)) = 1 then c := !c lor (1 lsl j)
+  done;
+  !c
+
+let encode data =
+  let data = data land 0xFFFFFFFF in
+  let h = hamming data in
+  (* Overall parity over data + the 6 Hamming bits; the stored parity
+     bit keeps the full codeword even. *)
+  h lor ((parity data lxor parity h) lsl 6)
+
+type result =
+  | Clean
+  | Corrected of { data : Word.t; bit : int }
+  | Uncorrectable
+
+let decode ~data ~check =
+  let data = data land 0xFFFFFFFF in
+  let check = check land 0x7F in
+  let s = hamming data lxor (check land 0x3F) in
+  (* Even total parity over all 39 stored bits when clean or after an
+     even number of flips. *)
+  let p_err = parity data lxor parity check in
+  if s = 0 then
+    if p_err = 0 then Clean else Corrected { data; bit = 38 }
+  else if p_err = 0 then Uncorrectable (* double flip: syndrome without parity *)
+  else if s > 38 then Uncorrectable (* syndrome points outside the codeword *)
+  else if s land (s - 1) = 0 then
+    (* A Hamming check bit itself flipped; the data is intact. *)
+    let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+    Corrected { data; bit = 32 + log2 s 0 }
+  else
+    let i = pos_data.(s) in
+    Corrected { data = data lxor (1 lsl i); bit = i }

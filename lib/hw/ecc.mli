@@ -1,0 +1,33 @@
+(** SECDED Hamming(39,32) codec for Metal's fault-vulnerable state.
+
+    Every protected 32-bit word carries 7 check bits: 6 Hamming parity
+    bits plus one overall parity bit.  A single flipped bit anywhere in
+    the 39-bit codeword (data, Hamming check bits, or the parity bit)
+    is corrected; any two flipped bits are detected as uncorrectable
+    and never miscorrected.  [encode 0 = 0], so zero-initialised
+    storage is a valid codeword without an explicit scrub pass.
+
+    Used by {!Mram} (data segment) and {!Mregs} when the machine is
+    created with ECC armed ([Metal_cpu.Config.ecc]). *)
+
+val check_bits : int
+(** 7: width of the stored check word. *)
+
+val codeword_bits : int
+(** 39: 32 data + 6 Hamming + 1 overall parity. *)
+
+val encode : Word.t -> int
+(** Check word (7 bits) for a 32-bit data word. *)
+
+type result =
+  | Clean  (** No error. *)
+  | Corrected of { data : Word.t; bit : int }
+      (** Single-bit error corrected.  [data] is the corrected word;
+          [bit] identifies the flipped codeword bit: 0–31 a data bit,
+          32–37 Hamming check bit [bit - 32], 38 the overall parity
+          bit. *)
+  | Uncorrectable  (** Double-bit (or worse) error detected. *)
+
+val decode : data:Word.t -> check:int -> result
+(** Decode a stored (data, check) pair.  For [Corrected], the caller
+    should consume [data] from the result, not the raw stored word. *)

@@ -1,22 +1,29 @@
 type t = {
   code : Word.t array;  (** one slot per instruction word *)
   data : Bytes.t;
+  check : Bytes.t;
+      (** SECDED check storage: one 7-bit check byte per data-segment
+          word when ECC is armed; empty when it is off.  [Ecc.encode 0
+          = 0], so the zero fill is consistent with the zeroed data. *)
   entry_table : int array;  (** -1 = unregistered *)
   mutable version : int;  (** bumped on any reconfiguration or write *)
 }
 
 let max_entries = 64
 
-let create ~code_words ~data_bytes =
+let create ?(ecc = false) ~code_words ~data_bytes () =
   if code_words <= 0 then invalid_arg "Mram.create: code_words";
   if data_bytes <= 0 || data_bytes land 3 <> 0 then
     invalid_arg "Mram.create: data_bytes must be a positive multiple of 4";
   {
     code = Array.make code_words 0;
     data = Bytes.make data_bytes '\000';
+    check = (if ecc then Bytes.make (data_bytes / 4) '\000' else Bytes.empty);
     entry_table = Array.make max_entries (-1);
     version = 0;
   }
+
+let ecc t = Bytes.length t.check > 0
 
 let version t = t.version
 
@@ -88,14 +95,27 @@ let fetch t ~addr =
   if addr < 0 || addr land 3 <> 0 || addr >= code_bytes t then None
   else Some t.code.(addr / 4)
 
-let load_word t ~addr =
+let raw_word t addr =
+  Char.code (Bytes.get t.data addr)
+  lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.get t.data (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.get t.data (addr + 3)) lsl 24)
+
+let load_word_checked t ~addr =
   if addr < 0 || addr land 3 <> 0 || addr + 4 > Bytes.length t.data then None
   else
-    Some
-      (Char.code (Bytes.get t.data addr)
-       lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
-       lor (Char.code (Bytes.get t.data (addr + 2)) lsl 16)
-       lor (Char.code (Bytes.get t.data (addr + 3)) lsl 24))
+    let w = raw_word t addr in
+    if Bytes.length t.check = 0 then Some (w, Ecc.Clean)
+    else
+      let r = Ecc.decode ~data:w ~check:(Char.code (Bytes.get t.check (addr / 4))) in
+      match r with
+      | Ecc.Clean | Ecc.Uncorrectable -> Some (w, r)
+      | Ecc.Corrected { data; _ } -> Some (data, r)
+
+let load_word t ~addr =
+  match load_word_checked t ~addr with
+  | None -> None
+  | Some (w, _) -> Some w
 
 let store_word t ~addr v =
   if addr < 0 || addr land 3 <> 0 || addr + 4 > Bytes.length t.data then false
@@ -105,10 +125,15 @@ let store_word t ~addr v =
     Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF));
     Bytes.set t.data (addr + 2) (Char.chr ((v lsr 16) land 0xFF));
     Bytes.set t.data (addr + 3) (Char.chr ((v lsr 24) land 0xFF));
+    if Bytes.length t.check > 0 then
+      Bytes.set t.check (addr / 4) (Char.chr (Ecc.encode v));
     true
   end
 
-let clear_data t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+let clear_data t =
+  Bytes.fill t.data 0 (Bytes.length t.data) '\000';
+  if Bytes.length t.check > 0 then
+    Bytes.fill t.check 0 (Bytes.length t.check) '\000'
 
 (* Fault injection (lib/inject): flip one bit of a stored word.  Both
    mutators bump [version] exactly like a legitimate write would, so
@@ -124,11 +149,22 @@ let corrupt_code_bit t ~word ~bit =
   end
 
 let corrupt_data_bit t ~addr ~bit =
-  if bit < 0 || bit > 31 then false
-  else
-    match load_word t ~addr with
-    | None -> false
-    | Some w -> store_word t ~addr (w lxor (1 lsl bit))
+  if
+    bit < 0 || bit > 31 || addr < 0 || addr land 3 <> 0
+    || addr + 4 > Bytes.length t.data
+  then false
+  else begin
+    (* Flip the *stored* byte directly: a fault lands under the ECC
+       encoder, so the check bits keep describing the pre-fault word
+       and the decoder can see (and correct) the upset.  Going through
+       [store_word] would regenerate the check bits and neutralise the
+       injection. *)
+    t.version <- t.version + 1;
+    let off = addr + (bit / 8) in
+    Bytes.set t.data off
+      (Char.chr (Char.code (Bytes.get t.data off) lxor (1 lsl (bit mod 8))));
+    true
+  end
 
 let checksum_code t =
   let h = ref 0x811c9dc5 in

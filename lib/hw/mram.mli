@@ -9,8 +9,14 @@
 
 type t
 
-val create : code_words:int -> data_bytes:int -> t
-(** [data_bytes] must be a multiple of 4. *)
+val create : ?ecc:bool -> code_words:int -> data_bytes:int -> unit -> t
+(** [data_bytes] must be a multiple of 4.  With [~ecc:true] (default
+    false) the data segment carries SECDED Hamming(39,32) check bits
+    per word ({!Ecc}): regenerated on {!store_word}, verified on every
+    read.  The code segment is already covered by {!checksum_code}. *)
+
+val ecc : t -> bool
+(** Whether the data segment carries ECC check bits. *)
 
 val code_bytes : t -> int
 val data_bytes : t -> int
@@ -44,7 +50,17 @@ val fetch : t -> addr:int -> Word.t option
     unaligned). *)
 
 val load_word : t -> addr:int -> Word.t option
-(** [mld]: word read from the data segment. *)
+(** [mld]: word read from the data segment.  With ECC armed this is
+    the *corrected view*: a single-bit upset is repaired silently (no
+    event, no scrub of the stored bytes); an uncorrectable word is
+    returned raw.  Use {!load_word_checked} where the decode status
+    matters (the pipeline consumption points). *)
+
+val load_word_checked : t -> addr:int -> (Word.t * Ecc.result) option
+(** Like {!load_word} but also reports what the SECDED decoder saw.
+    The returned word is always the corrected view; with ECC off the
+    status is always [Ecc.Clean].  [None] only for out-of-segment or
+    unaligned addresses. *)
 
 val store_word : t -> addr:int -> Word.t -> bool
 (** [mst]: word write to the data segment; false when out of range. *)
@@ -66,7 +82,9 @@ val corrupt_code_bit : t -> word:int -> bit:int -> bool
 
 val corrupt_data_bit : t -> addr:int -> bit:int -> bool
 (** Flip bit [bit] of the data-segment word at byte offset [addr]
-    (word-aligned); [false] when out of range. *)
+    (word-aligned); [false] when out of range.  The flip lands on the
+    *stored* bytes underneath the ECC encoder (check bits untouched),
+    so with ECC armed the upset remains visible to the decoder. *)
 
 val checksum_code : t -> int
 (** FNV-1a hash of the full code segment.  {!Metal_cpu.Machine} records

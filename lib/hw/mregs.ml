@@ -1,23 +1,54 @@
-type t = { regs : Word.t array }
+type t = {
+  regs : Word.t array;
+  checks : int array;
+      (** SECDED check bits per register when ECC is armed; [[||]]
+          when off.  [Ecc.encode 0 = 0] keeps the zero fill valid. *)
+}
 
-let create () = { regs = Array.make Reg.mreg_count 0 }
+let create ?(ecc = false) () =
+  {
+    regs = Array.make Reg.mreg_count 0;
+    checks = (if ecc then Array.make Reg.mreg_count 0 else [||]);
+  }
+
+let ecc t = Array.length t.checks > 0
 
 let check m =
   if m < 0 || m >= Reg.mreg_count then
     invalid_arg (Printf.sprintf "Mregs: invalid metal register %d" m)
 
+let read_checked t m =
+  check m;
+  let w = t.regs.(m) in
+  if Array.length t.checks = 0 then (w, Ecc.Clean)
+  else
+    let r = Ecc.decode ~data:w ~check:t.checks.(m) in
+    match r with
+    | Ecc.Clean | Ecc.Uncorrectable -> (w, r)
+    | Ecc.Corrected { data; _ } -> (data, r)
+
 let read t m =
   check m;
-  t.regs.(m)
+  let w = t.regs.(m) in
+  if Array.length t.checks = 0 then w
+  else
+    match Ecc.decode ~data:w ~check:t.checks.(m) with
+    | Ecc.Clean | Ecc.Uncorrectable -> w
+    | Ecc.Corrected { data; _ } -> data
 
 let write t m v =
   check m;
-  t.regs.(m) <- Word.of_int v
+  t.regs.(m) <- Word.of_int v;
+  if Array.length t.checks > 0 then t.checks.(m) <- Ecc.encode t.regs.(m)
 
-let dump t = Array.copy t.regs
+let dump t =
+  if Array.length t.checks = 0 then Array.copy t.regs
+  else Array.init Reg.mreg_count (fun m -> read t m)
 
 (* Fault injection (lib/inject): single-bit upset of one Metal
-   register. *)
+   register.  The flip lands on the stored word only — the check bits
+   keep describing the pre-fault value, exactly like a particle strike
+   under a hardware ECC encoder. *)
 let flip_bit t m ~bit =
   check m;
   if bit < 0 || bit > 31 then invalid_arg "Mregs.flip_bit: bit";

@@ -6,15 +6,30 @@
 
 type t
 
-val create : unit -> t
+val create : ?ecc:bool -> unit -> t
+(** With [~ecc:true] (default false) every register carries SECDED
+    Hamming(39,32) check bits ({!Ecc}): regenerated on {!write},
+    verified on every read. *)
+
+val ecc : t -> bool
 
 val read : t -> Reg.mreg -> Word.t
+(** With ECC armed this is the *corrected view*: a single-bit upset is
+    repaired silently; an uncorrectable register reads raw.  Use
+    {!read_checked} where the decode status matters. *)
+
+val read_checked : t -> Reg.mreg -> Word.t * Ecc.result
+(** Like {!read} but also reports what the SECDED decoder saw.  The
+    word is always the corrected view; [Ecc.Clean] when ECC is off. *)
 
 val write : t -> Reg.mreg -> Word.t -> unit
 
 val dump : t -> Word.t array
-(** A copy of the register file, for inspection and tests. *)
+(** A copy of the register file (corrected view), for inspection and
+    tests. *)
 
 val flip_bit : t -> Reg.mreg -> bit:int -> unit
 (** Fault injection ([lib/inject]): flip bit [bit] (0–31) of register
-    [m].  Raises [Invalid_argument] on an invalid register or bit. *)
+    [m] in the *stored* word, underneath the ECC encoder (check bits
+    untouched).  Raises [Invalid_argument] on an invalid register or
+    bit. *)

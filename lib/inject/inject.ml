@@ -391,20 +391,33 @@ let run_plan ?(integrity = false) (m : Machine.t) ~fuel ~plan =
 
 type detection = Fault_halt of Machine.halt | Integrity_menter
 
-type verdict = Masked | Detected of detection | Silent of string list
+type verdict =
+  | Masked
+  | Corrected of { count : int }
+  | Detected of detection
+  | Silent of string list
 
 let verdict_to_string = function
   | Masked -> "masked"
+  | Corrected _ -> "corrected"
   | Detected _ -> "detected"
   | Silent _ -> "silent_corruption"
 
 let verdict_detail = function
   | Masked -> ""
+  | Corrected { count } ->
+    Printf.sprintf "secded corrected %d consumption%s" count
+      (if count = 1 then "" else "s")
   | Detected Integrity_menter -> "mram integrity re-check failed on menter"
   | Detected (Fault_halt h) -> Machine.halted_to_string h
   | Silent ds -> String.concat "; " ds
 
-let classify ~oracle ~stop ~snap =
+(* [corrections] is the run's [ecc_correct] event count: with ECC
+   armed, a run that converges with the oracle *because* the decoder
+   repaired the upset at a consumption point is [Corrected], not
+   [Masked] (the fault was consumed, just survivably).  A repaired run
+   that still diverges stays [Silent] — correction is not absolution. *)
+let classify ?(corrections = 0) ~oracle ~stop ~snap () =
   match stop with
   | Integrity_trip _ -> Detected Integrity_menter
   | Fuel_exhausted ->
@@ -418,7 +431,7 @@ let classify ~oracle ~stop ~snap =
     if is_fault && oracle.Snapshot.halt <> Some h then Detected (Fault_halt h)
     else begin
       match Snapshot.diff ~oracle ~injected:snap with
-      | [] -> Masked
+      | [] -> if corrections > 0 then Corrected { count = corrections } else Masked
       | ds -> Silent ds
     end
 
@@ -521,6 +534,7 @@ type run_record = {
   injection : injection;
   applied : int;
   events : int;
+  ecc_corrected : int;
   verdict : verdict;
   run_cycles : int;
 }
@@ -528,6 +542,7 @@ type run_record = {
 type campaign = {
   label : string;
   spec : spec;
+  ecc : bool;
   oracle_cycles : int;
   oracle_halt : Machine.halt;
   records : run_record array;
@@ -553,20 +568,17 @@ let run_one ~spec ~(w : workload) ~oracle ~oracle_cycles index =
   let stop, applied = run_plan ~integrity:spec.integrity m ~fuel:w.fuel ~plan in
   let halt = match stop with Halted h -> Some h | _ -> None in
   let snap = Snapshot.take m ~console:(System.console_output sys) ~halt in
-  let verdict = classify ~oracle ~stop ~snap in
-  let events =
-    match
-      List.assoc_opt "inject"
-        (Metal_trace.Collector.metrics c).Metal_trace.Metrics.event_counts
-    with
-    | Some n -> n
-    | None -> 0
-  in
+  let counts = (Metal_trace.Collector.metrics c).Metal_trace.Metrics.event_counts in
+  let count k = match List.assoc_opt k counts with Some n -> n | None -> 0 in
+  let events = count "inject" in
+  let ecc_corrected = count "ecc_correct" in
+  let verdict = classify ~corrections:ecc_corrected ~oracle ~stop ~snap () in
   {
     index;
     injection = List.hd plan;
     applied;
     events;
+    ecc_corrected;
     verdict;
     run_cycles = snap.Snapshot.stats.Stats.cycles;
   }
@@ -606,22 +618,26 @@ let run_campaign ?domains ~spec (w : workload) =
                err := Some (Printf.sprintf "%s: run %d crashed: %s" w.label i e);
              { index = i;
                injection = { trigger = At_cycle 0; fault = Mreg { m = 0; bit = 0 } };
-               applied = 0; events = 0; verdict = Masked; run_cycles = 0 })
+               applied = 0; events = 0; ecc_corrected = 0; verdict = Masked;
+               run_cycles = 0 })
         results
     in
     (match !err with
      | Some e -> Error e
      | None ->
-       Ok { label = w.label; spec; oracle_cycles; oracle_halt; records })
+       Ok
+         { label = w.label; spec; ecc = w.config.Config.ecc; oracle_cycles;
+           oracle_halt; records })
 
 let summary c =
   Array.fold_left
-    (fun (m, d, s) r ->
+    (fun (m, co, d, s) r ->
        match r.verdict with
-       | Masked -> (m + 1, d, s)
-       | Detected _ -> (m, d + 1, s)
-       | Silent _ -> (m, d, s + 1))
-    (0, 0, 0) c.records
+       | Masked -> (m + 1, co, d, s)
+       | Corrected _ -> (m, co + 1, d, s)
+       | Detected _ -> (m, co, d + 1, s)
+       | Silent _ -> (m, co, d, s + 1))
+    (0, 0, 0, 0) c.records
 
 (* ------------------------------------------------------------------ *)
 (* JSON ("metal-inject-v1") and the human summary                      *)
@@ -640,14 +656,19 @@ let per_class c =
        ( cls,
          count (fun _ -> true),
          count (function Masked -> true | _ -> false),
+         count (function Corrected _ -> true | _ -> false),
          count (function Detected _ -> true | _ -> false),
          count (function Silent _ -> true | _ -> false) ))
     c.spec.classes
 
+(* ECC-off documents must stay byte-identical to the pre-ECC format:
+   every ECC field ("ecc", the "corrected" counts, per-record
+   "ecc_corrected") is emitted only when the campaign ran with ECC
+   armed. *)
 let to_json c =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let masked, detected, silent = summary c in
+  let masked, corrected, detected, silent = summary c in
   add "{\n  \"schema\": \"metal-inject-v1\",\n";
   add "  \"label\": %S,\n" c.label;
   add "  \"seed\": %d,\n  \"runs\": %d,\n" c.spec.seed c.spec.runs;
@@ -658,19 +679,24 @@ let to_json c =
           c.spec.classes));
   add "  \"integrity\": %b,\n  \"user_only\": %b,\n" c.spec.integrity
     c.spec.user_only;
+  if c.ecc then add "  \"ecc\": true,\n";
   add "  \"oracle_cycles\": %d,\n" c.oracle_cycles;
   add "  \"oracle_halt\": %S,\n" (Machine.halted_to_string c.oracle_halt);
-  add "  \"summary\": {\"masked\": %d, \"detected\": %d, \
+  add "  \"summary\": {\"masked\": %d, %s\"detected\": %d, \
        \"silent_corruption\": %d},\n"
-    masked detected silent;
+    masked
+    (if c.ecc then Printf.sprintf "\"corrected\": %d, " corrected else "")
+    detected silent;
   add "  \"per_class\": [\n";
   let pcs = per_class c in
   List.iteri
-    (fun i (cls, runs, m, d, s) ->
+    (fun i (cls, runs, m, co, d, s) ->
        add
-         "    {\"class\": %S, \"runs\": %d, \"masked\": %d, \"detected\": \
+         "    {\"class\": %S, \"runs\": %d, \"masked\": %d, %s\"detected\": \
           %d, \"silent_corruption\": %d}%s\n"
-         (class_to_string cls) runs m d s
+         (class_to_string cls) runs m
+         (if c.ecc then Printf.sprintf "\"corrected\": %d, " co else "")
+         d s
          (if i = List.length pcs - 1 then "" else ","))
     pcs;
   add "  ],\n  \"records\": [\n";
@@ -678,13 +704,15 @@ let to_json c =
     (fun i r ->
        add
          "    {\"index\": %d, \"class\": %S, \"trigger\": %S, \"fault\": \
-          %S, \"applied\": %d, \"events\": %d, \"verdict\": %S, \
+          %S, \"applied\": %d, \"events\": %d, %s\"verdict\": %S, \
           \"detail\": %S, \"cycles\": %d}%s\n"
          r.index
          (class_to_string (fault_class r.injection.fault))
          (trigger_to_string r.injection.trigger)
          (fault_to_string r.injection.fault)
          r.applied r.events
+         (if c.ecc then Printf.sprintf "\"ecc_corrected\": %d, " r.ecc_corrected
+          else "")
          (verdict_to_string r.verdict)
          (verdict_detail r.verdict)
          r.run_cycles
@@ -694,18 +722,22 @@ let to_json c =
   Buffer.contents buf
 
 let pp fmt c =
-  let masked, detected, silent = summary c in
+  let masked, corrected, detected, silent = summary c in
   let total = Array.length c.records in
   let pct n =
     if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
   in
   Format.fprintf fmt
-    "campaign %s: %s@\noracle: %s (%d cycles)@\n" c.label
+    "campaign %s: %s%s@\noracle: %s (%d cycles)@\n" c.label
     (spec_to_string c.spec)
+    (if c.ecc then " [ecc]" else "")
     (Machine.halted_to_string c.oracle_halt)
     c.oracle_cycles;
   Format.fprintf fmt "verdict              runs    rate@\n";
   Format.fprintf fmt "masked             %6d  %5.1f%%@\n" masked (pct masked);
+  if c.ecc then
+    Format.fprintf fmt "corrected          %6d  %5.1f%%@\n" corrected
+      (pct corrected);
   Format.fprintf fmt "detected           %6d  %5.1f%%@\n" detected
     (pct detected);
   Format.fprintf fmt "silent corruption  %6d  %5.1f%%@\n" silent (pct silent);

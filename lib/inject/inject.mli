@@ -16,6 +16,9 @@
     - {e Masked}: architectural state (GPRs, Metal registers, memory,
       MRAM data, console output, halt) converges with the oracle;
       timing divergence alone is still Masked.
+    - {e Corrected}: converged, and the SECDED ECC layer
+      ({!Metal_hw.Ecc}, armed via {!Metal_cpu.Config.t.ecc}) repaired
+      at least one consumed single-bit upset along the way.
     - {e Detected}: the machine raised a typed fault the oracle did
       not, or the mverify-style MRAM integrity re-check
       ({!Metal_cpu.Machine.mram_integrity_ok}) tripped on Metal-mode
@@ -177,19 +180,32 @@ type detection =
 
 type verdict =
   | Masked
+  | Corrected of { count : int }
+      (** converged with the oracle {e and} the run's SECDED layer
+          repaired [count] consumed upsets ([ecc_correct] events) on
+          the way — the fault was real, reached a consumption point,
+          and the hardware fixed it *)
   | Detected of detection
   | Silent of string list  (** the diverging components *)
 
 val verdict_to_string : verdict -> string
-(** ["masked"] / ["detected"] / ["silent_corruption"]. *)
+(** ["masked"] / ["corrected"] / ["detected"] / ["silent_corruption"]. *)
 
 val verdict_detail : verdict -> string
 
-val classify : oracle:Snapshot.t -> stop:stop -> snap:Snapshot.t -> verdict
+val classify :
+  ?corrections:int ->
+  oracle:Snapshot.t ->
+  stop:stop ->
+  snap:Snapshot.t ->
+  unit ->
+  verdict
 (** The robustness semantics.  An integrity trip or a fault halt
     differing from the oracle's is [Detected]; otherwise an empty
-    {!Snapshot.diff} is [Masked] and anything else (including a hang —
-    fuel exhausted while the oracle halted) is [Silent]. *)
+    {!Snapshot.diff} is [Corrected] when [corrections] (the run's
+    [ecc_correct] event count, default 0) is positive, [Masked] when
+    it is zero, and anything else (including a hang — fuel exhausted
+    while the oracle halted) is [Silent]. *)
 
 (** {1 Campaigns} *)
 
@@ -238,6 +254,10 @@ type run_record = {
   injection : injection;
   applied : int;  (** injections applied (0 or 1 for generated plans) *)
   events : int;  (** [inject] events observed by the run's collector *)
+  ecc_corrected : int;
+      (** [ecc_correct] events observed — SECDED single-bit repairs at
+          consumption points; always 0 when the workload ran without
+          {!Metal_cpu.Config.t.ecc} *)
   verdict : verdict;
   run_cycles : int;
 }
@@ -245,6 +265,7 @@ type run_record = {
 type campaign = {
   label : string;
   spec : spec;
+  ecc : bool;  (** the workload config had the SECDED layer armed *)
   oracle_cycles : int;
   oracle_halt : Metal_cpu.Machine.halt;
   records : run_record array;
@@ -260,14 +281,18 @@ val run_campaign :
     [domains].  [Error] when the oracle does not halt within the fuel
     or a run crashes. *)
 
-val summary : campaign -> int * int * int
-(** (masked, detected, silent-corruption) run counts. *)
+val summary : campaign -> int * int * int * int
+(** (masked, corrected, detected, silent-corruption) run counts. *)
 
 val to_json : campaign -> string
 (** Deterministic verdict document, schema ["metal-inject-v1"]:
     spec echo, summary and per-class verdict counts, and one record
     per run (class, trigger, fault, applied/event counts, verdict,
-    detail, cycles).  Validated by [trace_check inject]. *)
+    detail, cycles).  The ECC fields (["ecc": true], ["corrected"]
+    counts, per-record ["ecc_corrected"]) appear only when the
+    campaign ran with the SECDED layer armed, so ECC-off documents
+    are byte-identical to the pre-ECC schema.  Validated by
+    [trace_check inject]. *)
 
 val pp : Format.formatter -> campaign -> unit
 (** Human verdict summary: rate table plus one line per non-masked

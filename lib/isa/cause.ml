@@ -11,12 +11,13 @@ type t =
   | Pkey_violation_load
   | Pkey_violation_store
   | Access_fault
+  | Ecc_uncorrectable
 
 let all =
   [ Illegal_instruction; Misaligned_fetch; Misaligned_load;
     Misaligned_store; Page_fault_fetch; Page_fault_load;
     Page_fault_store; Ecall; Breakpoint; Pkey_violation_load;
-    Pkey_violation_store; Access_fault ]
+    Pkey_violation_store; Access_fault; Ecc_uncorrectable ]
 
 let code = function
   | Illegal_instruction -> 0
@@ -31,6 +32,7 @@ let code = function
   | Pkey_violation_load -> 9
   | Pkey_violation_store -> 10
   | Access_fault -> 11
+  | Ecc_uncorrectable -> 12
 
 let of_code n = List.find_opt (fun c -> code c = n) all
 
@@ -47,6 +49,7 @@ let to_string = function
   | Pkey_violation_load -> "pkey-violation-load"
   | Pkey_violation_store -> "pkey-violation-store"
   | Access_fault -> "access-fault"
+  | Ecc_uncorrectable -> "ecc-uncorrectable"
 
 let interrupt_code irq = 0x100 lor irq
 

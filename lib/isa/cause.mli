@@ -18,6 +18,10 @@ type t =
   | Pkey_violation_store
   | Access_fault
       (** Physical access outside implemented memory. *)
+  | Ecc_uncorrectable
+      (** SECDED double-bit (uncorrectable) error on a protected
+          structure (MRAM data segment or the m-register file); only
+          raised when [Metal_cpu.Config.ecc] is armed. *)
 
 val code : t -> int
 (** [code c] is the numeric cause code written to [m30] for an

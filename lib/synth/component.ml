@@ -11,6 +11,7 @@ type kind =
   | Latch of { bits : int }
   | Decoder of { in_bits : int; out_signals : int }
   | Control of { states : int; signals : int }
+  | Xor_tree of { inputs : int; outputs : int }
 
 type t = { name : string; kind : kind; count : int }
 
@@ -35,6 +36,8 @@ let describe t =
       Printf.sprintf "decoder %d->%d" in_bits out_signals
     | Control { states; signals } ->
       Printf.sprintf "control %ds/%dsig" states signals
+    | Xor_tree { inputs; outputs } ->
+      Printf.sprintf "xor-tree %d->%d" inputs outputs
   in
   if t.count = 1 then Printf.sprintf "%s: %s" t.name k
   else Printf.sprintf "%s: %d x %s" t.name t.count k

@@ -20,6 +20,9 @@ type kind =
   | Latch of { bits : int }  (** pipeline latch / registers *)
   | Decoder of { in_bits : int; out_signals : int }
   | Control of { states : int; signals : int }  (** FSM *)
+  | Xor_tree of { inputs : int; outputs : int }
+      (** parallel parity network: [outputs] parity bits, each a tree
+          over a subset of [inputs] (the SECDED encoder/decoder) *)
 
 type t = {
   name : string;

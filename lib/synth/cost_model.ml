@@ -16,6 +16,7 @@ let adder_bit_cells = 9.0
 let cmp_bit_cells = 4.0
 let alu_bit_cells = 45.0
 let shifter_bit_cells = 8.0
+let xor2_cells = 2.5
 
 let c cells wires =
   { cells = int_of_float cells; wires = int_of_float wires }
@@ -70,6 +71,15 @@ let of_kind = function
       (float_of_int states *. ff_cells) +. float_of_int (states * signals * 2)
     in
     c cells (cells *. 1.1)
+  | Component.Xor_tree { inputs; outputs } ->
+    (* Each output is a parity tree over roughly half the inputs (a
+       Hamming check bit covers the positions with one address bit
+       set), so ~inputs/2 XOR2 gates per output. *)
+    let cells =
+      float_of_int (outputs * max 1 (inputs / 2)) *. xor2_cells
+    in
+    (* Parity networks touch every input: wire-dense. *)
+    c cells (cells *. 1.3)
 
 (* Chosen so the baseline netlist's totals land near the paper's
    Table 2 baseline; see Netlist. *)

@@ -3,11 +3,12 @@ type config = {
   mram_data_bytes : int;
   mreg_count : int;
   tlb_entries : int;
+  ecc : bool;
 }
 
 let prototype =
   { mram_code_bytes = 2048; mram_data_bytes = 512; mreg_count = 32;
-    tlb_entries = 64 }
+    tlb_entries = 64; ecc = false }
 
 let mk = Component.make
 
@@ -78,4 +79,32 @@ let metal_additions cfg =
     mk "mram address decode" (Component.Decoder { in_bits = 12; out_signals = 16 });
   ]
 
-let metal cfg = baseline cfg @ metal_additions cfg
+(* SECDED Hamming(39,32) per protected structure (Config.ecc): a
+   7-bit check word per 32-bit data word, an encoder on the write
+   path, and a syndrome/correct network on the read path.  The MRAM
+   data segment's check store widens the SRAM; the m-register file's
+   widens the register file.  Corresponds to lib/hw/ecc.ml. *)
+let ecc_additions cfg =
+  let check_store_bytes data_bytes = ((data_bytes / 4 * 7) + 7) / 8 in
+  [
+    mk "mram data ecc store"
+      (Component.Sram { bytes = check_store_bytes cfg.mram_data_bytes;
+                        ports = 1 });
+    mk "mram data ecc encoder" (Component.Xor_tree { inputs = 32; outputs = 7 });
+    mk "mram data ecc syndrome" (Component.Xor_tree { inputs = 39; outputs = 7 });
+    mk "mram data ecc corrector"
+      (Component.Decoder { in_bits = 6; out_signals = 39 });
+    mk "mram data ecc correct mux" (Component.Mux { width = 32; ways = 2 });
+    mk "mreg ecc store"
+      (Component.Regfile { entries = cfg.mreg_count; width = 7;
+                           read_ports = 1; write_ports = 1 });
+    mk "mreg ecc encoder" (Component.Xor_tree { inputs = 32; outputs = 7 });
+    mk "mreg ecc syndrome" (Component.Xor_tree { inputs = 39; outputs = 7 });
+    mk "mreg ecc corrector"
+      (Component.Decoder { in_bits = 6; out_signals = 39 });
+    mk "mreg ecc correct mux" (Component.Mux { width = 32; ways = 2 });
+  ]
+
+let metal cfg =
+  baseline cfg @ metal_additions cfg
+  @ (if cfg.ecc then ecc_additions cfg else [])

@@ -16,15 +16,25 @@ type config = {
   mram_data_bytes : int;
   mreg_count : int;
   tlb_entries : int;
+  ecc : bool;
+      (** include the SECDED encoder/decoder and check stores for the
+          MRAM data segment and the m-register file
+          ([Metal_cpu.Config.ecc]). *)
 }
 
 val prototype : config
 (** The paper-prototype scale: 2 KiB mroutine code, 512 B data, 32
-    Metal registers, 64-entry TLB. *)
+    Metal registers, 64-entry TLB, no ECC. *)
 
 val baseline : config -> Component.t list
 
 val metal_additions : config -> Component.t list
 
+val ecc_additions : config -> Component.t list
+(** The SECDED layer per protected structure: check store, write-path
+    encoder, read-path syndrome network, corrector decode and
+    correction mux ({!Metal_hw.Ecc} is the behavioural model). *)
+
 val metal : config -> Component.t list
-(** [baseline @ metal_additions]. *)
+(** [baseline @ metal_additions], plus [ecc_additions] when
+    [config.ecc]. *)

@@ -27,6 +27,50 @@ let pp fmt t =
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Table-2-style delta for the SECDED layer: per protected structure,
+   the cells/wires the encoder + syndrome/correct network + check
+   store add, and the check latency the pipeline charges (the MRAM
+   data read path pays one cycle; the m-register read is modeled
+   combinational — see Wcost). *)
+type ecc_row = {
+  structure : string;
+  ecc_cells : int;
+  ecc_wires : int;
+  latency_cycles : int;
+}
+
+let ecc_table ?(config = Netlist.prototype) () =
+  let comps = Netlist.ecc_additions { config with Netlist.ecc = true } in
+  let prefixed p =
+    List.filter
+      (fun (c : Component.t) ->
+         String.length c.Component.name >= String.length p
+         && String.sub c.Component.name 0 (String.length p) = p)
+      comps
+  in
+  let rowf structure prefix latency_cycles =
+    let t = Cost_model.total (prefixed prefix) in
+    { structure; ecc_cells = t.Cost_model.cells;
+      ecc_wires = t.Cost_model.wires; latency_cycles }
+  in
+  [
+    rowf "mram data segment" "mram data ecc" 1;
+    rowf "metal register file" "mreg ecc" 0;
+  ]
+
+let ecc_to_string rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-22s %10s %10s %10s\n" "ECC delta" "Cells" "Wires"
+       "Latency");
+  List.iter
+    (fun r ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-22s %10d %10d %9dc\n" r.structure r.ecc_cells
+            r.ecc_wires r.latency_cycles))
+    rows;
+  Buffer.contents buf
+
 let breakdown ?(config = Netlist.prototype) () =
   let buf = Buffer.create 1024 in
   let section title comps =
@@ -46,4 +90,6 @@ let breakdown ?(config = Netlist.prototype) () =
   in
   section "Baseline processor" (Netlist.baseline config);
   section "Metal additions" (Netlist.metal_additions config);
+  if config.Netlist.ecc then
+    section "ECC additions" (Netlist.ecc_additions config);
   Buffer.contents buf

@@ -13,4 +13,19 @@ val to_string : t -> string
 
 val breakdown : ?config:Netlist.config -> unit -> string
 (** Per-component cost listing for both configurations (the detail
-    behind Table 2). *)
+    behind Table 2); includes the ECC additions when [config.ecc]. *)
+
+type ecc_row = {
+  structure : string;
+  ecc_cells : int;
+  ecc_wires : int;
+  latency_cycles : int;  (** extra read-path check latency the
+                             simulator charges ([Wcost]) *)
+}
+
+val ecc_table : ?config:Netlist.config -> unit -> ecc_row list
+(** Table-2-style area/latency delta of the SECDED layer per protected
+    structure (independent of [config.ecc] — it always describes what
+    arming ECC would add). *)
+
+val ecc_to_string : ecc_row list -> string

@@ -12,7 +12,8 @@ let stall_end = 10
 let call = 11
 let ret = 12
 let inject = 13
-let count = 14
+let ecc_correct = 14
+let count = 15
 
 let name = function
   | 0 -> "retire"
@@ -29,6 +30,7 @@ let name = function
   | 11 -> "call"
   | 12 -> "ret"
   | 13 -> "inject"
+  | 14 -> "ecc_correct"
   | k -> "event_" ^ string_of_int k
 
 let reason_menter = 0
@@ -53,7 +55,8 @@ let stall_data_cache = 1
 let stall_mem_latency = 2
 let stall_walker = 3
 let stall_mram_fetch = 4
-let stall_count = 5
+let stall_ecc_check = 5
+let stall_count = 6
 
 let stall_name = function
   | 0 -> "fetch_cache"
@@ -61,4 +64,5 @@ let stall_name = function
   | 2 -> "mem_latency"
   | 3 -> "walker"
   | 4 -> "mram_fetch"
+  | 5 -> "ecc_check"
   | c -> "stall_" ^ string_of_int c

@@ -27,7 +27,11 @@
       [jalr x0, ra/t0] — the convention's return hint)
     - [inject]: a fault was injected this cycle ([Metal_inject]);
       [a] = fault-class code ([Metal_inject.Inject.class_code]),
-      [b] = class-specific packed detail (location and bit) *)
+      [b] = class-specific packed detail (location and bit)
+    - [ecc_correct]: the SECDED decoder repaired a single-bit upset at
+      a consumption point ([Config.ecc] armed); [a] = protected
+      structure (0 MRAM data segment, 1 m-register file), [b] = byte
+      offset resp. register index *)
 
 val retire : int
 val mode_enter : int
@@ -43,6 +47,7 @@ val stall_end : int
 val call : int
 val ret : int
 val inject : int
+val ecc_correct : int
 
 val count : int
 (** Number of event kinds; kinds are dense in [0, count). *)
@@ -77,6 +82,10 @@ val stall_data_cache : int
 val stall_mem_latency : int
 val stall_walker : int
 val stall_mram_fetch : int
+
+val stall_ecc_check : int
+(** one-cycle in-line SECDED verify on an [mld] MRAM data read
+    ([Config.ecc] armed) *)
 
 val stall_count : int
 

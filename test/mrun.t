@@ -69,7 +69,7 @@ folded-stack flamegraph, then prints the hot-spot report.
   root;m1:bump 74
 
   $ ../tools/trace_check.exe metrics m3.json
-  m3.json: ok (14 event kinds, 1 mroutines)
+  m3.json: ok (15 event kinds, 1 mroutines)
   $ ../tools/trace_check.exe profile p.json
   p.json: ok (107 cycles, 10 hot PCs, 2 stacks)
 
@@ -226,7 +226,7 @@ that trace_check validates.
   verdicts: verdicts.json
 
   $ ../tools/trace_check.exe inject verdicts.json
-  verdicts.json: ok (1 campaigns, 6 runs: 3 masked, 3 detected, 0 silent)
+  verdicts.json: ok (1 campaigns, 6 runs: 3 masked, 0 corrected, 3 detected, 0 silent)
 
 Campaign verdicts are independent of the fleet domain count:
 
@@ -278,8 +278,8 @@ Batch campaigns write one verdict document per program:
     [3] mram-code word 849 bit 16 @ cycle>=88 -> detected (mram integrity re-check failed on menter)
   verdicts: vb.json.1
   $ ../tools/trace_check.exe inject vb.json.0 vb.json.1
-  vb.json.0: ok (1 campaigns, 4 runs: 2 masked, 2 detected, 0 silent)
-  vb.json.1: ok (1 campaigns, 4 runs: 2 masked, 2 detected, 0 silent)
+  vb.json.0: ok (1 campaigns, 4 runs: 2 masked, 0 corrected, 2 detected, 0 silent)
+  vb.json.1: ok (1 campaigns, 4 runs: 2 masked, 0 corrected, 2 detected, 0 silent)
 
 Invalid fault-class strings and spec keys are rejected loudly, as are
 the flag combinations that cannot work:
@@ -303,3 +303,67 @@ the flag combinations that cannot work:
   $ ../bin/mrun.exe loop.s --inject-out orphan.json
   metal-run: --inject-out requires --inject
   [1]
+
+A non-positive --jobs used to fall back silently to the default domain
+count; now it is rejected loudly:
+
+  $ ../bin/mrun.exe loop.s --jobs 0
+  metal-run: --jobs 0: the domain count must be positive (omit --jobs to let the fleet pick one domain per core, capped at 8)
+  [1]
+
+  $ ../bin/mrun.exe loop.s loop.s --jobs=-2
+  metal-run: --jobs -2: the domain count must be positive (omit --jobs to let the fleet pick one domain per core, capped at 8)
+  [1]
+
+ECC: --ecc arms the SECDED layer on MRAM data and the m-registers.  A
+fault-free run is architecturally identical to a plain one (this
+workload issues no mld, so even the cycle counts match the earlier
+run), and the kernel combination is rejected:
+
+  $ ../bin/mrun.exe loop.s --mcode ping.mcode --ecc
+  halt: ebreak at 0x00000010
+  stats: cycles=523 instructions=322 (metal=200) ipc=0.62
+         bubbles=201 load-use=40 interlocks=40 flushes=39
+         menter=40 mexit=40 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+
+  $ ../bin/mrun.exe loop.s --ecc --os
+  metal-run: --ecc configures the bare machine's MRAM/m-register SECDED layer; the mini-kernel owns its own machine config, so it does not combine with --os
+  [1]
+
+The E20 gap, end to end: without ECC every mram-data/mreg upset in
+this spec corrupts silently; arming --ecc leaves zero silent runs —
+consumed upsets are corrected (with ecc_corrected counts in the
+verdict JSON), the rest are masked by the corrected read view.
+
+  $ ../bin/mrun.exe loop.s --mcode ping.mcode \
+  >   --inject seed:4,runs:8,classes:mreg+mram-data
+  campaign loop.s: seed:4,runs:8,classes:mreg+mram-data,integrity
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  0    0.0%
+  detected                0    0.0%
+  silent corruption       8  100.0%
+    [0] mreg m19 bit 5 @ cycle>=282 -> silent_corruption (mreg m19)
+    [1] mreg m18 bit 10 @ cycle>=110 -> silent_corruption (mreg m18)
+    [2] mreg m14 bit 21 @ cycle>=188 -> silent_corruption (mreg m14)
+    [3] mram-data 0x6a8 bit 31 @ cycle>=59 -> silent_corruption (mram-data)
+    [4] mreg m11 bit 6 @ cycle>=282 -> silent_corruption (reg t0; mreg m11)
+    [5] mreg m15 bit 23 @ cycle>=42 -> silent_corruption (mreg m15)
+    [6] mram-data 0x16a8 bit 6 @ cycle>=461 -> silent_corruption (mram-data)
+    [7] mram-data 0x158 bit 23 @ cycle>=176 -> silent_corruption (mram-data)
+
+  $ ../bin/mrun.exe loop.s --mcode ping.mcode --ecc \
+  >   --inject seed:4,runs:8,classes:mreg+mram-data --inject-out ve.json
+  campaign loop.s: seed:4,runs:8,classes:mreg+mram-data,integrity [ecc]
+  oracle: ebreak at 0x00000010 (523 cycles)
+  verdict              runs    rate
+  masked                  7   87.5%
+  corrected               1   12.5%
+  detected                0    0.0%
+  silent corruption       0    0.0%
+    [4] mreg m11 bit 6 @ cycle>=282 -> corrected (secded corrected 1 consumption)
+  verdicts: ve.json
+
+  $ ../tools/trace_check.exe inject ve.json
+  ve.json: ok (1 campaigns, 8 runs: 7 masked, 1 corrected, 0 detected, 0 silent)

@@ -1,0 +1,470 @@
+(* SECDED ECC (lib/hw/ecc) and its integration through MRAM data,
+   the Metal register file and the pipelines.
+
+   The codec properties are exhaustive where the space is small
+   enough: every one of the 39 single-bit codeword flips must correct
+   back to the stored word (identifying the flipped bit), and every
+   one of the 741 double flips must classify Uncorrectable — never
+   Clean, never miscorrected.  The integration tests pin the two read
+   views (plain reads silently return the corrected word; checked
+   reads report the decoder status), the injector contract (flips land
+   under the encoder), the Mld timing cost, and the end-to-end
+   robustness claim: a Metal-register upset inside an active mroutine
+   is corrected at its consumption point, at every injection cycle,
+   on both steppers.  A corpus differential pins that ECC off is
+   bit-identical to an ECC-armed fault-free run (and that arming it
+   costs nothing when no mroutine issues Mld). *)
+
+open Metal_cpu
+module Ecc = Metal_hw.Ecc
+module Mram = Metal_hw.Mram
+module Mregs = Metal_hw.Mregs
+module System = Metal_core.System
+module Inject = Metal_inject.Inject
+module Collector = Metal_trace.Collector
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Codec properties                                                    *)
+
+let sample_words =
+  [ 0; 1; 0x80000000; 0xFFFFFFFF; 0xDEADBEEF; 0xA5A5A5A5; 0x00010000;
+    0x7FFFFFFF ]
+
+(* Flip codeword bit [b] of a stored (data, check) pair: 0–31 are data
+   bits, 32–37 the Hamming check bits, 38 the overall parity bit. *)
+let flip_codeword (data, check) b =
+  if b < 32 then (data lxor (1 lsl b), check)
+  else (data, check lxor (1 lsl (b - 32)))
+
+let test_zero_is_codeword () =
+  check_int "encode 0 = 0 (zeroed storage is valid)" 0 (Ecc.encode 0)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trip is Clean" ~count:500
+    (QCheck.make
+       (QCheck.Gen.map (fun i -> i land 0xFFFFFFFF) QCheck.Gen.int))
+    (fun w -> Ecc.decode ~data:w ~check:(Ecc.encode w) = Ecc.Clean)
+
+let test_single_flips_correct () =
+  List.iter
+    (fun w ->
+       let check = Ecc.encode w in
+       for b = 0 to Ecc.codeword_bits - 1 do
+         let data', check' = flip_codeword (w, check) b in
+         match Ecc.decode ~data:data' ~check:check' with
+         | Ecc.Corrected { data; bit } ->
+           check_int
+             (Printf.sprintf "word %08x bit %d: corrected data" w b)
+             w data;
+           check_int
+             (Printf.sprintf "word %08x bit %d: identified bit" w b)
+             b bit
+         | Ecc.Clean ->
+           Alcotest.failf "word %08x bit %d: flip decoded Clean" w b
+         | Ecc.Uncorrectable ->
+           Alcotest.failf "word %08x bit %d: single flip uncorrectable" w b
+       done)
+    sample_words
+
+let test_double_flips_detected () =
+  List.iter
+    (fun w ->
+       let check = Ecc.encode w in
+       for b1 = 0 to Ecc.codeword_bits - 2 do
+         for b2 = b1 + 1 to Ecc.codeword_bits - 1 do
+           match Ecc.decode ~data:(fst (flip_codeword (flip_codeword (w, check) b1) b2))
+                   ~check:(snd (flip_codeword (flip_codeword (w, check) b1) b2))
+           with
+           | Ecc.Uncorrectable -> ()
+           | Ecc.Clean ->
+             Alcotest.failf "word %08x bits %d+%d: double flip decoded Clean"
+               w b1 b2
+           | Ecc.Corrected _ ->
+             Alcotest.failf "word %08x bits %d+%d: double flip miscorrected"
+               w b1 b2
+         done
+       done)
+    sample_words
+
+(* ------------------------------------------------------------------ *)
+(* Storage integration: MRAM data segment and the m-register file      *)
+
+let test_mram_ecc () =
+  let t = Mram.create ~ecc:true ~code_words:64 ~data_bytes:256 () in
+  check_bool "ecc armed" true (Mram.ecc t);
+  let v = 0x12345678 in
+  check_bool "store" true (Mram.store_word t ~addr:8 v);
+  (* Single flip under the encoder: both read views return the stored
+     word; only the checked view reports the repair. *)
+  check_bool "corrupt" true (Mram.corrupt_data_bit t ~addr:8 ~bit:7);
+  check_int "plain read is the corrected view" v
+    (Option.get (Mram.load_word t ~addr:8));
+  (match Mram.load_word_checked t ~addr:8 with
+   | Some (w, Ecc.Corrected { bit; _ }) ->
+     check_int "checked read corrects" v w;
+     check_int "identifies the flipped bit" 7 bit
+   | Some (_, st) ->
+     Alcotest.failf "expected Corrected, got %s"
+       (match st with
+        | Ecc.Clean -> "Clean"
+        | Ecc.Uncorrectable -> "Uncorrectable"
+        | Ecc.Corrected _ -> assert false)
+   | None -> Alcotest.fail "in-range read returned None");
+  (* The plain read did not scrub: the upset is still stored, and a
+     second flip makes the word uncorrectable. *)
+  check_bool "corrupt again" true (Mram.corrupt_data_bit t ~addr:8 ~bit:19);
+  (match Mram.load_word_checked t ~addr:8 with
+   | Some (_, Ecc.Uncorrectable) -> ()
+   | _ -> Alcotest.fail "double flip not detected");
+  (* A store regenerates the check bits. *)
+  check_bool "overwrite" true (Mram.store_word t ~addr:8 0xCAFE);
+  (match Mram.load_word_checked t ~addr:8 with
+   | Some (w, Ecc.Clean) -> check_int "clean after rewrite" 0xCAFE w
+   | _ -> Alcotest.fail "rewrite did not regenerate check bits");
+  (* Ablation: without ECC the same flip is plainly visible. *)
+  let off = Mram.create ~code_words:64 ~data_bytes:256 () in
+  check_bool "ecc off" false (Mram.ecc off);
+  ignore (Mram.store_word off ~addr:8 v);
+  ignore (Mram.corrupt_data_bit off ~addr:8 ~bit:7);
+  check_int "ecc-off read sees the flip" (v lxor 0x80)
+    (Option.get (Mram.load_word off ~addr:8))
+
+let test_mregs_ecc () =
+  let t = Mregs.create ~ecc:true () in
+  check_bool "ecc armed" true (Mregs.ecc t);
+  let v = 0xBEEF00D in
+  Mregs.write t 10 v;
+  Mregs.flip_bit t 10 ~bit:3;
+  check_int "plain read is the corrected view" v (Mregs.read t 10);
+  check_int "dump is the corrected view" v (Mregs.dump t).(10);
+  (match Mregs.read_checked t 10 with
+   | _, Ecc.Corrected { bit; _ } -> check_int "flipped bit" 3 bit
+   | _ -> Alcotest.fail "expected Corrected");
+  Mregs.flip_bit t 10 ~bit:30;
+  (match Mregs.read_checked t 10 with
+   | _, Ecc.Uncorrectable -> ()
+   | _ -> Alcotest.fail "double flip not detected");
+  Mregs.write t 10 v;
+  (match Mregs.read_checked t 10 with
+   | w, Ecc.Clean -> check_int "clean after rewrite" v w
+   | _ -> Alcotest.fail "rewrite did not regenerate check bits")
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: an mroutine consuming MRAM data with Mld      *)
+
+let mld_mcode =
+  ".mentry 1, get\n\
+   get:\n\
+   mld t0, 0(zero)\n\
+   mexit\n"
+
+let mld_guest =
+  "start:\n\
+   li s1, 5\n\
+   loop:\n\
+   menter 1\n\
+   addi s1, s1, -1\n\
+   bne s1, zero, loop\n\
+   ebreak\n"
+
+let run_mld ~predecode ~ecc ~prepare_mram () =
+  let config = { Config.default with Config.predecode; Config.ecc } in
+  let sys = System.create ~config () in
+  (match System.load_mcode sys mld_mcode with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match System.load_program sys mld_guest with
+   | Ok _ -> ()
+   | Error e -> failwith e);
+  let m = sys.System.machine in
+  prepare_mram m.Machine.mram;
+  let c = Collector.create () in
+  Machine.set_probe m (Collector.probe c);
+  System.start sys ~pc:0 ();
+  let halt = System.run sys ~max_cycles:100_000 () in
+  let counts = (Collector.metrics c).Metal_trace.Metrics.event_counts in
+  let corrections =
+    match List.assoc_opt "ecc_correct" counts with Some n -> n | None -> 0
+  in
+  (halt, Machine.get_reg m 5 (* t0 *), Stats.copy m.Machine.stats, corrections)
+
+let seed_word = 0x5EC0DE5
+
+let test_mld_timing ~predecode () =
+  let seed mram = ignore (Mram.store_word mram ~addr:0 seed_word) in
+  let h_off, t0_off, s_off, c_off =
+    run_mld ~predecode ~ecc:false ~prepare_mram:seed ()
+  and h_on, t0_on, s_on, c_on =
+    run_mld ~predecode ~ecc:true ~prepare_mram:seed ()
+  in
+  (match (h_off, h_on) with
+   | Machine.Halt_ebreak _, Machine.Halt_ebreak _ -> ()
+   | _ -> Alcotest.fail "mld program did not reach ebreak");
+  check_int "same loaded word" t0_off t0_on;
+  check_int "loaded the stored word" seed_word t0_on;
+  check_int "no corrections without faults (off)" 0 c_off;
+  check_int "no corrections without faults (on)" 0 c_on;
+  (* The SECDED check costs one cycle per Mld, attributed as a memory
+     stall; the 5-iteration loop issues 5 Mlds. *)
+  check_int "one check cycle per mld" (s_off.Stats.cycles + 5)
+    s_on.Stats.cycles;
+  check_int "attributed as memory stalls"
+    (s_off.Stats.mem_stall_cycles + 5)
+    s_on.Stats.mem_stall_cycles
+
+let test_mld_corrects ~predecode () =
+  let prep mram =
+    ignore (Mram.store_word mram ~addr:0 seed_word);
+    ignore (Mram.corrupt_data_bit mram ~addr:0 ~bit:11)
+  in
+  let halt, t0, _, corrections =
+    run_mld ~predecode ~ecc:true ~prepare_mram:prep ()
+  in
+  (match halt with
+   | Machine.Halt_ebreak _ -> ()
+   | h ->
+     Alcotest.failf "corrupted run did not reach ebreak: %s"
+       (Machine.halted_to_string h));
+  check_int "mld consumed the corrected word" seed_word t0;
+  (* The upset is never scrubbed, so every one of the 5 Mlds repairs
+     it again. *)
+  check_int "one correction per mld" 5 corrections
+
+let test_mld_uncorrectable ~predecode () =
+  let prep mram =
+    ignore (Mram.store_word mram ~addr:0 seed_word);
+    ignore (Mram.corrupt_data_bit mram ~addr:0 ~bit:11);
+    ignore (Mram.corrupt_data_bit mram ~addr:0 ~bit:23)
+  in
+  let halt, _, _, _ = run_mld ~predecode ~ecc:true ~prepare_mram:prep () in
+  match halt with
+  | Machine.Halt_metal_fault { cause = Cause.Ecc_uncorrectable; _ } -> ()
+  | h ->
+    Alcotest.failf "double flip did not raise ecc-uncorrectable: %s"
+      (Machine.halted_to_string h)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a Metal-register upset inside an active mroutine is
+   corrected before consumption — swept over every injection cycle.   *)
+
+let ping_mcode =
+  ".mentry 1, ping\n\
+   ping:\n\
+   wmr m11, t0\n\
+   rmr t0, m10\n\
+   addi t0, t0, 1\n\
+   wmr m10, t0\n\
+   rmr t0, m11\n\
+   mexit\n"
+
+let ping_guest =
+  "start:\n\
+   li s0, 50\n\
+   loop:\n\
+   menter 1\n\
+   addi s0, s0, -1\n\
+   bne s0, zero, loop\n\
+   ebreak\n"
+
+let prepare_ping (sys : System.t) =
+  (match System.load_mcode sys ping_mcode with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match System.load_program sys ping_guest with
+   | Ok _ -> ()
+   | Error e -> failwith e);
+  System.start sys ~pc:0 ()
+
+let test_mreg_sweep ~predecode () =
+  let ecc_config = { Config.default with Config.predecode; Config.ecc = true }
+  and off_config = { Config.default with Config.predecode } in
+  let _, _, _, oracle, _ =
+    Tutil.run_injected ~config:ecc_config ~fuel:100_000 ~plan:[] prepare_ping
+  in
+  let cycles = oracle.Inject.Snapshot.stats.Stats.cycles in
+  check_bool "oracle halted" true (cycles > 0);
+  (* m10 is the live counter: the ping mroutine reads it on every
+     iteration, so an upset is either consumed (and must be repaired)
+     or overwritten first (masked).  Silent is unreachable. *)
+  let plan_at k =
+    [ { Inject.trigger = Inject.At_cycle k;
+        Inject.fault = Inject.Mreg { m = 10; bit = 13 } } ]
+  in
+  let corrected_at = ref None in
+  for k = 1 to cycles - 1 do
+    let verdict, applied, _, _, _ =
+      Tutil.run_injected ~config:ecc_config ~fuel:100_000 ~plan:(plan_at k)
+        prepare_ping
+    in
+    check_int (Printf.sprintf "cycle %d: applied" k) 1 applied;
+    match verdict with
+    | Inject.Masked -> ()
+    | Inject.Corrected _ ->
+      if !corrected_at = None then corrected_at := Some k
+    | Inject.Detected _ ->
+      Alcotest.failf "cycle %d: single-bit mreg flip detected as a fault" k
+    | Inject.Silent components ->
+      Alcotest.failf "cycle %d: silent corruption (%s) despite ECC" k
+        (String.concat ", " components)
+  done;
+  match !corrected_at with
+  | None ->
+    Alcotest.fail "no injection cycle was corrected — the sweep never hit \
+                   the live window"
+  | Some k ->
+    (* Ablation: the same upset without ECC corrupts silently — the
+       E20 gap this layer closes. *)
+    (match
+       Tutil.run_injected ~config:off_config ~fuel:100_000 ~plan:(plan_at k)
+         prepare_ping
+     with
+     | Inject.Silent _, _, _, _, _ -> ()
+     | v, _, _, _, _ ->
+       Alcotest.failf
+         "cycle %d: expected silent corruption without ECC, got %s" k
+         (Inject.verdict_to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus differential: arming ECC on a fault-free run is invisible —
+   same architectural results, same timing (the corpus issues no Mld). *)
+
+let mem_size = 64 * 1024
+let data_base = 0x1000
+let data_words = 64
+let base_reg = 28
+
+let gen_reg = QCheck.Gen.int_range 0 15
+
+let gen_instr : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Instr in
+  let gen_alu = oneofl [ Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And ] in
+  let gen_cond = oneofl [ Beq; Bne; Blt; Bge; Bltu; Bgeu ] in
+  let word_off = map (fun i -> 4 * i) (int_range 0 (data_words - 1)) in
+  frequency
+    [ (4, map3 (fun op (rd, rs1) rs2 -> Op { op; rd; rs1; rs2 }) gen_alu
+         (pair gen_reg gen_reg) gen_reg);
+      (4, map3 (fun op (rd, rs1) imm -> Op_imm { op; rd; rs1; imm })
+         (oneofl [ Add; Xor; Or; And ]) (pair gen_reg gen_reg)
+         (int_range (-2048) 2047));
+      (3, map2 (fun rd offset ->
+           Load { width = Word; unsigned = false; rd; rs1 = base_reg; offset })
+         gen_reg word_off);
+      (3, map2 (fun rs2 offset ->
+           Store { width = Word; rs2; rs1 = base_reg; offset })
+         gen_reg word_off);
+      (2, map3 (fun cond rs1 rs2 -> Branch { cond; rs1; rs2; offset = 8 })
+         gen_cond gen_reg gen_reg);
+    ]
+
+let gen_program : Instr.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* body = list_size (int_range 5 40) gen_instr in
+  let* seeds = list_size (return 6) (pair gen_reg (int_range (-100) 1000)) in
+  let prologue =
+    Instr.Lui { rd = base_reg; imm = data_base lsr 12 }
+    :: List.concat_map
+         (fun (r, v) ->
+            if r = 0 then []
+            else [ Instr.Op_imm { op = Instr.Add; rd = r; rs1 = 0; imm = v } ])
+         seeds
+  in
+  return (prologue @ body @ [ Instr.Ebreak ])
+
+let corpus_programs =
+  lazy
+    (let rand = Random.State.make [| 0x5EED; 300 |] in
+     Array.init 300 (fun _ -> QCheck.Gen.generate1 ~rand gen_program))
+
+let image_of instrs =
+  let b = Metal_asm.Image.Builder.create () in
+  List.iteri
+    (fun i instr ->
+       match
+         Metal_asm.Image.Builder.emit_word b ~addr:(4 * i)
+           (Encode.encode_exn instr)
+       with
+       | Ok () -> ()
+       | Error e -> failwith e)
+    instrs;
+  Metal_asm.Image.Builder.finish b
+
+let run_corpus_program ~predecode ~ecc img =
+  let config =
+    { Config.default with Config.mem_size; Config.predecode; Config.ecc }
+  in
+  let m = Machine.create ~config () in
+  (match Machine.load_image m img with Ok () -> () | Error e -> failwith e);
+  for i = 0 to data_words - 1 do
+    Machine.write_word m
+      (data_base + (4 * i))
+      (Word.of_int ((i * 0x01234567) + 0x89ABCDEF))
+  done;
+  Machine.set_pc m 0;
+  let halt = Pipeline.run m ~max_cycles:100_000 in
+  ( halt,
+    Array.init 32 (Machine.get_reg m),
+    Array.init data_words (fun i -> Machine.read_word m (data_base + (4 * i))),
+    Stats.copy m.Machine.stats )
+
+let test_ecc_off_identity_corpus ~predecode () =
+  let progs = Lazy.force corpus_programs in
+  let failures = ref [] in
+  Array.iteri
+    (fun i instrs ->
+       let img = image_of instrs in
+       if
+         run_corpus_program ~predecode ~ecc:false img
+         <> run_corpus_program ~predecode ~ecc:true img
+       then failures := i :: !failures)
+    progs;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "%d/300 corpus programs diverge between ecc on/off: %s"
+      (List.length fs)
+      (String.concat ", " (List.rev_map string_of_int fs))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ecc"
+    [
+      ( "codec",
+        [ Alcotest.test_case "encode 0 = 0" `Quick test_zero_is_codeword;
+          qcheck prop_roundtrip;
+          Alcotest.test_case "all 39 single flips correct" `Quick
+            test_single_flips_correct;
+          Alcotest.test_case "all 741 double flips detected" `Quick
+            test_double_flips_detected ] );
+      ( "storage",
+        [ Alcotest.test_case "mram data segment" `Quick test_mram_ecc;
+          Alcotest.test_case "m-register file" `Quick test_mregs_ecc ] );
+      ( "pipeline",
+        [ Alcotest.test_case "mld check latency (fast)" `Quick
+            (test_mld_timing ~predecode:true);
+          Alcotest.test_case "mld check latency (slow)" `Quick
+            (test_mld_timing ~predecode:false);
+          Alcotest.test_case "mld corrects a stored upset (fast)" `Quick
+            (test_mld_corrects ~predecode:true);
+          Alcotest.test_case "mld corrects a stored upset (slow)" `Quick
+            (test_mld_corrects ~predecode:false);
+          Alcotest.test_case "double flip faults ecc-uncorrectable (fast)"
+            `Quick (test_mld_uncorrectable ~predecode:true);
+          Alcotest.test_case "double flip faults ecc-uncorrectable (slow)"
+            `Quick (test_mld_uncorrectable ~predecode:false) ] );
+      ( "robustness",
+        [ Alcotest.test_case "mreg upset corrected at consumption (fast)"
+            `Quick (test_mreg_sweep ~predecode:true);
+          Alcotest.test_case "mreg upset corrected at consumption (slow)"
+            `Quick (test_mreg_sweep ~predecode:false) ] );
+      ( "differential",
+        [ Alcotest.test_case "300-program corpus, ecc on = off (fast)"
+            `Quick (test_ecc_off_identity_corpus ~predecode:true);
+          Alcotest.test_case "300-program corpus, ecc on = off (slow)"
+            `Quick (test_ecc_off_identity_corpus ~predecode:false) ] );
+    ]

@@ -37,7 +37,16 @@ let test_map_isolates_exceptions () =
        if i = 5 then
          match r with
          | Error msg ->
-           check_bool "names the exception" true (contains msg "boom")
+           check_bool "names the exception" true (contains msg "boom");
+           (* The failure text must carry a backtrace frame, not just
+              the exception: the raw backtrace is captured as the
+              first action of the catch site (anything earlier
+              overwrites the per-domain buffer and used to yield an
+              empty trace). *)
+           check_bool
+             (Printf.sprintf "carries a backtrace frame: %S" msg)
+             true
+             (contains msg "Raised at" || contains msg "Raised by")
          | Ok _ -> Alcotest.fail "raising element produced Ok"
        else check_int "survivor" (2 * i) (Result.get_ok r))
     out

@@ -159,7 +159,7 @@ let test_tlb_packed () =
 (* MRAM *)
 
 let test_mram_image () =
-  let mram = Mram.create ~code_words:64 ~data_bytes:64 in
+  let mram = Mram.create ~code_words:64 ~data_bytes:64 () in
   let img =
     Metal_asm.Asm.assemble_exn
       ".mentry 0, a\n.mentry 5, b\na: mexit\nb: addi a0, a0, 1\n mexit\n"
@@ -178,7 +178,7 @@ let test_mram_image () =
   check_bool "oob fetch" true (Mram.fetch mram ~addr:(64 * 4) = None)
 
 let test_mram_data () =
-  let mram = Mram.create ~code_words:16 ~data_bytes:32 in
+  let mram = Mram.create ~code_words:16 ~data_bytes:32 () in
   check_bool "store ok" true (Mram.store_word mram ~addr:28 0xAA55AA55);
   Alcotest.(check (option int)) "load back" (Some 0xAA55AA55)
     (Mram.load_word mram ~addr:28);
@@ -188,7 +188,7 @@ let test_mram_data () =
   Alcotest.(check (option int)) "cleared" (Some 0) (Mram.load_word mram ~addr:28)
 
 let test_mram_entry_errors () =
-  let mram = Mram.create ~code_words:16 ~data_bytes:32 in
+  let mram = Mram.create ~code_words:16 ~data_bytes:32 () in
   check_bool "entry oob" true (Result.is_error (Mram.set_entry mram ~entry:64 ~addr:0));
   check_bool "offset oob" true
     (Result.is_error (Mram.set_entry mram ~entry:0 ~addr:(16 * 4)));

@@ -331,6 +331,8 @@ let test_irq_in_metal_window ~predecode () =
               c)
        components
    | Inject.Masked -> ()
+   | Inject.Corrected _ ->
+     Alcotest.fail "corrected verdict without ECC armed"
    | Inject.Detected _ ->
      Alcotest.fail "spurious irq was misclassified as a detected fault");
   (* The handler really ran: the delivery wrote Metal registers the
@@ -473,8 +475,9 @@ let test_verdict_json () =
        Alcotest.(check bool) (needle ^ " present") true (Tutil.contains j needle))
     [ "\"schema\": \"metal-inject-v1\""; "\"summary\""; "\"per_class\"";
       "\"records\""; "\"oracle_cycles\"" ];
-  let masked, detected, silent = Inject.summary c in
-  Alcotest.(check int) "summary covers every run" 4 (masked + detected + silent)
+  let masked, corrected, detected, silent = Inject.summary c in
+  Alcotest.(check int) "summary covers every run" 4
+    (masked + corrected + detected + silent)
 
 (* ------------------------------------------------------------------ *)
 

@@ -37,11 +37,23 @@ let run_injected ?(config = Metal_cpu.Config.default) ?(integrity = false)
   let sys = System.create ~config () in
   prepare sys;
   let m = sys.System.machine in
+  (* Count [ecc_correct] events so ECC-armed workloads can classify as
+     Corrected; counters are exact regardless of ring drops. *)
+  let c = Metal_trace.Collector.create ~capacity:1024 () in
+  Metal_cpu.Machine.set_probe m (Metal_trace.Collector.probe c);
   let stop, applied = Inject.run_plan ~integrity m ~fuel ~plan in
   let snap =
     Inject.Snapshot.take m
       ~console:(System.console_output sys)
       ~halt:(halt_of stop)
   in
-  let verdict = Inject.classify ~oracle ~stop ~snap in
+  let corrections =
+    match
+      List.assoc_opt "ecc_correct"
+        (Metal_trace.Collector.metrics c).Metal_trace.Metrics.event_counts
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  let verdict = Inject.classify ~corrections ~oracle ~stop ~snap () in
   (verdict, applied, stop, oracle, snap)

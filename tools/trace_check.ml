@@ -274,6 +274,16 @@ let check_inject_campaign path j =
     | Some l -> l
     | None -> failf "%s: campaign has no label" path
   in
+  (* The ECC fields ("ecc": true, "corrected" counts, per-record
+     "ecc_corrected") appear only in campaigns run with the SECDED
+     layer armed; a "corrected" verdict in an ECC-off document is a
+     schema violation. *)
+  let ecc =
+    match Json.member "ecc" j with
+    | Some (Json.Bool b) -> b
+    | Some _ -> failf "%s: %s: ecc field is not a bool" path label
+    | None -> false
+  in
   let runs = int_field path "runs" j in
   ignore (int_field path "seed" j);
   ignore (int_field path "oracle_cycles" j);
@@ -307,9 +317,34 @@ let check_inject_campaign path j =
          | Some c -> c
          | None -> failf "%s: %s: record %d has no class" path label i
        in
+       let corrections =
+         if ecc then int_field path "ecc_corrected" r
+         else begin
+           (match Json.member "ecc_corrected" r with
+            | Some _ ->
+              failf "%s: %s: record %d carries ecc_corrected without ecc"
+                path label i
+            | None -> ());
+           0
+         end
+       in
        match str_field "verdict" r with
        | Some
-           (("masked" | "detected" | "silent_corruption") as v) ->
+           (("masked" | "corrected" | "detected" | "silent_corruption") as v)
+         ->
+         if v = "corrected" && not ecc then
+           failf "%s: %s: record %d: corrected verdict without ecc" path
+             label i;
+         (* The corrected verdict and the correction counter must
+            agree: corrected ⇔ converged with repairs consumed. *)
+         if v = "corrected" && corrections = 0 then
+           failf
+             "%s: %s: record %d: corrected verdict with 0 ecc_corrected"
+             path label i;
+         if v = "masked" && corrections > 0 then
+           failf
+             "%s: %s: record %d: masked verdict despite %d ecc_corrected"
+             path label i corrections;
          bump ("" , v);
          bump (cls, v)
        | Some v -> failf "%s: %s: record %d: unknown verdict %S" path label i v
@@ -327,8 +362,10 @@ let check_inject_campaign path j =
            failf "%s: %s: %s%s claims %d, records say %d" path label
              (if scope = "" then "summary " else "class " ^ scope ^ " ")
              field claimed actual)
-      [ ("masked", "masked"); ("detected", "detected");
-        ("silent_corruption", "silent_corruption") ]
+      ([ ("masked", "masked") ]
+       @ (if ecc then [ ("corrected", "corrected") ] else [])
+       @ [ ("detected", "detected");
+           ("silent_corruption", "silent_corruption") ])
   in
   (match Json.member "summary" j with
    | Some s -> check_counts "" s
@@ -347,16 +384,16 @@ let check_inject_campaign path j =
        in
        let claimed = int_field path "runs" pc in
        let actual =
-         recount cls "masked" + recount cls "detected"
-         + recount cls "silent_corruption"
+         recount cls "masked" + recount cls "corrected"
+         + recount cls "detected" + recount cls "silent_corruption"
        in
        if claimed <> actual then
          failf "%s: %s: class %s claims %d runs, records say %d" path label
            cls claimed actual;
        check_counts cls pc)
     per_class;
-  (label, runs, recount "" "masked", recount "" "detected",
-   recount "" "silent_corruption")
+  (label, runs, recount "" "masked", recount "" "corrected",
+   recount "" "detected", recount "" "silent_corruption")
 
 let check_inject path =
   let j = parse_file path in
@@ -372,13 +409,14 @@ let check_inject path =
     List.map (check_inject_campaign path) campaigns
   in
   let sum f = List.fold_left (fun acc t -> acc + f t) 0 totals in
-  Printf.printf "%s: ok (%d campaigns, %d runs: %d masked, %d detected, %d \
-                 silent)\n"
+  Printf.printf "%s: ok (%d campaigns, %d runs: %d masked, %d corrected, \
+                 %d detected, %d silent)\n"
     path (List.length totals)
-    (sum (fun (_, r, _, _, _) -> r))
-    (sum (fun (_, _, m, _, _) -> m))
-    (sum (fun (_, _, _, d, _) -> d))
-    (sum (fun (_, _, _, _, s) -> s))
+    (sum (fun (_, r, _, _, _, _) -> r))
+    (sum (fun (_, _, m, _, _, _) -> m))
+    (sum (fun (_, _, _, c, _, _) -> c))
+    (sum (fun (_, _, _, _, d, _) -> d))
+    (sum (fun (_, _, _, _, _, s) -> s))
 
 let usage () =
   prerr_endline
