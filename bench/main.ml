@@ -1883,6 +1883,377 @@ let inject_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E21: windowed telemetry — collection overhead, watchdog alarms and
+   the runtime-vs-static WCET cross-check                              *)
+
+(* Four claims: (a) the telemetry collector is a pure observer — the
+   architectural Stats of a run are bit-identical with and without the
+   probe armed (cycle overhead 0), and the wall-clock cost of windowing
+   the stream is small; (b) the windows account for every pipeline
+   cycle: series totals equal Stats on both steppers; (c) the runtime
+   wcet watchdog, fed the static bounds from Mverify, confirms every
+   measured menter→mexit latency within its bound (wcet_violations=0);
+   (d) degradation trips the alarms deterministically — injected mreg
+   upsets under ECC raise ecc_storm, a memory-bound phase under
+   mem_latency raises ipc_floor in the later windows only, and the
+   fleet-merged series and alarm lists are byte-identical across
+   domain counts. *)
+
+module Telemetry = Metal_telemetry.Telemetry
+
+let telemetry_json = ref false
+
+let telemetry_bench () =
+  section
+    "E21. Windowed telemetry: overhead, watchdogs, runtime WCET cross-check";
+  let images = Lazy.force simperf_random_programs in
+  let run_corpus ~probe () =
+    List.fold_left
+      (fun acc img ->
+         let m = machine () in
+         (match Machine.load_image m img with
+          | Ok () -> ()
+          | Error e -> fail "%s" e);
+         Machine.set_pc m 0;
+         (match probe with
+          | `None -> ()
+          | `Telemetry ->
+            let t = Telemetry.create () in
+            Machine.set_probe m (Telemetry.probe t)
+          | `Both ->
+            let t = Telemetry.create () in
+            let c = Metal_trace.Collector.create ~capacity:8192 () in
+            let pt = Telemetry.probe t
+            and pc = Metal_trace.Collector.probe c in
+            Machine.set_probe m (fun cy k a b ->
+                pc cy k a b;
+                pt cy k a b));
+         run_to_ebreak m;
+         acc + retired m)
+      0 images
+  in
+  ignore (run_corpus ~probe:`None ());
+  let rounds = 3 in
+  let n = ref 0 in
+  let t_off = ref infinity and t_tel = ref infinity and t_both = ref infinity in
+  for _ = 1 to rounds do
+    let r, t = time_once (run_corpus ~probe:`None) in
+    n := r;
+    if t < !t_off then t_off := t;
+    let _, t = time_once (run_corpus ~probe:`Telemetry) in
+    if t < !t_tel then t_tel := t;
+    let _, t = time_once (run_corpus ~probe:`Both) in
+    if t < !t_both then t_both := t
+  done;
+  let pct t = (t /. !t_off -. 1.0) *. 100.0 in
+  Printf.printf
+    "random corpus (%d sim instrs):\n\
+    \  probe disabled       %.3f s (%.2f Minstr/s)\n\
+    \  telemetry armed      %.3f s (%+.1f%%)\n\
+    \  telemetry+collector  %.3f s (%+.1f%%)\n"
+    !n !t_off
+    (float_of_int !n /. !t_off /. 1e6)
+    !t_tel (pct !t_tel) !t_both (pct !t_both);
+  (* Observer invariance: the architectural run is bit-identical with
+     the probe armed — Stats (cycles included) must not move at all. *)
+  let stats_of probe =
+    let m = machine () in
+    (match Machine.load_image m (List.hd images) with
+     | Ok () -> ()
+     | Error e -> fail "%s" e);
+    Machine.set_pc m 0;
+    (match probe with
+     | `None -> ()
+     | `Telemetry ->
+       let t = Telemetry.create () in
+       Machine.set_probe m (Telemetry.probe t));
+    run_to_ebreak m;
+    m.Machine.stats
+  in
+  if stats_of `None <> stats_of `Telemetry then
+    fail "telemetry probe perturbed the architectural Stats of the run";
+  print_endline
+    "observer invariance: Stats bit-identical with telemetry armed \
+     (cycle overhead 0)";
+  (* (b)+(c): the windowed Figure-2 ping view with the wcet watchdog
+     fed the static bounds, on both steppers. *)
+  subsection "windowed Figure-2 ping + runtime wcet watchdog";
+  let ping_mcode =
+    ".mentry 1, ping\n\
+     ping:\n\
+     wmr m11, t0\n\
+     rmr t0, m10\n\
+     addi t0, t0, 1\n\
+     wmr m10, t0\n\
+     rmr t0, m11\n\
+     mexit\n"
+  and ping_guest =
+    "start:\n\
+     li s0, 200\n\
+     loop:\n\
+     menter 1\n\
+     addi s0, s0, -1\n\
+     bne s0, zero, loop\n\
+     ebreak\n"
+  in
+  let ping_img =
+    match Metal_asm.Asm.assemble ping_mcode with
+    | Ok img -> img
+    | Error e -> fail "mcode assembly: %s" (Metal_asm.Asm.error_to_string e)
+  in
+  let vreport = Mverify.verify ~config:Config.default ping_img in
+  if not (Mverify.ok vreport) then
+    fail "ping mcode fails static verification";
+  let bounds =
+    List.filter_map
+      (fun (e : Mverify.entry_report) ->
+         Option.map (fun w -> (e.Mverify.entry, w)) e.Mverify.wcet)
+      vreport.Mverify.entries
+  in
+  let wcet_rules =
+    match Telemetry.Watchdog.rules_of_string "wcet" with
+    | Ok r -> r
+    | Error e -> fail "wcet spec: %s" e
+  in
+  let ping_run ~predecode =
+    let config = { Config.default with Config.predecode } in
+    let m = machine ~config () in
+    load_mcode m ping_mcode;
+    ignore (load m ping_guest);
+    let t =
+      Telemetry.create ~window_cycles:256 ~rules:wcet_rules
+        ~wcet_bounds:bounds ()
+    in
+    Machine.set_probe m (Telemetry.probe t);
+    Machine.set_pc m 0;
+    run_to_ebreak m;
+    let stats = m.Machine.stats in
+    let series =
+      Telemetry.Series.annotate (Telemetry.series t)
+        ~machine_cycles:stats.Stats.cycles
+        ~accounted_cycles:
+          (Stats.accounted_cycles stats ~pending_stall:m.Machine.stall_cycles)
+    in
+    (series, Telemetry.alarms t, stats)
+  in
+  let series, alarms, stats = ping_run ~predecode:true in
+  let series_slow, alarms_slow, _ = ping_run ~predecode:false in
+  if not (Telemetry.Series.equal series series_slow) then
+    fail "fast and slow steppers produce different telemetry series";
+  if alarms <> alarms_slow then
+    fail "fast and slow steppers produce different watchdog alarms";
+  if Telemetry.Series.total_cycles series <> stats.Stats.cycles then
+    fail "telemetry windows cover %d cycles, the machine ran %d"
+      (Telemetry.Series.total_cycles series)
+      stats.Stats.cycles;
+  if Telemetry.Series.total_instructions series <> stats.Stats.instructions
+  then
+    fail "telemetry windows count %d instructions, the machine retired %d"
+      (Telemetry.Series.total_instructions series)
+      stats.Stats.instructions;
+  Format.printf "%a@." Telemetry.Series.pp series;
+  print_endline
+    "window sums equal Stats totals on both steppers (every cycle accounted)";
+  let entry_bound =
+    match bounds with
+    | [ (entry, b) ] -> (entry, b)
+    | _ -> fail "expected exactly one ping entry bound"
+  in
+  let measured_max =
+    List.fold_left
+      (fun acc (w : Telemetry.Series.window) -> max acc w.mroutine_max)
+      0 series.Telemetry.Series.windows
+  in
+  if alarms <> [] then
+    fail "runtime wcet watchdog fired %d alarms:\n%s" (List.length alarms)
+      (String.concat "\n"
+         (List.map Telemetry.Watchdog.alarm_to_string alarms));
+  Printf.printf
+    "wcet_violations=%d (entry %d: measured max %d <= static bound %d, \
+     both steppers)\n"
+    0 (fst entry_bound) measured_max (snd entry_bound);
+  (* (d1): injected mreg upsets under ECC trip the ecc_storm rule, and
+     the scenario is a pure function of the plan — replaying it yields
+     the identical series and alarm list. *)
+  subsection "degradation alarms: ecc_storm under injected mreg upsets";
+  let storm_rules =
+    match Telemetry.Watchdog.rules_of_string "ecc_storm:2" with
+    | Ok r -> r
+    | Error e -> fail "ecc_storm spec: %s" e
+  in
+  let storm_run () =
+    let m = machine ~config:{ Config.default with Config.ecc = true } () in
+    load_mcode m ping_mcode;
+    ignore (load m ping_guest);
+    let t = Telemetry.create ~window_cycles:128 ~rules:storm_rules () in
+    Machine.set_probe m (Telemetry.probe t);
+    Machine.set_pc m 0;
+    let plan =
+      List.map
+        (fun c ->
+           { Inject.trigger = Inject.At_cycle c;
+             Inject.fault = Inject.Mreg { m = 10; bit = c mod 8 } })
+        [ 100; 110; 120; 130; 140; 150 ]
+    in
+    let stop, applied = Inject.run_plan m ~fuel:2_000_000 ~plan in
+    (match stop with
+     | Inject.Halted (Machine.Halt_ebreak _) -> ()
+     | _ -> fail "ecc_storm workload did not reach its ebreak");
+    if applied <> List.length plan then
+      fail "ecc_storm plan applied %d of %d injections" applied
+        (List.length plan);
+    (Telemetry.series t, Telemetry.alarms t)
+  in
+  let storm_series, storm_alarms = storm_run () in
+  let storm_series', storm_alarms' = storm_run () in
+  if
+    (not (Telemetry.Series.equal storm_series storm_series'))
+    || storm_alarms <> storm_alarms'
+  then fail "ecc_storm scenario is not deterministic across replays";
+  if storm_alarms = [] then
+    fail "injected mreg upsets raised no ecc_storm alarms";
+  List.iter
+    (fun (a : Telemetry.Watchdog.alarm) ->
+       if a.Telemetry.Watchdog.rule <> "ecc_storm:2" then
+         fail "unexpected alarm %s in the ecc_storm scenario"
+           a.Telemetry.Watchdog.rule)
+    storm_alarms;
+  List.iter
+    (fun a ->
+       print_endline ("  " ^ Telemetry.Watchdog.alarm_to_string a))
+    storm_alarms;
+  let storm_first =
+    List.fold_left
+      (fun acc (a : Telemetry.Watchdog.alarm) ->
+         min acc a.Telemetry.Watchdog.window)
+      max_int storm_alarms
+  in
+  let storm_corrections =
+    List.fold_left
+      (fun acc (w : Telemetry.Series.window) -> acc + w.ecc_corrections)
+      0 storm_series.Telemetry.Series.windows
+  in
+  (* (d2): a memory-bound phase under mem_latency drags the IPC below
+     the floor in the later windows only, through the fleet — merged
+     series and per-job alarms byte-identical across domain counts. *)
+  subsection "degradation alarms: ipc_floor on a two-phase program (fleet)";
+  let two_phase =
+    "start:\n\
+     li s0, 300\n\
+     li s1, 0x1000\n\
+     alu:\n\
+     addi t0, t0, 1\n\
+     xor t1, t0, t1\n\
+     addi s0, s0, -1\n\
+     bne s0, zero, alu\n\
+     li s0, 300\n\
+     mem:\n\
+     lw t2, 0(s1)\n\
+     lw t3, 4(s1)\n\
+     addi s0, s0, -1\n\
+     bne s0, zero, mem\n\
+     ebreak\n"
+  in
+  let floor_rules =
+    match Telemetry.Watchdog.rules_of_string "ipc_floor:0.5" with
+    | Ok r -> r
+    | Error e -> fail "ipc_floor spec: %s" e
+  in
+  let jobs =
+    Array.init 4 (fun i ->
+        Metal_fleet.Fleet.job
+          ~label:(Printf.sprintf "two_phase_%d" i)
+          ~config:{ Config.default with Config.mem_latency = 8 }
+          ~telemetry:true ~telemetry_window:256 ~watch:floor_rules
+          (Metal_fleet.Fleet.Asm
+             { src = two_phase; origin = 0; mcode = None }))
+  in
+  let o1 = Metal_fleet.Fleet.run ~domains:1 jobs in
+  let n_domains = max 2 (Metal_fleet.Fleet.default_domains ()) in
+  let on = Metal_fleet.Fleet.run ~domains:n_domains jobs in
+  (match Metal_fleet.Fleet.identical o1 on with
+   | Ok () -> ()
+   | Error e ->
+     fail "fleet telemetry diverges between 1 and %d domains: %s" n_domains e);
+  let merged1 =
+    Telemetry.Series.to_ndjson (Metal_fleet.Fleet.merge_telemetry o1)
+  and mergedn =
+    Telemetry.Series.to_ndjson (Metal_fleet.Fleet.merge_telemetry on)
+  in
+  if merged1 <> mergedn then
+    fail "merged telemetry ndjson differs between 1 and %d domains"
+      n_domains;
+  Printf.printf
+    "determinism: merged series + alarms byte-identical on 1 vs %d domains\n"
+    n_domains;
+  let floor_alarms =
+    match o1.(0).Metal_fleet.Fleet.result with
+    | Ok ok -> ok.Metal_fleet.Fleet.alarms
+    | Error e ->
+      fail "two-phase job failed: %s" (Metal_fleet.Fleet.fail_to_string e)
+  in
+  if floor_alarms = [] then
+    fail "memory-bound phase raised no ipc_floor alarms";
+  List.iter
+    (fun (a : Telemetry.Watchdog.alarm) ->
+       if a.Telemetry.Watchdog.rule <> "ipc_floor:0.5" then
+         fail "unexpected alarm %s in the ipc_floor scenario"
+           a.Telemetry.Watchdog.rule)
+    floor_alarms;
+  let floor_first =
+    List.fold_left
+      (fun acc (a : Telemetry.Watchdog.alarm) ->
+         min acc a.Telemetry.Watchdog.window)
+      max_int floor_alarms
+  in
+  if floor_first = 0 then
+    fail "ipc_floor fired in the first window — the ALU phase should be \
+          above the floor";
+  Printf.printf
+    "ipc_floor:0.5 fired %d times from window %d on (ALU-phase windows \
+     0..%d clean)\n"
+    (List.length floor_alarms)
+    floor_first (floor_first - 1);
+  if !telemetry_json then begin
+    (* Every value below is cycle-derived and deterministic — ci.sh
+       byte-diffs this artifact; wall-clock numbers stay on stdout. *)
+    let oc = open_out "BENCH_telemetry.json" in
+    Printf.fprintf oc "{\n  \"schema\": \"metal-telemetry-bench-v1\",\n";
+    Printf.fprintf oc
+      "  \"ping\": {\"window_cycles\": %d, \"windows\": %d, \
+       \"total_cycles\": %d, \"instructions\": %d, \"mroutine_exits\": %d, \
+       \"mroutine_max\": %d},\n"
+      series.Telemetry.Series.window_cycles
+      (List.length series.Telemetry.Series.windows)
+      (Telemetry.Series.total_cycles series)
+      (Telemetry.Series.total_instructions series)
+      (List.fold_left
+         (fun acc (w : Telemetry.Series.window) -> acc + w.mroutine_exits)
+         0 series.Telemetry.Series.windows)
+      measured_max;
+    Printf.fprintf oc
+      "  \"wcet\": {\"entry\": %d, \"static_bound\": %d, \
+       \"measured_max\": %d, \"violations\": 0, \"steppers_agree\": true},\n"
+      (fst entry_bound) (snd entry_bound) measured_max;
+    Printf.fprintf oc
+      "  \"ecc_storm\": {\"rule\": \"ecc_storm:2\", \"injections\": 6, \
+       \"corrections\": %d, \"alarms\": %d, \"first_window\": %d},\n"
+      storm_corrections
+      (List.length storm_alarms)
+      storm_first;
+    Printf.fprintf oc
+      "  \"ipc_floor\": {\"rule\": \"ipc_floor:0.5\", \"jobs\": %d, \
+       \"alarms_per_job\": %d, \"first_window\": %d, \
+       \"fleet_merge_identical\": true}\n"
+      (Array.length jobs)
+      (List.length floor_alarms)
+      floor_first;
+    Printf.fprintf oc "}\n";
+    close_out oc;
+    print_endline "wrote BENCH_telemetry.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Host microbenchmarks (Bechamel)                                     *)
 
 let host () =
@@ -1944,7 +2315,8 @@ let sections =
     ("cfi", cfi); ("pkeys", pkeys); ("sidechannel", sidechannel);
     ("simperf", simperf); ("fleet", fleet); ("trace", trace_obs);
     ("profile", profile_bench); ("verify", verify_bench);
-    ("inject", inject_bench); ("host", host) ]
+    ("inject", inject_bench); ("telemetry", telemetry_bench);
+    ("host", host) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1956,6 +2328,7 @@ let () =
            fleet_json := true;
            profile_json := true;
            inject_json := true;
+           telemetry_json := true;
            false
          end
          else true)

@@ -1,6 +1,7 @@
 (* metal-run: execute an assembly program on the Metal machine. *)
 
 module Fleet = Metal_fleet.Fleet
+module Telemetry = Metal_telemetry.Telemetry
 
 let read_file path =
   let ic = open_in_bin path in
@@ -62,7 +63,7 @@ let verify_mcode ~config ~report img =
          Printf.eprintf "mverify: %s\n"
            (Metal_mverify.Mverify.finding_to_string f))
       r.Metal_mverify.Mverify.findings;
-  if Metal_mverify.Mverify.ok r then Ok ()
+  if Metal_mverify.Mverify.ok r then Ok r
   else
     Error
       (Printf.sprintf
@@ -71,8 +72,26 @@ let verify_mcode ~config ~report img =
          (List.length (Metal_mverify.Mverify.errors r))
          (if report then "" else ", listed above"))
 
+(* Per-entry static WCET bounds out of a verification report — what
+   the runtime wcet watchdog checks measured latencies against. *)
+let wcet_bounds r =
+  List.filter_map
+    (fun (e : Metal_mverify.Mverify.entry_report) ->
+       Option.map (fun w -> (e.Metal_mverify.Mverify.entry, w)) e.wcet)
+    r.Metal_mverify.Mverify.entries
+
+(* --telemetry-out FILE picks its format by extension: .csv gets the
+   spreadsheet view, anything else newline-delimited JSON. *)
+let write_telemetry ~path series =
+  let data =
+    if Filename.check_suffix path ".csv" then Telemetry.Series.to_csv series
+    else Telemetry.Series.to_ndjson series
+  in
+  write_file path data
+
 let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
-    regs trace_out metrics_out profile_out =
+    regs trace_out metrics_out profile_out telemetry_out telemetry_window
+    watch =
   let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
   let config = { base with Metal_cpu.Config.trace; ecc } in
   let sys = Metal_core.System.create ~config () in
@@ -87,40 +106,53 @@ let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
            ~guest_words:(min 65536 (config.Metal_cpu.Config.mem_size / 4))
            ~mram_words:config.Metal_cpu.Config.mram_code_words ())
     else None
+  (* Created after mcode verification (the wcet rule needs the static
+     bounds from the report), hence the ref. *)
+  and telemetry = ref None in
+  let install_probes () =
+    (* The machine has one probe slot; fan out when several exporters
+       are requested so the flags compose instead of last-wins. *)
+    let probes =
+      List.filter_map Fun.id
+        [
+          Option.map Metal_trace.Collector.probe collector;
+          Option.map Metal_profile.Profile.probe profiler;
+          Option.map Telemetry.probe !telemetry;
+        ]
+    in
+    match probes with
+    | [] -> ()
+    | [ p ] -> Metal_cpu.Machine.set_probe sys.Metal_core.System.machine p
+    | ps ->
+      Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
+        (fun cycle kind a b -> List.iter (fun p -> p cycle kind a b) ps)
   in
-  (* The machine has one probe slot; fan out when both exporters are
-     requested so the flags compose instead of last-wins. *)
-  (match (collector, profiler) with
-   | None, None -> ()
-   | Some c, None ->
-     Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
-       (Metal_trace.Collector.probe c)
-   | None, Some p ->
-     Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
-       (Metal_profile.Profile.probe p)
-   | Some c, Some p ->
-     Metal_cpu.Machine.set_probe sys.Metal_core.System.machine
-       (fun cycle kind a b ->
-          Metal_trace.Collector.probe c cycle kind a b;
-          Metal_profile.Profile.probe p cycle kind a b));
   let ( let* ) = Result.bind in
   let result =
-    let* mimg =
+    let* mimg, bounds =
       match mcode_path with
-      | None -> Ok None
+      | None -> Ok (None, [])
       | Some p ->
         (match Metal_asm.Asm.assemble (read_file p) with
          | Error e -> Error (Metal_asm.Asm.error_to_string e)
          | Ok mimg ->
-           let* () =
-             if verify then verify_mcode ~config ~report mimg else Ok ()
+           let* bounds =
+             if verify then
+               Result.map wcet_bounds (verify_mcode ~config ~report mimg)
+             else Ok []
            in
            (match
               Metal_cpu.Machine.load_mcode sys.Metal_core.System.machine mimg
             with
-            | Ok () -> Ok (Some mimg)
+            | Ok () -> Ok (Some mimg, bounds)
             | Error e -> Error e))
     in
+    if telemetry_out <> None || watch <> [] then
+      telemetry :=
+        Some
+          (Telemetry.create ~window_cycles:telemetry_window ~rules:watch
+             ~wcet_bounds:bounds ());
+    install_probes ();
     let* img = Metal_core.System.load_program sys ~origin (read_file path) in
     let pc =
       match Metal_asm.Image.find_symbol img "start" with
@@ -198,7 +230,40 @@ let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
          (fun fmt r -> Metal_profile.Profile.Report.pp fmt r)
          r
      | _ -> ());
-    0
+    let watchdog_faulted = ref false in
+    (match !telemetry with
+     | None -> ()
+     | Some t ->
+       let m = sys.Metal_core.System.machine in
+       let stats = m.Metal_cpu.Machine.stats in
+       let series =
+         Telemetry.Series.annotate (Telemetry.series t)
+           ~machine_cycles:stats.Metal_cpu.Stats.cycles
+           ~accounted_cycles:
+             (Metal_cpu.Stats.accounted_cycles stats
+                ~pending_stall:m.Metal_cpu.Machine.stall_cycles)
+       in
+       (match telemetry_out with
+        | Some f ->
+          write_telemetry ~path:f series;
+          Printf.printf "telemetry: %s\n" f
+        | None -> ());
+       Format.printf "%a@." Telemetry.Series.pp series;
+       let alarms = Telemetry.alarms t in
+       List.iter
+         (fun a -> print_endline (Telemetry.Watchdog.alarm_to_string a))
+         alarms;
+       if watch <> [] then begin
+         let faults = List.length (Telemetry.fault_alarms alarms) in
+         if alarms = [] then
+           Printf.printf "watchdog: ok (%d rules)\n" (List.length watch)
+         else
+           Printf.printf "watchdog: %d alarms (%d fault, %d warn)\n"
+             (List.length alarms) faults
+             (List.length alarms - faults);
+         if faults > 0 then watchdog_faulted := true
+       end);
+    if !watchdog_faulted then 1 else 0
 
 (* Batch mode: several programs run as fleet jobs across domains.
    One line per program; a failing job never takes down the batch.
@@ -206,34 +271,39 @@ let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
    registers, [--trace-out F] writes one Chrome trace per job
    (F.<index>), [--metrics-out F] writes the fleet-merged metrics. *)
 let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
-    trace_out metrics_out profile_out jobs =
+    trace_out metrics_out profile_out telemetry_out telemetry_window watch
+    jobs =
   let base =
     if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
   in
   let base = { base with Metal_cpu.Config.ecc } in
   let mcode = Option.map read_file mcode_path in
-  (* Verify the shared mcode once up front, not once per job. *)
+  (* Verify the shared mcode once up front, not once per job; the
+     report's WCET bounds feed every job's wcet watchdog. *)
   let precheck =
     match mcode with
     | Some src when verify ->
       (match Metal_asm.Asm.assemble src with
        | Error e -> Error (Metal_asm.Asm.error_to_string e)
-       | Ok img -> verify_mcode ~config:base ~report img)
-    | _ -> Ok ()
+       | Ok img ->
+         Result.map wcet_bounds (verify_mcode ~config:base ~report img))
+    | _ -> Ok []
   in
   match precheck with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
     1
-  | Ok () ->
+  | Ok bounds ->
   let collect = trace_out <> None || metrics_out <> None in
   let profile = profile_out <> None in
+  let telemetry = telemetry_out <> None in
   let batch =
     Array.of_list
       (List.map
          (fun path ->
             Fleet.job ~label:path ~config:base ~fuel:max_cycles ~collect
-              ~profile
+              ~profile ~telemetry ~telemetry_window ~watch
+              ~wcet_bounds:bounds
               (Fleet.Asm { src = read_file path; origin; mcode }))
          paths)
   in
@@ -242,6 +312,7 @@ let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
   in
   let outcomes = Fleet.run ~domains batch in
   let failures = ref 0 in
+  let fault_alarms = ref 0 in
   Array.iter
     (fun o ->
        (match o.Fleet.result with
@@ -271,7 +342,21 @@ let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
              let per_job = Printf.sprintf "%s.%d" f o.Fleet.index in
              write_file per_job (Metal_profile.Profile.Report.to_json r);
              Printf.printf "%-32s profile: %s\n" "" per_job
-           | _ -> ())
+           | _ -> ());
+          (match (telemetry_out, ok.Fleet.telemetry) with
+           | Some f, Some s ->
+             let per_job = Printf.sprintf "%s.%d" f o.Fleet.index in
+             write_telemetry ~path:per_job s;
+             Printf.printf "%-32s telemetry: %s\n" "" per_job
+           | _ -> ());
+          List.iter
+            (fun a ->
+               Printf.printf "%-32s %s\n" ""
+                 (Telemetry.Watchdog.alarm_to_string a))
+            ok.Fleet.alarms;
+          fault_alarms :=
+            !fault_alarms
+            + List.length (Telemetry.fault_alarms ok.Fleet.alarms)
         | Error e ->
           incr failures;
           Printf.printf "%-32s FAILED: %s\n" o.Fleet.job.Fleet.label
@@ -290,10 +375,20 @@ let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
        (Metal_profile.Profile.Report.to_folded merged);
      Printf.printf "profile: %s (merged)\n" f
    | None -> ());
+  (match telemetry_out with
+   | Some f ->
+     write_telemetry ~path:f (Fleet.merge_telemetry outcomes);
+     Printf.printf "telemetry: %s (merged)\n" f
+   | None -> ());
+  if watch <> [] then begin
+    if !fault_alarms = 0 then
+      Printf.printf "watchdog: ok (%d rules)\n" (List.length watch)
+    else Printf.printf "watchdog: %d fault alarms\n" !fault_alarms
+  end;
   Printf.printf "%d/%d ok (%d domains)\n"
     (Array.length outcomes - !failures)
     (Array.length outcomes) domains;
-  if !failures = 0 then 0 else 1
+  if !failures = 0 && !fault_alarms = 0 then 0 else 1
 
 (* Fault-injection campaigns: each program becomes a campaign workload
    (oracle run + [runs] seeded injected runs on the fleet), with a
@@ -316,7 +411,8 @@ let run_inject paths mcode_path origin max_cycles palcode ecc verify report
       | Some src when verify ->
         (match Metal_asm.Asm.assemble src with
          | Error e -> Error (Metal_asm.Asm.error_to_string e)
-         | Ok img -> verify_mcode ~config:base ~report img)
+         | Ok img ->
+           Result.map (fun _ -> ()) (verify_mcode ~config:base ~report img))
       | _ -> Ok ()
     in
     (match precheck with
@@ -373,11 +469,38 @@ let run_inject paths mcode_path origin max_cycles palcode ecc verify report
        if !failures = 0 then 0 else 1)
 
 let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
-    regs os jobs trace_out metrics_out profile_out inject inject_out =
+    regs os jobs trace_out metrics_out profile_out inject inject_out
+    telemetry_out telemetry_window watch =
   let verify = not no_verify in
+  let watch_rules =
+    match watch with
+    | None -> Ok []
+    | Some s -> Telemetry.Watchdog.rules_of_string s
+  in
   match paths with
   | [] ->
     prerr_endline "metal-run: no program given";
+    1
+  | _ when (match watch_rules with Error _ -> true | Ok _ -> false) ->
+    (match watch_rules with
+     | Error e -> Printf.eprintf "metal-run: --watch %s\n" e
+     | Ok _ -> ());
+    1
+  | _ when telemetry_window <= 0 ->
+    Printf.eprintf
+      "metal-run: --telemetry-window %d: the window size must be a \
+       positive cycle count\n"
+      telemetry_window;
+    1
+  | _
+    when (match watch_rules with
+          | Ok rules -> Telemetry.Watchdog.needs_wcet rules
+          | Error _ -> false)
+         && (mcode_path = None || no_verify) ->
+    prerr_endline
+      "metal-run: --watch wcet checks measured mroutine latencies \
+       against the static verifier's per-entry bounds, so it needs \
+       --mcode with verification on (drop --no-verify)";
     1
   | _ when (match jobs with Some j -> j <= 0 | None -> false) ->
     Printf.eprintf
@@ -405,11 +528,12 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
   | _
     when inject <> None
          && (trace || regs || trace_out <> None || metrics_out <> None
-             || profile_out <> None) ->
+             || profile_out <> None || telemetry_out <> None
+             || watch <> None) ->
     prerr_endline
       "metal-run: --inject owns the probe and the run loop; it does not \
-       combine with --trace/--regs/--trace-out/--metrics-out/--profile-out \
-       (use --inject-out FILE for the verdict JSON)";
+       combine with --trace/--regs/--trace-out/--metrics-out/--profile-out/\
+       --telemetry-out/--watch (use --inject-out FILE for the verdict JSON)";
     1
   | _ when inject = None && inject_out <> None ->
     prerr_endline "metal-run: --inject-out requires --inject";
@@ -417,10 +541,12 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
   | _
     when os
          && (trace || regs || trace_out <> None || metrics_out <> None
-             || profile_out <> None) ->
+             || profile_out <> None || telemetry_out <> None
+             || watch <> None) ->
     prerr_endline
       "metal-run: --os does not support --trace/--regs/--trace-out/\
-       --metrics-out/--profile-out (the kernel owns the machine)";
+       --metrics-out/--profile-out/--telemetry-out/--watch (the kernel \
+       owns the machine)";
     1
   | paths when inject <> None ->
     run_inject paths mcode_path origin max_cycles palcode ecc verify report
@@ -429,7 +555,9 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
     if os then run_os path max_cycles
     else
       run_bare path mcode_path origin max_cycles palcode ecc verify report
-        trace regs trace_out metrics_out profile_out
+        trace regs trace_out metrics_out profile_out telemetry_out
+        telemetry_window
+        (Result.value ~default:[] watch_rules)
   | paths ->
     if os then begin
       prerr_endline "metal-run: --os does not combine with batch mode";
@@ -443,7 +571,9 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
     end
     else
       run_batch paths mcode_path origin max_cycles palcode ecc verify report
-        regs trace_out metrics_out profile_out jobs
+        regs trace_out metrics_out profile_out telemetry_out telemetry_window
+        (Result.value ~default:[] watch_rules)
+        jobs
 
 open Cmdliner
 
@@ -555,11 +685,40 @@ let inject_out =
                to $(docv); with several programs each campaign writes \
                $(docv).<index>.  Requires $(b,--inject).")
 
+let telemetry_out =
+  Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE"
+         ~doc:"Write the windowed telemetry time-series (schema \
+               metal-telemetry-v1: per-window IPC, stall shares, mode \
+               residency, mroutine latencies, ECC corrections) to \
+               $(docv) — newline-delimited JSON, or CSV when $(docv) \
+               ends in .csv.  In batch mode each job writes \
+               $(docv).<index> and $(docv) gets the fleet-merged \
+               series.  Composes with the other exporters.")
+
+let telemetry_window =
+  Arg.(value & opt int Metal_telemetry.Telemetry.default_window
+       & info [ "telemetry-window" ] ~docv:"N"
+           ~doc:"Telemetry window size in pipeline cycles (default \
+                 1024).")
+
+let watch =
+  Arg.(value & opt (some string) None & info [ "watch" ] ~docv:"SPEC"
+         ~doc:"Arm runtime invariant watchdogs over the telemetry \
+               windows: comma-separated rules among $(b,wcet) (every \
+               measured mroutine latency must stay within the static \
+               verifier's per-entry bound; needs $(b,--mcode)), \
+               $(b,ipc_floor:R), $(b,stall_share:CAUSE>P), \
+               $(b,ecc_storm:N), $(b,mode_residency:MODE>P); any rule \
+               takes an optional $(b,:warn)/$(b,:fault) suffix (wcet \
+               defaults to fault, the rest to warn).  Fault alarms \
+               make the run exit non-zero.")
+
 let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
     Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ ecc
           $ verify_report $ no_verify $ trace $ regs $ os $ jobs $ trace_out
-          $ metrics_out $ profile_out $ inject $ inject_out)
+          $ metrics_out $ profile_out $ inject $ inject_out $ telemetry_out
+          $ telemetry_window $ watch)
 
 let () = exit (Cmd.eval' cmd)

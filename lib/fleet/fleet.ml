@@ -113,12 +113,19 @@ type job = {
   collect : bool;
   trace_capacity : int;
   profile : bool;
+  telemetry : bool;
+  telemetry_window : int;
+  watch : Metal_telemetry.Telemetry.Watchdog.rule list;
+  wcet_bounds : (int * int) list;
 }
 
 let job ?(label = "") ?(config = Metal_cpu.Config.default)
     ?(fuel = 10_000_000) ?(seed = 0) ?(collect = false)
-    ?(trace_capacity = 65536) ?(profile = false) source =
-  { label; config; source; fuel; seed; collect; trace_capacity; profile }
+    ?(trace_capacity = 65536) ?(profile = false) ?(telemetry = false)
+    ?(telemetry_window = Metal_telemetry.Telemetry.default_window)
+    ?(watch = []) ?(wcet_bounds = []) source =
+  { label; config; source; fuel; seed; collect; trace_capacity; profile;
+    telemetry; telemetry_window; watch; wcet_bounds }
 
 type ok = {
   halt : Metal_cpu.Machine.halt;
@@ -128,6 +135,9 @@ type ok = {
   metrics : Metal_trace.Metrics.t option;
   events : Metal_trace.Ring.t option;
   profile : Metal_profile.Profile.Report.t option;
+  telemetry : Metal_telemetry.Telemetry.Series.t option;
+      (* annotated with the job's Stats totals *)
+  alarms : Metal_telemetry.Telemetry.Watchdog.alarm list;
 }
 
 type fail =
@@ -200,17 +210,30 @@ let run_job j =
              ~mram_words:j.config.Metal_cpu.Config.mram_code_words ())
       else None
     in
-    (* One probe slot on the machine: fan out when both are wanted. *)
-    (match (collector, profiler) with
-     | None, None -> ()
-     | Some c, None ->
-       Metal_cpu.Machine.set_probe m (Metal_trace.Collector.probe c)
-     | None, Some p ->
-       Metal_cpu.Machine.set_probe m (Metal_profile.Profile.probe p)
-     | Some c, Some p ->
+    let telemetry =
+      if j.telemetry || j.watch <> [] then
+        Some
+          (Metal_telemetry.Telemetry.create
+             ~window_cycles:j.telemetry_window ~rules:j.watch
+             ~wcet_bounds:j.wcet_bounds ())
+      else None
+    in
+    (* One probe slot on the machine: fan out when several observers
+       are wanted. *)
+    let probes =
+      List.filter_map Fun.id
+        [
+          Option.map Metal_trace.Collector.probe collector;
+          Option.map Metal_profile.Profile.probe profiler;
+          Option.map Metal_telemetry.Telemetry.probe telemetry;
+        ]
+    in
+    (match probes with
+     | [] -> ()
+     | [ p ] -> Metal_cpu.Machine.set_probe m p
+     | ps ->
        Metal_cpu.Machine.set_probe m (fun cycle kind a b ->
-           Metal_trace.Collector.probe c cycle kind a b;
-           Metal_profile.Profile.probe p cycle kind a b));
+           List.iter (fun p -> p cycle kind a b) ps));
     match Metal_cpu.Pipeline.run m ~max_cycles:j.fuel with
     | None -> Error (Fuel_exhausted { fuel = j.fuel })
     | Some halt ->
@@ -234,6 +257,20 @@ let run_job j =
                  Metal_profile.Profile.report ~symtab
                    ~upto:stats.Metal_cpu.Stats.cycles p)
               profiler;
+          telemetry =
+            Option.map
+              (fun t ->
+                 Metal_telemetry.Telemetry.Series.annotate
+                   (Metal_telemetry.Telemetry.series t)
+                   ~machine_cycles:stats.Metal_cpu.Stats.cycles
+                   ~accounted_cycles:
+                     (Metal_cpu.Stats.accounted_cycles stats
+                        ~pending_stall:m.Metal_cpu.Machine.stall_cycles))
+              telemetry;
+          alarms =
+            (match telemetry with
+             | None -> []
+             | Some t -> Metal_telemetry.Telemetry.alarms t);
         }
   with e ->
     let bt = Printexc.get_raw_backtrace () in
@@ -258,6 +295,18 @@ let merge_metrics outcomes =
        | Ok { metrics = Some mx; _ } -> Metal_trace.Metrics.merge acc mx
        | Ok { metrics = None; _ } | Error _ -> acc)
     Metal_trace.Metrics.empty outcomes
+
+(* Same index-order fold for telemetry: windows merge pointwise by
+   index, so the merged series is bit-identical for any domain
+   count. *)
+let merge_telemetry outcomes =
+  Array.fold_left
+    (fun acc o ->
+       match o.result with
+       | Ok { telemetry = Some s; _ } ->
+         Metal_telemetry.Telemetry.Series.merge acc s
+       | Ok { telemetry = None; _ } | Error _ -> acc)
+    Metal_telemetry.Telemetry.Series.empty outcomes
 
 (* Same index-order fold for profiles: the merged report is
    bit-identical for any domain count. *)
@@ -308,6 +357,8 @@ let identical a b =
              then where "event streams"
              else if ra.metrics <> rb.metrics then where "metrics"
              else if ra.profile <> rb.profile then where "profile"
+             else if ra.telemetry <> rb.telemetry then where "telemetry"
+             else if ra.alarms <> rb.alarms then where "alarms"
            | Error ea, Error eb ->
              if ea <> eb then where "error"
            | Ok _, Error e ->

@@ -70,6 +70,17 @@ type job = {
       (** attach a {!Metal_profile.Profile} to the job's machine
           (composes with [collect] through one fan-out probe) and
           return its symbolized report in the result *)
+  telemetry : bool;
+      (** attach a {!Metal_telemetry.Telemetry} windowed collector
+          (composes with the other observers through the fan-out
+          probe) and return its series in the result *)
+  telemetry_window : int;  (** window size in cycles when [telemetry] *)
+  watch : Metal_telemetry.Telemetry.Watchdog.rule list;
+      (** watchdog rules evaluated by the telemetry collector (a
+          non-empty list arms telemetry even when [telemetry] is
+          false); alarms land in the result *)
+  wcet_bounds : (int * int) list;
+      (** per-MRAM-entry static WCET bounds for the [wcet] rule *)
 }
 
 val job :
@@ -80,10 +91,16 @@ val job :
   ?collect:bool ->
   ?trace_capacity:int ->
   ?profile:bool ->
+  ?telemetry:bool ->
+  ?telemetry_window:int ->
+  ?watch:Metal_telemetry.Telemetry.Watchdog.rule list ->
+  ?wcet_bounds:(int * int) list ->
   source ->
   job
 (** Defaults: label [""], {!Metal_cpu.Config.default}, fuel 10M,
-    seed 0, no collection, ring capacity 65536, no profiling. *)
+    seed 0, no collection, ring capacity 65536, no profiling, no
+    telemetry (window {!Metal_telemetry.Telemetry.default_window}),
+    no watchdog rules. *)
 
 type ok = {
   halt : Metal_cpu.Machine.halt;
@@ -97,6 +114,12 @@ type ok = {
   profile : Metal_profile.Profile.Report.t option;
       (** cycle-exact profile (when [job.profile]), symbolized against
           the job's own images *)
+  telemetry : Metal_telemetry.Telemetry.Series.t option;
+      (** windowed series (when [job.telemetry] or [job.watch] is
+          non-empty), annotated with the job's [Stats.cycles] and
+          [Stats.accounted_cycles] *)
+  alarms : Metal_telemetry.Telemetry.Watchdog.alarm list;
+      (** watchdog alarms the job raised, in firing order *)
 }
 
 type fail =
@@ -134,6 +157,11 @@ val merge_metrics : outcome array -> Metal_trace.Metrics.t
 val merge_profiles : outcome array -> Metal_profile.Profile.Report.t
 (** Fold the profiles of every successful profiling job, in index
     order; bit-identical for any domain count. *)
+
+val merge_telemetry : outcome array -> Metal_telemetry.Telemetry.Series.t
+(** Fold the telemetry series of every successful telemetry job, in
+    index order (windows sum pointwise by index, annotations sum);
+    bit-identical for any domain count. *)
 
 val identical : outcome array -> outcome array -> (unit, string) result
 (** Check two runs of the same batch for bit-identical per-job results

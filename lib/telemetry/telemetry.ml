@@ -1,0 +1,893 @@
+module Event = Metal_trace.Event
+module Json = Metal_trace.Json
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog rules                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Watchdog = struct
+  type severity = Warn | Fault
+
+  type check =
+    | Wcet
+    | Ipc_floor of float
+    | Stall_share of { cause : int; share : float }
+    | Ecc_storm of int
+    | Mode_residency of { metal : bool; share : float }
+
+  type rule = { check : check; severity : severity }
+
+  type alarm = {
+    rule : string;
+    severity : severity;
+    window : int;
+    cycle : int;
+    value : float;
+    threshold : float;
+    message : string;
+  }
+
+  let severity_to_string = function Warn -> "warn" | Fault -> "fault"
+
+  let default_severity = function Wcet -> Fault | _ -> Warn
+
+  let rule ?severity check =
+    { check; severity = Option.value severity ~default:(default_severity check) }
+
+  let check_to_string = function
+    | Wcet -> "wcet"
+    | Ipc_floor r -> Printf.sprintf "ipc_floor:%g" r
+    | Stall_share { cause; share } ->
+      Printf.sprintf "stall_share:%s>%g" (Event.stall_name cause) share
+    | Ecc_storm n -> Printf.sprintf "ecc_storm:%d" n
+    | Mode_residency { metal; share } ->
+      Printf.sprintf "mode_residency:%s>%g"
+        (if metal then "metal" else "user")
+        share
+
+  let rule_to_string r =
+    let base = check_to_string r.check in
+    if r.severity = default_severity r.check then base
+    else base ^ ":" ^ severity_to_string r.severity
+
+  let cause_of_string s =
+    let rec go c =
+      if c >= Event.stall_count then None
+      else if Event.stall_name c = s then Some c
+      else go (c + 1)
+    in
+    go 0
+
+  let known_causes () =
+    String.concat "|" (List.init Event.stall_count Event.stall_name)
+
+  (* A share/floor parameter: a float in (0, 1] for shares, (0, inf)
+     for the IPC floor. *)
+  let parse_share s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 && f <= 1.0 -> Some f
+    | _ -> None
+
+  let parse_one item =
+    let err fmt =
+      Printf.ksprintf (fun m -> Error (Printf.sprintf "%S: %s" item m)) fmt
+    in
+    (* Optional trailing severity override on any rule. *)
+    let body, severity =
+      let strip suffix =
+        let n = String.length item - String.length suffix in
+        if n > 0 && String.sub item n (String.length suffix) = suffix then
+          Some (String.sub item 0 n)
+        else None
+      in
+      match strip ":fault" with
+      | Some body -> (body, Some Fault)
+      | None -> (
+        match strip ":warn" with
+        | Some body -> (body, Some Warn)
+        | None -> (item, None))
+    in
+    let name, arg =
+      match String.index_opt body ':' with
+      | None -> (body, None)
+      | Some i ->
+        ( String.sub body 0 i,
+          Some (String.sub body (i + 1) (String.length body - i - 1)) )
+    in
+    let finish check = Ok (rule ?severity check) in
+    match (name, arg) with
+    | "wcet", None -> finish Wcet
+    | "wcet", Some _ -> err "wcet takes no parameter"
+    | "ipc_floor", Some r -> (
+      match float_of_string_opt r with
+      | Some f when f > 0.0 -> finish (Ipc_floor f)
+      | _ -> err "expected ipc_floor:R with R > 0")
+    | "ipc_floor", None -> err "expected ipc_floor:R (retired instructions per cycle)"
+    | "stall_share", Some spec -> (
+      match String.index_opt spec '>' with
+      | None -> err "expected stall_share:CAUSE>P"
+      | Some i -> (
+        let cause = String.sub spec 0 i in
+        let share = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match (cause_of_string cause, parse_share share) with
+        | None, _ -> err "unknown stall cause %S (one of %s)" cause (known_causes ())
+        | _, None -> err "expected a share in (0, 1], got %S" share
+        | Some cause, Some share -> finish (Stall_share { cause; share })))
+    | "stall_share", None -> err "expected stall_share:CAUSE>P"
+    | "ecc_storm", Some n -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> finish (Ecc_storm n)
+      | _ -> err "expected ecc_storm:N with N > 0")
+    | "ecc_storm", None -> err "expected ecc_storm:N (corrections per window)"
+    | "mode_residency", Some spec -> (
+      match String.index_opt spec '>' with
+      | None -> err "expected mode_residency:user|metal>P"
+      | Some i -> (
+        let mode = String.sub spec 0 i in
+        let share = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match (mode, parse_share share) with
+        | ("user" | "metal"), Some share ->
+          finish (Mode_residency { metal = mode = "metal"; share })
+        | ("user" | "metal"), None ->
+          err "expected a share in (0, 1], got %S" share
+        | _ -> err "unknown mode %S (user or metal)" mode))
+    | "mode_residency", None -> err "expected mode_residency:user|metal>P"
+    | _ ->
+      err "unknown rule (one of wcet, ipc_floor:R, stall_share:CAUSE>P, \
+           ecc_storm:N, mode_residency:MODE>P)"
+
+  let rules_of_string s =
+    let items =
+      List.map String.trim (String.split_on_char ',' (String.trim s))
+    in
+    if List.mem "" items then
+      (* A dangling comma is more likely a typo in a longer spec than a
+         deliberate no-op; reject it loudly. *)
+      Error "empty rule in watch spec"
+    else
+      List.fold_left
+        (fun acc item ->
+           match acc with
+           | Error _ as e -> e
+           | Ok rs -> (
+             match parse_one (String.trim item) with
+             | Ok r -> Ok (r :: rs)
+             | Error _ as e -> e))
+        (Ok []) items
+      |> Result.map List.rev
+
+  let needs_wcet rules = List.exists (fun r -> r.check = Wcet) rules
+
+  let alarm_to_string a =
+    Printf.sprintf "watchdog[%s] %s w%d @cycle %d: %s"
+      (severity_to_string a.severity)
+      a.rule a.window a.cycle a.message
+end
+
+(* ------------------------------------------------------------------ *)
+(* Series: the immutable windowed snapshot                             *)
+(* ------------------------------------------------------------------ *)
+
+module Series = struct
+  type window = {
+    index : int;
+    user_cycles : int;
+    metal_cycles : int;
+    instructions : int;
+    metal_instructions : int;
+    stalls : (string * int) list;
+    tlb_misses : int;
+    flushes : int;
+    mode_enters : int;
+    mroutine_exits : int;
+    mroutine_cycles : int;
+    mroutine_max : int;
+    ecc_corrections : int;
+    injections : int;
+  }
+
+  type t = {
+    window_cycles : int;
+    windows : window list;
+    dropped_entries : int;
+    machine_cycles : int;
+    accounted_cycles : int;
+  }
+
+  let empty =
+    {
+      window_cycles = 0;
+      windows = [];
+      dropped_entries = 0;
+      machine_cycles = 0;
+      accounted_cycles = 0;
+    }
+
+  let equal (a : t) (b : t) = a = b
+  let window_cycle_count w = w.user_cycles + w.metal_cycles
+
+  let ipc w =
+    let c = window_cycle_count w in
+    if c = 0 then 0.0 else float_of_int w.instructions /. float_of_int c
+
+  let total_cycles t =
+    List.fold_left (fun acc w -> acc + window_cycle_count w) 0 t.windows
+
+  let total_instructions t =
+    List.fold_left (fun acc w -> acc + w.instructions) 0 t.windows
+
+  let stall_causes = List.init Event.stall_count Event.stall_name
+
+  (* Canonical cause order, zero entries elided — the invariant every
+     [stalls] field maintains so merged documents render canonically. *)
+  let merge_stalls a b =
+    let get l k = Option.value ~default:0 (List.assoc_opt k l) in
+    List.filter_map
+      (fun k ->
+         let v = get a k + get b k in
+         if v = 0 then None else Some (k, v))
+      stall_causes
+
+  let merge_window a b =
+    {
+      index = a.index;
+      user_cycles = a.user_cycles + b.user_cycles;
+      metal_cycles = a.metal_cycles + b.metal_cycles;
+      instructions = a.instructions + b.instructions;
+      metal_instructions = a.metal_instructions + b.metal_instructions;
+      stalls = merge_stalls a.stalls b.stalls;
+      tlb_misses = a.tlb_misses + b.tlb_misses;
+      flushes = a.flushes + b.flushes;
+      mode_enters = a.mode_enters + b.mode_enters;
+      mroutine_exits = a.mroutine_exits + b.mroutine_exits;
+      mroutine_cycles = a.mroutine_cycles + b.mroutine_cycles;
+      mroutine_max = max a.mroutine_max b.mroutine_max;
+      ecc_corrections = a.ecc_corrections + b.ecc_corrections;
+      injections = a.injections + b.injections;
+    }
+
+  let rec merge_windows a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: a', y :: b' -> merge_window x y :: merge_windows a' b'
+
+  let merge a b =
+    if a.window_cycles = 0 then b
+    else if b.window_cycles = 0 then a
+    else if a.window_cycles <> b.window_cycles then
+      invalid_arg "Telemetry.Series.merge: window size mismatch"
+    else
+      {
+        window_cycles = a.window_cycles;
+        windows = merge_windows a.windows b.windows;
+        dropped_entries = a.dropped_entries + b.dropped_entries;
+        machine_cycles = a.machine_cycles + b.machine_cycles;
+        accounted_cycles = a.accounted_cycles + b.accounted_cycles;
+      }
+
+  let annotate t ~machine_cycles ~accounted_cycles =
+    { t with machine_cycles; accounted_cycles }
+
+  (* --- rendering ------------------------------------------------- *)
+
+  type totals = {
+    t_user : int;
+    t_metal : int;
+    t_instrs : int;
+    t_minstrs : int;
+    t_stalls : (string * int) list;  (* full canonical set, with zeros *)
+    t_tlb : int;
+    t_flush : int;
+    t_enters : int;
+    t_exits : int;
+    t_mcycles : int;
+    t_mmax : int;
+    t_ecc : int;
+    t_inj : int;
+  }
+
+  let totals t =
+    let get l k = Option.value ~default:0 (List.assoc_opt k l) in
+    List.fold_left
+      (fun acc w ->
+         {
+           t_user = acc.t_user + w.user_cycles;
+           t_metal = acc.t_metal + w.metal_cycles;
+           t_instrs = acc.t_instrs + w.instructions;
+           t_minstrs = acc.t_minstrs + w.metal_instructions;
+           t_stalls =
+             List.map
+               (fun (k, v) -> (k, v + get w.stalls k))
+               acc.t_stalls;
+           t_tlb = acc.t_tlb + w.tlb_misses;
+           t_flush = acc.t_flush + w.flushes;
+           t_enters = acc.t_enters + w.mode_enters;
+           t_exits = acc.t_exits + w.mroutine_exits;
+           t_mcycles = acc.t_mcycles + w.mroutine_cycles;
+           t_mmax = max acc.t_mmax w.mroutine_max;
+           t_ecc = acc.t_ecc + w.ecc_corrections;
+           t_inj = acc.t_inj + w.injections;
+         })
+      {
+        t_user = 0;
+        t_metal = 0;
+        t_instrs = 0;
+        t_minstrs = 0;
+        t_stalls = List.map (fun k -> (k, 0)) stall_causes;
+        t_tlb = 0;
+        t_flush = 0;
+        t_enters = 0;
+        t_exits = 0;
+        t_mcycles = 0;
+        t_mmax = 0;
+        t_ecc = 0;
+        t_inj = 0;
+      }
+      t.windows
+
+  let buf_counts buf l =
+    Buffer.add_string buf "{";
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_string buf ", ";
+         Buffer.add_string buf (Printf.sprintf "%S: %d" k v))
+      l;
+    Buffer.add_string buf "}"
+
+  let ipc_of ~instrs ~cycles =
+    if cycles = 0 then 0.0 else float_of_int instrs /. float_of_int cycles
+
+  let to_ndjson t =
+    let buf = Buffer.create 4096 in
+    let tot = totals t in
+    let cycles = tot.t_user + tot.t_metal in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"schema\": \"metal-telemetry-v1\", \"window_cycles\": %d, \
+          \"windows\": %d, \"total_cycles\": %d, \"user_cycles\": %d, \
+          \"metal_cycles\": %d, \"instructions\": %d, \
+          \"metal_instructions\": %d, \"ipc\": %.4f, \"stall_cycles\": "
+         t.window_cycles (List.length t.windows) cycles tot.t_user tot.t_metal
+         tot.t_instrs tot.t_minstrs
+         (ipc_of ~instrs:tot.t_instrs ~cycles));
+    buf_counts buf tot.t_stalls;
+    Buffer.add_string buf
+      (Printf.sprintf
+         ", \"tlb_misses\": %d, \"flushes\": %d, \"mode_enters\": %d, \
+          \"mroutine_exits\": %d, \"mroutine_cycles\": %d, \
+          \"mroutine_max\": %d, \"ecc_corrections\": %d, \
+          \"injections\": %d, \"dropped_entries\": %d, \
+          \"machine_cycles\": %d, \"accounted_cycles\": %d}\n"
+         tot.t_tlb tot.t_flush tot.t_enters tot.t_exits tot.t_mcycles
+         tot.t_mmax tot.t_ecc tot.t_inj t.dropped_entries t.machine_cycles
+         t.accounted_cycles);
+    List.iter
+      (fun w ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "{\"w\": %d, \"user_cycles\": %d, \"metal_cycles\": %d, \
+               \"instructions\": %d, \"metal_instructions\": %d, \
+               \"ipc\": %.4f, \"stalls\": "
+              w.index w.user_cycles w.metal_cycles w.instructions
+              w.metal_instructions (ipc w));
+         buf_counts buf w.stalls;
+         Buffer.add_string buf
+           (Printf.sprintf
+              ", \"tlb_misses\": %d, \"flushes\": %d, \"mode_enters\": %d, \
+               \"mroutine_exits\": %d, \"mroutine_cycles\": %d, \
+               \"mroutine_max\": %d, \"ecc_corrections\": %d, \
+               \"injections\": %d}\n"
+              w.tlb_misses w.flushes w.mode_enters w.mroutine_exits
+              w.mroutine_cycles w.mroutine_max w.ecc_corrections
+              w.injections))
+      t.windows;
+    Buffer.contents buf
+
+  let to_csv t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "window,user_cycles,metal_cycles,instructions,";
+    Buffer.add_string buf "metal_instructions,ipc,";
+    List.iter
+      (fun c -> Buffer.add_string buf (Printf.sprintf "stall_%s," c))
+      stall_causes;
+    Buffer.add_string buf
+      "tlb_misses,flushes,mode_enters,mroutine_exits,mroutine_cycles,\
+       mroutine_max,ecc_corrections,injections\n";
+    let get l k = Option.value ~default:0 (List.assoc_opt k l) in
+    List.iter
+      (fun w ->
+         Buffer.add_string buf
+           (Printf.sprintf "%d,%d,%d,%d,%d,%.4f," w.index w.user_cycles
+              w.metal_cycles w.instructions w.metal_instructions (ipc w));
+         List.iter
+           (fun c -> Buffer.add_string buf (Printf.sprintf "%d," (get w.stalls c)))
+           stall_causes;
+         Buffer.add_string buf
+           (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d\n" w.tlb_misses w.flushes
+              w.mode_enters w.mroutine_exits w.mroutine_cycles w.mroutine_max
+              w.ecc_corrections w.injections))
+      t.windows;
+    Buffer.contents buf
+
+  (* --- parsing ---------------------------------------------------- *)
+
+  let int_member name j =
+    match Option.bind (Json.member name j) Json.to_num with
+    | Some f when Float.is_integer f -> Ok (int_of_float f)
+    | Some _ -> Error (Printf.sprintf "field %S is not an integer" name)
+    | None -> Error (Printf.sprintf "missing integer field %S" name)
+
+  let ( let* ) = Result.bind
+
+  let stalls_member j =
+    match Json.member "stalls" j with
+    | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, v) :: rest -> (
+          match Json.to_num v with
+          | Some f when Float.is_integer f ->
+            go ((k, int_of_float f) :: acc) rest
+          | _ -> Error (Printf.sprintf "stall count %S is not an integer" k))
+      in
+      go [] fields
+    | _ -> Error "missing \"stalls\" object"
+
+  let window_of_json ~expect j =
+    let* index = int_member "w" j in
+    if index <> expect then
+      Error (Printf.sprintf "window %d out of order (expected %d)" index expect)
+    else
+      let* user_cycles = int_member "user_cycles" j in
+      let* metal_cycles = int_member "metal_cycles" j in
+      let* instructions = int_member "instructions" j in
+      let* metal_instructions = int_member "metal_instructions" j in
+      let* stalls = stalls_member j in
+      let* tlb_misses = int_member "tlb_misses" j in
+      let* flushes = int_member "flushes" j in
+      let* mode_enters = int_member "mode_enters" j in
+      let* mroutine_exits = int_member "mroutine_exits" j in
+      let* mroutine_cycles = int_member "mroutine_cycles" j in
+      let* mroutine_max = int_member "mroutine_max" j in
+      let* ecc_corrections = int_member "ecc_corrections" j in
+      let* injections = int_member "injections" j in
+      Ok
+        {
+          index;
+          user_cycles;
+          metal_cycles;
+          instructions;
+          metal_instructions;
+          stalls;
+          tlb_misses;
+          flushes;
+          mode_enters;
+          mroutine_exits;
+          mroutine_cycles;
+          mroutine_max;
+          ecc_corrections;
+          injections;
+        }
+
+  let of_ndjson s =
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+    in
+    match lines with
+    | [] -> Error "empty telemetry document"
+    | header :: rest ->
+      let* h = Json.parse header in
+      let* () =
+        match Option.bind (Json.member "schema" h) Json.to_string with
+        | Some "metal-telemetry-v1" -> Ok ()
+        | Some other -> Error (Printf.sprintf "unexpected schema %S" other)
+        | None -> Error "missing \"schema\""
+      in
+      let* window_cycles = int_member "window_cycles" h in
+      let* declared = int_member "windows" h in
+      let* dropped_entries = int_member "dropped_entries" h in
+      let* machine_cycles = int_member "machine_cycles" h in
+      let* accounted_cycles = int_member "accounted_cycles" h in
+      if window_cycles <= 0 then Error "window_cycles must be positive"
+      else if declared <> List.length rest then
+        Error
+          (Printf.sprintf "header declares %d windows, document has %d"
+             declared (List.length rest))
+      else
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest ->
+            let* j = Json.parse line in
+            let* w = window_of_json ~expect:i j in
+            go (i + 1) (w :: acc) rest
+        in
+        let* windows = go 0 [] rest in
+        Ok
+          {
+            window_cycles;
+            windows;
+            dropped_entries;
+            machine_cycles;
+            accounted_cycles;
+          }
+
+  (* --- sparkline summary ------------------------------------------ *)
+
+  let glyphs =
+    [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+       "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+  let max_spark_width = 64
+
+  (* Bucket-average [values] down to at most [max_spark_width] cells so
+     long runs stay one terminal line wide. *)
+  let resample values =
+    let n = Array.length values in
+    if n <= max_spark_width then values
+    else
+      Array.init max_spark_width (fun i ->
+          let lo = i * n / max_spark_width in
+          let hi = max (lo + 1) ((i + 1) * n / max_spark_width) in
+          let sum = ref 0.0 in
+          for k = lo to hi - 1 do
+            sum := !sum +. values.(k)
+          done;
+          !sum /. float_of_int (hi - lo))
+
+  let spark values =
+    let values = resample values in
+    let vmax = Array.fold_left max 0.0 values in
+    let buf = Buffer.create (3 * Array.length values) in
+    Array.iter
+      (fun v ->
+         let level =
+           if vmax <= 0.0 then 0
+           else min 7 (int_of_float (v /. vmax *. 8.0))
+         in
+         Buffer.add_string buf glyphs.(level))
+      values;
+    Buffer.contents buf
+
+  let extremum cmp values =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if cmp v values.(!best) then best := i) values;
+    !best
+
+  let pp fmt t =
+    let windows = Array.of_list t.windows in
+    let n = Array.length windows in
+    Format.fprintf fmt "@[<v>telemetry: %d windows x %d cycles, %d cycles covered"
+      n t.window_cycles (total_cycles t);
+    if t.machine_cycles > 0 && t.machine_cycles <> total_cycles t then
+      Format.fprintf fmt " (machine ran %d)" t.machine_cycles;
+    if n > 0 then begin
+      let line name render values =
+        let lo = extremum ( < ) values and hi = extremum ( > ) values in
+        Format.fprintf fmt "@,  %-7s %s  min %s @w%d  max %s @w%d" name
+          (spark values) (render values.(lo)) lo (render values.(hi)) hi
+      in
+      let share f =
+        Array.map
+          (fun w ->
+             let c = window_cycle_count w in
+             if c = 0 then 0.0 else float_of_int (f w) /. float_of_int c)
+          windows
+      in
+      let counts f = Array.map (fun w -> float_of_int (f w)) windows in
+      let pct v = Printf.sprintf "%.0f%%" (100.0 *. v) in
+      let num v = Printf.sprintf "%.2f" v in
+      let int v = Printf.sprintf "%.0f" v in
+      let total f = Array.fold_left (fun a w -> a + f w) 0 windows in
+      line "ipc" num (Array.map ipc windows);
+      line "metal%" pct (share (fun w -> w.metal_cycles));
+      line "stall%" pct
+        (share (fun w -> List.fold_left (fun a (_, v) -> a + v) 0 w.stalls));
+      if total (fun w -> w.tlb_misses) > 0 then
+        line "tlbmiss" int (counts (fun w -> w.tlb_misses));
+      if total (fun w -> w.mroutine_exits) > 0 then
+        line "mexits" int (counts (fun w -> w.mroutine_exits));
+      if total (fun w -> w.ecc_corrections) > 0 then
+        line "ecc" int (counts (fun w -> w.ecc_corrections));
+      if total (fun w -> w.injections) > 0 then
+        line "inject" int (counts (fun w -> w.injections))
+    end;
+    if t.dropped_entries > 0 then
+      Format.fprintf fmt
+        "@,WARNING: %d open mode-entry frames dropped (latencies incomplete)"
+        t.dropped_entries;
+    Format.fprintf fmt "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* The live collector                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors [Trace.Collector]'s open-frame stack: nested deliveries keep
+   at most this many unmatched mode_enter frames. *)
+let entry_stack_depth = 16
+
+type acc = {
+  mutable a_user : int;
+  mutable a_metal : int;
+  mutable a_instrs : int;
+  mutable a_minstrs : int;
+  a_stalls : int array;
+  mutable a_tlb : int;
+  mutable a_flush : int;
+  mutable a_enters : int;
+  mutable a_exits : int;
+  mutable a_mcycles : int;
+  mutable a_mmax : int;
+  mutable a_ecc : int;
+  mutable a_inj : int;
+}
+
+type t = {
+  window_cycles : int;
+  rules : Watchdog.rule list;
+  wcet_bounds : (int * int) list;
+  acc : acc;
+  mutable index : int;
+  mutable last_cycle : int;
+  mutable in_metal : bool;
+  entry_stack : int array;
+  enter_cycles : int array;
+  mutable entry_sp : int;
+  mutable dropped_entries : int;
+  mutable closed_rev : Series.window list;
+  mutable alarms_rev : Watchdog.alarm list;
+}
+
+let default_window = 1024
+
+let create ?(window_cycles = default_window) ?(rules = []) ?(wcet_bounds = [])
+    () =
+  if window_cycles <= 0 then
+    invalid_arg "Telemetry.create: window_cycles must be positive";
+  {
+    window_cycles;
+    rules;
+    wcet_bounds;
+    acc =
+      {
+        a_user = 0;
+        a_metal = 0;
+        a_instrs = 0;
+        a_minstrs = 0;
+        a_stalls = Array.make Event.stall_count 0;
+        a_tlb = 0;
+        a_flush = 0;
+        a_enters = 0;
+        a_exits = 0;
+        a_mcycles = 0;
+        a_mmax = 0;
+        a_ecc = 0;
+        a_inj = 0;
+      };
+    index = 0;
+    last_cycle = 0;
+    in_metal = false;
+    entry_stack = Array.make entry_stack_depth 0;
+    enter_cycles = Array.make entry_stack_depth 0;
+    entry_sp = 0;
+    dropped_entries = 0;
+    closed_rev = [];
+    alarms_rev = [];
+  }
+
+let window_of_acc t =
+  let a = t.acc in
+  let stalls = ref [] in
+  for c = Event.stall_count - 1 downto 0 do
+    if a.a_stalls.(c) > 0 then
+      stalls := (Event.stall_name c, a.a_stalls.(c)) :: !stalls
+  done;
+  {
+    Series.index = t.index;
+    user_cycles = a.a_user;
+    metal_cycles = a.a_metal;
+    instructions = a.a_instrs;
+    metal_instructions = a.a_minstrs;
+    stalls = !stalls;
+    tlb_misses = a.a_tlb;
+    flushes = a.a_flush;
+    mode_enters = a.a_enters;
+    mroutine_exits = a.a_exits;
+    mroutine_cycles = a.a_mcycles;
+    mroutine_max = a.a_mmax;
+    ecc_corrections = a.a_ecc;
+    injections = a.a_inj;
+  }
+
+let reset_acc t =
+  let a = t.acc in
+  a.a_user <- 0;
+  a.a_metal <- 0;
+  a.a_instrs <- 0;
+  a.a_minstrs <- 0;
+  Array.fill a.a_stalls 0 Event.stall_count 0;
+  a.a_tlb <- 0;
+  a.a_flush <- 0;
+  a.a_enters <- 0;
+  a.a_exits <- 0;
+  a.a_mcycles <- 0;
+  a.a_mmax <- 0;
+  a.a_ecc <- 0;
+  a.a_inj <- 0
+
+let raise_alarm t rule ~window ~cycle ~value ~threshold message =
+  t.alarms_rev <-
+    {
+      Watchdog.rule = Watchdog.rule_to_string rule;
+      severity = rule.Watchdog.severity;
+      window;
+      cycle;
+      value;
+      threshold;
+      message;
+    }
+    :: t.alarms_rev
+
+(* Window rules are judged as the window closes — on exactly
+   [window_cycles] cycles of residency, so rates compare fairly. *)
+let eval_window t (w : Series.window) =
+  let cycles = Series.window_cycle_count w in
+  let close_cycle = (w.index + 1) * t.window_cycles in
+  List.iter
+    (fun (rule : Watchdog.rule) ->
+       match rule.check with
+       | Watchdog.Wcet -> ()
+       | Watchdog.Ipc_floor floor ->
+         let ipc = Series.ipc w in
+         if cycles > 0 && ipc < floor then
+           raise_alarm t rule ~window:w.index ~cycle:close_cycle ~value:ipc
+             ~threshold:floor
+             (Printf.sprintf "ipc %.2f < floor %.2f (%d instructions in %d cycles)"
+                ipc floor w.instructions cycles)
+       | Watchdog.Stall_share { cause; share } ->
+         let s =
+           Option.value ~default:0
+             (List.assoc_opt (Event.stall_name cause) w.stalls)
+         in
+         let observed =
+           if cycles = 0 then 0.0 else float_of_int s /. float_of_int cycles
+         in
+         if cycles > 0 && observed > share then
+           raise_alarm t rule ~window:w.index ~cycle:close_cycle
+             ~value:observed ~threshold:share
+             (Printf.sprintf "%s stalls %.2f of window > %.2f (%d of %d cycles)"
+                (Event.stall_name cause) observed share s cycles)
+       | Watchdog.Ecc_storm n ->
+         if w.ecc_corrections >= n then
+           raise_alarm t rule ~window:w.index ~cycle:close_cycle
+             ~value:(float_of_int w.ecc_corrections)
+             ~threshold:(float_of_int n)
+             (Printf.sprintf "%d ecc corrections >= storm threshold %d"
+                w.ecc_corrections n)
+       | Watchdog.Mode_residency { metal; share } ->
+         let s = if metal then w.metal_cycles else w.user_cycles in
+         let observed =
+           if cycles = 0 then 0.0 else float_of_int s /. float_of_int cycles
+         in
+         if cycles > 0 && observed > share then
+           raise_alarm t rule ~window:w.index ~cycle:close_cycle
+             ~value:observed ~threshold:share
+             (Printf.sprintf "%s residency %.2f > %.2f (%d of %d cycles)"
+                (if metal then "metal" else "user")
+                observed share s cycles))
+    t.rules
+
+(* The [wcet] rule fires at the offending mroutine exit, not at window
+   close: a latency violation is a fact the moment the exit retires. *)
+let check_wcet t ~entry ~latency ~cycle =
+  List.iter
+    (fun (rule : Watchdog.rule) ->
+       if rule.check = Watchdog.Wcet then
+         match List.assoc_opt entry t.wcet_bounds with
+         | Some bound ->
+           if latency > bound then
+             raise_alarm t rule ~window:t.index ~cycle
+               ~value:(float_of_int latency) ~threshold:(float_of_int bound)
+               (Printf.sprintf
+                  "mroutine entry %d: measured %d cycles > static bound %d"
+                  entry latency bound)
+         | None ->
+           raise_alarm t
+             { rule with severity = Watchdog.Fault }
+             ~window:t.index ~cycle ~value:(float_of_int latency)
+             ~threshold:0.0
+             (Printf.sprintf "mroutine entry %d has no static bound" entry))
+    t.rules
+
+let add_residency t n =
+  if n > 0 then
+    if t.in_metal then t.acc.a_metal <- t.acc.a_metal + n
+    else t.acc.a_user <- t.acc.a_user + n
+
+let close_window t =
+  let w = window_of_acc t in
+  t.closed_rev <- w :: t.closed_rev;
+  eval_window t w;
+  reset_acc t;
+  t.index <- t.index + 1
+
+(* Attribute the residency span [last_cycle, cycle) to windows,
+   splitting it at window boundaries and crediting the mode active
+   over the span (mode flips happen *after* the advance, mirroring
+   [Collector.switch_mode]'s previous-mode attribution). *)
+let advance t ~cycle =
+  let rec go () =
+    let boundary = (t.index + 1) * t.window_cycles in
+    if cycle >= boundary then begin
+      add_residency t (boundary - t.last_cycle);
+      t.last_cycle <- boundary;
+      close_window t;
+      go ()
+    end
+  in
+  go ();
+  add_residency t (cycle - t.last_cycle);
+  t.last_cycle <- cycle
+
+let probe t cycle kind a b =
+  advance t ~cycle;
+  let acc = t.acc in
+  if kind = Event.retire then begin
+    acc.a_instrs <- acc.a_instrs + 1;
+    if b = 1 then acc.a_minstrs <- acc.a_minstrs + 1
+  end
+  else if kind = Event.mode_enter then begin
+    t.in_metal <- true;
+    acc.a_enters <- acc.a_enters + 1;
+    if t.entry_sp = entry_stack_depth then begin
+      Array.blit t.entry_stack 1 t.entry_stack 0 (entry_stack_depth - 1);
+      Array.blit t.enter_cycles 1 t.enter_cycles 0 (entry_stack_depth - 1);
+      t.entry_sp <- entry_stack_depth - 1;
+      t.dropped_entries <- t.dropped_entries + 1
+    end;
+    t.entry_stack.(t.entry_sp) <- a;
+    t.enter_cycles.(t.entry_sp) <- cycle;
+    t.entry_sp <- t.entry_sp + 1
+  end
+  else if kind = Event.mode_exit then begin
+    t.in_metal <- false;
+    if t.entry_sp > 0 then begin
+      t.entry_sp <- t.entry_sp - 1;
+      let entry = t.entry_stack.(t.entry_sp) in
+      let latency = cycle - t.enter_cycles.(t.entry_sp) in
+      acc.a_exits <- acc.a_exits + 1;
+      acc.a_mcycles <- acc.a_mcycles + latency;
+      if latency > acc.a_mmax then acc.a_mmax <- latency;
+      check_wcet t ~entry ~latency ~cycle
+    end
+  end
+  else if kind = Event.stall_begin then
+    acc.a_stalls.(a) <- acc.a_stalls.(a) + b
+  else if kind = Event.tlb_miss then acc.a_tlb <- acc.a_tlb + 1
+  else if kind = Event.flush then acc.a_flush <- acc.a_flush + 1
+  else if kind = Event.ecc_correct then acc.a_ecc <- acc.a_ecc + 1
+  else if kind = Event.inject then acc.a_inj <- acc.a_inj + 1
+
+let nonzero_window (w : Series.window) =
+  w.user_cycles > 0 || w.metal_cycles > 0 || w.instructions > 0
+  || w.stalls <> [] || w.tlb_misses > 0 || w.flushes > 0 || w.mode_enters > 0
+  || w.mroutine_exits > 0 || w.ecc_corrections > 0 || w.injections > 0
+
+let series t =
+  let tail = window_of_acc t in
+  let windows =
+    List.rev
+      (if nonzero_window tail then tail :: t.closed_rev else t.closed_rev)
+  in
+  {
+    Series.window_cycles = t.window_cycles;
+    windows;
+    dropped_entries = t.dropped_entries;
+    machine_cycles = 0;
+    accounted_cycles = 0;
+  }
+
+let alarms t = List.rev t.alarms_rev
+
+let fault_alarms l =
+  List.filter (fun (a : Watchdog.alarm) -> a.severity = Watchdog.Fault) l

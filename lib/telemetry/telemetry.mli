@@ -1,0 +1,184 @@
+(** Windowed telemetry time-series + runtime invariant watchdogs.
+
+    Where [Trace.Collector] answers "what happened over the whole run",
+    this module answers "how did the run evolve": the probe stream is
+    folded into fixed-size windows of [window_cycles] pipeline cycles
+    each — per-mode cycle residency, instructions (hence IPC),
+    per-cause stall cycles, TLB misses, flushes, mroutine latencies,
+    ECC corrections and injected faults per window.  The collector is
+    a pure observer on the PR-3 probe hook: one load-and-branch when
+    disabled, identical streams from both steppers, and attaching it
+    never changes architectural state or timing.
+
+    On top sits a declarative watchdog engine: small rule specs
+    evaluated as windows close (and, for [wcet], at every mroutine
+    exit), emitting typed alarm records.  The [wcet] rule closes the
+    loop with the static verifier: every *measured* menter→mexit
+    latency is checked against the per-entry static bound computed by
+    [Mverify] — the bounds are passed in as plain [(entry, bound)]
+    pairs so this library stays below lib/mverify in the dependency
+    order. *)
+
+module Watchdog : sig
+  type severity = Warn | Fault
+
+  type check =
+    | Wcet
+        (** measured mroutine latency must stay ≤ the static bound *)
+    | Ipc_floor of float  (** per-window IPC must stay ≥ the floor *)
+    | Stall_share of { cause : int; share : float }
+        (** per-window stall cycles of [cause] must stay ≤ share of
+            the window's cycles *)
+    | Ecc_storm of int
+        (** per-window ECC corrections must stay < the count *)
+    | Mode_residency of { metal : bool; share : float }
+        (** per-window residency of the mode must stay ≤ the share *)
+
+  type rule = { check : check; severity : severity }
+
+  val rule : ?severity:severity -> check -> rule
+  (** Default severity: fault for [Wcet], warn for the window rules. *)
+
+  type alarm = {
+    rule : string;  (** canonical spec of the rule that fired *)
+    severity : severity;
+    window : int;  (** window index the violation was observed in *)
+    cycle : int;  (** cycle of the violation (window end; exit cycle
+                      for [wcet]) *)
+    value : float;  (** observed value *)
+    threshold : float;  (** configured limit *)
+    message : string;  (** one-line human rendering of the violation *)
+  }
+
+  val rule_to_string : rule -> string
+  (** Canonical spec syntax; [rules_of_string] round-trips it. *)
+
+  val rules_of_string : string -> (rule list, string) result
+  (** Parse a comma-separated spec list: [wcet[:warn|:fault]],
+      [ipc_floor:R], [stall_share:CAUSE>P], [ecc_storm:N],
+      [mode_residency:user|metal>P].  Any rule takes an optional
+      [:warn]/[:fault] severity suffix; [wcet] defaults to fault, the
+      window rules default to warn.  [Error] carries a one-line
+      description of the first bad spec. *)
+
+  val needs_wcet : rule list -> bool
+  (** True when the list contains a [Wcet] rule (the caller must then
+      supply static bounds). *)
+
+  val severity_to_string : severity -> string
+
+  val alarm_to_string : alarm -> string
+  (** ["watchdog[SEV] RULE wN @cycle C: MESSAGE"]. *)
+end
+
+module Series : sig
+  type window = {
+    index : int;  (** window index; covers cycles
+                      [index * window_cycles, (index+1) * window_cycles) *)
+    user_cycles : int;
+    metal_cycles : int;
+    instructions : int;  (** retires attributed to the window *)
+    metal_instructions : int;
+    stalls : (string * int) list;
+        (** per-cause stall cycles charged at the stall's begin event,
+            canonical cause order, zero causes elided *)
+    tlb_misses : int;
+    flushes : int;
+    mode_enters : int;
+    mroutine_exits : int;  (** completed menter→mexit round trips *)
+    mroutine_cycles : int;  (** sum of completed latencies *)
+    mroutine_max : int;  (** worst completed latency in the window *)
+    ecc_corrections : int;
+    injections : int;
+  }
+
+  type t = {
+    window_cycles : int;  (** 0 only in [empty] *)
+    windows : window list;  (** contiguous, ascending from index 0 *)
+    dropped_entries : int;
+        (** mode-entry frames evicted by stack overflow *)
+    machine_cycles : int;
+        (** [Stats.cycles] of the producing run(s); 0 = unannotated *)
+    accounted_cycles : int;
+        (** [Stats.accounted_cycles] of the producing run(s);
+            0 = unannotated *)
+  }
+
+  val empty : t
+  (** Identity for [merge]. *)
+
+  val equal : t -> t -> bool
+
+  val window_cycle_count : window -> int
+  (** [user_cycles + metal_cycles]. *)
+
+  val ipc : window -> float
+  (** [instructions / cycles] of the window (0 for an empty window). *)
+
+  val total_cycles : t -> int
+  (** Sum of every window's residency — for a halting run this equals
+      [Stats.cycles] (checked by [trace_check telemetry] against the
+      [machine_cycles] annotation). *)
+
+  val total_instructions : t -> int
+
+  val merge : t -> t -> t
+  (** Pointwise sum by window index (the shorter series is padded with
+      empty windows); annotations are summed.  [empty] is the
+      identity.  Commutative and associative, so [Fleet]'s index-order
+      fold is byte-identical for any domain count.
+      @raise Invalid_argument on a [window_cycles] mismatch. *)
+
+  val annotate : t -> machine_cycles:int -> accounted_cycles:int -> t
+
+  val to_ndjson : t -> string
+  (** One header object (schema ["metal-telemetry-v1"], run totals),
+      then one JSON object per window, newline-delimited.  Rendering
+      is canonical: [to_ndjson (of_ndjson s)] is byte-identical. *)
+
+  val of_ndjson : string -> (t, string) result
+
+  val to_csv : t -> string
+  (** Spreadsheet view: a header row then one row per window. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Human summary: per-metric sparklines over the window axis (IPC,
+      stall share, Metal-mode residency; ECC/injection rows only when
+      non-zero) with min/max annotations. *)
+end
+
+type t
+(** A live windowed collector (optionally with watchdog rules). *)
+
+val default_window : int
+(** 1024 cycles. *)
+
+val create :
+  ?window_cycles:int ->
+  ?rules:Watchdog.rule list ->
+  ?wcet_bounds:(int * int) list ->
+  unit ->
+  t
+(** [wcet_bounds] maps MRAM entry index to the static WCET bound in
+    cycles (from [Mverify.wcet]); only consulted by a [Wcet] rule — an
+    exit whose entry has no bound raises a fault-severity alarm.
+    @raise Invalid_argument if [window_cycles <= 0]. *)
+
+val probe : t -> int -> int -> int -> int -> unit
+(** [(probe t) cycle kind a b]: the function to install with
+    [Machine.set_probe] (composes with [Trace.Collector.probe] and
+    [Profile.probe] through a fan-out). *)
+
+val series : t -> Series.t
+(** Non-mutating snapshot; the trailing partial window is included.
+    Cycle residency covers [0, last event cycle) — on a halting run
+    the final event lands on the halt cycle, so the series total
+    equals [Stats.cycles]. *)
+
+val alarms : t -> Watchdog.alarm list
+(** Alarms raised so far, in firing order.  Window rules are evaluated
+    when a window closes (the trailing partial window is never judged:
+    a fraction of a window can not violate a rate rule fairly); [wcet]
+    fires at the offending mroutine exit. *)
+
+val fault_alarms : Watchdog.alarm list -> Watchdog.alarm list

@@ -20,6 +20,7 @@ let instant_tid ~kind ~a ~b =
     else tid_mem
   else if kind = Event.stall_end then tid_mem
   else if kind = Event.call || kind = Event.ret then tid_wb
+  else if kind = Event.ecc_correct then tid_mem
   else tid_mode
 
 let instant_args ~kind ~a ~b =
@@ -42,6 +43,12 @@ let instant_args ~kind ~a ~b =
     Printf.sprintf "{\"callee\": %d, \"site\": %d}" a b
   else if kind = Event.ret then
     Printf.sprintf "{\"target\": %d, \"site\": %d}" a b
+  else if kind = Event.inject then
+    Printf.sprintf "{\"class\": %S, \"detail\": %d}"
+      (Event.inject_class_name a) b
+  else if kind = Event.ecc_correct then
+    Printf.sprintf "{\"structure\": %S, \"at\": %d}"
+      (Event.ecc_structure_name a) b
   else "{}"
 
 let to_buffer buf ring =

@@ -26,6 +26,7 @@ type t = {
   entry_stack : int array;  (* MRAM entries of open mode_enter frames *)
   enter_cycles : int array;  (* cycle of each open enter *)
   mutable entry_sp : int;
+  mutable dropped_entries : int;  (* frames evicted by stack overflow *)
   mutable last_cycle : int;
   hist : (int, agg) Hashtbl.t;  (* entry -> latency aggregate *)
 }
@@ -44,6 +45,7 @@ let create ?(capacity = 65536) () =
     entry_stack = Array.make entry_stack_depth 0;
     enter_cycles = Array.make entry_stack_depth 0;
     entry_sp = 0;
+    dropped_entries = 0;
     last_cycle = 0;
     hist = Hashtbl.create 16;
   }
@@ -87,11 +89,14 @@ let probe t cycle kind a b =
   else if kind = Event.mode_enter then begin
     switch_mode t ~cycle ~metal:true;
     (* On overflow drop the oldest frame: it can only be squash junk —
-       the architecture forbids nesting that deep. *)
+       the architecture forbids nesting that deep.  Count the eviction
+       so the metrics can warn that the latency histogram is
+       incomplete instead of staying silently short. *)
     if t.entry_sp = entry_stack_depth then begin
       Array.blit t.entry_stack 1 t.entry_stack 0 (entry_stack_depth - 1);
       Array.blit t.enter_cycles 1 t.enter_cycles 0 (entry_stack_depth - 1);
-      t.entry_sp <- entry_stack_depth - 1
+      t.entry_sp <- entry_stack_depth - 1;
+      t.dropped_entries <- t.dropped_entries + 1
     end;
     t.entry_stack.(t.entry_sp) <- a;
     t.enter_cycles.(t.entry_sp) <- cycle;
@@ -148,6 +153,9 @@ let metrics t =
     event_counts = counts Event.name t.kind_counts;
     stall_cycles = counts Event.stall_name t.stall_cycles;
     mroutines;
+    ecc_corrections = t.kind_counts.(Event.ecc_correct);
+    injections = t.kind_counts.(Event.inject);
     events_recorded = Ring.total t.ring;
     events_dropped = Ring.dropped t.ring;
+    dropped_entries = t.dropped_entries;
   }

@@ -58,6 +58,26 @@ let stall_mram_fetch = 4
 let stall_ecc_check = 5
 let stall_count = 6
 
+(* Keep in sync with [Inject.class_code] — lib/trace sits below
+   lib/inject in the dependency order, so the exporters carry their own
+   copy of the fault-class vocabulary (pinned by a test in
+   test_inject). *)
+let inject_class_name = function
+  | 0 -> "mram-code"
+  | 1 -> "mram-data"
+  | 2 -> "mreg"
+  | 3 -> "tlb"
+  | 4 -> "tlb-drop"
+  | 5 -> "irq-spurious"
+  | 6 -> "irq-drop"
+  | 7 -> "load"
+  | c -> "class_" ^ string_of_int c
+
+let ecc_structure_name = function
+  | 0 -> "mram-data"
+  | 1 -> "mreg"
+  | s -> "structure_" ^ string_of_int s
+
 let stall_name = function
   | 0 -> "fetch_cache"
   | 1 -> "data_cache"

@@ -69,6 +69,18 @@ val reason_interrupt : int
 
 val reason_name : int -> string
 
+(** {2 Fault-injection and ECC payload names} *)
+
+val inject_class_name : int -> string
+(** Name of an [inject] event's fault-class code ([a] payload).  A
+    local copy of [Metal_inject.Inject.class_code]'s vocabulary —
+    lib/trace sits below lib/inject in the dependency order — kept in
+    sync by a test. *)
+
+val ecc_structure_name : int -> string
+(** Name of an [ecc_correct] event's protected-structure code ([a]
+    payload): 0 = ["mram-data"], 1 = ["mreg"]. *)
+
 (** {2 Flush reasons} ([a] of [flush]) *)
 
 val flush_redirect : int  (** taken branch / jalr resolved at EX *)

@@ -15,8 +15,11 @@ type t = {
   event_counts : (string * int) list;
   stall_cycles : (string * int) list;
   mroutines : mroutine list;
+  ecc_corrections : int;
+  injections : int;
   events_recorded : int;
   events_dropped : int;
+  dropped_entries : int;
 }
 
 let zero_counts count name = List.init count (fun k -> (name k, 0))
@@ -30,8 +33,11 @@ let empty =
     event_counts = zero_counts Event.count Event.name;
     stall_cycles = zero_counts Event.stall_count Event.stall_name;
     mroutines = [];
+    ecc_corrections = 0;
+    injections = 0;
     events_recorded = 0;
     events_dropped = 0;
+    dropped_entries = 0;
   }
 
 (* Sum two assoc lists that share the same canonical key order (pad
@@ -88,8 +94,11 @@ let merge a b =
     event_counts = merge_counts a.event_counts b.event_counts;
     stall_cycles = merge_counts a.stall_cycles b.stall_cycles;
     mroutines = merge_mroutines a.mroutines b.mroutines;
+    ecc_corrections = a.ecc_corrections + b.ecc_corrections;
+    injections = a.injections + b.injections;
     events_recorded = a.events_recorded + b.events_recorded;
     events_dropped = a.events_dropped + b.events_dropped;
+    dropped_entries = a.dropped_entries + b.dropped_entries;
   }
 
 let equal (a : t) (b : t) = a = b
@@ -136,8 +145,13 @@ let to_json t =
   Buffer.add_string buf "],\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"events_recorded\": %d,\n  \"events_dropped\": %d\n}\n"
-       t.events_recorded t.events_dropped);
+       "  \"ecc_corrections\": %d,\n  \"injections\": %d,\n"
+       t.ecc_corrections t.injections);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"events_recorded\": %d,\n  \"events_dropped\": %d,\n\
+       \  \"dropped_entries\": %d\n}\n"
+       t.events_recorded t.events_dropped t.dropped_entries);
   Buffer.contents buf
 
 let pp fmt t =
@@ -171,6 +185,13 @@ let pp fmt t =
       t.mroutines
   end;
   if t.events_dropped > 0 then
-    Format.fprintf fmt "@,(%d events dropped by ring wraparound)"
+    Format.fprintf fmt
+      "@,WARNING: %d events dropped by ring wraparound \
+       (raise the ring capacity)"
       t.events_dropped;
+  if t.dropped_entries > 0 then
+    Format.fprintf fmt
+      "@,WARNING: %d open mode-entry frames dropped \
+       (entry stack overflow; latency histogram is incomplete)"
+      t.dropped_entries;
   Format.fprintf fmt "@]"

@@ -24,8 +24,18 @@ type t = {
   event_counts : (string * int) list;  (** per-kind totals, kind order *)
   stall_cycles : (string * int) list;  (** per-cause charged cycles *)
   mroutines : mroutine list;  (** ascending entry index *)
+  ecc_corrections : int;
+      (** SECDED single-bit repairs at consumption points
+          (= the [ecc_correct] event count, surfaced flat) *)
+  injections : int;
+      (** faults applied by [Metal_inject]
+          (= the [inject] event count, surfaced flat) *)
   events_recorded : int;
-  events_dropped : int;
+  events_dropped : int;  (** lost to ring wraparound *)
+  dropped_entries : int;
+      (** open mode-entry frames evicted by collector entry-stack
+          overflow — when non-zero the mroutine latency histogram is
+          incomplete and [pp] prints a loud warning *)
 }
 
 val empty : t

@@ -130,15 +130,15 @@ dropping the flag:
   [1]
 
   $ ../bin/mrun.exe prog.s --os --trace-out t2.json
-  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out/--telemetry-out/--watch (the kernel owns the machine)
   [1]
 
   $ ../bin/mrun.exe prog.s --os --regs
-  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out/--telemetry-out/--watch (the kernel owns the machine)
   [1]
 
   $ ../bin/mrun.exe prog.s --os --profile-out p2.json
-  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out (the kernel owns the machine)
+  metal-run: --os does not support --trace/--regs/--trace-out/--metrics-out/--profile-out/--telemetry-out/--watch (the kernel owns the machine)
   [1]
 
 The mcode verifier gates --mcode installs.  --verify prints the WCET
@@ -297,7 +297,7 @@ the flag combinations that cannot work:
   [1]
 
   $ ../bin/mrun.exe loop.s --inject seed:1 --trace-out t9.json
-  metal-run: --inject owns the probe and the run loop; it does not combine with --trace/--regs/--trace-out/--metrics-out/--profile-out (use --inject-out FILE for the verdict JSON)
+  metal-run: --inject owns the probe and the run loop; it does not combine with --trace/--regs/--trace-out/--metrics-out/--profile-out/--telemetry-out/--watch (use --inject-out FILE for the verdict JSON)
   [1]
 
   $ ../bin/mrun.exe loop.s --inject-out orphan.json
@@ -367,3 +367,93 @@ verdict JSON), the rest are masked by the corrected read view.
 
   $ ../tools/trace_check.exe inject ve.json
   ve.json: ok (1 campaigns, 8 runs: 7 masked, 1 corrected, 0 detected, 0 silent)
+
+Windowed telemetry: --telemetry-out samples the probe stream into
+fixed cycle windows (IPC, stall shares, mode residency, mroutine
+latencies, ECC/injection counts) and --watch arms declarative
+watchdog rules over those windows.  The wcet rule cross-checks each
+measured mroutine latency against the static verifier's per-entry
+WCET bound, live.
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --telemetry-out tel.ndjson --telemetry-window 16 --watch wcet
+  halt: ebreak at 0x00000010
+  stats: cycles=107 instructions=66 (metal=40) ipc=0.62
+         bubbles=41 load-use=8 interlocks=8 flushes=7
+         menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  telemetry: tel.ndjson
+  telemetry: 7 windows x 16 cycles, 107 cycles covered
+    ipc     ▆▆▇▇▆▆█  min 0.56 @w0  max 0.82 @w6
+    metal%  ▆███▆█▇  min 50% @w0  max 69% @w1
+    stall%  ▁▁▁▁▁▁▁  min 0% @w0  max 0% @w0
+    mexits  ▅▅▅█▅▅▅  min 1 @w0  max 2 @w3
+  watchdog: ok (1 rules)
+
+The export is ndjson (schema metal-telemetry-v1) and trace_check
+recounts every header total from the window rows, then round-trips
+the canonical rendering byte-for-byte:
+
+  $ head -c 34 tel.ndjson; echo
+  {"schema": "metal-telemetry-v1", "
+  $ ../tools/trace_check.exe telemetry tel.ndjson
+  tel.ndjson: ok (7 windows x 16 cycles, 107 cycles, header totals recounted)
+
+A .csv extension switches the export format:
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --telemetry-out tel.csv --telemetry-window 16 > /dev/null
+  $ head -1 tel.csv | cut -d, -f1-4
+  window,user_cycles,metal_cycles,instructions
+
+Batch mode writes one series per job (FILE.<index>) plus the
+deterministic index-order merge, and trace_check replays the merge
+from the parts:
+
+  $ ../bin/mrun.exe loop.s loop.s --mcode ping.mcode --jobs 2 \
+  >   --telemetry-out bt.ndjson --watch ipc_floor:0.01
+  loop.s                           ebreak at 0x00000010                            523 cycles        322 instrs
+                                   telemetry: bt.ndjson.0
+  loop.s                           ebreak at 0x00000010                            523 cycles        322 instrs
+                                   telemetry: bt.ndjson.1
+  telemetry: bt.ndjson (merged)
+  watchdog: ok (1 rules)
+  2/2 ok (2 domains)
+
+  $ ../tools/trace_check.exe telemetry bt.ndjson bt.ndjson.0 bt.ndjson.1
+  bt.ndjson: ok (1 windows x 1024 cycles, 1046 cycles, header totals recounted, merge of 2 reproduced)
+
+A tripped fault-severity rule turns the exit status, same as a
+failed run — watchdogs are for CI:
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --telemetry-window 16 --watch ipc_floor:0.99:fault > watch.out; echo "exit $?"
+  exit 1
+  $ grep watchdog watch.out
+  watchdog[fault] ipc_floor:0.99:fault w0 @cycle 16: ipc 0.56 < floor 0.99 (9 instructions in 16 cycles)
+  watchdog[fault] ipc_floor:0.99:fault w1 @cycle 32: ipc 0.56 < floor 0.99 (9 instructions in 16 cycles)
+  watchdog[fault] ipc_floor:0.99:fault w2 @cycle 48: ipc 0.62 < floor 0.99 (10 instructions in 16 cycles)
+  watchdog[fault] ipc_floor:0.99:fault w3 @cycle 64: ipc 0.69 < floor 0.99 (11 instructions in 16 cycles)
+  watchdog[fault] ipc_floor:0.99:fault w4 @cycle 80: ipc 0.56 < floor 0.99 (9 instructions in 16 cycles)
+  watchdog[fault] ipc_floor:0.99:fault w5 @cycle 96: ipc 0.56 < floor 0.99 (9 instructions in 16 cycles)
+  watchdog: 6 alarms (6 fault, 0 warn)
+
+Rejections are loud.  Unknown rules, malformed specs, dangling
+commas, non-positive windows, and wcet without static bounds to
+check against all fail up front:
+
+  $ ../bin/mrun.exe loop.s --watch bogus
+  metal-run: --watch "bogus": unknown rule (one of wcet, ipc_floor:R, stall_share:CAUSE>P, ecc_storm:N, mode_residency:MODE>P)
+  [1]
+  $ ../bin/mrun.exe loop.s --watch wcet,,
+  metal-run: --watch empty rule in watch spec
+  [1]
+  $ ../bin/mrun.exe loop.s --watch ipc_floor:-1
+  metal-run: --watch "ipc_floor:-1": expected ipc_floor:R with R > 0
+  [1]
+  $ ../bin/mrun.exe loop.s --telemetry-window 0
+  metal-run: --telemetry-window 0: the window size must be a positive cycle count
+  [1]
+  $ ../bin/mrun.exe loop.s --watch wcet
+  metal-run: --watch wcet checks measured mroutine latencies against the static verifier's per-entry bounds, so it needs --mcode with verification on (drop --no-verify)
+  [1]

@@ -573,6 +573,96 @@ let prop_profile_accounting ~predecode =
        | None -> true
        | Some _ -> QCheck.Test.fail_report (report_minimal ~diverges instrs))
 
+(* Telemetry accounting: the windowed series is folded from the same
+   probe stream, so both steppers must produce the identical series,
+   and the per-window residency and instruction sums must close over
+   Stats exactly — a drift means the window splitter lost or
+   double-credited a span. *)
+
+module Telemetry = Metal_telemetry.Telemetry
+
+let telemetry_accounting_divergence instrs =
+  let img = image_of instrs in
+  let run ~predecode =
+    let config = { Config.default with Config.mem_size; Config.predecode } in
+    let m = Machine.create ~config () in
+    (match Machine.load_image m img with Ok () -> () | Error e -> failwith e);
+    seed_data (Machine.write_word m);
+    Machine.set_pc m 0;
+    let t = Telemetry.create ~window_cycles:64 () in
+    Machine.set_probe m (Telemetry.probe t);
+    match Pipeline.run m ~max_cycles:100_000 with
+    | Some (Machine.Halt_ebreak _) -> Ok (m.Machine.stats, Telemetry.series t)
+    | Some h -> Error (Machine.halted_to_string h)
+    | None -> Error "pipeline: no halt"
+  in
+  match (run ~predecode:true, run ~predecode:false) with
+  | Ok (sa, ta), Ok (_, tb) ->
+    if not (Telemetry.Series.equal ta tb) then
+      Some (`State "telemetry series differ between steppers")
+    else if Telemetry.Series.total_cycles ta <> sa.Stats.cycles then
+      Some
+        (`State
+           (Printf.sprintf "windows cover %d cycles, machine ran %d"
+              (Telemetry.Series.total_cycles ta)
+              sa.Stats.cycles))
+    else if Telemetry.Series.total_instructions ta <> sa.Stats.instructions
+    then
+      Some
+        (`State
+           (Printf.sprintf "windows count %d instructions, machine retired %d"
+              (Telemetry.Series.total_instructions ta)
+              sa.Stats.instructions))
+    else None
+  | Error e, Ok _ -> Some (`Error ("fast: " ^ e))
+  | Ok _, Error e -> Some (`Error ("slow: " ^ e))
+  | Error ea, Error eb ->
+    if ea = eb then None
+    else Some (`Error (Printf.sprintf "errors differ: %s / %s" ea eb))
+
+let prop_telemetry_accounting =
+  QCheck.Test.make ~name:"telemetry windows close over Stats (both steppers)"
+    ~count:150 arb_program
+    (fun instrs ->
+       match telemetry_accounting_divergence instrs with
+       | None -> true
+       | Some _ ->
+         QCheck.Test.fail_report
+           (report_minimal ~diverges:telemetry_accounting_divergence instrs))
+
+(* Fleet-merged telemetry: the same 300 telemetry jobs on 1 domain and
+   on 8 must yield bit-identical per-job series and a byte-identical
+   merged ndjson artifact, and every job's series must account for
+   exactly its machine's cycles. *)
+let test_telemetry_corpus_fleet_merge () =
+  let progs = Lazy.force corpus_programs in
+  let config = { Config.default with Config.mem_size } in
+  let jobs =
+    Array.map
+      (fun instrs ->
+         Fleet.job ~config ~fuel:100_000 ~telemetry:true ~telemetry_window:64
+           (Fleet.Image (image_of instrs)))
+      progs
+  in
+  let a = Fleet.run ~domains:1 jobs and b = Fleet.run ~domains:8 jobs in
+  (match Fleet.identical a b with Ok () -> () | Error e -> Alcotest.fail e);
+  let ja = Telemetry.Series.to_ndjson (Fleet.merge_telemetry a)
+  and jb = Telemetry.Series.to_ndjson (Fleet.merge_telemetry b) in
+  Alcotest.(check bool) "merged telemetry bytes identical" true (ja = jb);
+  Array.iter
+    (fun (o : Fleet.outcome) ->
+       match o.Fleet.result with
+       | Ok ok ->
+         (match ok.Fleet.telemetry with
+          | Some s ->
+            Alcotest.(check int)
+              (Printf.sprintf "corpus[%d] telemetry total" o.Fleet.index)
+              ok.Fleet.stats.Stats.cycles
+              (Telemetry.Series.total_cycles s)
+          | None -> Alcotest.fail "telemetry job returned no series")
+       | Error e -> Alcotest.fail (Fleet.fail_to_string e))
+    a
+
 (* Fleet-merged profiles: the same 300 profiling jobs on 1 domain and
    on 8 must yield bit-identical per-job reports and a byte-identical
    merged artifact, and every job's report must account for exactly
@@ -778,7 +868,8 @@ let () =
             prop_stall_accounting ~predecode:true;
             prop_stall_accounting ~predecode:false;
             prop_profile_accounting ~predecode:true;
-            prop_profile_accounting ~predecode:false ] );
+            prop_profile_accounting ~predecode:false;
+            prop_telemetry_accounting ] );
       ( "fleet-corpus",
         [ Alcotest.test_case "300-program predecode invariance" `Quick
             test_predecode_corpus_fleet;
@@ -796,8 +887,12 @@ let () =
           Alcotest.test_case "300-program profile accounting (slow)" `Quick
             (corpus_fleet_check
                ~diverges:(profile_accounting_divergence ~predecode:false));
+          Alcotest.test_case "300-program telemetry accounting (both)" `Quick
+            (corpus_fleet_check ~diverges:telemetry_accounting_divergence);
           Alcotest.test_case "300-program fleet profile merge determinism"
-            `Quick test_profile_corpus_fleet_merge ] );
+            `Quick test_profile_corpus_fleet_merge;
+          Alcotest.test_case "300-program fleet telemetry merge determinism"
+            `Quick test_telemetry_corpus_fleet_merge ] );
       ( "minimizer",
         [ Alcotest.test_case "greedy shrink keeps kind and witness" `Quick
             test_minimizer_shrinks ] );

@@ -479,6 +479,19 @@ let test_verdict_json () =
   Alcotest.(check int) "summary covers every run" 4
     (masked + corrected + detected + silent)
 
+(* The trace layer renders inject events symbolically without a
+   dependency on lib/inject, so it keeps its own copy of the class
+   table ([Event.inject_class_name]).  Pin the two tables together:
+   a class added or renamed on one side must update the other. *)
+let test_event_class_names () =
+  List.iter
+    (fun cls ->
+       Alcotest.(check string)
+         (Printf.sprintf "class code %d" (Inject.class_code cls))
+         (Inject.class_to_string cls)
+         (Metal_trace.Event.inject_class_name (Inject.class_code cls)))
+    Inject.all_classes
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -512,5 +525,7 @@ let () =
       ( "units",
         [ Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
           Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
-          Alcotest.test_case "verdict json" `Quick test_verdict_json ] );
+          Alcotest.test_case "verdict json" `Quick test_verdict_json;
+          Alcotest.test_case "event class names stay in sync" `Quick
+            test_event_class_names ] );
     ]

@@ -1,0 +1,442 @@
+(* Unit tests for lib/telemetry: window splitting and attribution on
+   synthetic probe streams (where every expected number is computable
+   by hand), the watchdog rules and their spec parser, the Series
+   merge algebra and ndjson/CSV renderings, and one end-to-end run
+   whose window sums must close over the machine's Stats.  The
+   cross-stepper identity and 300-program corpus properties live in
+   test_differential. *)
+
+open Metal_cpu
+module Event = Metal_trace.Event
+module Telemetry = Metal_telemetry.Telemetry
+module Series = Telemetry.Series
+module Watchdog = Telemetry.Watchdog
+
+(* Feed a synthetic (cycle, kind, a, b) stream into a fresh collector. *)
+let collect ?(window = 10) ?(rules = []) ?(wcet_bounds = []) events =
+  let t = Telemetry.create ~window_cycles:window ~rules ~wcet_bounds () in
+  let p = Telemetry.probe t in
+  List.iter (fun (c, k, a, b) -> p c k a b) events;
+  t
+
+let retire ?(metal = false) c = (c, Event.retire, 0, if metal then 1 else 0)
+let enter ?(entry = 1) c = (c, Event.mode_enter, entry, 0)
+let exit_ c = (c, Event.mode_exit, 0, 0)
+let stall c ~cause ~n = (c, Event.stall_begin, cause, n)
+let flush c = (c, Event.flush, 0, 0)
+let ecc c = (c, Event.ecc_correct, 0, 0)
+let inject c = (c, Event.inject, 0, 0)
+
+let rules_exn spec =
+  match Watchdog.rules_of_string spec with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "spec %S rejected: %s" spec e
+
+let windows t = (Telemetry.series t).Series.windows
+
+(* ------------------------------------------------------------------ *)
+(* Window splitting and residency attribution                          *)
+
+let test_window_split () =
+  (* Events at cycles 3, 7, 12, 25: residency covers [0, 25), split
+     10+10+5; retires land in the window containing their cycle. *)
+  let t = collect [ retire 3; retire 7; retire 12; retire 25 ] in
+  let s = Telemetry.series t in
+  Alcotest.(check int) "window size" 10 s.Series.window_cycles;
+  match s.Series.windows with
+  | [ w0; w1; w2 ] ->
+    Alcotest.(check int) "w0 residency" 10 (Series.window_cycle_count w0);
+    Alcotest.(check int) "w1 residency" 10 (Series.window_cycle_count w1);
+    Alcotest.(check int) "w2 residency (partial tail)" 5
+      (Series.window_cycle_count w2);
+    Alcotest.(check int) "total = last event cycle" 25
+      (Series.total_cycles s);
+    Alcotest.(check int) "w0 retires" 2 w0.Series.instructions;
+    Alcotest.(check int) "w1 retires" 1 w1.Series.instructions;
+    Alcotest.(check int) "w2 retires" 1 w2.Series.instructions;
+    Alcotest.(check int) "all retires" 4 (Series.total_instructions s)
+  | l -> Alcotest.failf "expected 3 windows, got %d" (List.length l)
+
+let test_mode_attribution () =
+  (* enter at 4, exit at 8: [0,4) user, [4,8) metal, [8,10) user — the
+     mode flips after the span is credited, so the span leading up to
+     each event belongs to the mode active before it. *)
+  let t = collect [ enter 4; exit_ 8; flush 10 ] in
+  match windows t with
+  | [ w0; w1 ] ->
+    Alcotest.(check int) "w0 user" 6 w0.Series.user_cycles;
+    Alcotest.(check int) "w0 metal" 4 w0.Series.metal_cycles;
+    Alcotest.(check int) "w0 enters" 1 w0.Series.mode_enters;
+    Alcotest.(check int) "w0 exits" 1 w0.Series.mroutine_exits;
+    Alcotest.(check int) "w0 latency" 4 w0.Series.mroutine_cycles;
+    Alcotest.(check int) "w0 max latency" 4 w0.Series.mroutine_max;
+    (* the flush at cycle 10 lands past the boundary: w1 exists with
+       zero residency but one flush *)
+    Alcotest.(check int) "w1 residency" 0 (Series.window_cycle_count w1);
+    Alcotest.(check int) "w1 flushes" 1 w1.Series.flushes
+  | l -> Alcotest.failf "expected 2 windows, got %d" (List.length l)
+
+let test_stall_charged_at_begin () =
+  (* A 5-cycle stall beginning at cycle 9 is charged wholly to w0 even
+     though it runs into w1. *)
+  let t =
+    collect [ stall 9 ~cause:Event.stall_mem_latency ~n:5; flush 14 ]
+  in
+  match windows t with
+  | [ w0; w1 ] ->
+    Alcotest.(check (list (pair string int)))
+      "w0 stalls" [ ("mem_latency", 5) ] w0.Series.stalls;
+    Alcotest.(check (list (pair string int))) "w1 stalls" [] w1.Series.stalls
+  | l -> Alcotest.failf "expected 2 windows, got %d" (List.length l)
+
+let test_latency_spans_windows () =
+  (* enter at 8, exit at 23: the enter counts in w0, the completed
+     round trip (latency 15) is charged to the window containing the
+     exit (w2), and the residency in between is all Metal. *)
+  let t = collect [ enter 8; exit_ 23; flush 25 ] in
+  match windows t with
+  | [ w0; w1; w2 ] ->
+    Alcotest.(check int) "w0 enters" 1 w0.Series.mode_enters;
+    Alcotest.(check int) "w0 exits" 0 w0.Series.mroutine_exits;
+    Alcotest.(check int) "w0 metal" 2 w0.Series.metal_cycles;
+    Alcotest.(check int) "w1 metal" 10 w1.Series.metal_cycles;
+    Alcotest.(check int) "w2 metal" 3 w2.Series.metal_cycles;
+    Alcotest.(check int) "w2 exits" 1 w2.Series.mroutine_exits;
+    Alcotest.(check int) "w2 latency" 15 w2.Series.mroutine_cycles;
+    Alcotest.(check int) "w2 max" 15 w2.Series.mroutine_max
+  | l -> Alcotest.failf "expected 3 windows, got %d" (List.length l)
+
+let test_entry_stack_drop () =
+  (* 17 nested enters overflow the 16-deep frame stack by one; the
+     oldest frame is evicted and counted, and the orphaned 17th exit
+     is ignored rather than mis-paired. *)
+  let enters = List.init 17 (fun i -> enter (i + 1)) in
+  let exits = List.init 17 (fun i -> exit_ (20 + i)) in
+  let t = collect ~window:100 (enters @ exits) in
+  let s = Telemetry.series t in
+  Alcotest.(check int) "one frame dropped" 1 s.Series.dropped_entries;
+  match s.Series.windows with
+  | [ w0 ] ->
+    Alcotest.(check int) "17 enters" 17 w0.Series.mode_enters;
+    Alcotest.(check int) "16 completed exits" 16 w0.Series.mroutine_exits
+  | l -> Alcotest.failf "expected 1 window, got %d" (List.length l)
+
+let test_ecc_inject_counters () =
+  let t = collect [ ecc 1; inject 2; ecc 3; ecc 4; flush 9 ] in
+  match windows t with
+  | [ w0 ] ->
+    Alcotest.(check int) "ecc corrections" 3 w0.Series.ecc_corrections;
+    Alcotest.(check int) "injections" 1 w0.Series.injections
+  | l -> Alcotest.failf "expected 1 window, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog rules on synthetic streams                                 *)
+
+let alarm_rules t =
+  List.map (fun (a : Watchdog.alarm) -> (a.rule, a.window)) (Telemetry.alarms t)
+
+let test_ipc_floor_rule () =
+  (* w0 retires 2 of 10 cycles (ipc 0.2 < 0.5): alarm at close.  w1
+     retires 8 (0.8): clean.  The partial tail is never judged. *)
+  let t =
+    collect ~rules:(rules_exn "ipc_floor:0.5")
+      ([ retire 1; retire 2 ]
+       @ List.init 8 (fun i -> retire (11 + i))
+       @ [ retire 21 ])
+  in
+  Alcotest.(check (list (pair string int)))
+    "one alarm, window 0" [ ("ipc_floor:0.5", 0) ] (alarm_rules t);
+  match Telemetry.alarms t with
+  | [ a ] ->
+    Alcotest.(check bool) "warn severity" true (a.severity = Watchdog.Warn);
+    Alcotest.(check int) "fires at window close" 10 a.cycle;
+    Alcotest.(check (float 1e-9)) "observed value" 0.2 a.value;
+    Alcotest.(check (list (pair string int)))
+      "no fault alarms" []
+      (List.map
+         (fun (a : Watchdog.alarm) -> (a.rule, a.window))
+         (Telemetry.fault_alarms (Telemetry.alarms t)))
+  | l -> Alcotest.failf "expected 1 alarm, got %d" (List.length l)
+
+let test_stall_share_rule () =
+  (* w0: 5 of 10 cycles in mem_latency stalls (0.5 > 0.3) — alarm.
+     w1: 2 of 10 (0.2) — clean. *)
+  let t =
+    collect ~rules:(rules_exn "stall_share:mem_latency>0.3")
+      [ stall 4 ~cause:Event.stall_mem_latency ~n:5;
+        stall 13 ~cause:Event.stall_mem_latency ~n:2;
+        flush 20 ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "one alarm, window 0"
+    [ ("stall_share:mem_latency>0.3", 0) ]
+    (alarm_rules t)
+
+let test_ecc_storm_rule () =
+  (* w0 has 3 corrections (>= 3): alarm.  w1 has 2: clean. *)
+  let t =
+    collect ~rules:(rules_exn "ecc_storm:3")
+      [ ecc 1; ecc 2; ecc 3; ecc 11; ecc 12; flush 20 ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "one alarm, window 0" [ ("ecc_storm:3", 0) ] (alarm_rules t)
+
+let test_mode_residency_rule () =
+  (* w0: 8 of 10 cycles in Metal mode (0.8 > 0.6): alarm.  w1 all
+     user: clean. *)
+  let t =
+    collect ~rules:(rules_exn "mode_residency:metal>0.6")
+      [ enter 1; exit_ 9; flush 20 ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "one alarm, window 0"
+    [ ("mode_residency:metal>0.6", 0) ]
+    (alarm_rules t)
+
+let test_wcet_rule () =
+  (* Bound 10 for entry 1: latency 8 passes, latency 12 faults at the
+     exit cycle; an exit for an entry with no bound is itself a
+     fault. *)
+  let ok =
+    collect ~rules:(rules_exn "wcet") ~wcet_bounds:[ (1, 10) ]
+      [ enter 2; exit_ 10 ]
+  in
+  Alcotest.(check int) "within bound: no alarms" 0
+    (List.length (Telemetry.alarms ok));
+  let over =
+    collect ~rules:(rules_exn "wcet") ~wcet_bounds:[ (1, 10) ]
+      [ enter 2; exit_ 14 ]
+  in
+  (match Telemetry.alarms over with
+   | [ a ] ->
+     Alcotest.(check string) "rule" "wcet" a.rule;
+     Alcotest.(check bool) "fault severity" true
+       (a.severity = Watchdog.Fault);
+     Alcotest.(check int) "fires at the exit cycle" 14 a.cycle;
+     Alcotest.(check (float 1e-9)) "measured latency" 12.0 a.value;
+     Alcotest.(check (float 1e-9)) "static bound" 10.0 a.threshold
+   | l -> Alcotest.failf "expected 1 alarm, got %d" (List.length l));
+  let unbounded =
+    collect ~rules:(rules_exn "wcet:warn") ~wcet_bounds:[ (1, 10) ]
+      (* entry 7 has no static bound: fault even under wcet:warn *)
+      [ (2, Event.mode_enter, 7, 0); exit_ 5 ]
+  in
+  match Telemetry.alarms unbounded with
+  | [ a ] ->
+    Alcotest.(check bool) "missing bound is a fault" true
+      (a.severity = Watchdog.Fault)
+  | l -> Alcotest.failf "expected 1 alarm, got %d" (List.length l)
+
+let test_wcet_warn_suffix () =
+  let t =
+    collect ~rules:(rules_exn "wcet:warn") ~wcet_bounds:[ (1, 10) ]
+      [ enter 2; exit_ 14 ]
+  in
+  match Telemetry.alarms t with
+  | [ a ] ->
+    Alcotest.(check bool) "warn severity" true (a.severity = Watchdog.Warn);
+    Alcotest.(check int) "not a fault alarm" 0
+      (List.length (Telemetry.fault_alarms (Telemetry.alarms t)))
+  | l -> Alcotest.failf "expected 1 alarm, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* The spec parser                                                     *)
+
+let test_spec_round_trip () =
+  let canonical =
+    [ "wcet"; "wcet:warn"; "ipc_floor:0.5"; "ipc_floor:0.5:fault";
+      "stall_share:mem_latency>0.25"; "ecc_storm:4"; "ecc_storm:4:fault";
+      "mode_residency:metal>0.9"; "mode_residency:user>0.5" ]
+  in
+  let spec = String.concat "," canonical in
+  let rules = rules_exn spec in
+  Alcotest.(check (list string))
+    "canonical specs round-trip" canonical
+    (List.map Watchdog.rule_to_string rules);
+  Alcotest.(check bool) "needs_wcet sees the wcet rule" true
+    (Watchdog.needs_wcet rules);
+  Alcotest.(check bool) "needs_wcet false without one" false
+    (Watchdog.needs_wcet (rules_exn "ecc_storm:4"))
+
+let test_spec_rejections () =
+  List.iter
+    (fun spec ->
+       match Watchdog.rules_of_string spec with
+       | Ok _ -> Alcotest.failf "spec %S accepted" spec
+       | Error _ -> ())
+    [ "bogus"; ""; "ipc_floor"; "ipc_floor:-1"; "ipc_floor:x";
+      "stall_share:nosuchcause>0.5"; "stall_share:mem_latency";
+      "ecc_storm:0"; "ecc_storm:"; "mode_residency:kernel>0.5";
+      "wcet:loud"; "wcet,," ]
+
+(* ------------------------------------------------------------------ *)
+(* Series algebra and renderings                                       *)
+
+let demo_series () =
+  Telemetry.series
+    (collect
+       [ retire 3; enter 4; retire ~metal:true 6; exit_ 8;
+         stall 12 ~cause:Event.stall_data_cache ~n:2; retire 15;
+         ecc 17; inject 21; retire 24 ])
+
+let test_merge_algebra () =
+  let s = demo_series () in
+  Alcotest.(check bool) "empty left identity" true
+    (Series.equal s (Series.merge Series.empty s));
+  Alcotest.(check bool) "empty right identity" true
+    (Series.equal s (Series.merge s Series.empty));
+  let d = Series.merge s s in
+  Alcotest.(check int) "cycles doubled" (2 * Series.total_cycles s)
+    (Series.total_cycles d);
+  Alcotest.(check int) "instructions doubled"
+    (2 * Series.total_instructions s)
+    (Series.total_instructions d);
+  Alcotest.(check int) "window count unchanged"
+    (List.length s.Series.windows)
+    (List.length d.Series.windows);
+  (* padding: a 1-window series merged with a 3-window one *)
+  let short = Telemetry.series (collect [ retire 3; retire 5 ]) in
+  let m = Series.merge short s in
+  Alcotest.(check int) "padded to the longer series"
+    (List.length s.Series.windows)
+    (List.length m.Series.windows);
+  Alcotest.(check int) "padded total sums"
+    (Series.total_cycles short + Series.total_cycles s)
+    (Series.total_cycles m);
+  (* window-size mismatch is a hard error *)
+  let other = Telemetry.series (collect ~window:16 [ retire 3 ]) in
+  match Series.merge s other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "merged series with mismatched window_cycles"
+
+let test_ndjson_round_trip () =
+  let s =
+    Series.annotate (demo_series ()) ~machine_cycles:24 ~accounted_cycles:24
+  in
+  let doc = Series.to_ndjson s in
+  match Series.of_ndjson doc with
+  | Error e -> Alcotest.fail ("ndjson does not parse: " ^ e)
+  | Ok s' ->
+    Alcotest.(check bool) "parses back equal" true (Series.equal s s');
+    Alcotest.(check string) "rendering is canonical" doc
+      (Series.to_ndjson s')
+
+let test_ndjson_rejections () =
+  let doc = Series.to_ndjson (demo_series ()) in
+  let lines = String.split_on_char '\n' doc in
+  (* drop a window line: header count no longer matches *)
+  let truncated =
+    String.concat "\n" (List.filteri (fun i _ -> i <> 1) lines)
+  in
+  (match Series.of_ndjson truncated with
+   | Ok _ -> Alcotest.fail "accepted document with a missing window"
+   | Error _ -> ());
+  match Series.of_ndjson "" with
+  | Ok _ -> Alcotest.fail "accepted empty document"
+  | Error _ -> ()
+
+let test_csv_shape () =
+  let s = demo_series () in
+  let csv = Series.to_csv s in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  Alcotest.(check int) "one header + one row per window"
+    (1 + List.length s.Series.windows)
+    (List.length lines);
+  Alcotest.(check bool) "header names the window column" true
+    (String.length (List.hd lines) > 6
+     && String.sub (List.hd lines) 0 7 = "window,")
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a real machine's window sums close over its Stats       *)
+
+let demo_src =
+  "start:\nli s0, 8\nloop:\nmenter 1\naddi s0, s0, -1\n\
+   bne s0, zero, loop\nebreak\n"
+
+let demo_mcode =
+  ".mentry 1, bump\n\
+   bump:\nwmr m11, t0\nrmr t0, m10\naddi t0, t0, 1\nwmr m10, t0\n\
+   rmr t0, m11\nmexit\n"
+
+let assemble_exn src =
+  match Metal_asm.Asm.assemble src with
+  | Ok img -> img
+  | Error e -> failwith (Metal_asm.Asm.error_to_string e)
+
+let test_end_to_end () =
+  let m = Machine.create ~config:Config.default () in
+  (match Machine.load_mcode m (assemble_exn demo_mcode) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match Machine.load_image m (assemble_exn demo_src) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  Machine.set_pc m 0;
+  let t = Telemetry.create ~window_cycles:16 () in
+  Machine.set_probe m (Telemetry.probe t);
+  (match Pipeline.run m ~max_cycles:100_000 with
+   | Some (Machine.Halt_ebreak _) -> ()
+   | Some h -> failwith (Machine.halted_to_string h)
+   | None -> failwith "no halt");
+  let s = Telemetry.series t in
+  let stats = m.Machine.stats in
+  Alcotest.(check int) "windows cover every cycle" stats.Stats.cycles
+    (Series.total_cycles s);
+  Alcotest.(check int) "windows count every retire"
+    stats.Stats.instructions
+    (Series.total_instructions s);
+  Alcotest.(check int) "eight completed round trips" 8
+    (List.fold_left
+       (fun acc (w : Series.window) -> acc + w.Series.mroutine_exits)
+       0 s.Series.windows);
+  (* every closed window carries exactly window_cycles of residency *)
+  List.iteri
+    (fun i (w : Series.window) ->
+       if i < List.length s.Series.windows - 1 then
+         Alcotest.(check int)
+           (Printf.sprintf "window %d residency" i)
+           16
+           (Series.window_cycle_count w))
+    s.Series.windows
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "windows",
+        [ Alcotest.test_case "splitting and residency" `Quick
+            test_window_split;
+          Alcotest.test_case "mode attribution" `Quick test_mode_attribution;
+          Alcotest.test_case "stalls charged at begin" `Quick
+            test_stall_charged_at_begin;
+          Alcotest.test_case "latency spans windows" `Quick
+            test_latency_spans_windows;
+          Alcotest.test_case "entry-stack overflow counted" `Quick
+            test_entry_stack_drop;
+          Alcotest.test_case "ecc/inject counters" `Quick
+            test_ecc_inject_counters ] );
+      ( "watchdog",
+        [ Alcotest.test_case "ipc_floor" `Quick test_ipc_floor_rule;
+          Alcotest.test_case "stall_share" `Quick test_stall_share_rule;
+          Alcotest.test_case "ecc_storm" `Quick test_ecc_storm_rule;
+          Alcotest.test_case "mode_residency" `Quick test_mode_residency_rule;
+          Alcotest.test_case "wcet against static bounds" `Quick
+            test_wcet_rule;
+          Alcotest.test_case "wcet severity suffix" `Quick
+            test_wcet_warn_suffix ] );
+      ( "specs",
+        [ Alcotest.test_case "canonical round-trip" `Quick
+            test_spec_round_trip;
+          Alcotest.test_case "rejections" `Quick test_spec_rejections ] );
+      ( "series",
+        [ Alcotest.test_case "merge algebra" `Quick test_merge_algebra;
+          Alcotest.test_case "ndjson round-trip" `Quick
+            test_ndjson_round_trip;
+          Alcotest.test_case "ndjson rejections" `Quick
+            test_ndjson_rejections;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "window sums close over Stats" `Quick
+            test_end_to_end ] );
+    ]

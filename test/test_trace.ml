@@ -241,6 +241,33 @@ let test_chrome_export () =
     in
     Alcotest.(check int) "six thread_name records" 6 (List.length metadata)
 
+(* Fault and ECC events render as instant events with symbolic args.
+   The exact fragments are pinned: Perfetto queries and the cram tests
+   key on these names, so a rendering change must be deliberate. *)
+let test_chrome_inject_ecc_instants () =
+  let r = Trace.Ring.create ~capacity:16 in
+  Trace.Ring.record r ~cycle:42 ~kind:Trace.Event.inject ~a:2 ~b:7;
+  Trace.Ring.record r ~cycle:43 ~kind:Trace.Event.ecc_correct ~a:1 ~b:5;
+  let s = Trace.Chrome.to_string r in
+  let contains fragment =
+    let fl = String.length fragment and sl = String.length s in
+    let rec go i =
+      i + fl <= sl && (String.sub s i fl = fragment || go (i + 1))
+    in
+    Alcotest.(check bool) (Printf.sprintf "contains %s" fragment) true (go 0)
+  in
+  contains
+    "{\"ph\": \"i\", \"pid\": 1, \"tid\": 6, \"ts\": 42, \"s\": \"t\", \
+     \"name\": \"inject\", \"args\": {\"class\": \"mreg\", \"detail\": 7}}";
+  contains
+    "{\"ph\": \"i\", \"pid\": 1, \"tid\": 4, \"ts\": 43, \"s\": \"t\", \
+     \"name\": \"ecc_correct\", \"args\": {\"structure\": \"mreg\", \
+     \"at\": 5}}";
+  (* the document still parses *)
+  match Trace.Json.parse s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("trace does not parse: " ^ e)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics algebra: [empty] is the merge identity, merge sums counters
    pointwise (min/max for the latency bounds), and the JSON rendering
@@ -301,6 +328,33 @@ let test_metrics_json () =
       "mroutine rows" (List.length mx.mroutines)
       (List.length mroutines)
 
+(* The dedicated ECC/injection counters and the entry-stack drop
+   counter: fed synthetic events, the counters must recount the stream
+   and surface in the JSON document under their own names. *)
+let test_metrics_ecc_inject_drops () =
+  let c = Trace.Collector.create ~capacity:64 () in
+  let p = Trace.Collector.probe c in
+  p 1 Trace.Event.ecc_correct 0 0;
+  p 2 Trace.Event.inject 3 0;
+  p 3 Trace.Event.ecc_correct 1 0;
+  (* 17 nested mode_enters overflow the 16-deep entry stack by one *)
+  for i = 1 to 17 do
+    p (10 + i) Trace.Event.mode_enter 1 0
+  done;
+  let mx = Trace.Collector.metrics c in
+  let open Trace.Metrics in
+  Alcotest.(check int) "ecc_corrections" 2 mx.ecc_corrections;
+  Alcotest.(check int) "injections" 1 mx.injections;
+  Alcotest.(check int) "dropped_entries" 1 mx.dropped_entries;
+  match Trace.Json.parse (Trace.Metrics.to_json mx) with
+  | Error e -> Alcotest.fail ("metrics JSON does not parse: " ^ e)
+  | Ok j ->
+    Alcotest.(check int) "json ecc_corrections" 2
+      (num_field "ecc_corrections" j);
+    Alcotest.(check int) "json injections" 1 (num_field "injections" j);
+    Alcotest.(check int) "json dropped_entries" 1
+      (num_field "dropped_entries" j)
+
 (* ------------------------------------------------------------------ *)
 (* The JSON reader itself: escapes, nesting, and offset-carrying
    errors. *)
@@ -337,10 +391,14 @@ let () =
             test_collector_small_ring ] );
       ( "chrome",
         [ Alcotest.test_case "valid JSON, monotone tracks, mode spans" `Quick
-            test_chrome_export ] );
+            test_chrome_export;
+          Alcotest.test_case "inject/ecc instants pinned" `Quick
+            test_chrome_inject_ecc_instants ] );
       ( "metrics",
         [ Alcotest.test_case "merge algebra" `Quick test_metrics_merge;
-          Alcotest.test_case "JSON round-trip" `Quick test_metrics_json ] );
+          Alcotest.test_case "JSON round-trip" `Quick test_metrics_json;
+          Alcotest.test_case "ecc/inject/drop counters" `Quick
+            test_metrics_ecc_inject_drops ] );
       ( "json",
         [ Alcotest.test_case "reader accepts/rejects" `Quick test_json_reader ] );
     ]

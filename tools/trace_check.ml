@@ -38,7 +38,19 @@
      [campaigns] array).  Each campaign must have exactly [runs]
      records, summary and per-class verdict counts that recount the
      records, and [events = applied] on every record (each applied
-     fault appears exactly once in the probe's event stream). *)
+     fault appears exactly once in the probe's event stream).
+
+   [trace_check telemetry MERGED FILE...]
+     All files are [--telemetry-out] ndjson documents (schema
+     [metal-telemetry-v1]).  Each must be internally consistent: the
+     header totals must be the sums (max, for [mroutine_max]) of the
+     per-window rows, [total_cycles] must equal the [machine_cycles]
+     annotation when one is present (the windows account for every
+     pipeline cycle), [machine_cycles] must equal [accounted_cycles]
+     when both are present, and re-rendering the parsed series must
+     reproduce the file byte-for-byte (the format is canonical).  When
+     per-job FILEs are given, merging them in argument order must
+     reproduce MERGED exactly — the fleet merge is deterministic. *)
 
 module Json = Metal_trace.Json
 
@@ -122,8 +134,21 @@ let check_metrics path =
   List.iter
     (fun f -> ignore (int_field path f j))
     [ "user_cycles"; "metal_cycles"; "user_instructions";
-      "metal_instructions"; "events_recorded"; "events_dropped" ];
+      "metal_instructions"; "ecc_corrections"; "injections";
+      "events_recorded"; "events_dropped"; "dropped_entries" ];
   let events = count_object path "events" j in
+  (* The dedicated counters are derived from the same stream as the
+     per-kind event table; a mismatch means the collector double-books. *)
+  let event_count kind =
+    match List.assoc_opt kind events with Some n -> n | None -> 0
+  in
+  List.iter
+    (fun (field, kind) ->
+       let claimed = int_field path field j in
+       if claimed <> event_count kind then
+         failf "%s: %s claims %d, events.%s says %d" path field claimed kind
+           (event_count kind))
+    [ ("ecc_corrections", "ecc_correct"); ("injections", "inject") ];
   ignore (count_object path "stall_cycles" j);
   let mroutines =
     match Json.member "mroutines" j with
@@ -418,13 +443,118 @@ let check_inject path =
     (sum (fun (_, _, _, _, d, _) -> d))
     (sum (fun (_, _, _, _, _, s) -> s))
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry ndjson                                                    *)
+
+module Series = Metal_telemetry.Telemetry.Series
+
+(* Parse the file through the library (which enforces schema, window
+   contiguity and field shapes), then re-derive every header total from
+   the window rows and compare against the header the producer wrote —
+   a divergence means the collector's accounting drifted from its own
+   windows.  Finally re-render: the format is canonical, so the bytes
+   must round-trip. *)
+let load_telemetry path =
+  let raw = read_raw path in
+  let series =
+    match Series.of_ndjson raw with
+    | Ok s -> s
+    | Error e -> failf "%s: %s" path e
+  in
+  let header =
+    match String.index_opt raw '\n' with
+    | Some i -> (
+      match Json.parse (String.sub raw 0 i) with
+      | Ok j -> j
+      | Error e -> failf "%s: header: %s" path e)
+    | None -> failf "%s: missing window lines" path
+  in
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 series.Series.windows in
+  let check field total =
+    let claimed = int_field path field header in
+    if claimed <> total then
+      failf "%s: header %s claims %d, windows sum to %d" path field claimed
+        total
+  in
+  check "total_cycles" (Series.total_cycles series);
+  check "user_cycles" (sum (fun w -> w.Series.user_cycles));
+  check "metal_cycles" (sum (fun w -> w.Series.metal_cycles));
+  check "instructions" (Series.total_instructions series);
+  check "metal_instructions" (sum (fun w -> w.Series.metal_instructions));
+  check "tlb_misses" (sum (fun w -> w.Series.tlb_misses));
+  check "flushes" (sum (fun w -> w.Series.flushes));
+  check "mode_enters" (sum (fun w -> w.Series.mode_enters));
+  check "mroutine_exits" (sum (fun w -> w.Series.mroutine_exits));
+  check "mroutine_cycles" (sum (fun w -> w.Series.mroutine_cycles));
+  check "ecc_corrections" (sum (fun w -> w.Series.ecc_corrections));
+  check "injections" (sum (fun w -> w.Series.injections));
+  let max_lat =
+    List.fold_left
+      (fun acc w -> max acc w.Series.mroutine_max)
+      0 series.Series.windows
+  in
+  let claimed_max = int_field path "mroutine_max" header in
+  if claimed_max <> max_lat then
+    failf "%s: header mroutine_max claims %d, worst window says %d" path
+      claimed_max max_lat;
+  let stall_counts = count_object path "stall_cycles" header in
+  List.iter
+    (fun (cause, claimed) ->
+       let total =
+         sum (fun w ->
+             match List.assoc_opt cause w.Series.stalls with
+             | Some n -> n
+             | None -> 0)
+       in
+       if claimed <> total then
+         failf "%s: header stall_cycles.%s claims %d, windows sum to %d"
+           path cause claimed total)
+    stall_counts;
+  (* The annotations tie the series back to the machine that produced
+     it: a halting run's windows cover every pipeline cycle, and the
+     cycle-accounting identity (Stats.accounted_cycles) must hold. *)
+  if series.Series.machine_cycles > 0
+     && Series.total_cycles series <> series.Series.machine_cycles then
+    failf "%s: windows cover %d cycles, machine ran %d" path
+      (Series.total_cycles series) series.Series.machine_cycles;
+  if series.Series.machine_cycles > 0 && series.Series.accounted_cycles > 0
+     && series.Series.machine_cycles <> series.Series.accounted_cycles then
+    failf "%s: machine_cycles %d <> accounted_cycles %d" path
+      series.Series.machine_cycles series.Series.accounted_cycles;
+  if Series.to_ndjson series <> raw then
+    failf "%s: re-rendering the parsed series does not reproduce the file \
+           — the ndjson writer is not canonical" path;
+  series
+
+let check_telemetry merged parts =
+  let m = load_telemetry merged in
+  let part_series = List.map load_telemetry parts in
+  if parts <> [] then begin
+    let remerged =
+      List.fold_left Series.merge Series.empty part_series
+    in
+    if Series.to_ndjson remerged <> read_raw merged then
+      failf
+        "%s: merging %d per-job series in index order does not reproduce \
+         the merged artifact — fleet merge is non-deterministic"
+        merged (List.length parts)
+  end;
+  Printf.printf
+    "%s: ok (%d windows x %d cycles, %d cycles, header totals recounted%s)\n"
+    merged
+    (List.length m.Series.windows)
+    m.Series.window_cycles (Series.total_cycles m)
+    (if parts = [] then ""
+     else Printf.sprintf ", merge of %d reproduced" (List.length parts))
+
 let usage () =
   prerr_endline
     "usage: trace_check chrome FILE\n\
     \       trace_check metrics FILE\n\
     \       trace_check profile MERGED [FILE...]\n\
     \       trace_check bench BASELINE FRESH [--tolerance PCT]\n\
-    \       trace_check inject FILE";
+    \       trace_check inject FILE\n\
+    \       trace_check telemetry MERGED [FILE...]";
   exit 2
 
 let () =
@@ -442,4 +572,5 @@ let () =
     in
     check_bench baseline fresh tolerance
   | _ :: "inject" :: files when files <> [] -> List.iter check_inject files
+  | _ :: "telemetry" :: merged :: parts -> check_telemetry merged parts
   | _ -> usage ()
