@@ -191,14 +191,15 @@ nowrap:
 
 type pt_mode = Pt_metal | Pt_hw | Pt_palcode
 
-let pt_run ?(predecode = Config.default.Config.predecode) ~pages ~accesses
+let pt_run ?(predecode = Config.default.Config.predecode)
+    ?(blockcache = Config.default.Config.blockcache) ~pages ~accesses
     mode =
   let config =
     match mode with
     | Pt_palcode -> Config.palcode
     | Pt_metal | Pt_hw -> Config.default
   in
-  let config = { config with Config.predecode } in
+  let config = { config with Config.predecode; blockcache } in
   let m = machine ~config () in
   (match Pagetable.install m { Pagetable.os_fault_entry = 0 } with
    | Ok () -> ()
@@ -603,11 +604,12 @@ hdone:
     Layout.uintr_ret nic_base
 
 let uintr_run ?(predecode = Config.default.Config.predecode)
+    ?(blockcache = Config.default.Config.blockcache)
     ?(packets = uintr_packets) ~period mode =
   let schedule =
     Metal_hw.Devices.Nic.Periodic { start = 100; period; count = packets }
   in
-  let config = { Config.default with Config.predecode } in
+  let config = { Config.default with Config.predecode; blockcache } in
   let sys = Metal_core.System.create ~config ~nic_schedule:schedule () in
   let m = sys.Metal_core.System.machine in
   let prog =
@@ -990,32 +992,52 @@ let sidechannel () =
 (* ------------------------------------------------------------------ *)
 (* Simulator throughput: simulated instructions per host second        *)
 
-(* Three long workloads, each run with the predecode cache on and off
-   (Config.predecode).  The off position is the ablation/correctness
-   oracle — the decode-every-fetch hot loop — so the ratio is the
-   speedup the predecode fast path buys.  With --json the results land
-   in BENCH_sim_throughput.json. *)
+(* Three long workloads, each run through the three steppers: the slow
+   option-latch oracle (predecode off), the predecode fast path, and
+   the block-translation cache on top of it.  The slow position is the
+   ablation/correctness oracle — the decode-every-fetch hot loop — and
+   the two ratios are the speedups each layer buys.  With --json the
+   results (plus the merged block-cache counters of the blocks-on
+   runs) land in BENCH_sim_throughput.json. *)
 
 let retired m = m.Machine.stats.Stats.instructions
 
+type sim_mode = M_slow | M_pre | M_blocks
+
+let sim_mode_flags = function
+  | M_slow -> (false, false)
+  | M_pre -> (true, false)
+  | M_blocks -> (true, true)
+
+(* Pointwise sum of two [Blockcache.stats_fields] lists (canonical
+   order, so the empty list acts as the identity). *)
+let merge_fields a b =
+  if a = [] then b else List.map2 (fun (k, v) (_, v') -> (k, v + v')) a b
+
+let bc_fields m = Blockcache.stats_fields m.Machine.blockcache
+
 (* E6-shaped workload: the mcode TLB-miss walker sweep (paging on,
    Metal-mode fetches, physld-heavy mroutines). *)
-let simperf_walker ~predecode () =
+let simperf_walker ~mode () =
+  let predecode, blockcache = sim_mode_flags mode in
   List.fold_left
-    (fun acc pages ->
-       let m = pt_run ~predecode ~pages ~accesses:6000 Pt_metal in
-       acc + retired m)
-    0
+    (fun (acc, st) pages ->
+       let m = pt_run ~predecode ~blockcache ~pages ~accesses:6000 Pt_metal in
+       (acc + retired m, merge_fields st (bc_fields m)))
+    (0, [])
     [ 16; 32; 64; 96 ]
 
 (* E8-shaped workload: the NIC packet sweep under user-level
    interrupts (device ticks, interrupt delivery, handler drains). *)
-let simperf_nic ~predecode () =
+let simperf_nic ~mode () =
+  let predecode, blockcache = sim_mode_flags mode in
   List.fold_left
-    (fun acc period ->
-       let m, _ = uintr_run ~predecode ~packets:400 ~period `Uintr in
-       acc + retired m)
-    0
+    (fun (acc, st) period ->
+       let m, _ =
+         uintr_run ~predecode ~blockcache ~packets:400 ~period `Uintr
+       in
+       (acc + retired m, merge_fields st (bc_fields m)))
+    (0, [])
     [ 250; 500; 1000; 2000 ]
 
 (* Differential-style random programs: straight-line ALU/memory/branch
@@ -1103,41 +1125,92 @@ let simperf_random_programs =
          in
          image_of (prologue @ body @ epilogue)))
 
-let simperf_random ~predecode () =
-  let config = { Config.default with Config.predecode } in
+let simperf_random ~mode () =
+  let predecode, blockcache = sim_mode_flags mode in
+  let config = { Config.default with Config.predecode; blockcache } in
   List.fold_left
-    (fun acc img ->
+    (fun (acc, st) img ->
        let m = machine ~config () in
        (match Machine.load_image m img with
         | Ok () -> ()
         | Error e -> fail "%s" e);
        Machine.set_pc m 0;
        run_to_ebreak m;
-       acc + retired m)
-    0
+       (acc + retired m, merge_fields st (bc_fields m)))
+    (0, [])
     (Lazy.force simperf_random_programs)
 
 let time_once f =
+  (* Drain pending collection work so GC pauses from the previous
+     round's garbage don't land inside the timed region. *)
+  Gc.minor ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
 (* The workloads are deterministic, so the minimum over several rounds
-   is the least noise-contaminated estimate; interleaving the on/off
-   configurations keeps slow host-load drift from biasing the ratio. *)
-let timed_pair run =
-  let rounds = 3 in
-  let n_on = ref 0 and n_off = ref 0 in
-  let t_on = ref infinity and t_off = ref infinity in
+   is the least noise-contaminated estimate; interleaving the three
+   configurations keeps slow host-load drift from biasing the ratios.
+   Returns the per-mode (instructions, best seconds) plus the
+   block-cache counters of one blocks-on round. *)
+let timed_sweep run =
+  let rounds = 9 in
+  let n = Array.make 3 0 and t = Array.make 3 infinity in
+  let stats = ref [] in
   for _ = 1 to rounds do
-    let n, t = time_once (run ~predecode:true) in
-    n_on := n;
-    if t < !t_on then t_on := t;
-    let n, t = time_once (run ~predecode:false) in
-    n_off := n;
-    if t < !t_off then t_off := t
+    List.iteri
+      (fun i mode ->
+         let (count, st), secs = time_once (run ~mode) in
+         n.(i) <- count;
+         if secs < t.(i) then t.(i) <- secs;
+         if mode = M_blocks then stats := st)
+      [ M_blocks; M_pre; M_slow ]
   done;
-  (!n_on, !t_on, !n_off, !t_off)
+  (n, t, !stats)
+
+(* Allocation gate: replaying a hot, chained block must not allocate —
+   the compiled loop runs on integers and pre-built slot records.  A
+   counted tight loop (~1.4M cycles of chained block replay) is run
+   once to warm the host, then again on a fresh machine under a
+   minor-heap watch.  The budget of 0.05 words/cycle amortizes the
+   one-time block build and engage-time bookkeeping (window
+   descriptors, chain patches) while failing on any per-cycle boxing
+   that sneaks into [compiled_cycle]. *)
+let simperf_alloc_gate () =
+  let prog =
+    {|
+    li s0, 0
+    li s1, 200000
+loop:
+    addi s0, s0, 1
+    addi t0, s0, 7
+    xor t1, t0, s0
+    slt t2, t1, s1
+    bne s0, s1, loop
+    ebreak
+|}
+  in
+  let m = machine () in
+  ignore (load m prog);
+  Machine.set_pc m 0;
+  run_to_ebreak m;
+  let m2 = machine () in
+  ignore (load m2 prog);
+  Machine.set_pc m2 0;
+  let w0 = Gc.minor_words () in
+  run_to_ebreak m2;
+  let dw = Gc.minor_words () -. w0 in
+  let cycles = m2.Machine.stats.Stats.cycles in
+  let per_cycle = dw /. float_of_int cycles in
+  Printf.printf
+    "allocation gate: %.0f minor words / %d cycles = %.4f words per cycle\n"
+    dw cycles per_cycle;
+  if per_cycle > 0.05 then
+    fail
+      "block replay allocates %.4f minor words per cycle (budget 0.05) — \
+       boxing leaked into the compiled loop"
+      per_cycle;
+  per_cycle
 
 let simperf_json = ref false
 
@@ -1149,48 +1222,85 @@ let simperf () =
       ("random_programs", simperf_random) ]
   in
   (* Touch every code path once so timing excludes cold-start work. *)
-  ignore (pt_run ~predecode:true ~pages:4 ~accesses:50 Pt_metal);
-  ignore (pt_run ~predecode:false ~pages:4 ~accesses:50 Pt_metal);
-  Printf.printf "%-18s %12s %11s %11s %9s\n" "workload" "sim instrs"
-    "Minstr/s on" "Minstr/s off" "speedup";
+  List.iter
+    (fun mode ->
+       let predecode, blockcache = sim_mode_flags mode in
+       ignore (pt_run ~predecode ~blockcache ~pages:4 ~accesses:50 Pt_metal))
+    [ M_blocks; M_pre; M_slow ];
+  Printf.printf "%-18s %12s %9s %9s %9s %8s %8s\n" "workload" "sim instrs"
+    "blocks" "predec" "slow" "blk/pre" "pre/slow";
   let results =
     List.map
       (fun (name, run) ->
-         let n_on, t_on, n_off, t_off = timed_pair run in
-         if n_on <> n_off then
-           fail "%s: instruction counts diverge with predecode (%d vs %d)"
-             name n_on n_off;
-         let ips_on = float_of_int n_on /. t_on in
-         let ips_off = float_of_int n_off /. t_off in
-         let speedup = ips_on /. ips_off in
-         Printf.printf "%-18s %12d %11.2f %11.2f %8.2fx\n" name n_on
-           (ips_on /. 1e6) (ips_off /. 1e6) speedup;
-         (name, n_on, t_on, t_off, ips_on, ips_off, speedup))
+         let n, t, stats = timed_sweep run in
+         if n.(0) <> n.(1) || n.(1) <> n.(2) then
+           fail
+             "%s: instruction counts diverge across steppers \
+              (blocks %d, predecode %d, slow %d)"
+             name n.(0) n.(1) n.(2);
+         let ips i = float_of_int n.(i) /. t.(i) in
+         let blk_pre = ips 0 /. ips 1 and pre_slow = ips 1 /. ips 2 in
+         Printf.printf "%-18s %12d %9.2f %9.2f %9.2f %7.2fx %7.2fx\n" name
+           n.(0) (ips 0 /. 1e6) (ips 1 /. 1e6) (ips 2 /. 1e6) blk_pre
+           pre_slow;
+         if Sys.getenv_opt "SIMPERF_STATS" <> None then begin
+           Printf.printf "  %s:" name;
+           List.iter
+             (fun (k, v) -> if v > 0 then Printf.printf " %s=%d" k v)
+             stats;
+           print_newline ()
+         end;
+         (name, n.(0), t, (ips 0, ips 1, ips 2), blk_pre, pre_slow, stats))
       workloads
   in
-  let geomean =
+  let geomean f =
     exp
-      (List.fold_left (fun a (_, _, _, _, _, _, s) -> a +. log s) 0.0 results
+      (List.fold_left (fun a r -> a +. log (f r)) 0.0 results
        /. float_of_int (List.length results))
   in
-  Printf.printf "\ngeometric-mean speedup from the predecode cache: %.2fx\n"
-    geomean;
+  let geo_blk = geomean (fun (_, _, _, _, s, _, _) -> s) in
+  let geo_pre = geomean (fun (_, _, _, _, _, s, _) -> s) in
+  Printf.printf
+    "\ngeometric-mean speedup: block cache over predecode %.2fx, \
+     predecode over slow %.2fx\n"
+    geo_blk geo_pre;
+  let stats =
+    List.fold_left
+      (fun acc (_, _, _, _, _, _, st) -> merge_fields acc st)
+      [] results
+  in
+  Printf.printf "block cache:";
+  List.iter (fun (k, v) -> if v > 0 then Printf.printf " %s=%d" k v) stats;
+  print_newline ();
+  let alloc_per_cycle = simperf_alloc_gate () in
   if !simperf_json then begin
     let oc = open_out "BENCH_sim_throughput.json" in
     Printf.fprintf oc "{\n  \"benchmark\": \"sim_throughput\",\n";
     Printf.fprintf oc "  \"unit\": \"simulated instructions per host second\",\n";
     Printf.fprintf oc "  \"workloads\": [\n";
     List.iteri
-      (fun i (name, n, t_on, t_off, ips_on, ips_off, speedup) ->
+      (fun i (name, n, t, (ips_b, ips_p, ips_s), blk_pre, pre_slow, _) ->
          Printf.fprintf oc
            "    {\"name\": %S, \"instructions\": %d,\n\
+           \     \"blocks_on\": {\"seconds\": %.6f, \"ips\": %.0f},\n\
            \     \"predecode_on\": {\"seconds\": %.6f, \"ips\": %.0f},\n\
-           \     \"predecode_off\": {\"seconds\": %.6f, \"ips\": %.0f},\n\
-           \     \"speedup\": %.3f}%s\n"
-           name n t_on ips_on t_off ips_off speedup
+           \     \"slow\": {\"seconds\": %.6f, \"ips\": %.0f},\n\
+           \     \"speedup_blocks\": %.3f, \"speedup_predecode\": %.3f}%s\n"
+           name n t.(0) ips_b t.(1) ips_p t.(2) ips_s blk_pre pre_slow
            (if i = List.length results - 1 then "" else ","))
       results;
-    Printf.fprintf oc "  ],\n  \"geomean_speedup\": %.3f\n}\n" geomean;
+    Printf.fprintf oc "  ],\n  \"blockcache\": {";
+    List.iteri
+      (fun i (k, v) ->
+         Printf.fprintf oc "%s\"%s\": %d" (if i > 0 then ", " else "") k v)
+      stats;
+    Printf.fprintf oc "},\n";
+    Printf.fprintf oc "  \"replay_minor_words_per_cycle\": %.4f,\n"
+      alloc_per_cycle;
+    Printf.fprintf oc
+      "  \"geomean_blocks_speedup\": %.3f,\n\
+      \  \"geomean_predecode_speedup\": %.3f\n}\n"
+      geo_blk geo_pre;
     close_out oc;
     print_endline "wrote BENCH_sim_throughput.json"
   end
@@ -1248,8 +1358,8 @@ let fleet () =
   Printf.printf "%d jobs (E6 walker / E8 NIC / random programs); host cores: %d\n\n"
     (List.length works)
     (Domain.recommended_domain_count ());
-  Printf.printf "%8s %10s %12s %10s %11s\n" "domains" "seconds" "sim instrs"
-    "Minstr/s" "speedup";
+  Printf.printf "%8s %9s %10s %12s %10s %11s\n" "domains" "effective"
+    "seconds" "sim instrs" "Minstr/s" "speedup";
   let rows =
     List.map
       (fun domains ->
@@ -1276,14 +1386,14 @@ let fleet () =
          end;
          let instrs = Array.fold_left (fun a (n, _) -> a + n) 0 !results in
          let ips = float_of_int instrs /. !best_t in
-         (domains, !best_t, instrs, ips))
+         (domains, Fleet.effective_domains domains, !best_t, instrs, ips))
       domain_counts
   in
-  let _, _, _, ips1 = List.hd rows in
+  let _, _, _, _, ips1 = List.hd rows in
   List.iter
-    (fun (domains, t, instrs, ips) ->
-       Printf.printf "%8d %10.3f %12d %10.2f %10.2fx\n" domains t instrs
-         (ips /. 1e6) (ips /. ips1))
+    (fun (domains, effective, t, instrs, ips) ->
+       Printf.printf "%8d %9d %10.3f %12d %10.2f %10.2fx\n" domains
+         effective t instrs (ips /. 1e6) (ips /. ips1))
     rows;
   print_endline
     "\nper-job Stats are bit-identical across all domain counts (verified\n\
@@ -1304,11 +1414,12 @@ let fleet () =
     Printf.fprintf oc "  \"deterministic_across_domain_counts\": true,\n";
     Printf.fprintf oc "  \"domain_sweep\": [\n";
     List.iteri
-      (fun i (domains, t, instrs, ips) ->
+      (fun i (domains, effective, t, instrs, ips) ->
          Printf.fprintf oc
-           "    {\"domains\": %d, \"seconds\": %.6f, \"instructions\": %d, \
-            \"ips\": %.0f, \"speedup_vs_1\": %.3f}%s\n"
-           domains t instrs ips (ips /. ips1)
+           "    {\"domains_requested\": %d, \"domains_effective\": %d, \
+            \"seconds\": %.6f, \"instructions\": %d, \"ips\": %.0f, \
+            \"speedup_vs_1\": %.3f}%s\n"
+           domains effective t instrs ips (ips /. ips1)
            (if i = List.length rows - 1 then "" else ","))
       rows;
     Printf.fprintf oc "  ]\n}\n";

@@ -89,11 +89,16 @@ let write_telemetry ~path series =
   in
   write_file path data
 
-let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
-    regs trace_out metrics_out profile_out telemetry_out telemetry_window
-    watch =
+let run_bare path mcode_path origin max_cycles palcode ecc no_blocks verify
+    report trace regs trace_out metrics_out profile_out telemetry_out
+    telemetry_window watch =
   let base = if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default in
-  let config = { base with Metal_cpu.Config.trace; ecc } in
+  let config =
+    { base with
+      Metal_cpu.Config.trace;
+      ecc;
+      blockcache = base.Metal_cpu.Config.blockcache && not no_blocks }
+  in
   let sys = Metal_core.System.create ~config () in
   let collector =
     if trace_out <> None || metrics_out <> None then
@@ -189,6 +194,18 @@ let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
     end;
     Format.printf "stats: %a@."
       Metal_cpu.Stats.pp sys.Metal_core.System.machine.Metal_cpu.Machine.stats;
+    (* Host-side stepper cache counters (predecode + block cache) —
+       simulator performance, not architecture, so they live outside
+       Stats.  Zero entries are noise; print only what moved. *)
+    (match
+       List.filter (fun (_, v) -> v <> 0)
+         (Metal_cpu.Machine.cache_counters sys.Metal_core.System.machine)
+     with
+     | [] -> ()
+     | live ->
+       print_string "caches:";
+       List.iter (fun (k, v) -> Printf.printf " %s=%d" k v) live;
+       print_newline ());
     if trace then begin
       print_endline "trace (last 40 events):";
       List.iter
@@ -206,7 +223,11 @@ let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
        (match metrics_out with
         | Some f ->
           write_file f
-            (Metal_trace.Metrics.to_json (Metal_trace.Collector.metrics c));
+            (Metal_trace.Metrics.to_json
+               ~caches:
+                 (Metal_cpu.Machine.cache_counters
+                    sys.Metal_core.System.machine)
+               (Metal_trace.Collector.metrics c));
           Printf.printf "metrics: %s\n" f
         | None -> ());
        Format.printf "%a@." Metal_trace.Metrics.pp
@@ -270,13 +291,17 @@ let run_bare path mcode_path origin max_cycles palcode ecc verify report trace
    Observability flags are threaded through: [--regs] dumps per-job
    registers, [--trace-out F] writes one Chrome trace per job
    (F.<index>), [--metrics-out F] writes the fleet-merged metrics. *)
-let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
-    trace_out metrics_out profile_out telemetry_out telemetry_window watch
-    jobs =
+let run_batch paths mcode_path origin max_cycles palcode ecc no_blocks verify
+    report regs trace_out metrics_out profile_out telemetry_out
+    telemetry_window watch jobs =
   let base =
     if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
   in
-  let base = { base with Metal_cpu.Config.ecc } in
+  let base =
+    { base with
+      Metal_cpu.Config.ecc;
+      blockcache = base.Metal_cpu.Config.blockcache && not no_blocks }
+  in
   let mcode = Option.map read_file mcode_path in
   (* Verify the shared mcode once up front, not once per job; the
      report's WCET bounds feed every job's wcet watchdog. *)
@@ -393,8 +418,8 @@ let run_batch paths mcode_path origin max_cycles palcode ecc verify report regs
 (* Fault-injection campaigns: each program becomes a campaign workload
    (oracle run + [runs] seeded injected runs on the fleet), with a
    human verdict summary per program and optional verdict JSON. *)
-let run_inject paths mcode_path origin max_cycles palcode ecc verify report
-    spec_str inject_out jobs =
+let run_inject paths mcode_path origin max_cycles palcode ecc no_blocks verify
+    report spec_str inject_out jobs =
   match Metal_inject.Inject.spec_of_string spec_str with
   | Error e ->
     Printf.eprintf "metal-run: --inject %s\n" e;
@@ -403,7 +428,11 @@ let run_inject paths mcode_path origin max_cycles palcode ecc verify report
     let base =
       if palcode then Metal_cpu.Config.palcode else Metal_cpu.Config.default
     in
-    let base = { base with Metal_cpu.Config.ecc } in
+    let base =
+      { base with
+        Metal_cpu.Config.ecc;
+        blockcache = base.Metal_cpu.Config.blockcache && not no_blocks }
+    in
     let mcode = Option.map read_file mcode_path in
     (* Verify the shared mcode once up front, not once per run. *)
     let precheck =
@@ -468,9 +497,9 @@ let run_inject paths mcode_path origin max_cycles palcode ecc verify report
          paths;
        if !failures = 0 then 0 else 1)
 
-let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
-    regs os jobs trace_out metrics_out profile_out inject inject_out
-    telemetry_out telemetry_window watch =
+let run paths mcode_path origin max_cycles palcode ecc no_blocks report
+    no_verify trace regs os jobs trace_out metrics_out profile_out inject
+    inject_out telemetry_out telemetry_window watch =
   let verify = not no_verify in
   let watch_rules =
     match watch with
@@ -505,7 +534,8 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
   | _ when (match jobs with Some j -> j <= 0 | None -> false) ->
     Printf.eprintf
       "metal-run: --jobs %d: the domain count must be positive (omit \
-       --jobs to let the fleet pick one domain per core, capped at 8)\n"
+       --jobs to let the fleet pick one domain per core; requests above \
+       the core count are clamped)\n"
       (Option.get jobs);
     1
   | _ when report && no_verify ->
@@ -549,13 +579,13 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
        owns the machine)";
     1
   | paths when inject <> None ->
-    run_inject paths mcode_path origin max_cycles palcode ecc verify report
-      (Option.get inject) inject_out jobs
+    run_inject paths mcode_path origin max_cycles palcode ecc no_blocks verify
+      report (Option.get inject) inject_out jobs
   | [ path ] when jobs = None ->
     if os then run_os path max_cycles
     else
-      run_bare path mcode_path origin max_cycles palcode ecc verify report
-        trace regs trace_out metrics_out profile_out telemetry_out
+      run_bare path mcode_path origin max_cycles palcode ecc no_blocks verify
+        report trace regs trace_out metrics_out profile_out telemetry_out
         telemetry_window
         (Result.value ~default:[] watch_rules)
   | paths ->
@@ -570,8 +600,9 @@ let run paths mcode_path origin max_cycles palcode ecc report no_verify trace
       1
     end
     else
-      run_batch paths mcode_path origin max_cycles palcode ecc verify report
-        regs trace_out metrics_out profile_out telemetry_out telemetry_window
+      run_batch paths mcode_path origin max_cycles palcode ecc no_blocks
+        verify report regs trace_out metrics_out profile_out telemetry_out
+        telemetry_window
         (Result.value ~default:[] watch_rules)
         jobs
 
@@ -610,6 +641,14 @@ let ecc =
                fault.  Off by default; without faults an ECC run is \
                architecturally identical to a plain one.")
 
+let no_blocks =
+  Arg.(value & flag & info [ "no-blocks" ]
+         ~doc:"Disable the basic-block translation cache and run the \
+               per-cycle fast stepper instead.  The block stepper is \
+               bit-identical in results (it only changes simulator \
+               throughput), so this is an escape hatch for debugging \
+               the simulator itself and for timing comparisons.")
+
 let verify_report =
   Arg.(value & flag & info [ "verify" ]
          ~doc:"Print the mcode verifier's full report (per-entry WCET \
@@ -642,8 +681,9 @@ let jobs =
          ~doc:"Batch the given programs over $(docv) simulation \
                domains on the fleet runner ($(docv) must be positive; \
                omitted = single-program mode for one file, else one \
-               domain per core, capped at 8).  Per-program results \
-               are independent of $(docv).")
+               domain per core; requests above the core count are \
+               clamped).  Per-program results are independent of \
+               $(docv).")
 
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -717,8 +757,8 @@ let cmd =
   Cmd.v
     (Cmd.info "metal-run" ~doc:"Run a program on the Metal processor")
     Term.(const run $ paths $ mcode $ origin $ max_cycles $ palcode $ ecc
-          $ verify_report $ no_verify $ trace $ regs $ os $ jobs $ trace_out
-          $ metrics_out $ profile_out $ inject $ inject_out $ telemetry_out
-          $ telemetry_window $ watch)
+          $ no_blocks $ verify_report $ no_verify $ trace $ regs $ os $ jobs
+          $ trace_out $ metrics_out $ profile_out $ inject $ inject_out
+          $ telemetry_out $ telemetry_window $ watch)
 
 let () = exit (Cmd.eval' cmd)

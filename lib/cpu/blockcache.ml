@@ -1,0 +1,245 @@
+(* Basic-block translation cache: phys-addr-keyed superblocks of
+   predecoded straight-line code, executed block-at-a-time by
+   [Pipeline.step_block].  The cache itself is pure bookkeeping — the
+   block builder and the compiled stepper live in [Pipeline], next to
+   the stage functions they must stay bit-identical with.  Like
+   [Predecode], the type is parameterised over the uop so [Machine]
+   can embed one without a dependency cycle.
+
+   Invalidation mirrors the predecode cache's version counters and
+   refines them with a per-4KiB-page generation: a pipeline store
+   bumps its page's generation (and pre-bumps [phys_synced], exactly
+   like [Predecode.note_phys_store]), so a block is valid iff its
+   page generation still matches.  Any unannounced memory or MRAM
+   version drift (DMA, host pokes, mcode reload) flushes everything,
+   exactly like predecode slots. *)
+
+(* Slot classes, in dispatch order.  Body classes first; the three
+   control-flow classes terminate a block. *)
+let cls_op = 0
+let cls_op_imm = 1
+let cls_lui = 2
+let cls_auipc = 3
+let cls_load = 4
+let cls_store = 5
+let cls_fence = 6
+let cls_branch = 7
+let cls_jal = 8
+let cls_jalr = 9
+
+type 'u slot = {
+  cls : int;
+  rd : int;
+  rs1 : int;
+  rs2 : int;
+  imm : Word.t;
+      (* offset (load/store/branch/jalr), shifted immediate
+         (lui/auipc), or operand immediate (op_imm) *)
+  op : Instr.alu_op;  (* op/op_imm only; Add elsewhere *)
+  cond : Instr.branch_cond;  (* branch only; Beq elsewhere *)
+  width : Instr.mem_width;
+  unsigned : bool;
+  amask : int;  (* load/store alignment mask *)
+  wbytes : int;  (* load/store width in bytes *)
+  at_mem : bool;  (* result only available after MEM (loads) *)
+  conflict_prev : bool;
+      (* load-use interlock against the preceding slot *)
+  word : Word.t;
+  instr : Instr.t;
+  uop : 'u;
+  (* Taken successor of this slot (branches and jalr), patched in once
+     the target translates.  Per slot because a superblock runs
+     through not-taken branches, so one block can hold several taken
+     edges with distinct targets. *)
+  mutable chain : 'u block option;
+}
+
+and 'u block = {
+  pbase : int;  (* physical address of slot 0 *)
+  page : int;  (* pbase lsr 12; a block never crosses a page *)
+  n : int;  (* 0 marks an address where no block can start *)
+  slots : 'u slot array;
+  term : int;  (* cls of the final slot when it is control flow, -1 *)
+  built_page_gen : int;
+  built_epoch : int;
+  (* Per-block inline 1-entry data TLB: caches the last data page this
+     block touched.  Validity is re-proved from the snapshot fields
+     before every use. *)
+  mutable dtlb_vpn : int;
+  mutable dtlb_base : int;  (* ppn lsl 12 *)
+  mutable dtlb_load_ok : bool;
+  mutable dtlb_store_ok : bool;
+  mutable dtlb_gen : int;  (* Tlb generation at fill *)
+  mutable dtlb_asid : int;
+  mutable dtlb_perms : Word.t;  (* pkey_perms at fill *)
+}
+
+(* Bailout / exit causes, indexed into [bail].  The first group are
+   reasons the stepper fell back to [step_fast] for a cycle; the last
+   three are how compiled runs end (kept in the same table so the
+   bench can show one breakdown). *)
+let bail_probe = 0
+let bail_stall = 1
+let bail_fetch = 2
+let bail_metal = 3
+let bail_timer = 4
+let bail_icept = 5
+let bail_irq = 6
+let bail_tlb = 7
+let bail_unbuildable = 8
+let bail_window = 9
+let bail_version = 10
+let bail_deadline = 11
+let bail_mem = 12
+let exit_jump = 13
+let exit_fallthrough = 14
+let exit_taken = 15
+let bail_count = 16
+
+let bail_name = function
+  | 0 -> "probe"
+  | 1 -> "stall"
+  | 2 -> "fetch"
+  | 3 -> "metal"
+  | 4 -> "timer"
+  | 5 -> "icept"
+  | 6 -> "irq"
+  | 7 -> "tlb"
+  | 8 -> "unbuildable"
+  | 9 -> "window"
+  | 10 -> "version"
+  | 11 -> "deadline"
+  | 12 -> "mem"
+  | 13 -> "exit_jump"
+  | 14 -> "exit_fallthrough"
+  | 15 -> "exit_taken"
+  | _ -> invalid_arg "Blockcache.bail_name"
+
+type 'u t = {
+  tbl : (int, 'u block) Hashtbl.t;
+  page_gens : int array;
+  mutable epoch : int;
+  mutable phys_synced : int;
+  mutable mram_synced : int;
+  (* chain bookkeeping: the block whose taken exit just redirected,
+     the slot that redirected, and the target pc its successor must
+     engage at *)
+  mutable chain_src : 'u block option;
+  mutable chain_src_pc : int;
+  mutable chain_src_vbase : int;
+  mutable chain_src_i : int;
+  (* fall-through bookkeeping: the block that just drained off its own
+     end, so the next engage can resume compiled in its successor *)
+  mutable fall_src : 'u block option;
+  mutable fall_vbase : int;
+  (* counters *)
+  mutable blocks_built : int;
+  mutable lookups : int;
+  mutable lookup_hits : int;
+  mutable chain_hits : int;
+  mutable fall_hits : int;
+  mutable flushes : int;
+  mutable invalidations : int;
+  mutable engagements : int;  (* compiled windows entered *)
+  mutable block_cycles : int;  (* cycles retired by the compiled loop *)
+  bail : int array;
+}
+
+let max_blocks = 4096
+
+let create ~pages =
+  if pages <= 0 then invalid_arg "Blockcache.create: pages must be positive";
+  {
+    tbl = Hashtbl.create 256;
+    page_gens = Array.make pages 0;
+    epoch = 0;
+    phys_synced = 0;
+    mram_synced = 0;
+    chain_src = None;
+    chain_src_pc = -1;
+    chain_src_vbase = -1;
+    chain_src_i = -1;
+    fall_src = None;
+    fall_vbase = -1;
+    blocks_built = 0;
+    lookups = 0;
+    lookup_hits = 0;
+    chain_hits = 0;
+    fall_hits = 0;
+    flushes = 0;
+    invalidations = 0;
+    engagements = 0;
+    block_cycles = 0;
+    bail = Array.make bail_count 0;
+  }
+
+let page_gen t ~page =
+  if page >= 0 && page < Array.length t.page_gens then t.page_gens.(page)
+  else 0
+
+(* A block is valid while nothing on its page changed since it was
+   built (and no global flush happened).  Empty blocks are valid in
+   the same sense — they cache the fact that no block starts there. *)
+let valid t (b : 'u block) =
+  b.built_epoch = t.epoch && b.built_page_gen = page_gen t ~page:b.page
+
+let usable t (b : 'u block) = b.n > 0 && valid t b
+
+let flush t =
+  Hashtbl.reset t.tbl;
+  t.epoch <- t.epoch + 1;
+  t.chain_src <- None;
+  t.fall_src <- None;
+  t.flushes <- t.flushes + 1
+
+let sync_phys t ~version =
+  if t.phys_synced <> version then begin
+    flush t;
+    t.phys_synced <- version
+  end
+
+let sync_mram t ~version =
+  if t.mram_synced <> version then begin
+    flush t;
+    t.mram_synced <- version
+  end
+
+(* A pipeline store into RAM: invalidate every block on the written
+   page by bumping its generation, and pre-bump [phys_synced] so the
+   next [sync_phys] does not flush the world (the store already bumped
+   [Phys_mem.version], mirroring [Predecode.note_phys_store]). *)
+let note_phys_store t ~addr =
+  let page = addr lsr 12 in
+  if page >= 0 && page < Array.length t.page_gens then begin
+    t.page_gens.(page) <- t.page_gens.(page) + 1;
+    t.invalidations <- t.invalidations + 1
+  end;
+  t.phys_synced <- t.phys_synced + 1
+
+let find t ~pa =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.tbl pa with
+  | Some b when valid t b ->
+    t.lookup_hits <- t.lookup_hits + 1;
+    Some b
+  | Some _ | None -> None
+
+let add t (b : 'u block) =
+  if Hashtbl.length t.tbl >= max_blocks then flush t;
+  Hashtbl.replace t.tbl b.pbase b;
+  t.blocks_built <- t.blocks_built + 1
+
+let bail t cause = t.bail.(cause) <- t.bail.(cause) + 1
+
+(* Uniform counter export for the metrics layer and the bench. *)
+let stats_fields t =
+  [ ("blocks_built", t.blocks_built);
+    ("lookups", t.lookups);
+    ("lookup_hits", t.lookup_hits);
+    ("chain_hits", t.chain_hits);
+    ("fall_hits", t.fall_hits);
+    ("flushes", t.flushes);
+    ("invalidations", t.invalidations);
+    ("engagements", t.engagements);
+    ("block_cycles", t.block_cycles) ]
+  @ List.init bail_count (fun i -> ("bail_" ^ bail_name i, t.bail.(i)))

@@ -1,0 +1,141 @@
+(** Basic-block translation cache.
+
+    Caches superblocks — runs of predecoded uops extending through
+    not-taken conditional branches and ending at an unconditional
+    control transfer (jal/jalr) or metal-only instruction — keyed by
+    the physical address of their first instruction.  [Pipeline] builds
+    the blocks and executes them with its compiled block stepper; this
+    module owns storage, invalidation, chaining bookkeeping, and the
+    counters surfaced by the metrics exporter and [bench simperf].
+
+    Invalidation reuses the predecode cache's discipline: version
+    counters against [Phys_mem.version] / [Mram.version] flush
+    everything on unannounced drift, while a pipeline store announced
+    through [note_phys_store] invalidates only the blocks on the
+    written 4KiB page (and pre-bumps the phys counter exactly like
+    [Predecode.note_phys_store]). *)
+
+(** Slot classes ([slot.cls]); the last three terminate a block. *)
+
+val cls_op : int
+val cls_op_imm : int
+val cls_lui : int
+val cls_auipc : int
+val cls_load : int
+val cls_store : int
+val cls_fence : int
+val cls_branch : int
+val cls_jal : int
+val cls_jalr : int
+
+type 'u slot = {
+  cls : int;
+  rd : int;
+  rs1 : int;
+  rs2 : int;
+  imm : Word.t;
+  op : Instr.alu_op;
+  cond : Instr.branch_cond;
+  width : Instr.mem_width;
+  unsigned : bool;
+  amask : int;
+  wbytes : int;
+  at_mem : bool;
+  conflict_prev : bool;
+  word : Word.t;
+  instr : Instr.t;
+  uop : 'u;
+  mutable chain : 'u block option;
+      (** taken successor of this slot, patched once translated *)
+}
+
+and 'u block = {
+  pbase : int;
+  page : int;
+  n : int;  (** 0 marks an address where no block can start *)
+  slots : 'u slot array;
+  term : int;
+  built_page_gen : int;
+  built_epoch : int;
+  mutable dtlb_vpn : int;
+  mutable dtlb_base : int;
+  mutable dtlb_load_ok : bool;
+  mutable dtlb_store_ok : bool;
+  mutable dtlb_gen : int;
+  mutable dtlb_asid : int;
+  mutable dtlb_perms : Word.t;
+}
+
+(** Bailout / exit causes (indices into the [bail] table). *)
+
+val bail_probe : int
+val bail_stall : int
+val bail_fetch : int
+val bail_metal : int
+val bail_timer : int
+val bail_icept : int
+val bail_irq : int
+val bail_tlb : int
+val bail_unbuildable : int
+val bail_window : int
+val bail_version : int
+val bail_deadline : int
+val bail_mem : int
+val exit_jump : int
+val exit_fallthrough : int
+val exit_taken : int
+val bail_count : int
+val bail_name : int -> string
+
+type 'u t = {
+  tbl : (int, 'u block) Hashtbl.t;
+  page_gens : int array;
+  mutable epoch : int;
+  mutable phys_synced : int;
+  mutable mram_synced : int;
+  mutable chain_src : 'u block option;
+  mutable chain_src_pc : int;
+  mutable chain_src_vbase : int;
+  mutable chain_src_i : int;
+  mutable fall_src : 'u block option;
+  mutable fall_vbase : int;
+  mutable blocks_built : int;
+  mutable lookups : int;
+  mutable lookup_hits : int;
+  mutable chain_hits : int;
+  mutable fall_hits : int;
+  mutable flushes : int;
+  mutable invalidations : int;
+  mutable engagements : int;
+  mutable block_cycles : int;
+  bail : int array;
+}
+
+val create : pages:int -> 'u t
+(** [create ~pages] sizes the per-page generation table for a physical
+    memory of [pages] 4KiB pages. *)
+
+val page_gen : 'u t -> page:int -> int
+(** Current generation of one 4KiB physical page (0 out of range). *)
+
+val valid : 'u t -> 'u block -> bool
+(** No flush and no store on the block's page since it was built. *)
+
+val usable : 'u t -> 'u block -> bool
+(** [valid] and non-empty. *)
+
+val flush : 'u t -> unit
+val sync_phys : 'u t -> version:int -> unit
+val sync_mram : 'u t -> version:int -> unit
+val note_phys_store : 'u t -> addr:int -> unit
+
+val find : 'u t -> pa:int -> 'u block option
+(** Validity-checked lookup; counts [lookups] / [lookup_hits].
+    Returns empty (n = 0) blocks so callers can skip rebuilding
+    starts known to be unbuildable. *)
+
+val add : 'u t -> 'u block -> unit
+val bail : 'u t -> int -> unit
+
+val stats_fields : 'u t -> (string * int) list
+(** Counter names and values for JSON export, in a stable order. *)

@@ -17,6 +17,7 @@ type t = {
   timeout_trace_tail : int;
   predecode : bool;
   predecode_entries : int;
+  blockcache : bool;
   ecc : bool;
 }
 
@@ -36,6 +37,7 @@ let default =
     timeout_trace_tail = 16;
     predecode = true;
     predecode_entries = 4096;
+    blockcache = true;
     ecc = false;
   }
 

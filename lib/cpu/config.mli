@@ -56,6 +56,15 @@ type t = {
   predecode_entries : int;
       (** direct-mapped predecode-cache size in entries (power of
           two). *)
+  blockcache : bool;
+      (** cache superblocks of predecoded straight-line code and retire
+          them with the compiled block stepper ({!Pipeline.step_block}).
+          Requires {!predecode}; it is also ignored (with a bailout
+          counted) for configurations whose timing the block stepper
+          cannot prove cycle-exact (non-zero [mem_latency], an i-/d-cache
+          model).  Like {!predecode}, purely a host-side speedup:
+          simulated cycles, stats, probe events and architectural state
+          are identical with it off. *)
   ecc : bool;
       (** arm SECDED Hamming(39,32) ECC on the MRAM data segment and
           the m-register file ({!Metal_hw.Ecc}).  Check bits are

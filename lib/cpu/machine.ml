@@ -68,6 +68,8 @@ type t = {
   stats : Stats.t;
   predecode : uop Predecode.t;
   use_predecode : bool;
+  blockcache : uop Blockcache.t;
+  use_blocks : bool;
   mutable fetch_pc : int;
   mutable fetch_metal : bool;
   mutable fetch_frozen : bool;
@@ -113,6 +115,16 @@ let create ?(config = Config.default) () =
       Predecode.create ~entries:config.Config.predecode_entries
         ~instr:nop_instr ~uop:nop_uop;
     use_predecode = config.Config.predecode;
+    blockcache =
+      Blockcache.create
+        ~pages:(max 1 ((config.Config.mem_size + 4095) / 4096));
+    use_blocks =
+      (* The compiled stepper's timing proofs assume single-cycle
+         memory and no cache models; anything else falls back to the
+         per-instruction steppers wholesale. *)
+      config.Config.blockcache && config.Config.predecode
+      && config.Config.mem_latency = 0
+      && config.Config.icache = None && config.Config.dcache = None;
     fetch_pc = 0;
     fetch_metal = false;
     fetch_frozen = false;
@@ -257,3 +269,15 @@ let trace_log t ~max =
     | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
   in
   List.rev (take max all)
+
+(* Host-side cache counters (predecode + block cache), prefixed for
+   the metrics "caches" object.  These describe simulator behaviour,
+   not architecture, so they live outside Stats and the event-derived
+   Metrics record (which must stay bit-identical across steppers). *)
+let cache_counters t =
+  [ ("predecode_hits", t.predecode.Predecode.hits);
+    ("predecode_fills", t.predecode.Predecode.fills);
+    ("predecode_flushes", t.predecode.Predecode.flushes) ]
+  @ List.map
+      (fun (k, v) -> ("blockcache_" ^ k, v))
+      (Blockcache.stats_fields t.blockcache)

@@ -91,6 +91,13 @@ type t = {
       (** decoded-instruction cache keyed by physical fetch address;
           consulted only when [use_predecode] *)
   use_predecode : bool;  (** [Config.predecode] at creation *)
+  blockcache : uop Blockcache.t;
+      (** superblock cache driven by {!Pipeline.step_block};
+          consulted only when [use_blocks] *)
+  use_blocks : bool;
+      (** [Config.blockcache] at creation, with the static
+          preconditions folded in (predecode on, single-cycle memory,
+          no cache models) *)
   mutable fetch_pc : int;
   mutable fetch_metal : bool;
   mutable fetch_frozen : bool;
@@ -195,3 +202,10 @@ val emit : t -> int -> int -> int -> unit
 (** [emit t kind a b] forwards to the probe (with the current cycle)
     when armed; a single load-and-branch otherwise.  Used by both
     steppers. *)
+
+val cache_counters : t -> (string * int) list
+(** Predecode and block-cache counters ([predecode_]/[blockcache_]
+    prefixed), in a stable order, for the metrics JSON "caches" object
+    and the [mrun] end-of-run summary.  Host-side simulator telemetry:
+    deliberately not part of {!Stats} or the event-derived
+    [Metrics.t], which stay bit-identical across steppers. *)

@@ -21,6 +21,16 @@
 val step : Machine.t -> unit
 (** Advance one cycle (no-op when halted). *)
 
+val step_block : Machine.t -> deadline:int -> unit
+(** Advance {e at least} one cycle through the superblock stepper: try
+    to engage a cached block at the current fetch point and retire
+    straight-line runs without per-instruction dispatch, bailing to
+    {!step}'s machinery for anything unprovable.  Cycle-exact and
+    event-exact with {!step}; may run up to [deadline] (absolute cycle
+    count) before returning.  Callers must only rely on the machine
+    state at cycle boundaries — {!run} uses this when
+    [Machine.use_blocks]. *)
+
 val run : Machine.t -> max_cycles:int -> Machine.halt option
 (** Step until the machine halts; [None] when the cycle budget is
     exhausted first. *)

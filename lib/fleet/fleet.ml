@@ -12,7 +12,13 @@
    therefore independent of the domain count and of which worker ran
    what. *)
 
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+(* Workers are pure CPU burners, so running more domains than the host
+   recommends only adds scheduling overhead (BENCH_fleet_throughput
+   measured 0.46x at 8 domains on a 1-core host).  Every requested
+   count is clamped; [effective_domains] is exported so callers (bench
+   fleet, mrun --jobs) can report requested vs. effective. *)
+let effective_domains d = max 1 (min d (Domain.recommended_domain_count ()))
+let default_domains () = Domain.recommended_domain_count ()
 
 (* [f] must not raise: both public layers wrap their payload in a
    catch-all before it reaches the engine, because an exception
@@ -24,7 +30,7 @@ let run_indexed ~domains f n =
      spawned domain gets its own backtrace buffer, so [exn_text]'s raw
      capture at the catch site stays per-worker). *)
   Printexc.record_backtrace true;
-  let d = max 1 (min domains n) in
+  let d = min (effective_domains domains) (max 1 n) in
   if d = 1 then begin
     (* inline on the calling domain, left to right, no spawns *)
     let results = Array.make n None in

@@ -30,7 +30,13 @@
 (** {1 Generic parallel map} *)
 
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count ()], capped at 8. *)
+(** [Domain.recommended_domain_count ()]. *)
+
+val effective_domains : int -> int
+(** The domain count actually used for a request: clamped to
+    [1 .. Domain.recommended_domain_count ()].  Oversubscribing
+    pure-CPU workers only adds scheduling overhead, so {!map} and
+    {!run} apply this clamp to every request. *)
 
 val map :
   ?domains:int -> ('a -> 'b) -> 'a array -> ('b, string) result array

@@ -41,6 +41,8 @@ let create ~entries =
 
 let capacity t = Array.length t.slots
 
+let generation t = t.gen
+
 let matches ~asid ~vpn = function
   | Some e -> e.vpn = vpn && (e.global || e.asid = asid)
   | None -> false

@@ -24,6 +24,12 @@ val create : entries:int -> t
 
 val capacity : t -> int
 
+val generation : t -> int
+(** Mutation counter: bumped by every [insert], flush, or injected
+    fault.  A caller that cached the result of a {!lookup} may keep
+    using it only while the generation is unchanged (the block
+    stepper's inline TLB fast path relies on this). *)
+
 val lookup : t -> asid:int -> vpn:int -> entry option
 (** Match on [vpn] and ([global] or equal [asid]). *)
 

@@ -112,7 +112,7 @@ let buf_counts buf l =
     l;
   Buffer.add_string buf "}"
 
-let to_json t =
+let to_json ?caches t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"metal-metrics-v1\",\n";
@@ -150,8 +150,18 @@ let to_json t =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"events_recorded\": %d,\n  \"events_dropped\": %d,\n\
-       \  \"dropped_entries\": %d\n}\n"
+       \  \"dropped_entries\": %d"
        t.events_recorded t.events_dropped t.dropped_entries);
+  (* Host-side simulator cache counters (predecode / block cache).
+     Optional: they describe the stepper that produced the run, not
+     the architecture, so they ride alongside the event-derived record
+     without entering it (the record must stay stepper-independent). *)
+  (match caches with
+   | None -> ()
+   | Some l ->
+     Buffer.add_string buf ",\n  \"caches\": ";
+     buf_counts buf l);
+  Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
 let pp fmt t =

@@ -46,7 +46,11 @@ val merge : t -> t -> t
 
 val equal : t -> t -> bool
 
-val to_json : t -> string
+val to_json : ?caches:(string * int) list -> t -> string
+(** JSON export (schema [metal-metrics-v1]).  [caches] adds an
+    optional ["caches"] object of host-side simulator cache counters
+    (see [Machine.cache_counters]) without touching the event-derived
+    record itself. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human summary: mode split, event totals, per-mroutine latency

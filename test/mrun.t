@@ -12,6 +12,7 @@ Single-program run with trace and metrics export:
          bubbles=41 load-use=8 interlocks=8 flushes=7
          menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
          tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_hits=14 predecode_fills=69 predecode_flushes=2 blockcache_bail_probe=1
   trace: t.json
   metrics: m.json
   mode split: user 43 cycles (40.2%), metal 64 cycles (59.8%)
@@ -40,6 +41,7 @@ folded-stack flamegraph, then prints the hot-spot report.
          bubbles=41 load-use=8 interlocks=8 flushes=7
          menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
          tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_hits=14 predecode_fills=69 predecode_flushes=2 blockcache_bail_probe=1
   trace: t3.json
   metrics: m3.json
   mode split: user 43 cycles (40.2%), metal 64 cycles (59.8%)
@@ -69,7 +71,7 @@ folded-stack flamegraph, then prints the hot-spot report.
   root;m1:bump 74
 
   $ ../tools/trace_check.exe metrics m3.json
-  m3.json: ok (15 event kinds, 1 mroutines)
+  m3.json: ok (15 event kinds, 1 mroutines, 28 cache counters)
   $ ../tools/trace_check.exe profile p.json
   p.json: ok (107 cycles, 10 hot PCs, 2 stacks)
 
@@ -154,6 +156,20 @@ install without any flag; --no-verify is the escape hatch.
          bubbles=41 load-use=8 interlocks=8 flushes=7
          menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
          tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_hits=14 predecode_fills=69 predecode_flushes=2 blockcache_blocks_built=8 blockcache_lookups=43 blockcache_lookup_hits=35 blockcache_flushes=2 blockcache_bail_metal=8 blockcache_bail_unbuildable=35 blockcache_bail_window=8
+
+--no-blocks disables the block translation cache (the escape hatch for
+timing comparisons); the run is bit-identical, only the block-cache
+counters vanish from the summary:
+
+  $ ../bin/mrun.exe ../examples/trace_demo.s --mcode ../examples/trace_demo.mcode \
+  >   --no-blocks
+  halt: ebreak at 0x00000010
+  stats: cycles=107 instructions=66 (metal=40) ipc=0.62
+         bubbles=41 load-use=8 interlocks=8 flushes=7
+         menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
+         tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_hits=14 predecode_fills=69 predecode_flushes=2
 
   $ cat > bad.mcode <<'EOF2'
   > .mentry 1, f
@@ -172,6 +188,7 @@ install without any flag; --no-verify is the escape hatch.
          bubbles=3 load-use=0 interlocks=0 flushes=0
          menter=0 mexit=0 exceptions=0 interrupts=0 intercepts=0
          tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_fills=4 predecode_flushes=1 blockcache_blocks_built=5 blockcache_lookups=5 blockcache_flushes=2 blockcache_bail_unbuildable=5
 
   $ ../bin/mrun.exe prog.s --mcode bad.mcode --verify --no-verify
   metal-run: --verify and --no-verify are contradictory
@@ -308,11 +325,11 @@ A non-positive --jobs used to fall back silently to the default domain
 count; now it is rejected loudly:
 
   $ ../bin/mrun.exe loop.s --jobs 0
-  metal-run: --jobs 0: the domain count must be positive (omit --jobs to let the fleet pick one domain per core, capped at 8)
+  metal-run: --jobs 0: the domain count must be positive (omit --jobs to let the fleet pick one domain per core; requests above the core count are clamped)
   [1]
 
   $ ../bin/mrun.exe loop.s loop.s --jobs=-2
-  metal-run: --jobs -2: the domain count must be positive (omit --jobs to let the fleet pick one domain per core, capped at 8)
+  metal-run: --jobs -2: the domain count must be positive (omit --jobs to let the fleet pick one domain per core; requests above the core count are clamped)
   [1]
 
 ECC: --ecc arms the SECDED layer on MRAM data and the m-registers.  A
@@ -326,6 +343,7 @@ run), and the kernel combination is rejected:
          bubbles=201 load-use=40 interlocks=40 flushes=39
          menter=40 mexit=40 exceptions=0 interrupts=0 intercepts=0
          tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_hits=78 predecode_fills=325 predecode_flushes=2 blockcache_blocks_built=8 blockcache_lookups=203 blockcache_lookup_hits=195 blockcache_flushes=2 blockcache_bail_metal=40 blockcache_bail_unbuildable=163 blockcache_bail_window=40
 
   $ ../bin/mrun.exe loop.s --ecc --os
   metal-run: --ecc configures the bare machine's MRAM/m-register SECDED layer; the mini-kernel owns its own machine config, so it does not combine with --os
@@ -382,6 +400,7 @@ WCET bound, live.
          bubbles=41 load-use=8 interlocks=8 flushes=7
          menter=8 mexit=8 exceptions=0 interrupts=0 intercepts=0
          tlb hit/miss=0/0 hw-walks=0 mem-stalls=0 fetch-stalls=0 walker-stalls=0
+  caches: predecode_hits=14 predecode_fills=69 predecode_flushes=2 blockcache_bail_probe=1
   telemetry: tel.ndjson
   telemetry: 7 windows x 16 cycles, 107 cycles covered
     ipc     ▆▆▇▇▆▆█  min 0.56 @w0  max 0.82 @w6

@@ -330,6 +330,16 @@ let run_with_predecode ~predecode img =
   let config = { Config.default with Config.mem_size; Config.predecode } in
   run_pipeline_with config img
 
+(* The block translation cache layers on top of predecode: with
+   [Config.blockcache] on (the default), [Pipeline.run] dispatches
+   whole superblocks through the compiled stepper, so the
+   [predecode:true] side of every property above already exercises it
+   against the slow oracle.  This third configuration isolates the
+   remaining pair: blocks-on vs the per-cycle fast stepper. *)
+let run_with_blocks ~blockcache img =
+  let config = { Config.default with Config.mem_size; Config.blockcache } in
+  run_pipeline_with config img
+
 let predecode_divergence instrs =
   let img = image_of instrs in
   match
@@ -376,6 +386,56 @@ let prop_predecode_invariance =
        | Some _ ->
          QCheck.Test.fail_report
            (report_minimal ~diverges:predecode_divergence instrs))
+
+(* Blocks-on vs blocks-off (both with predecode): identical registers,
+   identical Stats — the block stepper must be invisible in simulated
+   timing, not just architectural outcome. *)
+let blocks_divergence instrs =
+  let img = image_of instrs in
+  match
+    (run_with_blocks ~blockcache:true img,
+     run_with_blocks ~blockcache:false img)
+  with
+  | Ok a, Ok b ->
+    if not (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs) then
+      Some (`State "register files differ (blocks vs fast)")
+    else if a.Machine.stats <> b.Machine.stats then
+      Some
+        (`State
+           (Printf.sprintf "stats differ:\nblocks: %s\nfast:   %s"
+              (Stats.to_string a.Machine.stats)
+              (Stats.to_string b.Machine.stats)))
+    else begin
+      let diff = ref None in
+      for i = 0 to data_words - 1 do
+        let addr = data_base + (4 * i) in
+        if !diff = None && Machine.read_word a addr <> Machine.read_word b addr
+        then
+          diff :=
+            Some
+              (`State
+                 (Printf.sprintf "mem[%s]: blocks=%s fast=%s"
+                    (Word.to_hex addr)
+                    (Word.to_hex (Machine.read_word a addr))
+                    (Word.to_hex (Machine.read_word b addr))))
+      done;
+      !diff
+    end
+  | Error e, Ok _ -> Some (`Error ("blocks: " ^ e))
+  | Ok _, Error e -> Some (`Error ("fast: " ^ e))
+  | Error ea, Error eb ->
+    if ea = eb then None
+    else Some (`Error (Printf.sprintf "errors differ: %s / %s" ea eb))
+
+let prop_blocks_invariance =
+  QCheck.Test.make ~name:"block translation cache is timing-invisible"
+    ~count:100 arb_program
+    (fun instrs ->
+       match blocks_divergence instrs with
+       | None -> true
+       | Some _ ->
+         QCheck.Test.fail_report
+           (report_minimal ~diverges:blocks_divergence instrs))
 
 (* The 300-program predecode-invariance corpus, regenerated from a
    fixed seed and checked on the fleet batch runner: one job per
@@ -739,16 +799,32 @@ let smc_case name src expected =
               | None -> Alcotest.fail rname)
            expected
        | Error e, _ | _, Error e -> Alcotest.fail e);
+      (match
+         (run_with_predecode ~predecode:true img,
+          run_with_predecode ~predecode:false img)
+       with
+       | Ok a, Ok b ->
+         Alcotest.(check bool)
+           "regs equal" true
+           (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs);
+         Alcotest.(check string)
+           "stats equal"
+           (Stats.to_string b.Machine.stats)
+           (Stats.to_string a.Machine.stats)
+       | Error e, _ | _, Error e -> Alcotest.fail e);
+      (* The same stores must also invalidate superblocks (the patched
+         word may sit mid-block, or inside the block that issued the
+         store). *)
       match
-        (run_with_predecode ~predecode:true img,
-         run_with_predecode ~predecode:false img)
+        (run_with_blocks ~blockcache:true img,
+         run_with_blocks ~blockcache:false img)
       with
       | Ok a, Ok b ->
         Alcotest.(check bool)
-          "regs equal" true
+          "regs equal (blocks)" true
           (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs);
         Alcotest.(check string)
-          "stats equal"
+          "stats equal (blocks)"
           (Stats.to_string b.Machine.stats)
           (Stats.to_string a.Machine.stats)
       | Error e, _ | _, Error e -> Alcotest.fail e)
@@ -756,6 +832,139 @@ let smc_case name src expected =
 let smc_cases =
   [ smc_case "patch-ahead" smc_patch_ahead [ ("a0", 65) ];
     smc_case "patch-loop-twice" smc_patch_loop [ ("a0", 12); ("t2", 2) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Block-cache regressions: the scenarios where a stale superblock or
+   a stale block→block chain could diverge from the per-cycle stepper.
+   Each compares blocks-on against blocks-off for identical registers
+   and identical Stats (cycle-exactness, not just outcome). *)
+
+let check_blocks_vs_fast ?(label = "") a b =
+  Alcotest.(check bool)
+    (label ^ "regs equal") true
+    (Array.for_all2 ( = ) a.Machine.regs b.Machine.regs);
+  Alcotest.(check string)
+    (label ^ "stats equal")
+    (Stats.to_string b.Machine.stats)
+    (Stats.to_string a.Machine.stats)
+
+(* A store whose target is only two slots ahead in the same superblock:
+   closer than the architectural fetch-ahead guarantee, so the golden
+   model is no oracle here — but the two pipeline steppers define the
+   same cycle-exact machine and must agree on whichever outcome the
+   pipeline produces. *)
+let smc_close =
+  Printf.sprintf
+    "li a0, 1\nla t1, patch\nli t0, %s\nsw t0, 0(t1)\nnop\npatch:\nnop\n\
+     ebreak\n"
+    (word_of (Instr.Op_imm { op = Instr.Add; rd = 10; rs1 = 10; imm = 64 }))
+
+let test_smc_store_into_executing_block () =
+  let img = Metal_asm.Asm.assemble_exn smc_close in
+  match
+    (run_with_blocks ~blockcache:true img,
+     run_with_blocks ~blockcache:false img)
+  with
+  | Ok a, Ok b -> check_blocks_vs_fast a b
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+(* A timer interrupt landing while the block stepper is deep inside a
+   chained loop block: the interrupt guard must hand control back to
+   the generic stepper on exactly the right cycle. *)
+let tick_mcode =
+  ".mentry 2, tick\ntick:\naddi s0, s0, 1\nli t6, 1\n\
+   mcsrw int_pending, t6\nmexit\n"
+
+let spin_prog =
+  "li s0, 0\nli t0, 200\nloop: addi t0, t0, -1\nbnez t0, loop\nebreak\n"
+
+let run_interrupted ~blockcache =
+  let config = { Config.default with Config.mem_size; Config.blockcache } in
+  let m = Machine.create ~config () in
+  (match Machine.load_mcode m (Metal_asm.Asm.assemble_exn tick_mcode) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match Machine.load_image m (Metal_asm.Asm.assemble_exn spin_prog) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  Machine.install_interrupt_handler m ~irq:0 ~entry:2;
+  Machine.ctrl_write m Csr.int_enable 1;
+  Machine.ctrl_write m Csr.timer_cmp 50;
+  Machine.set_pc m 0;
+  match Pipeline.run m ~max_cycles:100_000 with
+  | Some (Machine.Halt_ebreak _) -> m
+  | Some h -> failwith (Machine.halted_to_string h)
+  | None -> failwith "no halt"
+
+let test_interrupt_mid_block () =
+  let a = run_interrupted ~blockcache:true
+  and b = run_interrupted ~blockcache:false in
+  check_blocks_vs_fast a b;
+  Alcotest.(check int) "interrupt delivered" 1
+    a.Machine.stats.Stats.interrupts;
+  (match Reg.of_string "s0" with
+   | Some s0 -> Alcotest.(check int) "handler ran once" 1 (Machine.get_reg a s0)
+   | None -> Alcotest.fail "s0")
+
+(* Reloading MRAM mid-run (the E8-style reconfiguration): superblocks
+   and chains built around the old mroutine must be dropped when the
+   reload bumps the MRAM version, never replayed against stale
+   translations.  The cut points land at different phases of the loop
+   so some runs pause mid-block. *)
+let reload_prog =
+  "li s0, 0\nli s1, 0\nli t0, 40\nloop:\nmenter 0\nadd s1, s1, s0\n\
+   addi t0, t0, -1\nbnez t0, loop\nebreak\n"
+
+let reload_mcode_v1 = ".mentry 0, f\nf:\naddi s0, s0, 1\nmexit\n"
+let reload_mcode_v2 = ".mentry 0, f\nf:\naddi s0, s0, 100\nmexit\n"
+
+let run_reload ~blockcache ~cut =
+  let config = { Config.default with Config.mem_size; Config.blockcache } in
+  let m = Machine.create ~config () in
+  (match Machine.load_mcode m (Metal_asm.Asm.assemble_exn reload_mcode_v1) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match Machine.load_image m (Metal_asm.Asm.assemble_exn reload_prog) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  Machine.set_pc m 0;
+  (match Pipeline.run m ~max_cycles:cut with
+   | None -> ()
+   | Some h ->
+     failwith ("halted before the reload: " ^ Machine.halted_to_string h));
+  (match Machine.load_mcode m (Metal_asm.Asm.assemble_exn reload_mcode_v2) with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  match Pipeline.run m ~max_cycles:100_000 with
+  | Some (Machine.Halt_ebreak _) -> m
+  | Some h -> failwith (Machine.halted_to_string h)
+  | None -> failwith "no halt"
+
+let test_mcode_reload_mid_run () =
+  let mixed = ref false in
+  List.iter
+    (fun cut ->
+       let a = run_reload ~blockcache:true ~cut
+       and b = run_reload ~blockcache:false ~cut in
+       check_blocks_vs_fast ~label:(Printf.sprintf "cut %d: " cut) a b;
+       match Reg.of_string "s0" with
+       | Some s0 ->
+         let v = Machine.get_reg a s0 in
+         if v > 40 && v < 4000 then mixed := true
+       | None -> Alcotest.fail "s0")
+    [ 30; 60; 90; 120; 150 ];
+  (* at least one cut must actually land mid-run, so that calls before
+     the reload saw v1 and calls after saw v2 — otherwise the test is
+     not exercising invalidation at all *)
+  Alcotest.(check bool) "some cut observed both mcode versions" true !mixed
+
+let blockcache_cases =
+  [ Alcotest.test_case "store into the executing block" `Quick
+      test_smc_store_into_executing_block;
+    Alcotest.test_case "interrupt arrives inside a chained block" `Quick
+      test_interrupt_mid_block;
+    Alcotest.test_case "MRAM reload invalidates blocks and chains" `Quick
+      test_mcode_reload_mid_run ]
 
 (* The minimizer itself: with a synthetic divergence predicate ("any
    store present"), a long program must shrink to store + ebreak, and
@@ -857,6 +1066,7 @@ let () =
     [
       ("directed", directed_cases);
       ("self-modifying", smc_cases);
+      ("block-cache", blockcache_cases);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_differential ~predecode:true;
@@ -864,7 +1074,7 @@ let () =
             prop_retired_count ~predecode:true;
             prop_retired_count ~predecode:false;
             prop_config_invariance; prop_predecode_invariance;
-            prop_event_stream_invariance;
+            prop_blocks_invariance; prop_event_stream_invariance;
             prop_stall_accounting ~predecode:true;
             prop_stall_accounting ~predecode:false;
             prop_profile_accounting ~predecode:true;
@@ -873,6 +1083,8 @@ let () =
       ( "fleet-corpus",
         [ Alcotest.test_case "300-program predecode invariance" `Quick
             test_predecode_corpus_fleet;
+          Alcotest.test_case "300-program block-stepper invariance" `Quick
+            (corpus_fleet_check ~diverges:blocks_divergence);
           Alcotest.test_case "300-program event-stream identity" `Quick
             (corpus_fleet_check ~diverges:event_stream_divergence);
           Alcotest.test_case "300-program stall accounting (fast)" `Quick

@@ -176,8 +176,25 @@ let check_metrics path =
          failf "%s: mroutine %d: latency histogram sums to %d, count is %d"
            path entry histogram_total count)
     mroutines;
-  Printf.printf "%s: ok (%d event kinds, %d mroutines)\n" path
+  (* Optional host-side stepper cache counters (predecode + block
+     cache, [Machine.cache_counters]).  They live outside the
+     event-derived record, so all we require is shape: an object of
+     non-negative integers. *)
+  let caches =
+    match Json.member "caches" j with
+    | None -> []
+    | Some _ ->
+      let l = count_object path "caches" j in
+      List.iter
+        (fun (k, v) ->
+           if v < 0 then failf "%s: caches.%s is negative (%d)" path k v)
+        l;
+      l
+  in
+  Printf.printf "%s: ok (%d event kinds, %d mroutines%s)\n" path
     (List.length events) (List.length mroutines)
+    (if caches = [] then ""
+     else Printf.sprintf ", %d cache counters" (List.length caches))
 
 (* ------------------------------------------------------------------ *)
 (* Profile JSON                                                        *)
@@ -246,12 +263,16 @@ let workloads j =
   | Some a -> Json.to_list a
   | None -> failf "bench JSON has no workloads array"
 
+(* Committed throughput per workload: the block stepper when the
+   artifact has it (current schema), else the predecode stepper (the
+   pre-block-cache artifacts stay checkable). *)
 let workload_ips j =
-  match
-    Option.bind (Json.member "predecode_on" j) (num_field "ips")
-  with
+  match Option.bind (Json.member "blocks_on" j) (num_field "ips") with
   | Some ips -> ips
-  | None -> failf "bench workload has no predecode_on.ips"
+  | None ->
+    (match Option.bind (Json.member "predecode_on" j) (num_field "ips") with
+     | Some ips -> ips
+     | None -> failf "bench workload has no blocks_on.ips or predecode_on.ips")
 
 let check_bench baseline fresh tolerance =
   let base = parse_file baseline and now = parse_file fresh in
@@ -280,7 +301,21 @@ let check_bench baseline fresh tolerance =
              name
              ((1.0 -. ratio) *. 100.0)
              tolerance)
-    (workloads base)
+    (workloads base);
+  (* The block stepper exists to beat the per-cycle stepper; a fresh
+     run whose blocks-over-predecode geomean dips below 1.0 means the
+     block cache lost its reason to exist (bails dominating, or an
+     engage-path regression), so that is a hard failure regardless of
+     the noise tolerance above. *)
+  match num_field "geomean_blocks_speedup" now with
+  | None -> ()
+  | Some g ->
+    Printf.printf "geomean blocks/predecode %.2fx\n" g;
+    if g < 1.0 then
+      failf
+        "%s: blocks-on geomean %.2fx is below predecode-on — the block \
+         cache is a net loss on this host"
+        fresh g
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection verdict JSON                                        *)
